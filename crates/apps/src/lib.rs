@@ -1,0 +1,18 @@
+//! # openmb-apps
+//!
+//! The scenario-specific control applications of §6 — live migration
+//! ([`migration`]) and elastic scaling ([`scaling`]) — plus failure
+//! recovery via introspection ([`failover`], §2 R6), the state-of-the-art
+//! baselines of §2.1/§8.1.2 ([`baselines`]), and reusable simulation
+//! scenario builders ([`scenarios`]).
+
+pub mod baselines;
+pub mod failover;
+pub mod migration;
+pub mod rebalance;
+pub mod scaling;
+pub mod scenarios;
+
+pub use migration::{FlowMoveApp, ReMigrationApp};
+pub use rebalance::RebalanceApp;
+pub use scaling::{ScaleDownApp, ScaleUpApp};

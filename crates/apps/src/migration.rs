@@ -1,0 +1,234 @@
+//! Live-migration control applications (§6.1).
+//!
+//! Two applications:
+//!
+//! * [`FlowMoveApp`] — the generic "move per-flow state, then update
+//!   routing" sequence (R1 + R4) used for per-flow-state middleboxes
+//!   (IPS, monitor, firewall). It is also the building block the scaling
+//!   apps reuse.
+//! * [`ReMigrationApp`] — the full five-step RE recipe of §6.1: clone
+//!   the decoder's configuration and cache, add a second cache at the
+//!   encoder, update routing, then point the encoder's `CacheFlows` at
+//!   the two data centers.
+
+use openmb_core::app::{Api, ControlApp};
+use openmb_core::controller::Completion;
+use openmb_simnet::{SimDuration, SimTime};
+use openmb_types::{ConfigValue, HeaderFieldList, MbId, NodeId, OpId};
+
+const T_TRIGGER: u64 = 1;
+
+/// The route the app installs once state movement completes.
+#[derive(Debug, Clone)]
+pub struct RouteSpec {
+    pub pattern: HeaderFieldList,
+    pub priority: u16,
+    pub src: NodeId,
+    pub waypoints: Vec<NodeId>,
+    pub dst: NodeId,
+}
+
+/// Generic per-flow state migration: at `trigger`, `moveInternal(src,
+/// dst, pattern)`; on completion, install `route`.
+pub struct FlowMoveApp {
+    src_mb: MbId,
+    dst_mb: MbId,
+    pattern: HeaderFieldList,
+    trigger: SimDuration,
+    route: RouteSpec,
+    move_op: Option<OpId>,
+    /// When the move was issued / completed (inspection).
+    pub started_at: Option<SimTime>,
+    pub completed_at: Option<SimTime>,
+    pub chunks_moved: Option<usize>,
+}
+
+impl FlowMoveApp {
+    pub fn new(
+        src_mb: MbId,
+        dst_mb: MbId,
+        pattern: HeaderFieldList,
+        trigger: SimDuration,
+        route: RouteSpec,
+    ) -> Self {
+        FlowMoveApp {
+            src_mb,
+            dst_mb,
+            pattern,
+            trigger,
+            route,
+            move_op: None,
+            started_at: None,
+            completed_at: None,
+            chunks_moved: None,
+        }
+    }
+}
+
+impl ControlApp for FlowMoveApp {
+    fn on_start(&mut self, api: &mut Api<'_>) {
+        api.set_timer(self.trigger, T_TRIGGER);
+    }
+
+    fn on_timer(&mut self, api: &mut Api<'_>, token: u64) {
+        if token == T_TRIGGER {
+            self.started_at = Some(api.now());
+            self.move_op = Some(api.move_internal(self.src_mb, self.dst_mb, self.pattern));
+        }
+    }
+
+    fn on_completion(&mut self, api: &mut Api<'_>, c: &Completion) {
+        if let Completion::MoveComplete { op, chunks_moved } = c {
+            if Some(*op) == self.move_op {
+                self.completed_at = Some(api.now());
+                self.chunks_moved = Some(*chunks_moved);
+                // R4: network update strictly after the move returns.
+                let r = &self.route;
+                let ok =
+                    api.route(r.pattern, r.priority, r.src, &r.waypoints.clone(), r.dst);
+                assert!(ok, "migration route must exist");
+            }
+        }
+    }
+}
+
+/// Phases of the §6.1 RE migration recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RePhase {
+    Idle,
+    ReadConfig,
+    WriteConfig,
+    CloneCache,
+    AddEncoderCache,
+    RouteUpdated,
+    Done,
+}
+
+/// The §6.1 live-migration application for RE middleboxes.
+///
+/// 1. `values = readConfig(OrigDec, "*")`; `writeConfig(NewDec, "*", values)`
+/// 2. `cloneSupport(OrigDec, NewDec)`
+/// 3. `writeConfig(Enc, "NumCaches", [2])` (encoder clones its cache)
+/// 4. update network routing (traffic for DC B via the new decoder)
+/// 5. `writeConfig(Enc, "CacheFlows", [dcA, dcB])`
+pub struct ReMigrationApp {
+    encoder: MbId,
+    orig_dec: MbId,
+    new_dec: MbId,
+    trigger: SimDuration,
+    /// Route for the migrated (DC B) traffic.
+    route: RouteSpec,
+    /// The prefixes for `CacheFlows` (DC A first, DC B second).
+    dc_a_prefix: String,
+    dc_b_prefix: String,
+    phase: RePhase,
+    pending: Option<OpId>,
+    clone_op: Option<OpId>,
+    pub done_at: Option<SimTime>,
+}
+
+impl ReMigrationApp {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        encoder: MbId,
+        orig_dec: MbId,
+        new_dec: MbId,
+        trigger: SimDuration,
+        route: RouteSpec,
+        dc_a_prefix: impl Into<String>,
+        dc_b_prefix: impl Into<String>,
+    ) -> Self {
+        ReMigrationApp {
+            encoder,
+            orig_dec,
+            new_dec,
+            trigger,
+            route,
+            dc_a_prefix: dc_a_prefix.into(),
+            dc_b_prefix: dc_b_prefix.into(),
+            phase: RePhase::Idle,
+            pending: None,
+            clone_op: None,
+            done_at: None,
+        }
+    }
+
+    /// Has the whole recipe completed?
+    pub fn is_done(&self) -> bool {
+        self.phase == RePhase::Done
+    }
+}
+
+impl ControlApp for ReMigrationApp {
+    fn on_start(&mut self, api: &mut Api<'_>) {
+        api.set_timer(self.trigger, T_TRIGGER);
+    }
+
+    fn on_timer(&mut self, api: &mut Api<'_>, token: u64) {
+        if token == T_TRIGGER && self.phase == RePhase::Idle {
+            // Step 1a: read the original decoder's whole configuration.
+            self.phase = RePhase::ReadConfig;
+            self.pending = Some(api.read_config(self.orig_dec, "*"));
+        }
+    }
+
+    fn on_completion(&mut self, api: &mut Api<'_>, c: &Completion) {
+        if c.op() != self.pending {
+            return;
+        }
+        match (self.phase, c) {
+            (RePhase::ReadConfig, Completion::Config { pairs, .. }) => {
+                // Step 1b: duplicate configuration onto the new decoder.
+                self.phase = RePhase::WriteConfig;
+                self.pending = api.write_config_all(self.new_dec, pairs);
+            }
+            (RePhase::WriteConfig, Completion::Ack { .. }) => {
+                // Step 2: clone the original decoder's cache.
+                self.phase = RePhase::CloneCache;
+                let op = api.clone_support(self.orig_dec, self.new_dec);
+                self.clone_op = Some(op);
+                self.pending = Some(op);
+            }
+            (RePhase::CloneCache, Completion::CloneComplete { .. }) => {
+                // Step 3: second cache at the encoder (internally cloned
+                // from the original, fingerprints included).
+                self.phase = RePhase::AddEncoderCache;
+                self.pending =
+                    Some(api.write_config(self.encoder, "NumCaches", vec![ConfigValue::Int(2)]));
+            }
+            (RePhase::AddEncoderCache, Completion::Ack { .. }) => {
+                // Step 4: routing — traffic for DC B now goes via the
+                // new decoder.
+                let r = self.route.clone();
+                let ok = api.route(r.pattern, r.priority, r.src, &r.waypoints, r.dst);
+                assert!(ok, "RE migration route must exist");
+                // Step 5: tell the encoder which cache serves which DC.
+                self.phase = RePhase::RouteUpdated;
+                self.pending = Some(api.write_config(
+                    self.encoder,
+                    "CacheFlows",
+                    vec![
+                        ConfigValue::Str(self.dc_a_prefix.clone()),
+                        ConfigValue::Str(self.dc_b_prefix.clone()),
+                    ],
+                ));
+            }
+            (RePhase::RouteUpdated, Completion::Ack { .. }) => {
+                // The encoder has switched caches: the original decoder's
+                // clone-sync window can close now. (Quiescence would never
+                // fire — shared state is updated by every packet — so the
+                // application closes the transaction explicitly.)
+                if let Some(op) = self.clone_op.take() {
+                    api.end_op(op);
+                }
+                self.phase = RePhase::Done;
+                self.done_at = Some(api.now());
+                self.pending = None;
+            }
+            (_, Completion::Failed { error, .. }) => {
+                panic!("RE migration step failed in {:?}: {error}", self.phase);
+            }
+            _ => {}
+        }
+    }
+}

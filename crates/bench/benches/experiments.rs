@@ -1,0 +1,164 @@
+//! One Criterion benchmark per table/figure of the paper's evaluation
+//! (§8), each running the corresponding `openmb-harness` experiment at
+//! reduced scale. These measure the *wall-clock cost of regenerating*
+//! each result; the results themselves (the paper's rows/series) are
+//! printed by `cargo run --release -p openmb-harness --bin repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use openmb_harness::{
+    compress_xp, correctness, fig10, fig8, fig9, snapshot, splitmerge, table3,
+};
+
+fn small(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g
+}
+
+fn fig7_scale_up_timeline(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig7_scale_up_timeline", |b| {
+        b.iter(|| black_box(openmb_harness::fig7::run(500, 3000, 100).buckets.len()))
+    });
+    g.finish();
+}
+
+fn fig8_flow_durations(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig8_flow_durations", |b| {
+        b.iter(|| black_box(fig8::run().frac_above_1500s))
+    });
+    g.finish();
+}
+
+fn fig9a_get_time(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig9a_get_time_prads_250", |b| {
+        b.iter(|| black_box(fig9::measure_get_put(fig9::MbKind::Prads, 250).get_ms))
+    });
+    g.finish();
+}
+
+fn fig9b_put_time(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig9b_put_time_bro_250", |b| {
+        b.iter(|| black_box(fig9::measure_get_put(fig9::MbKind::Bro, 250).puts_ms))
+    });
+    g.finish();
+}
+
+fn fig9c_events_monitor(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig9c_events_prads_250_1000pps", |b| {
+        b.iter(|| black_box(fig9::measure_events(fig9::MbKind::Prads, 250, 1000)))
+    });
+    g.finish();
+}
+
+fn fig9d_events_ips(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig9d_events_bro_250_1000pps", |b| {
+        b.iter(|| black_box(fig9::measure_events(fig9::MbKind::Bro, 250, 1000)))
+    });
+    g.finish();
+}
+
+fn fig10a_move_time(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig10a_move_2000_chunks", |b| {
+        b.iter(|| black_box(fig10::single_move_ms(2000, 0)))
+    });
+    g.finish();
+}
+
+fn fig10b_concurrent_moves(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig10b_4_moves_1000_chunks", |b| {
+        b.iter(|| black_box(fig10::concurrent_moves_avg_ms(4, 1000)))
+    });
+    g.finish();
+}
+
+fn table2_applicability(c: &mut Criterion) {
+    // Table 2 aggregates several experiments; bench its cheapest
+    // ingredient (the hold-up computation) rather than the whole matrix.
+    let mut g = small(c);
+    g.bench_function("table2_holdup", |b| {
+        let durations =
+            openmb_traffic::DatacenterWorkload { flows: 4000, ..Default::default() }.durations();
+        b.iter(|| {
+            black_box(openmb_apps::baselines::config_routing_holdup(&durations, 500, 3))
+        })
+    });
+    g.finish();
+}
+
+fn table3_re_migration(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("table3_sdmbn_migration", |b| {
+        b.iter(|| black_box(table3::run_sdmbn(1 << 18).encoded_bytes))
+    });
+    g.finish();
+}
+
+fn snapshot_migration(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("snapshot_vs_sdmbn", |b| {
+        b.iter(|| black_box(snapshot::run().snapshot_incorrect_entries))
+    });
+    g.finish();
+}
+
+fn splitmerge_buffering(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("splitmerge_500_chunks", |b| {
+        b.iter(|| black_box(splitmerge::run_split_merge(500, 1000).packets_buffered))
+    });
+    g.finish();
+}
+
+fn correctness_checks(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("correctness_prads", |b| {
+        b.iter(|| black_box(correctness::prads_check().pass))
+    });
+    g.finish();
+}
+
+fn latency_during_get(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("latency_bro_during_get", |b| {
+        b.iter(|| black_box(openmb_harness::latency::bro_latency(500).increase_pct()))
+    });
+    g.finish();
+}
+
+fn compress_move(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("compress_500_chunk_move", |b| {
+        b.iter(|| black_box(compress_xp::run(500).compression_pct))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    fig7_scale_up_timeline,
+    fig8_flow_durations,
+    fig9a_get_time,
+    fig9b_put_time,
+    fig9c_events_monitor,
+    fig9d_events_ips,
+    fig10a_move_time,
+    fig10b_concurrent_moves,
+    table2_applicability,
+    table3_re_migration,
+    snapshot_migration,
+    splitmerge_buffering,
+    correctness_checks,
+    latency_during_get,
+    compress_move
+);
+criterion_main!(experiments);

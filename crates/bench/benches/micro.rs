@@ -1,0 +1,201 @@
+//! Hot-path microbenchmarks: the primitives every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use openmb_mb::{Effects, Middlebox};
+use openmb_middleboxes::{Ips, Monitor, ReEncoder};
+use openmb_openflow::FlowTable;
+use openmb_simnet::SimTime;
+use openmb_types::crypto::{self, VendorKey};
+use openmb_types::sdn::{FlowRule, SdnAction};
+use openmb_types::wire::{self, Message};
+use openmb_types::{
+    compress, EncryptedChunk, FlowKey, HeaderFieldList, IpPrefix, NodeId, OpId, Packet,
+    StateChunk,
+};
+
+fn key(i: u32) -> FlowKey {
+    FlowKey::tcp(
+        Ipv4Addr::from(0x0a000000 + i),
+        (1000 + i % 50_000) as u16,
+        Ipv4Addr::new(192, 168, 1, 1),
+        80,
+    )
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let vendor = VendorKey::derive("bench");
+    let chunk = StateChunk::new(
+        HeaderFieldList::exact(key(1)),
+        EncryptedChunk::seal(&vendor, 1, &vec![7u8; 202]),
+    );
+    let msg = Message::PutSupportPerflow { op: OpId(1), chunk };
+    let encoded = wire::encode(&msg);
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_put_chunk", |b| b.iter(|| wire::encode(black_box(&msg))));
+    g.bench_function("decode_put_chunk", |b| {
+        b.iter(|| wire::decode(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let k = VendorKey::derive("bench");
+    let data = vec![42u8; 1024];
+    let sealed = crypto::seal(&k, 7, &data);
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("seal_1k", |b| b.iter(|| crypto::seal(&k, 7, black_box(&data))));
+    g.bench_function("open_1k", |b| b.iter(|| crypto::open(&k, black_box(&sealed)).unwrap()));
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    // Record-like content (the realistic state payload).
+    let mut blob = Vec::new();
+    for i in 0..100u32 {
+        blob.extend_from_slice(
+            format!("{{\"sip\":\"10.1.0.{}\",\"svc\":\"http\",\"pkts\":{}}}", i % 256, i).as_bytes(),
+        );
+        blob.extend_from_slice(&[0u8; 60]);
+    }
+    let compressed = compress::compress(&blob);
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(blob.len() as u64));
+    g.bench_function("compress_state", |b| b.iter(|| compress::compress(black_box(&blob))));
+    g.bench_function("decompress_state", |b| {
+        b.iter(|| compress::decompress(black_box(&compressed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut table = FlowTable::new();
+    for i in 0..128u32 {
+        table.install(
+            FlowRule::new(
+                HeaderFieldList::from_src_subnet(IpPrefix::new(
+                    Ipv4Addr::from(0x0a000000 + (i << 8)),
+                    24,
+                )),
+                5,
+                SdnAction::Forward(NodeId(i)),
+            )
+            .from_port(NodeId(999)),
+        );
+    }
+    let k = key(5 << 8);
+    c.bench_function("flowtable_lookup_128_rules", |b| {
+        b.iter(|| table.lookup(black_box(&k), NodeId(999)))
+    });
+}
+
+fn bench_middlebox_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("middlebox");
+    g.bench_function("monitor_process_packet", |b| {
+        let mut m = Monitor::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            let pkt = Packet::new(u64::from(i), key(i % 1000), vec![0u8; 120]);
+            let mut fx = Effects::normal();
+            m.process_packet(SimTime(u64::from(i)), &pkt, &mut fx);
+            i += 1;
+            black_box(fx.take_output())
+        })
+    });
+    g.bench_function("ips_process_http_packet", |b| {
+        let mut ips = Ips::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            let pkt = Packet::new(
+                u64::from(i),
+                key(i % 1000),
+                b"GET /x.html HTTP/1.1\r\n".to_vec(),
+            );
+            let mut fx = Effects::normal();
+            ips.process_packet(SimTime(u64::from(i)), &pkt, &mut fx);
+            i += 1;
+            black_box(fx.take_output())
+        })
+    });
+    g.bench_function("re_encode_redundant_packet", |b| {
+        let mut enc = ReEncoder::new(1 << 20);
+        let payload: Vec<u8> =
+            b"HTTP/1.1 200 OK lorem ipsum dolor sit amet ".iter().copied().cycle().take(1200).collect();
+        // Warm the cache so encoding finds matches.
+        let mut fx = Effects::normal();
+        enc.process_packet(SimTime(0), &Packet::new(0, key(1), payload.clone()), &mut fx);
+        let mut i = 1u64;
+        b.iter(|| {
+            let mut fx = Effects::normal();
+            enc.process_packet(SimTime(i), &Packet::new(i, key(1), payload.clone()), &mut fx);
+            i += 1;
+            black_box(fx.take_output())
+        })
+    });
+    g.finish();
+}
+
+fn bench_southbound_get_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("southbound");
+    g.sample_size(20);
+    g.bench_function("monitor_get_500_chunks", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Monitor::new();
+                let mut fx = Effects::normal();
+                for i in 0..500u32 {
+                    m.process_packet(
+                        SimTime(u64::from(i)),
+                        &Packet::new(u64::from(i), key(i), vec![0u8; 120]),
+                        &mut fx,
+                    );
+                }
+                m
+            },
+            |mut m| {
+                black_box(
+                    m.get_report_perflow(OpId(1), &HeaderFieldList::any()).unwrap().len(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("monitor_put_500_chunks", |b| {
+        let mut src = Monitor::new();
+        let mut fx = Effects::normal();
+        for i in 0..500u32 {
+            src.process_packet(
+                SimTime(u64::from(i)),
+                &Packet::new(u64::from(i), key(i), vec![0u8; 120]),
+                &mut fx,
+            );
+        }
+        let chunks = src.get_report_perflow(OpId(1), &HeaderFieldList::any()).unwrap();
+        b.iter_batched(
+            Monitor::new,
+            |mut dst| {
+                for c in &chunks {
+                    dst.put_report_perflow(c.clone()).unwrap();
+                }
+                black_box(dst.perflow_entries())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_wire_codec,
+    bench_crypto,
+    bench_compress,
+    bench_flow_table,
+    bench_middlebox_paths,
+    bench_southbound_get_put
+);
+criterion_main!(micro);

@@ -1,0 +1,7 @@
+//! Benchmark support crate. The benchmarks live in `benches/`:
+//!
+//! * `micro` — hot-path microbenchmarks (wire codec, cipher, compressor,
+//!   RE encode/decode, flow-table lookup, southbound get/put).
+//! * `experiments` — one Criterion benchmark per paper table/figure,
+//!   each running the corresponding harness experiment at reduced scale
+//!   (the full-scale numbers come from `openmb-harness --bin repro`).

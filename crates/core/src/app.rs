@@ -1,0 +1,173 @@
+//! Control applications and the API they program against.
+//!
+//! A control application (§6) orchestrates middlebox state operations
+//! *in tandem with* network forwarding changes. In the paper it runs on
+//! top of both the MB controller (our [`ControllerCore`]) and the SDN
+//! controller (our [`Topology`] + flow-mod dispatch); [`Api`] exposes
+//! both sides plus timers, so an application can express sequences like
+//! "move state, and only once the move completes, update routing"
+//! (requirement R4).
+
+use openmb_openflow::Topology;
+use openmb_simnet::{SimDuration, SimTime};
+use openmb_types::sdn::SdnMessage;
+use openmb_types::wire::EventFilter;
+use openmb_types::{ConfigValue, HeaderFieldList, HierarchicalKey, MbId, NodeId, OpId};
+
+use crate::controller::{Action, Completion, ControllerCore};
+
+/// A scenario-specific control application hosted on the controller.
+pub trait ControlApp {
+    /// Called once when the controller starts.
+    fn on_start(&mut self, _api: &mut Api<'_>) {}
+    /// Called for every northbound completion and subscribed MB event.
+    fn on_completion(&mut self, _api: &mut Api<'_>, _c: &Completion) {}
+    /// Called when a timer set via [`Api::set_timer`] fires.
+    fn on_timer(&mut self, _api: &mut Api<'_>, _token: u64) {}
+}
+
+/// A no-op application, for experiments that drive the controller
+/// manually.
+pub struct NullApp;
+impl ControlApp for NullApp {}
+
+/// The application-facing surface: northbound MB-state operations (§5),
+/// SDN routing updates, and timers.
+pub struct Api<'a> {
+    core: &'a mut ControllerCore,
+    topo: &'a mut Topology,
+    now: SimTime,
+    actions: &'a mut Vec<Action>,
+    sdn: &'a mut Vec<(NodeId, SdnMessage)>,
+    timers: &'a mut Vec<(SimDuration, u64)>,
+}
+
+impl<'a> Api<'a> {
+    /// Assemble an API view (used by the controller embeddings).
+    pub fn new(
+        core: &'a mut ControllerCore,
+        topo: &'a mut Topology,
+        now: SimTime,
+        actions: &'a mut Vec<Action>,
+        sdn: &'a mut Vec<(NodeId, SdnMessage)>,
+        timers: &'a mut Vec<(SimDuration, u64)>,
+    ) -> Self {
+        Api { core, topo, now, actions, sdn, timers }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    // ---- northbound API (§5) ----
+
+    /// `readConfig(SrcMB, key)`; completes with [`Completion::Config`].
+    pub fn read_config(&mut self, src: MbId, key: &str) -> OpId {
+        self.core
+            .read_config(src, HierarchicalKey::parse(key), self.now, self.actions)
+    }
+
+    /// `writeConfig(DstMB, key, values)`; completes with
+    /// [`Completion::Ack`].
+    pub fn write_config(&mut self, dst: MbId, key: &str, values: Vec<ConfigValue>) -> OpId {
+        self.core
+            .write_config(dst, HierarchicalKey::parse(key), values, self.now, self.actions)
+    }
+
+    /// Write a whole configuration previously read with
+    /// `read_config(_, "*")` — the §6 clone idiom. Returns the op of the
+    /// last write (all writes are independent).
+    pub fn write_config_all(
+        &mut self,
+        dst: MbId,
+        pairs: &[(HierarchicalKey, Vec<ConfigValue>)],
+    ) -> Option<OpId> {
+        let mut last = None;
+        for (k, v) in pairs {
+            last = Some(self.core.write_config(
+                dst,
+                k.clone(),
+                v.clone(),
+                self.now,
+                self.actions,
+            ));
+        }
+        last
+    }
+
+    /// `stats(SrcMB, key)`; completes with [`Completion::Stats`].
+    pub fn stats(&mut self, src: MbId, key: HeaderFieldList) -> OpId {
+        self.core.stats(src, key, self.now, self.actions)
+    }
+
+    /// `moveInternal(SrcMB, DstMB, key)`; completes with
+    /// [`Completion::MoveComplete`].
+    pub fn move_internal(&mut self, src: MbId, dst: MbId, key: HeaderFieldList) -> OpId {
+        self.core.move_internal(src, dst, key, self.now, self.actions)
+    }
+
+    /// `cloneSupport(SrcMB, DstMB)`; completes with
+    /// [`Completion::CloneComplete`].
+    pub fn clone_support(&mut self, src: MbId, dst: MbId) -> OpId {
+        self.core.clone_support(src, dst, self.now, self.actions)
+    }
+
+    /// `mergeInternal(SrcMB, DstMB)`; completes with
+    /// [`Completion::MergeComplete`].
+    pub fn merge_internal(&mut self, src: MbId, dst: MbId) -> OpId {
+        self.core.merge_internal(src, dst, self.now, self.actions)
+    }
+
+    /// Subscribe to introspection events from `mb` (§4.2.2).
+    pub fn enable_events(&mut self, mb: MbId, filter: EventFilter) -> OpId {
+        self.core.enable_events(mb, filter, self.now, self.actions)
+    }
+
+    /// Explicitly close a move/clone/merge transaction (see
+    /// [`ControllerCore::end_op`]).
+    pub fn end_op(&mut self, op: OpId) {
+        self.core.end_op(op, self.actions);
+    }
+
+    // ---- SDN side ----
+
+    /// The SDN controller's topology view.
+    pub fn topology(&mut self) -> &mut Topology {
+        self.topo
+    }
+
+    /// Compute a waypointed path and install flow rules along it for
+    /// `pattern` at `priority`. Returns false if no path exists.
+    /// Rule installation messages travel to the switches with normal
+    /// control-channel latency — exactly the window in which packets
+    /// still reach the old middlebox (§4.2.1).
+    pub fn route(
+        &mut self,
+        pattern: HeaderFieldList,
+        priority: u16,
+        src: NodeId,
+        waypoints: &[NodeId],
+        dst: NodeId,
+    ) -> bool {
+        let Some(path) = self.topo.waypoint_path(src, waypoints, dst) else {
+            return false;
+        };
+        for (sw, msg) in self.topo.path_flow_mods(pattern, priority, &path) {
+            self.sdn.push((sw, msg));
+        }
+        true
+    }
+
+    /// Send a raw SDN message to a switch.
+    pub fn send_sdn(&mut self, switch: NodeId, msg: SdnMessage) {
+        self.sdn.push((switch, msg));
+    }
+
+    // ---- timers ----
+
+    /// Fire [`ControlApp::on_timer`] with `token` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((delay, token));
+    }
+}

@@ -1,0 +1,716 @@
+//! The MB controller (§5): the broker between northbound control
+//! operations and the southbound protocol.
+//!
+//! [`ControllerCore`] is a pure state machine: northbound calls and
+//! southbound messages go in, [`Action`]s come out. It implements the
+//! Figure 5 choreography for `moveInternal` — issue both per-flow gets
+//! to the source, forward streamed chunks as puts to the destination,
+//! track per-put ACKs, buffer reprocess events "until the DstMB has
+//! ACK'd the put for the piece of per-flow state to which the event
+//! applies", and, after a quiescence window with no events (the routing
+//! change has taken effect), delete the moved state at the source — plus
+//! the analogous sequences for `cloneSupport` and `mergeInternal`
+//! (shared state; no delete).
+//!
+//! Keeping the core pure lets the same controller run embedded in the
+//! discrete-event simulator (`nodes::ControllerNode`) and over real TCP
+//! transports (`tcp`), exactly as the paper's Floodlight module serves
+//! both their testbed and their dummy-MB scalability rig.
+
+use std::collections::HashMap;
+
+use openmb_simnet::{SimDuration, SimTime};
+use openmb_types::wire::{Event, EventFilter, Message};
+use openmb_types::{
+    ConfigValue, FlowKey, HeaderFieldList, HierarchicalKey, MbId, OpId, Packet, StateStats,
+};
+
+/// An effect the embedding must carry out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send a protocol message to a middlebox.
+    ToMb(MbId, Message),
+    /// Deliver a completion/notification to the control application.
+    Notify(Completion),
+}
+
+/// Northbound completions and notifications delivered to control
+/// applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completion {
+    /// `readConfig` finished.
+    Config { op: OpId, pairs: Vec<(HierarchicalKey, Vec<ConfigValue>)> },
+    /// `writeConfig`/`delConfig`/`enableEvents` acknowledged.
+    Ack { op: OpId },
+    /// `stats` finished.
+    Stats { op: OpId, stats: StateStats },
+    /// `moveInternal` finished: every put has been ACKed (events may
+    /// continue to be forwarded afterwards).
+    MoveComplete { op: OpId, chunks_moved: usize },
+    /// `cloneSupport` finished.
+    CloneComplete { op: OpId },
+    /// `mergeInternal` finished.
+    MergeComplete { op: OpId },
+    /// An operation failed.
+    Failed { op: OpId, error: String },
+    /// An introspection event arrived from a middlebox the application
+    /// subscribed to.
+    MbEvent { mb: MbId, code: u32, key: FlowKey, values: Vec<(String, String)> },
+}
+
+impl Completion {
+    /// The operation this completion concludes (`None` for MbEvent).
+    pub fn op(&self) -> Option<OpId> {
+        match self {
+            Completion::Config { op, .. }
+            | Completion::Ack { op }
+            | Completion::Stats { op, .. }
+            | Completion::MoveComplete { op, .. }
+            | Completion::CloneComplete { op }
+            | Completion::MergeComplete { op }
+            | Completion::Failed { op, .. } => Some(*op),
+            Completion::MbEvent { .. } => None,
+        }
+    }
+}
+
+/// Which southbound exchange a sub-operation id belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SubRole {
+    GetSupport,
+    GetReport,
+    PutSupport { key: HeaderFieldList },
+    PutReport { key: HeaderFieldList },
+    GetSharedSupport,
+    GetSharedReport,
+    PutSharedSupport,
+    PutSharedReport,
+    DelSupport,
+    DelReport,
+    Simple,
+}
+
+/// A reprocess event parked until its chunk's put is ACKed.
+#[derive(Debug, Clone)]
+struct BufferedEvent {
+    key: FlowKey,
+    packet: Packet,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    ReadConfig,
+    WriteConfig,
+    DelConfig,
+    Stats,
+    EnableEvents,
+    Move,
+    Clone,
+    Merge,
+}
+
+/// Per-operation progress.
+struct OpState {
+    kind: OpKind,
+    src: MbId,
+    dst: MbId,
+    /// For moves: the pattern being moved.
+    pattern: HeaderFieldList,
+    /// Outstanding get streams (2 for move: support+report; 1-2 for
+    /// clone/merge).
+    gets_outstanding: u32,
+    /// Outstanding puts (sub-op ids).
+    puts_outstanding: u32,
+    /// Chunk keys whose puts have been ACKed.
+    acked_keys: Vec<HeaderFieldList>,
+    /// Chunk keys whose puts are in flight.
+    pending_keys: Vec<HeaderFieldList>,
+    /// The get sub-operations issued to the source. The source MB tags
+    /// its moved/cloned marks (and its reprocess events) with these ids,
+    /// so closing the sync window means sending EndSync for each.
+    get_subs: Vec<OpId>,
+    /// Events waiting for their chunk's put ACK.
+    buffered: Vec<BufferedEvent>,
+    /// Total chunks transferred.
+    chunks: usize,
+    /// Completion already reported?
+    completed: bool,
+    /// Virtual time of the most recent event (or completion), for the
+    /// quiescence timer.
+    last_activity: SimTime,
+    /// Quiescence already executed (del/EndSync sent)?
+    quiesced: bool,
+    /// Statistics: events forwarded under this op.
+    pub events_forwarded: u64,
+}
+
+/// Tunable controller parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// How long after the last reprocess event the controller assumes
+    /// the routing change has taken effect (paper: "a fixed amount of
+    /// time (e.g., 5 seconds)").
+    pub quiesce_after: SimDuration,
+    /// Compress state transfers between controller and MBs (§8.3).
+    /// Affects the modeled wire size of Chunk/Put messages via the
+    /// embedding; the core only records the setting.
+    pub compress_transfers: bool,
+    /// Buffer reprocess events until the matching put is ACKed (Fig 5).
+    /// Disabling this is an ABLATION ONLY: events forwarded before their
+    /// chunk's put land first and are overwritten by the put — the exact
+    /// §4.2.1 atomicity violation the design exists to prevent. The
+    /// `ablations` harness measures the resulting lost updates.
+    pub buffer_events: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            quiesce_after: SimDuration::from_millis(500),
+            compress_transfers: false,
+            buffer_events: true,
+        }
+    }
+}
+
+/// The MB controller state machine.
+pub struct ControllerCore {
+    /// Registered middleboxes (application-visible handles).
+    mbs: Vec<MbId>,
+    next_op: u64,
+    ops: HashMap<OpId, OpState>,
+    sub_ops: HashMap<OpId, (OpId, SubRole)>,
+    /// Introspection subscription per MB (controller-side record).
+    subscriptions: HashMap<MbId, EventFilter>,
+    pub config: ControllerConfig,
+    /// Counters for experiments (messages brokered, events buffered...).
+    pub messages_handled: u64,
+    pub events_buffered_peak: usize,
+}
+
+impl ControllerCore {
+    /// A controller with the given tunables.
+    pub fn new(config: ControllerConfig) -> Self {
+        ControllerCore {
+            mbs: Vec::new(),
+            next_op: 1,
+            ops: HashMap::new(),
+            sub_ops: HashMap::new(),
+            subscriptions: HashMap::new(),
+            config,
+            messages_handled: 0,
+            events_buffered_peak: 0,
+        }
+    }
+
+    /// Register a middlebox; returns its handle.
+    pub fn register_mb(&mut self) -> MbId {
+        let id = MbId(self.mbs.len() as u32);
+        self.mbs.push(id);
+        id
+    }
+
+    fn alloc_op(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    fn alloc_sub(&mut self, parent: OpId, role: SubRole) -> OpId {
+        let id = self.alloc_op();
+        self.sub_ops.insert(id, (parent, role));
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Northbound API (§5)
+    // ------------------------------------------------------------------
+
+    /// `readConfig(SrcMB, HierarchicalKey)`.
+    pub fn read_config(
+        &mut self,
+        src: MbId,
+        key: HierarchicalKey,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        self.ops.insert(op, OpState::new(OpKind::ReadConfig, src, src, now));
+        let sub = self.alloc_sub(op, SubRole::Simple);
+        out.push(Action::ToMb(src, Message::GetConfig { op: sub, key }));
+        op
+    }
+
+    /// `writeConfig(DstMB, HierarchicalKey, values)`.
+    pub fn write_config(
+        &mut self,
+        dst: MbId,
+        key: HierarchicalKey,
+        values: Vec<ConfigValue>,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        self.ops.insert(op, OpState::new(OpKind::WriteConfig, dst, dst, now));
+        let sub = self.alloc_sub(op, SubRole::Simple);
+        out.push(Action::ToMb(dst, Message::SetConfig { op: sub, key, values }));
+        op
+    }
+
+    /// `delConfig` — a composition convenience over the southbound API.
+    pub fn del_config(
+        &mut self,
+        dst: MbId,
+        key: HierarchicalKey,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        self.ops.insert(op, OpState::new(OpKind::DelConfig, dst, dst, now));
+        let sub = self.alloc_sub(op, SubRole::Simple);
+        out.push(Action::ToMb(dst, Message::DelConfig { op: sub, key }));
+        op
+    }
+
+    /// `stats(SrcMB, HeaderFieldList)`.
+    pub fn stats(
+        &mut self,
+        src: MbId,
+        key: HeaderFieldList,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        self.ops.insert(op, OpState::new(OpKind::Stats, src, src, now));
+        let sub = self.alloc_sub(op, SubRole::Simple);
+        out.push(Action::ToMb(src, Message::GetStats { op: sub, key }));
+        op
+    }
+
+    /// Subscribe the application to introspection events from `mb`.
+    pub fn enable_events(
+        &mut self,
+        mb: MbId,
+        filter: EventFilter,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        self.ops.insert(op, OpState::new(OpKind::EnableEvents, mb, mb, now));
+        self.subscriptions.insert(mb, filter.clone());
+        let sub = self.alloc_sub(op, SubRole::Simple);
+        out.push(Action::ToMb(mb, Message::EnableEvents { op: sub, filter }));
+        op
+    }
+
+    /// `moveInternal(SrcMB, DstMB, HeaderFieldList)` — Figure 5.
+    pub fn move_internal(
+        &mut self,
+        src: MbId,
+        dst: MbId,
+        key: HeaderFieldList,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        let mut st = OpState::new(OpKind::Move, src, dst, now);
+        st.pattern = key;
+        st.gets_outstanding = 2;
+        self.ops.insert(op, st);
+        let gs = self.alloc_sub(op, SubRole::GetSupport);
+        let gr = self.alloc_sub(op, SubRole::GetReport);
+        if let Some(st) = self.ops.get_mut(&op) {
+            st.get_subs.extend([gs, gr]);
+        }
+        out.push(Action::ToMb(src, Message::GetSupportPerflow { op: gs, key }));
+        out.push(Action::ToMb(src, Message::GetReportPerflow { op: gr, key }));
+        op
+    }
+
+    /// `cloneSupport(SrcMB, DstMB)` — shared supporting state only.
+    pub fn clone_support(
+        &mut self,
+        src: MbId,
+        dst: MbId,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        let mut st = OpState::new(OpKind::Clone, src, dst, now);
+        st.gets_outstanding = 1;
+        self.ops.insert(op, st);
+        let g = self.alloc_sub(op, SubRole::GetSharedSupport);
+        if let Some(st) = self.ops.get_mut(&op) {
+            st.get_subs.push(g);
+        }
+        out.push(Action::ToMb(src, Message::GetSupportShared { op: g }));
+        op
+    }
+
+    /// `mergeInternal(SrcMB, DstMB)` — shared supporting + reporting.
+    pub fn merge_internal(
+        &mut self,
+        src: MbId,
+        dst: MbId,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        let mut st = OpState::new(OpKind::Merge, src, dst, now);
+        st.gets_outstanding = 2;
+        self.ops.insert(op, st);
+        let gs = self.alloc_sub(op, SubRole::GetSharedSupport);
+        let gr = self.alloc_sub(op, SubRole::GetSharedReport);
+        if let Some(st) = self.ops.get_mut(&op) {
+            st.get_subs.extend([gs, gr]);
+        }
+        out.push(Action::ToMb(src, Message::GetSupportShared { op: gs }));
+        out.push(Action::ToMb(src, Message::GetReportShared { op: gr }));
+        op
+    }
+
+    /// Explicitly finish a move/clone/merge transaction now: send the
+    /// EndSync (and, for moves, the deletes) without waiting for the
+    /// quiescence timer. Control applications use this when *they* know
+    /// the routing transition is complete — e.g. closing an RE clone's
+    /// sync window at the instant the encoder switches caches (§6.1
+    /// step 5), where event quiescence would never occur because shared
+    /// state is updated by every packet.
+    pub fn end_op(&mut self, op: OpId, out: &mut Vec<Action>) {
+        let Some(st) = self.ops.get_mut(&op) else { return };
+        if st.quiesced {
+            return;
+        }
+        st.quiesced = true;
+        let (kind, src, pattern) = (st.kind, st.src, st.pattern);
+        let get_subs = st.get_subs.clone();
+        if kind == OpKind::Move {
+            let ds = self.alloc_sub(op, SubRole::DelSupport);
+            let dr = self.alloc_sub(op, SubRole::DelReport);
+            out.push(Action::ToMb(src, Message::DelSupportPerflow { op: ds, key: pattern }));
+            out.push(Action::ToMb(src, Message::DelReportPerflow { op: dr, key: pattern }));
+        }
+        // The source tagged its sync marks with the get sub-ops.
+        for sub in get_subs {
+            out.push(Action::ToMb(src, Message::EndSync { op: sub }));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Southbound message handling
+    // ------------------------------------------------------------------
+
+    /// Process one message arriving from middlebox `from`.
+    pub fn handle_mb_message(
+        &mut self,
+        from: MbId,
+        msg: Message,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
+        self.messages_handled += 1;
+        match msg {
+            Message::Chunk { op: sub, chunk } => {
+                let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
+                let role = role.clone();
+                let Some(st) = self.ops.get_mut(&parent) else { return };
+                st.chunks += 1;
+                st.pending_keys.push(chunk.key);
+                st.puts_outstanding += 1;
+                st.last_activity = now;
+                let dst = st.dst;
+                let (put_role, mk): (SubRole, fn(OpId, openmb_types::StateChunk) -> Message) =
+                    match role {
+                        SubRole::GetSupport => (
+                            SubRole::PutSupport { key: chunk.key },
+                            |op, chunk| Message::PutSupportPerflow { op, chunk },
+                        ),
+                        SubRole::GetReport => (
+                            SubRole::PutReport { key: chunk.key },
+                            |op, chunk| Message::PutReportPerflow { op, chunk },
+                        ),
+                        _ => return,
+                    };
+                let put_sub = self.alloc_sub(parent, put_role);
+                out.push(Action::ToMb(dst, mk(put_sub, chunk)));
+            }
+            Message::GetAck { op: sub, count: _ } => {
+                let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                if let Some(st) = self.ops.get_mut(&parent) {
+                    st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
+                    st.last_activity = now;
+                }
+                self.maybe_complete(parent, out);
+            }
+            Message::SharedChunk { op: sub, chunk } => {
+                let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
+                let role = role.clone();
+                let Some(st) = self.ops.get_mut(&parent) else { return };
+                st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
+                st.puts_outstanding += 1;
+                st.chunks += 1;
+                st.last_activity = now;
+                let dst = st.dst;
+                let (put_role, m): (SubRole, Message) = match role {
+                    SubRole::GetSharedSupport => {
+                        let put_sub = self.alloc_sub(parent, SubRole::PutSharedSupport);
+                        (SubRole::PutSharedSupport, Message::PutSupportShared { op: put_sub, chunk })
+                    }
+                    SubRole::GetSharedReport => {
+                        let put_sub = self.alloc_sub(parent, SubRole::PutSharedReport);
+                        (SubRole::PutSharedReport, Message::PutReportShared { op: put_sub, chunk })
+                    }
+                    _ => return,
+                };
+                let _ = put_role;
+                out.push(Action::ToMb(dst, m));
+            }
+            Message::PutAck { op: sub, key } => {
+                let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                if let Some(st) = self.ops.get_mut(&parent) {
+                    st.puts_outstanding = st.puts_outstanding.saturating_sub(1);
+                    st.last_activity = now;
+                    if let Some(k) = key {
+                        st.pending_keys.retain(|p| p != &k);
+                        st.acked_keys.push(k);
+                        // Release any buffered events this put unblocks.
+                        let dst = st.dst;
+                        let mut released = Vec::new();
+                        let mut kept = Vec::new();
+                        for ev in st.buffered.drain(..) {
+                            if k.matches_bidi(&ev.key) {
+                                released.push(ev);
+                            } else {
+                                kept.push(ev);
+                            }
+                        }
+                        st.buffered = kept;
+                        for ev in released {
+                            st.events_forwarded += 1;
+                            out.push(Action::ToMb(
+                                dst,
+                                Message::ReprocessPacket {
+                                    op: parent,
+                                    key: ev.key,
+                                    packet: ev.packet,
+                                },
+                            ));
+                        }
+                    }
+                }
+                self.maybe_complete(parent, out);
+            }
+            Message::OpAck { op: sub } => {
+                let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
+                let role = role.clone();
+                match role {
+                    // A shared get that found no state: nothing to put.
+                    SubRole::GetSharedSupport | SubRole::GetSharedReport => {
+                        if let Some(st) = self.ops.get_mut(&parent) {
+                            st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
+                            st.last_activity = now;
+                        }
+                        self.maybe_complete(parent, out);
+                    }
+                    SubRole::Simple => {
+                        if let Some(st) = self.ops.get_mut(&parent) {
+                            if !st.completed {
+                                st.completed = true;
+                                out.push(Action::Notify(Completion::Ack { op: parent }));
+                            }
+                        }
+                    }
+                    SubRole::DelSupport | SubRole::DelReport => {
+                        // Quiescence deletes; nothing to report.
+                    }
+                    _ => {}
+                }
+            }
+            Message::ConfigValues { op: sub, pairs } => {
+                let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                if let Some(st) = self.ops.get_mut(&parent) {
+                    st.completed = true;
+                }
+                out.push(Action::Notify(Completion::Config { op: parent, pairs }));
+            }
+            Message::Stats { op: sub, stats } => {
+                let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                if let Some(st) = self.ops.get_mut(&parent) {
+                    st.completed = true;
+                }
+                out.push(Action::Notify(Completion::Stats { op: parent, stats }));
+            }
+            Message::EventMsg { event } => match event {
+                Event::Reprocess { op: sub, key, packet } => {
+                    // The MB tags events with the *get* sub-op id.
+                    let parent = match self.sub_ops.get(&sub) {
+                        Some(&(parent, _)) => parent,
+                        // Events raised under the parent id directly
+                        // (e.g. forwarded after completion).
+                        None if self.ops.contains_key(&sub) => sub,
+                        None => return,
+                    };
+                    let Some(st) = self.ops.get_mut(&parent) else { return };
+                    st.last_activity = now;
+                    let dst = st.dst;
+                    // Buffer until the destination has ACKed the put for
+                    // the state this event applies to (Fig 5). Forwarding
+                    // the event *before* the put would let the put
+                    // overwrite the replayed update at the destination —
+                    // the §4.2.1 ordering violation. So an event is held
+                    // while (a) its chunk's put is in flight, or (b) the
+                    // get stream is still open and this key has not been
+                    // ACKed (its chunk may not have been streamed yet).
+                    let acked = st.acked_keys.iter().any(|k| k.matches_bidi(&key));
+                    let pending = st.pending_keys.iter().any(|k| k.matches_bidi(&key));
+                    let get_open = st.gets_outstanding > 0;
+                    if self.config.buffer_events && (pending || (get_open && !acked)) {
+                        st.buffered.push(BufferedEvent { key, packet });
+                        self.events_buffered_peak =
+                            self.events_buffered_peak.max(st.buffered.len());
+                    } else {
+                        st.events_forwarded += 1;
+                        out.push(Action::ToMb(
+                            dst,
+                            Message::ReprocessPacket { op: parent, key, packet },
+                        ));
+                    }
+                }
+                Event::Introspection { code, key, values } => {
+                    let pass = self
+                        .subscriptions
+                        .get(&from)
+                        .map(|f| f.accepts(code, &key))
+                        .unwrap_or(false);
+                    if pass {
+                        out.push(Action::Notify(Completion::MbEvent {
+                            mb: from,
+                            code,
+                            key,
+                            values,
+                        }));
+                    }
+                }
+            },
+            Message::ErrorMsg { op: sub, error } => {
+                let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                if let Some(st) = self.ops.get_mut(&parent) {
+                    if !st.completed {
+                        st.completed = true;
+                        out.push(Action::Notify(Completion::Failed { op: parent, error }));
+                    }
+                }
+            }
+            _ => {
+                // Controller never receives southbound requests.
+            }
+        }
+    }
+
+    fn maybe_complete(&mut self, parent: OpId, out: &mut Vec<Action>) {
+        let Some(st) = self.ops.get_mut(&parent) else { return };
+        if st.completed || st.gets_outstanding > 0 || st.puts_outstanding > 0 {
+            return;
+        }
+        st.completed = true;
+        // Flush events still buffered: every put has been ACKed, so what
+        // remains belongs to flows whose state never had a chunk (created
+        // during the window) or whose puts completed while they waited.
+        let dst = st.dst;
+        for ev in std::mem::take(&mut st.buffered) {
+            st.events_forwarded += 1;
+            out.push(Action::ToMb(
+                dst,
+                Message::ReprocessPacket { op: parent, key: ev.key, packet: ev.packet },
+            ));
+        }
+        let c = match st.kind {
+            OpKind::Move => Completion::MoveComplete { op: parent, chunks_moved: st.chunks },
+            OpKind::Clone => Completion::CloneComplete { op: parent },
+            OpKind::Merge => Completion::MergeComplete { op: parent },
+            // Simple kinds complete via their own paths.
+            _ => return,
+        };
+        out.push(Action::Notify(c));
+    }
+
+    /// Periodic quiescence check: for each completed move/clone/merge
+    /// whose event stream has been silent for `quiesce_after`, finish
+    /// the transaction — delete moved per-flow state at the source
+    /// (moves only) and close the sync window.
+    pub fn tick(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        let quiesce = self.config.quiesce_after;
+        let ready: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|(_, st)| {
+                st.completed
+                    && !st.quiesced
+                    && matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)
+                    && st.buffered.is_empty()
+                    && now.since(st.last_activity) >= quiesce
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for op in ready {
+            let (kind, src, pattern, get_subs) = {
+                let st = self.ops.get_mut(&op).expect("op exists");
+                st.quiesced = true;
+                (st.kind, st.src, st.pattern, st.get_subs.clone())
+            };
+            if kind == OpKind::Move {
+                let ds = self.alloc_sub(op, SubRole::DelSupport);
+                let dr = self.alloc_sub(op, SubRole::DelReport);
+                out.push(Action::ToMb(src, Message::DelSupportPerflow { op: ds, key: pattern }));
+                out.push(Action::ToMb(src, Message::DelReportPerflow { op: dr, key: pattern }));
+            }
+            for sub in get_subs {
+                out.push(Action::ToMb(src, Message::EndSync { op: sub }));
+            }
+        }
+    }
+
+    /// Number of operations not yet quiesced (testing).
+    pub fn open_ops(&self) -> usize {
+        self.ops
+            .values()
+            .filter(|st| {
+                !(st.quiesced
+                    || (st.completed
+                        && !matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)))
+            })
+            .count()
+    }
+
+    /// Events forwarded under an operation (experiments).
+    pub fn events_forwarded(&self, op: OpId) -> u64 {
+        self.ops.get(&op).map(|s| s.events_forwarded).unwrap_or(0)
+    }
+
+    /// Total chunks transferred under an operation (experiments).
+    pub fn chunks_moved(&self, op: OpId) -> usize {
+        self.ops.get(&op).map(|s| s.chunks).unwrap_or(0)
+    }
+}
+
+impl OpState {
+    fn new(kind: OpKind, src: MbId, dst: MbId, now: SimTime) -> Self {
+        OpState {
+            kind,
+            src,
+            dst,
+            pattern: HeaderFieldList::any(),
+            gets_outstanding: 0,
+            puts_outstanding: 0,
+            acked_keys: Vec::new(),
+            pending_keys: Vec::new(),
+            get_subs: Vec::new(),
+            buffered: Vec::new(),
+            chunks: 0,
+            completed: false,
+            last_activity: now,
+            quiesced: false,
+            events_forwarded: 0,
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # openmb-core
+//!
+//! The OpenMB MB controller (§5 of the paper) and its embeddings.
+//!
+//! * [`controller::ControllerCore`] — the pure controller state machine:
+//!   northbound operations (`readConfig`, `writeConfig`, `stats`,
+//!   `moveInternal`, `cloneSupport`, `mergeInternal`), Figure 5
+//!   choreography, per-key reprocess-event buffering, quiescence-driven
+//!   deletes.
+//! * [`app`] — the control-application trait and the [`app::Api`] that
+//!   unifies MB-state control with SDN routing updates and timers.
+//! * [`nodes`] — discrete-event-simulation embeddings: [`nodes::MbNode`]
+//!   (a middlebox with its processing-cost queue), [`nodes::ControllerNode`]
+//!   (controller + SDN routing + control app), [`nodes::Host`].
+//! * [`tcp`] — the same controller core served over real loopback TCP
+//!   with the binary wire protocol, proving the protocol is transport-
+//!   independent.
+
+pub mod app;
+pub mod controller;
+pub mod nodes;
+pub mod tcp;
+
+pub use app::{Api, ControlApp, NullApp};
+pub use controller::{Action, Completion, ControllerConfig, ControllerCore};
+pub use nodes::{ControllerCosts, ControllerNode, Host, MbNode};

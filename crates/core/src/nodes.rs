@@ -1,0 +1,786 @@
+//! Simulation embeddings: middleboxes, the controller, and hosts as
+//! discrete-event [`Node`]s.
+//!
+//! [`MbNode`] wraps a [`Middlebox`] with the processing model the
+//! evaluation measures: a single work queue with per-item service times
+//! from the MB's [`openmb_mb::CostModel`]. Data packets, southbound operations, and
+//! event replays all share the queue, and a per-flow `get` is split into
+//! batches that *interleave* with packet processing — which is why the
+//! paper sees only a ≤2 % packet-latency impact during a get (§8.2)
+//! instead of a stall, while the get itself scales linearly (Fig 9).
+//!
+//! [`ControllerNode`] embeds the [`ControllerCore`] plus the SDN
+//! topology/routing module and one control application, mirroring the
+//! paper's deployment of the MB controller as a Floodlight module.
+
+use std::collections::VecDeque;
+
+use openmb_mb::{Effects, Middlebox};
+use openmb_openflow::Topology;
+use openmb_simnet::{Ctx, Frame, Node, SimDuration, SimTime, TraceKind};
+use openmb_types::sdn::SdnMessage;
+use openmb_types::wire::Message;
+use openmb_types::{MbId, NodeId, OpId, Packet, StateChunk};
+
+use crate::app::{Api, ControlApp};
+use crate::controller::{Action, ControllerConfig, ControllerCore};
+
+const TIMER_WORK: u64 = 1;
+/// Timer tokens >= this deliver a completed background shared-state
+/// export (serialization runs off the packet path, as in Bro/SmartRE
+/// where a helper thread walks the state while the event loop keeps
+/// processing packets).
+const TIMER_SHARED_BASE: u64 = 1 << 20;
+
+/// One queued unit of middlebox work.
+enum Work {
+    /// A data packet (normal processing).
+    Packet { pkt: Packet, arrived: SimTime },
+    /// A reprocess event to replay (§4.2.1 step 3).
+    Replay { pkt: Packet },
+    /// A batch of a streaming per-flow get: send chunks `idx..idx+n`.
+    GetBatch {
+        sub: OpId,
+        chunks: Vec<StateChunk>,
+        idx: usize,
+        report: bool,
+        /// The first batch also pays the linear-scan cost.
+        first: bool,
+        /// Entries resident at scan time (for the scan cost).
+        scanned_entries: usize,
+    },
+    /// Any other southbound message, processed atomically.
+    Msg(Message),
+}
+
+/// A middlebox embedded in the simulation.
+///
+/// Generic over the concrete middlebox type so experiments can downcast
+/// (`sim.node_as::<MbNode<Monitor>>(id)`) and inspect internal state
+/// after a run.
+pub struct MbNode<M: Middlebox> {
+    /// The middlebox logic (public: experiments inspect it post-run).
+    pub logic: M,
+    /// Controller attachment (protocol messages + events go here).
+    controller: Option<NodeId>,
+    /// Where processed packets are emitted (usually the attached switch).
+    egress: Option<NodeId>,
+    queue: VecDeque<Work>,
+    busy: bool,
+    label: String,
+    /// Collected log lines (conn.log etc.), keyed by log name — the
+    /// §8.2 correctness experiments diff these.
+    pub logs: Vec<openmb_mb::LogEntry>,
+    /// Packets processed (normal, not replay).
+    pub packets_processed: u64,
+    /// Events replayed.
+    pub events_replayed: u64,
+    /// Background shared exports awaiting their serialization delay,
+    /// keyed by timer token.
+    pending_shared: std::collections::HashMap<u64, (OpId, Option<openmb_types::EncryptedChunk>, bool)>,
+    next_shared_token: u64,
+    /// Optional override of the logic's cost model (experiments use
+    /// this to, e.g., measure event generation below saturation).
+    cost_override: Option<openmb_mb::CostModel>,
+    /// Service time of the work item currently in progress.
+    current_service: SimDuration,
+    /// Accumulated busy time executing puts (ns) — Fig 9(b) measures the
+    /// destination's put-processing time, independent of how fast the
+    /// source's get stream paces chunk arrivals.
+    pub busy_put_ns: u64,
+    /// Accumulated busy time processing packets (ns).
+    pub busy_packet_ns: u64,
+}
+
+impl<M: Middlebox + 'static> MbNode<M> {
+    /// Wrap `logic`; connect it with the `with_controller`/`with_egress`
+    /// builders.
+    pub fn new(label: impl Into<String>, logic: M) -> Self {
+        MbNode {
+            logic,
+            controller: None,
+            egress: None,
+            queue: VecDeque::new(),
+            busy: false,
+            label: label.into(),
+            logs: Vec::new(),
+            packets_processed: 0,
+            events_replayed: 0,
+            pending_shared: std::collections::HashMap::new(),
+            next_shared_token: TIMER_SHARED_BASE,
+            cost_override: None,
+            current_service: SimDuration::ZERO,
+            busy_put_ns: 0,
+            busy_packet_ns: 0,
+        }
+    }
+
+    /// Set the controller node events and replies are sent to.
+    pub fn with_controller(mut self, controller: NodeId) -> Self {
+        self.controller = Some(controller);
+        self
+    }
+
+    /// Set the egress neighbor processed packets are forwarded to.
+    pub fn with_egress(mut self, egress: NodeId) -> Self {
+        self.egress = Some(egress);
+        self
+    }
+
+    /// Override the middlebox's cost model (experiments only).
+    pub fn with_costs(mut self, costs: openmb_mb::CostModel) -> Self {
+        self.cost_override = Some(costs);
+        self
+    }
+
+    /// Override the cost model on an already-built node (experiments).
+    pub fn set_cost_override(&mut self, costs: openmb_mb::CostModel) {
+        self.cost_override = Some(costs);
+    }
+
+    fn costs(&self) -> openmb_mb::CostModel {
+        self.cost_override.unwrap_or_else(|| self.logic.costs())
+    }
+
+    /// Lines of a named log, in order.
+    pub fn log_lines(&self, name: &str) -> Vec<&str> {
+        self.logs.iter().filter(|l| l.log == name).map(|l| l.line.as_str()).collect()
+    }
+
+    fn service_time(&self, w: &Work) -> SimDuration {
+        let c = self.costs();
+        match w {
+            Work::Packet { .. } | Work::Replay { .. } => c.per_packet,
+            Work::GetBatch { chunks, idx, first, scanned_entries, .. } => {
+                let n = (chunks.len() - idx).min(c.get_batch);
+                let batch = c.serialize_cost(n);
+                if *first {
+                    batch + c.scan_cost(*scanned_entries)
+                } else {
+                    batch
+                }
+            }
+            Work::Msg(m) => match m {
+                Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. } => {
+                    c.deserialize_per_chunk
+                }
+                Message::PutSupportShared { chunk, .. }
+                | Message::PutReportShared { chunk, .. } => c.shared_cost(chunk.len()),
+                Message::GetStats { .. } => c.scan_cost(self.logic.perflow_entries()),
+                Message::GetConfig { .. }
+                | Message::SetConfig { .. }
+                | Message::DelConfig { .. } => SimDuration::from_micros(100),
+                _ => SimDuration::from_micros(10),
+            },
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.busy {
+            return;
+        }
+        if let Some(front) = self.queue.front() {
+            let d = self.service_time(front);
+            self.current_service = d;
+            self.busy = true;
+            ctx.set_timer(d, TIMER_WORK);
+        }
+    }
+
+    fn emit_effects(&mut self, ctx: &mut Ctx<'_>, mut fx: Effects) {
+        if let Some(out) = fx.take_output() {
+            if let Some(egress) = self.egress {
+                ctx.send(egress, Frame::Data(out));
+            }
+        }
+        self.logs.extend(fx.take_logs());
+        for ev in fx.take_events() {
+            ctx.trace(TraceKind::EventRaised);
+            ctx.metrics.incr(&format!("{}.events_raised", self.label), 1);
+            if let Some(c) = self.controller {
+                ctx.send(c, Frame::Control(Message::EventMsg { event: ev }));
+            }
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut Ctx<'_>, w: Work) {
+        let now = ctx.now();
+        match w {
+            Work::Packet { pkt, arrived } => {
+                let mut fx = Effects::normal();
+                self.logic.process_packet(now, &pkt, &mut fx);
+                self.packets_processed += 1;
+                ctx.trace(TraceKind::PacketProcessed {
+                    pkt_id: pkt.id,
+                    http: pkt.key.dst_port == 80 || pkt.key.src_port == 80,
+                });
+                ctx.metrics
+                    .sample(&format!("{}.pkt_latency", self.label), now.since(arrived));
+                ctx.metrics.incr(&format!("{}.packets", self.label), 1);
+                self.emit_effects(ctx, fx);
+            }
+            Work::Replay { pkt } => {
+                let mut fx = Effects::replay();
+                self.logic.process_packet(now, &pkt, &mut fx);
+                self.events_replayed += 1;
+                ctx.trace(TraceKind::EventProcessed);
+                ctx.metrics.incr(&format!("{}.events_replayed", self.label), 1);
+                self.emit_effects(ctx, fx);
+            }
+            Work::GetBatch { sub, chunks, idx, report, .. } => {
+                let c = self.costs();
+                let end = (idx + c.get_batch).min(chunks.len());
+                let controller = self.controller.expect("get requires a controller");
+                for chunk in &chunks[idx..end] {
+                    ctx.send(
+                        controller,
+                        Frame::Control(Message::Chunk { op: sub, chunk: chunk.clone() }),
+                    );
+                }
+                if end < chunks.len() {
+                    // Re-queue at the back so packets interleave.
+                    self.queue.push_back(Work::GetBatch {
+                        sub,
+                        chunks,
+                        idx: end,
+                        report,
+                        first: false,
+                        scanned_entries: 0,
+                    });
+                } else {
+                    let count = chunks.len() as u32;
+                    ctx.send(controller, Frame::Control(Message::GetAck { op: sub, count }));
+                    let op_name = if report { "getReportPerflow" } else { "getSupportPerflow" };
+                    ctx.trace(TraceKind::OpEnd { op: op_name });
+                }
+            }
+            Work::Msg(msg) => self.execute_msg(ctx, msg),
+        }
+    }
+
+    fn reply(&self, ctx: &mut Ctx<'_>, msg: Message) {
+        if let Some(c) = self.controller {
+            ctx.send(c, Frame::Control(msg));
+        }
+    }
+
+    fn execute_msg(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let now = ctx.now();
+        match msg {
+            Message::PutSupportPerflow { op, chunk } => {
+                let key = chunk.key;
+                match self.logic.put_support_perflow(chunk) {
+                    Ok(()) => self.reply(ctx, Message::PutAck { op, key: Some(key) }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                }
+            }
+            Message::PutReportPerflow { op, chunk } => {
+                let key = chunk.key;
+                match self.logic.put_report_perflow(chunk) {
+                    Ok(()) => self.reply(ctx, Message::PutAck { op, key: Some(key) }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                }
+            }
+            Message::DelSupportPerflow { op, key } => {
+                match self.logic.del_support_perflow(&key) {
+                    Ok(_) => self.reply(ctx, Message::OpAck { op }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                }
+            }
+            Message::DelReportPerflow { op, key } => {
+                match self.logic.del_report_perflow(&key) {
+                    Ok(_) => self.reply(ctx, Message::OpAck { op }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                }
+            }
+            Message::PutSupportShared { op, chunk } => {
+                match self.logic.put_support_shared(chunk) {
+                    Ok(()) => self.reply(ctx, Message::PutAck { op, key: None }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                }
+            }
+            Message::PutReportShared { op, chunk } => {
+                match self.logic.put_report_shared(chunk) {
+                    Ok(()) => self.reply(ctx, Message::PutAck { op, key: None }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                }
+            }
+            Message::GetConfig { op, key } => match self.logic.get_config(&key) {
+                Ok(pairs) => self.reply(ctx, Message::ConfigValues { op, pairs }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+            },
+            Message::SetConfig { op, key, values } => {
+                match self.logic.set_config(&key, values) {
+                    Ok(()) => self.reply(ctx, Message::OpAck { op }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                }
+            }
+            Message::DelConfig { op, key } => match self.logic.del_config(&key) {
+                Ok(()) => self.reply(ctx, Message::OpAck { op }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+            },
+            Message::GetStats { op, key } => {
+                let stats = self.logic.stats(&key);
+                self.reply(ctx, Message::Stats { op, stats });
+            }
+            Message::EnableEvents { op, filter } => {
+                self.logic.set_introspection(Some(filter));
+                self.reply(ctx, Message::OpAck { op });
+            }
+            Message::DisableEvents { op } => {
+                self.logic.set_introspection(None);
+                self.reply(ctx, Message::OpAck { op });
+            }
+            Message::EndSync { op } => {
+                self.logic.end_sync(op);
+            }
+            other => {
+                panic!("MB {} received unexpected message {other:?}", self.label);
+            }
+        }
+        let _ = now;
+    }
+}
+
+impl<M: Middlebox + 'static> Node for MbNode<M> {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, frame: Frame) {
+        match frame {
+            Frame::Data(pkt) => {
+                self.queue.push_back(Work::Packet { pkt, arrived: ctx.now() });
+            }
+            Frame::Control(msg) => match msg {
+                Message::GetSupportPerflow { op, key } => {
+                    ctx.trace(TraceKind::OpStart { op: "getSupportPerflow" });
+                    let entries = self.logic.perflow_entries();
+                    match self.logic.get_support_perflow(op, &key) {
+                        Ok(chunks) => self.queue.push_back(Work::GetBatch {
+                            sub: op,
+                            chunks,
+                            idx: 0,
+                            report: false,
+                            first: true,
+                            scanned_entries: entries,
+                        }),
+                        Err(e) => {
+                            self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() })
+                        }
+                    }
+                }
+                Message::GetReportPerflow { op, key } => {
+                    ctx.trace(TraceKind::OpStart { op: "getReportPerflow" });
+                    let entries = self.logic.perflow_entries();
+                    match self.logic.get_report_perflow(op, &key) {
+                        Ok(chunks) => self.queue.push_back(Work::GetBatch {
+                            sub: op,
+                            chunks,
+                            idx: 0,
+                            report: true,
+                            first: true,
+                            scanned_entries: entries,
+                        }),
+                        Err(e) => {
+                            self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() })
+                        }
+                    }
+                }
+                Message::GetSupportShared { op } => {
+                    // Shared exports serialize on a background thread:
+                    // the result is delivered after the serialization
+                    // delay without occupying the packet path (the §8.2
+                    // RE result: exporting a 500 MB cache leaves
+                    // per-packet latency essentially unchanged).
+                    ctx.trace(TraceKind::OpStart { op: "getSupportShared" });
+                    match self.logic.get_support_shared(op) {
+                        Ok(chunk) => {
+                            let cost = self
+                                .costs()
+                                .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
+                            let token = self.next_shared_token;
+                            self.next_shared_token += 1;
+                            self.pending_shared.insert(token, (op, chunk, false));
+                            ctx.set_timer(cost, token);
+                        }
+                        Err(e) => {
+                            self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() })
+                        }
+                    }
+                }
+                Message::GetReportShared { op } => {
+                    ctx.trace(TraceKind::OpStart { op: "getReportShared" });
+                    match self.logic.get_report_shared() {
+                        Ok(chunk) => {
+                            let cost = self
+                                .costs()
+                                .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
+                            let token = self.next_shared_token;
+                            self.next_shared_token += 1;
+                            self.pending_shared.insert(token, (op, chunk, true));
+                            ctx.set_timer(cost, token);
+                        }
+                        Err(e) => {
+                            self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() })
+                        }
+                    }
+                }
+                Message::ReprocessPacket { op: _, key: _, packet } => {
+                    self.queue.push_back(Work::Replay { pkt: packet });
+                }
+                other => {
+                    if matches!(
+                        other,
+                        Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. }
+                    ) {
+                        ctx.trace(TraceKind::OpStart { op: "put" });
+                    }
+                    self.queue.push_back(Work::Msg(other));
+                }
+            },
+            Frame::Sdn(_) => panic!("SDN frame delivered to middlebox {}", self.label),
+        }
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token >= TIMER_SHARED_BASE {
+            if let Some((op, chunk, report)) = self.pending_shared.remove(&token) {
+                let op_name = if report { "getReportShared" } else { "getSupportShared" };
+                ctx.trace(TraceKind::OpEnd { op: op_name });
+                match chunk {
+                    Some(chunk) => self.reply(ctx, Message::SharedChunk { op, chunk }),
+                    None => self.reply(ctx, Message::OpAck { op }),
+                }
+            }
+            return;
+        }
+        if token != TIMER_WORK {
+            return;
+        }
+        self.busy = false;
+        if let Some(w) = self.queue.pop_front() {
+            match &w {
+                Work::Packet { .. } => self.busy_packet_ns += self.current_service.0,
+                Work::Msg(
+                    Message::PutSupportPerflow { .. }
+                    | Message::PutReportPerflow { .. }
+                    | Message::PutSupportShared { .. }
+                    | Message::PutReportShared { .. },
+                ) => self.busy_put_ns += self.current_service.0,
+                _ => {}
+            }
+            self.execute(ctx, w);
+        }
+        self.pump(ctx);
+    }
+
+    fn name(&self) -> String {
+        format!("mb:{}", self.label)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Per-message processing costs at the controller, driving the Fig 10
+/// scalability results (the paper's profile: most controller time is
+/// socket reads + synchronization per state chunk).
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerCosts {
+    /// Base handling cost per message.
+    pub per_message: SimDuration,
+    /// Extra per state chunk brokered (bookkeeping, thread handoff).
+    pub per_chunk: SimDuration,
+    /// Extra per KiB of chunk payload (the §8.3 profile: "threads are
+    /// busy reading from sockets" — byte-proportional work, which is
+    /// what state compression reduces).
+    pub per_kib: SimDuration,
+    /// Extra per event buffered/forwarded.
+    pub per_event: SimDuration,
+}
+
+impl Default for ControllerCosts {
+    fn default() -> Self {
+        ControllerCosts {
+            per_message: SimDuration::from_micros(8),
+            per_chunk: SimDuration::from_micros(10),
+            per_kib: SimDuration::from_micros(220),
+            per_event: SimDuration::from_micros(12),
+        }
+    }
+}
+
+const TIMER_CTRL_WORK: u64 = 2;
+const TIMER_QUIESCE: u64 = 3;
+/// App timer tokens are offset to avoid collisions.
+pub const APP_TIMER_BASE: u64 = 1 << 32;
+
+/// The controller node: MB controller + SDN routing module + control
+/// application (the Figure 1 stack, co-located as in the prototype).
+pub struct ControllerNode {
+    /// The controller state machine (public for post-run inspection).
+    pub core: ControllerCore,
+    /// The SDN controller's topology view.
+    pub topo: Topology,
+    app: Box<dyn ControlApp>,
+    /// mb handle -> node id of the MbNode.
+    mb_nodes: Vec<NodeId>,
+    costs: ControllerCosts,
+    /// Message work queue (controller is a single event loop).
+    queue: VecDeque<(MbId, Message)>,
+    busy: bool,
+    quiesce_timer_set: bool,
+    started: bool,
+    /// Completions delivered, with their virtual times (post-run
+    /// inspection; experiments read operation latencies from here).
+    pub completions: Vec<(SimTime, crate::controller::Completion)>,
+}
+
+impl ControllerNode {
+    /// Build a controller hosting `app`.
+    pub fn new(config: ControllerConfig, costs: ControllerCosts, app: Box<dyn ControlApp>) -> Self {
+        ControllerNode {
+            core: ControllerCore::new(config),
+            topo: Topology::new(),
+            app,
+            mb_nodes: Vec::new(),
+            costs,
+            queue: VecDeque::new(),
+            busy: false,
+            quiesce_timer_set: false,
+            started: false,
+            completions: Vec::new(),
+        }
+    }
+
+    /// Register a middlebox's sim node; returns the MB handle used in
+    /// the northbound API.
+    pub fn register_mb(&mut self, node: NodeId) -> MbId {
+        let id = self.core.register_mb();
+        self.mb_nodes.push(node);
+        id
+    }
+
+    fn node_of(&self, mb: MbId) -> NodeId {
+        self.mb_nodes[mb.0 as usize]
+    }
+
+    fn mb_of(&self, node: NodeId) -> Option<MbId> {
+        self.mb_nodes.iter().position(|n| *n == node).map(|i| MbId(i as u32))
+    }
+
+    fn dispatch_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<Action>) {
+        let mut pending_completions = Vec::new();
+        for a in actions {
+            match a {
+                Action::ToMb(mb, msg) => {
+                    let node = self.node_of(mb);
+                    ctx.send(node, Frame::Control(msg));
+                }
+                Action::Notify(c) => pending_completions.push(c),
+            }
+        }
+        for c in pending_completions {
+            self.completions.push((ctx.now(), c.clone()));
+            let mut actions = Vec::new();
+            let mut sdn = Vec::new();
+            let mut timers = Vec::new();
+            {
+                let mut api = Api::new(
+                    &mut self.core,
+                    &mut self.topo,
+                    ctx.now(),
+                    &mut actions,
+                    &mut sdn,
+                    &mut timers,
+                );
+                self.app.on_completion(&mut api, &c);
+            }
+            for (sw, msg) in sdn {
+                ctx.send(sw, Frame::Sdn(msg));
+            }
+            for (delay, token) in timers {
+                ctx.set_timer(delay, APP_TIMER_BASE + token);
+            }
+            self.dispatch_actions(ctx, actions);
+        }
+        self.arm_quiesce(ctx);
+    }
+
+    fn arm_quiesce(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.quiesce_timer_set && self.core.open_ops() > 0 {
+            self.quiesce_timer_set = true;
+            let d = SimDuration(self.core.config.quiesce_after.0 / 4 + 1);
+            ctx.set_timer(d, TIMER_QUIESCE);
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.busy {
+            return;
+        }
+        if let Some((_, msg)) = self.queue.front() {
+            let mut d = self.costs.per_message;
+            match msg {
+                Message::Chunk { chunk, .. } => {
+                    d = d + self.costs.per_chunk
+                        + SimDuration(self.costs.per_kib.0 * chunk.data.len() as u64 / 1024);
+                }
+                Message::SharedChunk { chunk, .. } => {
+                    d = d + self.costs.per_chunk
+                        + SimDuration(self.costs.per_kib.0 * chunk.len() as u64 / 1024);
+                }
+                Message::EventMsg { .. } => d = d + self.costs.per_event,
+                _ => {}
+            }
+            self.busy = true;
+            ctx.set_timer(d, TIMER_CTRL_WORK);
+        }
+    }
+
+    /// Run an app-level callback with a fresh [`Api`].
+    fn with_api<F: FnOnce(&mut dyn ControlApp, &mut Api<'_>)>(&mut self, ctx: &mut Ctx<'_>, f: F) {
+        let mut actions = Vec::new();
+        let mut sdn = Vec::new();
+        let mut timers = Vec::new();
+        {
+            let mut api = Api::new(
+                &mut self.core,
+                &mut self.topo,
+                ctx.now(),
+                &mut actions,
+                &mut sdn,
+                &mut timers,
+            );
+            f(self.app.as_mut(), &mut api);
+        }
+        for (sw, msg) in sdn {
+            ctx.send(sw, Frame::Sdn(msg));
+        }
+        for (delay, token) in timers {
+            ctx.set_timer(delay, APP_TIMER_BASE + token);
+        }
+        self.dispatch_actions(ctx, actions);
+    }
+}
+
+impl Node for ControllerNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.with_api(ctx, |app, api| app.on_start(api));
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, from: NodeId, frame: Frame) {
+        match frame {
+            Frame::Control(msg) => {
+                let mb = self.mb_of(from).unwrap_or(MbId(u32::MAX));
+                self.queue.push_back((mb, msg));
+                self.pump(ctx);
+            }
+            Frame::Sdn(SdnMessage::BarrierReply { .. }) => {
+                // Barriers are currently fire-and-forget confirmations.
+            }
+            Frame::Sdn(SdnMessage::PacketIn { packet }) => {
+                ctx.trace(TraceKind::PacketDropped { pkt_id: packet.id });
+                ctx.metrics.incr("controller.packet_in", 1);
+            }
+            Frame::Sdn(_) => {}
+            Frame::Data(_) => panic!("data packet delivered to controller"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_CTRL_WORK {
+            self.busy = false;
+            if let Some((mb, msg)) = self.queue.pop_front() {
+                let mut actions = Vec::new();
+                self.core.handle_mb_message(mb, msg, ctx.now(), &mut actions);
+                self.dispatch_actions(ctx, actions);
+            }
+            self.pump(ctx);
+        } else if token == TIMER_QUIESCE {
+            self.quiesce_timer_set = false;
+            let mut actions = Vec::new();
+            self.core.tick(ctx.now(), &mut actions);
+            self.dispatch_actions(ctx, actions);
+            self.arm_quiesce(ctx);
+        } else if token >= APP_TIMER_BASE {
+            let app_token = token - APP_TIMER_BASE;
+            self.with_api(ctx, |app, api| app.on_timer(api, app_token));
+        }
+    }
+
+    fn name(&self) -> String {
+        "controller".to_owned()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A traffic endpoint that records everything it receives, and — when
+/// configured as a source — emits self-injected packets onto its access
+/// link (so link-level effects like Split/Merge suspension apply to
+/// them).
+#[derive(Default)]
+pub struct Host {
+    /// `(arrival time, packet)` in order.
+    pub received: Vec<(SimTime, Packet)>,
+    /// Where self-injected packets are sent (the access switch).
+    forward_to: Option<NodeId>,
+    label: String,
+}
+
+impl Host {
+    pub fn new(label: impl Into<String>) -> Self {
+        Host { received: Vec::new(), forward_to: None, label: label.into() }
+    }
+
+    /// Configure as a traffic source: frames injected *at this host*
+    /// (via `Sim::inject_frame` with `target == from == host`) are sent
+    /// out over the link to `next` instead of being recorded.
+    pub fn with_forward(mut self, next: NodeId) -> Self {
+        self.forward_to = Some(next);
+        self
+    }
+
+    /// Ids of received packets.
+    pub fn received_ids(&self) -> Vec<u64> {
+        self.received.iter().map(|(_, p)| p.id).collect()
+    }
+}
+
+impl Node for Host {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, from: NodeId, frame: Frame) {
+        if let Frame::Data(pkt) = frame {
+            if from == ctx.id() {
+                if let Some(next) = self.forward_to {
+                    ctx.send(next, Frame::Data(pkt));
+                    return;
+                }
+            }
+            ctx.metrics.incr(&format!("{}.delivered", self.label), 1);
+            self.received.push((ctx.now(), pkt));
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("host:{}", self.label)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,368 @@
+//! The OpenMB protocol over real TCP.
+//!
+//! The paper's prototype connects middleboxes to the controller over
+//! sockets (§7: "The controller listens for connections from MBs and,
+//! for each MB, launches one thread for handling state operations and
+//! one thread for handling events"). This module provides the same
+//! deployment shape on `std::net` TCP with the binary wire codec:
+//!
+//! * [`serve_middlebox`] — serves any [`Middlebox`]'s southbound
+//!   protocol over a [`Transport`] (one thread per MB, like the paper).
+//! * [`TcpController`] — hosts a [`ControllerCore`], pumps all MB
+//!   transports, and exposes *blocking* northbound calls
+//!   ([`TcpController::move_internal`], ...) that wait for the matching
+//!   completion.
+//!
+//! The discrete-event simulator remains the measurement substrate; this
+//! embedding exists to demonstrate the protocol and controller logic are
+//! genuinely transport-independent (and is exercised by integration
+//! tests and the `tcp_protocol` example over loopback).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use openmb_mb::{Effects, Middlebox};
+use openmb_simnet::SimTime;
+use openmb_types::transport::Transport;
+use openmb_types::wire::Message;
+use openmb_types::{Error, MbId, OpId, Result};
+
+use crate::controller::{Action, Completion, ControllerConfig, ControllerCore};
+
+/// Serve a middlebox's southbound protocol over `transport` until the
+/// peer disconnects or `stop` is raised. `now()` supplies timestamps for
+/// packet replay.
+pub fn serve_middlebox<M: Middlebox>(
+    mb: &mut M,
+    transport: &dyn Transport,
+    stop: &AtomicBool,
+) -> Result<()> {
+    let start = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let msg = match transport.recv_timeout(Duration::from_millis(20)) {
+            Ok(Some(m)) => m,
+            Ok(None) => continue,
+            Err(_) => return Ok(()), // peer closed
+        };
+        let now = SimTime(start.elapsed().as_nanos() as u64);
+        for reply in handle_southbound(mb, msg, now) {
+            transport.send(reply)?;
+        }
+    }
+}
+
+/// Pure southbound dispatch: one request in, zero or more messages out
+/// (replies plus any events raised by replay).
+pub fn handle_southbound<M: Middlebox>(
+    mb: &mut M,
+    msg: Message,
+    now: SimTime,
+) -> Vec<Message> {
+    let mut out = Vec::new();
+    match msg {
+        Message::GetConfig { op, key } => match mb.get_config(&key) {
+            Ok(pairs) => out.push(Message::ConfigValues { op, pairs }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::SetConfig { op, key, values } => match mb.set_config(&key, values) {
+            Ok(()) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::DelConfig { op, key } => match mb.del_config(&key) {
+            Ok(()) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::GetSupportPerflow { op, key } => match mb.get_support_perflow(op, &key) {
+            Ok(chunks) => {
+                let count = chunks.len() as u32;
+                for chunk in chunks {
+                    out.push(Message::Chunk { op, chunk });
+                }
+                out.push(Message::GetAck { op, count });
+            }
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::GetReportPerflow { op, key } => match mb.get_report_perflow(op, &key) {
+            Ok(chunks) => {
+                let count = chunks.len() as u32;
+                for chunk in chunks {
+                    out.push(Message::Chunk { op, chunk });
+                }
+                out.push(Message::GetAck { op, count });
+            }
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::PutSupportPerflow { op, chunk } => {
+            let key = chunk.key;
+            match mb.put_support_perflow(chunk) {
+                Ok(()) => out.push(Message::PutAck { op, key: Some(key) }),
+                Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            }
+        }
+        Message::PutReportPerflow { op, chunk } => {
+            let key = chunk.key;
+            match mb.put_report_perflow(chunk) {
+                Ok(()) => out.push(Message::PutAck { op, key: Some(key) }),
+                Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            }
+        }
+        Message::DelSupportPerflow { op, key } => match mb.del_support_perflow(&key) {
+            Ok(_) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::DelReportPerflow { op, key } => match mb.del_report_perflow(&key) {
+            Ok(_) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::GetSupportShared { op } => match mb.get_support_shared(op) {
+            Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
+            Ok(None) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::PutSupportShared { op, chunk } => match mb.put_support_shared(chunk) {
+            Ok(()) => out.push(Message::PutAck { op, key: None }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::GetReportShared { op } => match mb.get_report_shared() {
+            Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
+            Ok(None) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::PutReportShared { op, chunk } => match mb.put_report_shared(chunk) {
+            Ok(()) => out.push(Message::PutAck { op, key: None }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+        },
+        Message::GetStats { op, key } => {
+            out.push(Message::Stats { op, stats: mb.stats(&key) });
+        }
+        Message::EnableEvents { op, filter } => {
+            mb.set_introspection(Some(filter));
+            out.push(Message::OpAck { op });
+        }
+        Message::DisableEvents { op } => {
+            mb.set_introspection(None);
+            out.push(Message::OpAck { op });
+        }
+        Message::ReprocessPacket { op: _, key: _, packet } => {
+            let mut fx = Effects::replay();
+            mb.process_packet(now, &packet, &mut fx);
+            for event in fx.take_events() {
+                out.push(Message::EventMsg { event });
+            }
+        }
+        Message::EndSync { op } => {
+            mb.end_sync(op);
+        }
+        // MB→controller messages are not requests.
+        _ => {}
+    }
+    out
+}
+
+/// A controller serving the northbound API over per-MB transports.
+pub struct TcpController {
+    inner: Arc<Inner>,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+struct Inner {
+    core: Mutex<ControllerCore>,
+    transports: Mutex<Vec<Arc<dyn Transport + Sync>>>,
+    completions_tx: Sender<Completion>,
+    completions_rx: Receiver<Completion>,
+    stop: AtomicBool,
+    start: Instant,
+}
+
+impl TcpController {
+    /// A controller with the given tunables; call
+    /// [`register_mb`](TcpController::register_mb) then
+    /// [`start`](TcpController::start).
+    pub fn new(config: ControllerConfig) -> Self {
+        let (tx, rx) = unbounded();
+        TcpController {
+            inner: Arc::new(Inner {
+                core: Mutex::new(ControllerCore::new(config)),
+                transports: Mutex::new(Vec::new()),
+                completions_tx: tx,
+                completions_rx: rx,
+                stop: AtomicBool::new(false),
+                start: Instant::now(),
+            }),
+            pump: None,
+        }
+    }
+
+    /// Register a middlebox reachable over `transport`.
+    pub fn register_mb(&self, transport: Arc<dyn Transport + Sync>) -> MbId {
+        let id = self.inner.core.lock().register_mb();
+        self.inner.transports.lock().push(transport);
+        id
+    }
+
+    /// Start the pump thread (poll transports, drive the core).
+    pub fn start(&mut self) {
+        let inner = Arc::clone(&self.inner);
+        self.pump = Some(std::thread::spawn(move || inner.pump_loop()));
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.inner.start.elapsed().as_nanos() as u64)
+    }
+
+    fn issue<F>(&self, f: F) -> OpId
+    where
+        F: FnOnce(&mut ControllerCore, SimTime, &mut Vec<Action>) -> OpId,
+    {
+        let mut actions = Vec::new();
+        let op = {
+            let mut core = self.inner.core.lock();
+            f(&mut core, self.now(), &mut actions)
+        };
+        self.inner.execute(actions);
+        op
+    }
+
+    /// Blocking `moveInternal`: returns once every put is ACKed.
+    pub fn move_internal(
+        &self,
+        src: MbId,
+        dst: MbId,
+        key: openmb_types::HeaderFieldList,
+        timeout: Duration,
+    ) -> Result<Completion> {
+        let op = self.issue(|c, now, out| c.move_internal(src, dst, key, now, out));
+        self.wait_for(op, timeout)
+    }
+
+    /// Blocking `cloneSupport`.
+    pub fn clone_support(&self, src: MbId, dst: MbId, timeout: Duration) -> Result<Completion> {
+        let op = self.issue(|c, now, out| c.clone_support(src, dst, now, out));
+        self.wait_for(op, timeout)
+    }
+
+    /// Blocking `mergeInternal`.
+    pub fn merge_internal(&self, src: MbId, dst: MbId, timeout: Duration) -> Result<Completion> {
+        let op = self.issue(|c, now, out| c.merge_internal(src, dst, now, out));
+        self.wait_for(op, timeout)
+    }
+
+    /// Blocking `readConfig`.
+    pub fn read_config(&self, src: MbId, key: &str, timeout: Duration) -> Result<Completion> {
+        let key = openmb_types::HierarchicalKey::parse(key);
+        let op = self.issue(|c, now, out| c.read_config(src, key, now, out));
+        self.wait_for(op, timeout)
+    }
+
+    /// Blocking `writeConfig`.
+    pub fn write_config(
+        &self,
+        dst: MbId,
+        key: &str,
+        values: Vec<openmb_types::ConfigValue>,
+        timeout: Duration,
+    ) -> Result<Completion> {
+        let key = openmb_types::HierarchicalKey::parse(key);
+        let op = self.issue(|c, now, out| c.write_config(dst, key, values, now, out));
+        self.wait_for(op, timeout)
+    }
+
+    /// Blocking `stats`.
+    pub fn stats(
+        &self,
+        src: MbId,
+        key: openmb_types::HeaderFieldList,
+        timeout: Duration,
+    ) -> Result<Completion> {
+        let op = self.issue(|c, now, out| c.stats(src, key, now, out));
+        self.wait_for(op, timeout)
+    }
+
+    fn wait_for(&self, op: OpId, timeout: Duration) -> Result<Completion> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remain = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| Error::OpFailed(format!("timeout waiting for {op}")))?;
+            match self.inner.completions_rx.recv_timeout(remain) {
+                Ok(c) if c.op() == Some(op) => return Ok(c),
+                Ok(_other) => continue, // completion for another op
+                Err(_) => {
+                    return Err(Error::OpFailed(format!("timeout waiting for {op}")));
+                }
+            }
+        }
+    }
+
+    /// Stop the pump thread.
+    pub fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpController {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn execute(&self, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::ToMb(mb, msg) => {
+                    let transports = self.transports.lock();
+                    if let Some(t) = transports.get(mb.0 as usize) {
+                        let _ = t.send(msg);
+                    }
+                }
+                Action::Notify(c) => {
+                    let _ = self.completions_tx.send(c);
+                }
+            }
+        }
+    }
+
+    fn pump_loop(&self) {
+        let mut last_tick = Instant::now();
+        while !self.stop.load(Ordering::Relaxed) {
+            let mut idle = true;
+            let n = self.transports.lock().len();
+            for i in 0..n {
+                let t = {
+                    let ts = self.transports.lock();
+                    Arc::clone(&ts[i])
+                };
+                while let Ok(Some(msg)) = t.try_recv() {
+                    idle = false;
+                    let now = SimTime(self.start.elapsed().as_nanos() as u64);
+                    let mut actions = Vec::new();
+                    self.core
+                        .lock()
+                        .handle_mb_message(MbId(i as u32), msg, now, &mut actions);
+                    self.execute(actions);
+                }
+            }
+            if last_tick.elapsed() > Duration::from_millis(25) {
+                last_tick = Instant::now();
+                let now = SimTime(self.start.elapsed().as_nanos() as u64);
+                let mut actions = Vec::new();
+                self.core.lock().tick(now, &mut actions);
+                self.execute(actions);
+            }
+            if idle {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Behavioral tests of the `MbNode` processing model: queueing and
+//! service times, get/packet interleaving, replay side-effect
+//! suppression, and off-path shared exports.
+
+use openmb_core::nodes::{Host, MbNode};
+use openmb_mb::Middlebox;
+use openmb_middleboxes::{Monitor, ReDecoder};
+use openmb_simnet::{Ctx, Frame, Node, Sim, SimDuration, SimTime, TraceKind};
+use openmb_types::wire::Message;
+use openmb_types::{FlowKey, HeaderFieldList, NodeId, OpId, Packet};
+use std::net::Ipv4Addr;
+
+/// Captures control messages the MB sends "to the controller".
+#[derive(Default)]
+struct CtrlProbe {
+    msgs: Vec<(SimTime, Message)>,
+}
+
+impl Node for CtrlProbe {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, frame: Frame) {
+        if let Frame::Control(m) = frame {
+            self.msgs.push((ctx.now(), m));
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn key(i: u16) -> FlowKey {
+    FlowKey::tcp(Ipv4Addr::new(10, 0, 0, (i % 250) as u8 + 1), 1000 + i, Ipv4Addr::new(192, 168, 1, 1), 80)
+}
+
+/// ctrl(0) — mb(1) — sink(2)
+fn world<M: Middlebox + 'static>(logic: M) -> (Sim, NodeId, NodeId, NodeId) {
+    let mut sim = Sim::new();
+    let ctrl = sim.add_node(Box::new(CtrlProbe::default()));
+    let mb = sim.add_node(Box::new(
+        MbNode::new("mb", logic).with_controller(ctrl).with_egress(NodeId(2)),
+    ));
+    let sink = sim.add_node(Box::new(Host::new("sink")));
+    sim.add_link(ctrl, mb, SimDuration::from_micros(10), 0);
+    sim.add_link(mb, sink, SimDuration::from_micros(10), 0);
+    (sim, ctrl, mb, sink)
+}
+
+#[test]
+fn packets_are_serviced_fifo_with_service_time() {
+    // Monitor service time = 90 µs; 3 packets arriving together leave
+    // 90 µs apart and latency grows with queue position.
+    let (mut sim, _ctrl, mb, sink) = world(Monitor::new());
+    for i in 0..3u64 {
+        sim.inject_frame(SimTime(0), NodeId(9_999_999 % 3), mb, Frame::Data(Packet::new(i + 1, key(i as u16), vec![0u8; 10])));
+    }
+    sim.run(10_000);
+    let s: &Host = sim.node_as(sink);
+    let times: Vec<u64> = s.received.iter().map(|(t, _)| t.0).collect();
+    assert_eq!(times.len(), 3);
+    assert_eq!(times[1] - times[0], 90_000, "one service time apart");
+    assert_eq!(times[2] - times[1], 90_000);
+    let lats = sim.metrics.samples("mb.pkt_latency");
+    assert_eq!(lats[0].as_nanos(), 90_000);
+    assert_eq!(lats[1].as_nanos(), 180_000, "queueing included in latency");
+}
+
+#[test]
+fn get_streams_chunks_then_acks() {
+    let mut monitor = Monitor::new();
+    let mut fx = openmb_mb::Effects::normal();
+    for i in 0..10u16 {
+        monitor.process_packet(SimTime(u64::from(i)), &Packet::new(u64::from(i), key(i), vec![0u8; 10]), &mut fx);
+    }
+    let (mut sim, ctrl, mb, _sink) = world(monitor);
+    sim.inject_frame(
+        SimTime(0),
+        ctrl,
+        mb,
+        Frame::Control(Message::GetReportPerflow { op: OpId(5), key: HeaderFieldList::any() }),
+    );
+    sim.run(100_000);
+    let probe: &CtrlProbe = sim.node_as(ctrl);
+    let chunks = probe
+        .msgs
+        .iter()
+        .filter(|(_, m)| matches!(m, Message::Chunk { op: OpId(5), .. }))
+        .count();
+    assert_eq!(chunks, 10);
+    let last = probe.msgs.last().unwrap();
+    assert!(
+        matches!(last.1, Message::GetAck { op: OpId(5), count: 10 }),
+        "GetAck terminates the stream: {:?}",
+        last.1
+    );
+    // Chunks are spaced by the serialization cost (batch = 1 for prads).
+    let chunk_times: Vec<u64> = probe
+        .msgs
+        .iter()
+        .filter(|(_, m)| matches!(m, Message::Chunk { .. }))
+        .map(|(t, _)| t.0)
+        .collect();
+    assert!(chunk_times.windows(2).all(|w| w[1] > w[0]), "streamed, not batched");
+}
+
+#[test]
+fn replay_suppresses_external_side_effects() {
+    // A reprocess event carries a packet; the replay must not forward it
+    // to the egress, but must update state.
+    let (mut sim, ctrl, mb, sink) = world(Monitor::new());
+    let pkt = Packet::new(77, key(1), vec![0u8; 10]);
+    sim.inject_frame(
+        SimTime(0),
+        ctrl,
+        mb,
+        Frame::Control(Message::ReprocessPacket { op: OpId(1), key: pkt.key, packet: pkt }),
+    );
+    sim.run(10_000);
+    let s: &Host = sim.node_as(sink);
+    assert!(s.received.is_empty(), "replayed packet must not be emitted");
+    let node: &MbNode<Monitor> = sim.node_as(mb);
+    assert_eq!(node.events_replayed, 1);
+    assert_eq!(node.logic.perflow_entries(), 1, "state still updated");
+    assert_eq!(node.logic.stat().total_packets, 0, "shared counters untouched by replay");
+    // Replay appears in the trace as EventProcessed.
+    assert!(sim
+        .metrics
+        .trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::EventProcessed)));
+}
+
+#[test]
+fn shared_export_runs_off_the_packet_path() {
+    // A decoder with a 4 MiB cache: exporting takes ~290 ms of modeled
+    // serialization, during which packets must keep flowing at normal
+    // latency.
+    let mut dec = ReDecoder::new(4 << 20);
+    let mut fx = openmb_mb::Effects::normal();
+    // Fill the cache so the export is heavy.
+    for i in 0..(2 << 10) {
+        dec.process_packet(
+            SimTime(i),
+            &Packet::new(i, key((i % 100) as u16), vec![0xAB; 1024]),
+            &mut fx,
+        );
+    }
+    let (mut sim, ctrl, mb, sink) = world(dec);
+    sim.inject_frame(
+        SimTime(0),
+        ctrl,
+        mb,
+        Frame::Control(Message::GetSupportShared { op: OpId(9) }),
+    );
+    // Packets during the export window.
+    for i in 0..50u64 {
+        sim.inject_frame(
+            SimTime(1_000_000 + i * 2_000_000),
+            NodeId(0),
+            mb,
+            Frame::Data(Packet::new(1000 + i, key((i % 20) as u16), vec![0u8; 100])),
+        );
+    }
+    sim.run(1_000_000);
+    let probe: &CtrlProbe = sim.node_as(ctrl);
+    let shared_at = probe
+        .msgs
+        .iter()
+        .find(|(_, m)| matches!(m, Message::SharedChunk { op: OpId(9), .. }))
+        .map(|(t, _)| *t)
+        .expect("shared chunk exported");
+    assert!(
+        shared_at > SimTime(100_000_000),
+        "a multi-MiB export takes its serialization time: {shared_at}"
+    );
+    let s: &Host = sim.node_as(sink);
+    assert_eq!(s.received.len(), 50, "packets flowed during the export");
+    let lats = sim.metrics.samples("mb.pkt_latency");
+    let max = lats.iter().map(|d| d.as_millis_f64()).fold(0.0f64, f64::max);
+    assert!(max < 2.0, "export must not block packets (max latency {max} ms)");
+}
+
+#[test]
+fn errors_propagate_as_error_msgs() {
+    let (mut sim, ctrl, mb, _sink) = world(Monitor::new());
+    // Monitors keep no per-flow *supporting* state: a put is an error.
+    let vendor = openmb_types::crypto::VendorKey::derive("prads");
+    let chunk = openmb_types::StateChunk::new(
+        HeaderFieldList::exact(key(1)),
+        openmb_types::EncryptedChunk::seal(&vendor, 1, b"x"),
+    );
+    sim.inject_frame(
+        SimTime(0),
+        ctrl,
+        mb,
+        Frame::Control(Message::PutSupportPerflow { op: OpId(3), chunk }),
+    );
+    sim.run(10_000);
+    let probe: &CtrlProbe = sim.node_as(ctrl);
+    assert!(probe
+        .msgs
+        .iter()
+        .any(|(_, m)| matches!(m, Message::ErrorMsg { op: OpId(3), .. })));
+}

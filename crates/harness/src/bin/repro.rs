@@ -1,0 +1,62 @@
+//! Regenerate every table and figure from the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p openmb-harness --bin repro            # everything
+//! cargo run --release -p openmb-harness --bin repro -- fig9 table3
+//! ```
+//!
+//! Experiment names: fig7 fig8 fig9 fig10 table2 table3 snapshot
+//! splitmerge correctness latency compress ablations
+
+use openmb_harness::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    println!("OpenMB evaluation reproduction (paper: Gember et al., SDMBN/OpenMB)");
+    println!("====================================================================\n");
+
+    if want("fig7") {
+        println!("{}", fig7::fig7());
+    }
+    if want("fig8") {
+        println!("{}", fig8::fig8());
+    }
+    if want("fig9") {
+        let (a, b) = fig9::fig9ab();
+        println!("{a}");
+        println!("{b}");
+        println!("{}", fig9::fig9cd(fig9::MbKind::Prads));
+        println!("{}", fig9::fig9cd(fig9::MbKind::Bro));
+    }
+    if want("fig10") {
+        println!("{}", fig10::fig10a());
+        println!("{}", fig10::fig10b());
+    }
+    if want("table2") {
+        println!("{}", table2::table2());
+    }
+    if want("table3") {
+        println!("{}", table3::table3());
+    }
+    if want("snapshot") {
+        println!("{}", snapshot::snapshot_table());
+    }
+    if want("splitmerge") {
+        println!("{}", splitmerge::splitmerge_table());
+    }
+    if want("correctness") {
+        println!("{}", correctness::correctness_table());
+    }
+    if want("latency") {
+        println!("{}", latency::latency_table());
+    }
+    if want("compress") {
+        println!("{}", compress_xp::compress_table());
+    }
+    if want("ablations") {
+        println!("{}", ablations::ablations_table());
+    }
+}

@@ -1,0 +1,133 @@
+//! Helpers shared by the experiment runners.
+
+use std::net::Ipv4Addr;
+
+use openmb_mb::{Effects, Middlebox};
+use openmb_middleboxes::{Ips, Monitor};
+use openmb_simnet::{SimTime, TraceEvent, TraceKind};
+use openmb_types::packet::tcp_flags;
+use openmb_types::{FlowKey, NodeId, Packet};
+
+/// The synthetic flow key used for preloaded state piece `i`
+/// (same scheme across monitors and IPSes so traffic generators can
+/// target them).
+pub fn preload_flow(i: usize) -> FlowKey {
+    FlowKey::tcp(
+        Ipv4Addr::new(10, 1, ((i >> 8) & 0xff) as u8, (i & 0xff) as u8),
+        10_000 + (i % 50_000) as u16,
+        Ipv4Addr::new(192, 168, 1, 1),
+        80,
+    )
+}
+
+/// A monitor holding `n` per-flow reporting records.
+pub fn preloaded_monitor(n: usize) -> Monitor {
+    let mut m = Monitor::new();
+    let mut fx = Effects::normal();
+    for i in 0..n {
+        let pkt = Packet::new(i as u64 + 1, preload_flow(i), vec![0u8; 120]);
+        m.process_packet(SimTime(i as u64), &pkt, &mut fx);
+    }
+    assert_eq!(m.perflow_entries(), n);
+    m
+}
+
+/// An IPS holding `n` open connections (SYN+handshake, no FIN).
+pub fn preloaded_ips(n: usize) -> Ips {
+    let mut ips = Ips::new();
+    let mut fx = Effects::normal();
+    for i in 0..n {
+        let key = preload_flow(i);
+        ips.process_packet(
+            SimTime(i as u64 * 2),
+            &Packet::tcp(i as u64 * 2 + 1, key, tcp_flags::SYN, Vec::new()),
+            &mut fx,
+        );
+        ips.process_packet(
+            SimTime(i as u64 * 2 + 1),
+            &Packet::tcp(
+                i as u64 * 2 + 2,
+                key.reversed(),
+                tcp_flags::SYN | tcp_flags::ACK,
+                Vec::new(),
+            ),
+            &mut fx,
+        );
+    }
+    assert_eq!(ips.perflow_entries(), n);
+    ips
+}
+
+/// Duration between the first `OpStart{op}` and the last `OpEnd{op}` for
+/// `node` in the trace, in milliseconds.
+pub fn op_duration_ms(trace: &[TraceEvent], node: NodeId, op: &str) -> Option<f64> {
+    let mut start = None;
+    let mut end = None;
+    for e in trace {
+        if e.node != node {
+            continue;
+        }
+        match &e.kind {
+            TraceKind::OpStart { op: o } if *o == op && start.is_none() => {
+                start = Some(e.time)
+            }
+            TraceKind::OpEnd { op: o } if *o == op => end = Some(e.time),
+            _ => {}
+        }
+    }
+    match (start, end) {
+        (Some(s), Some(e)) => Some(e.since(s).as_millis_f64()),
+        _ => None,
+    }
+}
+
+/// Span (first..last) of `OpStart{op}` occurrences at `node`, in ms.
+pub fn op_span_ms(trace: &[TraceEvent], node: NodeId, op: &str) -> Option<f64> {
+    let times: Vec<SimTime> = trace
+        .iter()
+        .filter(|e| e.node == node && matches!(&e.kind, TraceKind::OpStart { op: o } if *o == op))
+        .map(|e| e.time)
+        .collect();
+    match (times.first(), times.last()) {
+        (Some(f), Some(l)) => Some(l.since(*f).as_millis_f64()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preloaded_monitor_has_records() {
+        let m = preloaded_monitor(50);
+        assert_eq!(m.perflow_entries(), 50);
+    }
+
+    #[test]
+    fn preloaded_ips_has_open_conns() {
+        let ips = preloaded_ips(25);
+        assert_eq!(ips.perflow_entries(), 25);
+    }
+
+    #[test]
+    fn op_span_over_multiple_starts() {
+        let trace = vec![
+            TraceEvent { time: SimTime(1_000_000), node: NodeId(1), kind: TraceKind::OpStart { op: "put" } },
+            TraceEvent { time: SimTime(3_000_000), node: NodeId(1), kind: TraceKind::OpStart { op: "put" } },
+            TraceEvent { time: SimTime(9_000_000), node: NodeId(1), kind: TraceKind::OpStart { op: "put" } },
+        ];
+        assert_eq!(op_span_ms(&trace, NodeId(1), "put"), Some(8.0));
+        assert_eq!(op_span_ms(&trace, NodeId(1), "get"), None);
+    }
+
+    #[test]
+    fn op_duration_from_trace() {
+        let trace = vec![
+            TraceEvent { time: SimTime(1_000_000), node: NodeId(1), kind: TraceKind::OpStart { op: "get" } },
+            TraceEvent { time: SimTime(5_000_000), node: NodeId(1), kind: TraceKind::OpEnd { op: "get" } },
+        ];
+        assert_eq!(op_duration_ms(&trace, NodeId(1), "get"), Some(4.0));
+        assert_eq!(op_duration_ms(&trace, NodeId(2), "get"), None);
+    }
+}

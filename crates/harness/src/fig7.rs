@@ -1,0 +1,212 @@
+//! Figure 7: MB actions during the scale-up scenario.
+//!
+//! The paper captures "the packet processing, event raising/processing,
+//! and operation handling that occurs over a 3-second window at the
+//! original (bottom) and new (top) Prads MBs": HTTP packets are
+//! processed by the original MB until slightly after the final put
+//! completes, then shift to the new MB; re-process events are raised
+//! from soon after the get begins until slightly after it completes, and
+//! are processed by the new MB after the corresponding state was put.
+//!
+//! We regenerate the same timeline, bucketed at 100 ms.
+
+use openmb_apps::scaling::ScaleUpApp;
+use openmb_apps::migration::RouteSpec;
+use openmb_apps::scenarios::{layout, two_mb_scenario, ScenarioParams};
+use openmb_middleboxes::Monitor;
+use openmb_simnet::{Frame, SimDuration, SimTime, TraceKind};
+use openmb_types::{HeaderFieldList, NodeId, Packet};
+
+use crate::common::preload_flow;
+use crate::report::Table;
+
+/// The per-bucket activity counts of the Figure 7 timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Bucket {
+    pub old_pkts: u64,
+    pub old_events_raised: u64,
+    pub new_pkts: u64,
+    pub new_events_processed: u64,
+    pub old_ops: Vec<&'static str>,
+    pub new_ops: Vec<&'static str>,
+}
+
+/// The regenerated timeline plus the op landmarks the paper annotates.
+pub struct Fig7 {
+    pub buckets: Vec<(f64, Bucket)>,
+    pub get_start_s: Option<f64>,
+    pub get_end_s: Option<f64>,
+    pub first_put_s: Option<f64>,
+    pub last_put_s: Option<f64>,
+}
+
+/// Run the §6.2 scale-up scenario and extract the timeline.
+pub fn run(window_start_ms: u64, window_ms: u64, bucket_ms: u64) -> Fig7 {
+    use layout::*;
+    let subset = HeaderFieldList::any();
+    let app = ScaleUpApp::new(
+        MB_A_ID,
+        MB_B_ID,
+        subset,
+        SimDuration::from_millis(1000),
+        RouteSpec {
+            pattern: subset,
+            priority: 10,
+            src: SRC,
+            waypoints: vec![MB_B],
+            dst: DST,
+        },
+    );
+    let mut setup = two_mb_scenario(
+        Monitor::new(),
+        Monitor::new(),
+        Box::new(app),
+        ScenarioParams::default(),
+    );
+    // Steady HTTP traffic at ~800 pkt/s over 400 flows for 3.5 s.
+    let gap = 1_250_000u64; // 1.25 ms
+    for i in 0..2800usize {
+        let key = preload_flow(i % 400);
+        let mut pkt = Packet::new(i as u64 + 1, key, vec![0u8; 200]);
+        pkt.meta.http_request = true;
+        setup.sim.inject_frame(
+            SimTime(gap * i as u64),
+            setup.src,
+            setup.switch,
+            Frame::Data(pkt),
+        );
+    }
+    setup.sim.run(200_000_000);
+    assert!(setup.sim.is_idle());
+
+    extract(&setup.sim, setup.mb_a, setup.mb_b, window_start_ms, window_ms, bucket_ms)
+}
+
+fn extract(
+    sim: &openmb_simnet::Sim,
+    old: NodeId,
+    new: NodeId,
+    window_start_ms: u64,
+    window_ms: u64,
+    bucket_ms: u64,
+) -> Fig7 {
+    let start = SimTime(window_start_ms * 1_000_000);
+    let end = start.after(SimDuration::from_millis(window_ms));
+    let n_buckets = (window_ms / bucket_ms) as usize;
+    let mut buckets = vec![Bucket::default(); n_buckets];
+    let mut get_start = None;
+    let mut get_end = None;
+    let mut first_put = None;
+    let mut last_put = None;
+    for e in &sim.metrics.trace {
+        // Landmarks are recorded regardless of window.
+        match &e.kind {
+            TraceKind::OpStart { op } if e.node == old && op.starts_with("get") => {
+                if get_start.is_none() {
+                    get_start = Some(e.time.as_secs_f64());
+                }
+            }
+            TraceKind::OpEnd { op } if e.node == old && op.starts_with("get") => {
+                get_end = Some(e.time.as_secs_f64());
+            }
+            TraceKind::OpStart { op } if e.node == new && *op == "put" => {
+                if first_put.is_none() {
+                    first_put = Some(e.time.as_secs_f64());
+                }
+                last_put = Some(e.time.as_secs_f64());
+            }
+            _ => {}
+        }
+        if e.time < start || e.time >= end {
+            continue;
+        }
+        let idx = ((e.time.since(start).as_millis_f64()) / bucket_ms as f64) as usize;
+        let idx = idx.min(n_buckets - 1);
+        let b = &mut buckets[idx];
+        match &e.kind {
+            TraceKind::PacketProcessed { .. } if e.node == old => b.old_pkts += 1,
+            TraceKind::PacketProcessed { .. } if e.node == new => b.new_pkts += 1,
+            TraceKind::EventRaised if e.node == old => b.old_events_raised += 1,
+            TraceKind::EventProcessed if e.node == new => b.new_events_processed += 1,
+            TraceKind::OpStart { op } if e.node == old => b.old_ops.push(op),
+            TraceKind::OpStart { op } if e.node == new => b.new_ops.push(op),
+            _ => {}
+        }
+    }
+    Fig7 {
+        buckets: buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                ((window_start_ms + i as u64 * bucket_ms) as f64 / 1000.0, b)
+            })
+            .collect(),
+        get_start_s: get_start,
+        get_end_s: get_end,
+        first_put_s: first_put,
+        last_put_s: last_put,
+    }
+}
+
+/// Regenerate Figure 7 as a table.
+pub fn fig7() -> Table {
+    let r = run(500, 3000, 100);
+    let mut t = Table::new(
+        "Figure 7: MB actions during scale-up (100 ms buckets)",
+        &["t (s)", "old pkts", "old events raised", "new pkts", "new events processed"],
+    );
+    for (ts, b) in &r.buckets {
+        t.row(vec![
+            format!("{ts:.1}"),
+            b.old_pkts.to_string(),
+            b.old_events_raised.to_string(),
+            b.new_pkts.to_string(),
+            b.new_events_processed.to_string(),
+        ]);
+    }
+    if let (Some(gs), Some(ge)) = (r.get_start_s, r.get_end_s) {
+        t.note(format!("get at original MB: {gs:.3}s .. {ge:.3}s"));
+    }
+    if let (Some(fp), Some(lp)) = (r.first_put_s, r.last_put_s) {
+        t.note(format!("puts at new MB: {fp:.3}s .. {lp:.3}s"));
+    }
+    t.note("paper: old MB processes HTTP until slightly after the final put; events are raised from the get start until slightly after it completes, and processed at the new MB after the corresponding puts");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_matches_papers_narrative() {
+        let r = run(500, 3000, 100);
+        let (gs, ge) = (r.get_start_s.unwrap(), r.get_end_s.unwrap());
+        let (fp, lp) = (r.first_put_s.unwrap(), r.last_put_s.unwrap());
+        assert!(gs < ge && fp < lp);
+        assert!(fp >= gs, "puts begin after the get begins");
+        // Old MB processes packets until (slightly after) the last put;
+        // then the new MB takes over.
+        let handover = lp;
+        let old_after: u64 = r
+            .buckets
+            .iter()
+            .filter(|(t, _)| *t > handover + 0.3)
+            .map(|(_, b)| b.old_pkts)
+            .sum();
+        let new_after: u64 = r
+            .buckets
+            .iter()
+            .filter(|(t, _)| *t > handover + 0.3)
+            .map(|(_, b)| b.new_pkts)
+            .sum();
+        assert_eq!(old_after, 0, "old MB quiet after handover");
+        assert!(new_after > 0, "new MB carries the traffic after handover");
+        // Events raised during the get window, processed at the new MB.
+        let events_total: u64 = r.buckets.iter().map(|(_, b)| b.old_events_raised).sum();
+        let processed_total: u64 =
+            r.buckets.iter().map(|(_, b)| b.new_events_processed).sum();
+        assert!(events_total > 0, "events raised during the move");
+        assert!(processed_total > 0, "events processed at the new MB");
+    }
+}

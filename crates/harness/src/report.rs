@@ -1,0 +1,106 @@
+//! Table/series formatting shared by all experiment reports.
+
+use std::fmt::Write as _;
+
+/// A printable table with a caption (one per paper table/figure).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub caption: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper-vs-measured).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(caption: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            caption: caption.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.caption)?;
+        let mut header = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(header, "{:<w$}  ", c, w = widths[i]);
+        }
+        writeln!(f, "{}", header.trim_end())?;
+        writeln!(f, "{}", "-".repeat(header.trim_end().len()))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(line, "{:<w$}  ", c, w = widths[i]);
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with sensible precision.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long-column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long-column"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.5), "1234"); // round-half-to-even
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(0.0123), "0.0123");
+    }
+}

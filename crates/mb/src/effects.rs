@@ -1,0 +1,134 @@
+//! The external-side-effect channel for packet processing.
+//!
+//! §4.2.1 requires that during replay at a move/clone destination, a
+//! packet is processed "as normal to update state, except it does not
+//! perform external side-effects." Rather than trusting every middlebox
+//! implementation to remember the rule, side effects flow through this
+//! type, which silently discards them in replay mode. Events are *not*
+//! side effects and are always collected (the destination of a clone can
+//! itself be the source of another operation).
+
+use openmb_types::wire::Event;
+use openmb_types::Packet;
+
+/// One line written to a named middlebox log (e.g. Bro's `conn.log`).
+/// Log output is an *external side effect*: it is suppressed during
+/// replay, and the §8.2 correctness experiments diff these entries
+/// between unmodified and OpenMB-enabled runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Log stream name, e.g. "conn.log", "http.log", "alert".
+    pub log: String,
+    /// The formatted line.
+    pub line: String,
+}
+
+/// Side-effect collector handed to [`Middlebox::process_packet`].
+///
+/// [`Middlebox::process_packet`]: crate::Middlebox::process_packet
+#[derive(Debug, Default)]
+pub struct Effects {
+    replay: bool,
+    /// The packet to emit onward, if any (inline MBs forward, possibly
+    /// transformed; a drop decision leaves this `None`).
+    output: Option<Packet>,
+    /// Log lines produced while processing.
+    logs: Vec<LogEntry>,
+    /// Events raised while processing (reprocess + introspection).
+    pub events: Vec<Event>,
+    /// Count of side effects that were suppressed by replay mode
+    /// (atomicity property (ii) audits read this).
+    pub suppressed: u64,
+}
+
+impl Effects {
+    /// A normal-processing collector: side effects are recorded.
+    pub fn normal() -> Self {
+        Effects::default()
+    }
+
+    /// A replay collector (§4.2.1): side effects are counted but
+    /// discarded.
+    pub fn replay() -> Self {
+        Effects { replay: true, ..Effects::default() }
+    }
+
+    /// Is this a replay (side-effect-suppressing) context?
+    pub fn is_replay(&self) -> bool {
+        self.replay
+    }
+
+    /// Emit the processed packet onward (external side effect).
+    pub fn forward(&mut self, pkt: Packet) {
+        if self.replay {
+            self.suppressed += 1;
+        } else {
+            self.output = Some(pkt);
+        }
+    }
+
+    /// Write a line to a named log (external side effect).
+    pub fn log(&mut self, log: &str, line: impl Into<String>) {
+        if self.replay {
+            self.suppressed += 1;
+        } else {
+            self.logs.push(LogEntry { log: log.to_owned(), line: line.into() });
+        }
+    }
+
+    /// Raise an event (always recorded — events are control-plane
+    /// signals, not external side effects).
+    pub fn raise(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// The forwarded packet, if processing produced one.
+    pub fn take_output(&mut self) -> Option<Packet> {
+        self.output.take()
+    }
+
+    /// Drain collected log lines.
+    pub fn take_logs(&mut self) -> Vec<LogEntry> {
+        std::mem::take(&mut self.logs)
+    }
+
+    /// Drain collected events.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmb_types::{FlowKey, OpId};
+    use std::net::Ipv4Addr;
+
+    fn pkt() -> Packet {
+        let key =
+            FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
+        Packet::new(1, key, vec![0u8; 8])
+    }
+
+    #[test]
+    fn normal_mode_records_side_effects() {
+        let mut fx = Effects::normal();
+        fx.forward(pkt());
+        fx.log("conn.log", "line");
+        assert!(fx.take_output().is_some());
+        assert_eq!(fx.take_logs().len(), 1);
+        assert_eq!(fx.suppressed, 0);
+    }
+
+    #[test]
+    fn replay_mode_suppresses_side_effects_but_keeps_events() {
+        let mut fx = Effects::replay();
+        fx.forward(pkt());
+        fx.log("conn.log", "line");
+        fx.raise(Event::Reprocess { op: OpId(1), key: pkt().key, packet: pkt() });
+        assert!(fx.take_output().is_none());
+        assert!(fx.take_logs().is_empty());
+        assert_eq!(fx.suppressed, 2);
+        assert_eq!(fx.take_events().len(), 1);
+    }
+}

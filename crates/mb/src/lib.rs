@@ -1,0 +1,172 @@
+//! # openmb-mb
+//!
+//! The MB-facing ("southbound") API of OpenMB (§4 of the paper), as a
+//! Rust trait: [`Middlebox`]. A middlebox implementation provides
+//!
+//! * the thirteen state operations of §4.1 (get/set/del configuration,
+//!   get/put/del per-flow supporting & reporting state, get/put shared
+//!   supporting & reporting state),
+//! * packet processing with an explicit external-side-effect channel
+//!   ([`Effects`]), so the §4.2.1 replay rule — "processes the packet as
+//!   normal to update state, except it does not perform external
+//!   side-effects" — is enforced by construction, and
+//! * reprocess/introspection event generation, with the bookkeeping
+//!   (which state is currently moved or cloned, and under which
+//!   operation) factored into the reusable [`SyncTracker`].
+//!
+//! The division of responsibility of §3.2 is visible in the trait shape:
+//! the middlebox alone creates and mutates supporting/reporting state
+//! (inside `process_packet`), while the controller — through these
+//! methods — only *places* opaque chunks and owns configuration state.
+
+pub mod cost;
+pub mod effects;
+pub mod sync;
+
+pub use cost::CostModel;
+pub use effects::{Effects, LogEntry};
+pub use sync::SyncTracker;
+
+use openmb_simnet::SimTime;
+use openmb_types::{
+    ConfigValue, EncryptedChunk, HeaderFieldList, HierarchicalKey, OpId, Packet, Result,
+    StateChunk, StateStats,
+};
+
+/// The southbound API (§4). One instance = one running middlebox.
+///
+/// # State classes and their operations
+///
+/// | class                | get | put | del | notes |
+/// |----------------------|-----|-----|-----|-------|
+/// | configuration        | ✓   | set | ✓   | hierarchical keys, `"*"` = all |
+/// | per-flow supporting  | ✓   | ✓   | ✓   | `[HeaderFieldList : chunk]` pairs |
+/// | shared supporting    | ✓   | ✓   |     | single chunk; put onto a non-empty MB **merges** (MB-side logic) |
+/// | per-flow reporting   | ✓   | ✓   | ✓   | never cloned (double reporting) |
+/// | shared reporting     | ✓   | ✓   |     | put merges when semantics permit, else starts afresh |
+///
+/// Gets of per-flow state take the [`OpId`] of the controller operation:
+/// exported state is marked *moved* under that operation, and packets
+/// that subsequently update moved state raise `Event::Reprocess` tagged
+/// with it (§4.2.1).
+pub trait Middlebox {
+    /// A short type name ("bro", "prads", "re-decoder", ...). Instances
+    /// of the same type share a vendor key, so state chunks move between
+    /// them but are opaque to everything else.
+    fn mb_type(&self) -> &'static str;
+
+    // ---- configuration state (§4.1.1) ----
+
+    /// Read configuration at `key` (the root key returns the whole
+    /// hierarchy, flattened to `(key, values)` pairs).
+    fn get_config(
+        &self,
+        key: &HierarchicalKey,
+    ) -> Result<Vec<(HierarchicalKey, Vec<ConfigValue>)>>;
+
+    /// Create or replace the ordered values at `key`. The middlebox
+    /// validates and *applies* the change (e.g. the RE encoder reacts to
+    /// `NumCaches` by cloning its cache, §6.1).
+    fn set_config(&mut self, key: &HierarchicalKey, values: Vec<ConfigValue>) -> Result<()>;
+
+    /// Remove the configuration subtree at `key`.
+    fn del_config(&mut self, key: &HierarchicalKey) -> Result<()>;
+
+    // ---- per-flow supporting state (§4.1.2) ----
+
+    /// Export all per-flow supporting state matching `key`, marking it
+    /// as moved under `op`. Coarser-than-native keys return all matching
+    /// chunks at native granularity; finer-than-native keys are an
+    /// error.
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
+        -> Result<Vec<StateChunk>>;
+
+    /// Import one chunk of per-flow supporting state.
+    fn put_support_perflow(&mut self, chunk: StateChunk) -> Result<()>;
+
+    /// Remove per-flow supporting state matching `key` (clearing any
+    /// moved marks). Returns how many chunks were removed.
+    fn del_support_perflow(&mut self, key: &HeaderFieldList) -> Result<usize>;
+
+    // ---- shared supporting state (§4.1.2) ----
+
+    /// Export the MB's shared supporting state as a single chunk,
+    /// `None` when the MB maintains none. `op` marks the state as
+    /// cloned: until [`end_sync`](Middlebox::end_sync), packets that
+    /// update shared state raise reprocess events.
+    fn get_support_shared(&mut self, op: OpId) -> Result<Option<EncryptedChunk>>;
+
+    /// Import shared supporting state. If this MB already holds shared
+    /// state, the MB's own merge logic combines them (§4.1.2: "the MB
+    /// must implement the needed logic for merging").
+    fn put_support_shared(&mut self, chunk: EncryptedChunk) -> Result<()>;
+
+    // ---- per-flow reporting state (§4.1.3) ----
+
+    /// Export per-flow reporting state matching `key`, marked moved
+    /// under `op`.
+    fn get_report_perflow(&mut self, op: OpId, key: &HeaderFieldList)
+        -> Result<Vec<StateChunk>>;
+
+    /// Import one chunk of per-flow reporting state.
+    fn put_report_perflow(&mut self, chunk: StateChunk) -> Result<()>;
+
+    /// Remove per-flow reporting state matching `key`.
+    fn del_report_perflow(&mut self, key: &HeaderFieldList) -> Result<usize>;
+
+    // ---- shared reporting state (§4.1.3) ----
+
+    /// Export shared reporting state (never marked — shared reporting
+    /// state is moved/merged, not cloned, so no sync window exists).
+    fn get_report_shared(&mut self) -> Result<Option<EncryptedChunk>>;
+
+    /// Import shared reporting state: merge when semantics permit
+    /// (e.g. additive counters), otherwise keep the resident state and
+    /// report [`MergeNotPermitted`](openmb_types::Error::MergeNotPermitted).
+    fn put_report_shared(&mut self, chunk: EncryptedChunk) -> Result<()>;
+
+    // ---- stats (§5) ----
+
+    /// How much state matching `key` exists, by class.
+    fn stats(&self, key: &HeaderFieldList) -> StateStats;
+
+    // ---- packet processing (§3.2) ----
+
+    /// Process a packet with the MB's proprietary logic, producing
+    /// external side effects (forwarded/transformed packet, log lines)
+    /// and events through `fx`. When `fx` is in replay mode (§4.2.1),
+    /// state updates happen but side effects are suppressed. `now` is
+    /// virtual wall-clock time, used for log timestamps and timeouts.
+    fn process_packet(&mut self, now: SimTime, pkt: &Packet, fx: &mut Effects);
+
+    /// Flush end-of-run state (e.g. an IDS logs still-open connections).
+    /// Called by experiments when a trace ends; external side effects go
+    /// through `fx` as usual.
+    fn finalize(&mut self, _now: SimTime, _fx: &mut Effects) {}
+
+    // ---- introspection gating (§4.2.2) ----
+
+    /// Enable or disable introspection-event *generation*, optionally
+    /// restricted by code/key filter ("OpenMB makes it possible to
+    /// enable or disable the generation of introspection events based on
+    /// event codes and keys"). `None` disables generation entirely.
+    /// MBs with no introspection events may ignore this.
+    fn set_introspection(&mut self, _filter: Option<openmb_types::wire::EventFilter>) {}
+
+    // ---- sync-window control ----
+
+    /// Stop raising reprocess events for operation `op` (the controller
+    /// sends this when its quiescence timer concludes the routing change
+    /// has taken effect). Clears moved marks and clone flags tagged `op`.
+    fn end_sync(&mut self, op: OpId);
+
+    // ---- cost model ----
+
+    /// Processing costs used by the simulator; see [`CostModel`].
+    fn costs(&self) -> CostModel;
+
+    /// Number of pieces of per-flow state currently resident (both
+    /// classes); used to model linear-search get cost (§7 note on
+    /// wildcard matching) and by experiments.
+    fn perflow_entries(&self) -> usize;
+}

@@ -1,0 +1,478 @@
+//! A stateful firewall with a configuration-heavy rule hierarchy.
+//!
+//! The firewall primarily exercises the §4.1.1 configuration API: rules
+//! live in ordered chains (`chains/inbound`, `chains/outbound`), each
+//! rule a single configuration value with iptables-like syntax
+//! (`"allow tcp dport 80"`, `"deny any"`), plus a default policy
+//! parameter. Connection tracking (per-flow supporting state) lets
+//! replies of allowed connections through regardless of rules — and is
+//! exactly the state that must move when flows are shifted between
+//! firewall instances (R1).
+
+use std::collections::HashMap;
+
+use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_simnet::{SimDuration, SimTime};
+use openmb_types::crypto::VendorKey;
+use openmb_types::wire::{Reader, Writer};
+use openmb_types::{
+    ConfigTree, ConfigValue, EncryptedChunk, Error, FlowKey, HeaderFieldList, HierarchicalKey,
+    OpId, Packet, Proto, Result, StateChunk, StateStats,
+};
+
+/// A parsed firewall rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    pub allow: bool,
+    /// `None` = any protocol.
+    pub proto: Option<Proto>,
+    /// `None` = any destination port.
+    pub dport: Option<u16>,
+}
+
+impl Rule {
+    /// Parse `"allow tcp dport 80"` / `"deny udp"` / `"allow any"`.
+    pub fn parse(s: &str) -> Option<Rule> {
+        let mut toks = s.split_whitespace();
+        let allow = match toks.next()? {
+            "allow" => true,
+            "deny" => false,
+            _ => return None,
+        };
+        let mut proto = None;
+        let mut dport = None;
+        while let Some(t) = toks.next() {
+            match t {
+                "tcp" => proto = Some(Proto::Tcp),
+                "udp" => proto = Some(Proto::Udp),
+                "icmp" => proto = Some(Proto::Icmp),
+                "any" => {}
+                "dport" => dport = Some(toks.next()?.parse().ok()?),
+                _ => return None,
+            }
+        }
+        Some(Rule { allow, proto, dport })
+    }
+
+    fn matches(&self, key: &FlowKey) -> bool {
+        self.proto.is_none_or(|p| p == key.proto)
+            && self.dport.is_none_or(|p| p == key.dst_port)
+    }
+}
+
+/// A connection-tracking entry (per-flow supporting state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnTrack {
+    pub key: FlowKey,
+    pub packets: u64,
+    pub last_ns: u64,
+}
+
+impl ConnTrack {
+    fn serialize(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.ip(self.key.src_ip);
+        w.ip(self.key.dst_ip);
+        w.u16(self.key.src_port);
+        w.u16(self.key.dst_port);
+        w.u8(self.key.proto.number());
+        w.u64(self.packets);
+        w.u64(self.last_ns);
+        w.into_bytes()
+    }
+
+    fn deserialize(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let src_ip = r.ip()?;
+        let dst_ip = r.ip()?;
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let proto = Proto::from_number(r.u8()?)
+            .ok_or_else(|| Error::MalformedChunk("bad proto in conntrack".into()))?;
+        Ok(ConnTrack {
+            key: FlowKey { src_ip, dst_ip, src_port, dst_port, proto },
+            packets: r.u64()?,
+            last_ns: r.u64()?,
+        })
+    }
+}
+
+/// The firewall middlebox.
+#[derive(Clone)]
+pub struct Firewall {
+    config: ConfigTree,
+    conntrack: HashMap<FlowKey, ConnTrack>,
+    sync: SyncTracker,
+    vendor: VendorKey,
+    nonce: u64,
+    /// Packets allowed / denied (shared reporting counters).
+    pub allowed: u64,
+    pub denied: u64,
+}
+
+impl Default for Firewall {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Firewall {
+    /// A firewall allowing HTTP/HTTPS/DNS and denying everything else.
+    pub fn new() -> Self {
+        let mut config = ConfigTree::new();
+        config.set(
+            &HierarchicalKey::parse("chains/inbound"),
+            vec![
+                "allow tcp dport 80".into(),
+                "allow tcp dport 443".into(),
+                "allow udp dport 53".into(),
+            ],
+        );
+        config.set(
+            &HierarchicalKey::parse("params/default_policy"),
+            vec![ConfigValue::Str("deny".into())],
+        );
+        Firewall {
+            config,
+            conntrack: HashMap::new(),
+            sync: SyncTracker::new(),
+            vendor: VendorKey::derive("firewall"),
+            nonce: 1,
+            allowed: 0,
+            denied: 0,
+        }
+    }
+
+    fn rules(&self) -> Vec<Rule> {
+        self.config
+            .get_leaf(&HierarchicalKey::parse("chains/inbound"))
+            .map(|vs| {
+                vs.iter()
+                    .filter_map(|v| v.as_str())
+                    .filter_map(Rule::parse)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn default_allow(&self) -> bool {
+        self.config
+            .get_leaf(&HierarchicalKey::parse("params/default_policy"))
+            .and_then(|v| v.first().and_then(|c| c.as_str().map(str::to_owned)))
+            .as_deref()
+            == Some("allow")
+    }
+
+    fn decide(&self, key: &FlowKey) -> bool {
+        for rule in self.rules() {
+            if rule.matches(key) {
+                return rule.allow;
+            }
+        }
+        self.default_allow()
+    }
+
+    /// Conntrack entries sorted by key (tests/experiments).
+    pub fn conntrack_sorted(&self) -> Vec<ConnTrack> {
+        let mut v: Vec<ConnTrack> = self.conntrack.values().cloned().collect();
+        v.sort_by_key(|c| c.key);
+        v
+    }
+}
+
+impl Middlebox for Firewall {
+    fn mb_type(&self) -> &'static str {
+        "firewall"
+    }
+
+    fn get_config(
+        &self,
+        key: &HierarchicalKey,
+    ) -> Result<Vec<(HierarchicalKey, Vec<ConfigValue>)>> {
+        if key.is_root() {
+            return Ok(self.config.flatten());
+        }
+        match self.config.get(key) {
+            Some(v) => Ok(vec![(key.clone(), v)]),
+            None => Err(Error::NoSuchConfigKey(key.to_string())),
+        }
+    }
+
+    fn set_config(&mut self, key: &HierarchicalKey, values: Vec<ConfigValue>) -> Result<()> {
+        // Rule chains are validated value-by-value: a single malformed
+        // rule rejects the whole set (ordered sets are atomic units).
+        if key.segments().first().map(String::as_str) == Some("chains") {
+            for v in &values {
+                let ok = v.as_str().map(Rule::parse).unwrap_or(None).is_some();
+                if !ok {
+                    return Err(Error::InvalidConfigValue {
+                        key: key.to_string(),
+                        reason: format!("unparseable rule: {v}"),
+                    });
+                }
+            }
+        }
+        self.config.set(key, values);
+        Ok(())
+    }
+
+    fn del_config(&mut self, key: &HierarchicalKey) -> Result<()> {
+        if self.config.del(key) {
+            Ok(())
+        } else {
+            Err(Error::NoSuchConfigKey(key.to_string()))
+        }
+    }
+
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
+        -> Result<Vec<StateChunk>> {
+        let matching: Vec<FlowKey> = self
+            .conntrack
+            .keys()
+            .filter(|k| key.matches_bidi(k))
+            .copied()
+            .collect();
+        let mut out = Vec::with_capacity(matching.len());
+        for fk in matching {
+            let c = self.conntrack[&fk].clone();
+            let n = self.nonce;
+            self.nonce += 1;
+            let sealed = EncryptedChunk::seal(&self.vendor, n, &c.serialize());
+            self.sync.mark_moved(fk, op);
+            out.push(StateChunk::new(HeaderFieldList::exact(fk), sealed));
+        }
+        self.sync.mark_move_pattern(op, *key);
+        Ok(out)
+    }
+
+    fn put_support_perflow(&mut self, chunk: StateChunk) -> Result<()> {
+        let plain = chunk.data.open(&self.vendor)?;
+        let c = ConnTrack::deserialize(&plain)?;
+        let key = c.key.canonical();
+        self.sync.clear_flow(&key);
+        self.conntrack.insert(key, c);
+        Ok(())
+    }
+
+    fn del_support_perflow(&mut self, key: &HeaderFieldList) -> Result<usize> {
+        let victims: Vec<FlowKey> = self
+            .conntrack
+            .keys()
+            .filter(|k| key.matches_bidi(k))
+            .copied()
+            .collect();
+        for k in &victims {
+            self.conntrack.remove(k);
+            self.sync.clear_flow(k);
+        }
+        Ok(victims.len())
+    }
+
+    fn get_support_shared(&mut self, _op: OpId) -> Result<Option<EncryptedChunk>> {
+        Ok(None)
+    }
+
+    fn put_support_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
+        Err(Error::UnsupportedStateClass("shared supporting"))
+    }
+
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
+        -> Result<Vec<StateChunk>> {
+        Ok(Vec::new())
+    }
+
+    fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
+        Err(Error::UnsupportedStateClass("per-flow reporting"))
+    }
+
+    fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
+        Ok(0)
+    }
+
+    fn get_report_shared(&mut self) -> Result<Option<EncryptedChunk>> {
+        let mut w = Writer::new();
+        w.u64(self.allowed);
+        w.u64(self.denied);
+        let bytes = w.into_bytes();
+        let n = self.nonce;
+        self.nonce += 1;
+        Ok(Some(EncryptedChunk::seal(&self.vendor, n, &bytes)))
+    }
+
+    fn put_report_shared(&mut self, chunk: EncryptedChunk) -> Result<()> {
+        let plain = chunk.open(&self.vendor)?;
+        let mut r = Reader::new(&plain);
+        self.allowed += r.u64()?;
+        self.denied += r.u64()?;
+        Ok(())
+    }
+
+    fn stats(&self, key: &HeaderFieldList) -> StateStats {
+        let mut s = StateStats::default();
+        for (k, c) in &self.conntrack {
+            if key.matches_bidi(k) {
+                s.perflow_support_chunks += 1;
+                s.perflow_support_bytes += c.serialize().len() + 16;
+            }
+        }
+        s.shared_report_bytes = 16 + 16;
+        s
+    }
+
+    fn process_packet(&mut self, now: SimTime, pkt: &Packet, fx: &mut Effects) {
+        let key = pkt.key.canonical();
+        // Established connections pass without re-evaluating rules.
+        if let Some(c) = self.conntrack.get_mut(&key) {
+            c.packets += 1;
+            c.last_ns = now.0;
+            if !fx.is_replay() {
+                self.allowed += 1;
+            }
+            self.sync.on_perflow_update(key, pkt, fx);
+            fx.forward(pkt.clone());
+            return;
+        }
+        if self.decide(&pkt.key) {
+            if !fx.is_replay() {
+                self.allowed += 1;
+            }
+            self.conntrack
+                .insert(key, ConnTrack { key, packets: 1, last_ns: now.0 });
+            self.sync.on_perflow_update(key, pkt, fx);
+            fx.forward(pkt.clone());
+        } else {
+            if !fx.is_replay() {
+                self.denied += 1;
+            }
+            fx.log("firewall.log", format!("{} deny {}", now.0, pkt.key));
+        }
+    }
+
+    fn end_sync(&mut self, op: OpId) {
+        self.sync.end_sync(op);
+    }
+
+    fn costs(&self) -> CostModel {
+        CostModel {
+            per_packet: SimDuration::from_micros(10),
+            ..CostModel::default()
+        }
+    }
+
+    fn perflow_entries(&self) -> usize {
+        self.conntrack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn pkt(id: u64, dport: u16, proto: Proto) -> Packet {
+        let key = FlowKey {
+            src_ip: ip(99, 0, 0, 1),
+            dst_ip: ip(10, 0, 0, 1),
+            src_port: 5000,
+            dst_port: dport,
+            proto,
+        };
+        Packet::new(id, key, vec![0u8; 4])
+    }
+
+    #[test]
+    fn rule_parsing() {
+        assert_eq!(
+            Rule::parse("allow tcp dport 80"),
+            Some(Rule { allow: true, proto: Some(Proto::Tcp), dport: Some(80) })
+        );
+        assert_eq!(
+            Rule::parse("deny any"),
+            Some(Rule { allow: false, proto: None, dport: None })
+        );
+        assert!(Rule::parse("frobnicate").is_none());
+        assert!(Rule::parse("allow tcp dport notaport").is_none());
+    }
+
+    #[test]
+    fn default_deny_blocks_unlisted_ports() {
+        let mut fw = Firewall::new();
+        let mut fx = Effects::normal();
+        fw.process_packet(SimTime(0), &pkt(1, 80, Proto::Tcp), &mut fx);
+        assert!(fx.take_output().is_some());
+        fw.process_packet(SimTime(1), &pkt(2, 23, Proto::Tcp), &mut fx);
+        assert!(fx.take_output().is_none());
+        assert_eq!(fw.allowed, 1);
+        assert_eq!(fw.denied, 1);
+        let logs = fx.take_logs();
+        assert!(logs.iter().any(|l| l.log == "firewall.log"));
+    }
+
+    #[test]
+    fn conntrack_allows_reply_direction() {
+        let mut fw = Firewall::new();
+        let mut fx = Effects::normal();
+        let fwd = pkt(1, 80, Proto::Tcp);
+        fw.process_packet(SimTime(0), &fwd, &mut fx);
+        assert!(fx.take_output().is_some());
+        // Reply: dst_port 5000 matches no allow rule, but the canonical
+        // conntrack entry lets it through.
+        let reply = Packet::new(2, fwd.key.reversed(), vec![0u8; 4]);
+        fw.process_packet(SimTime(1), &reply, &mut fx);
+        assert!(fx.take_output().is_some(), "reply must pass via conntrack");
+    }
+
+    #[test]
+    fn rule_update_changes_decisions() {
+        let mut fw = Firewall::new();
+        fw.set_config(
+            &HierarchicalKey::parse("chains/inbound"),
+            vec!["deny tcp dport 80".into(), "allow any".into()],
+        )
+        .unwrap();
+        let mut fx = Effects::normal();
+        fw.process_packet(SimTime(0), &pkt(1, 80, Proto::Tcp), &mut fx);
+        assert!(fx.take_output().is_none(), "first matching rule wins");
+        fw.process_packet(SimTime(1), &pkt(2, 9999, Proto::Udp), &mut fx);
+        assert!(fx.take_output().is_some());
+    }
+
+    #[test]
+    fn malformed_rule_rejected_atomically() {
+        let mut fw = Firewall::new();
+        let err = fw.set_config(
+            &HierarchicalKey::parse("chains/inbound"),
+            vec!["allow tcp dport 80".into(), "gibberish".into()],
+        );
+        assert!(matches!(err, Err(Error::InvalidConfigValue { .. })));
+        // Original chain intact.
+        assert_eq!(
+            fw.get_config(&HierarchicalKey::parse("chains/inbound")).unwrap()[0].1.len(),
+            3
+        );
+    }
+
+    #[test]
+    fn conntrack_moves_between_instances() {
+        let mut a = Firewall::new();
+        let mut b = Firewall::new();
+        let mut fx = Effects::normal();
+        let fwd = pkt(1, 80, Proto::Tcp);
+        a.process_packet(SimTime(0), &fwd, &mut fx);
+        let chunks = a.get_support_perflow(OpId(1), &HeaderFieldList::any()).unwrap();
+        assert_eq!(chunks.len(), 1);
+        for c in chunks {
+            b.put_support_perflow(c).unwrap();
+        }
+        // b, whose rules would deny the reply direction, passes it via
+        // the migrated conntrack entry.
+        let reply = Packet::new(2, fwd.key.reversed(), vec![0u8; 4]);
+        let mut fx2 = Effects::normal();
+        b.process_packet(SimTime(1), &reply, &mut fx2);
+        assert!(fx2.take_output().is_some());
+    }
+}

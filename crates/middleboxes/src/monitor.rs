@@ -1,0 +1,626 @@
+//! A passive asset/service monitor — the PRADS [10] stand-in.
+//!
+//! §7 of the paper: "PRADS maintains a connection object for each flow as
+//! well as a `prads_stat` object that is shared across all flows." We
+//! reproduce that structure: per-flow **reporting** state
+//! ([`AssetRecord`], one per connection, detected service + OS guess +
+//! packet/byte counters) and shared **reporting** state ([`MonitorStat`],
+//! whole-MB counters merged additively on consolidation: "we add the
+//! counter values stored in the `prads_stat` structure provided in the
+//! put call to the counter values ... already residing at the PRADS
+//! instance").
+//!
+//! Configuration state: `service_rules/<name>` (port → service label)
+//! and `params/os_fingerprints` toggles, exercising the hierarchical
+//! config API.
+
+use std::collections::HashMap;
+
+use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_simnet::SimTime;
+use openmb_types::crypto::VendorKey;
+use openmb_types::wire::{Event, Reader, Writer};
+use openmb_types::{
+    ConfigTree, ConfigValue, EncryptedChunk, Error, FlowKey, HeaderFieldList, HierarchicalKey,
+    OpId, Packet, Proto, Result, StateChunk, StateStats,
+};
+
+/// Introspection event code: a new asset (flow endpoint + service) was
+/// detected (§4.2.2: "points in internal MB logic where information is
+/// written to a log file are likely places for triggering events").
+pub const EVENT_ASSET_DETECTED: u32 = 101;
+
+/// Per-flow reporting record (the `connection` object of PRADS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssetRecord {
+    pub key: FlowKey,
+    pub first_seen_ns: u64,
+    pub last_seen_ns: u64,
+    pub packets: u64,
+    pub bytes: u64,
+    /// Identified service ("http", "dns", "unknown", ...).
+    pub service: String,
+    /// Crude OS guess derived from header heuristics.
+    pub os_guess: String,
+    /// HTTP request count (service-specific detail).
+    pub http_requests: u64,
+}
+
+impl AssetRecord {
+    fn serialize(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.ip(self.key.src_ip);
+        w.ip(self.key.dst_ip);
+        w.u16(self.key.src_port);
+        w.u16(self.key.dst_port);
+        w.u8(self.key.proto.number());
+        w.u64(self.first_seen_ns);
+        w.u64(self.last_seen_ns);
+        w.u64(self.packets);
+        w.u64(self.bytes);
+        w.str(&self.service);
+        w.str(&self.os_guess);
+        w.u64(self.http_requests);
+        w.into_bytes()
+    }
+
+    fn deserialize(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let src_ip = r.ip()?;
+        let dst_ip = r.ip()?;
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let proto = Proto::from_number(r.u8()?)
+            .ok_or_else(|| Error::MalformedChunk("bad proto in asset record".into()))?;
+        Ok(AssetRecord {
+            key: FlowKey { src_ip, dst_ip, src_port, dst_port, proto },
+            first_seen_ns: r.u64()?,
+            last_seen_ns: r.u64()?,
+            packets: r.u64()?,
+            bytes: r.u64()?,
+            service: r.str()?,
+            os_guess: r.str()?,
+            http_requests: r.u64()?,
+        })
+    }
+}
+
+/// Shared reporting state (the `prads_stat` struct).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorStat {
+    pub total_packets: u64,
+    pub total_bytes: u64,
+    pub tcp_packets: u64,
+    pub udp_packets: u64,
+    pub icmp_packets: u64,
+    pub http_requests: u64,
+    pub flows_seen: u64,
+}
+
+impl MonitorStat {
+    /// Additive merge (§7: counters are summed on consolidation).
+    pub fn merge(&mut self, other: &MonitorStat) {
+        self.total_packets += other.total_packets;
+        self.total_bytes += other.total_bytes;
+        self.tcp_packets += other.tcp_packets;
+        self.udp_packets += other.udp_packets;
+        self.icmp_packets += other.icmp_packets;
+        self.http_requests += other.http_requests;
+        self.flows_seen += other.flows_seen;
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        for v in [
+            self.total_packets,
+            self.total_bytes,
+            self.tcp_packets,
+            self.udp_packets,
+            self.icmp_packets,
+            self.http_requests,
+            self.flows_seen,
+        ] {
+            w.u64(v);
+        }
+        w.into_bytes()
+    }
+
+    fn deserialize(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        Ok(MonitorStat {
+            total_packets: r.u64()?,
+            total_bytes: r.u64()?,
+            tcp_packets: r.u64()?,
+            udp_packets: r.u64()?,
+            icmp_packets: r.u64()?,
+            http_requests: r.u64()?,
+            flows_seen: r.u64()?,
+        })
+    }
+}
+
+/// The monitor middlebox.
+#[derive(Clone)]
+pub struct Monitor {
+    config: ConfigTree,
+    /// Per-flow reporting state, keyed canonically (bidirectional).
+    assets: HashMap<FlowKey, AssetRecord>,
+    stat: MonitorStat,
+    sync: SyncTracker,
+    vendor: VendorKey,
+    nonce: u64,
+    /// Introspection-event generation gate (None = disabled).
+    pub introspection: Option<openmb_types::wire::EventFilter>,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Monitor {
+    /// A monitor with the default service-rule configuration.
+    pub fn new() -> Self {
+        let mut config = ConfigTree::new();
+        config.set(
+            &HierarchicalKey::parse("service_rules/http"),
+            vec![ConfigValue::Int(80), ConfigValue::Int(8080)],
+        );
+        config.set(&HierarchicalKey::parse("service_rules/https"), vec![ConfigValue::Int(443)]);
+        config.set(&HierarchicalKey::parse("service_rules/dns"), vec![ConfigValue::Int(53)]);
+        config.set(&HierarchicalKey::parse("service_rules/ssh"), vec![ConfigValue::Int(22)]);
+        config.set(
+            &HierarchicalKey::parse("params/os_fingerprinting"),
+            vec![ConfigValue::Bool(true)],
+        );
+        Monitor {
+            config,
+            assets: HashMap::new(),
+            stat: MonitorStat::default(),
+            sync: SyncTracker::new(),
+            vendor: VendorKey::derive("prads"),
+            nonce: 1,
+            introspection: None,
+        }
+    }
+
+    fn classify(&self, key: &FlowKey) -> String {
+        for name in self.config.subkeys(&HierarchicalKey::parse("service_rules")) {
+            let k = HierarchicalKey::parse("service_rules").child(&name);
+            if let Some(vals) = self.config.get_leaf(&k) {
+                for v in vals {
+                    if let Some(port) = v.as_int() {
+                        if i64::from(key.dst_port) == port || i64::from(key.src_port) == port {
+                            return name;
+                        }
+                    }
+                }
+            }
+        }
+        "unknown".to_owned()
+    }
+
+    fn os_fingerprint(&self, pkt: &Packet) -> String {
+        let enabled = self
+            .config
+            .get_leaf(&HierarchicalKey::parse("params/os_fingerprinting"))
+            .and_then(|v| v.first().cloned())
+            .and_then(|v| v.as_int())
+            .unwrap_or(0)
+            != 0;
+        if !enabled {
+            return String::new();
+        }
+        // Deterministic heuristic stand-in for p0f-style matching.
+        match pkt.key.src_ip.octets()[3] % 3 {
+            0 => "Linux".to_owned(),
+            1 => "Windows".to_owned(),
+            _ => "BSD".to_owned(),
+        }
+    }
+
+    fn seal(&mut self, bytes: &[u8]) -> EncryptedChunk {
+        let n = self.nonce;
+        self.nonce += 1;
+        EncryptedChunk::seal(&self.vendor, n, bytes)
+    }
+
+    fn export_matching(
+        &mut self,
+        op: OpId,
+        key: &HeaderFieldList,
+    ) -> Result<Vec<StateChunk>> {
+        // Native granularity is the full (canonical) 5-tuple, so any
+        // pattern is valid (coarser or equal).
+        let matching: Vec<FlowKey> = self
+            .assets
+            .keys()
+            .filter(|k| key.matches_bidi(k))
+            .copied()
+            .collect();
+        let mut out = Vec::with_capacity(matching.len());
+        for fk in matching {
+            let rec = self.assets[&fk].clone();
+            let sealed = self.seal(&rec.serialize());
+            self.sync.mark_moved(fk, op);
+            out.push(StateChunk::new(HeaderFieldList::exact(fk), sealed));
+        }
+        self.sync.mark_move_pattern(op, *key);
+        Ok(out)
+    }
+
+    /// Read the shared counters (experiments compare these across runs).
+    pub fn stat(&self) -> &MonitorStat {
+        &self.stat
+    }
+
+    /// Number of reprocess events this MB has raised (experiments).
+    pub fn events_raised(&self) -> u64 {
+        self.sync.events_raised
+    }
+
+    /// All asset records, sorted by flow key (experiments).
+    pub fn assets_sorted(&self) -> Vec<AssetRecord> {
+        let mut v: Vec<AssetRecord> = self.assets.values().cloned().collect();
+        v.sort_by_key(|r| r.key);
+        v
+    }
+}
+
+impl Middlebox for Monitor {
+    fn mb_type(&self) -> &'static str {
+        "prads"
+    }
+
+    fn get_config(
+        &self,
+        key: &HierarchicalKey,
+    ) -> Result<Vec<(HierarchicalKey, Vec<ConfigValue>)>> {
+        if key.is_root() {
+            return Ok(self.config.flatten());
+        }
+        match self.config.get(key) {
+            Some(v) => Ok(vec![(key.clone(), v)]),
+            None => Err(Error::NoSuchConfigKey(key.to_string())),
+        }
+    }
+
+    fn set_config(&mut self, key: &HierarchicalKey, values: Vec<ConfigValue>) -> Result<()> {
+        if key.is_root() {
+            return Err(Error::InvalidConfigValue {
+                key: key.to_string(),
+                reason: "cannot set the root key; set individual keys".into(),
+            });
+        }
+        self.config.set(key, values);
+        Ok(())
+    }
+
+    fn del_config(&mut self, key: &HierarchicalKey) -> Result<()> {
+        if self.config.del(key) {
+            Ok(())
+        } else {
+            Err(Error::NoSuchConfigKey(key.to_string()))
+        }
+    }
+
+    // The monitor keeps no supporting state: its records exist purely to
+    // report observations (§3.1's Reporting role).
+    fn get_support_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
+        -> Result<Vec<StateChunk>> {
+        Ok(Vec::new())
+    }
+
+    fn put_support_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
+        Err(Error::UnsupportedStateClass("per-flow supporting"))
+    }
+
+    fn del_support_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
+        Ok(0)
+    }
+
+    fn get_support_shared(&mut self, _op: OpId) -> Result<Option<EncryptedChunk>> {
+        Ok(None)
+    }
+
+    fn put_support_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
+        Err(Error::UnsupportedStateClass("shared supporting"))
+    }
+
+    fn get_report_perflow(&mut self, op: OpId, key: &HeaderFieldList)
+        -> Result<Vec<StateChunk>> {
+        self.export_matching(op, key)
+    }
+
+    fn put_report_perflow(&mut self, chunk: StateChunk) -> Result<()> {
+        let plain = chunk.data.open(&self.vendor)?;
+        let rec = AssetRecord::deserialize(&plain)?;
+        let key = rec.key.canonical();
+        // Re-imported state is live again at this MB: clear any stale
+        // moved mark (a move back after a failed scale-down).
+        self.sync.clear_flow(&key);
+        self.assets.insert(key, rec);
+        Ok(())
+    }
+
+    fn del_report_perflow(&mut self, key: &HeaderFieldList) -> Result<usize> {
+        let victims: Vec<FlowKey> = self
+            .assets
+            .keys()
+            .filter(|k| key.matches_bidi(k))
+            .copied()
+            .collect();
+        for k in &victims {
+            self.assets.remove(k);
+            self.sync.clear_flow(k);
+        }
+        Ok(victims.len())
+    }
+
+    fn get_report_shared(&mut self) -> Result<Option<EncryptedChunk>> {
+        let bytes = self.stat.serialize();
+        Ok(Some(self.seal(&bytes)))
+    }
+
+    fn put_report_shared(&mut self, chunk: EncryptedChunk) -> Result<()> {
+        let plain = chunk.open(&self.vendor)?;
+        let other = MonitorStat::deserialize(&plain)?;
+        self.stat.merge(&other);
+        Ok(())
+    }
+
+    fn stats(&self, key: &HeaderFieldList) -> StateStats {
+        let mut s = StateStats::default();
+        for (k, rec) in &self.assets {
+            if key.matches_bidi(k) {
+                s.perflow_report_chunks += 1;
+                s.perflow_report_bytes += rec.serialize().len() + 16;
+            }
+        }
+        s.shared_report_bytes = self.stat.serialize().len() + 16;
+        s
+    }
+
+    fn process_packet(&mut self, now: SimTime, pkt: &Packet, fx: &mut Effects) {
+        let key = pkt.key.canonical();
+        let is_new = !self.assets.contains_key(&key);
+        let service = self.classify(&pkt.key);
+        let os = self.os_fingerprint(pkt);
+        let rec = self.assets.entry(key).or_insert_with(|| AssetRecord {
+            key,
+            first_seen_ns: now.0,
+            last_seen_ns: now.0,
+            packets: 0,
+            bytes: 0,
+            service: service.clone(),
+            os_guess: os,
+            http_requests: 0,
+        });
+        rec.last_seen_ns = now.0;
+        rec.packets += 1;
+        rec.bytes += pkt.wire_len() as u64;
+        if pkt.meta.http_request {
+            rec.http_requests += 1;
+        }
+
+        // Shared counters. Shared reporting state is never cloned or
+        // replayed (§4.1.3: double reporting): a replayed packet was
+        // already counted at the source, whose counters remain there (or
+        // arrive via merge); only the *moved* per-flow record needs the
+        // update.
+        if !fx.is_replay() {
+            self.stat.total_packets += 1;
+            self.stat.total_bytes += pkt.wire_len() as u64;
+            match pkt.key.proto {
+                Proto::Tcp => self.stat.tcp_packets += 1,
+                Proto::Udp => self.stat.udp_packets += 1,
+                Proto::Icmp => self.stat.icmp_packets += 1,
+            }
+            if pkt.meta.http_request {
+                self.stat.http_requests += 1;
+            }
+        }
+        if is_new && !fx.is_replay() {
+            self.stat.flows_seen += 1;
+            fx.log("prads.log", format!("asset {key} service={service}"));
+            let gate = self
+                .introspection
+                .as_ref()
+                .is_some_and(|f| f.accepts(EVENT_ASSET_DETECTED, &key));
+            if gate {
+                fx.raise(Event::Introspection {
+                    code: EVENT_ASSET_DETECTED,
+                    key,
+                    values: vec![("service".into(), service)],
+                });
+            }
+        }
+
+        // Reprocess events: this packet updated per-flow reporting state
+        // (and the shared stat — but PRADS consolidation moves shared
+        // reporting state only at scale-down, never cloning it, so only
+        // per-flow marks matter here).
+        self.sync.on_perflow_update(key, pkt, fx);
+
+        // Passive monitor: forward the packet unmodified.
+        fx.forward(pkt.clone());
+    }
+
+    fn set_introspection(&mut self, filter: Option<openmb_types::wire::EventFilter>) {
+        self.introspection = filter;
+    }
+
+    fn end_sync(&mut self, op: OpId) {
+        self.sync.end_sync(op);
+    }
+
+    fn costs(&self) -> CostModel {
+        CostModel::prads_like()
+    }
+
+    fn perflow_entries(&self) -> usize {
+        self.assets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn http_pkt(id: u64, src_last: u8) -> Packet {
+        let key = FlowKey::tcp(ip(10, 0, 0, src_last), 40000 + u16::from(src_last), ip(192, 168, 1, 1), 80);
+        let mut p = Packet::new(id, key, b"GET / HTTP/1.1".to_vec());
+        p.meta.http_request = true;
+        p
+    }
+
+    #[test]
+    fn records_and_counters_update() {
+        let mut m = Monitor::new();
+        let mut fx = Effects::normal();
+        m.process_packet(SimTime(0), &http_pkt(1, 1), &mut fx);
+        m.process_packet(SimTime(10), &http_pkt(2, 1), &mut fx);
+        m.process_packet(SimTime(20), &http_pkt(3, 2), &mut fx);
+        assert_eq!(m.perflow_entries(), 2);
+        assert_eq!(m.stat().total_packets, 3);
+        assert_eq!(m.stat().flows_seen, 2);
+        assert_eq!(m.stat().http_requests, 3);
+        let recs = m.assets_sorted();
+        assert_eq!(recs[0].service, "http");
+    }
+
+    #[test]
+    fn bidirectional_packets_hit_same_record() {
+        let mut m = Monitor::new();
+        let mut fx = Effects::normal();
+        let p = http_pkt(1, 1);
+        let mut rev = p.clone();
+        rev.key = p.key.reversed();
+        m.process_packet(SimTime(0), &p, &mut fx);
+        m.process_packet(SimTime(1), &rev, &mut fx);
+        assert_eq!(m.perflow_entries(), 1);
+        assert_eq!(m.assets_sorted()[0].packets, 2);
+    }
+
+    #[test]
+    fn move_roundtrip_preserves_records() {
+        let mut src = Monitor::new();
+        let mut dst = Monitor::new();
+        let mut fx = Effects::normal();
+        for i in 0..5 {
+            src.process_packet(SimTime(i), &http_pkt(i, i as u8 + 1), &mut fx);
+        }
+        let chunks = src
+            .get_report_perflow(OpId(1), &HeaderFieldList::any())
+            .unwrap();
+        assert_eq!(chunks.len(), 5);
+        for c in chunks {
+            dst.put_report_perflow(c).unwrap();
+        }
+        assert_eq!(src.assets_sorted(), dst.assets_sorted());
+        let n = src.del_report_perflow(&HeaderFieldList::any()).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(src.perflow_entries(), 0);
+    }
+
+    #[test]
+    fn moved_state_raises_reprocess_event() {
+        let mut m = Monitor::new();
+        let mut fx = Effects::normal();
+        m.process_packet(SimTime(0), &http_pkt(1, 1), &mut fx);
+        let _ = m.get_report_perflow(OpId(9), &HeaderFieldList::any()).unwrap();
+        let mut fx2 = Effects::normal();
+        m.process_packet(SimTime(1), &http_pkt(2, 1), &mut fx2);
+        let events = fx2.take_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], Event::Reprocess { op: OpId(9), .. }));
+        m.end_sync(OpId(9));
+        let mut fx3 = Effects::normal();
+        m.process_packet(SimTime(2), &http_pkt(3, 1), &mut fx3);
+        assert!(fx3.take_events().is_empty());
+    }
+
+    #[test]
+    fn shared_report_merges_additively() {
+        let mut a = Monitor::new();
+        let mut b = Monitor::new();
+        let mut fx = Effects::normal();
+        a.process_packet(SimTime(0), &http_pkt(1, 1), &mut fx);
+        a.process_packet(SimTime(1), &http_pkt(2, 1), &mut fx);
+        b.process_packet(SimTime(2), &http_pkt(3, 9), &mut fx);
+        let chunk = a.get_report_shared().unwrap().unwrap();
+        b.put_report_shared(chunk).unwrap();
+        assert_eq!(b.stat().total_packets, 3);
+        assert_eq!(b.stat().flows_seen, 2);
+    }
+
+    #[test]
+    fn config_clone_via_wildcard() {
+        let mut a = Monitor::new();
+        a.set_config(
+            &HierarchicalKey::parse("service_rules/gopher"),
+            vec![ConfigValue::Int(70)],
+        )
+        .unwrap();
+        let values = a.get_config(&HierarchicalKey::parse("*")).unwrap();
+        let mut b = Monitor::new();
+        b.del_config(&HierarchicalKey::parse("service_rules")).unwrap();
+        for (k, v) in values {
+            b.set_config(&k, v).unwrap();
+        }
+        assert_eq!(
+            b.get_config(&HierarchicalKey::parse("service_rules/gopher")).unwrap(),
+            a.get_config(&HierarchicalKey::parse("service_rules/gopher")).unwrap()
+        );
+    }
+
+    #[test]
+    fn foreign_chunks_rejected() {
+        let mut m = Monitor::new();
+        let other = VendorKey::derive("bro");
+        let key = FlowKey::tcp(ip(1, 1, 1, 1), 1, ip(2, 2, 2, 2), 80);
+        let chunk = StateChunk::new(
+            HeaderFieldList::exact(key),
+            EncryptedChunk::seal(&other, 0, b"not ours"),
+        );
+        assert!(matches!(m.put_report_perflow(chunk), Err(Error::MalformedChunk(_))));
+    }
+
+    #[test]
+    fn introspection_event_on_new_asset() {
+        let mut m = Monitor::new();
+        m.introspection = Some(openmb_types::wire::EventFilter::all());
+        let mut fx = Effects::normal();
+        m.process_packet(SimTime(0), &http_pkt(1, 1), &mut fx);
+        let evs = fx.take_events();
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            Event::Introspection { code: EVENT_ASSET_DETECTED, .. }
+        )));
+    }
+
+    #[test]
+    fn stats_report_matching_state() {
+        let mut m = Monitor::new();
+        let mut fx = Effects::normal();
+        for i in 0..4 {
+            m.process_packet(SimTime(i), &http_pkt(i, i as u8 + 1), &mut fx);
+        }
+        let s = m.stats(&HeaderFieldList::any());
+        assert_eq!(s.perflow_report_chunks, 4);
+        assert!(s.perflow_report_bytes > 0);
+        assert!(s.shared_report_bytes > 0);
+        // Narrow key matches fewer.
+        let narrow = HeaderFieldList::from_src_subnet(openmb_types::IpPrefix::new(
+            ip(10, 0, 0, 1),
+            32,
+        ));
+        assert_eq!(m.stats(&narrow).perflow_report_chunks, 1);
+    }
+}

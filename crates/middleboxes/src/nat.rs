@@ -1,0 +1,625 @@
+//! A network address/port translator.
+//!
+//! The NAT exists for the failure-recovery scenario of §2 (R6): its
+//! address/port mappings are the canonical example of *critical* state —
+//! "keep (and move upon failure) a minimal live snapshot of only critical
+//! state (e.g. IP address and port mappings from a NAT), with
+//! non-critical state (e.g. mapping timeouts) set to default values when
+//! a failed MB instance is replaced" — and mapping creation/expiry are
+//! the canonical introspection events (§4.2: "a control application may
+//! be interested in knowing when a NAT has created a new IP address/port
+//! mapping").
+//!
+//! State classes: per-flow supporting (one [`NatMapping`] per internal
+//! flow), shared supporting (the external-port allocator), no reporting
+//! state beyond counters embedded in mappings.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_simnet::{SimDuration, SimTime};
+use openmb_types::crypto::VendorKey;
+use openmb_types::wire::{Event, Reader, Writer};
+use openmb_types::{
+    ConfigTree, ConfigValue, EncryptedChunk, Error, FlowKey, HeaderFieldList, HierarchicalKey,
+    OpId, Packet, Proto, Result, StateChunk, StateStats,
+};
+
+/// Introspection event: a new mapping was created. Values carry the
+/// external port assigned.
+pub const EVENT_MAPPING_CREATED: u32 = 201;
+/// Introspection event: a mapping expired from inactivity.
+pub const EVENT_MAPPING_EXPIRED: u32 = 202;
+
+/// One address/port translation entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NatMapping {
+    /// The internal flow (private source).
+    pub internal: FlowKey,
+    /// The external port this flow is translated to.
+    pub external_port: u16,
+    /// Critical state ends here; the rest is non-critical and may be
+    /// reset to defaults on failover (§2).
+    pub last_used_ns: u64,
+    pub packets: u64,
+}
+
+impl NatMapping {
+    fn serialize(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.ip(self.internal.src_ip);
+        w.ip(self.internal.dst_ip);
+        w.u16(self.internal.src_port);
+        w.u16(self.internal.dst_port);
+        w.u8(self.internal.proto.number());
+        w.u16(self.external_port);
+        w.u64(self.last_used_ns);
+        w.u64(self.packets);
+        w.into_bytes()
+    }
+
+    fn deserialize(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let src_ip = r.ip()?;
+        let dst_ip = r.ip()?;
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let proto = Proto::from_number(r.u8()?)
+            .ok_or_else(|| Error::MalformedChunk("bad proto in mapping".into()))?;
+        Ok(NatMapping {
+            internal: FlowKey { src_ip, dst_ip, src_port, dst_port, proto },
+            external_port: r.u16()?,
+            last_used_ns: r.u64()?,
+            packets: r.u64()?,
+        })
+    }
+}
+
+/// Parse "src_ip:src_port>dst_ip:dst_port" (TCP assumed).
+fn parse_mapping_spec(s: &str) -> Option<FlowKey> {
+    let (src, dst) = s.split_once('>')?;
+    let (sip, sport) = src.split_once(':')?;
+    let (dip, dport) = dst.split_once(':')?;
+    Some(FlowKey::tcp(sip.parse().ok()?, sport.parse().ok()?, dip.parse().ok()?, dport.parse().ok()?))
+}
+
+/// The NAT middlebox.
+#[derive(Clone)]
+pub struct Nat {
+    config: ConfigTree,
+    /// internal flow → mapping.
+    mappings: HashMap<FlowKey, NatMapping>,
+    /// external port → internal flow (reverse path).
+    by_port: HashMap<u16, FlowKey>,
+    /// Shared supporting state: the port allocator cursor.
+    next_port: u16,
+    sync: SyncTracker,
+    vendor: VendorKey,
+    nonce: u64,
+    /// Introspection-event generation gate (None = disabled).
+    pub introspection: Option<openmb_types::wire::EventFilter>,
+    /// Packets dropped for lack of a reverse mapping.
+    pub dropped_unknown: u64,
+}
+
+impl Nat {
+    /// A NAT translating to `external_ip`, allocating ports from 20000.
+    pub fn new(external_ip: Ipv4Addr) -> Self {
+        let mut config = ConfigTree::new();
+        config.set(
+            &HierarchicalKey::parse("external_ip"),
+            vec![ConfigValue::Str(external_ip.to_string())],
+        );
+        config.set(&HierarchicalKey::parse("port_range/start"), vec![ConfigValue::Int(20000)]);
+        config.set(&HierarchicalKey::parse("port_range/end"), vec![ConfigValue::Int(60000)]);
+        config.set(
+            &HierarchicalKey::parse("mapping_timeout_ms"),
+            vec![ConfigValue::Int(30_000)],
+        );
+        Nat {
+            config,
+            mappings: HashMap::new(),
+            by_port: HashMap::new(),
+            next_port: 20000,
+            sync: SyncTracker::new(),
+            vendor: VendorKey::derive("nat"),
+            nonce: 1,
+            introspection: None,
+            dropped_unknown: 0,
+        }
+    }
+
+    fn external_ip(&self) -> Ipv4Addr {
+        self.config
+            .get_leaf(&HierarchicalKey::parse("external_ip"))
+            .and_then(|v| v.first().and_then(|c| c.as_str().map(str::to_owned)))
+            .and_then(|s| s.parse().ok())
+            .expect("external_ip always configured")
+    }
+
+    fn timeout(&self) -> SimDuration {
+        let ms = self
+            .config
+            .get_leaf(&HierarchicalKey::parse("mapping_timeout_ms"))
+            .and_then(|v| v.first().and_then(ConfigValue::as_int))
+            .unwrap_or(30_000);
+        SimDuration::from_millis(ms.max(1) as u64)
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let (start, end) = (
+            self.config
+                .get_leaf(&HierarchicalKey::parse("port_range/start"))
+                .and_then(|v| v.first().and_then(ConfigValue::as_int))
+                .unwrap_or(20000) as u16,
+            self.config
+                .get_leaf(&HierarchicalKey::parse("port_range/end"))
+                .and_then(|v| v.first().and_then(ConfigValue::as_int))
+                .unwrap_or(60000) as u16,
+        );
+        for _ in 0..=(end - start) {
+            let p = self.next_port;
+            self.next_port = if self.next_port >= end { start } else { self.next_port + 1 };
+            if !self.by_port.contains_key(&p) {
+                return p;
+            }
+        }
+        panic!("NAT port pool exhausted");
+    }
+
+    /// Expire idle mappings (called per packet, like a real NAT's timer
+    /// wheel would on packet-driven ticks).
+    fn expire(&mut self, now: SimTime, fx: &mut Effects) {
+        let cutoff = now.0.saturating_sub(self.timeout().as_nanos());
+        let expired: Vec<FlowKey> = self
+            .mappings
+            .values()
+            .filter(|m| m.last_used_ns < cutoff)
+            .map(|m| m.internal)
+            .collect();
+        for key in expired {
+            if let Some(m) = self.mappings.remove(&key) {
+                self.by_port.remove(&m.external_port);
+                self.sync.clear_flow(&key);
+                let gate = self
+                    .introspection
+                    .as_ref()
+                    .is_some_and(|f| f.accepts(EVENT_MAPPING_EXPIRED, &key));
+                if gate {
+                    fx.raise(Event::Introspection {
+                        code: EVENT_MAPPING_EXPIRED,
+                        key,
+                        values: vec![("external_port".into(), m.external_port.to_string())],
+                    });
+                }
+            }
+        }
+    }
+
+    /// Format a mapping spec string for `static_mappings` config writes.
+    pub fn mapping_spec(internal: &FlowKey) -> String {
+        format!(
+            "{}:{}>{}:{}",
+            internal.src_ip, internal.src_port, internal.dst_ip, internal.dst_port
+        )
+    }
+
+    /// Resident mappings, sorted (tests/experiments).
+    pub fn mappings_sorted(&self) -> Vec<NatMapping> {
+        let mut v: Vec<NatMapping> = self.mappings.values().cloned().collect();
+        v.sort_by_key(|m| m.internal);
+        v
+    }
+}
+
+impl Middlebox for Nat {
+    fn mb_type(&self) -> &'static str {
+        "nat"
+    }
+
+    fn get_config(
+        &self,
+        key: &HierarchicalKey,
+    ) -> Result<Vec<(HierarchicalKey, Vec<ConfigValue>)>> {
+        if key.is_root() {
+            return Ok(self.config.flatten());
+        }
+        match self.config.get(key) {
+            Some(v) => Ok(vec![(key.clone(), v)]),
+            None => Err(Error::NoSuchConfigKey(key.to_string())),
+        }
+    }
+
+    fn set_config(&mut self, key: &HierarchicalKey, values: Vec<ConfigValue>) -> Result<()> {
+        // Static mappings: `static_mappings/<ext_port>` with value
+        // "src_ip:src_port>dst_ip:dst_port". Written by the failure-
+        // recovery application to restore critical state on a
+        // replacement instance (§2: "a minimal live snapshot of only
+        // critical state ... with non-critical state set to default
+        // values when a failed MB instance is replaced").
+        if key.segments().first().map(String::as_str) == Some("static_mappings") {
+            let ext_port: u16 = key
+                .segments()
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| Error::InvalidConfigValue {
+                    key: key.to_string(),
+                    reason: "static_mappings key must be static_mappings/<port>".into(),
+                })?;
+            let spec = values
+                .first()
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| Error::InvalidConfigValue {
+                    key: key.to_string(),
+                    reason: "static mapping value must be a string".into(),
+                })?;
+            let internal = parse_mapping_spec(spec).ok_or_else(|| {
+                Error::InvalidConfigValue {
+                    key: key.to_string(),
+                    reason: format!("unparseable mapping spec: {spec}"),
+                }
+            })?;
+            self.by_port.insert(ext_port, internal);
+            self.mappings.insert(
+                internal,
+                NatMapping {
+                    internal,
+                    external_port: ext_port,
+                    // Non-critical state at defaults: fresh timestamps.
+                    last_used_ns: 0,
+                    packets: 0,
+                },
+            );
+        }
+        if key.to_string() == "external_ip" {
+            let ok = values
+                .first()
+                .and_then(|v| v.as_str())
+                .map(|s| s.parse::<Ipv4Addr>().is_ok())
+                .unwrap_or(false);
+            if !ok {
+                return Err(Error::InvalidConfigValue {
+                    key: key.to_string(),
+                    reason: "external_ip must be an IPv4 address".into(),
+                });
+            }
+        }
+        self.config.set(key, values);
+        Ok(())
+    }
+
+    fn del_config(&mut self, key: &HierarchicalKey) -> Result<()> {
+        if self.config.del(key) {
+            Ok(())
+        } else {
+            Err(Error::NoSuchConfigKey(key.to_string()))
+        }
+    }
+
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
+        -> Result<Vec<StateChunk>> {
+        let matching: Vec<FlowKey> = self
+            .mappings
+            .keys()
+            .filter(|k| key.matches(k))
+            .copied()
+            .collect();
+        let mut out = Vec::with_capacity(matching.len());
+        for fk in matching {
+            let m = self.mappings[&fk].clone();
+            let n = self.nonce;
+            self.nonce += 1;
+            let sealed = EncryptedChunk::seal(&self.vendor, n, &m.serialize());
+            self.sync.mark_moved(fk, op);
+            out.push(StateChunk::new(HeaderFieldList::exact(fk), sealed));
+        }
+        self.sync.mark_move_pattern(op, *key);
+        Ok(out)
+    }
+
+    fn put_support_perflow(&mut self, chunk: StateChunk) -> Result<()> {
+        let plain = chunk.data.open(&self.vendor)?;
+        let m = NatMapping::deserialize(&plain)?;
+        self.by_port.insert(m.external_port, m.internal);
+        self.sync.clear_flow(&m.internal);
+        self.mappings.insert(m.internal, m);
+        Ok(())
+    }
+
+    fn del_support_perflow(&mut self, key: &HeaderFieldList) -> Result<usize> {
+        let victims: Vec<FlowKey> = self
+            .mappings
+            .keys()
+            .filter(|k| key.matches(k))
+            .copied()
+            .collect();
+        for k in &victims {
+            if let Some(m) = self.mappings.remove(k) {
+                self.by_port.remove(&m.external_port);
+            }
+            self.sync.clear_flow(k);
+        }
+        Ok(victims.len())
+    }
+
+    fn get_support_shared(&mut self, op: OpId) -> Result<Option<EncryptedChunk>> {
+        let mut w = Writer::new();
+        w.u16(self.next_port);
+        let bytes = w.into_bytes();
+        self.sync.mark_shared(op);
+        let n = self.nonce;
+        self.nonce += 1;
+        Ok(Some(EncryptedChunk::seal(&self.vendor, n, &bytes)))
+    }
+
+    fn put_support_shared(&mut self, chunk: EncryptedChunk) -> Result<()> {
+        let plain = chunk.open(&self.vendor)?;
+        let mut r = Reader::new(&plain);
+        let other = r.u16()?;
+        // Merge: take the further-advanced allocator cursor to avoid
+        // collisions after consolidation.
+        self.next_port = self.next_port.max(other);
+        Ok(())
+    }
+
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
+        -> Result<Vec<StateChunk>> {
+        Ok(Vec::new())
+    }
+
+    fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
+        Err(Error::UnsupportedStateClass("per-flow reporting"))
+    }
+
+    fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
+        Ok(0)
+    }
+
+    fn get_report_shared(&mut self) -> Result<Option<EncryptedChunk>> {
+        Ok(None)
+    }
+
+    fn put_report_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
+        Err(Error::UnsupportedStateClass("shared reporting"))
+    }
+
+    fn stats(&self, key: &HeaderFieldList) -> StateStats {
+        let mut s = StateStats::default();
+        for (k, m) in &self.mappings {
+            if key.matches(k) {
+                s.perflow_support_chunks += 1;
+                s.perflow_support_bytes += m.serialize().len() + 16;
+            }
+        }
+        s.shared_support_bytes = 2 + 16;
+        s
+    }
+
+    fn process_packet(&mut self, now: SimTime, pkt: &Packet, fx: &mut Effects) {
+        self.expire(now, fx);
+        let ext_ip = self.external_ip();
+        if pkt.key.dst_ip == ext_ip {
+            // Inbound: translate external port back to the internal flow.
+            match self.by_port.get(&pkt.key.dst_port).copied() {
+                Some(internal) => {
+                    if let Some(m) = self.mappings.get_mut(&internal) {
+                        m.last_used_ns = now.0;
+                        m.packets += 1;
+                    }
+                    self.sync.on_perflow_update(internal, pkt, fx);
+                    let mut out = pkt.clone();
+                    out.key.dst_ip = internal.src_ip;
+                    out.key.dst_port = internal.src_port;
+                    fx.forward(out);
+                }
+                None => {
+                    self.dropped_unknown += 1;
+                    fx.log("nat.log", format!("{} drop inbound to unknown port {}", now.0, pkt.key.dst_port));
+                }
+            }
+            return;
+        }
+        // Outbound: find or create a mapping for the internal flow.
+        let key = pkt.key;
+        let created = !self.mappings.contains_key(&key);
+        let external_port = if created {
+            let p = self.alloc_port();
+            self.by_port.insert(p, key);
+            self.mappings.insert(
+                key,
+                NatMapping { internal: key, external_port: p, last_used_ns: now.0, packets: 0 },
+            );
+            p
+        } else {
+            self.mappings[&key].external_port
+        };
+        {
+            let m = self.mappings.get_mut(&key).expect("mapping exists");
+            m.last_used_ns = now.0;
+            m.packets += 1;
+        }
+        let gate = created
+            && self
+                .introspection
+                .as_ref()
+                .is_some_and(|f| f.accepts(EVENT_MAPPING_CREATED, &key));
+        if gate {
+            fx.raise(Event::Introspection {
+                code: EVENT_MAPPING_CREATED,
+                key,
+                values: vec![("external_port".into(), external_port.to_string())],
+            });
+        }
+        self.sync.on_perflow_update(key, pkt, fx);
+        let mut out = pkt.clone();
+        out.key.src_ip = ext_ip;
+        out.key.src_port = external_port;
+        fx.forward(out);
+    }
+
+    fn set_introspection(&mut self, filter: Option<openmb_types::wire::EventFilter>) {
+        self.introspection = filter;
+    }
+
+    fn end_sync(&mut self, op: OpId) {
+        self.sync.end_sync(op);
+    }
+
+    fn costs(&self) -> CostModel {
+        CostModel {
+            per_packet: SimDuration::from_micros(20),
+            ..CostModel::default()
+        }
+    }
+
+    fn perflow_entries(&self) -> usize {
+        self.mappings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn outbound(id: u64, sp: u16) -> Packet {
+        Packet::new(id, FlowKey::tcp(ip(10, 0, 0, 1), sp, ip(8, 8, 8, 8), 80), vec![1u8; 10])
+    }
+
+    #[test]
+    fn outbound_rewrites_source() {
+        let mut nat = Nat::new(ip(5, 5, 5, 5));
+        let mut fx = Effects::normal();
+        nat.process_packet(SimTime(0), &outbound(1, 1000), &mut fx);
+        let out = fx.take_output().unwrap();
+        assert_eq!(out.key.src_ip, ip(5, 5, 5, 5));
+        assert_eq!(out.key.src_port, 20000);
+        assert_eq!(nat.perflow_entries(), 1);
+    }
+
+    #[test]
+    fn inbound_translates_back() {
+        let mut nat = Nat::new(ip(5, 5, 5, 5));
+        let mut fx = Effects::normal();
+        nat.process_packet(SimTime(0), &outbound(1, 1000), &mut fx);
+        let translated = fx.take_output().unwrap();
+        // Reply arrives addressed to the external (ip, port).
+        let reply = Packet::new(2, translated.key.reversed(), vec![2u8; 10]);
+        let mut fx2 = Effects::normal();
+        nat.process_packet(SimTime(1), &reply, &mut fx2);
+        let back = fx2.take_output().unwrap();
+        assert_eq!(back.key.dst_ip, ip(10, 0, 0, 1));
+        assert_eq!(back.key.dst_port, 1000);
+    }
+
+    #[test]
+    fn unknown_inbound_dropped() {
+        let mut nat = Nat::new(ip(5, 5, 5, 5));
+        let mut fx = Effects::normal();
+        let stray = Packet::new(1, FlowKey::tcp(ip(8, 8, 8, 8), 80, ip(5, 5, 5, 5), 33333), vec![]);
+        nat.process_packet(SimTime(0), &stray, &mut fx);
+        assert!(fx.take_output().is_none());
+        assert_eq!(nat.dropped_unknown, 1);
+    }
+
+    #[test]
+    fn mapping_expires_after_timeout() {
+        let mut nat = Nat::new(ip(5, 5, 5, 5));
+        nat.introspection = Some(openmb_types::wire::EventFilter::all());
+        let mut fx = Effects::normal();
+        nat.process_packet(SimTime(0), &outbound(1, 1000), &mut fx);
+        // 31 seconds later (timeout is 30s) another flow's packet
+        // triggers lazy expiry.
+        let mut fx2 = Effects::normal();
+        nat.process_packet(SimTime(31_000_000_000), &outbound(2, 2000), &mut fx2);
+        assert_eq!(nat.perflow_entries(), 1, "old mapping expired");
+        let evs = fx2.take_events();
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            Event::Introspection { code: EVENT_MAPPING_EXPIRED, .. }
+        )));
+    }
+
+    #[test]
+    fn introspection_event_on_creation_carries_port() {
+        let mut nat = Nat::new(ip(5, 5, 5, 5));
+        nat.introspection = Some(openmb_types::wire::EventFilter::all());
+        let mut fx = Effects::normal();
+        nat.process_packet(SimTime(0), &outbound(1, 1000), &mut fx);
+        let evs = fx.take_events();
+        match &evs[0] {
+            Event::Introspection { code, values, .. } => {
+                assert_eq!(*code, EVENT_MAPPING_CREATED);
+                assert_eq!(values[0].1, "20000");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failover_move_preserves_mappings() {
+        let mut a = Nat::new(ip(5, 5, 5, 5));
+        let mut b = Nat::new(ip(5, 5, 5, 5));
+        let mut fx = Effects::normal();
+        a.process_packet(SimTime(0), &outbound(1, 1000), &mut fx);
+        a.process_packet(SimTime(1), &outbound(2, 2000), &mut fx);
+        let chunks = a.get_support_perflow(OpId(1), &HeaderFieldList::any()).unwrap();
+        let shared = a.get_support_shared(OpId(1)).unwrap().unwrap();
+        for c in chunks {
+            b.put_support_perflow(c).unwrap();
+        }
+        b.put_support_shared(shared).unwrap();
+        // Same flow gets the SAME external port at the replacement — an
+        // in-progress connection survives failover.
+        let mut fx2 = Effects::normal();
+        b.process_packet(SimTime(2), &outbound(3, 1000), &mut fx2);
+        assert_eq!(fx2.take_output().unwrap().key.src_port, 20000);
+        // And new flows do not collide with migrated ports.
+        let mut fx3 = Effects::normal();
+        b.process_packet(SimTime(3), &outbound(4, 3000), &mut fx3);
+        assert_eq!(fx3.take_output().unwrap().key.src_port, 20002);
+    }
+
+    #[test]
+    fn static_mapping_restores_critical_state() {
+        let mut nat = Nat::new(ip(5, 5, 5, 5));
+        let internal = FlowKey::tcp(ip(10, 0, 0, 1), 1000, ip(8, 8, 8, 8), 80);
+        nat.set_config(
+            &HierarchicalKey::parse("static_mappings/20077"),
+            vec![ConfigValue::Str(Nat::mapping_spec(&internal))],
+        )
+        .unwrap();
+        // Inbound to the restored port reaches the internal host.
+        let reply = Packet::new(1, FlowKey::tcp(ip(8, 8, 8, 8), 80, ip(5, 5, 5, 5), 20077), vec![]);
+        let mut fx = Effects::normal();
+        nat.process_packet(SimTime(0), &reply, &mut fx);
+        let back = fx.take_output().unwrap();
+        assert_eq!(back.key.dst_ip, ip(10, 0, 0, 1));
+        assert_eq!(back.key.dst_port, 1000);
+        // Malformed specs rejected.
+        assert!(nat
+            .set_config(
+                &HierarchicalKey::parse("static_mappings/20078"),
+                vec![ConfigValue::Str("garbage".into())],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn port_allocator_skips_in_use() {
+        let mut nat = Nat::new(ip(5, 5, 5, 5));
+        let mut fx = Effects::normal();
+        for sp in 1000..1005u16 {
+            nat.process_packet(SimTime(0), &outbound(u64::from(sp), sp), &mut fx);
+        }
+        let ports: Vec<u16> =
+            nat.mappings_sorted().iter().map(|m| m.external_port).collect();
+        let mut dedup = ports.clone();
+        dedup.dedup();
+        assert_eq!(ports.len(), dedup.len(), "no duplicate external ports");
+    }
+}

@@ -1,0 +1,207 @@
+//! An OpenFlow-style flow table: prioritized wildcard rules.
+
+use openmb_types::sdn::{FlowRule, SdnAction};
+use openmb_types::{FlowKey, HeaderFieldList, NodeId};
+
+/// A switch's flow table. Lookup returns the matching rule with the
+/// highest priority; ties are broken by specificity (fewer wildcarded
+/// bits wins) and then by most-recent installation — the semantics OpenMB
+/// relies on when a control application overrides a subnet-wide route
+/// with flow-specific ones during a move.
+#[derive(Debug, Default, Clone)]
+pub struct FlowTable {
+    /// Rules with install sequence numbers.
+    entries: Vec<(u64, FlowRule)>,
+    next_seq: u64,
+    /// Lookups that matched nothing.
+    pub misses: u64,
+    /// Lookups that matched a rule.
+    pub hits: u64,
+}
+
+impl FlowTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a rule. A rule with an identical pattern, in-port, and
+    /// priority is overwritten (OpenFlow `OFPFC_MODIFY` semantics for an
+    /// exact duplicate).
+    pub fn install(&mut self, rule: FlowRule) {
+        if let Some((_, existing)) = self.entries.iter_mut().find(|(_, e)| {
+            e.pattern == rule.pattern && e.priority == rule.priority && e.in_port == rule.in_port
+        }) {
+            existing.action = rule.action;
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((seq, rule));
+    }
+
+    /// Remove all rules whose pattern equals `pattern` exactly.
+    /// Returns how many were removed.
+    pub fn remove(&mut self, pattern: &HeaderFieldList) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(_, e)| e.pattern != *pattern);
+        before - self.entries.len()
+    }
+
+    /// Look up the action for a packet's flow key arriving from
+    /// `in_port`. Specificity tie-breaking counts an `in_port` match as
+    /// more specific than a wildcard port.
+    pub fn lookup(&mut self, key: &FlowKey, in_port: NodeId) -> Option<SdnAction> {
+        let best = self
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                e.pattern.matches(key) && e.in_port.is_none_or(|p| p == in_port)
+            })
+            .max_by_key(|(seq, e)| {
+                let score = e.pattern.wildcard_score() + u32::from(e.in_port.is_none());
+                (e.priority, std::cmp::Reverse(score), *seq)
+            });
+        match best {
+            Some((_, e)) => {
+                self.hits += 1;
+                Some(e.action)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over installed rules (install order).
+    pub fn rules(&self) -> impl Iterator<Item = &FlowRule> {
+        self.entries.iter().map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmb_types::IpPrefix;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(ip("1.1.1.5"), 1234, ip("2.2.2.2"), 80)
+    }
+
+    const PORT: NodeId = NodeId(99);
+
+    #[test]
+    fn priority_wins() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(HeaderFieldList::any(), 1, SdnAction::Forward(NodeId(1))));
+        t.install(FlowRule::new(
+            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24)),
+            10,
+            SdnAction::Forward(NodeId(2)),
+        ));
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(2))));
+    }
+
+    #[test]
+    fn specificity_breaks_priority_ties() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(
+            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.0.0.0"), 8)),
+            5,
+            SdnAction::Forward(NodeId(1)),
+        ));
+        t.install(FlowRule::new(
+            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24)),
+            5,
+            SdnAction::Forward(NodeId(2)),
+        ));
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(2))));
+    }
+
+    #[test]
+    fn newest_breaks_full_ties() {
+        let mut t = FlowTable::new();
+        let pat_a = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24));
+        let pat_b = HeaderFieldList::from_dst_subnet(IpPrefix::new(ip("2.2.2.0"), 24));
+        t.install(FlowRule::new(pat_a, 5, SdnAction::Forward(NodeId(1))));
+        t.install(FlowRule::new(pat_b, 5, SdnAction::Forward(NodeId(2))));
+        // Same priority, same wildcard score -> later install wins.
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(2))));
+    }
+
+    #[test]
+    fn identical_pattern_overwrites() {
+        let mut t = FlowTable::new();
+        let pat = HeaderFieldList::exact(key());
+        t.install(FlowRule::new(pat, 5, SdnAction::Forward(NodeId(1))));
+        t.install(FlowRule::new(pat, 5, SdnAction::Drop));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Drop));
+    }
+
+    #[test]
+    fn in_port_disambiguates_mb_traversal() {
+        // Pre-MB packets (from upstream port) go to the MB; post-MB
+        // packets (from the MB port) continue downstream — same 5-tuple.
+        let mut t = FlowTable::new();
+        let upstream = NodeId(1);
+        let mb = NodeId(2);
+        let downstream = NodeId(3);
+        t.install(
+            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(mb))
+                .from_port(upstream),
+        );
+        t.install(
+            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(downstream))
+                .from_port(mb),
+        );
+        assert_eq!(t.lookup(&key(), upstream), Some(SdnAction::Forward(mb)));
+        assert_eq!(t.lookup(&key(), mb), Some(SdnAction::Forward(downstream)));
+        assert_eq!(t.lookup(&key(), NodeId(7)), None);
+    }
+
+    #[test]
+    fn port_match_is_more_specific() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Drop));
+        t.install(
+            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(NodeId(1)))
+                .from_port(PORT),
+        );
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(1))));
+        assert_eq!(t.lookup(&key(), NodeId(7)), Some(SdnAction::Drop));
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.lookup(&key(), PORT), None);
+        assert_eq!(t.misses, 1);
+        assert_eq!(t.hits, 0);
+    }
+
+    #[test]
+    fn remove_by_pattern() {
+        let mut t = FlowTable::new();
+        let pat = HeaderFieldList::exact(key());
+        t.install(FlowRule::new(pat, 5, SdnAction::Drop));
+        assert_eq!(t.remove(&pat), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.remove(&pat), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # openmb-openflow
+//!
+//! The SDN substrate OpenMB coordinates with (§3): an OpenFlow-style
+//! switch ([`Switch`]) with a prioritized wildcard [`FlowTable`]
+//! (including ingress-port matching, required to steer flows *through*
+//! middleboxes), and the SDN controller's topology/routing module
+//! ([`Topology`]) that computes waypointed shortest paths and compiles
+//! them into per-switch flow mods.
+//!
+//! The paper's prototype used Floodlight and an HP ProCurve 5400; this
+//! crate reproduces exactly the slice of that stack the experiments
+//! exercise: match-based forwarding, controller-issued rule updates with
+//! propagation delay, barriers, and packet-in on table miss.
+
+pub mod flowtable;
+pub mod switch;
+pub mod topology;
+
+pub use flowtable::FlowTable;
+pub use switch::Switch;
+pub use topology::{ElementKind, Topology};

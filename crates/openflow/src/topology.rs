@@ -1,0 +1,262 @@
+//! Network topology and route computation — the routing module of the
+//! SDN controller (Floodlight stand-in).
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+use openmb_types::sdn::{FlowRule, SdnAction, SdnMessage};
+use openmb_types::{HeaderFieldList, NodeId};
+
+/// What kind of element a topology node is; switches forward by rule,
+/// everything else terminates or originates traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementKind {
+    Host,
+    Switch,
+    Middlebox,
+}
+
+/// The SDN controller's view of the network graph.
+#[derive(Debug, Default, Clone)]
+pub struct Topology {
+    kinds: BTreeMap<NodeId, ElementKind>,
+    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Link costs (defaults to 1 per hop).
+    costs: HashMap<(NodeId, NodeId), u64>,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a node.
+    pub fn add_element(&mut self, id: NodeId, kind: ElementKind) {
+        self.kinds.insert(id, kind);
+        self.adj.entry(id).or_default();
+    }
+
+    /// Register a bidirectional link with unit cost.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) {
+        self.add_link_with_cost(a, b, 1);
+    }
+
+    /// Register a bidirectional link with an explicit cost.
+    pub fn add_link_with_cost(&mut self, a: NodeId, b: NodeId, cost: u64) {
+        assert!(self.kinds.contains_key(&a), "unknown element {a}");
+        assert!(self.kinds.contains_key(&b), "unknown element {b}");
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+        self.costs.insert((a, b), cost);
+        self.costs.insert((b, a), cost);
+    }
+
+    /// The element kind of a node, if registered.
+    pub fn kind(&self, id: NodeId) -> Option<ElementKind> {
+        self.kinds.get(&id).copied()
+    }
+
+    /// Dijkstra shortest path from `src` to `dst`. Interior nodes are
+    /// restricted to switches (traffic cannot be routed *through* hosts
+    /// or middleboxes unless explicitly waypointed). Returns the full
+    /// node sequence including endpoints, or `None` if unreachable.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut dist: HashMap<NodeId, u64> = HashMap::new();
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(src, 0);
+        heap.push(std::cmp::Reverse((0u64, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if u == dst {
+                break;
+            }
+            if d > dist.get(&u).copied().unwrap_or(u64::MAX) {
+                continue;
+            }
+            // Only switches may relay; src may also emit.
+            if u != src && self.kinds.get(&u) != Some(&ElementKind::Switch) {
+                continue;
+            }
+            for &v in self.adj.get(&u).into_iter().flatten() {
+                let nd = d + self.costs.get(&(u, v)).copied().unwrap_or(1);
+                if nd < dist.get(&v).copied().unwrap_or(u64::MAX) {
+                    dist.insert(v, nd);
+                    prev.insert(v, u);
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        if !prev.contains_key(&dst) {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[&cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Shortest path from `src` to `dst` passing through each waypoint
+    /// in order (how traffic is steered through middleboxes). Consecutive
+    /// segments are concatenated with duplicate junction nodes removed.
+    pub fn waypoint_path(
+        &self,
+        src: NodeId,
+        waypoints: &[NodeId],
+        dst: NodeId,
+    ) -> Option<Vec<NodeId>> {
+        let mut stops = vec![src];
+        stops.extend_from_slice(waypoints);
+        stops.push(dst);
+        let mut full: Vec<NodeId> = Vec::new();
+        for pair in stops.windows(2) {
+            let seg = self.shortest_path(pair[0], pair[1])?;
+            if full.is_empty() {
+                full.extend(seg);
+            } else {
+                full.extend(seg.into_iter().skip(1));
+            }
+        }
+        Some(full)
+    }
+
+    /// Compile a path into per-switch `FlowMod`s forwarding `pattern`
+    /// along it. Non-switch path elements (hosts, middleboxes) receive no
+    /// rules — the element after them in the path is where their output
+    /// goes, which the simulator models by MBs sending processed packets
+    /// to their configured next hop.
+    pub fn path_flow_mods(
+        &self,
+        pattern: HeaderFieldList,
+        priority: u16,
+        path: &[NodeId],
+    ) -> Vec<(NodeId, SdnMessage)> {
+        let mut mods = Vec::new();
+        for i in 1..path.len() {
+            let here = path[i - 1];
+            if self.kinds.get(&here) != Some(&ElementKind::Switch) {
+                continue;
+            }
+            let next = path[i];
+            // The hop the packet arrived from: the element before this
+            // switch on the path (for the first element there is none,
+            // but a switch is never first on an end-to-end path).
+            let in_port = if i >= 2 { Some(path[i - 2]) } else { None };
+            let mut rule = FlowRule::new(pattern, priority, SdnAction::Forward(next));
+            rule.in_port = in_port;
+            mods.push((here, SdnMessage::FlowMod(rule)));
+        }
+        mods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_topology() -> (Topology, Vec<NodeId>) {
+        // h0 - s1 - s2 - s3 - h4, with mb5 hanging off s2
+        let mut t = Topology::new();
+        let ids: Vec<NodeId> = (0..6).map(NodeId).collect();
+        t.add_element(ids[0], ElementKind::Host);
+        t.add_element(ids[1], ElementKind::Switch);
+        t.add_element(ids[2], ElementKind::Switch);
+        t.add_element(ids[3], ElementKind::Switch);
+        t.add_element(ids[4], ElementKind::Host);
+        t.add_element(ids[5], ElementKind::Middlebox);
+        t.add_link(ids[0], ids[1]);
+        t.add_link(ids[1], ids[2]);
+        t.add_link(ids[2], ids[3]);
+        t.add_link(ids[3], ids[4]);
+        t.add_link(ids[2], ids[5]);
+        (t, ids)
+    }
+
+    #[test]
+    fn shortest_path_simple() {
+        let (t, ids) = line_topology();
+        let p = t.shortest_path(ids[0], ids[4]).unwrap();
+        assert_eq!(p, vec![ids[0], ids[1], ids[2], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn hosts_do_not_relay() {
+        let mut t = Topology::new();
+        let a = NodeId(0);
+        let h = NodeId(1);
+        let b = NodeId(2);
+        t.add_element(a, ElementKind::Host);
+        t.add_element(h, ElementKind::Host);
+        t.add_element(b, ElementKind::Host);
+        t.add_link(a, h);
+        t.add_link(h, b);
+        assert!(t.shortest_path(a, b).is_none(), "host must not relay");
+    }
+
+    #[test]
+    fn waypoint_path_visits_middlebox() {
+        let (t, ids) = line_topology();
+        let p = t.waypoint_path(ids[0], &[ids[5]], ids[4]).unwrap();
+        assert_eq!(p, vec![ids[0], ids[1], ids[2], ids[5], ids[2], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn flow_mods_only_on_switches_with_in_ports() {
+        let (t, ids) = line_topology();
+        let p = t.waypoint_path(ids[0], &[ids[5]], ids[4]).unwrap();
+        let mods = t.path_flow_mods(HeaderFieldList::any(), 5, &p);
+        // Switches on the path: s1 (->s2), s2 from s1 (->mb5),
+        // s2 from mb5 (->s3), s3 (->h4): four distinct rules.
+        let rules: Vec<(NodeId, Option<NodeId>, NodeId)> = mods
+            .iter()
+            .map(|(s, m)| match m {
+                SdnMessage::FlowMod(r) => match r.action {
+                    SdnAction::Forward(n) => (*s, r.in_port, n),
+                    SdnAction::Drop => panic!("unexpected drop"),
+                },
+                _ => panic!("unexpected message"),
+            })
+            .collect();
+        assert_eq!(
+            rules,
+            vec![
+                (ids[1], Some(ids[0]), ids[2]),
+                (ids[2], Some(ids[1]), ids[5]),
+                (ids[2], Some(ids[5]), ids[3]),
+                (ids[3], Some(ids[2]), ids[4]),
+            ]
+        );
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        t.add_element(NodeId(0), ElementKind::Host);
+        t.add_element(NodeId(1), ElementKind::Host);
+        assert!(t.shortest_path(NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn costs_change_paths() {
+        // Triangle: a - s1 - b and a - s2 - b with s2 cheaper total.
+        let mut t = Topology::new();
+        let a = NodeId(0);
+        let s1 = NodeId(1);
+        let s2 = NodeId(2);
+        let b = NodeId(3);
+        t.add_element(a, ElementKind::Host);
+        t.add_element(s1, ElementKind::Switch);
+        t.add_element(s2, ElementKind::Switch);
+        t.add_element(b, ElementKind::Host);
+        t.add_link_with_cost(a, s1, 10);
+        t.add_link_with_cost(s1, b, 10);
+        t.add_link_with_cost(a, s2, 1);
+        t.add_link_with_cost(s2, b, 1);
+        assert_eq!(t.shortest_path(a, b).unwrap(), vec![a, s2, b]);
+    }
+}

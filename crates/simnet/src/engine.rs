@@ -1,0 +1,565 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Sim`] owns a set of [`Node`]s connected by [`Link`]s. Everything
+//! that happens — packet arrivals, controller↔MB protocol messages, timer
+//! expirations — is a scheduled event processed in strict virtual-time
+//! order (ties broken by schedule order), making runs bit-for-bit
+//! reproducible.
+//!
+//! Nodes exchange [`Frame`]s: data-plane packets or control-plane
+//! protocol messages. Links model propagation latency plus
+//! store-and-forward transmission time, and can be *suspended* (frames
+//! queue at the head of the link) to model the traffic-halting baselines
+//! of §8.1.2 (Split/Merge).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use openmb_types::{wire, NodeId, Packet};
+
+use crate::metrics::{Metrics, TraceKind};
+use crate::time::{SimDuration, SimTime};
+
+/// What travels over links.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// A data-plane packet.
+    Data(Packet),
+    /// An OpenMB control-plane message (controller ↔ MB).
+    Control(wire::Message),
+    /// An SDN control-plane message (controller ↔ switch).
+    Sdn(openmb_types::sdn::SdnMessage),
+}
+
+impl Frame {
+    /// Modeled wire size, for transmission-time and byte accounting.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Frame::Data(p) => p.wire_len(),
+            // length prefix + encoded body
+            Frame::Control(m) => 4 + wire::encode(m).len(),
+            Frame::Sdn(m) => m.wire_len(),
+        }
+    }
+}
+
+/// A simulated element: host, switch, middlebox, or controller.
+///
+/// Implementations are pure state machines; all interaction with the
+/// world goes through the [`Ctx`] handed to each callback.
+pub trait Node {
+    /// Invoked once before the first event is processed.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// A frame arrived from a directly connected neighbor.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, from: NodeId, frame: Frame);
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    /// Diagnostic name used in panics and traces.
+    fn name(&self) -> String {
+        "node".to_owned()
+    }
+    /// Downcasting support, used by experiments to inspect node state
+    /// after a run (e.g. read an IPS's logs).
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// One direction of a link.
+#[derive(Debug)]
+struct Link {
+    latency: SimDuration,
+    /// Bits per second; 0 = infinite (no transmission delay).
+    bandwidth_bps: u64,
+    /// When the link finishes transmitting the frame currently on it.
+    busy_until: SimTime,
+    /// When true, frames queue here instead of being delivered.
+    suspended: bool,
+    held: VecDeque<Frame>,
+    /// Total bytes ever carried (delivered) — experiment accounting.
+    bytes_carried: u64,
+}
+
+#[derive(Debug)]
+enum Payload {
+    Frame { from: NodeId, frame: Frame },
+    Timer { token: u64 },
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    target: NodeId,
+    payload: Payload,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The world as seen from inside a [`Node`] callback.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    world: &'a mut World,
+    /// Metrics sink shared by the whole simulation.
+    pub metrics: &'a mut Metrics,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Send a frame to a directly connected neighbor. Panics if no link
+    /// exists (a topology bug, not a runtime condition).
+    pub fn send(&mut self, to: NodeId, frame: Frame) {
+        self.world.send_frame(self.now, self.self_id, to, frame);
+    }
+
+    /// Deliver a frame to this node itself after `delay` (used to model
+    /// internal queueing/processing stages).
+    pub fn send_to_self(&mut self, delay: SimDuration, frame: Frame) {
+        let t = self.now.after(delay);
+        self.world.schedule(
+            t,
+            self.self_id,
+            Payload::Frame { from: self.self_id, frame },
+        );
+    }
+
+    /// Fire `on_timer(token)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let t = self.now.after(delay);
+        self.world.schedule(t, self.self_id, Payload::Timer { token });
+    }
+
+    /// Record a trace event attributed to this node at the current time.
+    pub fn trace(&mut self, kind: TraceKind) {
+        self.metrics.trace(self.now, self.self_id, kind);
+    }
+
+    /// Does a link from this node to `to` exist?
+    pub fn has_link(&self, to: NodeId) -> bool {
+        self.world.links.contains_key(&(self.self_id, to))
+    }
+}
+
+struct World {
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    links: HashMap<(NodeId, NodeId), Link>,
+}
+
+impl World {
+    fn schedule(&mut self, time: SimTime, target: NodeId, payload: Payload) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time, seq, target, payload }));
+    }
+
+    fn send_frame(&mut self, now: SimTime, from: NodeId, to: NodeId, frame: Frame) {
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+        if link.suspended {
+            link.held.push_back(frame);
+            return;
+        }
+        let size = frame.wire_len();
+        let tx = SimDuration::transmission(size, link.bandwidth_bps);
+        // Store-and-forward with output-queue serialization: transmission
+        // begins when the link is free.
+        let start = now.max(link.busy_until);
+        let done = start.after(tx);
+        link.busy_until = done;
+        link.bytes_carried += size as u64;
+        let arrive = done.after(link.latency);
+        self.schedule(arrive, to, Payload::Frame { from, frame });
+    }
+}
+
+/// The simulation: nodes, links, clock, event queue, metrics.
+pub struct Sim {
+    now: SimTime,
+    world: World,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    started: bool,
+    /// Metrics collected during the run.
+    pub metrics: Metrics,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// An empty simulation with trace recording enabled.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            world: World { queue: BinaryHeap::new(), seq: 0, links: HashMap::new() },
+            nodes: Vec::new(),
+            started: false,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// An empty simulation that records only counters/samples (cheaper
+    /// for large parameter sweeps).
+    pub fn new_counters_only() -> Self {
+        let mut s = Self::new();
+        s.metrics = Metrics::counters_only();
+        s
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Add a bidirectional link with symmetric latency/bandwidth.
+    /// `bandwidth_bps = 0` means no transmission delay.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, latency: SimDuration, bandwidth_bps: u64) {
+        for (x, y) in [(a, b), (b, a)] {
+            self.world.links.insert(
+                (x, y),
+                Link {
+                    latency,
+                    bandwidth_bps,
+                    busy_until: SimTime::ZERO,
+                    suspended: false,
+                    held: VecDeque::new(),
+                    bytes_carried: 0,
+                },
+            );
+        }
+    }
+
+    /// Suspend or resume the directed link `a -> b`. While suspended,
+    /// frames sent on it are held; on resume they are released in order.
+    /// Returns the number of frames released (on resume) or currently
+    /// held (on suspend).
+    pub fn set_link_suspended(&mut self, a: NodeId, b: NodeId, suspended: bool) -> usize {
+        let now = self.now;
+        let link = self
+            .world
+            .links
+            .get_mut(&(a, b))
+            .unwrap_or_else(|| panic!("no link {a} -> {b}"));
+        link.suspended = suspended;
+        if suspended {
+            link.held.len()
+        } else {
+            let held: Vec<Frame> = link.held.drain(..).collect();
+            let n = held.len();
+            for f in held {
+                self.world.send_frame(now, a, b, f);
+            }
+            n
+        }
+    }
+
+    /// Number of frames currently held on the suspended link `a -> b`.
+    pub fn link_held(&self, a: NodeId, b: NodeId) -> usize {
+        self.world.links.get(&(a, b)).map(|l| l.held.len()).unwrap_or(0)
+    }
+
+    /// Total bytes delivered over the directed link `a -> b` so far.
+    pub fn link_bytes(&self, a: NodeId, b: NodeId) -> u64 {
+        self.world.links.get(&(a, b)).map(|l| l.bytes_carried).unwrap_or(0)
+    }
+
+    /// Inject a frame arrival at `target` (appearing to come from
+    /// `from`) at absolute time `at`. Used by test fixtures and traffic
+    /// sources configured before the run starts.
+    pub fn inject_frame(&mut self, at: SimTime, from: NodeId, target: NodeId, frame: Frame) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.world.schedule(at, target, Payload::Frame { from, frame });
+    }
+
+    /// Schedule a timer on `target` at absolute time `at`.
+    pub fn inject_timer(&mut self, at: SimTime, target: NodeId, token: u64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.world.schedule(at, target, Payload::Timer { token });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Borrow a node (e.g. to inspect its state after a run).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or the node is currently executing.
+    pub fn node(&self, id: NodeId) -> &dyn Node {
+        self.nodes[id.0 as usize].as_deref().expect("node is executing")
+    }
+
+    /// Mutably borrow a node (e.g. to reconfigure between phases).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Box<dyn Node> {
+        self.nodes[id.0 as usize].as_mut().expect("node is executing")
+    }
+
+    /// Borrow a node downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the node is not a `T`.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> &T {
+        self.node(id).as_any().downcast_ref::<T>().expect("node type mismatch")
+    }
+
+    /// Mutably borrow a node downcast to its concrete type.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.node_mut(id).as_any_mut().downcast_mut::<T>().expect("node type mismatch")
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            let mut node = self.nodes[i].take().expect("node missing at start");
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                world: &mut self.world,
+                metrics: &mut self.metrics,
+            };
+            node.on_start(&mut ctx);
+            self.nodes[i] = Some(node);
+        }
+    }
+
+    /// Process events until the queue is empty or `limit` events have
+    /// run. Returns the number of events processed.
+    pub fn run(&mut self, limit: u64) -> u64 {
+        self.run_until(SimTime(u64::MAX), limit)
+    }
+
+    /// Process events with `time <= until` (and at most `limit` of
+    /// them). The clock is left at the last processed event (or `until`
+    /// if the queue drained earlier than that... no: clock advances to
+    /// `until` when it stops due to the time bound). Returns events
+    /// processed.
+    pub fn run_until(&mut self, until: SimTime, limit: u64) -> u64 {
+        self.start_if_needed();
+        let mut processed = 0;
+        while processed < limit {
+            let Some(Reverse(head)) = self.world.queue.peek() else { break };
+            if head.time > until {
+                break;
+            }
+            let Reverse(ev) = self.world.queue.pop().unwrap();
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            let idx = ev.target.0 as usize;
+            let Some(mut node) = self.nodes.get_mut(idx).and_then(Option::take) else {
+                panic!("event for unknown or executing node {}", ev.target);
+            };
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: ev.target,
+                    world: &mut self.world,
+                    metrics: &mut self.metrics,
+                };
+                match ev.payload {
+                    Payload::Frame { from, frame } => node.on_frame(&mut ctx, from, frame),
+                    Payload::Timer { token } => node.on_timer(&mut ctx, token),
+                }
+            }
+            self.nodes[idx] = Some(node);
+            processed += 1;
+        }
+        if self.now < until && until.0 != u64::MAX && self.world.queue.is_empty() {
+            self.now = until;
+        }
+        processed
+    }
+
+    /// True when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.world.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmb_types::{FlowKey, OpId};
+    use std::net::Ipv4Addr;
+
+    /// Echoes every data frame back to its sender after a fixed delay.
+    struct Echo {
+        delay: SimDuration,
+        seen: Vec<(SimTime, u64)>,
+    }
+
+    impl Node for Echo {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, from: NodeId, frame: Frame) {
+            if let Frame::Data(p) = frame {
+                self.seen.push((ctx.now(), p.id));
+                let reply = p.clone();
+                let d = self.delay;
+                ctx.set_timer(d, p.id);
+                // Hold the packet implicitly: echo on timer for delay
+                // modeling; for the test just send immediately.
+                ctx.send(from, Frame::Data(reply));
+            }
+        }
+    }
+
+    /// Counts frames it receives.
+    #[derive(Default)]
+    struct Sink {
+        got: Vec<(SimTime, u64)>,
+    }
+
+    impl Node for Sink {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, frame: Frame) {
+            if let Frame::Data(p) = frame {
+                self.got.push((ctx.now(), p.id));
+            }
+        }
+    }
+
+    fn pkt(id: u64, len: usize) -> Packet {
+        let key =
+            FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
+        Packet::new(id, key, vec![0u8; len])
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let mut sim = Sim::new();
+        let a = sim.add_node(Box::new(Sink::default()));
+        let b = sim.add_node(Box::new(Sink::default()));
+        sim.add_link(a, b, SimDuration::from_millis(3), 0);
+        sim.inject_frame(SimTime::ZERO, b, a, Frame::Data(pkt(1, 0)));
+        // a receives at t=0 (injected directly), then we make a send to b.
+        // Simpler: inject at a delivered frame; verify via send path below.
+        sim.run(100);
+        // Now drive an actual link traversal: schedule echo.
+        let mut sim = Sim::new();
+        let e = sim.add_node(Box::new(Echo { delay: SimDuration::ZERO, seen: vec![] }));
+        let s = sim.add_node(Box::new(Sink::default()));
+        sim.add_link(e, s, SimDuration::from_millis(3), 0);
+        // Inject a frame at the echo node; it sends to... its sender, s.
+        sim.inject_frame(SimTime::ZERO, s, e, Frame::Data(pkt(7, 0)));
+        sim.run(100);
+        let sink: &Sink = sim.node_as(s);
+        assert_eq!(sink.got.len(), 1);
+        assert_eq!(sink.got[0].0, SimTime(3_000_000));
+    }
+
+    #[test]
+    fn bandwidth_serializes_frames() {
+        // Two 1000-byte payload packets over 8 Mbps: (1040*8)/8e6 s =
+        // 1.04 ms each; second must wait for the first.
+        let mut sim = Sim::new();
+        let e = sim.add_node(Box::new(Echo { delay: SimDuration::ZERO, seen: vec![] }));
+        let s = sim.add_node(Box::new(Sink::default()));
+        sim.add_link(e, s, SimDuration::ZERO, 8_000_000);
+        sim.inject_frame(SimTime::ZERO, s, e, Frame::Data(pkt(1, 1000)));
+        sim.inject_frame(SimTime::ZERO, s, e, Frame::Data(pkt(2, 1000)));
+        sim.run(100);
+        let sink: &Sink = sim.node_as(s);
+        assert_eq!(sink.got.len(), 2);
+        assert_eq!(sink.got[0].0, SimTime(1_040_000));
+        assert_eq!(sink.got[1].0, SimTime(2_080_000));
+    }
+
+    #[test]
+    fn events_process_in_time_order_with_fifo_ties() {
+        let mut sim = Sim::new();
+        let s = sim.add_node(Box::new(Sink::default()));
+        sim.inject_frame(SimTime(100), s, s, Frame::Data(pkt(1, 0)));
+        sim.inject_frame(SimTime(50), s, s, Frame::Data(pkt(2, 0)));
+        sim.inject_frame(SimTime(100), s, s, Frame::Data(pkt(3, 0)));
+        sim.run(100);
+        let sink: &Sink = sim.node_as(s);
+        let ids: Vec<u64> = sink.got.iter().map(|(_, id)| *id).collect();
+        assert_eq!(ids, vec![2, 1, 3], "time order, then injection order");
+    }
+
+    #[test]
+    fn suspension_holds_and_releases_in_order() {
+        let mut sim = Sim::new();
+        let e = sim.add_node(Box::new(Echo { delay: SimDuration::ZERO, seen: vec![] }));
+        let s = sim.add_node(Box::new(Sink::default()));
+        sim.add_link(e, s, SimDuration::from_millis(1), 0);
+        sim.set_link_suspended(e, s, true);
+        sim.inject_frame(SimTime::ZERO, s, e, Frame::Data(pkt(1, 0)));
+        sim.inject_frame(SimTime(10), s, e, Frame::Data(pkt(2, 0)));
+        sim.run(100);
+        assert_eq!(sim.link_held(e, s), 2, "both frames held");
+        let released = sim.set_link_suspended(e, s, false);
+        assert_eq!(released, 2);
+        sim.run(100);
+        let sink: &Sink = sim.node_as(s);
+        assert_eq!(
+            sink.got.iter().map(|(_, id)| *id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn control_frames_have_wire_cost() {
+        let f = Frame::Control(wire::Message::OpAck { op: OpId(1) });
+        assert!(f.wire_len() > 4);
+    }
+
+    #[test]
+    fn run_until_respects_bound() {
+        let mut sim = Sim::new();
+        let s = sim.add_node(Box::new(Sink::default()));
+        sim.inject_frame(SimTime(100), s, s, Frame::Data(pkt(1, 0)));
+        sim.inject_frame(SimTime(200), s, s, Frame::Data(pkt(2, 0)));
+        let n = sim.run_until(SimTime(150), 1000);
+        assert_eq!(n, 1);
+        assert_eq!(sim.now(), SimTime(100));
+        let n = sim.run_until(SimTime(300), 1000);
+        assert_eq!(n, 1);
+        assert!(sim.is_idle());
+    }
+}

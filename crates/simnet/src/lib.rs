@@ -1,0 +1,22 @@
+//! # openmb-simnet
+//!
+//! A deterministic discrete-event network simulator: the testbed
+//! substitute on which every OpenMB experiment runs (see DESIGN.md §1).
+//!
+//! * [`engine::Sim`] — the event loop: nodes, links, virtual clock.
+//! * [`engine::Node`] — the trait simulated elements implement.
+//! * [`time`] — integer virtual time.
+//! * [`metrics`] — trace events, counters, latency samples, ECDFs.
+//!
+//! Determinism: the event queue orders by `(time, schedule-seq)`; all
+//! randomness in workloads comes from seeded RNGs; time is integer
+//! nanoseconds. Two runs of the same configuration produce identical
+//! traces.
+
+pub mod engine;
+pub mod metrics;
+pub mod time;
+
+pub use engine::{Ctx, Frame, Node, Sim};
+pub use metrics::{Ecdf, Metrics, TraceEvent, TraceKind};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,227 @@
+//! Measurement infrastructure: trace events (the raw material for
+//! Figure 7's timeline), latency samples, and named counters.
+
+use std::collections::BTreeMap;
+
+use openmb_types::NodeId;
+
+use crate::time::{SimDuration, SimTime};
+
+/// What happened — the action categories plotted in Figure 7 of the
+/// paper ("packet processing, event raising/processing, and operation
+/// handling") plus generic counters for everything else we track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A middlebox processed a data packet.
+    PacketProcessed { pkt_id: u64, http: bool },
+    /// A middlebox raised a reprocess event.
+    EventRaised,
+    /// A middlebox consumed (replayed) a reprocess event.
+    EventProcessed,
+    /// A get/put/del/config southbound operation started at an MB.
+    OpStart { op: &'static str },
+    /// A southbound operation finished at an MB.
+    OpEnd { op: &'static str },
+    /// A packet was dropped (no route, suspended link, ...).
+    PacketDropped { pkt_id: u64 },
+    /// Free-form annotation.
+    Note(String),
+}
+
+/// A single timestamped trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub time: SimTime,
+    pub node: NodeId,
+    pub kind: TraceKind,
+}
+
+/// Collects everything the experiments measure. One per simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Chronological activity log (append-only; the engine appends in
+    /// event order so this is sorted by time).
+    pub trace: Vec<TraceEvent>,
+    /// Named monotonic counters.
+    counters: BTreeMap<String, u64>,
+    /// Named duration samples (e.g. per-packet processing latency).
+    samples: BTreeMap<String, Vec<SimDuration>>,
+    /// Whether the (possibly large) trace log should be recorded.
+    pub record_trace: bool,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics { record_trace: true, ..Default::default() }
+    }
+
+    /// A metrics sink that skips the per-event trace (for large runs
+    /// where only counters/samples matter).
+    pub fn counters_only() -> Self {
+        Metrics { record_trace: false, ..Default::default() }
+    }
+
+    /// Append a trace record.
+    pub fn trace(&mut self, time: SimTime, node: NodeId, kind: TraceKind) {
+        if self.record_trace {
+            self.trace.push(TraceEvent { time, node, kind });
+        }
+    }
+
+    /// Bump a named counter.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Read a counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a duration sample under a name.
+    pub fn sample(&mut self, name: &str, d: SimDuration) {
+        self.samples.entry(name.to_owned()).or_default().push(d);
+    }
+
+    /// All samples recorded under a name.
+    pub fn samples(&self, name: &str) -> &[SimDuration] {
+        self.samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mean of a sample series in milliseconds, `None` if empty.
+    pub fn mean_ms(&self, name: &str) -> Option<f64> {
+        let s = self.samples(name);
+        if s.is_empty() {
+            return None;
+        }
+        Some(s.iter().map(|d| d.as_millis_f64()).sum::<f64>() / s.len() as f64)
+    }
+
+    /// Maximum of a sample series in milliseconds, `None` if empty.
+    pub fn max_ms(&self, name: &str) -> Option<f64> {
+        self.samples(name).iter().map(|d| d.as_millis_f64()).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) if v > a => v,
+                Some(a) => a,
+            })
+        })
+    }
+
+    /// All counter names and values, for reports.
+    pub fn all_counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Trace events of one node within a time window (for Fig 7).
+    pub fn trace_window(
+        &self,
+        node: NodeId,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &TraceEvent> {
+        self.trace
+            .iter()
+            .filter(move |e| e.node == node && e.time >= from && e.time <= to)
+    }
+}
+
+/// An empirical CDF over f64 observations (used for Figure 8).
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from unsorted observations (NaNs are rejected).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN observation");
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: values }
+    }
+
+    /// Fraction of observations ≤ `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of observations strictly above `x`.
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        1.0 - self.fraction_at_or_below(x)
+    }
+
+    /// The p-th percentile (0 ≤ p ≤ 100) by nearest-rank.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        Some(self.sorted[rank.clamp(1, self.sorted.len()) - 1])
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `(x, F(x))` points at the given xs, for plotting a CDF series.
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_at_or_below(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_samples() {
+        let mut m = Metrics::new();
+        m.incr("pkts", 3);
+        m.incr("pkts", 2);
+        assert_eq!(m.counter("pkts"), 5);
+        assert_eq!(m.counter("absent"), 0);
+        m.sample("lat", SimDuration::from_millis(2));
+        m.sample("lat", SimDuration::from_millis(4));
+        assert!((m.mean_ms("lat").unwrap() - 3.0).abs() < 1e-9);
+        assert!((m.max_ms("lat").unwrap() - 4.0).abs() < 1e-9);
+        assert!(m.mean_ms("none").is_none());
+    }
+
+    #[test]
+    fn trace_window_filters() {
+        let mut m = Metrics::new();
+        let n = NodeId(1);
+        m.trace(SimTime(10), n, TraceKind::EventRaised);
+        m.trace(SimTime(20), NodeId(2), TraceKind::EventRaised);
+        m.trace(SimTime(30), n, TraceKind::EventRaised);
+        let in_window: Vec<_> = m.trace_window(n, SimTime(5), SimTime(25)).collect();
+        assert_eq!(in_window.len(), 1);
+    }
+
+    #[test]
+    fn trace_disabled_skips_recording() {
+        let mut m = Metrics::counters_only();
+        m.trace(SimTime(1), NodeId(0), TraceKind::EventRaised);
+        assert!(m.trace.is_empty());
+    }
+
+    #[test]
+    fn ecdf_basic() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((e.fraction_at_or_below(2.0) - 0.5).abs() < 1e-12);
+        assert!((e.fraction_above(3.0) - 0.25).abs() < 1e-12);
+        assert_eq!(e.percentile(50.0), Some(2.0));
+        assert_eq!(e.percentile(100.0), Some(4.0));
+        assert!(Ecdf::new(vec![]).percentile(50.0).is_none());
+    }
+}

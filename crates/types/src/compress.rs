@@ -1,0 +1,224 @@
+//! State-transfer compression (§8.3).
+//!
+//! The paper observes that controller threads spend most of their time
+//! reading state off sockets and that "for a move operation with 500
+//! chunks states, state can be compressed by 38%, decreasing the
+//! operation execution latency from 110 ms to 70 ms". This module
+//! provides the compressor the controller (optionally) applies to state
+//! transfers: a simple LZ77 variant with a 64 KiB sliding window and a
+//! greedy longest-match search over a chained hash table.
+//!
+//! Format: a stream of tokens. `0x00 len  data` = literal run;
+//! `0x01 dist len` = back-reference (little-endian u16 distance,
+//! u16 length). A 4-byte header carries the uncompressed length.
+
+const WINDOW: usize = 64 * 1024;
+/// Window size of the hash (match discovery granularity).
+const MIN_MATCH: usize = 4;
+/// Only emit back-references longer than the 7-byte token they cost;
+/// shorter matches would *expand* structured data (JSON punctuation
+/// repeats in 4-6 byte snippets constantly).
+const MIN_EMIT: usize = 12;
+const MAX_MATCH: usize = 65535;
+const HASH_BITS: u32 = 15;
+
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`. The output always begins with the uncompressed
+/// length, so [`decompress`] can pre-allocate exactly.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(65535);
+            out.push(0x00);
+            out.extend_from_slice(&(n as u16).to_le_bytes());
+            out.extend_from_slice(&input[s..s + n]);
+            s += n;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let cand = head[h];
+        head[h] = i;
+        let mut match_len = 0usize;
+        if cand != usize::MAX && i - cand <= WINDOW && input[cand..cand + 4] == input[i..i + 4] {
+            let max = (input.len() - i).min(MAX_MATCH);
+            let mut l = 4;
+            while l < max && input[cand + l] == input[i + l] {
+                l += 1;
+            }
+            match_len = l;
+        }
+        if match_len >= MIN_EMIT {
+            flush_literals(&mut out, literal_start, i, input);
+            let dist = (i - cand) as u32;
+            out.push(0x01);
+            // Distances up to WINDOW need 17 bits; encode as u32 to keep
+            // the format simple (the token is still far shorter than the
+            // match for all real state payloads).
+            out.extend_from_slice(&dist.to_le_bytes());
+            out.extend_from_slice(&(match_len as u16).to_le_bytes());
+            // Insert hash entries inside the match so later data can
+            // reference it.
+            let end = i + match_len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= end.min(input.len()) {
+                head[hash4(&input[j..])] = j;
+                j += 1;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len(), input);
+    out
+}
+
+/// Decompress a stream produced by [`compress`]. Returns `None` on any
+/// malformed token (bad distance, truncation, length mismatch).
+pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    if input.len() < 4 {
+        return None;
+    }
+    let expect = u32::from_le_bytes(input[0..4].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(expect);
+    let mut i = 4usize;
+    while i < input.len() {
+        match input[i] {
+            0x00 => {
+                if i + 3 > input.len() {
+                    return None;
+                }
+                let n = u16::from_le_bytes(input[i + 1..i + 3].try_into().unwrap()) as usize;
+                i += 3;
+                if i + n > input.len() {
+                    return None;
+                }
+                out.extend_from_slice(&input[i..i + n]);
+                i += n;
+            }
+            0x01 => {
+                if i + 7 > input.len() {
+                    return None;
+                }
+                let dist = u32::from_le_bytes(input[i + 1..i + 5].try_into().unwrap()) as usize;
+                let len = u16::from_le_bytes(input[i + 5..i + 7].try_into().unwrap()) as usize;
+                i += 7;
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return None,
+        }
+    }
+    if out.len() != expect {
+        return None;
+    }
+    Some(out)
+}
+
+/// Compression ratio achieved on `input`: `1 - compressed/original`.
+/// Returns 0 for incompressible or empty inputs (never negative).
+pub fn ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 0.0;
+    }
+    let c = compress(input).len();
+    (1.0 - c as f64 / input.len() as f64).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decompress(&compress(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn roundtrip_short_literal() {
+        let data = b"abc";
+        assert_eq!(decompress(&compress(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data: Vec<u8> = b"flow-record:".iter().copied().cycle().take(10_000).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "repetitive data should compress well");
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_overlapping_match() {
+        // "aaaa..." forces dist=1 overlapping copies.
+        let data = vec![b'a'; 1000];
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        // Pseudo-random bytes: expansion is allowed, corruption is not.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(&[1, 2]).is_none());
+        assert!(decompress(&[0, 0, 0, 0, 0x02]).is_none());
+        // back-reference before start of output
+        assert!(decompress(&[5, 0, 0, 0, 0x01, 9, 0, 0, 0, 5, 0]).is_none());
+    }
+
+    #[test]
+    fn ratio_reports_realistic_state_compression() {
+        // Serialized per-flow records share field names/structure; the
+        // paper measured ~38% on PRADS state. Construct 500 look-alike
+        // records and check we land in a plausible band.
+        let mut blob = Vec::new();
+        for i in 0..500u32 {
+            blob.extend_from_slice(
+                format!(
+                    "{{\"sip\":\"10.1.{}.{}\",\"dip\":\"192.168.1.7\",\"spt\":{},\"dpt\":80,\
+                     \"os\":\"Linux 3.2\",\"svc\":\"http\",\"pkts\":{},\"bytes\":{}}}",
+                    i % 256,
+                    (i * 7) % 256,
+                    1024 + i,
+                    i * 3,
+                    i * 1400
+                )
+                .as_bytes(),
+            );
+        }
+        let r = ratio(&blob);
+        assert!(r > 0.30, "expected >30% compression on record-like state, got {r:.2}");
+    }
+}

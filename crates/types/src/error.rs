@@ -1,0 +1,75 @@
+//! Error types shared across the OpenMB workspace.
+
+use crate::flow::HeaderFieldList;
+use crate::MbId;
+
+/// Convenience result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by southbound/northbound API operations, the wire
+/// codec, and the transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A per-flow state request used a key *finer* than the granularity the
+    /// middlebox maintains state at (§4.1.2: "requests for per-flow state at
+    /// a granularity finer than the MB uses will return an error").
+    GranularityTooFine {
+        /// The key that was requested.
+        requested: HeaderFieldList,
+        /// Human-readable description of the MB's native granularity.
+        native: &'static str,
+    },
+    /// A configuration key does not exist in the middlebox's hierarchy.
+    NoSuchConfigKey(String),
+    /// A configuration value failed the middlebox's validation.
+    InvalidConfigValue { key: String, reason: String },
+    /// The referenced middlebox is not registered with the controller.
+    UnknownMb(MbId),
+    /// The middlebox does not maintain this category of state
+    /// (e.g. `getSupportShared` on a purely per-flow MB).
+    UnsupportedStateClass(&'static str),
+    /// A `put` carried a chunk whose decryption or deserialization failed;
+    /// the chunk was produced by a different MB type or corrupted in
+    /// transit.
+    MalformedChunk(String),
+    /// Shared-state merge was impossible for semantic reasons (§4.1.3:
+    /// "it may decide to start afresh when the state does not permit
+    /// merge").
+    MergeNotPermitted(String),
+    /// Wire-codec decode failure.
+    Codec(String),
+    /// Transport-level failure (connection reset, short read, ...).
+    Transport(String),
+    /// A northbound operation was cancelled or timed out.
+    OpFailed(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::GranularityTooFine { requested, native } => write!(
+                f,
+                "per-flow state request {requested} is finer than the MB's native granularity ({native})"
+            ),
+            Error::NoSuchConfigKey(k) => write!(f, "no such configuration key: {k}"),
+            Error::InvalidConfigValue { key, reason } => {
+                write!(f, "invalid configuration value for {key}: {reason}")
+            }
+            Error::UnknownMb(id) => write!(f, "unknown middlebox {id}"),
+            Error::UnsupportedStateClass(c) => write!(f, "MB does not maintain {c} state"),
+            Error::MalformedChunk(why) => write!(f, "malformed state chunk: {why}"),
+            Error::MergeNotPermitted(why) => write!(f, "shared-state merge not permitted: {why}"),
+            Error::Codec(why) => write!(f, "wire codec error: {why}"),
+            Error::Transport(why) => write!(f, "transport error: {why}"),
+            Error::OpFailed(why) => write!(f, "operation failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Transport(e.to_string())
+    }
+}

@@ -1,0 +1,422 @@
+//! Flow identification: exact 5-tuples ([`FlowKey`]) and the wildcardable
+//! `HeaderFieldList` abstraction from §4.1.2 of the paper.
+//!
+//! Per-flow state is exported/imported as `[HeaderFieldList : Chunk]`
+//! pairs. A `HeaderFieldList` may be *coarser* than the granularity a
+//! middlebox keeps state at (e.g. "everything from 1.1.1.0/24") — such a
+//! request returns all matching finest-granularity chunks. A request
+//! *finer* than the MB's native granularity is an error.
+
+use std::net::Ipv4Addr;
+
+/// Transport protocol carried in the 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    Tcp,
+    Udp,
+    Icmp,
+}
+
+impl Proto {
+    /// IANA protocol number, used on the wire.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Icmp => 1,
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+        }
+    }
+
+    /// Parse from an IANA protocol number.
+    pub fn from_number(n: u8) -> Option<Self> {
+        match n {
+            1 => Some(Proto::Icmp),
+            6 => Some(Proto::Tcp),
+            17 => Some(Proto::Udp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Proto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Proto::Tcp => write!(f, "tcp"),
+            Proto::Udp => write!(f, "udp"),
+            Proto::Icmp => write!(f, "icmp"),
+        }
+    }
+}
+
+/// An exact transport-level flow identifier (the finest granularity any
+/// middlebox in this workspace keys state by).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    pub src_ip: Ipv4Addr,
+    pub dst_ip: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// Construct a TCP flow key; the common case in tests and examples.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FlowKey { src_ip, dst_ip, src_port, dst_port, proto: Proto::Tcp }
+    }
+
+    /// Construct a UDP flow key.
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FlowKey { src_ip, dst_ip, src_port, dst_port, proto: Proto::Udp }
+    }
+
+    /// The same flow viewed from the opposite direction.
+    pub fn reversed(&self) -> Self {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A direction-insensitive canonical form: the (src, dst) pair is
+    /// ordered so both directions of a connection map to the same key.
+    /// Middleboxes that track bidirectional connections (IPS, monitor)
+    /// index their state by this form.
+    pub fn canonical(&self) -> Self {
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port) {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} {}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto
+        )
+    }
+}
+
+/// An IPv4 prefix (`addr/len`), used for wildcard matching on source or
+/// destination addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpPrefix {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+impl IpPrefix {
+    /// Create a prefix; the address is masked down to `len` bits so that
+    /// equal prefixes compare equal regardless of host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length must be <= 32");
+        let masked = u32::from(addr) & Self::mask(len);
+        IpPrefix { addr: Ipv4Addr::from(masked), len }
+    }
+
+    /// A host prefix (/32).
+    pub fn host(addr: Ipv4Addr) -> Self {
+        IpPrefix::new(addr, 32)
+    }
+
+    /// The all-matching prefix (0.0.0.0/0).
+    pub fn any() -> Self {
+        IpPrefix::new(Ipv4Addr::UNSPECIFIED, 0)
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The network address of the prefix.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the /0 prefix.
+    pub fn is_any(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this prefix contain `ip`?
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask(self.len)) == u32::from(self.addr)
+    }
+
+    /// Is `self` a superset (coarser or equal) of `other`?
+    pub fn covers(&self, other: &IpPrefix) -> bool {
+        self.len <= other.len && self.contains(other.addr)
+    }
+}
+
+impl std::fmt::Display for IpPrefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// How two `HeaderFieldList`s relate in granularity; used to implement the
+/// §4.1.2 rule that requests finer than an MB's native key granularity are
+/// rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// `self` matches a superset of the flows `other` matches.
+    Coarser,
+    /// Identical match sets.
+    Equal,
+    /// `self` matches a strict subset.
+    Finer,
+    /// Neither contains the other.
+    Incomparable,
+}
+
+/// A wildcardable flow pattern: the `HeaderFieldList` of the paper's
+/// southbound API. `None` fields and `/0` prefixes match anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeaderFieldList {
+    pub nw_src: IpPrefix,
+    pub nw_dst: IpPrefix,
+    pub tp_src: Option<u16>,
+    pub tp_dst: Option<u16>,
+    pub proto: Option<Proto>,
+}
+
+impl Default for HeaderFieldList {
+    fn default() -> Self {
+        Self::any()
+    }
+}
+
+impl HeaderFieldList {
+    /// Matches every flow — the `[]` argument of
+    /// `moveInternal(Prads2, Prads1, [])` in §6.2.
+    pub fn any() -> Self {
+        HeaderFieldList {
+            nw_src: IpPrefix::any(),
+            nw_dst: IpPrefix::any(),
+            tp_src: None,
+            tp_dst: None,
+            proto: None,
+        }
+    }
+
+    /// An exact match for one flow.
+    pub fn exact(key: FlowKey) -> Self {
+        HeaderFieldList {
+            nw_src: IpPrefix::host(key.src_ip),
+            nw_dst: IpPrefix::host(key.dst_ip),
+            tp_src: Some(key.src_port),
+            tp_dst: Some(key.dst_port),
+            proto: Some(key.proto),
+        }
+    }
+
+    /// Match all flows from a source subnet — the
+    /// `[nw_src=1.1.1.0/24]` argument of §6.2.
+    pub fn from_src_subnet(prefix: IpPrefix) -> Self {
+        HeaderFieldList { nw_src: prefix, ..Self::any() }
+    }
+
+    /// Match all flows to a destination subnet.
+    pub fn from_dst_subnet(prefix: IpPrefix) -> Self {
+        HeaderFieldList { nw_dst: prefix, ..Self::any() }
+    }
+
+    /// Match all flows with a given destination port (e.g. HTTP = 80).
+    pub fn from_dst_port(port: u16) -> Self {
+        HeaderFieldList { tp_dst: Some(port), ..Self::any() }
+    }
+
+    /// Does this pattern match an exact flow key (directionally)?
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        self.nw_src.contains(key.src_ip)
+            && self.nw_dst.contains(key.dst_ip)
+            && self.tp_src.is_none_or(|p| p == key.src_port)
+            && self.tp_dst.is_none_or(|p| p == key.dst_port)
+            && self.proto.is_none_or(|p| p == key.proto)
+    }
+
+    /// Does this pattern match either direction of a connection? Used by
+    /// middleboxes that key state by [`FlowKey::canonical`].
+    pub fn matches_bidi(&self, key: &FlowKey) -> bool {
+        self.matches(key) || self.matches(&key.reversed())
+    }
+
+    /// Number of wildcarded "dimensions"; lower = more specific. Used for
+    /// flow-table priority tie-breaking.
+    pub fn wildcard_score(&self) -> u32 {
+        let mut s = 0;
+        s += u32::from(32 - self.nw_src.len());
+        s += u32::from(32 - self.nw_dst.len());
+        if self.tp_src.is_none() {
+            s += 16;
+        }
+        if self.tp_dst.is_none() {
+            s += 16;
+        }
+        if self.proto.is_none() {
+            s += 8;
+        }
+        s
+    }
+
+    /// Compare the granularity of two patterns (see [`Granularity`]).
+    pub fn granularity(&self, other: &HeaderFieldList) -> Granularity {
+        let self_covers = self.covers(other);
+        let other_covers = other.covers(self);
+        match (self_covers, other_covers) {
+            (true, true) => Granularity::Equal,
+            (true, false) => Granularity::Coarser,
+            (false, true) => Granularity::Finer,
+            (false, false) => Granularity::Incomparable,
+        }
+    }
+
+    /// Is every flow matched by `other` also matched by `self`?
+    pub fn covers(&self, other: &HeaderFieldList) -> bool {
+        fn port_covers(a: Option<u16>, b: Option<u16>) -> bool {
+            match (a, b) {
+                (None, _) => true,
+                (Some(x), Some(y)) => x == y,
+                (Some(_), None) => false,
+            }
+        }
+        self.nw_src.covers(&other.nw_src)
+            && self.nw_dst.covers(&other.nw_dst)
+            && port_covers(self.tp_src, other.tp_src)
+            && port_covers(self.tp_dst, other.tp_dst)
+            && match (self.proto, other.proto) {
+                (None, _) => true,
+                (Some(x), Some(y)) => x == y,
+                (Some(_), None) => false,
+            }
+    }
+}
+
+impl std::fmt::Display for HeaderFieldList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if !self.nw_src.is_any() {
+            parts.push(format!("nw_src={}", self.nw_src));
+        }
+        if !self.nw_dst.is_any() {
+            parts.push(format!("nw_dst={}", self.nw_dst));
+        }
+        if let Some(p) = self.tp_src {
+            parts.push(format!("tp_src={p}"));
+        }
+        if let Some(p) = self.tp_dst {
+            parts.push(format!("tp_dst={p}"));
+        }
+        if let Some(p) = self.proto {
+            parts.push(format!("proto={p}"));
+        }
+        write!(f, "[{}]", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = IpPrefix::new(ip("10.1.2.3"), 24);
+        assert_eq!(p.addr(), ip("10.1.2.0"));
+        assert_eq!(p, IpPrefix::new(ip("10.1.2.99"), 24));
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p = IpPrefix::new(ip("10.1.0.0"), 16);
+        assert!(p.contains(ip("10.1.255.255")));
+        assert!(!p.contains(ip("10.2.0.0")));
+        assert!(IpPrefix::any().contains(ip("255.255.255.255")));
+    }
+
+    #[test]
+    fn prefix_covers() {
+        let wide = IpPrefix::new(ip("10.0.0.0"), 8);
+        let narrow = IpPrefix::new(ip("10.1.0.0"), 16);
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(wide.covers(&wide));
+    }
+
+    #[test]
+    fn flowkey_canonical_is_direction_insensitive() {
+        let k = FlowKey::tcp(ip("1.1.1.1"), 1234, ip("2.2.2.2"), 80);
+        assert_eq!(k.canonical(), k.reversed().canonical());
+    }
+
+    #[test]
+    fn hfl_exact_matches_only_that_flow() {
+        let k = FlowKey::tcp(ip("1.1.1.1"), 1234, ip("2.2.2.2"), 80);
+        let h = HeaderFieldList::exact(k);
+        assert!(h.matches(&k));
+        let other = FlowKey::tcp(ip("1.1.1.1"), 1235, ip("2.2.2.2"), 80);
+        assert!(!h.matches(&other));
+    }
+
+    #[test]
+    fn hfl_subnet_matches_all_in_subnet() {
+        let h = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24));
+        assert!(h.matches(&FlowKey::tcp(ip("1.1.1.200"), 5, ip("9.9.9.9"), 80)));
+        assert!(!h.matches(&FlowKey::tcp(ip("1.1.2.1"), 5, ip("9.9.9.9"), 80)));
+    }
+
+    #[test]
+    fn hfl_bidi_matches_reverse_direction() {
+        let h = HeaderFieldList::from_dst_port(80);
+        let fwd = FlowKey::tcp(ip("1.1.1.1"), 1234, ip("2.2.2.2"), 80);
+        assert!(h.matches_bidi(&fwd));
+        assert!(h.matches_bidi(&fwd.reversed()));
+        assert!(!h.matches(&fwd.reversed()));
+    }
+
+    #[test]
+    fn granularity_ordering() {
+        let any = HeaderFieldList::any();
+        let subnet = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24));
+        let exact =
+            HeaderFieldList::exact(FlowKey::tcp(ip("1.1.1.5"), 99, ip("2.2.2.2"), 80));
+        assert_eq!(any.granularity(&subnet), Granularity::Coarser);
+        assert_eq!(subnet.granularity(&any), Granularity::Finer);
+        assert_eq!(subnet.granularity(&subnet), Granularity::Equal);
+        assert_eq!(subnet.granularity(&exact), Granularity::Coarser);
+        let other_subnet =
+            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.2.0"), 24));
+        assert_eq!(subnet.granularity(&other_subnet), Granularity::Incomparable);
+    }
+
+    #[test]
+    fn wildcard_score_orders_specificity() {
+        let any = HeaderFieldList::any();
+        let exact =
+            HeaderFieldList::exact(FlowKey::tcp(ip("1.1.1.5"), 99, ip("2.2.2.2"), 80));
+        assert!(exact.wildcard_score() < any.wildcard_score());
+    }
+}

@@ -1,0 +1,97 @@
+//! SDN (OpenFlow-like) control messages.
+//!
+//! OpenMB coordinates middlebox state operations with network forwarding
+//! changes made through an SDN controller (§3). This module defines the
+//! minimal OpenFlow-style vocabulary that coordination needs: flow-table
+//! modifications, barriers, and packet-in/out. Switch "ports" are
+//! identified directly by neighbor [`NodeId`]s — the simulator's links
+//! play the role of physical ports.
+
+use crate::flow::HeaderFieldList;
+use crate::packet::Packet;
+use crate::NodeId;
+
+/// What a switch does with a matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdnAction {
+    /// Forward out the link to this neighbor.
+    Forward(NodeId),
+    /// Drop the packet.
+    Drop,
+}
+
+/// A flow-table entry: pattern, priority, action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRule {
+    /// Match pattern (wildcardable 5-tuple).
+    pub pattern: HeaderFieldList,
+    /// Restrict the match to packets arriving from this neighbor
+    /// ("ingress port"). Required to steer traffic *through* a middlebox:
+    /// the pre-MB and post-MB packet have the same 5-tuple and are
+    /// distinguished only by where they entered the switch.
+    pub in_port: Option<NodeId>,
+    /// Higher wins; ties broken by specificity then install order.
+    pub priority: u16,
+    pub action: SdnAction,
+}
+
+impl FlowRule {
+    /// A rule matching `pattern` from any ingress port.
+    pub fn new(pattern: HeaderFieldList, priority: u16, action: SdnAction) -> Self {
+        FlowRule { pattern, in_port: None, priority, action }
+    }
+
+    /// Restrict to one ingress port.
+    pub fn from_port(mut self, port: NodeId) -> Self {
+        self.in_port = Some(port);
+        self
+    }
+}
+
+/// Controller ↔ switch messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdnMessage {
+    /// Install (or overwrite an identical-pattern same-priority) rule.
+    FlowMod(FlowRule),
+    /// Remove all rules whose pattern equals `pattern` exactly.
+    FlowDel { pattern: HeaderFieldList },
+    /// Fence: the switch replies with `BarrierReply` after applying all
+    /// previously received mods.
+    BarrierRequest { token: u64 },
+    BarrierReply { token: u64 },
+    /// Table-miss: the switch sends the packet to the controller.
+    PacketIn { packet: Packet },
+    /// Controller-injected packet with an explicit action.
+    PacketOut { packet: Packet, action: SdnAction },
+}
+
+impl SdnMessage {
+    /// Modeled wire size in bytes (OpenFlow 1.0 messages are small and
+    /// fixed-format; we use representative constants).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            SdnMessage::FlowMod(_) => 72,
+            SdnMessage::FlowDel { .. } => 48,
+            SdnMessage::BarrierRequest { .. } | SdnMessage::BarrierReply { .. } => 12,
+            SdnMessage::PacketIn { packet } => 24 + packet.wire_len(),
+            SdnMessage::PacketOut { packet, .. } => 32 + packet.wire_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn wire_len_scales_with_packet() {
+        let key =
+            FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
+        let small = SdnMessage::PacketIn { packet: Packet::new(0, key, vec![0; 10]) };
+        let big = SdnMessage::PacketIn { packet: Packet::new(0, key, vec![0; 1000]) };
+        assert!(big.wire_len() > small.wire_len());
+        assert_eq!(SdnMessage::BarrierRequest { token: 0 }.wire_len(), 12);
+    }
+}

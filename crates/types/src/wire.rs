@@ -1,0 +1,1015 @@
+//! The controller ↔ middlebox wire protocol.
+//!
+//! The paper's prototype exchanges JSON messages over UNIX sockets to
+//! "invoke operations, send/receive state, and raise/forward events"
+//! (§7). We keep the identical message vocabulary — every southbound
+//! operation of §4.1, acknowledgements, streamed state chunks, and the
+//! two event kinds of §4.2 — but encode it with a compact length-prefixed
+//! binary codec so the transfer-cost model (and the §8.3 compression
+//! result) operates on realistic byte counts.
+//!
+//! Framing: each message is `u32 little-endian length ‖ body`. Bodies are
+//! type-tagged; all integers little-endian; strings and blobs are
+//! `u32 length ‖ bytes`.
+
+use std::net::Ipv4Addr;
+
+use crate::config::{ConfigValue, HierarchicalKey};
+use crate::error::{Error, Result};
+use crate::flow::{FlowKey, HeaderFieldList, IpPrefix, Proto};
+use crate::packet::{Packet, PacketMeta};
+use crate::state::{EncryptedChunk, StateChunk, StateStats};
+use crate::OpId;
+
+/// Maximum decoded message size; guards against corrupt length prefixes.
+pub const MAX_MESSAGE: usize = 64 << 20;
+
+/// Introspection / reprocess events raised by middleboxes (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// "Packet re-process" event (§4.2.1): raised by the source MB when a
+    /// packet updates a piece of state that has been moved or cloned.
+    /// Carries a copy of the packet; the destination replays it with
+    /// external side effects suppressed.
+    Reprocess {
+        /// The operation during which the update happened.
+        op: OpId,
+        /// The flow whose (moved/cloned) state the packet updated.
+        key: FlowKey,
+        /// A copy of the triggering packet.
+        packet: Packet,
+    },
+    /// Introspection event (§4.2.2): announces that the MB created or
+    /// updated a piece of state. Includes a key identifying the state, an
+    /// MB-specific event code, and optional MB-specific values.
+    Introspection {
+        /// MB-specific event code (e.g. NAT_MAPPING_CREATED).
+        code: u32,
+        /// The flow the state applies to.
+        key: FlowKey,
+        /// MB-specific `(name, value)` details (e.g. the chosen backend).
+        values: Vec<(String, String)>,
+    },
+}
+
+impl Event {
+    /// Rough wire size in bytes, for the controller's accounting.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Event::Reprocess { packet, .. } => 32 + packet.payload.len(),
+            Event::Introspection { values, .. } => {
+                24 + values.iter().map(|(k, v)| k.len() + v.len() + 8).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Which introspection events an application wants delivered (§4.2.2):
+/// "OpenMB makes it possible to enable or disable the generation of
+/// introspection events based on event codes and keys."
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventFilter {
+    /// Restrict to these event codes; `None` = all codes.
+    pub codes: Option<Vec<u32>>,
+    /// Restrict to state whose flow matches this pattern; `None` = all.
+    pub key: Option<HeaderFieldList>,
+}
+
+impl EventFilter {
+    /// A filter matching every introspection event.
+    pub fn all() -> Self {
+        EventFilter::default()
+    }
+
+    /// Does an introspection event pass this filter?
+    pub fn accepts(&self, code: u32, key: &FlowKey) -> bool {
+        self.codes.as_ref().is_none_or(|cs| cs.contains(&code))
+            && self.key.as_ref().is_none_or(|h| h.matches_bidi(key))
+    }
+}
+
+/// Every message exchanged between the MB controller and a middlebox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    // ---- controller -> MB: configuration state (§4.1.1) ----
+    GetConfig { op: OpId, key: HierarchicalKey },
+    SetConfig { op: OpId, key: HierarchicalKey, values: Vec<ConfigValue> },
+    DelConfig { op: OpId, key: HierarchicalKey },
+
+    // ---- controller -> MB: per-flow state (§4.1.2 / §4.1.3) ----
+    GetSupportPerflow { op: OpId, key: HeaderFieldList },
+    PutSupportPerflow { op: OpId, chunk: StateChunk },
+    DelSupportPerflow { op: OpId, key: HeaderFieldList },
+    GetReportPerflow { op: OpId, key: HeaderFieldList },
+    PutReportPerflow { op: OpId, chunk: StateChunk },
+    DelReportPerflow { op: OpId, key: HeaderFieldList },
+
+    // ---- controller -> MB: shared state (§4.1.2 / §4.1.3) ----
+    GetSupportShared { op: OpId },
+    PutSupportShared { op: OpId, chunk: EncryptedChunk },
+    GetReportShared { op: OpId },
+    PutReportShared { op: OpId, chunk: EncryptedChunk },
+
+    // ---- controller -> MB: stats + event subscription ----
+    GetStats { op: OpId, key: HeaderFieldList },
+    EnableEvents { op: OpId, filter: EventFilter },
+    DisableEvents { op: OpId },
+    /// A reprocess event forwarded by the controller to the destination MB.
+    ReprocessPacket { op: OpId, key: FlowKey, packet: Packet },
+    /// Close the sync window for `op` at the source MB: stop raising
+    /// reprocess events and clear moved/cloned marks. Sent by the
+    /// controller when its quiescence timer concludes the routing change
+    /// has taken effect (Fig 5's implicit end-of-move, extended to
+    /// clones which have no delete).
+    EndSync { op: OpId },
+
+    // ---- MB -> controller ----
+    /// One streamed per-flow chunk answering a `Get*Perflow`.
+    Chunk { op: OpId, chunk: StateChunk },
+    /// Stream terminator: the get completed; `count` chunks were sent.
+    /// (The "ACK after both get operations complete" of Fig 5.)
+    GetAck { op: OpId, count: u32 },
+    /// A shared-state blob answering `Get*Shared`.
+    SharedChunk { op: OpId, chunk: EncryptedChunk },
+    /// Acknowledges one successful `Put*` (Fig 5: "The DstMB will send an
+    /// ACK to the controller after each put operation completes").
+    PutAck { op: OpId, key: Option<HeaderFieldList> },
+    /// Acknowledges a `Del*`, `SetConfig`, `DelConfig`, or event
+    /// subscription change.
+    OpAck { op: OpId },
+    /// Configuration values answering `GetConfig`.
+    ConfigValues { op: OpId, pairs: Vec<(HierarchicalKey, Vec<ConfigValue>)> },
+    /// Stats answering `GetStats`.
+    Stats { op: OpId, stats: StateStats },
+    /// An event raised by the MB (reprocess or introspection).
+    EventMsg { event: Event },
+    /// Operation failure.
+    ErrorMsg { op: OpId, error: String },
+}
+
+impl Message {
+    /// The operation this message belongs to, when it has one.
+    pub fn op_id(&self) -> Option<OpId> {
+        use Message::*;
+        match self {
+            GetConfig { op, .. }
+            | SetConfig { op, .. }
+            | DelConfig { op, .. }
+            | GetSupportPerflow { op, .. }
+            | PutSupportPerflow { op, .. }
+            | DelSupportPerflow { op, .. }
+            | GetReportPerflow { op, .. }
+            | PutReportPerflow { op, .. }
+            | DelReportPerflow { op, .. }
+            | GetSupportShared { op }
+            | PutSupportShared { op, .. }
+            | GetReportShared { op }
+            | PutReportShared { op, .. }
+            | GetStats { op, .. }
+            | EnableEvents { op, .. }
+            | DisableEvents { op }
+            | ReprocessPacket { op, .. }
+            | EndSync { op }
+            | Chunk { op, .. }
+            | GetAck { op, .. }
+            | SharedChunk { op, .. }
+            | PutAck { op, .. }
+            | OpAck { op }
+            | ConfigValues { op, .. }
+            | Stats { op, .. }
+            | ErrorMsg { op, .. } => Some(*op),
+            EventMsg { .. } => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Growable encode buffer with the primitive writers of the codec.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    pub fn ip(&mut self, v: Ipv4Addr) {
+        self.buf.extend_from_slice(&v.octets());
+    }
+
+    fn flow_key(&mut self, k: &FlowKey) {
+        self.ip(k.src_ip);
+        self.ip(k.dst_ip);
+        self.u16(k.src_port);
+        self.u16(k.dst_port);
+        self.u8(k.proto.number());
+    }
+
+    fn hfl(&mut self, h: &HeaderFieldList) {
+        self.ip(h.nw_src.addr());
+        self.u8(h.nw_src.len());
+        self.ip(h.nw_dst.addr());
+        self.u8(h.nw_dst.len());
+        self.opt_u16(h.tp_src);
+        self.opt_u16(h.tp_dst);
+        match h.proto {
+            None => self.u8(0xff),
+            Some(p) => self.u8(p.number()),
+        }
+    }
+
+    fn opt_u16(&mut self, v: Option<u16>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u16(x);
+            }
+        }
+    }
+
+    fn hkey(&mut self, k: &HierarchicalKey) {
+        self.u32(k.segments().len() as u32);
+        for s in k.segments() {
+            self.str(s);
+        }
+    }
+
+    fn config_values(&mut self, vs: &[ConfigValue]) {
+        self.u32(vs.len() as u32);
+        for v in vs {
+            match v {
+                ConfigValue::Str(s) => {
+                    self.u8(0);
+                    self.str(s);
+                }
+                ConfigValue::Int(i) => {
+                    self.u8(1);
+                    self.i64(*i);
+                }
+                ConfigValue::Bool(b) => {
+                    self.u8(2);
+                    self.bool(*b);
+                }
+            }
+        }
+    }
+
+    fn packet(&mut self, p: &Packet) {
+        self.u64(p.id);
+        self.flow_key(&p.key);
+        self.u8(p.meta.tcp_flags);
+        self.u32(p.meta.seq);
+        self.bool(p.meta.http_request);
+        self.bytes(&p.payload);
+    }
+
+    fn chunk(&mut self, c: &StateChunk) {
+        self.hfl(&c.key);
+        self.bytes(c.data.as_wire());
+    }
+}
+
+/// Cursor-based decode buffer with the primitive readers of the codec.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.pos + n > self.buf.len() {
+            Err(Error::Codec(format!(
+                "truncated message: need {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+    pub fn u16(&mut self) -> Result<u16> {
+        self.need(2)?;
+        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
+        self.pos += 2;
+        Ok(v)
+    }
+    pub fn u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        Ok(v)
+    }
+    pub fn u64(&mut self) -> Result<u64> {
+        self.need(8)?;
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        if n > MAX_MESSAGE {
+            return Err(Error::Codec(format!("blob length {n} exceeds limit")));
+        }
+        self.need(n)?;
+        let v = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(v)
+    }
+    pub fn str(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|e| Error::Codec(format!("bad utf8: {e}")))
+    }
+    pub fn bool(&mut self) -> Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+    pub fn ip(&mut self) -> Result<Ipv4Addr> {
+        self.need(4)?;
+        let v = Ipv4Addr::new(
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+            self.buf[self.pos + 3],
+        );
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn flow_key(&mut self) -> Result<FlowKey> {
+        let src_ip = self.ip()?;
+        let dst_ip = self.ip()?;
+        let src_port = self.u16()?;
+        let dst_port = self.u16()?;
+        let pn = self.u8()?;
+        let proto =
+            Proto::from_number(pn).ok_or_else(|| Error::Codec(format!("bad proto {pn}")))?;
+        Ok(FlowKey { src_ip, dst_ip, src_port, dst_port, proto })
+    }
+
+    fn hfl(&mut self) -> Result<HeaderFieldList> {
+        let src_addr = self.ip()?;
+        let src_len = self.u8()?;
+        let dst_addr = self.ip()?;
+        let dst_len = self.u8()?;
+        if src_len > 32 || dst_len > 32 {
+            return Err(Error::Codec("prefix length > 32".into()));
+        }
+        let tp_src = self.opt_u16()?;
+        let tp_dst = self.opt_u16()?;
+        let pb = self.u8()?;
+        let proto = if pb == 0xff {
+            None
+        } else {
+            Some(Proto::from_number(pb).ok_or_else(|| Error::Codec(format!("bad proto {pb}")))?)
+        };
+        Ok(HeaderFieldList {
+            nw_src: IpPrefix::new(src_addr, src_len),
+            nw_dst: IpPrefix::new(dst_addr, dst_len),
+            tp_src,
+            tp_dst,
+            proto,
+        })
+    }
+
+    fn opt_u16(&mut self) -> Result<Option<u16>> {
+        if self.u8()? == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(self.u16()?))
+        }
+    }
+
+    fn hkey(&mut self) -> Result<HierarchicalKey> {
+        let n = self.u32()? as usize;
+        if n > 1024 {
+            return Err(Error::Codec("hierarchical key too deep".into()));
+        }
+        let mut k = HierarchicalKey::root();
+        for _ in 0..n {
+            k = k.child(&self.str()?);
+        }
+        Ok(k)
+    }
+
+    fn config_values(&mut self) -> Result<Vec<ConfigValue>> {
+        let n = self.u32()? as usize;
+        if n > MAX_MESSAGE / 2 {
+            return Err(Error::Codec("too many config values".into()));
+        }
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(match self.u8()? {
+                0 => ConfigValue::Str(self.str()?),
+                1 => ConfigValue::Int(self.i64()?),
+                2 => ConfigValue::Bool(self.bool()?),
+                t => return Err(Error::Codec(format!("bad config value tag {t}"))),
+            });
+        }
+        Ok(out)
+    }
+
+    fn packet(&mut self) -> Result<Packet> {
+        let id = self.u64()?;
+        let key = self.flow_key()?;
+        let tcp_flags = self.u8()?;
+        let seq = self.u32()?;
+        let http_request = self.bool()?;
+        let payload = self.bytes()?;
+        Ok(Packet {
+            id,
+            key,
+            meta: PacketMeta { tcp_flags, seq, http_request },
+            payload: payload.into(),
+        })
+    }
+
+    fn chunk(&mut self) -> Result<StateChunk> {
+        let key = self.hfl()?;
+        let data = EncryptedChunk::from_wire(self.bytes()?);
+        Ok(StateChunk { key, data })
+    }
+}
+
+mod tag {
+    pub const GET_CONFIG: u8 = 1;
+    pub const SET_CONFIG: u8 = 2;
+    pub const DEL_CONFIG: u8 = 3;
+    pub const GET_SUPPORT_PERFLOW: u8 = 4;
+    pub const PUT_SUPPORT_PERFLOW: u8 = 5;
+    pub const DEL_SUPPORT_PERFLOW: u8 = 6;
+    pub const GET_REPORT_PERFLOW: u8 = 7;
+    pub const PUT_REPORT_PERFLOW: u8 = 8;
+    pub const DEL_REPORT_PERFLOW: u8 = 9;
+    pub const GET_SUPPORT_SHARED: u8 = 10;
+    pub const PUT_SUPPORT_SHARED: u8 = 11;
+    pub const GET_REPORT_SHARED: u8 = 12;
+    pub const PUT_REPORT_SHARED: u8 = 13;
+    pub const GET_STATS: u8 = 14;
+    pub const ENABLE_EVENTS: u8 = 15;
+    pub const DISABLE_EVENTS: u8 = 16;
+    pub const REPROCESS_PACKET: u8 = 17;
+    pub const CHUNK: u8 = 18;
+    pub const GET_ACK: u8 = 19;
+    pub const SHARED_CHUNK: u8 = 20;
+    pub const PUT_ACK: u8 = 21;
+    pub const OP_ACK: u8 = 22;
+    pub const CONFIG_VALUES: u8 = 23;
+    pub const STATS: u8 = 24;
+    pub const EVENT_REPROCESS: u8 = 25;
+    pub const EVENT_INTROSPECTION: u8 = 26;
+    pub const ERROR: u8 = 27;
+    pub const END_SYNC: u8 = 28;
+}
+
+/// Encode a message body (no length prefix).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut w = Writer::new();
+    match msg {
+        Message::GetConfig { op, key } => {
+            w.u8(tag::GET_CONFIG);
+            w.u64(op.0);
+            w.hkey(key);
+        }
+        Message::SetConfig { op, key, values } => {
+            w.u8(tag::SET_CONFIG);
+            w.u64(op.0);
+            w.hkey(key);
+            w.config_values(values);
+        }
+        Message::DelConfig { op, key } => {
+            w.u8(tag::DEL_CONFIG);
+            w.u64(op.0);
+            w.hkey(key);
+        }
+        Message::GetSupportPerflow { op, key } => {
+            w.u8(tag::GET_SUPPORT_PERFLOW);
+            w.u64(op.0);
+            w.hfl(key);
+        }
+        Message::PutSupportPerflow { op, chunk } => {
+            w.u8(tag::PUT_SUPPORT_PERFLOW);
+            w.u64(op.0);
+            w.chunk(chunk);
+        }
+        Message::DelSupportPerflow { op, key } => {
+            w.u8(tag::DEL_SUPPORT_PERFLOW);
+            w.u64(op.0);
+            w.hfl(key);
+        }
+        Message::GetReportPerflow { op, key } => {
+            w.u8(tag::GET_REPORT_PERFLOW);
+            w.u64(op.0);
+            w.hfl(key);
+        }
+        Message::PutReportPerflow { op, chunk } => {
+            w.u8(tag::PUT_REPORT_PERFLOW);
+            w.u64(op.0);
+            w.chunk(chunk);
+        }
+        Message::DelReportPerflow { op, key } => {
+            w.u8(tag::DEL_REPORT_PERFLOW);
+            w.u64(op.0);
+            w.hfl(key);
+        }
+        Message::GetSupportShared { op } => {
+            w.u8(tag::GET_SUPPORT_SHARED);
+            w.u64(op.0);
+        }
+        Message::PutSupportShared { op, chunk } => {
+            w.u8(tag::PUT_SUPPORT_SHARED);
+            w.u64(op.0);
+            w.bytes(chunk.as_wire());
+        }
+        Message::GetReportShared { op } => {
+            w.u8(tag::GET_REPORT_SHARED);
+            w.u64(op.0);
+        }
+        Message::PutReportShared { op, chunk } => {
+            w.u8(tag::PUT_REPORT_SHARED);
+            w.u64(op.0);
+            w.bytes(chunk.as_wire());
+        }
+        Message::GetStats { op, key } => {
+            w.u8(tag::GET_STATS);
+            w.u64(op.0);
+            w.hfl(key);
+        }
+        Message::EnableEvents { op, filter } => {
+            w.u8(tag::ENABLE_EVENTS);
+            w.u64(op.0);
+            match &filter.codes {
+                None => w.u8(0),
+                Some(cs) => {
+                    w.u8(1);
+                    w.u32(cs.len() as u32);
+                    for c in cs {
+                        w.u32(*c);
+                    }
+                }
+            }
+            match &filter.key {
+                None => w.u8(0),
+                Some(h) => {
+                    w.u8(1);
+                    w.hfl(h);
+                }
+            }
+        }
+        Message::DisableEvents { op } => {
+            w.u8(tag::DISABLE_EVENTS);
+            w.u64(op.0);
+        }
+        Message::ReprocessPacket { op, key, packet } => {
+            w.u8(tag::REPROCESS_PACKET);
+            w.u64(op.0);
+            w.flow_key(key);
+            w.packet(packet);
+        }
+        Message::Chunk { op, chunk } => {
+            w.u8(tag::CHUNK);
+            w.u64(op.0);
+            w.chunk(chunk);
+        }
+        Message::GetAck { op, count } => {
+            w.u8(tag::GET_ACK);
+            w.u64(op.0);
+            w.u32(*count);
+        }
+        Message::SharedChunk { op, chunk } => {
+            w.u8(tag::SHARED_CHUNK);
+            w.u64(op.0);
+            w.bytes(chunk.as_wire());
+        }
+        Message::PutAck { op, key } => {
+            w.u8(tag::PUT_ACK);
+            w.u64(op.0);
+            match key {
+                None => w.u8(0),
+                Some(k) => {
+                    w.u8(1);
+                    w.hfl(k);
+                }
+            }
+        }
+        Message::OpAck { op } => {
+            w.u8(tag::OP_ACK);
+            w.u64(op.0);
+        }
+        Message::ConfigValues { op, pairs } => {
+            w.u8(tag::CONFIG_VALUES);
+            w.u64(op.0);
+            w.u32(pairs.len() as u32);
+            for (k, vs) in pairs {
+                w.hkey(k);
+                w.config_values(vs);
+            }
+        }
+        Message::Stats { op, stats } => {
+            w.u8(tag::STATS);
+            w.u64(op.0);
+            w.u64(stats.perflow_support_chunks as u64);
+            w.u64(stats.perflow_support_bytes as u64);
+            w.u64(stats.perflow_report_chunks as u64);
+            w.u64(stats.perflow_report_bytes as u64);
+            w.u64(stats.shared_support_bytes as u64);
+            w.u64(stats.shared_report_bytes as u64);
+        }
+        Message::EventMsg { event } => match event {
+            Event::Reprocess { op, key, packet } => {
+                w.u8(tag::EVENT_REPROCESS);
+                w.u64(op.0);
+                w.flow_key(key);
+                w.packet(packet);
+            }
+            Event::Introspection { code, key, values } => {
+                w.u8(tag::EVENT_INTROSPECTION);
+                w.u32(*code);
+                w.flow_key(key);
+                w.u32(values.len() as u32);
+                for (k, v) in values {
+                    w.str(k);
+                    w.str(v);
+                }
+            }
+        },
+        Message::ErrorMsg { op, error } => {
+            w.u8(tag::ERROR);
+            w.u64(op.0);
+            w.str(error);
+        }
+        Message::EndSync { op } => {
+            w.u8(tag::END_SYNC);
+            w.u64(op.0);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a message body produced by [`encode`]. Rejects trailing bytes.
+pub fn decode(buf: &[u8]) -> Result<Message> {
+    let mut r = Reader::new(buf);
+    let t = r.u8()?;
+    let msg = match t {
+        tag::GET_CONFIG => Message::GetConfig { op: OpId(r.u64()?), key: r.hkey()? },
+        tag::SET_CONFIG => Message::SetConfig {
+            op: OpId(r.u64()?),
+            key: r.hkey()?,
+            values: r.config_values()?,
+        },
+        tag::DEL_CONFIG => Message::DelConfig { op: OpId(r.u64()?), key: r.hkey()? },
+        tag::GET_SUPPORT_PERFLOW => {
+            Message::GetSupportPerflow { op: OpId(r.u64()?), key: r.hfl()? }
+        }
+        tag::PUT_SUPPORT_PERFLOW => {
+            Message::PutSupportPerflow { op: OpId(r.u64()?), chunk: r.chunk()? }
+        }
+        tag::DEL_SUPPORT_PERFLOW => {
+            Message::DelSupportPerflow { op: OpId(r.u64()?), key: r.hfl()? }
+        }
+        tag::GET_REPORT_PERFLOW => {
+            Message::GetReportPerflow { op: OpId(r.u64()?), key: r.hfl()? }
+        }
+        tag::PUT_REPORT_PERFLOW => {
+            Message::PutReportPerflow { op: OpId(r.u64()?), chunk: r.chunk()? }
+        }
+        tag::DEL_REPORT_PERFLOW => {
+            Message::DelReportPerflow { op: OpId(r.u64()?), key: r.hfl()? }
+        }
+        tag::GET_SUPPORT_SHARED => Message::GetSupportShared { op: OpId(r.u64()?) },
+        tag::PUT_SUPPORT_SHARED => Message::PutSupportShared {
+            op: OpId(r.u64()?),
+            chunk: EncryptedChunk::from_wire(r.bytes()?),
+        },
+        tag::GET_REPORT_SHARED => Message::GetReportShared { op: OpId(r.u64()?) },
+        tag::PUT_REPORT_SHARED => Message::PutReportShared {
+            op: OpId(r.u64()?),
+            chunk: EncryptedChunk::from_wire(r.bytes()?),
+        },
+        tag::GET_STATS => Message::GetStats { op: OpId(r.u64()?), key: r.hfl()? },
+        tag::ENABLE_EVENTS => {
+            let op = OpId(r.u64()?);
+            let codes = if r.u8()? == 1 {
+                let n = r.u32()? as usize;
+                if n > 65536 {
+                    return Err(Error::Codec("too many event codes".into()));
+                }
+                let mut cs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cs.push(r.u32()?);
+                }
+                Some(cs)
+            } else {
+                None
+            };
+            let key = if r.u8()? == 1 { Some(r.hfl()?) } else { None };
+            Message::EnableEvents { op, filter: EventFilter { codes, key } }
+        }
+        tag::DISABLE_EVENTS => Message::DisableEvents { op: OpId(r.u64()?) },
+        tag::REPROCESS_PACKET => Message::ReprocessPacket {
+            op: OpId(r.u64()?),
+            key: r.flow_key()?,
+            packet: r.packet()?,
+        },
+        tag::CHUNK => Message::Chunk { op: OpId(r.u64()?), chunk: r.chunk()? },
+        tag::GET_ACK => Message::GetAck { op: OpId(r.u64()?), count: r.u32()? },
+        tag::SHARED_CHUNK => Message::SharedChunk {
+            op: OpId(r.u64()?),
+            chunk: EncryptedChunk::from_wire(r.bytes()?),
+        },
+        tag::PUT_ACK => {
+            let op = OpId(r.u64()?);
+            let key = if r.u8()? == 1 { Some(r.hfl()?) } else { None };
+            Message::PutAck { op, key }
+        }
+        tag::OP_ACK => Message::OpAck { op: OpId(r.u64()?) },
+        tag::CONFIG_VALUES => {
+            let op = OpId(r.u64()?);
+            let n = r.u32()? as usize;
+            if n > MAX_MESSAGE / 8 {
+                return Err(Error::Codec("too many config pairs".into()));
+            }
+            let mut pairs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let k = r.hkey()?;
+                let vs = r.config_values()?;
+                pairs.push((k, vs));
+            }
+            Message::ConfigValues { op, pairs }
+        }
+        tag::STATS => Message::Stats {
+            op: OpId(r.u64()?),
+            stats: StateStats {
+                perflow_support_chunks: r.u64()? as usize,
+                perflow_support_bytes: r.u64()? as usize,
+                perflow_report_chunks: r.u64()? as usize,
+                perflow_report_bytes: r.u64()? as usize,
+                shared_support_bytes: r.u64()? as usize,
+                shared_report_bytes: r.u64()? as usize,
+            },
+        },
+        tag::EVENT_REPROCESS => Message::EventMsg {
+            event: Event::Reprocess {
+                op: OpId(r.u64()?),
+                key: r.flow_key()?,
+                packet: r.packet()?,
+            },
+        },
+        tag::EVENT_INTROSPECTION => {
+            let code = r.u32()?;
+            let key = r.flow_key()?;
+            let n = r.u32()? as usize;
+            if n > 65536 {
+                return Err(Error::Codec("too many event values".into()));
+            }
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = r.str()?;
+                let v = r.str()?;
+                values.push((k, v));
+            }
+            Message::EventMsg { event: Event::Introspection { code, key, values } }
+        }
+        tag::ERROR => Message::ErrorMsg { op: OpId(r.u64()?), error: r.str()? },
+        tag::END_SYNC => Message::EndSync { op: OpId(r.u64()?) },
+        other => return Err(Error::Codec(format!("unknown message tag {other}"))),
+    };
+    if !r.is_exhausted() {
+        return Err(Error::Codec("trailing bytes after message".into()));
+    }
+    Ok(msg)
+}
+
+/// Write a length-prefixed frame to an `io::Write`.
+pub fn write_frame<W: std::io::Write>(w: &mut W, msg: &Message) -> Result<()> {
+    let body = encode(msg);
+    if body.len() > MAX_MESSAGE {
+        return Err(Error::Codec(format!("message too large: {} bytes", body.len())));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    Ok(())
+}
+
+/// Read a length-prefixed frame from an `io::Read`. Returns `Ok(None)` at
+/// a clean EOF (no partial frame).
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Option<Message>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_MESSAGE {
+        return Err(Error::Codec(format!("frame length {len} exceeds limit")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    decode(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::VendorKey;
+
+    fn fk() -> FlowKey {
+        FlowKey::tcp(Ipv4Addr::new(1, 2, 3, 4), 1234, Ipv4Addr::new(5, 6, 7, 8), 80)
+    }
+
+    fn roundtrip(m: Message) {
+        let enc = encode(&m);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(m, dec);
+    }
+
+    #[test]
+    fn roundtrip_all_request_variants() {
+        let key = VendorKey::derive("t");
+        let hk = HierarchicalKey::parse("rules/http");
+        let hfl = HeaderFieldList::from_dst_port(80);
+        let chunk =
+            StateChunk::new(HeaderFieldList::exact(fk()), EncryptedChunk::seal(&key, 1, b"data"));
+        let shared = EncryptedChunk::seal(&key, 2, b"shared");
+        roundtrip(Message::GetConfig { op: OpId(1), key: hk.clone() });
+        roundtrip(Message::SetConfig {
+            op: OpId(2),
+            key: hk.clone(),
+            values: vec!["a".into(), 3i64.into(), true.into()],
+        });
+        roundtrip(Message::DelConfig { op: OpId(3), key: hk });
+        roundtrip(Message::GetSupportPerflow { op: OpId(4), key: hfl });
+        roundtrip(Message::PutSupportPerflow { op: OpId(5), chunk: chunk.clone() });
+        roundtrip(Message::DelSupportPerflow { op: OpId(6), key: hfl });
+        roundtrip(Message::GetReportPerflow { op: OpId(7), key: hfl });
+        roundtrip(Message::PutReportPerflow { op: OpId(8), chunk: chunk.clone() });
+        roundtrip(Message::DelReportPerflow { op: OpId(9), key: hfl });
+        roundtrip(Message::GetSupportShared { op: OpId(10) });
+        roundtrip(Message::PutSupportShared { op: OpId(11), chunk: shared.clone() });
+        roundtrip(Message::GetReportShared { op: OpId(12) });
+        roundtrip(Message::PutReportShared { op: OpId(13), chunk: shared.clone() });
+        roundtrip(Message::GetStats { op: OpId(14), key: hfl });
+        roundtrip(Message::EnableEvents {
+            op: OpId(15),
+            filter: EventFilter { codes: Some(vec![1, 2]), key: Some(hfl) },
+        });
+        roundtrip(Message::EnableEvents { op: OpId(16), filter: EventFilter::all() });
+        roundtrip(Message::DisableEvents { op: OpId(17) });
+        roundtrip(Message::ReprocessPacket {
+            op: OpId(18),
+            key: fk(),
+            packet: Packet::new(9, fk(), vec![1, 2, 3]),
+        });
+        roundtrip(Message::EndSync { op: OpId(19) });
+    }
+
+    #[test]
+    fn roundtrip_all_response_variants() {
+        let key = VendorKey::derive("t");
+        let chunk =
+            StateChunk::new(HeaderFieldList::exact(fk()), EncryptedChunk::seal(&key, 1, b"data"));
+        roundtrip(Message::Chunk { op: OpId(1), chunk: chunk.clone() });
+        roundtrip(Message::GetAck { op: OpId(2), count: 41 });
+        roundtrip(Message::SharedChunk {
+            op: OpId(3),
+            chunk: EncryptedChunk::seal(&key, 9, b"s"),
+        });
+        roundtrip(Message::PutAck { op: OpId(4), key: Some(HeaderFieldList::exact(fk())) });
+        roundtrip(Message::PutAck { op: OpId(5), key: None });
+        roundtrip(Message::OpAck { op: OpId(6) });
+        roundtrip(Message::ConfigValues {
+            op: OpId(7),
+            pairs: vec![(HierarchicalKey::parse("a/b"), vec![1i64.into()])],
+        });
+        roundtrip(Message::Stats {
+            op: OpId(8),
+            stats: StateStats {
+                perflow_support_chunks: 1,
+                perflow_support_bytes: 2,
+                perflow_report_chunks: 3,
+                perflow_report_bytes: 4,
+                shared_support_bytes: 5,
+                shared_report_bytes: 6,
+            },
+        });
+        roundtrip(Message::EventMsg {
+            event: Event::Reprocess {
+                op: OpId(9),
+                key: fk(),
+                packet: Packet::new(3, fk(), vec![0u8; 64]),
+            },
+        });
+        roundtrip(Message::EventMsg {
+            event: Event::Introspection {
+                code: 7,
+                key: fk(),
+                values: vec![("backend".into(), "10.0.0.2".into())],
+            },
+        });
+        roundtrip(Message::ErrorMsg { op: OpId(10), error: "boom".into() });
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert!(matches!(decode(&[200]), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = encode(&Message::OpAck { op: OpId(1) });
+        enc.push(0);
+        assert!(matches!(decode(&enc), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = encode(&Message::GetAck { op: OpId(1), count: 5 });
+        for cut in 1..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_over_stream() {
+        let msgs = vec![
+            Message::OpAck { op: OpId(1) },
+            Message::GetAck { op: OpId(2), count: 3 },
+            Message::ErrorMsg { op: OpId(3), error: "x".into() },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut out = Vec::new();
+        while let Some(m) = read_frame(&mut cursor).unwrap() {
+            out.push(m);
+        }
+        assert_eq!(msgs, out);
+    }
+
+    #[test]
+    fn event_filter_semantics() {
+        let f = EventFilter {
+            codes: Some(vec![1, 3]),
+            key: Some(HeaderFieldList::from_dst_port(80)),
+        };
+        assert!(f.accepts(1, &fk()));
+        assert!(!f.accepts(2, &fk()));
+        let other = FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 5, Ipv4Addr::new(2, 2, 2, 2), 443);
+        assert!(!f.accepts(1, &other));
+        assert!(EventFilter::all().accepts(99, &other));
+    }
+}

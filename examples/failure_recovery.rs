@@ -1,0 +1,101 @@
+//! The §2 failure-recovery scenario (requirement R6): introspection
+//! events keep a minimal live snapshot of a NAT's critical state, which
+//! restores instantly onto a standby when the primary fails.
+//!
+//! The `NatFailoverApp` subscribes (with a §4.2.2 code filter) to
+//! mapping-created/expired events, mirrors the address/port mappings at
+//! the controller, and — on the failure trigger — writes them onto the
+//! standby as static mappings, then reroutes. In-progress connections
+//! keep their external ports; non-critical state (timeouts, counters)
+//! restarts at defaults.
+//!
+//! Run with: `cargo run --example failure_recovery`
+
+use openmb::apps::failover::NatFailoverApp;
+use openmb::apps::migration::RouteSpec;
+use openmb::apps::scenarios::{layout, two_mb_scenario, ScenarioParams};
+use openmb::core::nodes::{ControllerNode, Host, MbNode};
+use openmb::mb::Middlebox;
+use openmb::middleboxes::Nat;
+use openmb::simnet::{Frame, SimDuration, SimTime};
+use openmb::types::{FlowKey, HeaderFieldList, Packet};
+use std::net::Ipv4Addr;
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+    Ipv4Addr::new(a, b, c, d)
+}
+
+fn main() {
+    use layout::*;
+    let external = ip(5, 5, 5, 5);
+    let app = NatFailoverApp::new(
+        MB_A_ID,
+        MB_B_ID,
+        SimDuration::from_millis(500), // primary "fails" here
+        RouteSpec {
+            pattern: HeaderFieldList::any(),
+            priority: 10,
+            src: SRC,
+            waypoints: vec![MB_B],
+            dst: DST,
+        },
+    );
+    let mut setup = two_mb_scenario(
+        Nat::new(external),
+        Nat::new(external),
+        Box::new(app),
+        ScenarioParams::default(),
+    );
+
+    // 20 outbound connections through the primary NAT before the failure.
+    for i in 0..20u16 {
+        let key = FlowKey::tcp(ip(10, 0, 0, (i % 200) as u8 + 1), 1000 + i, ip(8, 8, 8, 8), 80);
+        // Offset past the EnableEvents round trip so every mapping's
+        // creation event is observed.
+        setup.sim.inject_frame(
+            SimTime(5_000_000 + u64::from(i) * 10_000_000),
+            setup.src,
+            setup.switch,
+            Frame::Data(Packet::new(u64::from(i) + 1, key, vec![0u8; 64])),
+        );
+    }
+    // After the failover (t > 600ms), the same internal flows send again
+    // — through the standby.
+    for i in 0..20u16 {
+        let key = FlowKey::tcp(ip(10, 0, 0, (i % 200) as u8 + 1), 1000 + i, ip(8, 8, 8, 8), 80);
+        setup.sim.inject_frame(
+            SimTime(700_000_000 + u64::from(i) * 10_000_000),
+            setup.src,
+            setup.switch,
+            Frame::Data(Packet::new(1000 + u64::from(i), key, vec![0u8; 64])),
+        );
+    }
+    setup.sim.run(100_000_000);
+    assert!(setup.sim.is_idle());
+
+    let primary: &MbNode<Nat> = setup.sim.node_as(setup.mb_a);
+    let standby: &MbNode<Nat> = setup.sim.node_as(setup.mb_b);
+    let sink: &Host = setup.sim.node_as(setup.dst);
+    let ctrl: &ControllerNode = setup.sim.node_as(setup.controller);
+    let events = ctrl
+        .completions
+        .iter()
+        .filter(|(_, c)| matches!(c, openmb::core::Completion::MbEvent { .. }))
+        .count();
+
+    println!("introspection events observed by the app: {events}");
+    println!("mappings at failed primary:  {}", primary.logic.perflow_entries());
+    println!("mappings restored at standby: {}", standby.logic.perflow_entries());
+    assert_eq!(standby.logic.perflow_entries(), 20);
+
+    // Port stability: the standby translates each flow to the SAME
+    // external port the primary assigned — in-progress connections
+    // survive the failover.
+    let pre: Vec<u16> = primary.logic.mappings_sorted().iter().map(|m| m.external_port).collect();
+    let post: Vec<u16> = standby.logic.mappings_sorted().iter().map(|m| m.external_port).collect();
+    assert_eq!(pre, post, "external ports preserved across failover");
+    println!("external ports preserved:    {pre:?} == {post:?}");
+    println!("packets delivered:           {}", sink.received.len());
+    println!("\nOK: critical NAT state survived the failure via introspection (R6);");
+    println!("no parallel replica, no full-state snapshots.");
+}

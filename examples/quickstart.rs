@@ -1,0 +1,71 @@
+//! Quickstart: the smallest end-to-end OpenMB deployment.
+//!
+//! One switch, two PRADS-like monitors, a controller hosting a
+//! `FlowMoveApp` that shifts all HTTP flow state from instance A to
+//! instance B mid-run and then updates routing (requirement R4: state
+//! first, network second).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use openmb::apps::migration::{FlowMoveApp, RouteSpec};
+use openmb::apps::scenarios::{layout, two_mb_scenario, ScenarioParams};
+use openmb::core::nodes::{Host, MbNode};
+use openmb::mb::Middlebox;
+use openmb::middleboxes::Monitor;
+use openmb::simnet::SimDuration;
+use openmb::traffic::CloudTraceConfig;
+use openmb::types::HeaderFieldList;
+
+fn main() {
+    use layout::*;
+
+    // The control application: at t=400ms, moveInternal all HTTP state
+    // from mb_a to mb_b; once every put is ACKed, reroute HTTP via mb_b.
+    let pattern = HeaderFieldList::from_dst_port(80);
+    let app = FlowMoveApp::new(
+        MB_A_ID,
+        MB_B_ID,
+        pattern,
+        SimDuration::from_millis(400),
+        RouteSpec { pattern, priority: 10, src: SRC, waypoints: vec![MB_B], dst: DST },
+    );
+
+    // Topology: src -- switch -- dst, monitors hanging off the switch,
+    // controller wired to the switch and both middleboxes.
+    let mut setup = two_mb_scenario(
+        Monitor::new(),
+        Monitor::new(),
+        Box::new(app),
+        ScenarioParams::default(),
+    );
+
+    // A synthetic enterprise trace: 150 mixed HTTP/other flows.
+    let trace = CloudTraceConfig { flows: 150, span: SimDuration::from_secs(1), ..Default::default() }
+        .generate();
+    let total = trace.len();
+    trace.inject(&mut setup.sim, setup.src, setup.switch);
+
+    // Run the discrete-event simulation to completion.
+    setup.sim.run(100_000_000);
+    assert!(setup.sim.is_idle());
+
+    let a: &MbNode<Monitor> = setup.sim.node_as(setup.mb_a);
+    let b: &MbNode<Monitor> = setup.sim.node_as(setup.mb_b);
+    let sink: &Host = setup.sim.node_as(setup.dst);
+
+    println!("injected packets:        {total}");
+    println!("delivered to sink:       {}", sink.received.len());
+    println!("processed at mb_a:       {}", a.packets_processed);
+    println!("processed at mb_b:       {}", b.packets_processed);
+    println!("reprocess events raised: {}", a.logic.events_raised());
+    println!("events replayed at mb_b: {}", b.events_replayed);
+    println!(
+        "per-flow records:        {} at mb_a, {} at mb_b",
+        a.logic.perflow_entries(),
+        b.logic.perflow_entries()
+    );
+    let combined = a.logic.stat().total_packets + b.logic.stat().total_packets;
+    println!("combined packet counter: {combined} (every packet counted exactly once)");
+    assert_eq!(combined as usize, total);
+    println!("\nOK: HTTP flow state moved live, no packets lost or double-counted.");
+}

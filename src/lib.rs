@@ -1,0 +1,58 @@
+//! # OpenMB — software-defined middlebox networking
+//!
+//! A from-scratch Rust reproduction of *Design and Implementation of a
+//! Framework for Software-Defined Middlebox Networking* (Gember et al.):
+//! fine-grained, programmatic control over all middlebox state, in
+//! concert with SDN control over the network.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`types`] | `openmb-types` | flow keys, packets, config trees, state chunks, wire protocol, transports |
+//! | [`simnet`] | `openmb-simnet` | deterministic discrete-event network simulator |
+//! | [`openflow`] | `openmb-openflow` | OpenFlow-style switch, flow tables, SDN routing |
+//! | [`mb`] | `openmb-mb` | the southbound (MB-facing) API: the [`mb::Middlebox`] trait |
+//! | [`middleboxes`] | `openmb-middleboxes` | IPS (Bro-like), monitor (PRADS-like), RE (SmartRE-like), NAT, LB, firewall, dummy |
+//! | [`core`] | `openmb-core` | the MB controller: northbound API, Fig-5 orchestration, sim + TCP embeddings |
+//! | [`apps`] | `openmb-apps` | control applications (§6) and the §2.1 baselines |
+//! | [`traffic`] | `openmb-traffic` | seeded workload generators standing in for the paper's traces |
+//! | [`harness`] | `openmb-harness` | one experiment runner per table/figure of §8 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use openmb::mb::{Effects, Middlebox};
+//! use openmb::middleboxes::Monitor;
+//! use openmb::simnet::SimTime;
+//! use openmb::types::{FlowKey, HeaderFieldList, OpId, Packet};
+//! use std::net::Ipv4Addr;
+//!
+//! // Two monitor instances; traffic hits the first.
+//! let mut a = Monitor::new();
+//! let mut b = Monitor::new();
+//! let key = FlowKey::tcp("10.0.0.1".parse().unwrap(), 1234,
+//!                        "192.168.1.1".parse().unwrap(), 80);
+//! let mut fx = Effects::normal();
+//! a.process_packet(SimTime(0), &Packet::new(1, key, vec![0u8; 64]), &mut fx);
+//!
+//! // Move its per-flow state — the southbound API of §4.
+//! for chunk in a.get_report_perflow(OpId(1), &HeaderFieldList::any()).unwrap() {
+//!     b.put_report_perflow(chunk).unwrap();
+//! }
+//! assert_eq!(b.perflow_entries(), 1);
+//! ```
+//!
+//! See `examples/` for the full scenarios (live migration, elastic
+//! scaling, failure recovery, the TCP deployment) and DESIGN.md for the
+//! system inventory.
+
+pub use openmb_apps as apps;
+pub use openmb_core as core;
+pub use openmb_harness as harness;
+pub use openmb_mb as mb;
+pub use openmb_middleboxes as middleboxes;
+pub use openmb_openflow as openflow;
+pub use openmb_simnet as simnet;
+pub use openmb_traffic as traffic;
+pub use openmb_types as types;
