@@ -79,11 +79,7 @@ pub fn run_with_suspension(
     debug_assert_eq!(released, packets_buffered);
     let resumed_at = sim.now();
     sim.run(event_limit);
-    SuspensionReport {
-        packets_buffered,
-        suspension: resumed_at.since(suspend_at),
-        resumed_at,
-    }
+    SuspensionReport { packets_buffered, suspension: resumed_at.since(suspend_at), resumed_at }
 }
 
 /// The config+routing scale-down "hold-up": the deprecated middlebox

@@ -20,11 +20,14 @@ use openmb_core::controller::Completion;
 use openmb_middleboxes::nat::{EVENT_MAPPING_CREATED, EVENT_MAPPING_EXPIRED};
 use openmb_simnet::{SimDuration, SimTime};
 use openmb_types::wire::EventFilter;
-use openmb_types::{ConfigValue, FlowKey, MbId};
+use openmb_types::{ConfigValue, FlowKey, MbId, OpId};
 
 use crate::migration::RouteSpec;
 
 const T_FAIL: u64 = 1;
+/// How many times a restoration write is re-driven after a typed
+/// failure (timeout, unreachable standby) before being abandoned.
+const MAX_WRITE_ATTEMPTS: u32 = 3;
 
 /// The NAT failure-recovery application.
 pub struct NatFailoverApp {
@@ -36,12 +39,19 @@ pub struct NatFailoverApp {
     /// The live snapshot of critical state: internal flow → external
     /// port, maintained purely from introspection events.
     pub snapshot: HashMap<FlowKey, u16>,
-    /// Writes outstanding during restoration.
-    pending_writes: usize,
+    /// Restoration writes in flight: op → (mapping, attempt number).
+    /// Tracked per-op so a [`Completion::Failed`] can be matched to the
+    /// exact write it aborted and that write re-driven.
+    pending: HashMap<OpId, (FlowKey, u16, u32)>,
     restoring: bool,
     pub failed_over_at: Option<SimTime>,
     /// Introspection events observed (experiments).
     pub events_seen: u64,
+    /// Failed writes that were re-driven (experiments).
+    pub writes_retried: u64,
+    /// Writes abandoned after [`MAX_WRITE_ATTEMPTS`] failures
+    /// (experiments assert this stays 0 under recoverable faults).
+    pub writes_abandoned: u64,
 }
 
 impl NatFailoverApp {
@@ -52,10 +62,12 @@ impl NatFailoverApp {
             fail_at,
             route,
             snapshot: HashMap::new(),
-            pending_writes: 0,
+            pending: HashMap::new(),
             restoring: false,
             failed_over_at: None,
             events_seen: 0,
+            writes_retried: 0,
+            writes_abandoned: 0,
         }
     }
 
@@ -86,17 +98,12 @@ impl ControlApp for NatFailoverApp {
         // via configuration writes (the primary is unreachable, so no
         // state can be moved from it).
         self.restoring = true;
-        self.pending_writes = self.snapshot.len();
-        if self.pending_writes == 0 {
+        if self.snapshot.is_empty() {
             self.finish(api);
             return;
         }
         for (internal, ext_port) in self.snapshot.clone() {
-            api.write_config(
-                self.standby,
-                &format!("static_mappings/{ext_port}"),
-                vec![ConfigValue::Str(openmb_middleboxes::Nat::mapping_spec(&internal))],
-            );
+            self.write_mapping(api, internal, ext_port, 1);
         }
     }
 
@@ -106,9 +113,7 @@ impl ControlApp for NatFailoverApp {
                 self.events_seen += 1;
                 match *code {
                     EVENT_MAPPING_CREATED => {
-                        if let Some(port) =
-                            values.iter().find(|(k, _)| k == "external_port")
-                        {
+                        if let Some(port) = values.iter().find(|(k, _)| k == "external_port") {
                             if let Ok(p) = port.1.parse() {
                                 self.snapshot.insert(*key, p);
                             }
@@ -120,10 +125,30 @@ impl ControlApp for NatFailoverApp {
                     _ => {}
                 }
             }
-            Completion::Ack { .. } if self.restoring => {
-                self.pending_writes = self.pending_writes.saturating_sub(1);
-                if self.pending_writes == 0 && self.failed_over_at.is_none() {
+            Completion::Ack { op } if self.restoring => {
+                let acked = self.pending.remove(op).is_some();
+                if acked && self.pending.is_empty() && self.failed_over_at.is_none() {
                     self.finish(api);
+                }
+            }
+            Completion::Failed { op, error } if self.restoring => {
+                // A restoration write was aborted (deadline, unreachable
+                // standby, southbound rejection). Re-drive it: the write
+                // is idempotent — it sets the same static mapping — so
+                // retrying after a timeout is safe even if the original
+                // actually landed.
+                let Some((internal, ext_port, attempt)) = self.pending.remove(op) else {
+                    return;
+                };
+                let _ = error;
+                if attempt < MAX_WRITE_ATTEMPTS {
+                    self.writes_retried += 1;
+                    self.write_mapping(api, internal, ext_port, attempt + 1);
+                } else {
+                    self.writes_abandoned += 1;
+                    if self.pending.is_empty() && self.failed_over_at.is_none() {
+                        self.finish(api);
+                    }
                 }
             }
             _ => {}
@@ -132,6 +157,15 @@ impl ControlApp for NatFailoverApp {
 }
 
 impl NatFailoverApp {
+    fn write_mapping(&mut self, api: &mut Api<'_>, internal: FlowKey, ext_port: u16, attempt: u32) {
+        let op = api.write_config(
+            self.standby,
+            &format!("static_mappings/{ext_port}"),
+            vec![ConfigValue::Str(openmb_middleboxes::Nat::mapping_spec(&internal))],
+        );
+        self.pending.insert(op, (internal, ext_port, attempt));
+    }
+
     fn finish(&mut self, api: &mut Api<'_>) {
         let r = self.route.clone();
         let ok = api.route(r.pattern, r.priority, r.src, &r.waypoints, r.dst);

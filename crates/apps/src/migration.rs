@@ -84,8 +84,7 @@ impl ControlApp for FlowMoveApp {
                 self.chunks_moved = Some(*chunks_moved);
                 // R4: network update strictly after the move returns.
                 let r = &self.route;
-                let ok =
-                    api.route(r.pattern, r.priority, r.src, &r.waypoints.clone(), r.dst);
+                let ok = api.route(r.pattern, r.priority, r.src, &r.waypoints.clone(), r.dst);
                 assert!(ok, "migration route must exist");
             }
         }

@@ -187,11 +187,8 @@ impl ControlApp for ScaleDownApp {
             T_TRIGGER if self.phase == DownPhase::Idle => {
                 // Step 1: transfer all per-flow reporting state.
                 self.phase = DownPhase::MoveAll;
-                self.pending = Some(api.move_internal(
-                    self.deprecated,
-                    self.survivor,
-                    HeaderFieldList::any(),
-                ));
+                self.pending =
+                    Some(api.move_internal(self.deprecated, self.survivor, HeaderFieldList::any()));
             }
             T_DRAIN if self.phase == DownPhase::Draining => {
                 // Step 3: the deprecated instance is quiet — merge its

@@ -100,6 +100,7 @@ pub fn two_mb_scenario<A: Middlebox + 'static, B: Middlebox + 'static>(
             quiesce_after: params.quiesce_after,
             compress_transfers: false,
             buffer_events: params.buffer_events,
+            ..ControllerConfig::default()
         },
         params.controller_costs,
         app,
@@ -182,12 +183,7 @@ mod tests {
             Box::new(NullApp),
             ScenarioParams::default(),
         );
-        let key = FlowKey::tcp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            1234,
-            Ipv4Addr::new(192, 168, 1, 1),
-            80,
-        );
+        let key = FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 1234, Ipv4Addr::new(192, 168, 1, 1), 80);
         for i in 0..5u64 {
             setup.sim.inject_frame(
                 SimTime(i * 1_000_000),
@@ -263,6 +259,7 @@ pub fn re_scenario(
             quiesce_after: params.quiesce_after,
             compress_transfers: false,
             buffer_events: params.buffer_events,
+            ..ControllerConfig::default()
         },
         params.controller_costs,
         app,

@@ -13,7 +13,6 @@ use openmb_simnet::{SimDuration, SimTime};
 use openmb_traffic::{CloudTraceConfig, RedundantPayloads, Trace};
 use openmb_types::{HeaderFieldList, IpPrefix};
 
-
 fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
     Ipv4Addr::new(a, b, c, d)
 }
@@ -28,26 +27,13 @@ fn scale_up_moves_subset_and_preserves_counts() {
         MB_B_ID,
         subset,
         SimDuration::from_millis(400),
-        RouteSpec {
-            pattern: subset,
-            priority: 10,
-            src: SRC,
-            waypoints: vec![MB_B],
-            dst: DST,
-        },
+        RouteSpec { pattern: subset, priority: 10, src: SRC, waypoints: vec![MB_B], dst: DST },
     );
-    let mut setup = two_mb_scenario(
-        Monitor::new(),
-        Monitor::new(),
-        Box::new(app),
-        ScenarioParams::default(),
-    );
-    let trace = CloudTraceConfig {
-        flows: 120,
-        span: SimDuration::from_secs(1),
-        ..Default::default()
-    }
-    .generate();
+    let mut setup =
+        two_mb_scenario(Monitor::new(), Monitor::new(), Box::new(app), ScenarioParams::default());
+    let trace =
+        CloudTraceConfig { flows: 120, span: SimDuration::from_secs(1), ..Default::default() }
+            .generate();
     let total_packets = trace.len() as u64;
     trace.inject(&mut setup.sim, setup.src, setup.switch);
     setup.sim.run(50_000_000);
@@ -104,12 +90,8 @@ fn scale_down_consolidates_without_over_or_under_reporting() {
             dst: DST,
         },
     );
-    let mut setup = two_mb_scenario(
-        Monitor::new(),
-        Monitor::new(),
-        Box::new(app),
-        ScenarioParams::default(),
-    );
+    let mut setup =
+        two_mb_scenario(Monitor::new(), Monitor::new(), Box::new(app), ScenarioParams::default());
     let trace = CloudTraceConfig {
         flows: 100,
         span: SimDuration::from_secs(1),
@@ -165,13 +147,8 @@ fn re_migration_zero_undecodable() {
         "20.0.0.0/24",
         "20.0.1.0/24",
     );
-    let mut setup = re_scenario(
-        1 << 20,
-        prefix_a,
-        prefix_b,
-        Box::new(app),
-        ScenarioParams::default(),
-    );
+    let mut setup =
+        re_scenario(1 << 20, prefix_a, prefix_b, Box::new(app), ScenarioParams::default());
 
     // Redundant traffic interleaved to both DCs, with a quiet gap around
     // the migration window (pre-traffic ends ~450 ms, the recipe runs at
@@ -188,33 +165,30 @@ fn re_migration_zero_undecodable() {
         ip(20, 0, 0, 10),
         1,
     );
-    let before_b = RedundantPayloads { seed: 12, redundancy: 0.7, ..Default::default() }
-        .generate(
-            300,
-            SimTime(750_000),
-            SimDuration::from_micros(1500),
-            ip(10, 9, 9, 8),
-            ip(20, 0, 1, 10),
-            1,
-        );
-    let after = RedundantPayloads { seed: 13, redundancy: 0.7, ..Default::default() }
-        .generate(
-            200,
-            SimTime(900_000_000),
-            SimDuration::from_micros(1500),
-            ip(10, 9, 9, 9),
-            ip(20, 0, 0, 10),
-            1,
-        );
-    let after_b = RedundantPayloads { seed: 14, redundancy: 0.7, ..Default::default() }
-        .generate(
-            200,
-            SimTime(900_750_000),
-            SimDuration::from_micros(1500),
-            ip(10, 9, 9, 8),
-            ip(20, 0, 1, 10),
-            1,
-        );
+    let before_b = RedundantPayloads { seed: 12, redundancy: 0.7, ..Default::default() }.generate(
+        300,
+        SimTime(750_000),
+        SimDuration::from_micros(1500),
+        ip(10, 9, 9, 8),
+        ip(20, 0, 1, 10),
+        1,
+    );
+    let after = RedundantPayloads { seed: 13, redundancy: 0.7, ..Default::default() }.generate(
+        200,
+        SimTime(900_000_000),
+        SimDuration::from_micros(1500),
+        ip(10, 9, 9, 9),
+        ip(20, 0, 0, 10),
+        1,
+    );
+    let after_b = RedundantPayloads { seed: 14, redundancy: 0.7, ..Default::default() }.generate(
+        200,
+        SimTime(900_750_000),
+        SimDuration::from_micros(1500),
+        ip(10, 9, 9, 8),
+        ip(20, 0, 1, 10),
+        1,
+    );
     let trace = before.merge(&before_b).merge(&after).merge(&after_b);
     let total = trace.len();
     // Offset packet ids to be unique across merged traces.
@@ -269,12 +243,8 @@ fn proxy_consolidation_merges_cache_by_hits() {
             dst: DST,
         },
     );
-    let mut setup = two_mb_scenario(
-        Proxy::new(64),
-        Proxy::new(64),
-        Box::new(app),
-        ScenarioParams::default(),
-    );
+    let mut setup =
+        two_mb_scenario(Proxy::new(64), Proxy::new(64), Box::new(app), ScenarioParams::default());
     // HTTP requests through the (initially routed) mb_a: /hot requested
     // 4 times, /cold once.
     let urls = ["/hot", "/hot", "/hot", "/hot", "/cold"];
@@ -339,12 +309,8 @@ fn rebalance_picks_half_the_load() {
             dst: DST,
         },
     );
-    let mut setup = two_mb_scenario(
-        Monitor::new(),
-        Monitor::new(),
-        Box::new(app),
-        ScenarioParams::default(),
-    );
+    let mut setup =
+        two_mb_scenario(Monitor::new(), Monitor::new(), Box::new(app), ScenarioParams::default());
     // Load: subnet 1 → 10 flows, subnet 2 → 25 flows, subnet 3 → 15
     // flows (total 50; half = 25 → subnet 2 is the best pick).
     let mut id = 0u64;
@@ -427,10 +393,8 @@ fn nat_failover_preserves_mappings_and_ports() {
     let primary: &MbNode<Nat> = setup.sim.node_as(setup.mb_a);
     let standby: &MbNode<Nat> = setup.sim.node_as(setup.mb_b);
     assert_eq!(standby.logic.perflow_entries(), 15, "all mappings restored");
-    let pre: Vec<u16> =
-        primary.logic.mappings_sorted().iter().map(|m| m.external_port).collect();
-    let post: Vec<u16> =
-        standby.logic.mappings_sorted().iter().map(|m| m.external_port).collect();
+    let pre: Vec<u16> = primary.logic.mappings_sorted().iter().map(|m| m.external_port).collect();
+    let post: Vec<u16> = standby.logic.mappings_sorted().iter().map(|m| m.external_port).collect();
     assert_eq!(pre, post, "external ports preserved across failover");
 }
 
@@ -438,11 +402,11 @@ fn nat_failover_preserves_mappings_and_ports() {
 /// requested introspection events to the application.
 #[test]
 fn introspection_code_filter_limits_events() {
+    use openmb_apps::scenarios::layout::*;
     use openmb_core::app::{Api, ControlApp};
     use openmb_core::Completion;
     use openmb_middleboxes::lb::EVENT_FLOW_ASSIGNED;
     use openmb_middleboxes::LoadBalancer;
-    use openmb_apps::scenarios::layout::*;
 
     struct SubscribeApp;
     impl ControlApp for SubscribeApp {
@@ -468,16 +432,17 @@ fn introspection_code_filter_limits_events() {
             SimTime(u64::from(i) * 1_000_000 + 10_000_000),
             setup.src,
             setup.switch,
-            openmb_simnet::Frame::Data(openmb_types::Packet::new(u64::from(i) + 1, key, vec![0u8; 10])),
+            openmb_simnet::Frame::Data(openmb_types::Packet::new(
+                u64::from(i) + 1,
+                key,
+                vec![0u8; 10],
+            )),
         );
     }
     setup.sim.run(100_000_000);
     let ctrl: &openmb_core::nodes::ControllerNode = setup.sim.node_as(setup.controller);
-    let delivered = ctrl
-        .completions
-        .iter()
-        .filter(|(_, c)| matches!(c, Completion::MbEvent { .. }))
-        .count();
+    let delivered =
+        ctrl.completions.iter().filter(|(_, c)| matches!(c, Completion::MbEvent { .. })).count();
     assert_eq!(delivered, 0, "code filter must suppress non-matching events");
     let _ = EVENT_FLOW_ASSIGNED;
 }

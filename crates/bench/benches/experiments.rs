@@ -7,9 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use openmb_harness::{
-    compress_xp, correctness, fig10, fig8, fig9, snapshot, splitmerge, table3,
-};
+use openmb_harness::{compress_xp, correctness, fig10, fig8, fig9, snapshot, splitmerge, table3};
 
 fn small(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group("experiments");
@@ -27,9 +25,7 @@ fn fig7_scale_up_timeline(c: &mut Criterion) {
 
 fn fig8_flow_durations(c: &mut Criterion) {
     let mut g = small(c);
-    g.bench_function("fig8_flow_durations", |b| {
-        b.iter(|| black_box(fig8::run().frac_above_1500s))
-    });
+    g.bench_function("fig8_flow_durations", |b| b.iter(|| black_box(fig8::run().frac_above_1500s)));
     g.finish();
 }
 
@@ -88,9 +84,7 @@ fn table2_applicability(c: &mut Criterion) {
     g.bench_function("table2_holdup", |b| {
         let durations =
             openmb_traffic::DatacenterWorkload { flows: 4000, ..Default::default() }.durations();
-        b.iter(|| {
-            black_box(openmb_apps::baselines::config_routing_holdup(&durations, 500, 3))
-        })
+        b.iter(|| black_box(openmb_apps::baselines::config_routing_holdup(&durations, 500, 3)))
     });
     g.finish();
 }

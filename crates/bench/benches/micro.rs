@@ -12,8 +12,7 @@ use openmb_types::crypto::{self, VendorKey};
 use openmb_types::sdn::{FlowRule, SdnAction};
 use openmb_types::wire::{self, Message};
 use openmb_types::{
-    compress, EncryptedChunk, FlowKey, HeaderFieldList, IpPrefix, NodeId, OpId, Packet,
-    StateChunk,
+    compress, EncryptedChunk, FlowKey, HeaderFieldList, IpPrefix, NodeId, OpId, Packet, StateChunk,
 };
 
 fn key(i: u32) -> FlowKey {
@@ -36,9 +35,7 @@ fn bench_wire_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
     g.bench_function("encode_put_chunk", |b| b.iter(|| wire::encode(black_box(&msg))));
-    g.bench_function("decode_put_chunk", |b| {
-        b.iter(|| wire::decode(black_box(&encoded)).unwrap())
-    });
+    g.bench_function("decode_put_chunk", |b| b.iter(|| wire::decode(black_box(&encoded)).unwrap()));
     g.finish();
 }
 
@@ -58,7 +55,8 @@ fn bench_compress(c: &mut Criterion) {
     let mut blob = Vec::new();
     for i in 0..100u32 {
         blob.extend_from_slice(
-            format!("{{\"sip\":\"10.1.0.{}\",\"svc\":\"http\",\"pkts\":{}}}", i % 256, i).as_bytes(),
+            format!("{{\"sip\":\"10.1.0.{}\",\"svc\":\"http\",\"pkts\":{}}}", i % 256, i)
+                .as_bytes(),
         );
         blob.extend_from_slice(&[0u8; 60]);
     }
@@ -110,11 +108,8 @@ fn bench_middlebox_paths(c: &mut Criterion) {
         let mut ips = Ips::new();
         let mut i = 0u32;
         b.iter(|| {
-            let pkt = Packet::new(
-                u64::from(i),
-                key(i % 1000),
-                b"GET /x.html HTTP/1.1\r\n".to_vec(),
-            );
+            let pkt =
+                Packet::new(u64::from(i), key(i % 1000), b"GET /x.html HTTP/1.1\r\n".to_vec());
             let mut fx = Effects::normal();
             ips.process_packet(SimTime(u64::from(i)), &pkt, &mut fx);
             i += 1;
@@ -123,8 +118,12 @@ fn bench_middlebox_paths(c: &mut Criterion) {
     });
     g.bench_function("re_encode_redundant_packet", |b| {
         let mut enc = ReEncoder::new(1 << 20);
-        let payload: Vec<u8> =
-            b"HTTP/1.1 200 OK lorem ipsum dolor sit amet ".iter().copied().cycle().take(1200).collect();
+        let payload: Vec<u8> = b"HTTP/1.1 200 OK lorem ipsum dolor sit amet "
+            .iter()
+            .copied()
+            .cycle()
+            .take(1200)
+            .collect();
         // Warm the cache so encoding finds matches.
         let mut fx = Effects::normal();
         enc.process_packet(SimTime(0), &Packet::new(0, key(1), payload.clone()), &mut fx);
@@ -157,9 +156,7 @@ fn bench_southbound_get_put(c: &mut Criterion) {
                 m
             },
             |mut m| {
-                black_box(
-                    m.get_report_perflow(OpId(1), &HeaderFieldList::any()).unwrap().len(),
-                )
+                black_box(m.get_report_perflow(OpId(1), &HeaderFieldList::any()).unwrap().len())
             },
             BatchSize::SmallInput,
         )

@@ -31,48 +31,72 @@ pub trait ControlApp {
 pub struct NullApp;
 impl ControlApp for NullApp {}
 
+/// The borrowed context an embedding assembles to host an [`Api`] view.
+///
+/// Named fields replace the old six-positional-argument constructor:
+/// three of those arguments were `&mut Vec` sinks of different element
+/// types, and the compiler could not catch a transposition between the
+/// two that shared a shape. Construct one per callback:
+///
+/// ```ignore
+/// let mut api = Api::new(ApiCtx {
+///     core: &mut self.core,
+///     topo: &mut self.topo,
+///     now,
+///     actions: &mut actions,
+///     sdn: &mut sdn,
+///     timers: &mut timers,
+/// });
+/// ```
+pub struct ApiCtx<'a> {
+    /// The controller state machine northbound calls are applied to.
+    pub core: &'a mut ControllerCore,
+    /// The SDN controller's topology view.
+    pub topo: &'a mut Topology,
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Sink for controller [`Action`]s the embedding must carry out.
+    pub actions: &'a mut Vec<Action>,
+    /// Sink for SDN messages to dispatch to switches.
+    pub sdn: &'a mut Vec<(NodeId, SdnMessage)>,
+    /// Sink for `(delay, token)` timer requests.
+    pub timers: &'a mut Vec<(SimDuration, u64)>,
+}
+
 /// The application-facing surface: northbound MB-state operations (§5),
 /// SDN routing updates, and timers.
 pub struct Api<'a> {
-    core: &'a mut ControllerCore,
-    topo: &'a mut Topology,
-    now: SimTime,
-    actions: &'a mut Vec<Action>,
-    sdn: &'a mut Vec<(NodeId, SdnMessage)>,
-    timers: &'a mut Vec<(SimDuration, u64)>,
+    ctx: ApiCtx<'a>,
 }
 
 impl<'a> Api<'a> {
-    /// Assemble an API view (used by the controller embeddings).
-    pub fn new(
-        core: &'a mut ControllerCore,
-        topo: &'a mut Topology,
-        now: SimTime,
-        actions: &'a mut Vec<Action>,
-        sdn: &'a mut Vec<(NodeId, SdnMessage)>,
-        timers: &'a mut Vec<(SimDuration, u64)>,
-    ) -> Self {
-        Api { core, topo, now, actions, sdn, timers }
+    /// Assemble an API view over an embedding's [`ApiCtx`].
+    pub fn new(ctx: ApiCtx<'a>) -> Self {
+        Api { ctx }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.ctx.now
     }
 
     // ---- northbound API (§5) ----
 
     /// `readConfig(SrcMB, key)`; completes with [`Completion::Config`].
     pub fn read_config(&mut self, src: MbId, key: &str) -> OpId {
-        self.core
-            .read_config(src, HierarchicalKey::parse(key), self.now, self.actions)
+        self.ctx.core.read_config(src, HierarchicalKey::parse(key), self.ctx.now, self.ctx.actions)
     }
 
     /// `writeConfig(DstMB, key, values)`; completes with
     /// [`Completion::Ack`].
     pub fn write_config(&mut self, dst: MbId, key: &str, values: Vec<ConfigValue>) -> OpId {
-        self.core
-            .write_config(dst, HierarchicalKey::parse(key), values, self.now, self.actions)
+        self.ctx.core.write_config(
+            dst,
+            HierarchicalKey::parse(key),
+            values,
+            self.ctx.now,
+            self.ctx.actions,
+        )
     }
 
     /// Write a whole configuration previously read with
@@ -85,12 +109,12 @@ impl<'a> Api<'a> {
     ) -> Option<OpId> {
         let mut last = None;
         for (k, v) in pairs {
-            last = Some(self.core.write_config(
+            last = Some(self.ctx.core.write_config(
                 dst,
                 k.clone(),
                 v.clone(),
-                self.now,
-                self.actions,
+                self.ctx.now,
+                self.ctx.actions,
             ));
         }
         last
@@ -98,43 +122,43 @@ impl<'a> Api<'a> {
 
     /// `stats(SrcMB, key)`; completes with [`Completion::Stats`].
     pub fn stats(&mut self, src: MbId, key: HeaderFieldList) -> OpId {
-        self.core.stats(src, key, self.now, self.actions)
+        self.ctx.core.stats(src, key, self.ctx.now, self.ctx.actions)
     }
 
     /// `moveInternal(SrcMB, DstMB, key)`; completes with
     /// [`Completion::MoveComplete`].
     pub fn move_internal(&mut self, src: MbId, dst: MbId, key: HeaderFieldList) -> OpId {
-        self.core.move_internal(src, dst, key, self.now, self.actions)
+        self.ctx.core.move_internal(src, dst, key, self.ctx.now, self.ctx.actions)
     }
 
     /// `cloneSupport(SrcMB, DstMB)`; completes with
     /// [`Completion::CloneComplete`].
     pub fn clone_support(&mut self, src: MbId, dst: MbId) -> OpId {
-        self.core.clone_support(src, dst, self.now, self.actions)
+        self.ctx.core.clone_support(src, dst, self.ctx.now, self.ctx.actions)
     }
 
     /// `mergeInternal(SrcMB, DstMB)`; completes with
     /// [`Completion::MergeComplete`].
     pub fn merge_internal(&mut self, src: MbId, dst: MbId) -> OpId {
-        self.core.merge_internal(src, dst, self.now, self.actions)
+        self.ctx.core.merge_internal(src, dst, self.ctx.now, self.ctx.actions)
     }
 
     /// Subscribe to introspection events from `mb` (§4.2.2).
     pub fn enable_events(&mut self, mb: MbId, filter: EventFilter) -> OpId {
-        self.core.enable_events(mb, filter, self.now, self.actions)
+        self.ctx.core.enable_events(mb, filter, self.ctx.now, self.ctx.actions)
     }
 
     /// Explicitly close a move/clone/merge transaction (see
     /// [`ControllerCore::end_op`]).
     pub fn end_op(&mut self, op: OpId) {
-        self.core.end_op(op, self.actions);
+        self.ctx.core.end_op(op, self.ctx.actions);
     }
 
     // ---- SDN side ----
 
     /// The SDN controller's topology view.
     pub fn topology(&mut self) -> &mut Topology {
-        self.topo
+        self.ctx.topo
     }
 
     /// Compute a waypointed path and install flow rules along it for
@@ -150,24 +174,24 @@ impl<'a> Api<'a> {
         waypoints: &[NodeId],
         dst: NodeId,
     ) -> bool {
-        let Some(path) = self.topo.waypoint_path(src, waypoints, dst) else {
+        let Some(path) = self.ctx.topo.waypoint_path(src, waypoints, dst) else {
             return false;
         };
-        for (sw, msg) in self.topo.path_flow_mods(pattern, priority, &path) {
-            self.sdn.push((sw, msg));
+        for (sw, msg) in self.ctx.topo.path_flow_mods(pattern, priority, &path) {
+            self.ctx.sdn.push((sw, msg));
         }
         true
     }
 
     /// Send a raw SDN message to a switch.
     pub fn send_sdn(&mut self, switch: NodeId, msg: SdnMessage) {
-        self.sdn.push((switch, msg));
+        self.ctx.sdn.push((switch, msg));
     }
 
     // ---- timers ----
 
     /// Fire [`ControlApp::on_timer`] with `token` after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.timers.push((delay, token));
+        self.ctx.timers.push((delay, token));
     }
 }

@@ -17,15 +17,19 @@
 //! transports (`tcp`), exactly as the paper's Floodlight module serves
 //! both their testbed and their dummy-MB scalability rig.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use openmb_simnet::{SimDuration, SimTime};
 use openmb_types::wire::{Event, EventFilter, Message};
 use openmb_types::{
-    ConfigValue, FlowKey, HeaderFieldList, HierarchicalKey, MbId, OpId, Packet, StateStats,
+    ConfigValue, Error, FlowKey, HeaderFieldList, HierarchicalKey, MbId, OpId, Packet, StateStats,
 };
 
 /// An effect the embedding must carry out.
+///
+/// `#[non_exhaustive]`: embeddings must keep a wildcard arm so new
+/// action kinds are not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
     /// Send a protocol message to a middlebox.
@@ -36,6 +40,10 @@ pub enum Action {
 
 /// Northbound completions and notifications delivered to control
 /// applications.
+///
+/// `#[non_exhaustive]`: applications must keep a wildcard arm so new
+/// completion kinds are not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Completion {
     /// `readConfig` finished.
@@ -51,8 +59,10 @@ pub enum Completion {
     CloneComplete { op: OpId },
     /// `mergeInternal` finished.
     MergeComplete { op: OpId },
-    /// An operation failed.
-    Failed { op: OpId, error: String },
+    /// An operation failed. Carries the typed [`Error`] so applications
+    /// can branch on the failure kind (timeout, unreachable MB,
+    /// granularity, ...) instead of parsing a message string.
+    Failed { op: OpId, error: Error },
     /// An introspection event arrived from a middlebox the application
     /// subscribed to.
     MbEvent { mb: MbId, code: u32, key: FlowKey, values: Vec<(String, String)> },
@@ -95,6 +105,18 @@ enum SubRole {
 struct BufferedEvent {
     key: FlowKey,
     packet: Packet,
+}
+
+/// Retry bookkeeping for idempotent simple requests (config reads,
+/// stats). The stored request keeps its original sub-op id, so a
+/// duplicate reply after a retry lands on an already-completed op and
+/// is ignored.
+struct RetryState {
+    target: MbId,
+    request: Message,
+    next_at: SimTime,
+    backoff: SimDuration,
+    left: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +162,10 @@ struct OpState {
     last_activity: SimTime,
     /// Quiescence already executed (del/EndSync sent)?
     quiesced: bool,
+    /// Virtual time at which the op is aborted if still incomplete.
+    deadline: SimTime,
+    /// Retry schedule for idempotent simple requests.
+    retry: Option<RetryState>,
     /// Statistics: events forwarded under this op.
     pub events_forwarded: u64,
 }
@@ -161,6 +187,20 @@ pub struct ControllerConfig {
     /// §4.2.1 atomicity violation the design exists to prevent. The
     /// `ablations` harness measures the resulting lost updates.
     pub buffer_events: bool,
+    /// Deadline for every northbound operation: if the op has not
+    /// completed within this span, `tick` aborts it — rolling back
+    /// partially-put destination state (moves), dropping buffered
+    /// reprocess events, releasing the op's bookkeeping, and notifying
+    /// the application with [`Error::Timeout`] (or
+    /// [`Error::MbUnreachable`] when the embedding reported a crash).
+    pub op_deadline: SimDuration,
+    /// Initial backoff before the first retry of an idempotent simple
+    /// request (config reads, stats). Doubles per attempt.
+    pub retry_backoff: SimDuration,
+    /// Maximum retries for idempotent simple requests. Non-idempotent
+    /// requests (writes, transfers) are never retried — they fail at
+    /// the deadline instead.
+    pub max_retries: u32,
 }
 
 impl Default for ControllerConfig {
@@ -169,6 +209,9 @@ impl Default for ControllerConfig {
             quiesce_after: SimDuration::from_millis(500),
             compress_transfers: false,
             buffer_events: true,
+            op_deadline: SimDuration::from_secs(10),
+            retry_backoff: SimDuration::from_millis(100),
+            max_retries: 3,
         }
     }
 }
@@ -182,6 +225,10 @@ pub struct ControllerCore {
     sub_ops: HashMap<OpId, (OpId, SubRole)>,
     /// Introspection subscription per MB (controller-side record).
     subscriptions: HashMap<MbId, EventFilter>,
+    /// MBs the embedding has reported as crashed/unreachable. Every
+    /// northbound call naming one fails fast with
+    /// [`Error::MbUnreachable`] until `mark_reachable` clears it.
+    unreachable: HashSet<MbId>,
     pub config: ControllerConfig,
     /// Counters for experiments (messages brokered, events buffered...).
     pub messages_handled: u64,
@@ -197,6 +244,7 @@ impl ControllerCore {
             ops: HashMap::new(),
             sub_ops: HashMap::new(),
             subscriptions: HashMap::new(),
+            unreachable: HashSet::new(),
             config,
             messages_handled: 0,
             events_buffered_peak: 0,
@@ -222,6 +270,62 @@ impl ControllerCore {
         id
     }
 
+    /// Fresh per-op state with the deadline stamped from config.
+    fn new_op_state(&self, kind: OpKind, src: MbId, dst: MbId, now: SimTime) -> OpState {
+        OpState::new(kind, src, dst, now, now.after(self.config.op_deadline))
+    }
+
+    /// First unusable MB among `mbs`: unregistered handles surface as
+    /// [`Error::UnknownMb`], crashed ones as [`Error::MbUnreachable`].
+    fn mb_error(&self, mbs: &[MbId]) -> Option<Error> {
+        for &m in mbs {
+            if !self.mbs.contains(&m) {
+                return Some(Error::UnknownMb(m));
+            }
+            if self.unreachable.contains(&m) {
+                return Some(Error::MbUnreachable(m));
+            }
+        }
+        None
+    }
+
+    /// Record an operation that failed validation before any southbound
+    /// traffic, and deliver the typed failure immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_fast(
+        &mut self,
+        op: OpId,
+        kind: OpKind,
+        src: MbId,
+        dst: MbId,
+        error: Error,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
+        let mut st = self.new_op_state(kind, src, dst, now);
+        st.completed = true;
+        st.quiesced = true;
+        self.ops.insert(op, st);
+        out.push(Action::Notify(Completion::Failed { op, error }));
+    }
+
+    /// Arm the retry schedule for an idempotent simple request. The
+    /// resent message reuses the original sub-op id, so a duplicate
+    /// reply lands on an already-completed op and is absorbed by the
+    /// `completed` guards.
+    fn arm_retry(&mut self, op: OpId, target: MbId, request: Message, now: SimTime) {
+        let backoff = self.config.retry_backoff;
+        if let Some(st) = self.ops.get_mut(&op) {
+            st.retry = Some(RetryState {
+                target,
+                request,
+                next_at: now.after(backoff),
+                backoff,
+                left: self.config.max_retries,
+            });
+        }
+    }
+
     // ------------------------------------------------------------------
     // Northbound API (§5)
     // ------------------------------------------------------------------
@@ -235,9 +339,16 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         let op = self.alloc_op();
-        self.ops.insert(op, OpState::new(OpKind::ReadConfig, src, src, now));
+        if let Some(e) = self.mb_error(&[src]) {
+            self.fail_fast(op, OpKind::ReadConfig, src, src, e, now, out);
+            return op;
+        }
+        self.ops.insert(op, self.new_op_state(OpKind::ReadConfig, src, src, now));
         let sub = self.alloc_sub(op, SubRole::Simple);
-        out.push(Action::ToMb(src, Message::GetConfig { op: sub, key }));
+        let msg = Message::GetConfig { op: sub, key };
+        // Config reads are idempotent: retry on a lost request/reply.
+        self.arm_retry(op, src, msg.clone(), now);
+        out.push(Action::ToMb(src, msg));
         op
     }
 
@@ -251,7 +362,11 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         let op = self.alloc_op();
-        self.ops.insert(op, OpState::new(OpKind::WriteConfig, dst, dst, now));
+        if let Some(e) = self.mb_error(&[dst]) {
+            self.fail_fast(op, OpKind::WriteConfig, dst, dst, e, now, out);
+            return op;
+        }
+        self.ops.insert(op, self.new_op_state(OpKind::WriteConfig, dst, dst, now));
         let sub = self.alloc_sub(op, SubRole::Simple);
         out.push(Action::ToMb(dst, Message::SetConfig { op: sub, key, values }));
         op
@@ -266,7 +381,11 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         let op = self.alloc_op();
-        self.ops.insert(op, OpState::new(OpKind::DelConfig, dst, dst, now));
+        if let Some(e) = self.mb_error(&[dst]) {
+            self.fail_fast(op, OpKind::DelConfig, dst, dst, e, now, out);
+            return op;
+        }
+        self.ops.insert(op, self.new_op_state(OpKind::DelConfig, dst, dst, now));
         let sub = self.alloc_sub(op, SubRole::Simple);
         out.push(Action::ToMb(dst, Message::DelConfig { op: sub, key }));
         op
@@ -281,9 +400,16 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         let op = self.alloc_op();
-        self.ops.insert(op, OpState::new(OpKind::Stats, src, src, now));
+        if let Some(e) = self.mb_error(&[src]) {
+            self.fail_fast(op, OpKind::Stats, src, src, e, now, out);
+            return op;
+        }
+        self.ops.insert(op, self.new_op_state(OpKind::Stats, src, src, now));
         let sub = self.alloc_sub(op, SubRole::Simple);
-        out.push(Action::ToMb(src, Message::GetStats { op: sub, key }));
+        let msg = Message::GetStats { op: sub, key };
+        // Stats reads are idempotent: retry on a lost request/reply.
+        self.arm_retry(op, src, msg.clone(), now);
+        out.push(Action::ToMb(src, msg));
         op
     }
 
@@ -296,7 +422,11 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         let op = self.alloc_op();
-        self.ops.insert(op, OpState::new(OpKind::EnableEvents, mb, mb, now));
+        if let Some(e) = self.mb_error(&[mb]) {
+            self.fail_fast(op, OpKind::EnableEvents, mb, mb, e, now, out);
+            return op;
+        }
+        self.ops.insert(op, self.new_op_state(OpKind::EnableEvents, mb, mb, now));
         self.subscriptions.insert(mb, filter.clone());
         let sub = self.alloc_sub(op, SubRole::Simple);
         out.push(Action::ToMb(mb, Message::EnableEvents { op: sub, filter }));
@@ -313,7 +443,11 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         let op = self.alloc_op();
-        let mut st = OpState::new(OpKind::Move, src, dst, now);
+        if let Some(e) = self.mb_error(&[src, dst]) {
+            self.fail_fast(op, OpKind::Move, src, dst, e, now, out);
+            return op;
+        }
+        let mut st = self.new_op_state(OpKind::Move, src, dst, now);
         st.pattern = key;
         st.gets_outstanding = 2;
         self.ops.insert(op, st);
@@ -336,7 +470,11 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         let op = self.alloc_op();
-        let mut st = OpState::new(OpKind::Clone, src, dst, now);
+        if let Some(e) = self.mb_error(&[src, dst]) {
+            self.fail_fast(op, OpKind::Clone, src, dst, e, now, out);
+            return op;
+        }
+        let mut st = self.new_op_state(OpKind::Clone, src, dst, now);
         st.gets_outstanding = 1;
         self.ops.insert(op, st);
         let g = self.alloc_sub(op, SubRole::GetSharedSupport);
@@ -356,7 +494,11 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         let op = self.alloc_op();
-        let mut st = OpState::new(OpKind::Merge, src, dst, now);
+        if let Some(e) = self.mb_error(&[src, dst]) {
+            self.fail_fast(op, OpKind::Merge, src, dst, e, now, out);
+            return op;
+        }
+        let mut st = self.new_op_state(OpKind::Merge, src, dst, now);
         st.gets_outstanding = 2;
         self.ops.insert(op, st);
         let gs = self.alloc_sub(op, SubRole::GetSharedSupport);
@@ -377,23 +519,9 @@ impl ControllerCore {
     /// step 5), where event quiescence would never occur because shared
     /// state is updated by every packet.
     pub fn end_op(&mut self, op: OpId, out: &mut Vec<Action>) {
-        let Some(st) = self.ops.get_mut(&op) else { return };
-        if st.quiesced {
-            return;
-        }
-        st.quiesced = true;
-        let (kind, src, pattern) = (st.kind, st.src, st.pattern);
-        let get_subs = st.get_subs.clone();
-        if kind == OpKind::Move {
-            let ds = self.alloc_sub(op, SubRole::DelSupport);
-            let dr = self.alloc_sub(op, SubRole::DelReport);
-            out.push(Action::ToMb(src, Message::DelSupportPerflow { op: ds, key: pattern }));
-            out.push(Action::ToMb(src, Message::DelReportPerflow { op: dr, key: pattern }));
-        }
-        // The source tagged its sync marks with the get sub-ops.
-        for sub in get_subs {
-            out.push(Action::ToMb(src, Message::EndSync { op: sub }));
-        }
+        // The source tagged its sync marks with the get sub-ops;
+        // quiesce_op closes each of them (and deletes moved state).
+        self.quiesce_op(op, out);
     }
 
     // ------------------------------------------------------------------
@@ -421,14 +549,16 @@ impl ControllerCore {
                 let dst = st.dst;
                 let (put_role, mk): (SubRole, fn(OpId, openmb_types::StateChunk) -> Message) =
                     match role {
-                        SubRole::GetSupport => (
-                            SubRole::PutSupport { key: chunk.key },
-                            |op, chunk| Message::PutSupportPerflow { op, chunk },
-                        ),
-                        SubRole::GetReport => (
-                            SubRole::PutReport { key: chunk.key },
-                            |op, chunk| Message::PutReportPerflow { op, chunk },
-                        ),
+                        SubRole::GetSupport => {
+                            (SubRole::PutSupport { key: chunk.key }, |op, chunk| {
+                                Message::PutSupportPerflow { op, chunk }
+                            })
+                        }
+                        SubRole::GetReport => {
+                            (SubRole::PutReport { key: chunk.key }, |op, chunk| {
+                                Message::PutReportPerflow { op, chunk }
+                            })
+                        }
                         _ => return,
                     };
                 let put_sub = self.alloc_sub(parent, put_role);
@@ -454,7 +584,10 @@ impl ControllerCore {
                 let (put_role, m): (SubRole, Message) = match role {
                     SubRole::GetSharedSupport => {
                         let put_sub = self.alloc_sub(parent, SubRole::PutSharedSupport);
-                        (SubRole::PutSharedSupport, Message::PutSupportShared { op: put_sub, chunk })
+                        (
+                            SubRole::PutSharedSupport,
+                            Message::PutSupportShared { op: put_sub, chunk },
+                        )
                     }
                     SubRole::GetSharedReport => {
                         let put_sub = self.alloc_sub(parent, SubRole::PutSharedReport);
@@ -593,17 +726,124 @@ impl ControllerCore {
                 }
             },
             Message::ErrorMsg { op: sub, error } => {
+                // A southbound rejection aborts the whole operation:
+                // for transfers this also rolls back partially-put
+                // destination state and closes the sync window, so the
+                // op releases its bookkeeping instead of lingering open.
                 let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
-                if let Some(st) = self.ops.get_mut(&parent) {
-                    if !st.completed {
-                        st.completed = true;
-                        out.push(Action::Notify(Completion::Failed { op: parent, error }));
-                    }
-                }
+                self.abort_op(parent, error, out);
             }
             _ => {
                 // Controller never receives southbound requests.
             }
+        }
+    }
+
+    /// The embedding observed `mb` crash or become unreachable. Every
+    /// in-flight operation touching it is aborted with
+    /// [`Error::MbUnreachable`]; subsequent northbound calls naming `mb`
+    /// fail fast until [`ControllerCore::mark_reachable`]. Completed
+    /// transfers awaiting quiescence are finalized instead of aborted —
+    /// their state already moved and the application already saw the
+    /// completion; recovering from a post-completion crash is the
+    /// application's job (see `apps::failover`).
+    pub fn mark_unreachable(&mut self, mb: MbId, out: &mut Vec<Action>) {
+        if !self.unreachable.insert(mb) {
+            return;
+        }
+        let mut touched: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|(_, st)| !st.quiesced && (st.src == mb || st.dst == mb))
+            .map(|(id, _)| *id)
+            .collect();
+        // HashMap iteration order is arbitrary; sort so replays with the
+        // same fault schedule emit byte-identical action streams.
+        touched.sort();
+        for op in touched {
+            let Some(st) = self.ops.get_mut(&op) else { continue };
+            if st.completed {
+                if matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge) {
+                    // Finalize: close the sync window and (moves) delete
+                    // at the source, if the source is still up.
+                    self.quiesce_op(op, out);
+                }
+            } else {
+                self.abort_op(op, Error::MbUnreachable(mb), out);
+            }
+        }
+    }
+
+    /// Clear the unreachable mark (the MB restarted and re-attached).
+    pub fn mark_reachable(&mut self, mb: MbId) {
+        self.unreachable.remove(&mb);
+    }
+
+    /// Whether the embedding has marked `mb` unreachable.
+    pub fn is_unreachable(&self, mb: MbId) -> bool {
+        self.unreachable.contains(&mb)
+    }
+
+    /// Abort an in-flight operation: drop buffered reprocess events,
+    /// roll back partially-put destination state (moves only — the
+    /// southbound protocol has no shared-state delete, so clone/merge
+    /// destinations keep whatever shared chunks already landed), close
+    /// the source's sync window, release the op's bookkeeping, and
+    /// notify the application with the typed `error`.
+    fn abort_op(&mut self, op: OpId, error: Error, out: &mut Vec<Action>) {
+        let Some(st) = self.ops.get_mut(&op) else { return };
+        if st.completed || st.quiesced {
+            return;
+        }
+        st.completed = true;
+        st.quiesced = true;
+        st.retry = None;
+        st.buffered.clear();
+        st.pending_keys.clear();
+        st.gets_outstanding = 0;
+        st.puts_outstanding = 0;
+        let (kind, src, dst, pattern) = (st.kind, st.src, st.dst, st.pattern);
+        let had_chunks = st.chunks > 0;
+        let get_subs = std::mem::take(&mut st.get_subs);
+        if kind == OpKind::Move && had_chunks && !self.unreachable.contains(&dst) {
+            // Before the move the destination held nothing under the
+            // op's pattern (the premise of moveInternal), so deleting by
+            // pattern removes exactly the chunks this op streamed in.
+            let ds = self.alloc_sub(op, SubRole::DelSupport);
+            let dr = self.alloc_sub(op, SubRole::DelReport);
+            out.push(Action::ToMb(dst, Message::DelSupportPerflow { op: ds, key: pattern }));
+            out.push(Action::ToMb(dst, Message::DelReportPerflow { op: dr, key: pattern }));
+        }
+        if !self.unreachable.contains(&src) {
+            for sub in get_subs {
+                out.push(Action::ToMb(src, Message::EndSync { op: sub }));
+            }
+        }
+        out.push(Action::Notify(Completion::Failed { op, error }));
+    }
+
+    /// Finish a completed transfer: mark it quiesced, delete moved
+    /// per-flow state at the source (moves only), and close the sync
+    /// window. Skips messages to MBs marked unreachable.
+    fn quiesce_op(&mut self, op: OpId, out: &mut Vec<Action>) {
+        let Some(st) = self.ops.get_mut(&op) else { return };
+        if st.quiesced {
+            return;
+        }
+        st.quiesced = true;
+        let (kind, src, pattern) = (st.kind, st.src, st.pattern);
+        let get_subs = st.get_subs.clone();
+        if self.unreachable.contains(&src) {
+            return;
+        }
+        if kind == OpKind::Move {
+            let ds = self.alloc_sub(op, SubRole::DelSupport);
+            let dr = self.alloc_sub(op, SubRole::DelReport);
+            out.push(Action::ToMb(src, Message::DelSupportPerflow { op: ds, key: pattern }));
+            out.push(Action::ToMb(src, Message::DelReportPerflow { op: dr, key: pattern }));
+        }
+        for sub in get_subs {
+            out.push(Action::ToMb(src, Message::EndSync { op: sub }));
         }
     }
 
@@ -634,13 +874,56 @@ impl ControllerCore {
         out.push(Action::Notify(c));
     }
 
-    /// Periodic quiescence check: for each completed move/clone/merge
-    /// whose event stream has been silent for `quiesce_after`, finish
-    /// the transaction — delete moved per-flow state at the source
-    /// (moves only) and close the sync window.
+    /// Periodic maintenance, in deterministic order (op lists are
+    /// sorted — HashMap iteration order must never leak into the action
+    /// stream):
+    ///
+    /// 1. **Retries** — resend idempotent simple requests whose backoff
+    ///    expired, doubling the backoff each attempt.
+    /// 2. **Deadlines** — abort every op that is past its deadline and
+    ///    still incomplete, with [`Error::Timeout`].
+    /// 3. **Quiescence** — for each completed move/clone/merge whose
+    ///    event stream has been silent for `quiesce_after`, finish the
+    ///    transaction: delete moved per-flow state at the source (moves
+    ///    only) and close the sync window.
     pub fn tick(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        // 1. Retries.
+        let mut due: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|(_, st)| {
+                !st.completed && st.retry.as_ref().is_some_and(|r| r.left > 0 && now >= r.next_at)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        due.sort();
+        for op in due {
+            let Some(st) = self.ops.get_mut(&op) else { continue };
+            let Some(r) = st.retry.as_mut() else { continue };
+            r.left -= 1;
+            r.backoff = r.backoff.scaled(2);
+            r.next_at = now.after(r.backoff);
+            let (target, resend) = (r.target, r.request.clone());
+            if !self.unreachable.contains(&target) {
+                out.push(Action::ToMb(target, resend));
+            }
+        }
+
+        // 2. Deadlines.
+        let mut overdue: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|(_, st)| !st.completed && !st.quiesced && now >= st.deadline)
+            .map(|(id, _)| *id)
+            .collect();
+        overdue.sort();
+        for op in overdue {
+            self.abort_op(op, Error::Timeout { op }, out);
+        }
+
+        // 3. Quiescence.
         let quiesce = self.config.quiesce_after;
-        let ready: Vec<OpId> = self
+        let mut ready: Vec<OpId> = self
             .ops
             .iter()
             .filter(|(_, st)| {
@@ -652,20 +935,18 @@ impl ControllerCore {
             })
             .map(|(id, _)| *id)
             .collect();
+        ready.sort();
         for op in ready {
-            let (kind, src, pattern, get_subs) = {
-                let st = self.ops.get_mut(&op).expect("op exists");
-                st.quiesced = true;
-                (st.kind, st.src, st.pattern, st.get_subs.clone())
-            };
-            if kind == OpKind::Move {
-                let ds = self.alloc_sub(op, SubRole::DelSupport);
-                let dr = self.alloc_sub(op, SubRole::DelReport);
-                out.push(Action::ToMb(src, Message::DelSupportPerflow { op: ds, key: pattern }));
-                out.push(Action::ToMb(src, Message::DelReportPerflow { op: dr, key: pattern }));
-            }
-            for sub in get_subs {
-                out.push(Action::ToMb(src, Message::EndSync { op: sub }));
+            if self.ops.contains_key(&op) {
+                self.quiesce_op(op, out);
+            } else {
+                // The op's state vanished between collection and
+                // processing. Nothing to clean up, but the application
+                // is owed a terminal completion rather than a panic.
+                out.push(Action::Notify(Completion::Failed {
+                    op,
+                    error: Error::OpFailed("operation state lost before quiescence".into()),
+                }));
             }
         }
     }
@@ -694,7 +975,7 @@ impl ControllerCore {
 }
 
 impl OpState {
-    fn new(kind: OpKind, src: MbId, dst: MbId, now: SimTime) -> Self {
+    fn new(kind: OpKind, src: MbId, dst: MbId, now: SimTime, deadline: SimTime) -> Self {
         OpState {
             kind,
             src,
@@ -710,6 +991,8 @@ impl OpState {
             completed: false,
             last_activity: now,
             quiesced: false,
+            deadline,
+            retry: None,
             events_forwarded: 0,
         }
     }

@@ -21,6 +21,6 @@ pub mod controller;
 pub mod nodes;
 pub mod tcp;
 
-pub use app::{Api, ControlApp, NullApp};
+pub use app::{Api, ApiCtx, ControlApp, NullApp};
 pub use controller::{Action, Completion, ControllerConfig, ControllerCore};
 pub use nodes::{ControllerCosts, ControllerNode, Host, MbNode};

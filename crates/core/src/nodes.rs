@@ -22,7 +22,7 @@ use openmb_types::sdn::SdnMessage;
 use openmb_types::wire::Message;
 use openmb_types::{MbId, NodeId, OpId, Packet, StateChunk};
 
-use crate::app::{Api, ControlApp};
+use crate::app::{Api, ApiCtx, ControlApp};
 use crate::controller::{Action, ControllerConfig, ControllerCore};
 
 const TIMER_WORK: u64 = 1;
@@ -77,7 +77,8 @@ pub struct MbNode<M: Middlebox> {
     pub events_replayed: u64,
     /// Background shared exports awaiting their serialization delay,
     /// keyed by timer token.
-    pending_shared: std::collections::HashMap<u64, (OpId, Option<openmb_types::EncryptedChunk>, bool)>,
+    pending_shared:
+        std::collections::HashMap<u64, (OpId, Option<openmb_types::EncryptedChunk>, bool)>,
     next_shared_token: u64,
     /// Optional override of the logic's cost model (experiments use
     /// this to, e.g., measure event generation below saturation).
@@ -214,8 +215,7 @@ impl<M: Middlebox + 'static> MbNode<M> {
                     pkt_id: pkt.id,
                     http: pkt.key.dst_port == 80 || pkt.key.src_port == 80,
                 });
-                ctx.metrics
-                    .sample(&format!("{}.pkt_latency", self.label), now.since(arrived));
+                ctx.metrics.sample(&format!("{}.pkt_latency", self.label), now.since(arrived));
                 ctx.metrics.incr(&format!("{}.packets", self.label), 1);
                 self.emit_effects(ctx, fx);
             }
@@ -271,53 +271,43 @@ impl<M: Middlebox + 'static> MbNode<M> {
                 let key = chunk.key;
                 match self.logic.put_support_perflow(chunk) {
                     Ok(()) => self.reply(ctx, Message::PutAck { op, key: Some(key) }),
-                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                 }
             }
             Message::PutReportPerflow { op, chunk } => {
                 let key = chunk.key;
                 match self.logic.put_report_perflow(chunk) {
                     Ok(()) => self.reply(ctx, Message::PutAck { op, key: Some(key) }),
-                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                 }
             }
-            Message::DelSupportPerflow { op, key } => {
-                match self.logic.del_support_perflow(&key) {
-                    Ok(_) => self.reply(ctx, Message::OpAck { op }),
-                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
-                }
-            }
-            Message::DelReportPerflow { op, key } => {
-                match self.logic.del_report_perflow(&key) {
-                    Ok(_) => self.reply(ctx, Message::OpAck { op }),
-                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
-                }
-            }
-            Message::PutSupportShared { op, chunk } => {
-                match self.logic.put_support_shared(chunk) {
-                    Ok(()) => self.reply(ctx, Message::PutAck { op, key: None }),
-                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
-                }
-            }
-            Message::PutReportShared { op, chunk } => {
-                match self.logic.put_report_shared(chunk) {
-                    Ok(()) => self.reply(ctx, Message::PutAck { op, key: None }),
-                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
-                }
-            }
+            Message::DelSupportPerflow { op, key } => match self.logic.del_support_perflow(&key) {
+                Ok(_) => self.reply(ctx, Message::OpAck { op }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+            },
+            Message::DelReportPerflow { op, key } => match self.logic.del_report_perflow(&key) {
+                Ok(_) => self.reply(ctx, Message::OpAck { op }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+            },
+            Message::PutSupportShared { op, chunk } => match self.logic.put_support_shared(chunk) {
+                Ok(()) => self.reply(ctx, Message::PutAck { op, key: None }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+            },
+            Message::PutReportShared { op, chunk } => match self.logic.put_report_shared(chunk) {
+                Ok(()) => self.reply(ctx, Message::PutAck { op, key: None }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+            },
             Message::GetConfig { op, key } => match self.logic.get_config(&key) {
                 Ok(pairs) => self.reply(ctx, Message::ConfigValues { op, pairs }),
-                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
             },
-            Message::SetConfig { op, key, values } => {
-                match self.logic.set_config(&key, values) {
-                    Ok(()) => self.reply(ctx, Message::OpAck { op }),
-                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
-                }
-            }
+            Message::SetConfig { op, key, values } => match self.logic.set_config(&key, values) {
+                Ok(()) => self.reply(ctx, Message::OpAck { op }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+            },
             Message::DelConfig { op, key } => match self.logic.del_config(&key) {
                 Ok(()) => self.reply(ctx, Message::OpAck { op }),
-                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() }),
+                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
             },
             Message::GetStats { op, key } => {
                 let stats = self.logic.stats(&key);
@@ -361,9 +351,7 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                             first: true,
                             scanned_entries: entries,
                         }),
-                        Err(e) => {
-                            self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() })
-                        }
+                        Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                     }
                 }
                 Message::GetReportPerflow { op, key } => {
@@ -378,9 +366,7 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                             first: true,
                             scanned_entries: entries,
                         }),
-                        Err(e) => {
-                            self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() })
-                        }
+                        Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                     }
                 }
                 Message::GetSupportShared { op } => {
@@ -400,9 +386,7 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                             self.pending_shared.insert(token, (op, chunk, false));
                             ctx.set_timer(cost, token);
                         }
-                        Err(e) => {
-                            self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() })
-                        }
+                        Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                     }
                 }
                 Message::GetReportShared { op } => {
@@ -417,9 +401,7 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                             self.pending_shared.insert(token, (op, chunk, true));
                             ctx.set_timer(cost, token);
                         }
-                        Err(e) => {
-                            self.reply(ctx, Message::ErrorMsg { op, error: e.to_string() })
-                        }
+                        Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                     }
                 }
                 Message::ReprocessPacket { op: _, key: _, packet } => {
@@ -470,6 +452,24 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
             self.execute(ctx, w);
         }
         self.pump(ctx);
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // Volatile runtime state dies with the process: queued work,
+        // in-progress service, and background exports all vanish. The
+        // middlebox `logic` keeps its tables — modeling state that a
+        // restarted instance recovers from its own checkpoint is out of
+        // scope; what matters here is that in-flight protocol exchanges
+        // stop mid-stream.
+        self.queue.clear();
+        self.busy = false;
+        self.current_service = SimDuration::ZERO;
+        self.pending_shared.clear();
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {
+        // Nothing to re-arm: the node resumes idle and processes the
+        // next frame it receives.
     }
 
     fn name(&self) -> String {
@@ -536,6 +536,10 @@ pub struct ControllerNode {
     /// Completions delivered, with their virtual times (post-run
     /// inspection; experiments read operation latencies from here).
     pub completions: Vec<(SimTime, crate::controller::Completion)>,
+    /// MBs reported unreachable (e.g. by the harness on an injected
+    /// crash, standing in for a TCP connection reset); drained into
+    /// `core.mark_unreachable` on the next event-loop turn.
+    pending_unreachable: Vec<MbId>,
 }
 
 impl ControllerNode {
@@ -552,7 +556,33 @@ impl ControllerNode {
             quiesce_timer_set: false,
             started: false,
             completions: Vec::new(),
+            pending_unreachable: Vec::new(),
         }
+    }
+
+    /// Report that `mb`'s connection dropped (the sim-side stand-in for
+    /// a southbound TCP reset). The controller aborts the MB's in-flight
+    /// operations with [`openmb_types::Error::MbUnreachable`] on its
+    /// next event-loop turn and fails fast any new op naming it until
+    /// [`ControllerNode::report_reachable`].
+    pub fn report_unreachable(&mut self, mb: MbId) {
+        self.pending_unreachable.push(mb);
+    }
+
+    /// The MB re-attached: accept operations naming it again.
+    pub fn report_reachable(&mut self, mb: MbId) {
+        self.core.mark_reachable(mb);
+    }
+
+    fn drain_unreachable(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pending_unreachable.is_empty() {
+            return;
+        }
+        let mut actions = Vec::new();
+        for mb in std::mem::take(&mut self.pending_unreachable) {
+            self.core.mark_unreachable(mb, &mut actions);
+        }
+        self.dispatch_actions(ctx, actions);
     }
 
     /// Register a middlebox's sim node; returns the MB handle used in
@@ -588,14 +618,14 @@ impl ControllerNode {
             let mut sdn = Vec::new();
             let mut timers = Vec::new();
             {
-                let mut api = Api::new(
-                    &mut self.core,
-                    &mut self.topo,
-                    ctx.now(),
-                    &mut actions,
-                    &mut sdn,
-                    &mut timers,
-                );
+                let mut api = Api::new(ApiCtx {
+                    core: &mut self.core,
+                    topo: &mut self.topo,
+                    now: ctx.now(),
+                    actions: &mut actions,
+                    sdn: &mut sdn,
+                    timers: &mut timers,
+                });
                 self.app.on_completion(&mut api, &c);
             }
             for (sw, msg) in sdn {
@@ -625,11 +655,13 @@ impl ControllerNode {
             let mut d = self.costs.per_message;
             match msg {
                 Message::Chunk { chunk, .. } => {
-                    d = d + self.costs.per_chunk
+                    d = d
+                        + self.costs.per_chunk
                         + SimDuration(self.costs.per_kib.0 * chunk.data.len() as u64 / 1024);
                 }
                 Message::SharedChunk { chunk, .. } => {
-                    d = d + self.costs.per_chunk
+                    d = d
+                        + self.costs.per_chunk
                         + SimDuration(self.costs.per_kib.0 * chunk.len() as u64 / 1024);
                 }
                 Message::EventMsg { .. } => d = d + self.costs.per_event,
@@ -646,14 +678,14 @@ impl ControllerNode {
         let mut sdn = Vec::new();
         let mut timers = Vec::new();
         {
-            let mut api = Api::new(
-                &mut self.core,
-                &mut self.topo,
-                ctx.now(),
-                &mut actions,
-                &mut sdn,
-                &mut timers,
-            );
+            let mut api = Api::new(ApiCtx {
+                core: &mut self.core,
+                topo: &mut self.topo,
+                now: ctx.now(),
+                actions: &mut actions,
+                sdn: &mut sdn,
+                timers: &mut timers,
+            });
             f(self.app.as_mut(), &mut api);
         }
         for (sw, msg) in sdn {
@@ -676,6 +708,7 @@ impl Node for ControllerNode {
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, from: NodeId, frame: Frame) {
+        self.drain_unreachable(ctx);
         match frame {
             Frame::Control(msg) => {
                 let mb = self.mb_of(from).unwrap_or(MbId(u32::MAX));
@@ -695,6 +728,7 @@ impl Node for ControllerNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.drain_unreachable(ctx);
         if token == TIMER_CTRL_WORK {
             self.busy = false;
             if let Some((mb, msg)) = self.queue.pop_front() {

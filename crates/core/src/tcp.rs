@@ -60,24 +60,20 @@ pub fn serve_middlebox<M: Middlebox>(
 
 /// Pure southbound dispatch: one request in, zero or more messages out
 /// (replies plus any events raised by replay).
-pub fn handle_southbound<M: Middlebox>(
-    mb: &mut M,
-    msg: Message,
-    now: SimTime,
-) -> Vec<Message> {
+pub fn handle_southbound<M: Middlebox>(mb: &mut M, msg: Message, now: SimTime) -> Vec<Message> {
     let mut out = Vec::new();
     match msg {
         Message::GetConfig { op, key } => match mb.get_config(&key) {
             Ok(pairs) => out.push(Message::ConfigValues { op, pairs }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::SetConfig { op, key, values } => match mb.set_config(&key, values) {
             Ok(()) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::DelConfig { op, key } => match mb.del_config(&key) {
             Ok(()) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::GetSupportPerflow { op, key } => match mb.get_support_perflow(op, &key) {
             Ok(chunks) => {
@@ -87,7 +83,7 @@ pub fn handle_southbound<M: Middlebox>(
                 }
                 out.push(Message::GetAck { op, count });
             }
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::GetReportPerflow { op, key } => match mb.get_report_perflow(op, &key) {
             Ok(chunks) => {
@@ -97,47 +93,47 @@ pub fn handle_southbound<M: Middlebox>(
                 }
                 out.push(Message::GetAck { op, count });
             }
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::PutSupportPerflow { op, chunk } => {
             let key = chunk.key;
             match mb.put_support_perflow(chunk) {
                 Ok(()) => out.push(Message::PutAck { op, key: Some(key) }),
-                Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
             }
         }
         Message::PutReportPerflow { op, chunk } => {
             let key = chunk.key;
             match mb.put_report_perflow(chunk) {
                 Ok(()) => out.push(Message::PutAck { op, key: Some(key) }),
-                Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
             }
         }
         Message::DelSupportPerflow { op, key } => match mb.del_support_perflow(&key) {
             Ok(_) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::DelReportPerflow { op, key } => match mb.del_report_perflow(&key) {
             Ok(_) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::GetSupportShared { op } => match mb.get_support_shared(op) {
             Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
             Ok(None) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::PutSupportShared { op, chunk } => match mb.put_support_shared(chunk) {
             Ok(()) => out.push(Message::PutAck { op, key: None }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::GetReportShared { op } => match mb.get_report_shared() {
             Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
             Ok(None) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::PutReportShared { op, chunk } => match mb.put_report_shared(chunk) {
             Ok(()) => out.push(Message::PutAck { op, key: None }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e.to_string() }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
         Message::GetStats { op, key } => {
             out.push(Message::Stats { op, stats: mb.stats(&key) });
@@ -347,9 +343,7 @@ impl Inner {
                     idle = false;
                     let now = SimTime(self.start.elapsed().as_nanos() as u64);
                     let mut actions = Vec::new();
-                    self.core
-                        .lock()
-                        .handle_mb_message(MbId(i as u32), msg, now, &mut actions);
+                    self.core.lock().handle_mb_message(MbId(i as u32), msg, now, &mut actions);
                     self.execute(actions);
                 }
             }

@@ -29,6 +29,7 @@ impl<A: Middlebox, B: Middlebox> World<A, B> {
             quiesce_after: SimDuration::from_millis(10),
             compress_transfers: false,
             buffer_events: true,
+            ..ControllerConfig::default()
         });
         let a_id = core.register_mb();
         let b_id = core.register_mb();
@@ -51,6 +52,7 @@ impl<A: Middlebox, B: Middlebox> World<A, B> {
                         actions.extend(out);
                     }
                 }
+                other => panic!("unexpected action {other:?}"),
             }
         }
     }
@@ -64,13 +66,22 @@ impl<A: Middlebox, B: Middlebox> World<A, B> {
 }
 
 fn http_key(i: u16) -> FlowKey {
-    FlowKey::tcp(Ipv4Addr::new(10, 0, 0, (i % 250) as u8 + 1), 1000 + i, Ipv4Addr::new(192, 168, 1, 1), 80)
+    FlowKey::tcp(
+        Ipv4Addr::new(10, 0, 0, (i % 250) as u8 + 1),
+        1000 + i,
+        Ipv4Addr::new(192, 168, 1, 1),
+        80,
+    )
 }
 
 fn seed_monitor(m: &mut Monitor, n: u16) {
     let mut fx = Effects::normal();
     for i in 0..n {
-        m.process_packet(SimTime(u64::from(i)), &Packet::new(u64::from(i), http_key(i), vec![0u8; 64]), &mut fx);
+        m.process_packet(
+            SimTime(u64::from(i)),
+            &Packet::new(u64::from(i), http_key(i), vec![0u8; 64]),
+            &mut fx,
+        );
     }
 }
 
@@ -142,10 +153,8 @@ fn vendor_mismatch_surfaces_as_failed_completion() {
     let mut out = Vec::new();
     let op = w.core.move_internal(w.a_id, w.b_id, HeaderFieldList::any(), w.now, &mut out);
     w.pump(out);
-    let failed = w
-        .completions
-        .iter()
-        .any(|c| matches!(c, Completion::Failed { op: o, .. } if *o == op));
+    let failed =
+        w.completions.iter().any(|c| matches!(c, Completion::Failed { op: o, .. } if *o == op));
     assert!(failed, "cross-vendor put must fail the operation: {:?}", w.completions);
 }
 
@@ -165,8 +174,7 @@ fn events_after_completion_are_still_forwarded() {
     let before = w.b.assets_sorted().iter().map(|r| r.packets).sum::<u64>();
     for ev in events {
         let mut out = Vec::new();
-        w.core
-            .handle_mb_message(w.a_id, Message::EventMsg { event: ev }, w.now, &mut out);
+        w.core.handle_mb_message(w.a_id, Message::EventMsg { event: ev }, w.now, &mut out);
         w.pump(out);
     }
     let after = w.b.assets_sorted().iter().map(|r| r.packets).sum::<u64>();
@@ -177,12 +185,7 @@ fn events_after_completion_are_still_forwarded() {
 fn read_write_config_roundtrip_through_controller() {
     let mut w = World::new(Monitor::new(), Monitor::new());
     let mut out = Vec::new();
-    let op = w.core.read_config(
-        w.a_id,
-        openmb_types::HierarchicalKey::parse("*"),
-        w.now,
-        &mut out,
-    );
+    let op = w.core.read_config(w.a_id, openmb_types::HierarchicalKey::parse("*"), w.now, &mut out);
     w.pump(out);
     let pairs = w
         .completions
@@ -210,20 +213,12 @@ fn stats_and_enable_events_complete() {
     seed_monitor(&mut w.a, 7);
     let mut out = Vec::new();
     let sop = w.core.stats(w.a_id, HeaderFieldList::any(), w.now, &mut out);
-    let eop = w.core.enable_events(
-        w.a_id,
-        openmb_types::wire::EventFilter::all(),
-        w.now,
-        &mut out,
-    );
+    let eop = w.core.enable_events(w.a_id, openmb_types::wire::EventFilter::all(), w.now, &mut out);
     w.pump(out);
     assert!(w.completions.iter().any(
         |c| matches!(c, Completion::Stats { op, stats } if *op == sop && stats.perflow_report_chunks == 7)
     ));
-    assert!(w
-        .completions
-        .iter()
-        .any(|c| matches!(c, Completion::Ack { op } if *op == eop)));
+    assert!(w.completions.iter().any(|c| matches!(c, Completion::Ack { op } if *op == eop)));
     // The MB now generates introspection events.
     let mut fx = Effects::normal();
     w.a.process_packet(SimTime(50), &Packet::new(500, http_key(200), vec![0u8; 10]), &mut fx);
@@ -235,14 +230,10 @@ fn stats_and_enable_events_complete() {
     // And the controller forwards them to the application.
     let mut out = Vec::new();
     for ev in evs {
-        w.core
-            .handle_mb_message(w.a_id, Message::EventMsg { event: ev }, w.now, &mut out);
+        w.core.handle_mb_message(w.a_id, Message::EventMsg { event: ev }, w.now, &mut out);
     }
     w.pump(out);
-    assert!(w
-        .completions
-        .iter()
-        .any(|c| matches!(c, Completion::MbEvent { .. })));
+    assert!(w.completions.iter().any(|c| matches!(c, Completion::MbEvent { .. })));
 }
 
 #[test]

@@ -31,16 +31,20 @@ impl Node for CtrlProbe {
 }
 
 fn key(i: u16) -> FlowKey {
-    FlowKey::tcp(Ipv4Addr::new(10, 0, 0, (i % 250) as u8 + 1), 1000 + i, Ipv4Addr::new(192, 168, 1, 1), 80)
+    FlowKey::tcp(
+        Ipv4Addr::new(10, 0, 0, (i % 250) as u8 + 1),
+        1000 + i,
+        Ipv4Addr::new(192, 168, 1, 1),
+        80,
+    )
 }
 
 /// ctrl(0) — mb(1) — sink(2)
 fn world<M: Middlebox + 'static>(logic: M) -> (Sim, NodeId, NodeId, NodeId) {
     let mut sim = Sim::new();
     let ctrl = sim.add_node(Box::new(CtrlProbe::default()));
-    let mb = sim.add_node(Box::new(
-        MbNode::new("mb", logic).with_controller(ctrl).with_egress(NodeId(2)),
-    ));
+    let mb = sim
+        .add_node(Box::new(MbNode::new("mb", logic).with_controller(ctrl).with_egress(NodeId(2))));
     let sink = sim.add_node(Box::new(Host::new("sink")));
     sim.add_link(ctrl, mb, SimDuration::from_micros(10), 0);
     sim.add_link(mb, sink, SimDuration::from_micros(10), 0);
@@ -53,7 +57,12 @@ fn packets_are_serviced_fifo_with_service_time() {
     // 90 µs apart and latency grows with queue position.
     let (mut sim, _ctrl, mb, sink) = world(Monitor::new());
     for i in 0..3u64 {
-        sim.inject_frame(SimTime(0), NodeId(9_999_999 % 3), mb, Frame::Data(Packet::new(i + 1, key(i as u16), vec![0u8; 10])));
+        sim.inject_frame(
+            SimTime(0),
+            NodeId(9_999_999 % 3),
+            mb,
+            Frame::Data(Packet::new(i + 1, key(i as u16), vec![0u8; 10])),
+        );
     }
     sim.run(10_000);
     let s: &Host = sim.node_as(sink);
@@ -71,7 +80,11 @@ fn get_streams_chunks_then_acks() {
     let mut monitor = Monitor::new();
     let mut fx = openmb_mb::Effects::normal();
     for i in 0..10u16 {
-        monitor.process_packet(SimTime(u64::from(i)), &Packet::new(u64::from(i), key(i), vec![0u8; 10]), &mut fx);
+        monitor.process_packet(
+            SimTime(u64::from(i)),
+            &Packet::new(u64::from(i), key(i), vec![0u8; 10]),
+            &mut fx,
+        );
     }
     let (mut sim, ctrl, mb, _sink) = world(monitor);
     sim.inject_frame(
@@ -82,11 +95,8 @@ fn get_streams_chunks_then_acks() {
     );
     sim.run(100_000);
     let probe: &CtrlProbe = sim.node_as(ctrl);
-    let chunks = probe
-        .msgs
-        .iter()
-        .filter(|(_, m)| matches!(m, Message::Chunk { op: OpId(5), .. }))
-        .count();
+    let chunks =
+        probe.msgs.iter().filter(|(_, m)| matches!(m, Message::Chunk { op: OpId(5), .. })).count();
     assert_eq!(chunks, 10);
     let last = probe.msgs.last().unwrap();
     assert!(
@@ -124,11 +134,7 @@ fn replay_suppresses_external_side_effects() {
     assert_eq!(node.logic.perflow_entries(), 1, "state still updated");
     assert_eq!(node.logic.stat().total_packets, 0, "shared counters untouched by replay");
     // Replay appears in the trace as EventProcessed.
-    assert!(sim
-        .metrics
-        .trace
-        .iter()
-        .any(|e| matches!(e.kind, TraceKind::EventProcessed)));
+    assert!(sim.metrics.trace.iter().any(|e| matches!(e.kind, TraceKind::EventProcessed)));
 }
 
 #[test]
@@ -198,8 +204,5 @@ fn errors_propagate_as_error_msgs() {
     );
     sim.run(10_000);
     let probe: &CtrlProbe = sim.node_as(ctrl);
-    assert!(probe
-        .msgs
-        .iter()
-        .any(|(_, m)| matches!(m, Message::ErrorMsg { op: OpId(3), .. })));
+    assert!(probe.msgs.iter().any(|(_, m)| matches!(m, Message::ErrorMsg { op: OpId(3), .. })));
 }

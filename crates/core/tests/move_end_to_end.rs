@@ -90,6 +90,7 @@ fn move_between_monitors_with_live_traffic() {
             quiesce_after: SimDuration::from_millis(200),
             compress_transfers: false,
             buffer_events: true,
+            ..ControllerConfig::default()
         },
         ControllerCosts::default(),
         Box::new(app),
@@ -122,20 +123,16 @@ fn move_between_monitors_with_live_traffic() {
         FlowRule::new(HeaderFieldList::from_dst_port(80), 5, SdnAction::Forward(NodeId(2)))
             .from_port(NodeId(4)),
     );
-    switch.preinstall(
-        FlowRule::new(HeaderFieldList::any(), 1, SdnAction::Forward(NodeId(5))),
-    );
+    switch.preinstall(FlowRule::new(HeaderFieldList::any(), 1, SdnAction::Forward(NodeId(5))));
     let sid = sim.add_node(Box::new(switch));
     assert_eq!(sid, switch_id);
 
-    let mb0 = MbNode::new("mon0", Monitor::new())
-        .with_controller(controller_id)
-        .with_egress(switch_id);
+    let mb0 =
+        MbNode::new("mon0", Monitor::new()).with_controller(controller_id).with_egress(switch_id);
     let mb0_id = sim.add_node(Box::new(mb0));
     assert_eq!(mb0_id, NodeId(2));
-    let mb1 = MbNode::new("mon1", Monitor::new())
-        .with_controller(controller_id)
-        .with_egress(switch_id);
+    let mb1 =
+        MbNode::new("mon1", Monitor::new()).with_controller(controller_id).with_egress(switch_id);
     let mb1_id = sim.add_node(Box::new(mb1));
     assert_eq!(mb1_id, NodeId(3));
 
@@ -168,7 +165,12 @@ fn move_between_monitors_with_live_traffic() {
             let t = SimTime((u64::from(f) * 200_000) + p * 8_000_000);
             pkt_id += 1;
             total += 1;
-            sim.inject_frame(t, src, switch_id, Frame::Data(Packet::new(pkt_id, key, vec![0u8; 100])));
+            sim.inject_frame(
+                t,
+                src,
+                switch_id,
+                Frame::Data(Packet::new(pkt_id, key, vec![0u8; 100])),
+            );
         }
     }
 
@@ -177,10 +179,7 @@ fn move_between_monitors_with_live_traffic() {
 
     // The app observed completion and updated routing.
     let ctrl: &ControllerNode = sim.node_as(controller_id);
-    let app = ctrl
-        .completions
-        .iter()
-        .find(|(_, c)| matches!(c, Completion::MoveComplete { .. }));
+    let app = ctrl.completions.iter().find(|(_, c)| matches!(c, Completion::MoveComplete { .. }));
     assert!(app.is_some(), "move must complete: {:?}", ctrl.completions);
 
     // All packets were processed by exactly one MB (atomicity (i)+(ii)):

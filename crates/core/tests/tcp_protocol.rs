@@ -62,6 +62,7 @@ fn move_and_merge_over_loopback_tcp() {
         quiesce_after: SimDuration::from_millis(50),
         compress_transfers: false,
         buffer_events: true,
+        ..ControllerConfig::default()
     });
     let t0 = Arc::new(TcpTransport::connect(mb_ends[0]).unwrap());
     let t1 = Arc::new(TcpTransport::connect(mb_ends[1]).unwrap());
@@ -70,9 +71,7 @@ fn move_and_merge_over_loopback_tcp() {
     controller.start();
 
     // stats: the source reports 30 per-flow reporting chunks.
-    let c = controller
-        .stats(src, HeaderFieldList::any(), Duration::from_secs(5))
-        .unwrap();
+    let c = controller.stats(src, HeaderFieldList::any(), Duration::from_secs(5)).unwrap();
     match c {
         Completion::Stats { stats, .. } => assert_eq!(stats.perflow_report_chunks, 30),
         other => panic!("unexpected {other:?}"),
@@ -86,9 +85,7 @@ fn move_and_merge_over_loopback_tcp() {
     };
     assert!(!pairs.is_empty());
     for (k, v) in &pairs {
-        controller
-            .write_config(dst, &k.to_string(), v.clone(), Duration::from_secs(5))
-            .unwrap();
+        controller.write_config(dst, &k.to_string(), v.clone(), Duration::from_secs(5)).unwrap();
     }
 
     // moveInternal: all 30 chunks should land at the destination.
@@ -101,25 +98,19 @@ fn move_and_merge_over_loopback_tcp() {
     }
 
     // mergeInternal: shared counters (30 packets) merge into dst.
-    let c = controller
-        .merge_internal(src, dst, Duration::from_secs(10))
-        .unwrap();
+    let c = controller.merge_internal(src, dst, Duration::from_secs(10)).unwrap();
     assert!(matches!(c, Completion::MergeComplete { .. }));
 
     // Allow the quiescence tick to fire the deletes at the source.
     std::thread::sleep(Duration::from_millis(300));
-    let c = controller
-        .stats(src, HeaderFieldList::any(), Duration::from_secs(5))
-        .unwrap();
+    let c = controller.stats(src, HeaderFieldList::any(), Duration::from_secs(5)).unwrap();
     match c {
         Completion::Stats { stats, .. } => {
             assert_eq!(stats.perflow_report_chunks, 0, "source deleted after quiescence")
         }
         other => panic!("unexpected {other:?}"),
     }
-    let c = controller
-        .stats(dst, HeaderFieldList::any(), Duration::from_secs(5))
-        .unwrap();
+    let c = controller.stats(dst, HeaderFieldList::any(), Duration::from_secs(5)).unwrap();
     match c {
         Completion::Stats { stats, .. } => assert_eq!(stats.perflow_report_chunks, 30),
         other => panic!("unexpected {other:?}"),

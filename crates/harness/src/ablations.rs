@@ -65,11 +65,8 @@ fn run(
             dst: DST,
         },
     );
-    let params = ScenarioParams {
-        buffer_events,
-        quiesce_after: quiesce,
-        ..ScenarioParams::default()
-    };
+    let params =
+        ScenarioParams { buffer_events, quiesce_after: quiesce, ..ScenarioParams::default() };
     let mut setup =
         two_mb_scenario(preloaded_monitor(chunks), Monitor::new(), Box::new(app), params);
     if let Some(batch) = get_batch {
@@ -80,7 +77,7 @@ fn run(
     }
     // Traffic over the preloaded flows for 1.5 s.
     let gap = 1_000_000_000 / pkt_rate;
-    let total = (1_500_000_000 / gap) as u64;
+    let total = 1_500_000_000 / gap;
     for i in 0..total {
         let key = preload_flow((i as usize) % chunks);
         setup.sim.inject_frame(
@@ -114,12 +111,7 @@ fn run(
                 .then(|| t.since(SimTime(trigger.as_nanos())).as_millis_f64())
         })
         .unwrap_or(f64::NAN);
-    AblationOutcome {
-        injected: total,
-        accounted,
-        latency_during_get_ms: latency,
-        move_ms,
-    }
+    AblationOutcome { injected: total, accounted, latency_during_get_ms: latency, move_ms }
 }
 
 /// Ablation 1: event buffering on vs off.
@@ -180,10 +172,7 @@ mod tests {
     #[test]
     fn buffering_off_loses_updates() {
         let (with, without) = event_buffering();
-        assert_eq!(
-            with.injected, with.accounted,
-            "with buffering, every update lands"
-        );
+        assert_eq!(with.injected, with.accounted, "with buffering, every update lands");
         assert!(
             without.accounted < without.injected,
             "without buffering, puts overwrite replayed updates: {} of {}",

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiment names: fig7 fig8 fig9 fig10 table2 table3 snapshot
-//! splitmerge correctness latency compress ablations
+//! splitmerge correctness latency compress ablations faults
 
 use openmb_harness::*;
 
@@ -58,5 +58,8 @@ fn main() {
     }
     if want("ablations") {
         println!("{}", ablations::ablations_table());
+    }
+    if want("faults") {
+        println!("{}", faults::faults_table());
     }
 }

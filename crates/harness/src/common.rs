@@ -68,9 +68,7 @@ pub fn op_duration_ms(trace: &[TraceEvent], node: NodeId, op: &str) -> Option<f6
             continue;
         }
         match &e.kind {
-            TraceKind::OpStart { op: o } if *o == op && start.is_none() => {
-                start = Some(e.time)
-            }
+            TraceKind::OpStart { op: o } if *o == op && start.is_none() => start = Some(e.time),
             TraceKind::OpEnd { op: o } if *o == op => end = Some(e.time),
             _ => {}
         }
@@ -113,9 +111,21 @@ mod tests {
     #[test]
     fn op_span_over_multiple_starts() {
         let trace = vec![
-            TraceEvent { time: SimTime(1_000_000), node: NodeId(1), kind: TraceKind::OpStart { op: "put" } },
-            TraceEvent { time: SimTime(3_000_000), node: NodeId(1), kind: TraceKind::OpStart { op: "put" } },
-            TraceEvent { time: SimTime(9_000_000), node: NodeId(1), kind: TraceKind::OpStart { op: "put" } },
+            TraceEvent {
+                time: SimTime(1_000_000),
+                node: NodeId(1),
+                kind: TraceKind::OpStart { op: "put" },
+            },
+            TraceEvent {
+                time: SimTime(3_000_000),
+                node: NodeId(1),
+                kind: TraceKind::OpStart { op: "put" },
+            },
+            TraceEvent {
+                time: SimTime(9_000_000),
+                node: NodeId(1),
+                kind: TraceKind::OpStart { op: "put" },
+            },
         ];
         assert_eq!(op_span_ms(&trace, NodeId(1), "put"), Some(8.0));
         assert_eq!(op_span_ms(&trace, NodeId(1), "get"), None);
@@ -124,8 +134,16 @@ mod tests {
     #[test]
     fn op_duration_from_trace() {
         let trace = vec![
-            TraceEvent { time: SimTime(1_000_000), node: NodeId(1), kind: TraceKind::OpStart { op: "get" } },
-            TraceEvent { time: SimTime(5_000_000), node: NodeId(1), kind: TraceKind::OpEnd { op: "get" } },
+            TraceEvent {
+                time: SimTime(1_000_000),
+                node: NodeId(1),
+                kind: TraceKind::OpStart { op: "get" },
+            },
+            TraceEvent {
+                time: SimTime(5_000_000),
+                node: NodeId(1),
+                kind: TraceKind::OpEnd { op: "get" },
+            },
         ];
         assert_eq!(op_duration_ms(&trace, NodeId(1), "get"), Some(4.0));
         assert_eq!(op_duration_ms(&trace, NodeId(2), "get"), None);

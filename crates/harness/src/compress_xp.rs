@@ -102,10 +102,7 @@ pub fn re_get_rows() -> Vec<(usize, f64)> {
 /// Regenerate the §8.3 compression table + §8.2 RE get timing.
 pub fn compress_table() -> Table {
     let r = run(500);
-    let mut t = Table::new(
-        "§8.3: state compression on a 500-chunk move",
-        &["measure", "value"],
-    );
+    let mut t = Table::new("§8.3: state compression on a 500-chunk move", &["measure", "value"]);
     t.row(vec!["compression".into(), format!("{:.1}%", r.compression_pct)]);
     t.row(vec!["move latency, plain (ms)".into(), f(r.move_ms_plain)]);
     t.row(vec!["move latency, compressed (ms)".into(), f(r.move_ms_compressed)]);
@@ -113,8 +110,7 @@ pub fn compress_table() -> Table {
     for (mib, secs) in re_get_rows() {
         t.row(vec![format!("RE cache export, {mib} MiB (s)"), format!("{secs:.3}")]);
     }
-    let extrapolated =
-        openmb_mb::CostModel::re_like().shared_cost(500 << 20).as_secs_f64();
+    let extrapolated = openmb_mb::CostModel::re_like().shared_cost(500 << 20).as_secs_f64();
     t.row(vec!["RE cache export, 500 MiB extrapolated (s)".into(), format!("{extrapolated:.1}")]);
     t.note("paper: 34.8 s to retrieve a 500 MB cache");
     t
@@ -142,8 +138,7 @@ mod tests {
 
     #[test]
     fn re_export_time_matches_paper_regime() {
-        let extrapolated =
-            openmb_mb::CostModel::re_like().shared_cost(500 << 20).as_secs_f64();
+        let extrapolated = openmb_mb::CostModel::re_like().shared_cost(500 << 20).as_secs_f64();
         assert!((30.0..40.0).contains(&extrapolated), "{extrapolated}");
     }
 }

@@ -56,12 +56,9 @@ pub fn bro_check() -> Check {
     }
     .generate();
     let migrate_at = SimTime(1_500_000_000);
-    let pre = Trace::new(
-        trace.events().iter().filter(|e| e.time < migrate_at).cloned().collect(),
-    );
-    let post = Trace::new(
-        trace.events().iter().filter(|e| e.time >= migrate_at).cloned().collect(),
-    );
+    let pre = Trace::new(trace.events().iter().filter(|e| e.time < migrate_at).cloned().collect());
+    let post =
+        Trace::new(trace.events().iter().filter(|e| e.time >= migrate_at).cloned().collect());
     let end = trace.end_time().after(SimDuration::from_secs(1));
 
     // Reference.
@@ -122,12 +119,9 @@ pub fn prads_check() -> Check {
     }
     .generate();
     let migrate_at = SimTime(1_000_000_000);
-    let pre = Trace::new(
-        trace.events().iter().filter(|e| e.time < migrate_at).cloned().collect(),
-    );
-    let post = Trace::new(
-        trace.events().iter().filter(|e| e.time >= migrate_at).cloned().collect(),
-    );
+    let pre = Trace::new(trace.events().iter().filter(|e| e.time < migrate_at).cloned().collect());
+    let post =
+        Trace::new(trace.events().iter().filter(|e| e.time >= migrate_at).cloned().collect());
 
     let mut reference = Monitor::new();
     let mut sink = Vec::new();
@@ -151,11 +145,7 @@ pub fn prads_check() -> Check {
     Check {
         name: "PRADS: statistics identical under migration",
         pass,
-        detail: format!(
-            "reference {:?} vs migrated {:?}",
-            reference.stat(),
-            dst.stat()
-        ),
+        detail: format!("reference {:?} vs migrated {:?}", reference.stat(), dst.stat()),
     }
 }
 
@@ -175,15 +165,12 @@ pub fn re_check() -> Check {
 
 /// Regenerate the §8.2 correctness summary.
 pub fn correctness_table() -> Table {
-    let mut t = Table::new("§8.2: correctness (unmodified vs OpenMB-enabled)", &[
-        "check", "result", "detail",
-    ]);
+    let mut t = Table::new(
+        "§8.2: correctness (unmodified vs OpenMB-enabled)",
+        &["check", "result", "detail"],
+    );
     for c in [bro_check(), prads_check(), re_check()] {
-        t.row(vec![
-            c.name.into(),
-            if c.pass { "PASS" } else { "FAIL" }.into(),
-            c.detail,
-        ]);
+        t.row(vec![c.name.into(), if c.pass { "PASS" } else { "FAIL" }.into(), c.detail]);
     }
     t.note("paper: no differences in conn.log/http.log; no discrepancies in Prads stats; all RE packets decoded");
     t

@@ -43,10 +43,9 @@ pub fn single_move_ms(chunks: usize, pkt_rate: u64) -> f64 {
         Box::new(app),
         ScenarioParams::default(),
     );
-    if pkt_rate > 0 {
+    if let Some(gap) = 1_000_000_000u64.checked_div(pkt_rate) {
         // Packets touching the preloaded flows throughout a window that
         // comfortably covers the move.
-        let gap = 1_000_000_000 / pkt_rate;
         let window_ns = 4_000_000_000u64;
         let total = (window_ns / gap.max(1)) as usize;
         for i in 0..total {
@@ -105,6 +104,7 @@ pub fn concurrent_moves_avg_ms(n_moves: usize, chunks: usize) -> f64 {
             quiesce_after: SimDuration::from_millis(100),
             compress_transfers: false,
             buffer_events: true,
+            ..ControllerConfig::default()
         },
         ControllerCosts::default(),
         Box::new(MultiMoveApp { pairs, trigger, ops: Vec::new() }),
@@ -151,12 +151,7 @@ pub fn fig10a() -> Table {
         let quiet = single_move_ms(chunks, 0);
         let noisy = single_move_ms(chunks, 1000);
         let overhead = (noisy - quiet) / quiet * 100.0;
-        t.row(vec![
-            chunks.to_string(),
-            f(quiet),
-            f(noisy),
-            format!("{overhead:+.1}%"),
-        ]);
+        t.row(vec![chunks.to_string(), f(quiet), f(noisy), format!("{overhead:+.1}%")]);
     }
     t.note("paper: linear in chunks; events increase processing time by at most ~9%");
     t

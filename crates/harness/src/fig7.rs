@@ -10,8 +10,8 @@
 //!
 //! We regenerate the same timeline, bucketed at 100 ms.
 
-use openmb_apps::scaling::ScaleUpApp;
 use openmb_apps::migration::RouteSpec;
+use openmb_apps::scaling::ScaleUpApp;
 use openmb_apps::scenarios::{layout, two_mb_scenario, ScenarioParams};
 use openmb_middleboxes::Monitor;
 use openmb_simnet::{Frame, SimDuration, SimTime, TraceKind};
@@ -49,32 +49,17 @@ pub fn run(window_start_ms: u64, window_ms: u64, bucket_ms: u64) -> Fig7 {
         MB_B_ID,
         subset,
         SimDuration::from_millis(1000),
-        RouteSpec {
-            pattern: subset,
-            priority: 10,
-            src: SRC,
-            waypoints: vec![MB_B],
-            dst: DST,
-        },
+        RouteSpec { pattern: subset, priority: 10, src: SRC, waypoints: vec![MB_B], dst: DST },
     );
-    let mut setup = two_mb_scenario(
-        Monitor::new(),
-        Monitor::new(),
-        Box::new(app),
-        ScenarioParams::default(),
-    );
+    let mut setup =
+        two_mb_scenario(Monitor::new(), Monitor::new(), Box::new(app), ScenarioParams::default());
     // Steady HTTP traffic at ~800 pkt/s over 400 flows for 3.5 s.
     let gap = 1_250_000u64; // 1.25 ms
     for i in 0..2800usize {
         let key = preload_flow(i % 400);
         let mut pkt = Packet::new(i as u64 + 1, key, vec![0u8; 200]);
         pkt.meta.http_request = true;
-        setup.sim.inject_frame(
-            SimTime(gap * i as u64),
-            setup.src,
-            setup.switch,
-            Frame::Data(pkt),
-        );
+        setup.sim.inject_frame(SimTime(gap * i as u64), setup.src, setup.switch, Frame::Data(pkt));
     }
     setup.sim.run(200_000_000);
     assert!(setup.sim.is_idle());
@@ -102,9 +87,7 @@ fn extract(
         // Landmarks are recorded regardless of window.
         match &e.kind {
             TraceKind::OpStart { op } if e.node == old && op.starts_with("get") => {
-                if get_start.is_none() {
-                    get_start = Some(e.time.as_secs_f64());
-                }
+                get_start.get_or_insert(e.time.as_secs_f64());
             }
             TraceKind::OpEnd { op } if e.node == old && op.starts_with("get") => {
                 get_end = Some(e.time.as_secs_f64());
@@ -137,9 +120,7 @@ fn extract(
         buckets: buckets
             .into_iter()
             .enumerate()
-            .map(|(i, b)| {
-                ((window_start_ms + i as u64 * bucket_ms) as f64 / 1000.0, b)
-            })
+            .map(|(i, b)| ((window_start_ms + i as u64 * bucket_ms) as f64 / 1000.0, b))
             .collect(),
         get_start_s: get_start,
         get_end_s: get_end,
@@ -188,24 +169,15 @@ mod tests {
         // Old MB processes packets until (slightly after) the last put;
         // then the new MB takes over.
         let handover = lp;
-        let old_after: u64 = r
-            .buckets
-            .iter()
-            .filter(|(t, _)| *t > handover + 0.3)
-            .map(|(_, b)| b.old_pkts)
-            .sum();
-        let new_after: u64 = r
-            .buckets
-            .iter()
-            .filter(|(t, _)| *t > handover + 0.3)
-            .map(|(_, b)| b.new_pkts)
-            .sum();
+        let old_after: u64 =
+            r.buckets.iter().filter(|(t, _)| *t > handover + 0.3).map(|(_, b)| b.old_pkts).sum();
+        let new_after: u64 =
+            r.buckets.iter().filter(|(t, _)| *t > handover + 0.3).map(|(_, b)| b.new_pkts).sum();
         assert_eq!(old_after, 0, "old MB quiet after handover");
         assert!(new_after > 0, "new MB carries the traffic after handover");
         // Events raised during the get window, processed at the new MB.
         let events_total: u64 = r.buckets.iter().map(|(_, b)| b.old_events_raised).sum();
-        let processed_total: u64 =
-            r.buckets.iter().map(|(_, b)| b.new_events_processed).sum();
+        let processed_total: u64 = r.buckets.iter().map(|(_, b)| b.new_events_processed).sum();
         assert!(events_total > 0, "events raised during the move");
         assert!(processed_total > 0, "events processed at the new MB");
     }

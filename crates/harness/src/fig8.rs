@@ -18,10 +18,7 @@ pub struct Fig8 {
 pub fn run() -> Fig8 {
     let cdf = DatacenterWorkload::default().duration_cdf();
     let xs = [1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 900.0, 1200.0, 1500.0, 3000.0];
-    Fig8 {
-        series: cdf.series(&xs),
-        frac_above_1500s: cdf.fraction_above(1500.0),
-    }
+    Fig8 { series: cdf.series(&xs), frac_above_1500s: cdf.fraction_above(1500.0) }
 }
 
 /// Regenerate Figure 8 as a table.
@@ -48,11 +45,7 @@ mod tests {
     #[test]
     fn tail_in_papers_band() {
         let r = run();
-        assert!(
-            (0.06..0.13).contains(&r.frac_above_1500s),
-            "tail {:.3}",
-            r.frac_above_1500s
-        );
+        assert!((0.06..0.13).contains(&r.frac_above_1500s), "tail {:.3}", r.frac_above_1500s);
     }
 
     #[test]

@@ -37,8 +37,8 @@ impl MbKind {
     /// The per-flow get operation this MB's state class uses.
     fn get_op(self) -> &'static str {
         match self {
-            MbKind::Prads => "getReportPerflow",  // reporting records
-            MbKind::Bro => "getSupportPerflow",   // connection records
+            MbKind::Prads => "getReportPerflow", // reporting records
+            MbKind::Bro => "getSupportPerflow",  // connection records
         }
     }
 }
@@ -74,8 +74,7 @@ fn run_move<M: Middlebox + Clone + 'static>(
             dst: DST,
         },
     );
-    let mut setup =
-        two_mb_scenario(logic.clone(), logic, Box::new(app), ScenarioParams::default());
+    let mut setup = two_mb_scenario(logic.clone(), logic, Box::new(app), ScenarioParams::default());
     if let Some(c) = costs {
         // Event-generation runs must keep the MB below saturation at the
         // tested packet rates; the override trims only the per-packet
@@ -84,8 +83,7 @@ fn run_move<M: Middlebox + Clone + 'static>(
         setup.sim.node_as_mut::<MbNode<M>>(setup.mb_b).set_cost_override(c);
     }
     // Optional traffic: round-robin over the preloaded flows.
-    if pkt_rate > 0 {
-        let gap = SimDuration(1_000_000_000 / pkt_rate);
+    if let Some(gap) = 1_000_000_000u64.checked_div(pkt_rate).map(SimDuration) {
         let total = (window.as_nanos() / gap.as_nanos().max(1)) as usize;
         for i in 0..total {
             let key = preload_flow(i % chunks.max(1));
@@ -109,8 +107,8 @@ pub fn measure_get_put(mb: MbKind, chunks: usize) -> GetPutSample {
         MbKind::Prads => run_move(preloaded_monitor(chunks), 0, chunks, SimDuration::ZERO, None),
         MbKind::Bro => run_move(preloaded_ips(chunks), 0, chunks, SimDuration::ZERO, None),
     };
-    let get_ms = op_duration_ms(&sim.metrics.trace, layout::MB_A, mb.get_op())
-        .expect("get must have run");
+    let get_ms =
+        op_duration_ms(&sim.metrics.trace, layout::MB_A, mb.get_op()).expect("get must have run");
     // All puts: the destination's busy time executing them. (Wall-clock
     // span would just mirror the get, which paces chunk arrivals.)
     let dst: &MbNode<Monitor> = match mb {
@@ -129,9 +127,7 @@ pub fn measure_get_put(mb: MbKind, chunks: usize) -> GetPutSample {
 pub fn measure_events(mb: MbKind, chunks: usize, pkt_rate: u64) -> u64 {
     let window = SimDuration::from_secs(2);
     let (sim, _) = match mb {
-        MbKind::Prads => {
-            run_move(preloaded_monitor(chunks), pkt_rate, chunks, window, None)
-        }
+        MbKind::Prads => run_move(preloaded_monitor(chunks), pkt_rate, chunks, window, None),
         MbKind::Bro => {
             // At 6.9 ms/packet a Bro-like MB saturates at ~145 pkt/s and
             // every later packet would queue behind the move forever.
@@ -230,9 +226,6 @@ mod tests {
     fn events_increase_with_packet_rate() {
         let low = measure_events(MbKind::Prads, 250, 500);
         let high = measure_events(MbKind::Prads, 250, 2000);
-        assert!(
-            high > low * 2,
-            "events should grow with rate: {low} @500pps vs {high} @2000pps"
-        );
+        assert!(high > low * 2, "events should grow with rate: {low} @500pps vs {high} @2000pps");
     }
 }

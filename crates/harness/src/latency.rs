@@ -174,11 +174,7 @@ pub fn re_latency(cache_size: usize) -> LatencyResult {
             SimTime(gap * i as u64),
             setup.src,
             setup.switch,
-            Frame::Data(Packet::new(
-                9_500_000 + i as u64,
-                preload_flow(i % 50),
-                vec![0x55u8; 800],
-            )),
+            Frame::Data(Packet::new(9_500_000 + i as u64, preload_flow(i % 50), vec![0x55u8; 800])),
         );
     }
     setup.sim.run(500_000_000);
@@ -190,11 +186,7 @@ pub fn re_latency(cache_size: usize) -> LatencyResult {
 
 /// Mean per-packet latency at `node` during its get window (public
 /// helper for the ablations module). Returns 0 when no get ran.
-pub fn split_latency_public(
-    sim: &openmb_simnet::Sim,
-    node: NodeId,
-    label: &str,
-) -> f64 {
+pub fn split_latency_public(sim: &openmb_simnet::Sim, node: NodeId, label: &str) -> f64 {
     let mut start = None;
     let mut end = None;
     for e in &sim.metrics.trace {
@@ -233,7 +225,9 @@ pub fn latency_table() -> Table {
         f(re.during_get_ms),
         format!("{:+.1}%", re.increase_pct()),
     ]);
-    t.note("paper: Bro 6.93 → 7.06 ms (+1.9%); RE 0.781 → 0.790 ms (+1.2%) — no significant change");
+    t.note(
+        "paper: Bro 6.93 → 7.06 ms (+1.9%); RE 0.781 → 0.790 ms (+1.2%) — no significant change",
+    );
     t
 }
 

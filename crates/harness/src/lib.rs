@@ -13,25 +13,28 @@ pub mod report;
 pub mod ablations;
 pub mod compress_xp;
 pub mod correctness;
-pub mod table2;
+pub mod faults;
+pub mod fig10;
 pub mod fig7;
 pub mod fig8;
-pub mod fig10;
 pub mod fig9;
 pub mod latency;
 pub mod snapshot;
 pub mod splitmerge;
+pub mod table2;
 pub mod table3;
 
 pub use report::Table;
 
 #[cfg(test)]
 mod registry_tests {
+    type Regenerator = fn() -> crate::Table;
+
     /// Every experiment module named in DESIGN.md §4 exists and its
     /// regenerator is callable (compile-time check via references).
     #[test]
     fn all_regenerators_exist() {
-        let fns: Vec<(&str, fn() -> crate::Table)> = vec![
+        let fns: Vec<(&str, Regenerator)> = vec![
             ("fig7", crate::fig7::fig7),
             ("fig8", crate::fig8::fig8),
             ("fig9c", || crate::fig9::fig9cd(crate::fig9::MbKind::Prads)),
@@ -44,9 +47,10 @@ mod registry_tests {
             ("latency", crate::latency::latency_table),
             ("compress", crate::compress_xp::compress_table),
             ("ablations", crate::ablations::ablations_table),
+            ("faults", crate::faults::faults_table),
         ];
         // Referencing the function pointers is the check; running them
         // all here would duplicate the per-module tests.
-        assert_eq!(fns.len(), 12);
+        assert_eq!(fns.len(), 13);
     }
 }

@@ -81,12 +81,9 @@ pub fn run() -> SnapshotOutcome {
     }
     .generate();
     let migrate_at = SimTime(SimDuration::from_secs(2).as_nanos());
-    let pre = Trace::new(
-        trace.events().iter().filter(|e| e.time < migrate_at).cloned().collect(),
-    );
-    let post = Trace::new(
-        trace.events().iter().filter(|e| e.time >= migrate_at).cloned().collect(),
-    );
+    let pre = Trace::new(trace.events().iter().filter(|e| e.time < migrate_at).cloned().collect());
+    let post =
+        Trace::new(trace.events().iter().filter(|e| e.time >= migrate_at).cloned().collect());
     let is_http = |p: &openmb_types::Packet| p.key.dst_port == 80 || p.key.src_port == 80;
     let end = trace.end_time().after(SimDuration::from_secs(1));
 
@@ -122,8 +119,8 @@ pub fn run() -> SnapshotOutcome {
     drive(&mut old_mb, &post.filter(|p| !is_http(p)), &mut old_logs);
     finalize(&mut old_mb, end, &mut old_logs);
     finalize(&mut new_mb, end, &mut new_logs);
-    let snapshot_incorrect_entries = count_incorrect(&ref_states, &old_logs)
-        + count_incorrect(&ref_states, &new_logs);
+    let snapshot_incorrect_entries =
+        count_incorrect(&ref_states, &old_logs) + count_incorrect(&ref_states, &new_logs);
 
     // ---- SDMBN approach: move only the HTTP flows' state ----
     let mut src = Ips::new();
@@ -162,10 +159,7 @@ fn is_http_key(k: &openmb_types::FlowKey) -> bool {
 
 /// Count conn.log entries whose state differs from the reference run's
 /// state for the same connection.
-fn count_incorrect(
-    reference: &BTreeMap<String, String>,
-    logs: &[openmb_mb::LogEntry],
-) -> usize {
+fn count_incorrect(reference: &BTreeMap<String, String>, logs: &[openmb_mb::LogEntry]) -> usize {
     conn_states(logs)
         .iter()
         .filter(|(key, state)| reference.get(*key).is_some_and(|r| r != *state))
@@ -221,9 +215,6 @@ mod tests {
             r.snapshot_incorrect_entries > 0,
             "abruptly-terminated flows must corrupt conn.log"
         );
-        assert_eq!(
-            r.sdmbn_incorrect_entries, 0,
-            "SDMBN's migrated flows terminate normally"
-        );
+        assert_eq!(r.sdmbn_incorrect_entries, 0, "SDMBN's migrated flows terminate normally");
     }
 }

@@ -259,10 +259,7 @@ mod tests {
         let sdmbn = run_sdmbn(cache);
         let baseline = run_config_routing(cache);
         assert_eq!(sdmbn.undecodable_packets, 0, "SDMBN: everything decodable");
-        assert!(
-            baseline.undecodable_bytes > 0,
-            "config+routing loses encoded traffic"
-        );
+        assert!(baseline.undecodable_bytes > 0, "config+routing loses encoded traffic");
         assert!(
             sdmbn.encoded_bytes > baseline.encoded_bytes,
             "cache warmup costs the baseline encoded bytes: {} vs {}",

@@ -108,17 +108,17 @@ impl CostModel {
 
     /// Total scan cost for a get over `entries` resident entries.
     pub fn scan_cost(&self, entries: usize) -> SimDuration {
-        self.scan_per_entry.mul(entries as u64)
+        self.scan_per_entry.scaled(entries as u64)
     }
 
     /// Serialization cost for `chunks` exported chunks.
     pub fn serialize_cost(&self, chunks: usize) -> SimDuration {
-        self.serialize_per_chunk.mul(chunks as u64)
+        self.serialize_per_chunk.scaled(chunks as u64)
     }
 
     /// Cost to export/import a shared blob of `bytes`.
     pub fn shared_cost(&self, bytes: usize) -> SimDuration {
-        self.shared_per_kib.mul((bytes as u64).div_ceil(1024))
+        self.shared_per_kib.scaled((bytes as u64).div_ceil(1024))
     }
 }
 

@@ -105,8 +105,7 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn pkt() -> Packet {
-        let key =
-            FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
+        let key = FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
         Packet::new(1, key, vec![0u8; 8])
     }
 

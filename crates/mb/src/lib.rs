@@ -59,10 +59,8 @@ pub trait Middlebox {
 
     /// Read configuration at `key` (the root key returns the whole
     /// hierarchy, flattened to `(key, values)` pairs).
-    fn get_config(
-        &self,
-        key: &HierarchicalKey,
-    ) -> Result<Vec<(HierarchicalKey, Vec<ConfigValue>)>>;
+    fn get_config(&self, key: &HierarchicalKey)
+        -> Result<Vec<(HierarchicalKey, Vec<ConfigValue>)>>;
 
     /// Create or replace the ordered values at `key`. The middlebox
     /// validates and *applies* the change (e.g. the RE encoder reacts to
@@ -78,8 +76,7 @@ pub trait Middlebox {
     /// as moved under `op`. Coarser-than-native keys return all matching
     /// chunks at native granularity; finer-than-native keys are an
     /// error.
-    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>>;
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>>;
 
     /// Import one chunk of per-flow supporting state.
     fn put_support_perflow(&mut self, chunk: StateChunk) -> Result<()>;
@@ -105,8 +102,7 @@ pub trait Middlebox {
 
     /// Export per-flow reporting state matching `key`, marked moved
     /// under `op`.
-    fn get_report_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>>;
+    fn get_report_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>>;
 
     /// Import one chunk of per-flow reporting state.
     fn put_report_perflow(&mut self, chunk: StateChunk) -> Result<()>;

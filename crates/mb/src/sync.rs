@@ -84,9 +84,7 @@ impl SyncTracker {
         }
         // A flow not in the moved set but matching an in-flight move
         // pattern is a *new* flow created during the sync window.
-        if let Some(&(op, _)) =
-            self.active_moves.iter().find(|(_, p)| p.matches_bidi(&key))
-        {
+        if let Some(&(op, _)) = self.active_moves.iter().find(|(_, p)| p.matches_bidi(&key)) {
             self.moved.insert(key, op);
             self.events_raised += 1;
             fx.raise(Event::Reprocess { op, key, packet: pkt.clone() });
@@ -182,12 +180,7 @@ mod tests {
         assert_eq!(fx.take_events().len(), 1);
         assert!(t.is_moved(&key(5)));
         // A flow not matching the pattern stays silent.
-        let other = FlowKey::udp(
-            Ipv4Addr::new(9, 9, 9, 9),
-            53,
-            Ipv4Addr::new(8, 8, 8, 8),
-            53,
-        );
+        let other = FlowKey::udp(Ipv4Addr::new(9, 9, 9, 9), 53, Ipv4Addr::new(8, 8, 8, 8), 53);
         t.on_perflow_update(other, &Packet::new(0, other, vec![]), &mut fx);
         assert!(fx.take_events().is_empty());
         t.end_sync(OpId(3));

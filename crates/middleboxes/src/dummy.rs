@@ -136,13 +136,16 @@ impl Middlebox for DummyMb {
         Ok(())
     }
 
-    fn get_support_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_support_perflow(
+        &mut self,
+        _op: OpId,
+        _key: &HeaderFieldList,
+    ) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_support_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow supporting"))
+        Err(Error::UnsupportedStateClass("per-flow supporting".into()))
     }
 
     fn del_support_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -154,17 +157,15 @@ impl Middlebox for DummyMb {
     }
 
     fn put_support_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("shared supporting"))
+        Err(Error::UnsupportedStateClass("shared supporting".into()))
     }
 
-    fn get_report_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
-        let matching: Vec<FlowKey> = self
-            .state
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+    fn get_report_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
+        let mut matching: Vec<FlowKey> =
+            self.state.keys().filter(|k| key.matches_bidi(k)).copied().collect();
+        // Export in key order so map iteration order never leaks into
+        // the wire.
+        matching.sort_unstable();
         let mut out = Vec::with_capacity(matching.len());
         for fk in matching {
             let bytes = if self.compress_exports {
@@ -203,12 +204,8 @@ impl Middlebox for DummyMb {
     }
 
     fn del_report_perflow(&mut self, key: &HeaderFieldList) -> Result<usize> {
-        let victims: Vec<FlowKey> = self
-            .state
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+        let victims: Vec<FlowKey> =
+            self.state.keys().filter(|k| key.matches_bidi(k)).copied().collect();
         for k in &victims {
             self.state.remove(k);
             self.sync.clear_flow(k);
@@ -221,7 +218,7 @@ impl Middlebox for DummyMb {
     }
 
     fn put_report_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("shared reporting"))
+        Err(Error::UnsupportedStateClass("shared reporting".into()))
     }
 
     fn stats(&self, key: &HeaderFieldList) -> StateStats {

@@ -55,8 +55,7 @@ impl Rule {
     }
 
     fn matches(&self, key: &FlowKey) -> bool {
-        self.proto.is_none_or(|p| p == key.proto)
-            && self.dport.is_none_or(|p| p == key.dst_port)
+        self.proto.is_none_or(|p| p == key.proto) && self.dport.is_none_or(|p| p == key.dst_port)
     }
 }
 
@@ -146,12 +145,7 @@ impl Firewall {
     fn rules(&self) -> Vec<Rule> {
         self.config
             .get_leaf(&HierarchicalKey::parse("chains/inbound"))
-            .map(|vs| {
-                vs.iter()
-                    .filter_map(|v| v.as_str())
-                    .filter_map(Rule::parse)
-                    .collect()
-            })
+            .map(|vs| vs.iter().filter_map(|v| v.as_str()).filter_map(Rule::parse).collect())
             .unwrap_or_default()
     }
 
@@ -224,14 +218,12 @@ impl Middlebox for Firewall {
         }
     }
 
-    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
-        let matching: Vec<FlowKey> = self
-            .conntrack
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
+        let mut matching: Vec<FlowKey> =
+            self.conntrack.keys().filter(|k| key.matches_bidi(k)).copied().collect();
+        // Export in key order so map iteration order never leaks into
+        // the wire.
+        matching.sort_unstable();
         let mut out = Vec::with_capacity(matching.len());
         for fk in matching {
             let c = self.conntrack[&fk].clone();
@@ -255,12 +247,8 @@ impl Middlebox for Firewall {
     }
 
     fn del_support_perflow(&mut self, key: &HeaderFieldList) -> Result<usize> {
-        let victims: Vec<FlowKey> = self
-            .conntrack
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+        let victims: Vec<FlowKey> =
+            self.conntrack.keys().filter(|k| key.matches_bidi(k)).copied().collect();
         for k in &victims {
             self.conntrack.remove(k);
             self.sync.clear_flow(k);
@@ -273,16 +261,15 @@ impl Middlebox for Firewall {
     }
 
     fn put_support_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("shared supporting"))
+        Err(Error::UnsupportedStateClass("shared supporting".into()))
     }
 
-    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow reporting"))
+        Err(Error::UnsupportedStateClass("per-flow reporting".into()))
     }
 
     fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -336,8 +323,7 @@ impl Middlebox for Firewall {
             if !fx.is_replay() {
                 self.allowed += 1;
             }
-            self.conntrack
-                .insert(key, ConnTrack { key, packets: 1, last_ns: now.0 });
+            self.conntrack.insert(key, ConnTrack { key, packets: 1, last_ns: now.0 });
             self.sync.on_perflow_update(key, pkt, fx);
             fx.forward(pkt.clone());
         } else {
@@ -353,10 +339,7 @@ impl Middlebox for Firewall {
     }
 
     fn costs(&self) -> CostModel {
-        CostModel {
-            per_packet: SimDuration::from_micros(10),
-            ..CostModel::default()
-        }
+        CostModel { per_packet: SimDuration::from_micros(10), ..CostModel::default() }
     }
 
     fn perflow_entries(&self) -> usize {
@@ -390,10 +373,7 @@ mod tests {
             Rule::parse("allow tcp dport 80"),
             Some(Rule { allow: true, proto: Some(Proto::Tcp), dport: Some(80) })
         );
-        assert_eq!(
-            Rule::parse("deny any"),
-            Some(Rule { allow: false, proto: None, dport: None })
-        );
+        assert_eq!(Rule::parse("deny any"), Some(Rule { allow: false, proto: None, dport: None }));
         assert!(Rule::parse("frobnicate").is_none());
         assert!(Rule::parse("allow tcp dport notaport").is_none());
     }
@@ -450,10 +430,7 @@ mod tests {
         );
         assert!(matches!(err, Err(Error::InvalidConfigValue { .. })));
         // Original chain intact.
-        assert_eq!(
-            fw.get_config(&HierarchicalKey::parse("chains/inbound")).unwrap()[0].1.len(),
-            3
-        );
+        assert_eq!(fw.get_config(&HierarchicalKey::parse("chains/inbound")).unwrap()[0].1.len(), 3);
     }
 
     #[test]

@@ -181,8 +181,8 @@ impl ConnRecord {
         let dst_ip = r.ip()?;
         let src_port = r.u16()?;
         let dst_port = r.u16()?;
-        let proto = Proto::from_number(r.u8()?)
-            .ok_or_else(|| Error::MalformedChunk("bad proto".into()))?;
+        let proto =
+            Proto::from_number(r.u8()?).ok_or_else(|| Error::MalformedChunk("bad proto".into()))?;
         let key = FlowKey { src_ip, dst_ip, src_port, dst_port, proto };
         let start_ns = r.u64()?;
         let last_ns = r.u64()?;
@@ -279,10 +279,7 @@ impl Ips {
             &HierarchicalKey::parse("rules/signatures"),
             vec!["evil.exe".into(), "cmd.exe /c".into(), "DROP TABLE".into()],
         );
-        config.set(
-            &HierarchicalKey::parse("params/scan_threshold"),
-            vec![ConfigValue::Int(20)],
-        );
+        config.set(&HierarchicalKey::parse("params/scan_threshold"), vec![ConfigValue::Int(20)]);
         Ips {
             config,
             conns: HashMap::new(),
@@ -443,14 +440,12 @@ impl Middlebox for Ips {
         }
     }
 
-    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
-        let matching: Vec<FlowKey> = self
-            .conns
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
+        let mut matching: Vec<FlowKey> =
+            self.conns.keys().filter(|k| key.matches_bidi(k)).copied().collect();
+        // Export in key order so map iteration order never leaks into
+        // the wire.
+        matching.sort_unstable();
         let mut out = Vec::with_capacity(matching.len());
         for fk in matching {
             let rec = self.conns[&fk].clone();
@@ -475,12 +470,8 @@ impl Middlebox for Ips {
         // The paper added a `moved` flag so Bro does not log errors when
         // state for a moved flow is deleted: our del simply removes the
         // records without conn.log output.
-        let victims: Vec<FlowKey> = self
-            .conns
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+        let victims: Vec<FlowKey> =
+            self.conns.keys().filter(|k| key.matches_bidi(k)).copied().collect();
         for k in &victims {
             self.conns.remove(k);
             self.sync.clear_flow(k);
@@ -500,13 +491,12 @@ impl Middlebox for Ips {
         self.merge_scan_table(&plain)
     }
 
-    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow reporting"))
+        Err(Error::UnsupportedStateClass("per-flow reporting".into()))
     }
 
     fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -576,10 +566,7 @@ impl Middlebox for Ips {
         };
         let is_new = !self.conns.contains_key(&key);
         let signatures = self.signatures();
-        let rec = self
-            .conns
-            .entry(key)
-            .or_insert_with(|| ConnRecord::new(key, now, initial_state));
+        let rec = self.conns.entry(key).or_insert_with(|| ConnRecord::new(key, now, initial_state));
         rec.last_ns = now.0;
         if is_orig {
             rec.orig_pkts += 1;
@@ -651,9 +638,7 @@ impl Middlebox for Ips {
         scan_buf.extend_from_slice(&pkt.payload);
         for (idx, sig) in signatures.iter().enumerate() {
             let idx = idx as u32;
-            if !rec.fired.contains(&idx)
-                && find_subsequence(&scan_buf, sig.as_bytes()).is_some()
-            {
+            if !rec.fired.contains(&idx) && find_subsequence(&scan_buf, sig.as_bytes()).is_some() {
                 rec.fired.insert(idx);
                 if !fx.is_replay() {
                     self.stat.alerts += 1;
@@ -801,7 +786,11 @@ mod tests {
         let key = conn_key(2100);
         let mut fx = Effects::normal();
         ips.process_packet(SimTime(0), &Packet::tcp(1, key, tcp_flags::SYN, Bytes::new()), &mut fx);
-        ips.process_packet(SimTime(1), &Packet::tcp(2, key.reversed(), tcp_flags::RST, Bytes::new()), &mut fx);
+        ips.process_packet(
+            SimTime(1),
+            &Packet::tcp(2, key.reversed(), tcp_flags::RST, Bytes::new()),
+            &mut fx,
+        );
         let logs = fx.take_logs();
         assert!(logs.iter().any(|l| l.log == "conn.log" && l.line.contains(" RST ")));
     }
@@ -819,8 +808,7 @@ mod tests {
                 &mut fx,
             );
         }
-        let alerts: Vec<_> =
-            fx.take_logs().into_iter().filter(|l| l.log == "alert").collect();
+        let alerts: Vec<_> = fx.take_logs().into_iter().filter(|l| l.log == "alert").collect();
         assert_eq!(alerts.len(), 1);
     }
 
@@ -829,21 +817,25 @@ mod tests {
         let mut ips = Ips::new();
         let key = conn_key(3100);
         let mut fx = Effects::normal();
-        ips.process_packet(SimTime(0), &Packet::tcp(1, key, tcp_flags::ACK, Bytes::from_static(b"xxevil.")), &mut fx);
-        ips.process_packet(SimTime(1), &Packet::tcp(2, key, tcp_flags::ACK, Bytes::from_static(b"exeyy")), &mut fx);
-        let alerts: Vec<_> =
-            fx.take_logs().into_iter().filter(|l| l.log == "alert").collect();
+        ips.process_packet(
+            SimTime(0),
+            &Packet::tcp(1, key, tcp_flags::ACK, Bytes::from_static(b"xxevil.")),
+            &mut fx,
+        );
+        ips.process_packet(
+            SimTime(1),
+            &Packet::tcp(2, key, tcp_flags::ACK, Bytes::from_static(b"exeyy")),
+            &mut fx,
+        );
+        let alerts: Vec<_> = fx.take_logs().into_iter().filter(|l| l.log == "alert").collect();
         assert_eq!(alerts.len(), 1, "split signature must still fire");
     }
 
     #[test]
     fn scan_detector_uses_shared_state() {
         let mut ips = Ips::new();
-        ips.set_config(
-            &HierarchicalKey::parse("params/scan_threshold"),
-            vec![ConfigValue::Int(5)],
-        )
-        .unwrap();
+        ips.set_config(&HierarchicalKey::parse("params/scan_threshold"), vec![ConfigValue::Int(5)])
+            .unwrap();
         let mut fx = Effects::normal();
         for port in 1..=5u16 {
             let key = FlowKey::tcp(ip(6, 6, 6, 6), 5555, ip(192, 168, 0, 1), port);
@@ -853,8 +845,7 @@ mod tests {
                 &mut fx,
             );
         }
-        let alerts: Vec<_> =
-            fx.take_logs().into_iter().filter(|l| l.log == "alert").collect();
+        let alerts: Vec<_> = fx.take_logs().into_iter().filter(|l| l.log == "alert").collect();
         assert_eq!(alerts.len(), 1);
         assert!(alerts[0].line.contains("port scan from 6.6.6.6"));
     }
@@ -920,11 +911,19 @@ mod tests {
         let mut fx = Effects::normal();
         for port in 1..=3u16 {
             let key = FlowKey::tcp(ip(6, 6, 6, 6), 5555, ip(192, 168, 0, 1), port);
-            a.process_packet(SimTime(0), &Packet::tcp(0, key, tcp_flags::SYN, Bytes::new()), &mut fx);
+            a.process_packet(
+                SimTime(0),
+                &Packet::tcp(0, key, tcp_flags::SYN, Bytes::new()),
+                &mut fx,
+            );
         }
         for port in 3..=5u16 {
             let key = FlowKey::tcp(ip(6, 6, 6, 6), 5555, ip(192, 168, 0, 1), port);
-            b.process_packet(SimTime(0), &Packet::tcp(0, key, tcp_flags::SYN, Bytes::new()), &mut fx);
+            b.process_packet(
+                SimTime(0),
+                &Packet::tcp(0, key, tcp_flags::SYN, Bytes::new()),
+                &mut fx,
+            );
         }
         let chunk = a.get_support_shared(OpId(1)).unwrap().unwrap();
         b.put_support_shared(chunk).unwrap();
@@ -941,7 +940,11 @@ mod tests {
         ips.process_packet(SimTime(0), &Packet::tcp(1, key, tcp_flags::SYN, Bytes::new()), &mut fx);
         let _ = ips.get_support_perflow(OpId(2), &HeaderFieldList::any()).unwrap();
         let mut fx2 = Effects::normal();
-        ips.process_packet(SimTime(1), &Packet::tcp(2, key, tcp_flags::ACK, Bytes::from_static(b"x")), &mut fx2);
+        ips.process_packet(
+            SimTime(1),
+            &Packet::tcp(2, key, tcp_flags::ACK, Bytes::from_static(b"x")),
+            &mut fx2,
+        );
         assert_eq!(fx2.take_events().len(), 1);
         assert_eq!(ips.events_raised(), 1);
     }
@@ -953,9 +956,7 @@ mod tests {
         let mut fx = Effects::normal();
         ips.process_packet(SimTime(0), &Packet::new(1, key, vec![1, 2, 3]), &mut fx);
         assert_eq!(ips.perflow_entries(), 1);
-        let chunks = ips
-            .get_support_perflow(OpId(1), &HeaderFieldList::from_dst_port(53))
-            .unwrap();
+        let chunks = ips.get_support_perflow(OpId(1), &HeaderFieldList::from_dst_port(53)).unwrap();
         assert_eq!(chunks.len(), 1);
     }
 }

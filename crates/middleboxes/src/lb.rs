@@ -101,22 +101,14 @@ impl LoadBalancer {
     fn backends(&self) -> Vec<Ipv4Addr> {
         self.config
             .get_leaf(&HierarchicalKey::parse("backends"))
-            .map(|vs| {
-                vs.iter()
-                    .filter_map(|v| v.as_str())
-                    .filter_map(|s| s.parse().ok())
-                    .collect()
-            })
+            .map(|vs| vs.iter().filter_map(|v| v.as_str()).filter_map(|s| s.parse().ok()).collect())
             .unwrap_or_default()
     }
 
     /// The finest granularity this MB supports is "all traffic from one
     /// source IP". A pattern is *finer* when it constrains anything else.
     fn pattern_is_too_fine(key: &HeaderFieldList) -> bool {
-        key.tp_src.is_some()
-            || key.tp_dst.is_some()
-            || key.proto.is_some()
-            || !key.nw_dst.is_any()
+        key.tp_src.is_some() || key.tp_dst.is_some() || key.proto.is_some() || !key.nw_dst.is_any()
     }
 
     /// Assignments sorted by source (tests/experiments).
@@ -156,10 +148,8 @@ impl Middlebox for LoadBalancer {
 
     fn set_config(&mut self, key: &HierarchicalKey, values: Vec<ConfigValue>) -> Result<()> {
         if key.to_string() == "backends" {
-            let parsed: Vec<Option<Ipv4Addr>> = values
-                .iter()
-                .map(|v| v.as_str().and_then(|s| s.parse().ok()))
-                .collect();
+            let parsed: Vec<Option<Ipv4Addr>> =
+                values.iter().map(|v| v.as_str().and_then(|s| s.parse().ok())).collect();
             if parsed.is_empty() || parsed.iter().any(Option::is_none) {
                 return Err(Error::InvalidConfigValue {
                     key: key.to_string(),
@@ -184,20 +174,18 @@ impl Middlebox for LoadBalancer {
         }
     }
 
-    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         if Self::pattern_is_too_fine(key) {
             return Err(Error::GranularityTooFine {
                 requested: *key,
-                native: "source IP only (Balance keys state by client address)",
+                native: "source IP only (Balance keys state by client address)".into(),
             });
         }
-        let matching: Vec<Ipv4Addr> = self
-            .assignments
-            .keys()
-            .filter(|ip| key.nw_src.contains(**ip))
-            .copied()
-            .collect();
+        let mut matching: Vec<Ipv4Addr> =
+            self.assignments.keys().filter(|ip| key.nw_src.contains(**ip)).copied().collect();
+        // Export in key order so map iteration order never leaks into
+        // the wire.
+        matching.sort_unstable();
         let mut out = Vec::with_capacity(matching.len());
         for ip in matching {
             let a = self.assignments[&ip].clone();
@@ -223,15 +211,11 @@ impl Middlebox for LoadBalancer {
         if Self::pattern_is_too_fine(key) {
             return Err(Error::GranularityTooFine {
                 requested: *key,
-                native: "source IP only (Balance keys state by client address)",
+                native: "source IP only (Balance keys state by client address)".into(),
             });
         }
-        let victims: Vec<Ipv4Addr> = self
-            .assignments
-            .keys()
-            .filter(|ip| key.nw_src.contains(**ip))
-            .copied()
-            .collect();
+        let victims: Vec<Ipv4Addr> =
+            self.assignments.keys().filter(|ip| key.nw_src.contains(**ip)).copied().collect();
         for ip in &victims {
             self.assignments.remove(ip);
         }
@@ -243,16 +227,15 @@ impl Middlebox for LoadBalancer {
     }
 
     fn put_support_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("shared supporting"))
+        Err(Error::UnsupportedStateClass("shared supporting".into()))
     }
 
-    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow reporting"))
+        Err(Error::UnsupportedStateClass("per-flow reporting".into()))
     }
 
     fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -264,7 +247,7 @@ impl Middlebox for LoadBalancer {
     }
 
     fn put_report_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("shared reporting"))
+        Err(Error::UnsupportedStateClass("shared reporting".into()))
     }
 
     fn stats(&self, key: &HeaderFieldList) -> StateStats {
@@ -327,10 +310,7 @@ impl Middlebox for LoadBalancer {
     }
 
     fn costs(&self) -> CostModel {
-        CostModel {
-            per_packet: SimDuration::from_micros(15),
-            ..CostModel::default()
-        }
+        CostModel { per_packet: SimDuration::from_micros(15), ..CostModel::default() }
     }
 
     fn perflow_entries(&self) -> usize {
@@ -351,11 +331,7 @@ mod tests {
     }
 
     fn pkt(id: u64, src_last: u8, sp: u16) -> Packet {
-        Packet::new(
-            id,
-            FlowKey::tcp(ip(99, 0, 0, src_last), sp, ip(1, 2, 3, 4), 80),
-            vec![0u8; 4],
-        )
+        Packet::new(id, FlowKey::tcp(ip(99, 0, 0, src_last), sp, ip(1, 2, 3, 4), 80), vec![0u8; 4])
     }
 
     #[test]
@@ -388,12 +364,7 @@ mod tests {
             lb.get_support_perflow(OpId(1), &fine),
             Err(Error::GranularityTooFine { .. })
         ));
-        let exact = HeaderFieldList::exact(FlowKey::tcp(
-            ip(99, 0, 0, 1),
-            1000,
-            ip(1, 2, 3, 4),
-            80,
-        ));
+        let exact = HeaderFieldList::exact(FlowKey::tcp(ip(99, 0, 0, 1), 1000, ip(1, 2, 3, 4), 80));
         assert!(matches!(
             lb.get_support_perflow(OpId(1), &exact),
             Err(Error::GranularityTooFine { .. })
@@ -407,8 +378,7 @@ mod tests {
         for i in 1..=4u8 {
             lb.process_packet(SimTime(0), &pkt(u64::from(i), i, 1000), &mut fx);
         }
-        let subnet =
-            HeaderFieldList::from_src_subnet(IpPrefix::new(ip(99, 0, 0, 0), 24));
+        let subnet = HeaderFieldList::from_src_subnet(IpPrefix::new(ip(99, 0, 0, 0), 24));
         let chunks = lb.get_support_perflow(OpId(1), &subnet).unwrap();
         assert_eq!(chunks.len(), 4);
         // Chunk keys are native-granularity: source-host patterns.
@@ -478,9 +448,7 @@ mod tests {
                 vec![ConfigValue::Str("not-an-ip".into())],
             )
             .is_err());
-        assert!(lb
-            .set_config(&HierarchicalKey::parse("backends"), vec![])
-            .is_err());
+        assert!(lb.set_config(&HierarchicalKey::parse("backends"), vec![]).is_err());
     }
 
     #[test]

@@ -226,19 +226,15 @@ impl Monitor {
         EncryptedChunk::seal(&self.vendor, n, bytes)
     }
 
-    fn export_matching(
-        &mut self,
-        op: OpId,
-        key: &HeaderFieldList,
-    ) -> Result<Vec<StateChunk>> {
+    fn export_matching(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         // Native granularity is the full (canonical) 5-tuple, so any
         // pattern is valid (coarser or equal).
-        let matching: Vec<FlowKey> = self
-            .assets
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+        let mut matching: Vec<FlowKey> =
+            self.assets.keys().filter(|k| key.matches_bidi(k)).copied().collect();
+        // Export in key order: chunk sizes differ per record, so map
+        // iteration order would otherwise leak into wire timing and
+        // break run-to-run determinism.
+        matching.sort_unstable();
         let mut out = Vec::with_capacity(matching.len());
         for fk in matching {
             let rec = self.assets[&fk].clone();
@@ -307,13 +303,16 @@ impl Middlebox for Monitor {
 
     // The monitor keeps no supporting state: its records exist purely to
     // report observations (§3.1's Reporting role).
-    fn get_support_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_support_perflow(
+        &mut self,
+        _op: OpId,
+        _key: &HeaderFieldList,
+    ) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_support_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow supporting"))
+        Err(Error::UnsupportedStateClass("per-flow supporting".into()))
     }
 
     fn del_support_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -325,11 +324,10 @@ impl Middlebox for Monitor {
     }
 
     fn put_support_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("shared supporting"))
+        Err(Error::UnsupportedStateClass("shared supporting".into()))
     }
 
-    fn get_report_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_report_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         self.export_matching(op, key)
     }
 
@@ -345,12 +343,8 @@ impl Middlebox for Monitor {
     }
 
     fn del_report_perflow(&mut self, key: &HeaderFieldList) -> Result<usize> {
-        let victims: Vec<FlowKey> = self
-            .assets
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+        let victims: Vec<FlowKey> =
+            self.assets.keys().filter(|k| key.matches_bidi(k)).copied().collect();
         for k in &victims {
             self.assets.remove(k);
             self.sync.clear_flow(k);
@@ -424,10 +418,8 @@ impl Middlebox for Monitor {
         if is_new && !fx.is_replay() {
             self.stat.flows_seen += 1;
             fx.log("prads.log", format!("asset {key} service={service}"));
-            let gate = self
-                .introspection
-                .as_ref()
-                .is_some_and(|f| f.accepts(EVENT_ASSET_DETECTED, &key));
+            let gate =
+                self.introspection.as_ref().is_some_and(|f| f.accepts(EVENT_ASSET_DETECTED, &key));
             if gate {
                 fx.raise(Event::Introspection {
                     code: EVENT_ASSET_DETECTED,
@@ -474,7 +466,12 @@ mod tests {
     }
 
     fn http_pkt(id: u64, src_last: u8) -> Packet {
-        let key = FlowKey::tcp(ip(10, 0, 0, src_last), 40000 + u16::from(src_last), ip(192, 168, 1, 1), 80);
+        let key = FlowKey::tcp(
+            ip(10, 0, 0, src_last),
+            40000 + u16::from(src_last),
+            ip(192, 168, 1, 1),
+            80,
+        );
         let mut p = Packet::new(id, key, b"GET / HTTP/1.1".to_vec());
         p.meta.http_request = true;
         p
@@ -516,9 +513,7 @@ mod tests {
         for i in 0..5 {
             src.process_packet(SimTime(i), &http_pkt(i, i as u8 + 1), &mut fx);
         }
-        let chunks = src
-            .get_report_perflow(OpId(1), &HeaderFieldList::any())
-            .unwrap();
+        let chunks = src.get_report_perflow(OpId(1), &HeaderFieldList::any()).unwrap();
         assert_eq!(chunks.len(), 5);
         for c in chunks {
             dst.put_report_perflow(c).unwrap();
@@ -563,11 +558,8 @@ mod tests {
     #[test]
     fn config_clone_via_wildcard() {
         let mut a = Monitor::new();
-        a.set_config(
-            &HierarchicalKey::parse("service_rules/gopher"),
-            vec![ConfigValue::Int(70)],
-        )
-        .unwrap();
+        a.set_config(&HierarchicalKey::parse("service_rules/gopher"), vec![ConfigValue::Int(70)])
+            .unwrap();
         let values = a.get_config(&HierarchicalKey::parse("*")).unwrap();
         let mut b = Monitor::new();
         b.del_config(&HierarchicalKey::parse("service_rules")).unwrap();
@@ -599,10 +591,9 @@ mod tests {
         let mut fx = Effects::normal();
         m.process_packet(SimTime(0), &http_pkt(1, 1), &mut fx);
         let evs = fx.take_events();
-        assert!(evs.iter().any(|e| matches!(
-            e,
-            Event::Introspection { code: EVENT_ASSET_DETECTED, .. }
-        )));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::Introspection { code: EVENT_ASSET_DETECTED, .. })));
     }
 
     #[test]
@@ -617,10 +608,8 @@ mod tests {
         assert!(s.perflow_report_bytes > 0);
         assert!(s.shared_report_bytes > 0);
         // Narrow key matches fewer.
-        let narrow = HeaderFieldList::from_src_subnet(openmb_types::IpPrefix::new(
-            ip(10, 0, 0, 1),
-            32,
-        ));
+        let narrow =
+            HeaderFieldList::from_src_subnet(openmb_types::IpPrefix::new(ip(10, 0, 0, 1), 32));
         assert_eq!(m.stats(&narrow).perflow_report_chunks, 1);
     }
 }

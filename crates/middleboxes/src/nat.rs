@@ -81,7 +81,12 @@ fn parse_mapping_spec(s: &str) -> Option<FlowKey> {
     let (src, dst) = s.split_once('>')?;
     let (sip, sport) = src.split_once(':')?;
     let (dip, dport) = dst.split_once(':')?;
-    Some(FlowKey::tcp(sip.parse().ok()?, sport.parse().ok()?, dip.parse().ok()?, dport.parse().ok()?))
+    Some(FlowKey::tcp(
+        sip.parse().ok()?,
+        sport.parse().ok()?,
+        dip.parse().ok()?,
+        dport.parse().ok()?,
+    ))
 }
 
 /// The NAT middlebox.
@@ -113,10 +118,7 @@ impl Nat {
         );
         config.set(&HierarchicalKey::parse("port_range/start"), vec![ConfigValue::Int(20000)]);
         config.set(&HierarchicalKey::parse("port_range/end"), vec![ConfigValue::Int(60000)]);
-        config.set(
-            &HierarchicalKey::parse("mapping_timeout_ms"),
-            vec![ConfigValue::Int(30_000)],
-        );
+        config.set(&HierarchicalKey::parse("mapping_timeout_ms"), vec![ConfigValue::Int(30_000)]);
         Nat {
             config,
             mappings: HashMap::new(),
@@ -239,26 +241,22 @@ impl Middlebox for Nat {
         // critical state ... with non-critical state set to default
         // values when a failed MB instance is replaced").
         if key.segments().first().map(String::as_str) == Some("static_mappings") {
-            let ext_port: u16 = key
-                .segments()
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| Error::InvalidConfigValue {
-                    key: key.to_string(),
-                    reason: "static_mappings key must be static_mappings/<port>".into(),
+            let ext_port: u16 =
+                key.segments().get(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    Error::InvalidConfigValue {
+                        key: key.to_string(),
+                        reason: "static_mappings key must be static_mappings/<port>".into(),
+                    }
                 })?;
-            let spec = values
-                .first()
-                .and_then(|v| v.as_str())
-                .ok_or_else(|| Error::InvalidConfigValue {
-                    key: key.to_string(),
-                    reason: "static mapping value must be a string".into(),
-                })?;
-            let internal = parse_mapping_spec(spec).ok_or_else(|| {
+            let spec = values.first().and_then(|v| v.as_str()).ok_or_else(|| {
                 Error::InvalidConfigValue {
                     key: key.to_string(),
-                    reason: format!("unparseable mapping spec: {spec}"),
+                    reason: "static mapping value must be a string".into(),
                 }
+            })?;
+            let internal = parse_mapping_spec(spec).ok_or_else(|| Error::InvalidConfigValue {
+                key: key.to_string(),
+                reason: format!("unparseable mapping spec: {spec}"),
             })?;
             self.by_port.insert(ext_port, internal);
             self.mappings.insert(
@@ -297,14 +295,12 @@ impl Middlebox for Nat {
         }
     }
 
-    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
-        let matching: Vec<FlowKey> = self
-            .mappings
-            .keys()
-            .filter(|k| key.matches(k))
-            .copied()
-            .collect();
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
+        let mut matching: Vec<FlowKey> =
+            self.mappings.keys().filter(|k| key.matches(k)).copied().collect();
+        // Export in key order so map iteration order never leaks into
+        // the wire (chunk sizes differ, which would perturb timing).
+        matching.sort_unstable();
         let mut out = Vec::with_capacity(matching.len());
         for fk in matching {
             let m = self.mappings[&fk].clone();
@@ -328,12 +324,8 @@ impl Middlebox for Nat {
     }
 
     fn del_support_perflow(&mut self, key: &HeaderFieldList) -> Result<usize> {
-        let victims: Vec<FlowKey> = self
-            .mappings
-            .keys()
-            .filter(|k| key.matches(k))
-            .copied()
-            .collect();
+        let victims: Vec<FlowKey> =
+            self.mappings.keys().filter(|k| key.matches(k)).copied().collect();
         for k in &victims {
             if let Some(m) = self.mappings.remove(k) {
                 self.by_port.remove(&m.external_port);
@@ -363,13 +355,12 @@ impl Middlebox for Nat {
         Ok(())
     }
 
-    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow reporting"))
+        Err(Error::UnsupportedStateClass("per-flow reporting".into()))
     }
 
     fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -381,7 +372,7 @@ impl Middlebox for Nat {
     }
 
     fn put_report_shared(&mut self, _chunk: EncryptedChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("shared reporting"))
+        Err(Error::UnsupportedStateClass("shared reporting".into()))
     }
 
     fn stats(&self, key: &HeaderFieldList) -> StateStats {
@@ -415,7 +406,10 @@ impl Middlebox for Nat {
                 }
                 None => {
                     self.dropped_unknown += 1;
-                    fx.log("nat.log", format!("{} drop inbound to unknown port {}", now.0, pkt.key.dst_port));
+                    fx.log(
+                        "nat.log",
+                        format!("{} drop inbound to unknown port {}", now.0, pkt.key.dst_port),
+                    );
                 }
             }
             return;
@@ -440,10 +434,7 @@ impl Middlebox for Nat {
             m.packets += 1;
         }
         let gate = created
-            && self
-                .introspection
-                .as_ref()
-                .is_some_and(|f| f.accepts(EVENT_MAPPING_CREATED, &key));
+            && self.introspection.as_ref().is_some_and(|f| f.accepts(EVENT_MAPPING_CREATED, &key));
         if gate {
             fx.raise(Event::Introspection {
                 code: EVENT_MAPPING_CREATED,
@@ -467,10 +458,7 @@ impl Middlebox for Nat {
     }
 
     fn costs(&self) -> CostModel {
-        CostModel {
-            per_packet: SimDuration::from_micros(20),
-            ..CostModel::default()
-        }
+        CostModel { per_packet: SimDuration::from_micros(20), ..CostModel::default() }
     }
 
     fn perflow_entries(&self) -> usize {
@@ -538,10 +526,9 @@ mod tests {
         nat.process_packet(SimTime(31_000_000_000), &outbound(2, 2000), &mut fx2);
         assert_eq!(nat.perflow_entries(), 1, "old mapping expired");
         let evs = fx2.take_events();
-        assert!(evs.iter().any(|e| matches!(
-            e,
-            Event::Introspection { code: EVENT_MAPPING_EXPIRED, .. }
-        )));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::Introspection { code: EVENT_MAPPING_EXPIRED, .. })));
     }
 
     #[test]
@@ -616,8 +603,7 @@ mod tests {
         for sp in 1000..1005u16 {
             nat.process_packet(SimTime(0), &outbound(u64::from(sp), sp), &mut fx);
         }
-        let ports: Vec<u16> =
-            nat.mappings_sorted().iter().map(|m| m.external_port).collect();
+        let ports: Vec<u16> = nat.mappings_sorted().iter().map(|m| m.external_port).collect();
         let mut dedup = ports.clone();
         dedup.dedup();
         assert_eq!(ports.len(), dedup.len(), "no duplicate external ports");

@@ -230,14 +230,12 @@ impl Middlebox for Proxy {
         }
     }
 
-    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
-        let matching: Vec<FlowKey> = self
-            .conns
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+    fn get_support_perflow(&mut self, op: OpId, key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
+        let mut matching: Vec<FlowKey> =
+            self.conns.keys().filter(|k| key.matches_bidi(k)).copied().collect();
+        // Export in key order so map iteration order never leaks into
+        // the wire.
+        matching.sort_unstable();
         let mut out = Vec::with_capacity(matching.len());
         for fk in matching {
             let c = self.conns[&fk].clone();
@@ -261,12 +259,8 @@ impl Middlebox for Proxy {
     }
 
     fn del_support_perflow(&mut self, key: &HeaderFieldList) -> Result<usize> {
-        let victims: Vec<FlowKey> = self
-            .conns
-            .keys()
-            .filter(|k| key.matches_bidi(k))
-            .copied()
-            .collect();
+        let victims: Vec<FlowKey> =
+            self.conns.keys().filter(|k| key.matches_bidi(k)).copied().collect();
         for k in &victims {
             self.conns.remove(k);
             self.sync.clear_flow(k);
@@ -287,13 +281,12 @@ impl Middlebox for Proxy {
         self.merge_cache(&plain)
     }
 
-    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow reporting"))
+        Err(Error::UnsupportedStateClass("per-flow reporting".into()))
     }
 
     fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -354,28 +347,26 @@ impl Middlebox for Proxy {
         }
         for url in urls {
             {
+                if !fx.is_replay() {
+                    self.requests += 1;
+                }
+                let hit = self.cache.contains_key(&url);
+                if hit {
+                    self.cache.get_mut(&url).expect("present").hits += 1;
                     if !fx.is_replay() {
-                        self.requests += 1;
+                        self.hits += 1;
                     }
-                    let hit = self.cache.contains_key(&url);
-                    if hit {
-                        self.cache.get_mut(&url).expect("present").hits += 1;
-                        if !fx.is_replay() {
-                            self.hits += 1;
-                        }
-                    } else {
-                        if !fx.is_replay() {
-                            self.misses += 1;
-                        }
-                        self.cache.insert(
-                            url.clone(),
-                            CacheObject { url: url.clone(), size: 1400, hits: 0 },
-                        );
-                        self.enforce_capacity();
-                        fx.log("proxy.log", format!("MISS {url}"));
+                } else {
+                    if !fx.is_replay() {
+                        self.misses += 1;
                     }
-                    // Cache insertion/hit updated shared state.
-                    self.sync.on_shared_update(pkt, fx);
+                    self.cache
+                        .insert(url.clone(), CacheObject { url: url.clone(), size: 1400, hits: 0 });
+                    self.enforce_capacity();
+                    fx.log("proxy.log", format!("MISS {url}"));
+                }
+                // Cache insertion/hit updated shared state.
+                self.sync.on_shared_update(pkt, fx);
             }
         }
         self.sync.on_perflow_update(key, pkt, fx);
@@ -387,10 +378,7 @@ impl Middlebox for Proxy {
     }
 
     fn costs(&self) -> CostModel {
-        CostModel {
-            per_packet: SimDuration::from_micros(60),
-            ..CostModel::default()
-        }
+        CostModel { per_packet: SimDuration::from_micros(60), ..CostModel::default() }
     }
 
     fn perflow_entries(&self) -> usize {
@@ -413,12 +401,7 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn req(id: u64, sp: u16, url: &str) -> Packet {
-        let key = FlowKey::tcp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            sp,
-            Ipv4Addr::new(93, 184, 216, 34),
-            80,
-        );
+        let key = FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), sp, Ipv4Addr::new(93, 184, 216, 34), 80);
         Packet::new(id, key, format!("GET {url} HTTP/1.1\r\n").into_bytes())
     }
 
@@ -439,12 +422,8 @@ mod tests {
     fn request_split_across_packets() {
         let mut p = Proxy::new(16);
         let mut fx = Effects::normal();
-        let key = FlowKey::tcp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            2000,
-            Ipv4Addr::new(93, 184, 216, 34),
-            80,
-        );
+        let key =
+            FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 2000, Ipv4Addr::new(93, 184, 216, 34), 80);
         p.process_packet(SimTime(0), &Packet::new(1, key, b"GET /split".to_vec()), &mut fx);
         assert_eq!(p.requests, 0, "incomplete request not yet counted");
         p.process_packet(SimTime(1), &Packet::new(2, key, b" HTTP/1.1\r\n".to_vec()), &mut fx);
@@ -490,11 +469,8 @@ mod tests {
         b.process_packet(SimTime(0), &req(50, 2000, "/c1"), &mut fx);
         b.process_packet(SimTime(1), &req(51, 2001, "/c2"), &mut fx);
         // Consolidate into b with capacity 3: the three hot entries win.
-        b.set_config(
-            &HierarchicalKey::parse("params/cache_capacity"),
-            vec![ConfigValue::Int(3)],
-        )
-        .unwrap();
+        b.set_config(&HierarchicalKey::parse("params/cache_capacity"), vec![ConfigValue::Int(3)])
+            .unwrap();
         let chunk = a.get_support_shared(OpId(1)).unwrap().unwrap();
         b.put_support_shared(chunk).unwrap();
         let urls: Vec<String> = b.cache_sorted().iter().map(|o| o.url.clone()).collect();
@@ -506,12 +482,8 @@ mod tests {
         let mut a = Proxy::new(16);
         let mut b = Proxy::new(16);
         let mut fx = Effects::normal();
-        let key = FlowKey::tcp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            3000,
-            Ipv4Addr::new(93, 184, 216, 34),
-            80,
-        );
+        let key =
+            FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 3000, Ipv4Addr::new(93, 184, 216, 34), 80);
         // Half a request at a.
         a.process_packet(SimTime(0), &Packet::new(1, key, b"GET /moved".to_vec()), &mut fx);
         for c in a.get_support_perflow(OpId(1), &HeaderFieldList::any()).unwrap() {

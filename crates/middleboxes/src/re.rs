@@ -172,7 +172,7 @@ impl RollingHash {
     }
 
     fn sampled(&self) -> bool {
-        self.hash % FP_SAMPLE == 0
+        self.hash.is_multiple_of(FP_SAMPLE)
     }
 }
 
@@ -302,8 +302,7 @@ pub fn decode_tokens(cache: &PacketCache, encoded: &[u8]) -> std::result::Result
                 if i + 3 > encoded.len() {
                     return Err(encoded.len());
                 }
-                let n =
-                    u16::from_le_bytes(encoded[i + 1..i + 3].try_into().unwrap()) as usize;
+                let n = u16::from_le_bytes(encoded[i + 1..i + 3].try_into().unwrap()) as usize;
                 i += 3;
                 if i + n > encoded.len() {
                     return Err(encoded.len());
@@ -316,8 +315,7 @@ pub fn decode_tokens(cache: &PacketCache, encoded: &[u8]) -> std::result::Result
                     return Err(encoded.len());
                 }
                 let off = u64::from_le_bytes(encoded[i + 1..i + 9].try_into().unwrap());
-                let len =
-                    u16::from_le_bytes(encoded[i + 9..i + 11].try_into().unwrap()) as usize;
+                let len = u16::from_le_bytes(encoded[i + 9..i + 11].try_into().unwrap()) as usize;
                 i += 11;
                 match cache.read(off, len) {
                     Some(bytes) => out.extend_from_slice(&bytes),
@@ -361,12 +359,10 @@ impl ReEncoder {
     /// An encoder with one cache of `cache_size` bytes.
     pub fn new(cache_size: usize) -> Self {
         let mut config = ConfigTree::new();
-        config.set(
-            &HierarchicalKey::parse("CacheSize"),
-            vec![ConfigValue::Int(cache_size as i64)],
-        );
+        config.set(&HierarchicalKey::parse("CacheSize"), vec![ConfigValue::Int(cache_size as i64)]);
         config.set(&HierarchicalKey::parse("NumCaches"), vec![ConfigValue::Int(1)]);
-        config.set(&HierarchicalKey::parse("CacheFlows"), vec![ConfigValue::Str("0.0.0.0/0".into())]);
+        config
+            .set(&HierarchicalKey::parse("CacheFlows"), vec![ConfigValue::Str("0.0.0.0/0".into())]);
         ReEncoder {
             config,
             caches: vec![EncoderCache::new(cache_size)],
@@ -382,12 +378,7 @@ impl ReEncoder {
     fn cache_flows(&self) -> Vec<IpPrefix> {
         self.config
             .get_leaf(&HierarchicalKey::parse("CacheFlows"))
-            .map(|vs| {
-                vs.iter()
-                    .filter_map(|v| v.as_str())
-                    .filter_map(parse_prefix)
-                    .collect()
-            })
+            .map(|vs| vs.iter().filter_map(|v| v.as_str()).filter_map(parse_prefix).collect())
             .unwrap_or_default()
     }
 
@@ -448,7 +439,7 @@ impl Middlebox for ReEncoder {
                         reason: "NumCaches needs an integer".into(),
                     }
                 })?;
-                if n < 1 || n > 64 {
+                if !(1..=64).contains(&n) {
                     return Err(Error::InvalidConfigValue {
                         key: key.to_string(),
                         reason: format!("NumCaches out of range: {n}"),
@@ -470,7 +461,7 @@ impl Middlebox for ReEncoder {
                 // caches: new caches start empty ("we create an empty
                 // encoder at the remote site").
                 let n = values.first().and_then(ConfigValue::as_int).unwrap_or(0);
-                if n < 1 || n > 64 {
+                if !(1..=64).contains(&n) {
                     return Err(Error::InvalidConfigValue {
                         key: key.to_string(),
                         reason: format!("NumCachesEmpty out of range: {n}"),
@@ -521,13 +512,16 @@ impl Middlebox for ReEncoder {
         }
     }
 
-    fn get_support_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_support_perflow(
+        &mut self,
+        _op: OpId,
+        _key: &HeaderFieldList,
+    ) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_support_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow supporting"))
+        Err(Error::UnsupportedStateClass("per-flow supporting".into()))
     }
 
     fn del_support_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -554,13 +548,12 @@ impl Middlebox for ReEncoder {
         Ok(())
     }
 
-    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow reporting"))
+        Err(Error::UnsupportedStateClass("per-flow reporting".into()))
     }
 
     fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -651,10 +644,7 @@ impl ReDecoder {
     /// A decoder with an empty cache of `cache_size` bytes.
     pub fn new(cache_size: usize) -> Self {
         let mut config = ConfigTree::new();
-        config.set(
-            &HierarchicalKey::parse("CacheSize"),
-            vec![ConfigValue::Int(cache_size as i64)],
-        );
+        config.set(&HierarchicalKey::parse("CacheSize"), vec![ConfigValue::Int(cache_size as i64)]);
         ReDecoder {
             config,
             cache: PacketCache::new(cache_size),
@@ -716,13 +706,16 @@ impl Middlebox for ReDecoder {
         }
     }
 
-    fn get_support_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_support_perflow(
+        &mut self,
+        _op: OpId,
+        _key: &HeaderFieldList,
+    ) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_support_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow supporting"))
+        Err(Error::UnsupportedStateClass("per-flow supporting".into()))
     }
 
     fn del_support_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -751,13 +744,12 @@ impl Middlebox for ReDecoder {
         Ok(())
     }
 
-    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList)
-        -> Result<Vec<StateChunk>> {
+    fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
 
     fn put_report_perflow(&mut self, _chunk: StateChunk) -> Result<()> {
-        Err(Error::UnsupportedStateClass("per-flow reporting"))
+        Err(Error::UnsupportedStateClass("per-flow reporting".into()))
     }
 
     fn del_report_perflow(&mut self, _key: &HeaderFieldList) -> Result<usize> {
@@ -853,11 +845,7 @@ mod tests {
     }
 
     /// Run a packet through encoder then decoder; return decoded payload.
-    fn roundtrip_once(
-        enc: &mut ReEncoder,
-        dec: &mut ReDecoder,
-        p: Packet,
-    ) -> Option<Packet> {
+    fn roundtrip_once(enc: &mut ReEncoder, dec: &mut ReDecoder, p: Packet) -> Option<Packet> {
         let mut fx = Effects::normal();
         enc.process_packet(SimTime(0), &p, &mut fx);
         let encoded = fx.take_output().unwrap();
@@ -950,10 +938,7 @@ mod tests {
         let mut fxw = Effects::normal();
         warm.process_packet(SimTime(0), &pkt(2, redundant_payload(2)), &mut fxw);
         assert!(warm.cache().total() > 0);
-        assert!(matches!(
-            warm.put_support_shared(chunk),
-            Err(Error::MergeNotPermitted(_))
-        ));
+        assert!(matches!(warm.put_support_shared(chunk), Err(Error::MergeNotPermitted(_))));
     }
 
     #[test]
@@ -961,16 +946,14 @@ mod tests {
         let mut enc = ReEncoder::new(1 << 16);
         let mut dec = ReDecoder::new(1 << 16);
         let _ = roundtrip_once(&mut enc, &mut dec, pkt(1, redundant_payload(9)));
-        enc.set_config(&HierarchicalKey::parse("NumCaches"), vec![ConfigValue::Int(2)])
-            .unwrap();
+        enc.set_config(&HierarchicalKey::parse("NumCaches"), vec![ConfigValue::Int(2)]).unwrap();
         assert_eq!(enc.cache(0), enc.cache(1), "new cache is a clone of cache 0");
     }
 
     #[test]
     fn cache_flows_select_cache_by_dst_prefix() {
         let mut enc = ReEncoder::new(1 << 16);
-        enc.set_config(&HierarchicalKey::parse("NumCaches"), vec![ConfigValue::Int(2)])
-            .unwrap();
+        enc.set_config(&HierarchicalKey::parse("NumCaches"), vec![ConfigValue::Int(2)]).unwrap();
         enc.set_config(
             &HierarchicalKey::parse("CacheFlows"),
             vec![ConfigValue::Str("10.0.0.0/24".into()), ConfigValue::Str("10.0.1.0/24".into())],

@@ -54,9 +54,7 @@ impl FlowTable {
         let best = self
             .entries
             .iter()
-            .filter(|(_, e)| {
-                e.pattern.matches(key) && e.in_port.is_none_or(|p| p == in_port)
-            })
+            .filter(|(_, e)| e.pattern.matches(key) && e.in_port.is_none_or(|p| p == in_port))
             .max_by_key(|(seq, e)| {
                 let score = e.pattern.wildcard_score() + u32::from(e.in_port.is_none());
                 (e.priority, std::cmp::Reverse(score), *seq)
@@ -163,12 +161,10 @@ mod tests {
         let mb = NodeId(2);
         let downstream = NodeId(3);
         t.install(
-            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(mb))
-                .from_port(upstream),
+            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(mb)).from_port(upstream),
         );
         t.install(
-            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(downstream))
-                .from_port(mb),
+            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(downstream)).from_port(mb),
         );
         assert_eq!(t.lookup(&key(), upstream), Some(SdnAction::Forward(mb)));
         assert_eq!(t.lookup(&key(), mb), Some(SdnAction::Forward(downstream)));
@@ -180,8 +176,7 @@ mod tests {
         let mut t = FlowTable::new();
         t.install(FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Drop));
         t.install(
-            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(NodeId(1)))
-                .from_port(PORT),
+            FlowRule::new(HeaderFieldList::any(), 5, SdnAction::Forward(NodeId(1))).from_port(PORT),
         );
         assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(1))));
         assert_eq!(t.lookup(&key(), NodeId(7)), Some(SdnAction::Drop));

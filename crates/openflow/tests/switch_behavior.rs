@@ -113,11 +113,7 @@ fn barrier_replies_after_mods() {
         SimTime(0),
         c,
         s,
-        Frame::Sdn(SdnMessage::FlowMod(FlowRule::new(
-            HeaderFieldList::any(),
-            1,
-            SdnAction::Drop,
-        ))),
+        Frame::Sdn(SdnMessage::FlowMod(FlowRule::new(HeaderFieldList::any(), 1, SdnAction::Drop))),
     );
     sim.inject_frame(SimTime(1), c, s, Frame::Sdn(SdnMessage::BarrierRequest { token: 42 }));
     sim.run(1000);

@@ -13,10 +13,11 @@
 //! of §8.1.2 (Split/Merge).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use openmb_types::{wire, NodeId, Packet};
 
+use crate::fault::{FaultAction, FaultPlan, FaultRecord, FaultRule, RuleRng};
 use crate::metrics::{Metrics, TraceKind};
 use crate::time::{SimDuration, SimTime};
 
@@ -54,6 +55,11 @@ pub trait Node {
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, from: NodeId, frame: Frame);
     /// A timer set via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    /// The node just crashed (fault injection). While down it receives
+    /// no frames or timers; use this to discard volatile state.
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// The node came back up after a crash.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {}
     /// Diagnostic name used in panics and traces.
     fn name(&self) -> String {
         "node".to_owned()
@@ -82,8 +88,17 @@ struct Link {
 
 #[derive(Debug)]
 enum Payload {
-    Frame { from: NodeId, frame: Frame },
-    Timer { token: u64 },
+    Frame {
+        from: NodeId,
+        frame: Frame,
+    },
+    Timer {
+        token: u64,
+    },
+    /// Fault injection: the target goes down at this instant.
+    Crash,
+    /// Fault injection: the target comes back up.
+    Restart,
 }
 
 struct Scheduled {
@@ -140,11 +155,7 @@ impl Ctx<'_> {
     /// internal queueing/processing stages).
     pub fn send_to_self(&mut self, delay: SimDuration, frame: Frame) {
         let t = self.now.after(delay);
-        self.world.schedule(
-            t,
-            self.self_id,
-            Payload::Frame { from: self.self_id, frame },
-        );
+        self.world.schedule(t, self.self_id, Payload::Frame { from: self.self_id, frame });
     }
 
     /// Fire `on_timer(token)` on this node after `delay`.
@@ -164,10 +175,29 @@ impl Ctx<'_> {
     }
 }
 
+/// Installed fault plan plus its runtime state.
+struct FaultState {
+    /// Each rule paired with its private deterministic RNG stream.
+    rules: Vec<(FaultRule, RuleRng)>,
+    /// Nodes currently down.
+    crashed: HashSet<NodeId>,
+    /// Everything injected so far, in virtual-time order.
+    log: Vec<FaultRecord>,
+}
+
+/// What the fault layer decided about a frame in flight.
+enum Verdict {
+    Pass,
+    Drop,
+    Delay(SimDuration),
+    Duplicate,
+}
+
 struct World {
     queue: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     links: HashMap<(NodeId, NodeId), Link>,
+    fault: Option<FaultState>,
 }
 
 impl World {
@@ -177,11 +207,54 @@ impl World {
         self.queue.push(Reverse(Scheduled { time, seq, target, payload }));
     }
 
+    /// Run the frame past the fault rules: the first rule whose filter
+    /// matches *and* whose probability draw fires decides its fate. A
+    /// draw is made on every filter match, fired or not, so a given
+    /// rule's stream depends only on the frames it sees.
+    fn apply_faults(&mut self, now: SimTime, from: NodeId, to: NodeId, frame: &Frame) -> Verdict {
+        let Some(fs) = self.fault.as_mut() else { return Verdict::Pass };
+        for (rule, rng) in fs.rules.iter_mut() {
+            if rule.from.is_some_and(|f| f != from)
+                || rule.to.is_some_and(|t| t != to)
+                || (rule.control_only && !matches!(frame, Frame::Control(_)))
+                || now < rule.active_from
+                || now >= rule.active_until
+            {
+                continue;
+            }
+            if rng.next_f64() >= rule.probability {
+                continue;
+            }
+            return match rule.action {
+                FaultAction::Drop => {
+                    fs.log.push(FaultRecord::Dropped {
+                        at: now,
+                        from,
+                        to,
+                        wire_len: frame.wire_len(),
+                    });
+                    Verdict::Drop
+                }
+                FaultAction::Delay(by) => {
+                    fs.log.push(FaultRecord::Delayed { at: now, from, to, by });
+                    Verdict::Delay(by)
+                }
+                FaultAction::Duplicate => {
+                    fs.log.push(FaultRecord::Duplicated { at: now, from, to });
+                    Verdict::Duplicate
+                }
+            };
+        }
+        Verdict::Pass
+    }
+
     fn send_frame(&mut self, now: SimTime, from: NodeId, to: NodeId, frame: Frame) {
-        let link = self
-            .links
-            .get_mut(&(from, to))
-            .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+        let verdict = self.apply_faults(now, from, to, &frame);
+        if matches!(verdict, Verdict::Drop) {
+            return;
+        }
+        let link =
+            self.links.get_mut(&(from, to)).unwrap_or_else(|| panic!("no link {from} -> {to}"));
         if link.suspended {
             link.held.push_back(frame);
             return;
@@ -195,7 +268,18 @@ impl World {
         link.busy_until = done;
         link.bytes_carried += size as u64;
         let arrive = done.after(link.latency);
-        self.schedule(arrive, to, Payload::Frame { from, frame });
+        match verdict {
+            Verdict::Delay(by) => {
+                self.schedule(arrive.after(by), to, Payload::Frame { from, frame });
+            }
+            Verdict::Duplicate => {
+                self.schedule(arrive, to, Payload::Frame { from, frame: frame.clone() });
+                self.schedule(arrive, to, Payload::Frame { from, frame });
+            }
+            _ => {
+                self.schedule(arrive, to, Payload::Frame { from, frame });
+            }
+        }
     }
 }
 
@@ -220,7 +304,7 @@ impl Sim {
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
-            world: World { queue: BinaryHeap::new(), seq: 0, links: HashMap::new() },
+            world: World { queue: BinaryHeap::new(), seq: 0, links: HashMap::new(), fault: None },
             nodes: Vec::new(),
             started: false,
             metrics: Metrics::new(),
@@ -266,11 +350,8 @@ impl Sim {
     /// held (on suspend).
     pub fn set_link_suspended(&mut self, a: NodeId, b: NodeId, suspended: bool) -> usize {
         let now = self.now;
-        let link = self
-            .world
-            .links
-            .get_mut(&(a, b))
-            .unwrap_or_else(|| panic!("no link {a} -> {b}"));
+        let link =
+            self.world.links.get_mut(&(a, b)).unwrap_or_else(|| panic!("no link {a} -> {b}"));
         link.suspended = suspended;
         if suspended {
             link.held.len()
@@ -292,6 +373,42 @@ impl Sim {
     /// Total bytes delivered over the directed link `a -> b` so far.
     pub fn link_bytes(&self, a: NodeId, b: NodeId) -> u64 {
         self.world.links.get(&(a, b)).map(|l| l.bytes_carried).unwrap_or(0)
+    }
+
+    /// Install a [`FaultPlan`]: its message rules take effect for every
+    /// frame sent from now on, and its crash/restart events are
+    /// scheduled. Replaces any previously installed plan (the fault log
+    /// is reset).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let rules = plan
+            .rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let rng = RuleRng::new(plan.seed, i);
+                (r, rng)
+            })
+            .collect();
+        self.world.fault = Some(FaultState { rules, crashed: HashSet::new(), log: Vec::new() });
+        for c in plan.crashes {
+            assert!(c.at >= self.now, "cannot schedule a crash in the past");
+            self.world.schedule(c.at, c.node, Payload::Crash);
+            if let Some(r) = c.restart_at {
+                assert!(r > c.at, "restart must follow the crash");
+                self.world.schedule(r, c.node, Payload::Restart);
+            }
+        }
+    }
+
+    /// The faults injected so far, in virtual-time order. Empty when no
+    /// plan is installed.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.world.fault.as_ref().map(|f| f.log.as_slice()).unwrap_or(&[])
+    }
+
+    /// Is `node` currently down due to an injected crash?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.world.fault.as_ref().is_some_and(|f| f.crashed.contains(&node))
     }
 
     /// Inject a frame arrival at `target` (appearing to come from
@@ -380,6 +497,17 @@ impl Sim {
             let Reverse(ev) = self.world.queue.pop().unwrap();
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
+            // A downed node receives nothing: frames and timers addressed
+            // to it while crashed are discarded (and logged).
+            if let Some(fs) = self.world.fault.as_mut() {
+                if fs.crashed.contains(&ev.target)
+                    && matches!(ev.payload, Payload::Frame { .. } | Payload::Timer { .. })
+                {
+                    fs.log.push(FaultRecord::LostToCrash { at: ev.time, node: ev.target });
+                    processed += 1;
+                    continue;
+                }
+            }
             let idx = ev.target.0 as usize;
             let Some(mut node) = self.nodes.get_mut(idx).and_then(Option::take) else {
                 panic!("event for unknown or executing node {}", ev.target);
@@ -394,6 +522,20 @@ impl Sim {
                 match ev.payload {
                     Payload::Frame { from, frame } => node.on_frame(&mut ctx, from, frame),
                     Payload::Timer { token } => node.on_timer(&mut ctx, token),
+                    Payload::Crash => {
+                        node.on_crash(&mut ctx);
+                        if let Some(fs) = ctx.world.fault.as_mut() {
+                            fs.crashed.insert(ev.target);
+                            fs.log.push(FaultRecord::Crashed { at: ev.time, node: ev.target });
+                        }
+                    }
+                    Payload::Restart => {
+                        if let Some(fs) = ctx.world.fault.as_mut() {
+                            fs.crashed.remove(&ev.target);
+                            fs.log.push(FaultRecord::Restarted { at: ev.time, node: ev.target });
+                        }
+                        node.on_restart(&mut ctx);
+                    }
                 }
             }
             self.nodes[idx] = Some(node);
@@ -464,8 +606,7 @@ mod tests {
     }
 
     fn pkt(id: u64, len: usize) -> Packet {
-        let key =
-            FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
+        let key = FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
         Packet::new(id, key, vec![0u8; len])
     }
 
@@ -537,10 +678,7 @@ mod tests {
         assert_eq!(released, 2);
         sim.run(100);
         let sink: &Sink = sim.node_as(s);
-        assert_eq!(
-            sink.got.iter().map(|(_, id)| *id).collect::<Vec<_>>(),
-            vec![1, 2]
-        );
+        assert_eq!(sink.got.iter().map(|(_, id)| *id).collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]

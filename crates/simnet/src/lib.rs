@@ -5,18 +5,22 @@
 //!
 //! * [`engine::Sim`] — the event loop: nodes, links, virtual clock.
 //! * [`engine::Node`] — the trait simulated elements implement.
+//! * [`fault`] — deterministic fault injection (drop/delay/duplicate
+//!   rules, scheduled crash/restart).
 //! * [`time`] — integer virtual time.
 //! * [`metrics`] — trace events, counters, latency samples, ECDFs.
 //!
 //! Determinism: the event queue orders by `(time, schedule-seq)`; all
-//! randomness in workloads comes from seeded RNGs; time is integer
-//! nanoseconds. Two runs of the same configuration produce identical
-//! traces.
+//! randomness in workloads comes from seeded RNGs (including the fault
+//! plan's); time is integer nanoseconds. Two runs of the same
+//! configuration produce identical traces and fault logs.
 
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod time;
 
 pub use engine::{Ctx, Frame, Node, Sim};
+pub use fault::{CrashEvent, FaultAction, FaultPlan, FaultRecord, FaultRule};
 pub use metrics::{Ecdf, Metrics, TraceEvent, TraceKind};
 pub use time::{SimDuration, SimTime};

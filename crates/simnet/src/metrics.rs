@@ -120,9 +120,7 @@ impl Metrics {
         from: SimTime,
         to: SimTime,
     ) -> impl Iterator<Item = &TraceEvent> {
-        self.trace
-            .iter()
-            .filter(move |e| e.node == node && e.time >= from && e.time <= to)
+        self.trace.iter().filter(move |e| e.node == node && e.time >= from && e.time <= to)
     }
 }
 

@@ -81,7 +81,7 @@ impl SimDuration {
     }
 
     /// Scale by an integer factor.
-    pub fn mul(self, k: u64) -> Self {
+    pub fn scaled(self, k: u64) -> Self {
         SimDuration(self.0.saturating_mul(k))
     }
 }

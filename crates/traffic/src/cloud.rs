@@ -130,12 +130,7 @@ impl CloudTraceConfig {
                 t = t.after(SimDuration(rng.random_range(gap / 2..gap)));
                 events.push(TraceEvent {
                     time: t,
-                    packet: Packet::tcp(
-                        pkt_id,
-                        key,
-                        tcp_flags::FIN | tcp_flags::ACK,
-                        Bytes::new(),
-                    ),
+                    packet: Packet::tcp(pkt_id, key, tcp_flags::FIN | tcp_flags::ACK, Bytes::new()),
                 });
                 pkt_id += 1;
             }
@@ -173,8 +168,7 @@ mod tests {
 
     #[test]
     fn tcp_flows_have_full_lifecycle() {
-        let t = CloudTraceConfig { flows: 10, http_fraction: 1.0, ..Default::default() }
-            .generate();
+        let t = CloudTraceConfig { flows: 10, http_fraction: 1.0, ..Default::default() }.generate();
         let syns = t.filter(|p| p.has_flag(tcp_flags::SYN) && !p.has_flag(tcp_flags::ACK));
         let fins = t.filter(|p| p.has_flag(tcp_flags::FIN));
         assert_eq!(syns.len(), 10);

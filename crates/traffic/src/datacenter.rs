@@ -62,8 +62,7 @@ impl DatacenterWorkload {
                     // Lognormal via Box–Muller.
                     let u1: f64 = rng.random_range(1e-12..1.0);
                     let u2: f64 = rng.random_range(0.0..1.0);
-                    let z = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     (self.body_mu + self.body_sigma * z).exp().min(self.max_duration)
                 }
             })

@@ -79,10 +79,7 @@ impl RedundantPayloads {
                 Ipv4Addr::from(o)
             };
             let key = FlowKey::tcp(src, 40_000 + (i % 1000) as u16, dst, 80);
-            events.push(TraceEvent {
-                time: t,
-                packet: Packet::new(i as u64 + 1, key, payload),
-            });
+            events.push(TraceEvent { time: t, packet: Packet::new(i as u64 + 1, key, payload) });
             t = t.after(gap);
         }
         Trace::new(events)
@@ -109,8 +106,7 @@ mod tests {
         for e in trace.events() {
             *seen.entry(e.packet.payload.clone()).or_insert(0u32) += 1;
         }
-        let repeated: usize =
-            seen.values().filter(|c| **c > 1).map(|c| *c as usize).sum();
+        let repeated: usize = seen.values().filter(|c| **c > 1).map(|c| *c as usize).sum();
         let frac = repeated as f64 / trace.len() as f64;
         assert!(frac > 0.5, "repeated fraction {frac}");
     }

@@ -51,9 +51,7 @@ impl Trace {
 
     /// Keep only packets matching `pred`.
     pub fn filter(&self, pred: impl Fn(&Packet) -> bool) -> Trace {
-        Trace {
-            events: self.events.iter().filter(|e| pred(&e.packet)).cloned().collect(),
-        }
+        Trace { events: self.events.iter().filter(|e| pred(&e.packet)).cloned().collect() }
     }
 
     /// Inject every packet into `sim`, appearing to come from `from` and

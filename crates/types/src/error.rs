@@ -1,13 +1,17 @@
 //! Error types shared across the OpenMB workspace.
 
 use crate::flow::HeaderFieldList;
-use crate::MbId;
+use crate::{MbId, OpId};
 
 /// Convenience result alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors surfaced by southbound/northbound API operations, the wire
 /// codec, and the transports.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so future failure modes are not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// A per-flow state request used a key *finer* than the granularity the
@@ -17,7 +21,7 @@ pub enum Error {
         /// The key that was requested.
         requested: HeaderFieldList,
         /// Human-readable description of the MB's native granularity.
-        native: &'static str,
+        native: String,
     },
     /// A configuration key does not exist in the middlebox's hierarchy.
     NoSuchConfigKey(String),
@@ -27,7 +31,7 @@ pub enum Error {
     UnknownMb(MbId),
     /// The middlebox does not maintain this category of state
     /// (e.g. `getSupportShared` on a purely per-flow MB).
-    UnsupportedStateClass(&'static str),
+    UnsupportedStateClass(String),
     /// A `put` carried a chunk whose decryption or deserialization failed;
     /// the chunk was produced by a different MB type or corrupted in
     /// transit.
@@ -40,7 +44,18 @@ pub enum Error {
     Codec(String),
     /// Transport-level failure (connection reset, short read, ...).
     Transport(String),
-    /// A northbound operation was cancelled or timed out.
+    /// A northbound operation exceeded its deadline: the controller
+    /// aborted it, rolled back partial state, and released its
+    /// bookkeeping.
+    Timeout {
+        /// The operation that timed out.
+        op: OpId,
+    },
+    /// The middlebox is known to be unreachable (crashed, link severed);
+    /// every operation touching it is aborted with this error.
+    MbUnreachable(MbId),
+    /// A northbound operation was cancelled or failed for an
+    /// embedding-specific reason.
     OpFailed(String),
 }
 
@@ -61,6 +76,8 @@ impl std::fmt::Display for Error {
             Error::MergeNotPermitted(why) => write!(f, "shared-state merge not permitted: {why}"),
             Error::Codec(why) => write!(f, "wire codec error: {why}"),
             Error::Transport(why) => write!(f, "transport error: {why}"),
+            Error::Timeout { op } => write!(f, "operation {op} exceeded its deadline"),
+            Error::MbUnreachable(id) => write!(f, "middlebox {id} is unreachable"),
             Error::OpFailed(why) => write!(f, "operation failed: {why}"),
         }
     }

@@ -148,6 +148,7 @@ impl IpPrefix {
     }
 
     /// The prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is `is_any`, not "empty"
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -401,22 +402,19 @@ mod tests {
     fn granularity_ordering() {
         let any = HeaderFieldList::any();
         let subnet = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24));
-        let exact =
-            HeaderFieldList::exact(FlowKey::tcp(ip("1.1.1.5"), 99, ip("2.2.2.2"), 80));
+        let exact = HeaderFieldList::exact(FlowKey::tcp(ip("1.1.1.5"), 99, ip("2.2.2.2"), 80));
         assert_eq!(any.granularity(&subnet), Granularity::Coarser);
         assert_eq!(subnet.granularity(&any), Granularity::Finer);
         assert_eq!(subnet.granularity(&subnet), Granularity::Equal);
         assert_eq!(subnet.granularity(&exact), Granularity::Coarser);
-        let other_subnet =
-            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.2.0"), 24));
+        let other_subnet = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.2.0"), 24));
         assert_eq!(subnet.granularity(&other_subnet), Granularity::Incomparable);
     }
 
     #[test]
     fn wildcard_score_orders_specificity() {
         let any = HeaderFieldList::any();
-        let exact =
-            HeaderFieldList::exact(FlowKey::tcp(ip("1.1.1.5"), 99, ip("2.2.2.2"), 80));
+        let exact = HeaderFieldList::exact(FlowKey::tcp(ip("1.1.1.5"), 99, ip("2.2.2.2"), 80));
         assert!(exact.wildcard_score() < any.wildcard_score());
     }
 }

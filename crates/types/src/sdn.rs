@@ -54,15 +54,26 @@ pub enum SdnMessage {
     /// Install (or overwrite an identical-pattern same-priority) rule.
     FlowMod(FlowRule),
     /// Remove all rules whose pattern equals `pattern` exactly.
-    FlowDel { pattern: HeaderFieldList },
+    FlowDel {
+        pattern: HeaderFieldList,
+    },
     /// Fence: the switch replies with `BarrierReply` after applying all
     /// previously received mods.
-    BarrierRequest { token: u64 },
-    BarrierReply { token: u64 },
+    BarrierRequest {
+        token: u64,
+    },
+    BarrierReply {
+        token: u64,
+    },
     /// Table-miss: the switch sends the packet to the controller.
-    PacketIn { packet: Packet },
+    PacketIn {
+        packet: Packet,
+    },
     /// Controller-injected packet with an explicit action.
-    PacketOut { packet: Packet, action: SdnAction },
+    PacketOut {
+        packet: Packet,
+        action: SdnAction,
+    },
 }
 
 impl SdnMessage {
@@ -87,8 +98,7 @@ mod tests {
 
     #[test]
     fn wire_len_scales_with_packet() {
-        let key =
-            FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
+        let key = FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
         let small = SdnMessage::PacketIn { packet: Packet::new(0, key, vec![0; 10]) };
         let big = SdnMessage::PacketIn { packet: Packet::new(0, key, vec![0; 1000]) };
         assert!(big.wire_len() > small.wire_len());

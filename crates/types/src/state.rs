@@ -177,12 +177,8 @@ mod tests {
     #[test]
     fn statechunk_carries_native_granularity_key() {
         let key = VendorKey::derive("monitor");
-        let fk = crate::flow::FlowKey::tcp(
-            Ipv4Addr::new(1, 1, 1, 1),
-            9,
-            Ipv4Addr::new(2, 2, 2, 2),
-            80,
-        );
+        let fk =
+            crate::flow::FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 9, Ipv4Addr::new(2, 2, 2, 2), 80);
         let c = StateChunk::new(HeaderFieldList::exact(fk), EncryptedChunk::seal(&key, 0, b"x"));
         assert!(c.key.matches(&fk));
     }

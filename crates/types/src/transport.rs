@@ -93,14 +93,9 @@ impl TcpTransport {
         let (tx, rx) = unbounded();
         let reader = std::thread::spawn(move || {
             let mut r = BufReader::new(read_half);
-            loop {
-                match read_frame(&mut r) {
-                    Ok(Some(msg)) => {
-                        if tx.send(msg).is_err() {
-                            break;
-                        }
-                    }
-                    Ok(None) | Err(_) => break,
+            while let Ok(Some(msg)) = read_frame(&mut r) {
+                if tx.send(msg).is_err() {
+                    break;
                 }
             }
         });

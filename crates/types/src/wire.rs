@@ -19,7 +19,7 @@ use crate::error::{Error, Result};
 use crate::flow::{FlowKey, HeaderFieldList, IpPrefix, Proto};
 use crate::packet::{Packet, PacketMeta};
 use crate::state::{EncryptedChunk, StateChunk, StateStats};
-use crate::OpId;
+use crate::{MbId, OpId};
 
 /// Maximum decoded message size; guards against corrupt length prefixes.
 pub const MAX_MESSAGE: usize = 64 << 20;
@@ -92,59 +92,138 @@ impl EventFilter {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     // ---- controller -> MB: configuration state (§4.1.1) ----
-    GetConfig { op: OpId, key: HierarchicalKey },
-    SetConfig { op: OpId, key: HierarchicalKey, values: Vec<ConfigValue> },
-    DelConfig { op: OpId, key: HierarchicalKey },
+    GetConfig {
+        op: OpId,
+        key: HierarchicalKey,
+    },
+    SetConfig {
+        op: OpId,
+        key: HierarchicalKey,
+        values: Vec<ConfigValue>,
+    },
+    DelConfig {
+        op: OpId,
+        key: HierarchicalKey,
+    },
 
     // ---- controller -> MB: per-flow state (§4.1.2 / §4.1.3) ----
-    GetSupportPerflow { op: OpId, key: HeaderFieldList },
-    PutSupportPerflow { op: OpId, chunk: StateChunk },
-    DelSupportPerflow { op: OpId, key: HeaderFieldList },
-    GetReportPerflow { op: OpId, key: HeaderFieldList },
-    PutReportPerflow { op: OpId, chunk: StateChunk },
-    DelReportPerflow { op: OpId, key: HeaderFieldList },
+    GetSupportPerflow {
+        op: OpId,
+        key: HeaderFieldList,
+    },
+    PutSupportPerflow {
+        op: OpId,
+        chunk: StateChunk,
+    },
+    DelSupportPerflow {
+        op: OpId,
+        key: HeaderFieldList,
+    },
+    GetReportPerflow {
+        op: OpId,
+        key: HeaderFieldList,
+    },
+    PutReportPerflow {
+        op: OpId,
+        chunk: StateChunk,
+    },
+    DelReportPerflow {
+        op: OpId,
+        key: HeaderFieldList,
+    },
 
     // ---- controller -> MB: shared state (§4.1.2 / §4.1.3) ----
-    GetSupportShared { op: OpId },
-    PutSupportShared { op: OpId, chunk: EncryptedChunk },
-    GetReportShared { op: OpId },
-    PutReportShared { op: OpId, chunk: EncryptedChunk },
+    GetSupportShared {
+        op: OpId,
+    },
+    PutSupportShared {
+        op: OpId,
+        chunk: EncryptedChunk,
+    },
+    GetReportShared {
+        op: OpId,
+    },
+    PutReportShared {
+        op: OpId,
+        chunk: EncryptedChunk,
+    },
 
     // ---- controller -> MB: stats + event subscription ----
-    GetStats { op: OpId, key: HeaderFieldList },
-    EnableEvents { op: OpId, filter: EventFilter },
-    DisableEvents { op: OpId },
+    GetStats {
+        op: OpId,
+        key: HeaderFieldList,
+    },
+    EnableEvents {
+        op: OpId,
+        filter: EventFilter,
+    },
+    DisableEvents {
+        op: OpId,
+    },
     /// A reprocess event forwarded by the controller to the destination MB.
-    ReprocessPacket { op: OpId, key: FlowKey, packet: Packet },
+    ReprocessPacket {
+        op: OpId,
+        key: FlowKey,
+        packet: Packet,
+    },
     /// Close the sync window for `op` at the source MB: stop raising
     /// reprocess events and clear moved/cloned marks. Sent by the
     /// controller when its quiescence timer concludes the routing change
     /// has taken effect (Fig 5's implicit end-of-move, extended to
     /// clones which have no delete).
-    EndSync { op: OpId },
+    EndSync {
+        op: OpId,
+    },
 
     // ---- MB -> controller ----
     /// One streamed per-flow chunk answering a `Get*Perflow`.
-    Chunk { op: OpId, chunk: StateChunk },
+    Chunk {
+        op: OpId,
+        chunk: StateChunk,
+    },
     /// Stream terminator: the get completed; `count` chunks were sent.
     /// (The "ACK after both get operations complete" of Fig 5.)
-    GetAck { op: OpId, count: u32 },
+    GetAck {
+        op: OpId,
+        count: u32,
+    },
     /// A shared-state blob answering `Get*Shared`.
-    SharedChunk { op: OpId, chunk: EncryptedChunk },
+    SharedChunk {
+        op: OpId,
+        chunk: EncryptedChunk,
+    },
     /// Acknowledges one successful `Put*` (Fig 5: "The DstMB will send an
     /// ACK to the controller after each put operation completes").
-    PutAck { op: OpId, key: Option<HeaderFieldList> },
+    PutAck {
+        op: OpId,
+        key: Option<HeaderFieldList>,
+    },
     /// Acknowledges a `Del*`, `SetConfig`, `DelConfig`, or event
     /// subscription change.
-    OpAck { op: OpId },
+    OpAck {
+        op: OpId,
+    },
     /// Configuration values answering `GetConfig`.
-    ConfigValues { op: OpId, pairs: Vec<(HierarchicalKey, Vec<ConfigValue>)> },
+    ConfigValues {
+        op: OpId,
+        pairs: Vec<(HierarchicalKey, Vec<ConfigValue>)>,
+    },
     /// Stats answering `GetStats`.
-    Stats { op: OpId, stats: StateStats },
+    Stats {
+        op: OpId,
+        stats: StateStats,
+    },
     /// An event raised by the MB (reprocess or introspection).
-    EventMsg { event: Event },
-    /// Operation failure.
-    ErrorMsg { op: OpId, error: String },
+    EventMsg {
+        event: Event,
+    },
+    /// Operation failure, carrying the typed [`Error`] so controllers
+    /// and applications can branch on the failure kind rather than
+    /// parse a message string.
+    ErrorMsg {
+        op: OpId,
+        error: Error,
+    },
 }
 
 impl Message {
@@ -302,6 +381,80 @@ impl Writer {
         self.hfl(&c.key);
         self.bytes(c.data.as_wire());
     }
+
+    /// Typed error payload: `u8` kind discriminant followed by the
+    /// variant's fields. Kept exhaustive on purpose — adding an [`Error`]
+    /// variant must come with a wire mapping.
+    fn error(&mut self, e: &Error) {
+        match e {
+            Error::GranularityTooFine { requested, native } => {
+                self.u8(err_kind::GRANULARITY_TOO_FINE);
+                self.hfl(requested);
+                self.str(native);
+            }
+            Error::NoSuchConfigKey(k) => {
+                self.u8(err_kind::NO_SUCH_CONFIG_KEY);
+                self.str(k);
+            }
+            Error::InvalidConfigValue { key, reason } => {
+                self.u8(err_kind::INVALID_CONFIG_VALUE);
+                self.str(key);
+                self.str(reason);
+            }
+            Error::UnknownMb(id) => {
+                self.u8(err_kind::UNKNOWN_MB);
+                self.u32(id.0);
+            }
+            Error::UnsupportedStateClass(c) => {
+                self.u8(err_kind::UNSUPPORTED_STATE_CLASS);
+                self.str(c);
+            }
+            Error::MalformedChunk(why) => {
+                self.u8(err_kind::MALFORMED_CHUNK);
+                self.str(why);
+            }
+            Error::MergeNotPermitted(why) => {
+                self.u8(err_kind::MERGE_NOT_PERMITTED);
+                self.str(why);
+            }
+            Error::Codec(why) => {
+                self.u8(err_kind::CODEC);
+                self.str(why);
+            }
+            Error::Transport(why) => {
+                self.u8(err_kind::TRANSPORT);
+                self.str(why);
+            }
+            Error::Timeout { op } => {
+                self.u8(err_kind::TIMEOUT);
+                self.u64(op.0);
+            }
+            Error::MbUnreachable(id) => {
+                self.u8(err_kind::MB_UNREACHABLE);
+                self.u32(id.0);
+            }
+            Error::OpFailed(why) => {
+                self.u8(err_kind::OP_FAILED);
+                self.str(why);
+            }
+        }
+    }
+}
+
+/// Wire discriminants for the typed [`Error`] payload of `ErrorMsg`.
+mod err_kind {
+    pub const GRANULARITY_TOO_FINE: u8 = 1;
+    pub const NO_SUCH_CONFIG_KEY: u8 = 2;
+    pub const INVALID_CONFIG_VALUE: u8 = 3;
+    pub const UNKNOWN_MB: u8 = 4;
+    pub const UNSUPPORTED_STATE_CLASS: u8 = 5;
+    pub const MALFORMED_CHUNK: u8 = 6;
+    pub const MERGE_NOT_PERMITTED: u8 = 7;
+    pub const CODEC: u8 = 8;
+    pub const TRANSPORT: u8 = 9;
+    pub const TIMEOUT: u8 = 10;
+    pub const MB_UNREACHABLE: u8 = 11;
+    pub const OP_FAILED: u8 = 12;
 }
 
 /// Cursor-based decode buffer with the primitive readers of the codec.
@@ -396,6 +549,30 @@ impl<'a> Reader<'a> {
         let proto =
             Proto::from_number(pn).ok_or_else(|| Error::Codec(format!("bad proto {pn}")))?;
         Ok(FlowKey { src_ip, dst_ip, src_port, dst_port, proto })
+    }
+
+    /// Decode the typed error payload written by [`Writer::error`].
+    fn error(&mut self) -> Result<Error> {
+        let kind = self.u8()?;
+        Ok(match kind {
+            err_kind::GRANULARITY_TOO_FINE => {
+                Error::GranularityTooFine { requested: self.hfl()?, native: self.str()? }
+            }
+            err_kind::NO_SUCH_CONFIG_KEY => Error::NoSuchConfigKey(self.str()?),
+            err_kind::INVALID_CONFIG_VALUE => {
+                Error::InvalidConfigValue { key: self.str()?, reason: self.str()? }
+            }
+            err_kind::UNKNOWN_MB => Error::UnknownMb(MbId(self.u32()?)),
+            err_kind::UNSUPPORTED_STATE_CLASS => Error::UnsupportedStateClass(self.str()?),
+            err_kind::MALFORMED_CHUNK => Error::MalformedChunk(self.str()?),
+            err_kind::MERGE_NOT_PERMITTED => Error::MergeNotPermitted(self.str()?),
+            err_kind::CODEC => Error::Codec(self.str()?),
+            err_kind::TRANSPORT => Error::Transport(self.str()?),
+            err_kind::TIMEOUT => Error::Timeout { op: OpId(self.u64()?) },
+            err_kind::MB_UNREACHABLE => Error::MbUnreachable(MbId(self.u32()?)),
+            err_kind::OP_FAILED => Error::OpFailed(self.str()?),
+            other => return Err(Error::Codec(format!("bad error kind {other}"))),
+        })
     }
 
     fn hfl(&mut self) -> Result<HeaderFieldList> {
@@ -687,7 +864,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
         Message::ErrorMsg { op, error } => {
             w.u8(tag::ERROR);
             w.u64(op.0);
-            w.str(error);
+            w.error(error);
         }
         Message::EndSync { op } => {
             w.u8(tag::END_SYNC);
@@ -703,11 +880,9 @@ pub fn decode(buf: &[u8]) -> Result<Message> {
     let t = r.u8()?;
     let msg = match t {
         tag::GET_CONFIG => Message::GetConfig { op: OpId(r.u64()?), key: r.hkey()? },
-        tag::SET_CONFIG => Message::SetConfig {
-            op: OpId(r.u64()?),
-            key: r.hkey()?,
-            values: r.config_values()?,
-        },
+        tag::SET_CONFIG => {
+            Message::SetConfig { op: OpId(r.u64()?), key: r.hkey()?, values: r.config_values()? }
+        }
         tag::DEL_CONFIG => Message::DelConfig { op: OpId(r.u64()?), key: r.hkey()? },
         tag::GET_SUPPORT_PERFLOW => {
             Message::GetSupportPerflow { op: OpId(r.u64()?), key: r.hfl()? }
@@ -718,15 +893,11 @@ pub fn decode(buf: &[u8]) -> Result<Message> {
         tag::DEL_SUPPORT_PERFLOW => {
             Message::DelSupportPerflow { op: OpId(r.u64()?), key: r.hfl()? }
         }
-        tag::GET_REPORT_PERFLOW => {
-            Message::GetReportPerflow { op: OpId(r.u64()?), key: r.hfl()? }
-        }
+        tag::GET_REPORT_PERFLOW => Message::GetReportPerflow { op: OpId(r.u64()?), key: r.hfl()? },
         tag::PUT_REPORT_PERFLOW => {
             Message::PutReportPerflow { op: OpId(r.u64()?), chunk: r.chunk()? }
         }
-        tag::DEL_REPORT_PERFLOW => {
-            Message::DelReportPerflow { op: OpId(r.u64()?), key: r.hfl()? }
-        }
+        tag::DEL_REPORT_PERFLOW => Message::DelReportPerflow { op: OpId(r.u64()?), key: r.hfl()? },
         tag::GET_SUPPORT_SHARED => Message::GetSupportShared { op: OpId(r.u64()?) },
         tag::PUT_SUPPORT_SHARED => Message::PutSupportShared {
             op: OpId(r.u64()?),
@@ -757,11 +928,9 @@ pub fn decode(buf: &[u8]) -> Result<Message> {
             Message::EnableEvents { op, filter: EventFilter { codes, key } }
         }
         tag::DISABLE_EVENTS => Message::DisableEvents { op: OpId(r.u64()?) },
-        tag::REPROCESS_PACKET => Message::ReprocessPacket {
-            op: OpId(r.u64()?),
-            key: r.flow_key()?,
-            packet: r.packet()?,
-        },
+        tag::REPROCESS_PACKET => {
+            Message::ReprocessPacket { op: OpId(r.u64()?), key: r.flow_key()?, packet: r.packet()? }
+        }
         tag::CHUNK => Message::Chunk { op: OpId(r.u64()?), chunk: r.chunk()? },
         tag::GET_ACK => Message::GetAck { op: OpId(r.u64()?), count: r.u32()? },
         tag::SHARED_CHUNK => Message::SharedChunk {
@@ -800,11 +969,7 @@ pub fn decode(buf: &[u8]) -> Result<Message> {
             },
         },
         tag::EVENT_REPROCESS => Message::EventMsg {
-            event: Event::Reprocess {
-                op: OpId(r.u64()?),
-                key: r.flow_key()?,
-                packet: r.packet()?,
-            },
+            event: Event::Reprocess { op: OpId(r.u64()?), key: r.flow_key()?, packet: r.packet()? },
         },
         tag::EVENT_INTROSPECTION => {
             let code = r.u32()?;
@@ -821,7 +986,7 @@ pub fn decode(buf: &[u8]) -> Result<Message> {
             }
             Message::EventMsg { event: Event::Introspection { code, key, values } }
         }
-        tag::ERROR => Message::ErrorMsg { op: OpId(r.u64()?), error: r.str()? },
+        tag::ERROR => Message::ErrorMsg { op: OpId(r.u64()?), error: r.error()? },
         tag::END_SYNC => Message::EndSync { op: OpId(r.u64()?) },
         other => return Err(Error::Codec(format!("unknown message tag {other}"))),
     };
@@ -922,10 +1087,7 @@ mod tests {
             StateChunk::new(HeaderFieldList::exact(fk()), EncryptedChunk::seal(&key, 1, b"data"));
         roundtrip(Message::Chunk { op: OpId(1), chunk: chunk.clone() });
         roundtrip(Message::GetAck { op: OpId(2), count: 41 });
-        roundtrip(Message::SharedChunk {
-            op: OpId(3),
-            chunk: EncryptedChunk::seal(&key, 9, b"s"),
-        });
+        roundtrip(Message::SharedChunk { op: OpId(3), chunk: EncryptedChunk::seal(&key, 9, b"s") });
         roundtrip(Message::PutAck { op: OpId(4), key: Some(HeaderFieldList::exact(fk())) });
         roundtrip(Message::PutAck { op: OpId(5), key: None });
         roundtrip(Message::OpAck { op: OpId(6) });
@@ -958,7 +1120,25 @@ mod tests {
                 values: vec![("backend".into(), "10.0.0.2".into())],
             },
         });
-        roundtrip(Message::ErrorMsg { op: OpId(10), error: "boom".into() });
+        for error in [
+            Error::GranularityTooFine {
+                requested: HeaderFieldList::from_dst_port(80),
+                native: "per-prefix".into(),
+            },
+            Error::NoSuchConfigKey("a/b".into()),
+            Error::InvalidConfigValue { key: "a/b".into(), reason: "negative".into() },
+            Error::UnknownMb(MbId(7)),
+            Error::UnsupportedStateClass("shared reporting".into()),
+            Error::MalformedChunk("bad header".into()),
+            Error::MergeNotPermitted("incompatible caches".into()),
+            Error::Codec("short".into()),
+            Error::Transport("reset".into()),
+            Error::Timeout { op: OpId(44) },
+            Error::MbUnreachable(MbId(3)),
+            Error::OpFailed("boom".into()),
+        ] {
+            roundtrip(Message::ErrorMsg { op: OpId(10), error });
+        }
     }
 
     #[test]
@@ -986,7 +1166,7 @@ mod tests {
         let msgs = vec![
             Message::OpAck { op: OpId(1) },
             Message::GetAck { op: OpId(2), count: 3 },
-            Message::ErrorMsg { op: OpId(3), error: "x".into() },
+            Message::ErrorMsg { op: OpId(3), error: Error::OpFailed("x".into()) },
         ];
         let mut buf = Vec::new();
         for m in &msgs {
@@ -1002,10 +1182,8 @@ mod tests {
 
     #[test]
     fn event_filter_semantics() {
-        let f = EventFilter {
-            codes: Some(vec![1, 3]),
-            key: Some(HeaderFieldList::from_dst_port(80)),
-        };
+        let f =
+            EventFilter { codes: Some(vec![1, 3]), key: Some(HeaderFieldList::from_dst_port(80)) };
         assert!(f.accepts(1, &fk()));
         assert!(!f.accepts(2, &fk()));
         let other = FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 5, Ipv4Addr::new(2, 2, 2, 2), 443);

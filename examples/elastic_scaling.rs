@@ -22,8 +22,7 @@ fn main() {
     use layout::*;
 
     // ---- scale up ----
-    let subset =
-        HeaderFieldList::from_src_subnet(IpPrefix::new("10.1.0.0".parse().unwrap(), 16));
+    let subset = HeaderFieldList::from_src_subnet(IpPrefix::new("10.1.0.0".parse().unwrap(), 16));
     let up = ScaleUpApp::new(
         MB_A_ID,
         MB_B_ID,
@@ -33,8 +32,9 @@ fn main() {
     );
     let mut setup =
         two_mb_scenario(Monitor::new(), Monitor::new(), Box::new(up), ScenarioParams::default());
-    let trace = CloudTraceConfig { flows: 150, span: SimDuration::from_secs(1), ..Default::default() }
-        .generate();
+    let trace =
+        CloudTraceConfig { flows: 150, span: SimDuration::from_secs(1), ..Default::default() }
+            .generate();
     let total = trace.len() as u64;
     trace.inject(&mut setup.sim, setup.src, setup.switch);
     setup.sim.run(100_000_000);
@@ -65,12 +65,8 @@ fn main() {
             dst: DST,
         },
     );
-    let mut setup = two_mb_scenario(
-        Monitor::new(),
-        Monitor::new(),
-        Box::new(down),
-        ScenarioParams::default(),
-    );
+    let mut setup =
+        two_mb_scenario(Monitor::new(), Monitor::new(), Box::new(down), ScenarioParams::default());
     let trace = CloudTraceConfig {
         flows: 120,
         span: SimDuration::from_secs(1),
@@ -88,11 +84,7 @@ fn main() {
     println!("\n== scale down ==");
     println!("records left at deprecated:   {}", a.logic.perflow_entries());
     println!("records at survivor:          {}", b.logic.perflow_entries());
-    println!(
-        "survivor's merged counters:   {} / {} injected",
-        b.logic.stat().total_packets,
-        total
-    );
+    println!("survivor's merged counters:   {} / {} injected", b.logic.stat().total_packets, total);
     assert_eq!(a.logic.perflow_entries(), 0);
     assert_eq!(b.logic.stat().total_packets, total);
     println!("\nOK: collective monitoring behavior unchanged across scaling —");

@@ -32,16 +32,13 @@ fn main() {
 
     // Topology: src -- switch -- dst, monitors hanging off the switch,
     // controller wired to the switch and both middleboxes.
-    let mut setup = two_mb_scenario(
-        Monitor::new(),
-        Monitor::new(),
-        Box::new(app),
-        ScenarioParams::default(),
-    );
+    let mut setup =
+        two_mb_scenario(Monitor::new(), Monitor::new(), Box::new(app), ScenarioParams::default());
 
     // A synthetic enterprise trace: 150 mixed HTTP/other flows.
-    let trace = CloudTraceConfig { flows: 150, span: SimDuration::from_secs(1), ..Default::default() }
-        .generate();
+    let trace =
+        CloudTraceConfig { flows: 150, span: SimDuration::from_secs(1), ..Default::default() }
+            .generate();
     let total = trace.len();
     trace.inject(&mut setup.sim, setup.src, setup.switch);
 

@@ -61,6 +61,7 @@ fn main() {
         quiesce_after: SimDuration::from_millis(50),
         compress_transfers: false,
         buffer_events: true,
+        ..ControllerConfig::default()
     });
     let src = controller.register_mb(Arc::new(TcpTransport::connect(addrs[0]).unwrap()));
     let dst = controller.register_mb(Arc::new(TcpTransport::connect(addrs[1]).unwrap()));

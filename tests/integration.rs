@@ -26,14 +26,11 @@ fn run_scale_up(seed: u64) -> (u64, u64, Vec<u64>) {
             dst: DST,
         },
     );
-    let mut setup = two_mb_scenario(
-        Monitor::new(),
-        Monitor::new(),
-        Box::new(app),
-        ScenarioParams::default(),
-    );
-    let trace = CloudTraceConfig { flows: 80, seed, span: SimDuration::from_secs(1), ..Default::default() }
-        .generate();
+    let mut setup =
+        two_mb_scenario(Monitor::new(), Monitor::new(), Box::new(app), ScenarioParams::default());
+    let trace =
+        CloudTraceConfig { flows: 80, seed, span: SimDuration::from_secs(1), ..Default::default() }
+            .generate();
     trace.inject(&mut setup.sim, setup.src, setup.switch);
     setup.sim.run(100_000_000);
     assert!(setup.sim.is_idle());
@@ -158,13 +155,8 @@ fn lb_rejects_fine_grained_get_through_controller() {
     let mut lb = LoadBalancer::new(Ipv4Addr::new(1, 2, 3, 4), &[Ipv4Addr::new(10, 0, 0, 1)]);
     let mut actions = Vec::new();
     // Request at finer-than-native granularity (a port-qualified key).
-    let op = core.move_internal(
-        mb,
-        mb,
-        HeaderFieldList::from_dst_port(80),
-        SimTime(0),
-        &mut actions,
-    );
+    let op =
+        core.move_internal(mb, mb, HeaderFieldList::from_dst_port(80), SimTime(0), &mut actions);
     // Deliver the southbound messages to the MB and feed replies back.
     let mut failed = false;
     for a in actions {
@@ -173,10 +165,12 @@ fn lb_rejects_fine_grained_get_through_controller() {
                 let mut out = Vec::new();
                 core.handle_mb_message(mb, reply, SimTime(0), &mut out);
                 for n in out {
-                    if let Action::Notify(openmb::core::Completion::Failed { op: fop, error }) = n
-                    {
+                    if let Action::Notify(openmb::core::Completion::Failed { op: fop, error }) = n {
                         assert_eq!(fop, op);
-                        assert!(error.contains("finer"), "{error}");
+                        assert!(
+                            matches!(error, openmb::types::Error::GranularityTooFine { .. }),
+                            "expected GranularityTooFine, got {error}"
+                        );
                         failed = true;
                     }
                 }

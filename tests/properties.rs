@@ -219,7 +219,10 @@ mod controller_robustness {
                     Just(Message::PutAck { op: OpId(op), key: None }),
                     Just(Message::OpAck { op: OpId(op) }),
                     Just(Message::Stats { op: OpId(op), stats: Default::default() }),
-                    Just(Message::ErrorMsg { op: OpId(op), error: "x".into() }),
+                    Just(Message::ErrorMsg {
+                        op: OpId(op),
+                        error: openmb::types::Error::OpFailed("x".into()),
+                    }),
                     Just(Message::EventMsg {
                         event: openmb::types::wire::Event::Reprocess {
                             op: OpId(op),
@@ -282,12 +285,7 @@ mod controller_robustness {
         let mut core = ControllerCore::new(ControllerConfig::default());
         let _ = core.register_mb();
         let mut out = Vec::new();
-        core.handle_mb_message(
-            MbId(99),
-            Message::OpAck { op: OpId(12345) },
-            SimTime(0),
-            &mut out,
-        );
+        core.handle_mb_message(MbId(99), Message::OpAck { op: OpId(12345) }, SimTime(0), &mut out);
         assert!(out.is_empty());
     }
 }

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the (small) subset of the rand 0.9 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods `random`, `random_bool`, and `random_range`.
+//!
+//! Determinism is the only contract that matters here — every generator
+//! in this repo is seeded, and experiments assert reproducibility, not
+//! specific streams. The core is splitmix64 (public-domain algorithm by
+//! Sebastiano Vigna), which passes BigCrush on its own and is more than
+//! adequate for synthetic workload generation.
+
+use std::ops::Range;
+
+/// Low-level source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, mirroring the `rand::Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Sample a uniformly random value of a primitive type.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64_from_bits(self.next_u64()) < p
+    }
+
+    /// Uniform sample from a half-open range. Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types `Rng::random` can produce.
+pub trait Standard: Sized {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Standard for bool {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        f64_from_bits(rng.next_u64())
+    }
+}
+
+/// Types uniformly sampleable from a range, mirroring
+/// `rand::distr::uniform::SampleUniform`. A single blanket
+/// `SampleRange` impl over this trait (rather than per-type range
+/// impls) is what lets `random_range(0..5)` infer its integer type
+/// from the call site, exactly like the real crate.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as u128)
+                    .wrapping_sub(lo as u128)
+                    .wrapping_add(u128::from(inclusive));
+                let v = (rng.next_u64() as u128) % span;
+                (lo as u128).wrapping_add(v) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        lo + f64_from_bits(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        lo + (f64_from_bits(rng.next_u64()) as f32) * (hi - lo)
+    }
+}
+
+/// Ranges `Rng::random_range` accepts.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in random_range");
+        T::sample_in(rng, lo, hi, true)
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from 53 random bits.
+fn f64_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded RNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let f = r.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = r.random_range(0u8..=32);
+            assert!(i <= 32);
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}
