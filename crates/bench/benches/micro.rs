@@ -70,6 +70,42 @@ fn bench_compress(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_wire_len(c: &mut Criterion) {
+    // Before/after pair for the PR2 tentpole: arithmetic length
+    // accounting vs encoding the message just to measure it.
+    let vendor = VendorKey::derive("bench");
+    let chunk = StateChunk::new(
+        HeaderFieldList::exact(key(1)),
+        EncryptedChunk::seal(&vendor, 1, &vec![7u8; 202]),
+    );
+    let msg = Message::PutSupportPerflow { op: OpId(1), chunk };
+    let mut g = c.benchmark_group("wire_len");
+    g.bench_function("via_encode (before)", |b| b.iter(|| wire::encode(black_box(&msg)).len()));
+    g.bench_function("encoded_len (after)", |b| b.iter(|| wire::encoded_len(black_box(&msg))));
+    g.finish();
+}
+
+fn bench_zero_copy_decode(c: &mut Criterion) {
+    // Copying decode vs zero-copy decode of a chunk-carrying message.
+    let vendor = VendorKey::derive("bench");
+    let chunk = StateChunk::new(
+        HeaderFieldList::exact(key(1)),
+        EncryptedChunk::seal(&vendor, 1, &vec![7u8; 1024]),
+    );
+    let msg = Message::PutSupportPerflow { op: OpId(1), chunk };
+    let encoded = wire::encode(&msg);
+    let shared: bytes::Bytes = encoded.clone().into();
+    let mut g = c.benchmark_group("decode_1k_chunk");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("decode copying (before)", |b| {
+        b.iter(|| wire::decode(black_box(&encoded)).unwrap())
+    });
+    g.bench_function("decode_bytes aliasing (after)", |b| {
+        b.iter(|| wire::decode_bytes(black_box(&shared)).unwrap())
+    });
+    g.finish();
+}
+
 fn bench_flow_table(c: &mut Criterion) {
     let mut table = FlowTable::new();
     for i in 0..128u32 {
@@ -86,9 +122,18 @@ fn bench_flow_table(c: &mut Criterion) {
         );
     }
     let k = key(5 << 8);
-    c.bench_function("flowtable_lookup_128_rules", |b| {
+    let mut g = c.benchmark_group("flowtable_128_rules");
+    g.bench_function("lookup steady state (cache hit)", |b| {
         b.iter(|| table.lookup(black_box(&k), NodeId(999)))
     });
+    g.bench_function("lookup_uncached (full scan)", |b| {
+        b.iter(|| table.lookup_uncached(black_box(&k), NodeId(999)))
+    });
+    let miss = FlowKey::tcp(Ipv4Addr::new(172, 16, 0, 1), 1, Ipv4Addr::new(172, 16, 0, 2), 80);
+    g.bench_function("lookup miss (cached negative)", |b| {
+        b.iter(|| table.lookup(black_box(&miss), NodeId(999)))
+    });
+    g.finish();
 }
 
 fn bench_middlebox_paths(c: &mut Criterion) {
@@ -189,6 +234,8 @@ fn bench_southbound_get_put(c: &mut Criterion) {
 criterion_group!(
     micro,
     bench_wire_codec,
+    bench_wire_len,
+    bench_zero_copy_decode,
     bench_crypto,
     bench_compress,
     bench_flow_table,

@@ -1,0 +1,218 @@
+//! Wall-clock measurement of the PR2 hot-path optimisations, with a
+//! machine-readable baseline for CI regression gating.
+//!
+//! The vendored `criterion` stub is a single-pass smoke test, so this
+//! binary does its own `Instant`-based timing: per bench, iterations are
+//! calibrated to a minimum runtime, repeated several times, and the
+//! fastest repeat (least scheduler noise) is reported.
+//!
+//! Usage:
+//!   perf_baseline [OUT.json]          measure and write the baseline
+//!   perf_baseline --check BASE.json   re-measure and fail (exit 1) if a
+//!                                     gated bench regressed >20% vs the
+//!                                     committed baseline
+
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use openmb_openflow::FlowTable;
+use openmb_types::crypto::VendorKey;
+use openmb_types::sdn::{FlowRule, SdnAction};
+use openmb_types::wire::{self, Message};
+use openmb_types::{EncryptedChunk, FlowKey, HeaderFieldList, IpPrefix, NodeId, OpId, StateChunk};
+
+/// Repeats per bench; the fastest is reported.
+const REPEATS: usize = 7;
+/// Minimum wall time per repeat (iterations are calibrated to this).
+const MIN_RUN_NS: u128 = 20_000_000;
+/// CI gate: a bench's measured speedup (baseline path vs optimized
+/// path, both timed in the same run) may be at most this much below the
+/// committed baseline's speedup. Comparing the same-run ratio rather
+/// than absolute ns/op makes the gate independent of how fast the CI
+/// machine is.
+const MAX_REGRESSION: f64 = 0.20;
+
+/// ns/op of `f`, by calibrated timed loops.
+fn measure<T>(mut f: impl FnMut() -> T) -> f64 {
+    // Calibrate: grow the iteration count until a run is long enough.
+    let mut iters: u64 = 16;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if t.elapsed().as_nanos() >= MIN_RUN_NS || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns_per_op = t.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns_per_op);
+    }
+    best
+}
+
+struct Bench {
+    name: &'static str,
+    /// Whether CI gates on this bench's optimized ns/op.
+    gated: bool,
+    baseline_ns: f64,
+    optimized_ns: f64,
+}
+
+fn key(i: u32) -> FlowKey {
+    FlowKey::tcp(
+        Ipv4Addr::from(0x0a00_0000 + i),
+        (1000 + i % 50_000) as u16,
+        Ipv4Addr::new(192, 168, 1, 1),
+        80,
+    )
+}
+
+fn run_benches() -> Vec<Bench> {
+    let vendor = VendorKey::derive("bench");
+    let chunk = StateChunk::new(
+        HeaderFieldList::exact(key(1)),
+        EncryptedChunk::seal(&vendor, 1, &vec![7u8; 202]),
+    );
+    let msg = Message::PutSupportPerflow { op: OpId(1), chunk };
+    assert_eq!(wire::encoded_len(&msg), wire::encode(&msg).len());
+
+    // Control-frame length accounting: encode-to-measure vs arithmetic.
+    let wire_len = Bench {
+        name: "wire_len",
+        gated: true,
+        baseline_ns: measure(|| wire::encode(black_box(&msg)).len()),
+        optimized_ns: measure(|| wire::encoded_len(black_box(&msg))),
+    };
+
+    // Steady-state flow lookup: full wildcard scan vs exact-match cache.
+    let mut table = FlowTable::new();
+    for i in 0..128u32 {
+        table.install(
+            FlowRule::new(
+                HeaderFieldList::from_src_subnet(IpPrefix::new(
+                    Ipv4Addr::from(0x0a00_0000 + (i << 8)),
+                    24,
+                )),
+                5,
+                SdnAction::Forward(NodeId(i)),
+            )
+            .from_port(NodeId(999)),
+        );
+    }
+    let k = key(5 << 8);
+    let flow_lookup = Bench {
+        name: "flow_lookup",
+        gated: true,
+        baseline_ns: measure(|| table.lookup_uncached(black_box(&k), NodeId(999))),
+        optimized_ns: measure(|| table.lookup(black_box(&k), NodeId(999))),
+    };
+
+    // Chunk-carrying decode: copying vs aliasing the receive buffer.
+    let big_chunk = StateChunk::new(
+        HeaderFieldList::exact(key(1)),
+        EncryptedChunk::seal(&vendor, 1, &vec![7u8; 1024]),
+    );
+    let big_msg = Message::PutSupportPerflow { op: OpId(2), chunk: big_chunk };
+    let encoded = wire::encode(&big_msg);
+    let shared: bytes::Bytes = encoded.clone().into();
+    let decode = Bench {
+        name: "decode_1k_chunk",
+        gated: false,
+        baseline_ns: measure(|| wire::decode(black_box(&encoded)).unwrap()),
+        optimized_ns: measure(|| wire::decode_bytes(black_box(&shared)).unwrap()),
+    };
+
+    vec![wire_len, flow_lookup, decode]
+}
+
+fn to_json(benches: &[Bench]) -> String {
+    let mut s = String::from("{\n  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"gated\": {}, \"baseline_ns\": {:.2}, \"optimized_ns\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            b.name,
+            b.gated,
+            b.baseline_ns,
+            b.optimized_ns,
+            b.baseline_ns / b.optimized_ns,
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pull `"field": <number>` for the object that contains
+/// `"name": "<name>"` out of the baseline JSON (no serde in-tree, and
+/// the format is our own).
+fn json_field(json: &str, name: &str, field: &str) -> Option<f64> {
+    let obj_start = json.find(&format!("\"name\": \"{name}\""))?;
+    let obj = &json[obj_start..json[obj_start..].find('}')? + obj_start];
+    let f = obj.find(&format!("\"{field}\":"))?;
+    let rest = obj[f..].split(':').nth(1)?;
+    rest.split(',').next()?.trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches = run_benches();
+
+    for b in &benches {
+        println!(
+            "{:<16} baseline {:>9.2} ns/op   optimized {:>9.2} ns/op   speedup {:>6.2}x",
+            b.name,
+            b.baseline_ns,
+            b.optimized_ns,
+            b.baseline_ns / b.optimized_ns
+        );
+    }
+
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).expect("--check requires a baseline path");
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let mut failed = false;
+        for b in benches.iter().filter(|b| b.gated) {
+            let Some(committed_speedup) = json_field(&committed, b.name, "speedup") else {
+                eprintln!("FAIL {}: not present in committed baseline", b.name);
+                failed = true;
+                continue;
+            };
+            let speedup = b.baseline_ns / b.optimized_ns;
+            let floor = committed_speedup * (1.0 - MAX_REGRESSION);
+            if speedup < floor {
+                eprintln!(
+                    "FAIL {}: speedup {:.2}x fell below {:.2}x (committed {:.2}x - {:.0}%)",
+                    b.name,
+                    speedup,
+                    floor,
+                    committed_speedup,
+                    MAX_REGRESSION * 100.0
+                );
+                failed = true;
+            } else {
+                println!(
+                    "ok   {}: speedup {:.2}x (committed {:.2}x, floor {:.2}x)",
+                    b.name, speedup, committed_speedup, floor
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let out = args.first().map(String::as_str).unwrap_or("BENCH_PR2.json");
+    std::fs::write(out, to_json(&benches)).expect("write baseline");
+    println!("wrote {out}");
+}

@@ -91,19 +91,43 @@ pub struct MbNode<M: Middlebox> {
     pub busy_put_ns: u64,
     /// Accumulated busy time processing packets (ns).
     pub busy_packet_ns: u64,
+    /// Per-node metric names, formatted once at construction so the
+    /// per-packet/per-event hot paths never allocate a key string.
+    metric_names: MetricNames,
+}
+
+/// Precomputed `"<label>.<metric>"` strings for [`MbNode`]'s hot paths.
+struct MetricNames {
+    events_raised: String,
+    events_replayed: String,
+    pkt_latency: String,
+    packets: String,
+}
+
+impl MetricNames {
+    fn new(label: &str) -> Self {
+        MetricNames {
+            events_raised: format!("{label}.events_raised"),
+            events_replayed: format!("{label}.events_replayed"),
+            pkt_latency: format!("{label}.pkt_latency"),
+            packets: format!("{label}.packets"),
+        }
+    }
 }
 
 impl<M: Middlebox + 'static> MbNode<M> {
     /// Wrap `logic`; connect it with the `with_controller`/`with_egress`
     /// builders.
     pub fn new(label: impl Into<String>, logic: M) -> Self {
+        let label = label.into();
         MbNode {
             logic,
             controller: None,
             egress: None,
             queue: VecDeque::new(),
             busy: false,
-            label: label.into(),
+            metric_names: MetricNames::new(&label),
+            label,
             logs: Vec::new(),
             packets_processed: 0,
             events_replayed: 0,
@@ -197,7 +221,7 @@ impl<M: Middlebox + 'static> MbNode<M> {
         self.logs.extend(fx.take_logs());
         for ev in fx.take_events() {
             ctx.trace(TraceKind::EventRaised);
-            ctx.metrics.incr(&format!("{}.events_raised", self.label), 1);
+            ctx.metrics.incr(&self.metric_names.events_raised, 1);
             if let Some(c) = self.controller {
                 ctx.send(c, Frame::Control(Message::EventMsg { event: ev }));
             }
@@ -215,8 +239,8 @@ impl<M: Middlebox + 'static> MbNode<M> {
                     pkt_id: pkt.id,
                     http: pkt.key.dst_port == 80 || pkt.key.src_port == 80,
                 });
-                ctx.metrics.sample(&format!("{}.pkt_latency", self.label), now.since(arrived));
-                ctx.metrics.incr(&format!("{}.packets", self.label), 1);
+                ctx.metrics.sample(&self.metric_names.pkt_latency, now.since(arrived));
+                ctx.metrics.incr(&self.metric_names.packets, 1);
                 self.emit_effects(ctx, fx);
             }
             Work::Replay { pkt } => {
@@ -224,7 +248,7 @@ impl<M: Middlebox + 'static> MbNode<M> {
                 self.logic.process_packet(now, &pkt, &mut fx);
                 self.events_replayed += 1;
                 ctx.trace(TraceKind::EventProcessed);
-                ctx.metrics.incr(&format!("{}.events_replayed", self.label), 1);
+                ctx.metrics.incr(&self.metric_names.events_replayed, 1);
                 self.emit_effects(ctx, fx);
             }
             Work::GetBatch { sub, chunks, idx, report, .. } => {

@@ -331,20 +331,50 @@ impl Inner {
 
     fn pump_loop(&self) {
         let mut last_tick = Instant::now();
+        // Transports whose peer has reset or closed; their MBs are
+        // marked unreachable once and then skipped.
+        let mut dead: Vec<bool> = Vec::new();
         while !self.stop.load(Ordering::Relaxed) {
             let mut idle = true;
             let n = self.transports.lock().len();
+            if dead.len() < n {
+                dead.resize(n, false);
+            }
             for i in 0..n {
+                if dead[i] {
+                    continue;
+                }
                 let t = {
                     let ts = self.transports.lock();
                     Arc::clone(&ts[i])
                 };
-                while let Ok(Some(msg)) = t.try_recv() {
-                    idle = false;
-                    let now = SimTime(self.start.elapsed().as_nanos() as u64);
-                    let mut actions = Vec::new();
-                    self.core.lock().handle_mb_message(MbId(i as u32), msg, now, &mut actions);
-                    self.execute(actions);
+                loop {
+                    match t.try_recv() {
+                        Ok(Some(msg)) => {
+                            idle = false;
+                            let now = SimTime(self.start.elapsed().as_nanos() as u64);
+                            let mut actions = Vec::new();
+                            self.core.lock().handle_mb_message(
+                                MbId(i as u32),
+                                msg,
+                                now,
+                                &mut actions,
+                            );
+                            self.execute(actions);
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Connection reset or EOF: every operation
+                            // touching this MB aborts with MbUnreachable,
+                            // exactly as the sim harness reports link
+                            // failures.
+                            dead[i] = true;
+                            let mut actions = Vec::new();
+                            self.core.lock().mark_unreachable(MbId(i as u32), &mut actions);
+                            self.execute(actions);
+                            break;
+                        }
+                    }
                 }
             }
             if last_tick.elapsed() > Duration::from_millis(25) {

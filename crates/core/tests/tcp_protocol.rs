@@ -124,3 +124,32 @@ fn move_and_merge_over_loopback_tcp() {
         let _ = monitor.mb_type();
     }
 }
+
+#[test]
+fn dropped_connection_aborts_with_mb_unreachable() {
+    use openmb_types::transport::channel_pair;
+    use openmb_types::Error;
+
+    let mut controller = TcpController::new(ControllerConfig::default());
+    let (ctl_end, mb_end) = channel_pair();
+    let mb = controller.register_mb(Arc::new(ctl_end));
+    controller.start();
+
+    // Sever the connection: the MB vanishes without answering. The pump
+    // must feed the reset into mark_unreachable, so the blocked
+    // northbound call aborts with a typed error instead of timing out.
+    drop(mb_end);
+
+    let c = controller.stats(mb, HeaderFieldList::any(), Duration::from_secs(5)).unwrap();
+    match c {
+        Completion::Failed { error: Error::MbUnreachable(id), .. } => assert_eq!(id, mb),
+        other => panic!("expected MbUnreachable abort, got {other:?}"),
+    }
+
+    // Every subsequent call naming the dead MB fails fast the same way.
+    let c =
+        controller.move_internal(mb, mb, HeaderFieldList::any(), Duration::from_secs(5)).unwrap();
+    assert!(matches!(c, Completion::Failed { error: Error::MbUnreachable(_), .. }));
+
+    controller.shutdown();
+}

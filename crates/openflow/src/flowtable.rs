@@ -1,18 +1,38 @@
-//! An OpenFlow-style flow table: prioritized wildcard rules.
+//! An OpenFlow-style flow table: prioritized wildcard rules, fronted by
+//! an exact-match cache so steady-state forwarding is one hash probe.
+
+use std::collections::HashMap;
 
 use openmb_types::sdn::{FlowRule, SdnAction};
 use openmb_types::{FlowKey, HeaderFieldList, NodeId};
+
+/// Exact-match cache entries are bounded; on overflow the cache is
+/// cleared wholesale (the table rebuilds it on subsequent lookups).
+const CACHE_CAP: usize = 65_536;
 
 /// A switch's flow table. Lookup returns the matching rule with the
 /// highest priority; ties are broken by specificity (fewer wildcarded
 /// bits wins) and then by most-recent installation — the semantics OpenMB
 /// relies on when a control application overrides a subnet-wide route
 /// with flow-specific ones during a move.
+///
+/// Wildcard rules are scanned only on the first packet of a `(flow,
+/// in-port)` pair; the resolved action (including "no match") is then
+/// served from an exact-match cache until a rule change touches that
+/// flow.
 #[derive(Debug, Default, Clone)]
 pub struct FlowTable {
     /// Rules with install sequence numbers.
     entries: Vec<(u64, FlowRule)>,
     next_seq: u64,
+    /// Exact-match fast path: `(flow key, in-port) → resolved action`.
+    /// `None` caches a miss (important: miss-heavy traffic would
+    /// otherwise rescan every wildcard rule per packet). Invalidated
+    /// precisely on install/modify/remove — only entries the changed
+    /// rule could match are evicted.
+    cache: HashMap<(FlowKey, NodeId), Option<SdnAction>>,
+    /// Lookups served from the exact-match cache (perf accounting).
+    pub cache_hits: u64,
     /// Lookups that matched nothing.
     pub misses: u64,
     /// Lookups that matched a rule.
@@ -28,6 +48,9 @@ impl FlowTable {
     /// priority is overwritten (OpenFlow `OFPFC_MODIFY` semantics for an
     /// exact duplicate).
     pub fn install(&mut self, rule: FlowRule) {
+        // Any cached flow the new rule could match may now resolve
+        // differently (including cached misses that would now hit).
+        self.invalidate(&rule.pattern, rule.in_port);
         if let Some((_, existing)) = self.entries.iter_mut().find(|(_, e)| {
             e.pattern == rule.pattern && e.priority == rule.priority && e.in_port == rule.in_port
         }) {
@@ -44,31 +67,69 @@ impl FlowTable {
     pub fn remove(&mut self, pattern: &HeaderFieldList) -> usize {
         let before = self.entries.len();
         self.entries.retain(|(_, e)| e.pattern != *pattern);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            // Removed rules may have had in-port constraints; `None`
+            // here evicts the pattern's flows on every port, a superset
+            // of what the removed rules served.
+            self.invalidate(pattern, None);
+        }
+        removed
+    }
+
+    /// Drop every cached resolution the changed rule could have
+    /// influenced: flows the pattern matches, on the rule's in-port (or
+    /// every port when the rule has none).
+    fn invalidate(&mut self, pattern: &HeaderFieldList, in_port: Option<NodeId>) {
+        self.cache
+            .retain(|(key, port), _| !(pattern.matches(key) && in_port.is_none_or(|p| p == *port)));
     }
 
     /// Look up the action for a packet's flow key arriving from
     /// `in_port`. Specificity tie-breaking counts an `in_port` match as
     /// more specific than a wildcard port.
+    ///
+    /// Steady state is a single hash probe; only the first packet of a
+    /// `(flow, in-port)` pair (or the first after a rule change touching
+    /// it) pays the full wildcard scan.
     pub fn lookup(&mut self, key: &FlowKey, in_port: NodeId) -> Option<SdnAction> {
-        let best = self
-            .entries
+        if let Some(&cached) = self.cache.get(&(*key, in_port)) {
+            self.cache_hits += 1;
+            match cached {
+                Some(_) => self.hits += 1,
+                None => self.misses += 1,
+            }
+            return cached;
+        }
+        let resolved = self.lookup_uncached(key, in_port);
+        if self.cache.len() >= CACHE_CAP {
+            self.cache.clear();
+        }
+        self.cache.insert((*key, in_port), resolved);
+        match resolved {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        resolved
+    }
+
+    /// The full prioritized wildcard scan, bypassing (and not
+    /// populating) the exact-match cache. Public so tests and benches
+    /// can compare cached and cold resolution.
+    pub fn lookup_uncached(&self, key: &FlowKey, in_port: NodeId) -> Option<SdnAction> {
+        self.entries
             .iter()
             .filter(|(_, e)| e.pattern.matches(key) && e.in_port.is_none_or(|p| p == in_port))
             .max_by_key(|(seq, e)| {
                 let score = e.pattern.wildcard_score() + u32::from(e.in_port.is_none());
                 (e.priority, std::cmp::Reverse(score), *seq)
-            });
-        match best {
-            Some((_, e)) => {
-                self.hits += 1;
-                Some(e.action)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+            })
+            .map(|(_, e)| e.action)
+    }
+
+    /// Number of `(flow, in-port)` resolutions currently cached.
+    pub fn cached_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Number of installed rules.
@@ -198,5 +259,158 @@ mod tests {
         assert_eq!(t.remove(&pat), 1);
         assert!(t.is_empty());
         assert_eq!(t.remove(&pat), 0);
+    }
+
+    // ---- exact-match cache ----
+
+    #[test]
+    fn cache_hit_repeats_cold_result() {
+        // Same fixture as `priority_wins`: the cached answer must equal
+        // the wildcard-scan answer, and the repeat must be served from
+        // the cache.
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(HeaderFieldList::any(), 1, SdnAction::Forward(NodeId(1))));
+        t.install(FlowRule::new(
+            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24)),
+            10,
+            SdnAction::Forward(NodeId(2)),
+        ));
+        let cold = t.lookup(&key(), PORT);
+        assert_eq!(cold, Some(SdnAction::Forward(NodeId(2))));
+        assert_eq!(t.cache_hits, 0);
+        assert_eq!(t.lookup(&key(), PORT), cold);
+        assert_eq!(t.cache_hits, 1);
+        assert_eq!(t.hits, 2);
+    }
+
+    #[test]
+    fn cached_miss_counts_as_miss() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.lookup(&key(), PORT), None);
+        assert_eq!(t.lookup(&key(), PORT), None);
+        assert_eq!(t.misses, 2);
+        assert_eq!(t.cache_hits, 1);
+    }
+
+    #[test]
+    fn higher_priority_install_invalidates_stale_entry() {
+        // Same fixture as `specificity_breaks_priority_ties`, built
+        // incrementally: a cached resolution must not survive the
+        // install of an overlapping rule that wins.
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(
+            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.0.0.0"), 8)),
+            5,
+            SdnAction::Forward(NodeId(1)),
+        ));
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(1))));
+        t.install(FlowRule::new(
+            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24)),
+            5,
+            SdnAction::Forward(NodeId(2)),
+        ));
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(2))));
+        // A flow the new rule does NOT match keeps its cache entry.
+        let other = FlowKey::tcp(ip("9.9.9.9"), 1, ip("2.2.2.2"), 80);
+        t.lookup(&other, PORT);
+        let hits_before = t.cache_hits;
+        t.install(FlowRule::new(
+            HeaderFieldList::from_src_subnet(IpPrefix::new(ip("1.1.1.0"), 24)),
+            7,
+            SdnAction::Drop,
+        ));
+        t.lookup(&other, PORT);
+        assert_eq!(t.cache_hits, hits_before + 1, "unrelated entry was evicted");
+    }
+
+    #[test]
+    fn modify_and_remove_invalidate() {
+        let mut t = FlowTable::new();
+        let pat = HeaderFieldList::exact(key());
+        t.install(FlowRule::new(pat, 5, SdnAction::Forward(NodeId(1))));
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(1))));
+        // OFPFC_MODIFY (identical pattern/priority/port) rewrites the
+        // action — the cached action must follow.
+        t.install(FlowRule::new(pat, 5, SdnAction::Drop));
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Drop));
+        // Removal must expose the now-empty table, not the stale hit.
+        t.remove(&pat);
+        assert_eq!(t.lookup(&key(), PORT), None);
+    }
+
+    #[test]
+    fn cached_misses_heal_after_install() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.lookup(&key(), PORT), None);
+        t.install(FlowRule::new(HeaderFieldList::any(), 1, SdnAction::Drop));
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Drop));
+    }
+
+    #[test]
+    fn in_port_restricted_install_spares_other_ports() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(HeaderFieldList::any(), 1, SdnAction::Drop));
+        t.lookup(&key(), NodeId(7));
+        let hits_before = t.cache_hits;
+        // New rule pinned to PORT: the NodeId(7) cache entry survives.
+        t.install(
+            FlowRule::new(HeaderFieldList::any(), 9, SdnAction::Forward(NodeId(1))).from_port(PORT),
+        );
+        assert_eq!(t.lookup(&key(), NodeId(7)), Some(SdnAction::Drop));
+        assert_eq!(t.cache_hits, hits_before + 1);
+        assert_eq!(t.lookup(&key(), PORT), Some(SdnAction::Forward(NodeId(1))));
+    }
+
+    /// Randomized interleaving of installs, removes, and lookups: every
+    /// cached lookup must agree with a fresh wildcard scan of the same
+    /// table state.
+    #[test]
+    fn cache_agrees_with_cold_lookup_under_random_churn() {
+        use proptest::test_runner::TestRng;
+        let mut rng = TestRng::from_name("cache_agrees_with_cold_lookup_under_random_churn");
+        let mut t = FlowTable::new();
+
+        // Small universes force overlap between rules and traffic.
+        let rand_ip = |rng: &mut TestRng| ip(&format!("10.0.{}.{}", rng.below(2), rng.below(4)));
+        let rand_key =
+            |rng: &mut TestRng| FlowKey::tcp(rand_ip(rng), rng.below(3) as u16, rand_ip(rng), 80);
+        let rand_pattern = |rng: &mut TestRng| match rng.below(4) {
+            0 => HeaderFieldList::any(),
+            1 => HeaderFieldList::from_src_subnet(IpPrefix::new(rand_ip(rng), 24)),
+            2 => HeaderFieldList::from_dst_subnet(IpPrefix::new(rand_ip(rng), 30)),
+            _ => HeaderFieldList::exact(rand_key(rng)),
+        };
+
+        for step in 0..2000 {
+            match rng.below(10) {
+                0..=1 => {
+                    let rule = FlowRule::new(
+                        rand_pattern(&mut rng),
+                        rng.below(4) as u16,
+                        SdnAction::Forward(NodeId(rng.below(4) as u32)),
+                    );
+                    let rule = if rng.below(3) == 0 {
+                        rule.from_port(NodeId(rng.below(3) as u32))
+                    } else {
+                        rule
+                    };
+                    t.install(rule);
+                }
+                2 => {
+                    let pat = rand_pattern(&mut rng);
+                    t.remove(&pat);
+                }
+                _ => {
+                    let key = rand_key(&mut rng);
+                    let port = NodeId(rng.below(3) as u32);
+                    assert_eq!(
+                        t.lookup(&key, port),
+                        t.lookup_uncached(&key, port),
+                        "step {step}: cache diverged from cold lookup"
+                    );
+                }
+            }
+        }
+        assert!(t.cache_hits > 0, "churn test never exercised the cache fast path");
     }
 }

@@ -34,11 +34,13 @@ pub enum Frame {
 
 impl Frame {
     /// Modeled wire size, for transmission-time and byte accounting.
+    /// O(fields) arithmetic — control messages are *not* serialized to
+    /// learn their length (see [`wire::encoded_len`]).
     pub fn wire_len(&self) -> usize {
         match self {
             Frame::Data(p) => p.wire_len(),
             // length prefix + encoded body
-            Frame::Control(m) => 4 + wire::encode(m).len(),
+            Frame::Control(m) => 4 + wire::encoded_len(m),
             Frame::Sdn(m) => m.wire_len(),
         }
     }
@@ -210,8 +212,16 @@ impl World {
     /// Run the frame past the fault rules: the first rule whose filter
     /// matches *and* whose probability draw fires decides its fate. A
     /// draw is made on every filter match, fired or not, so a given
-    /// rule's stream depends only on the frames it sees.
-    fn apply_faults(&mut self, now: SimTime, from: NodeId, to: NodeId, frame: &Frame) -> Verdict {
+    /// rule's stream depends only on the frames it sees. `wire_len` is
+    /// the frame's size, computed once by the caller.
+    fn apply_faults(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        frame: &Frame,
+        wire_len: usize,
+    ) -> Verdict {
         let Some(fs) = self.fault.as_mut() else { return Verdict::Pass };
         for (rule, rng) in fs.rules.iter_mut() {
             if rule.from.is_some_and(|f| f != from)
@@ -227,12 +237,7 @@ impl World {
             }
             return match rule.action {
                 FaultAction::Drop => {
-                    fs.log.push(FaultRecord::Dropped {
-                        at: now,
-                        from,
-                        to,
-                        wire_len: frame.wire_len(),
-                    });
+                    fs.log.push(FaultRecord::Dropped { at: now, from, to, wire_len });
                     Verdict::Drop
                 }
                 FaultAction::Delay(by) => {
@@ -249,7 +254,10 @@ impl World {
     }
 
     fn send_frame(&mut self, now: SimTime, from: NodeId, to: NodeId, frame: Frame) {
-        let verdict = self.apply_faults(now, from, to, &frame);
+        // One length computation per scheduled frame: both the fault log
+        // and the transmission model reuse it.
+        let size = frame.wire_len();
+        let verdict = self.apply_faults(now, from, to, &frame, size);
         if matches!(verdict, Verdict::Drop) {
             return;
         }
@@ -259,7 +267,6 @@ impl World {
             link.held.push_back(frame);
             return;
         }
-        let size = frame.wire_len();
         let tx = SimDuration::transmission(size, link.bandwidth_bps);
         // Store-and-forward with output-queue serialization: transmission
         // begins when the link is free.

@@ -68,9 +68,14 @@ impl Metrics {
         }
     }
 
-    /// Bump a named counter.
+    /// Bump a named counter. Allocates the key only on the counter's
+    /// first use — steady-state increments are allocation-free.
     pub fn incr(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += by;
+        } else {
+            self.counters.insert(name.to_owned(), by);
+        }
     }
 
     /// Read a counter (0 when never bumped).
@@ -78,9 +83,14 @@ impl Metrics {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Record a duration sample under a name.
+    /// Record a duration sample under a name. Like [`Metrics::incr`],
+    /// only the first sample for a name allocates the key.
     pub fn sample(&mut self, name: &str, d: SimDuration) {
-        self.samples.entry(name.to_owned()).or_default().push(d);
+        if let Some(v) = self.samples.get_mut(name) {
+            v.push(d);
+        } else {
+            self.samples.insert(name.to_owned(), vec![d]);
+        }
     }
 
     /// All samples recorded under a name.

@@ -12,6 +12,8 @@
 //! and *placed* by the controller; reporting state is written by the MB
 //! and must never be cloned (double reporting).
 
+use bytes::Bytes;
+
 use crate::crypto::{self, VendorKey};
 use crate::error::{Error, Result};
 use crate::flow::HeaderFieldList;
@@ -45,13 +47,15 @@ pub enum StatePartition {
 /// [`open`](EncryptedChunk::open) one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncryptedChunk {
-    bytes: Vec<u8>,
+    /// Refcounted so decode can alias the receive buffer (zero-copy) and
+    /// cloning a chunk for re-send never duplicates the ciphertext.
+    bytes: Bytes,
 }
 
 impl EncryptedChunk {
     /// Seal a serialized piece of state under the MB's vendor key.
     pub fn seal(key: &VendorKey, nonce: u64, plaintext: &[u8]) -> Self {
-        EncryptedChunk { bytes: crypto::seal(key, nonce, plaintext) }
+        EncryptedChunk { bytes: crypto::seal(key, nonce, plaintext).into() }
     }
 
     /// Decrypt. Fails with [`Error::MalformedChunk`] when the chunk was
@@ -61,9 +65,11 @@ impl EncryptedChunk {
             .ok_or_else(|| Error::MalformedChunk("decryption checksum mismatch".into()))
     }
 
-    /// Construct directly from wire bytes (codec use only).
-    pub fn from_wire(bytes: Vec<u8>) -> Self {
-        EncryptedChunk { bytes }
+    /// Construct directly from wire bytes (codec use only). Accepts
+    /// anything convertible to [`Bytes`]; pass a `Bytes` view to alias
+    /// the receive buffer without copying.
+    pub fn from_wire(bytes: impl Into<Bytes>) -> Self {
+        EncryptedChunk { bytes: bytes.into() }
     }
 
     /// Raw wire bytes (codec use only).

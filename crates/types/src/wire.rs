@@ -14,6 +14,8 @@
 
 use std::net::Ipv4Addr;
 
+use bytes::Bytes;
+
 use crate::config::{ConfigValue, HierarchicalKey};
 use crate::error::{Error, Result};
 use crate::flow::{FlowKey, HeaderFieldList, IpPrefix, Proto};
@@ -461,11 +463,21 @@ mod err_kind {
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// The refcounted owner of `buf`, when decoding from one. Lets
+    /// [`Reader::bytes_shared`] hand out zero-copy views instead of
+    /// copying every payload.
+    shared: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader { buf, pos: 0, shared: None }
+    }
+
+    /// A reader over a refcounted buffer: blob fields decode as zero-copy
+    /// views sharing `buf`'s storage.
+    pub fn new_shared(buf: &'a Bytes) -> Self {
+        Reader { buf, pos: 0, shared: Some(buf) }
     }
 
     fn need(&self, n: usize) -> Result<()> {
@@ -514,6 +526,23 @@ impl<'a> Reader<'a> {
         }
         self.need(n)?;
         let v = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Like [`Reader::bytes`], but returns a refcounted [`Bytes`]. When
+    /// the reader was built with [`Reader::new_shared`] this is a
+    /// zero-copy view into the receive buffer; otherwise it copies once.
+    pub fn bytes_shared(&mut self) -> Result<Bytes> {
+        let n = self.u32()? as usize;
+        if n > MAX_MESSAGE {
+            return Err(Error::Codec(format!("blob length {n} exceeds limit")));
+        }
+        self.need(n)?;
+        let v = match self.shared {
+            Some(src) => src.slice(self.pos..self.pos + n),
+            None => Bytes::from(self.buf[self.pos..self.pos + n].to_vec()),
+        };
         self.pos += n;
         Ok(v)
     }
@@ -643,18 +672,13 @@ impl<'a> Reader<'a> {
         let tcp_flags = self.u8()?;
         let seq = self.u32()?;
         let http_request = self.bool()?;
-        let payload = self.bytes()?;
-        Ok(Packet {
-            id,
-            key,
-            meta: PacketMeta { tcp_flags, seq, http_request },
-            payload: payload.into(),
-        })
+        let payload = self.bytes_shared()?;
+        Ok(Packet { id, key, meta: PacketMeta { tcp_flags, seq, http_request }, payload })
     }
 
     fn chunk(&mut self) -> Result<StateChunk> {
         let key = self.hfl()?;
-        let data = EncryptedChunk::from_wire(self.bytes()?);
+        let data = EncryptedChunk::from_wire(self.bytes_shared()?);
         Ok(StateChunk { key, data })
     }
 }
@@ -874,9 +898,161 @@ pub fn encode(msg: &Message) -> Vec<u8> {
     w.into_bytes()
 }
 
+// ---------------------------------------------------------------------------
+// Arithmetic length accounting
+// ---------------------------------------------------------------------------
+//
+// `encoded_len` mirrors `encode` field-for-field but only sums sizes, so
+// the simulator's transmission-time/byte accounting never serializes a
+// message it isn't actually putting on a real socket. The two are kept in
+// lockstep by a generator-based test (`encoded_len_matches_encode`)
+// covering every `Message` variant.
+
+/// Size of an encoded [`FlowKey`]: two IPs, two ports, one proto byte.
+const FLOW_KEY_LEN: usize = 4 + 4 + 2 + 2 + 1;
+
+const fn opt_u16_len(v: Option<u16>) -> usize {
+    match v {
+        None => 1,
+        Some(_) => 3,
+    }
+}
+
+fn hfl_len(h: &HeaderFieldList) -> usize {
+    // nw_src (ip+len) + nw_dst (ip+len) + proto tag byte.
+    (4 + 1) + (4 + 1) + opt_u16_len(h.tp_src) + opt_u16_len(h.tp_dst) + 1
+}
+
+const fn blob_len(n: usize) -> usize {
+    4 + n
+}
+
+fn str_len(s: &str) -> usize {
+    blob_len(s.len())
+}
+
+fn hkey_len(k: &HierarchicalKey) -> usize {
+    4 + k.segments().iter().map(|s| str_len(s)).sum::<usize>()
+}
+
+fn config_values_len(vs: &[ConfigValue]) -> usize {
+    4 + vs
+        .iter()
+        .map(|v| {
+            1 + match v {
+                ConfigValue::Str(s) => str_len(s),
+                ConfigValue::Int(_) => 8,
+                ConfigValue::Bool(_) => 1,
+            }
+        })
+        .sum::<usize>()
+}
+
+fn packet_len(p: &Packet) -> usize {
+    // id + flow key + tcp_flags + seq + http_request + payload blob.
+    8 + FLOW_KEY_LEN + 1 + 4 + 1 + blob_len(p.payload.len())
+}
+
+fn chunk_len(c: &StateChunk) -> usize {
+    hfl_len(&c.key) + blob_len(c.data.len())
+}
+
+fn error_len(e: &Error) -> usize {
+    1 + match e {
+        Error::GranularityTooFine { requested, native } => hfl_len(requested) + str_len(native),
+        Error::NoSuchConfigKey(k) => str_len(k),
+        Error::InvalidConfigValue { key, reason } => str_len(key) + str_len(reason),
+        Error::UnknownMb(_) => 4,
+        Error::UnsupportedStateClass(c) => str_len(c),
+        Error::MalformedChunk(why) => str_len(why),
+        Error::MergeNotPermitted(why) => str_len(why),
+        Error::Codec(why) => str_len(why),
+        Error::Transport(why) => str_len(why),
+        Error::Timeout { .. } => 8,
+        Error::MbUnreachable(_) => 4,
+        Error::OpFailed(why) => str_len(why),
+    }
+}
+
+/// Exact length of `encode(msg)` without serializing: an O(fields)
+/// arithmetic walk instead of an O(bytes) buffer build. Guaranteed equal
+/// to `encode(msg).len()` for every message.
+pub fn encoded_len(msg: &Message) -> usize {
+    // Every variant starts with a 1-byte tag; all but `EventMsg` follow
+    // with an 8-byte op id.
+    match msg {
+        Message::GetConfig { key, .. } | Message::DelConfig { key, .. } => 1 + 8 + hkey_len(key),
+        Message::SetConfig { key, values, .. } => 1 + 8 + hkey_len(key) + config_values_len(values),
+        Message::GetSupportPerflow { key, .. }
+        | Message::DelSupportPerflow { key, .. }
+        | Message::GetReportPerflow { key, .. }
+        | Message::DelReportPerflow { key, .. }
+        | Message::GetStats { key, .. } => 1 + 8 + hfl_len(key),
+        Message::PutSupportPerflow { chunk, .. }
+        | Message::PutReportPerflow { chunk, .. }
+        | Message::Chunk { chunk, .. } => 1 + 8 + chunk_len(chunk),
+        Message::GetSupportShared { .. }
+        | Message::GetReportShared { .. }
+        | Message::DisableEvents { .. }
+        | Message::OpAck { .. }
+        | Message::EndSync { .. } => 1 + 8,
+        Message::PutSupportShared { chunk, .. }
+        | Message::PutReportShared { chunk, .. }
+        | Message::SharedChunk { chunk, .. } => 1 + 8 + blob_len(chunk.len()),
+        Message::EnableEvents { filter, .. } => {
+            let codes = match &filter.codes {
+                None => 1,
+                Some(cs) => 1 + 4 + 4 * cs.len(),
+            };
+            let key = match &filter.key {
+                None => 1,
+                Some(h) => 1 + hfl_len(h),
+            };
+            1 + 8 + codes + key
+        }
+        Message::ReprocessPacket { packet, .. } => 1 + 8 + FLOW_KEY_LEN + packet_len(packet),
+        Message::GetAck { .. } => 1 + 8 + 4,
+        Message::PutAck { key, .. } => {
+            1 + 8
+                + match key {
+                    None => 1,
+                    Some(k) => 1 + hfl_len(k),
+                }
+        }
+        Message::ConfigValues { pairs, .. } => {
+            1 + 8
+                + 4
+                + pairs.iter().map(|(k, vs)| hkey_len(k) + config_values_len(vs)).sum::<usize>()
+        }
+        Message::Stats { .. } => 1 + 8 + 6 * 8,
+        Message::EventMsg { event } => match event {
+            Event::Reprocess { packet, .. } => 1 + 8 + FLOW_KEY_LEN + packet_len(packet),
+            Event::Introspection { values, .. } => {
+                1 + 4
+                    + FLOW_KEY_LEN
+                    + 4
+                    + values.iter().map(|(k, v)| str_len(k) + str_len(v)).sum::<usize>()
+            }
+        },
+        Message::ErrorMsg { error, .. } => 1 + 8 + error_len(error),
+    }
+}
+
 /// Decode a message body produced by [`encode`]. Rejects trailing bytes.
+/// Blob fields (packet payloads, chunk ciphertext) are copied out; use
+/// [`decode_bytes`] to alias a refcounted receive buffer instead.
 pub fn decode(buf: &[u8]) -> Result<Message> {
-    let mut r = Reader::new(buf);
+    decode_with(Reader::new(buf))
+}
+
+/// Decode a message body from a refcounted buffer. Packet payloads and
+/// state-chunk ciphertext in the result are zero-copy views sharing
+/// `buf`'s storage — no per-blob allocation.
+pub fn decode_bytes(buf: &Bytes) -> Result<Message> {
+    decode_with(Reader::new_shared(buf))
+}
+
+fn decode_with(mut r: Reader<'_>) -> Result<Message> {
     let t = r.u8()?;
     let msg = match t {
         tag::GET_CONFIG => Message::GetConfig { op: OpId(r.u64()?), key: r.hkey()? },
@@ -901,12 +1077,12 @@ pub fn decode(buf: &[u8]) -> Result<Message> {
         tag::GET_SUPPORT_SHARED => Message::GetSupportShared { op: OpId(r.u64()?) },
         tag::PUT_SUPPORT_SHARED => Message::PutSupportShared {
             op: OpId(r.u64()?),
-            chunk: EncryptedChunk::from_wire(r.bytes()?),
+            chunk: EncryptedChunk::from_wire(r.bytes_shared()?),
         },
         tag::GET_REPORT_SHARED => Message::GetReportShared { op: OpId(r.u64()?) },
         tag::PUT_REPORT_SHARED => Message::PutReportShared {
             op: OpId(r.u64()?),
-            chunk: EncryptedChunk::from_wire(r.bytes()?),
+            chunk: EncryptedChunk::from_wire(r.bytes_shared()?),
         },
         tag::GET_STATS => Message::GetStats { op: OpId(r.u64()?), key: r.hfl()? },
         tag::ENABLE_EVENTS => {
@@ -935,7 +1111,7 @@ pub fn decode(buf: &[u8]) -> Result<Message> {
         tag::GET_ACK => Message::GetAck { op: OpId(r.u64()?), count: r.u32()? },
         tag::SHARED_CHUNK => Message::SharedChunk {
             op: OpId(r.u64()?),
-            chunk: EncryptedChunk::from_wire(r.bytes()?),
+            chunk: EncryptedChunk::from_wire(r.bytes_shared()?),
         },
         tag::PUT_ACK => {
             let op = OpId(r.u64()?);
@@ -1022,7 +1198,9 @@ pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Option<Message>> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
-    decode(&body).map(Some)
+    // Decode through `Bytes` so packet payloads and state chunks alias
+    // the receive buffer instead of copying out of it.
+    decode_bytes(&Bytes::from(body)).map(Some)
 }
 
 #[cfg(test)]
@@ -1178,6 +1356,207 @@ mod tests {
             out.push(m);
         }
         assert_eq!(msgs, out);
+    }
+
+    /// Generator for `encoded_len_matches_encode_for_every_variant`:
+    /// builds a randomized instance of the variant at `idx`, exercising
+    /// every size-dependent field (strings, blobs, options, vectors).
+    mod gen {
+        use super::*;
+        use crate::flow::IpPrefix;
+        use proptest::test_runner::TestRng;
+
+        pub fn string(rng: &mut TestRng) -> String {
+            let len = rng.below(24) as usize;
+            (0..len).map(|_| char::from(b'a' + rng.below(26) as u8)).collect()
+        }
+
+        pub fn flow_key(rng: &mut TestRng) -> FlowKey {
+            let ip = |rng: &mut TestRng| Ipv4Addr::from(rng.next_u64() as u32);
+            let key = FlowKey::tcp(ip(rng), rng.next_u64() as u16, ip(rng), rng.next_u64() as u16);
+            match rng.below(3) {
+                0 => key,
+                1 => FlowKey { proto: crate::flow::Proto::Udp, ..key },
+                _ => FlowKey { proto: crate::flow::Proto::Icmp, ..key },
+            }
+        }
+
+        pub fn hfl(rng: &mut TestRng) -> HeaderFieldList {
+            HeaderFieldList {
+                nw_src: IpPrefix::new(Ipv4Addr::from(rng.next_u64() as u32), rng.below(33) as u8),
+                nw_dst: IpPrefix::new(Ipv4Addr::from(rng.next_u64() as u32), rng.below(33) as u8),
+                tp_src: (rng.below(2) == 0).then(|| rng.next_u64() as u16),
+                tp_dst: (rng.below(2) == 0).then(|| rng.next_u64() as u16),
+                proto: match rng.below(4) {
+                    0 => None,
+                    1 => Some(crate::flow::Proto::Tcp),
+                    2 => Some(crate::flow::Proto::Udp),
+                    _ => Some(crate::flow::Proto::Icmp),
+                },
+            }
+        }
+
+        pub fn shared_chunk(rng: &mut TestRng) -> EncryptedChunk {
+            let key = crate::crypto::VendorKey::derive("gen");
+            let n = rng.below(64) as usize;
+            let plain: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+            EncryptedChunk::seal(&key, rng.next_u64(), &plain)
+        }
+
+        pub fn chunk(rng: &mut TestRng) -> StateChunk {
+            StateChunk::new(hfl(rng), shared_chunk(rng))
+        }
+
+        pub fn hkey(rng: &mut TestRng) -> HierarchicalKey {
+            let depth = rng.below(4);
+            let path: Vec<String> = (0..depth).map(|_| string(rng)).collect();
+            HierarchicalKey::parse(&path.join("/"))
+        }
+
+        pub fn values(rng: &mut TestRng) -> Vec<ConfigValue> {
+            (0..rng.below(5))
+                .map(|_| match rng.below(3) {
+                    0 => ConfigValue::Str(string(rng)),
+                    1 => ConfigValue::Int(rng.next_u64() as i64),
+                    _ => ConfigValue::Bool(rng.below(2) == 0),
+                })
+                .collect()
+        }
+
+        pub fn packet(rng: &mut TestRng) -> Packet {
+            let n = rng.below(256) as usize;
+            let payload: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+            Packet::new(rng.next_u64(), flow_key(rng), payload)
+        }
+
+        pub fn error(rng: &mut TestRng) -> Error {
+            match rng.below(12) {
+                0 => Error::GranularityTooFine { requested: hfl(rng), native: string(rng) },
+                1 => Error::NoSuchConfigKey(string(rng)),
+                2 => Error::InvalidConfigValue { key: string(rng), reason: string(rng) },
+                3 => Error::UnknownMb(MbId(rng.next_u64() as u32)),
+                4 => Error::UnsupportedStateClass(string(rng)),
+                5 => Error::MalformedChunk(string(rng)),
+                6 => Error::MergeNotPermitted(string(rng)),
+                7 => Error::Codec(string(rng)),
+                8 => Error::Transport(string(rng)),
+                9 => Error::Timeout { op: OpId(rng.next_u64()) },
+                10 => Error::MbUnreachable(MbId(rng.next_u64() as u32)),
+                _ => Error::OpFailed(string(rng)),
+            }
+        }
+
+        pub fn filter(rng: &mut TestRng) -> EventFilter {
+            EventFilter {
+                codes: (rng.below(2) == 0)
+                    .then(|| (0..rng.below(5)).map(|_| rng.next_u64() as u32).collect()),
+                key: (rng.below(2) == 0).then(|| hfl(rng)),
+            }
+        }
+
+        /// One randomized message of the variant at `idx` (0..=27 covers
+        /// the whole enum; keep in sync with `Message`).
+        pub const VARIANTS: u64 = 28;
+        pub fn message(rng: &mut TestRng, idx: u64) -> Message {
+            let op = OpId(rng.next_u64());
+            match idx {
+                0 => Message::GetConfig { op, key: hkey(rng) },
+                1 => Message::SetConfig { op, key: hkey(rng), values: values(rng) },
+                2 => Message::DelConfig { op, key: hkey(rng) },
+                3 => Message::GetSupportPerflow { op, key: hfl(rng) },
+                4 => Message::PutSupportPerflow { op, chunk: chunk(rng) },
+                5 => Message::DelSupportPerflow { op, key: hfl(rng) },
+                6 => Message::GetReportPerflow { op, key: hfl(rng) },
+                7 => Message::PutReportPerflow { op, chunk: chunk(rng) },
+                8 => Message::DelReportPerflow { op, key: hfl(rng) },
+                9 => Message::GetSupportShared { op },
+                10 => Message::PutSupportShared { op, chunk: shared_chunk(rng) },
+                11 => Message::GetReportShared { op },
+                12 => Message::PutReportShared { op, chunk: shared_chunk(rng) },
+                13 => Message::GetStats { op, key: hfl(rng) },
+                14 => Message::EnableEvents { op, filter: filter(rng) },
+                15 => Message::DisableEvents { op },
+                16 => Message::ReprocessPacket { op, key: flow_key(rng), packet: packet(rng) },
+                17 => Message::EndSync { op },
+                18 => Message::Chunk { op, chunk: chunk(rng) },
+                19 => Message::GetAck { op, count: rng.next_u64() as u32 },
+                20 => Message::SharedChunk { op, chunk: shared_chunk(rng) },
+                21 => Message::PutAck { op, key: (rng.below(2) == 0).then(|| hfl(rng)) },
+                22 => Message::OpAck { op },
+                23 => Message::ConfigValues {
+                    op,
+                    pairs: (0..rng.below(4)).map(|_| (hkey(rng), values(rng))).collect(),
+                },
+                24 => Message::Stats {
+                    op,
+                    stats: StateStats {
+                        perflow_support_chunks: rng.below(100) as usize,
+                        perflow_support_bytes: rng.below(10_000) as usize,
+                        perflow_report_chunks: rng.below(100) as usize,
+                        perflow_report_bytes: rng.below(10_000) as usize,
+                        shared_support_bytes: rng.below(10_000) as usize,
+                        shared_report_bytes: rng.below(10_000) as usize,
+                    },
+                },
+                25 => Message::EventMsg {
+                    event: Event::Reprocess { op, key: flow_key(rng), packet: packet(rng) },
+                },
+                26 => Message::EventMsg {
+                    event: Event::Introspection {
+                        code: rng.next_u64() as u32,
+                        key: flow_key(rng),
+                        values: (0..rng.below(4)).map(|_| (string(rng), string(rng))).collect(),
+                    },
+                },
+                _ => Message::ErrorMsg { op, error: error(rng) },
+            }
+        }
+    }
+
+    /// The tentpole property: the arithmetic [`encoded_len`] agrees with
+    /// the serializer for *every* message variant under randomized field
+    /// contents — so `Frame::wire_len` can price a frame without
+    /// encoding it.
+    #[test]
+    fn encoded_len_matches_encode_for_every_variant() {
+        let mut rng = proptest::test_runner::TestRng::from_name(
+            "encoded_len_matches_encode_for_every_variant",
+        );
+        for variant in 0..gen::VARIANTS {
+            for case in 0..64 {
+                let m = gen::message(&mut rng, variant);
+                let enc = encode(&m);
+                assert_eq!(encoded_len(&m), enc.len(), "variant {variant} case {case}: {m:?}");
+                // And the arithmetic length must describe a decodable
+                // encoding (guards against encode/decode drift too).
+                assert_eq!(decode(&enc).unwrap(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_bytes_aliases_receive_buffer() {
+        let key = VendorKey::derive("t");
+        let m = Message::PutSupportPerflow {
+            op: OpId(1),
+            chunk: StateChunk::new(
+                HeaderFieldList::exact(fk()),
+                EncryptedChunk::seal(&key, 1, &[7u8; 512]),
+            ),
+        };
+        let wire = Bytes::from(encode(&m));
+        let dec = decode_bytes(&wire).unwrap();
+        assert_eq!(dec, m);
+        // The decoded chunk must be a view into `wire`, not a copy: its
+        // contents live inside the original allocation.
+        let Message::PutSupportPerflow { chunk, .. } = dec else { unreachable!() };
+        let outer: &[u8] = &wire;
+        let inner: &[u8] = chunk.data.as_wire();
+        let outer_range = outer.as_ptr() as usize..outer.as_ptr() as usize + outer.len();
+        assert!(
+            outer_range.contains(&(inner.as_ptr() as usize)),
+            "decoded chunk bytes were copied instead of aliased"
+        );
     }
 
     #[test]

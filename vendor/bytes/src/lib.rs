@@ -13,6 +13,10 @@ pub enum Bytes {
     Static(&'static [u8]),
     /// Shared owned storage.
     Shared(Arc<[u8]>),
+    /// A sub-range view into shared storage. Created by [`Bytes::slice`];
+    /// keeps the whole backing allocation alive but exposes only
+    /// `buf[start..end]`.
+    View { buf: Arc<[u8]>, start: usize, end: usize },
 }
 
 impl Bytes {
@@ -38,6 +42,27 @@ impl Bytes {
         match self {
             Bytes::Static(s) => s,
             Bytes::Shared(a) => a,
+            Bytes::View { buf, start, end } => &buf[*start..*end],
+        }
+    }
+
+    /// A zero-copy view of `self[range]`: shares the backing storage
+    /// (refcount bump) instead of copying the bytes.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        match self {
+            Bytes::Static(s) => Bytes::Static(&s[range]),
+            Bytes::Shared(a) => {
+                Bytes::View { buf: Arc::clone(a), start: range.start, end: range.end }
+            }
+            Bytes::View { buf, start, .. } => Bytes::View {
+                buf: Arc::clone(buf),
+                start: start + range.start,
+                end: start + range.end,
+            },
         }
     }
 
@@ -166,5 +191,27 @@ mod tests {
     fn static_and_owned_compare_equal() {
         assert_eq!(Bytes::from_static(b"abc"), Bytes::from(b"abc".to_vec()));
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slice_is_a_view_not_a_copy() {
+        let b = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let s = b.slice(10..20);
+        assert_eq!(&*s, &(10u8..20).collect::<Vec<u8>>()[..]);
+        // Slicing a slice re-bases into the original storage.
+        let ss = s.slice(2..5);
+        assert_eq!(&*ss, &[12u8, 13, 14]);
+        // Static slices stay static.
+        let st = Bytes::from_static(b"hello world").slice(6..11);
+        assert_eq!(&*st, b"world");
+        // Empty edge cases.
+        assert!(b.slice(0..0).is_empty());
+        assert!(b.slice(100..100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_rejects_out_of_bounds() {
+        let _ = Bytes::from(vec![1u8, 2, 3]).slice(1..5);
     }
 }
