@@ -131,7 +131,7 @@ impl ControlApp for NatFailoverApp {
                     self.finish(api);
                 }
             }
-            Completion::Failed { op, error } if self.restoring => {
+            Completion::Failed { op, error, .. } if self.restoring => {
                 // A restoration write was aborted (deadline, unreachable
                 // standby, southbound rejection). Re-drive it: the write
                 // is idempotent — it sets the same static mapping — so

@@ -61,8 +61,11 @@ pub enum Completion {
     MergeComplete { op: OpId },
     /// An operation failed. Carries the typed [`Error`] so applications
     /// can branch on the failure kind (timeout, unreachable MB,
-    /// granularity, ...) instead of parsing a message string.
-    Failed { op: OpId, error: Error },
+    /// granularity, ...) instead of parsing a message string, plus the
+    /// number of buffered reprocess events the abort discarded — before
+    /// this was reported, the app always saw a count of zero because the
+    /// rollback path cleared the buffer first.
+    Failed { op: OpId, error: Error, dropped_events: usize },
     /// An introspection event arrived from a middlebox the application
     /// subscribed to.
     MbEvent { mb: MbId, code: u32, key: FlowKey, values: Vec<(String, String)> },
@@ -84,19 +87,35 @@ impl Completion {
     }
 }
 
-/// Which southbound exchange a sub-operation id belongs to.
+/// Which southbound exchange a sub-operation id belongs to. Put roles
+/// carry the controller-assigned per-op chunk sequence number `seq`, so
+/// a duplicated `PutAck` (fault injection, or a re-sent put racing its
+/// original ack) is deduplicated by `(op, seq)` instead of double-
+/// decrementing the outstanding-put count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum SubRole {
     GetSupport,
     GetReport,
-    PutSupport { key: HeaderFieldList },
-    PutReport { key: HeaderFieldList },
+    PutSupport {
+        key: HeaderFieldList,
+        seq: u64,
+    },
+    PutReport {
+        key: HeaderFieldList,
+        seq: u64,
+    },
     GetSharedSupport,
     GetSharedReport,
-    PutSharedSupport,
-    PutSharedReport,
+    PutSharedSupport {
+        seq: u64,
+    },
+    PutSharedReport {
+        seq: u64,
+    },
     DelSupport,
     DelReport,
+    /// Shared-state rollback (`DeleteState`) after a clone/merge abort.
+    DelShared,
     Simple,
 }
 
@@ -111,6 +130,7 @@ struct BufferedEvent {
 /// stats). The stored request keeps its original sub-op id, so a
 /// duplicate reply after a retry lands on an already-completed op and
 /// is ignored.
+#[derive(Clone)]
 struct RetryState {
     target: MbId,
     request: Message,
@@ -132,6 +152,7 @@ enum OpKind {
 }
 
 /// Per-operation progress.
+#[derive(Clone)]
 struct OpState {
     kind: OpKind,
     src: MbId,
@@ -168,6 +189,38 @@ struct OpState {
     retry: Option<RetryState>,
     /// Statistics: events forwarded under this op.
     pub events_forwarded: u64,
+
+    // ---- resumable-transfer bookkeeping ----
+    /// Next per-op chunk sequence number (tags put sub-roles).
+    next_chunk_seq: u64,
+    /// Sequence numbers whose `PutAck` has been processed — the
+    /// (op, chunk_seq) dedup a duplicated ack must not get past.
+    acked_seqs: HashSet<u64>,
+    /// Get sub-ops that have fully completed (stream closed); dedups
+    /// duplicated `GetAck`s and re-streamed `SharedChunk`s.
+    done_gets: HashSet<OpId>,
+    /// Chunk identities already streamed (is_report, key): a duplicated
+    /// or re-streamed chunk is dropped instead of creating a second put.
+    streamed: HashSet<(bool, HeaderFieldList)>,
+    /// Distinct chunk keys received per get sub-op, compared against the
+    /// `GetAck` count so a dropped chunk leaves the get open for resume.
+    get_seen: HashMap<OpId, HashSet<HeaderFieldList>>,
+    /// The chunk count each get's `GetAck` announced.
+    get_expected: HashMap<OpId, u32>,
+    /// The original get requests, re-sent verbatim (same sub ids) on
+    /// resume; the source's moved-marks and our chunk dedup make the
+    /// re-issue idempotent.
+    get_reqs: Vec<(OpId, Message)>,
+    /// Puts issued but not yet acked, by sequence number, re-sent
+    /// verbatim (same sub ids) on resume.
+    unacked_puts: Vec<(u64, Message)>,
+    /// Shared-state put sub-ops issued to the destination, in order —
+    /// the rollback list an abort sends in `DeleteState`.
+    shared_puts: Vec<OpId>,
+    /// Remaining resume attempts (config `max_transfer_resumes`).
+    resumes_left: u32,
+    /// Parked while an endpoint is unreachable, awaiting resume.
+    suspended: bool,
 }
 
 /// Tunable controller parameters.
@@ -201,6 +254,16 @@ pub struct ControllerConfig {
     /// requests (writes, transfers) are never retried — they fail at
     /// the deadline instead.
     pub max_retries: u32,
+    /// Maximum number of times a stalled, timed-out, or disconnected
+    /// transfer (move/clone/merge) is resumed from its last acked chunk
+    /// before the controller gives up and aborts. 0 (the default)
+    /// preserves the legacy fail-fast behaviour: any stall or endpoint
+    /// loss aborts the operation immediately.
+    pub max_transfer_resumes: u32,
+    /// How long a transfer may sit with outstanding gets or puts and no
+    /// message activity before `tick` treats it as stalled (a message
+    /// was lost) and resumes it.
+    pub resume_after: SimDuration,
 }
 
 impl Default for ControllerConfig {
@@ -212,11 +275,38 @@ impl Default for ControllerConfig {
             op_deadline: SimDuration::from_secs(10),
             retry_backoff: SimDuration::from_millis(100),
             max_retries: 3,
+            max_transfer_resumes: 0,
+            resume_after: SimDuration::from_millis(400),
         }
     }
 }
 
 /// The MB controller state machine.
+///
+/// One owed state delete (see `ControllerCore::pending_deletes`).
+#[derive(Debug, Clone)]
+struct PendingDelete {
+    mb: MbId,
+    /// Sub-op id reused verbatim on every (re)send, so the ack
+    /// (`DeleteAck` or `OpAck`) matches no matter which attempt got
+    /// through.
+    sub: OpId,
+    /// The delete message itself, re-sent as-is (all delete variants
+    /// are idempotent at the MB).
+    msg: Message,
+    /// Next (re)send instant; `None` parks the entry until the MB
+    /// reattaches. `SimTime::ZERO` means due at the next tick.
+    due: Option<SimTime>,
+    /// Re-sends left before giving up (bounds the tick chain so a
+    /// destination that stops acking cannot keep the controller's
+    /// maintenance timer alive forever).
+    left: u32,
+}
+
+/// `Clone` so embeddings can journal a snapshot of the whole machine
+/// (e.g. `ControllerNode`'s crash/restore journal) and restore it after
+/// a controller crash without replaying the message history.
+#[derive(Clone)]
 pub struct ControllerCore {
     /// Registered middleboxes (application-visible handles).
     mbs: Vec<MbId>,
@@ -229,6 +319,17 @@ pub struct ControllerCore {
     /// northbound call naming one fails fast with
     /// [`Error::MbUnreachable`] until `mark_reachable` clears it.
     unreachable: HashSet<MbId>,
+    /// State deletes owed to an MB: shared-state rollbacks
+    /// (`DeleteState`) after a clone/merge abort, per-flow deletes at
+    /// the destination after a move abort, and per-flow deletes at the
+    /// source when a completed move quiesces. An entry lives until the
+    /// MB's ack closes it: the delete is re-sent with backoff from
+    /// `tick` (every variant is idempotent at the MB — the put log
+    /// revokes by sub-op id; per-flow deletes delete by pattern),
+    /// parked while the MB is unreachable, and re-sent on reattach.
+    /// Without this ledger a single dropped delete would orphan moved
+    /// or merged state forever.
+    pending_deletes: Vec<PendingDelete>,
     pub config: ControllerConfig,
     /// Counters for experiments (messages brokered, events buffered...).
     pub messages_handled: u64,
@@ -245,6 +346,7 @@ impl ControllerCore {
             sub_ops: HashMap::new(),
             subscriptions: HashMap::new(),
             unreachable: HashSet::new(),
+            pending_deletes: Vec::new(),
             config,
             messages_handled: 0,
             events_buffered_peak: 0,
@@ -272,7 +374,9 @@ impl ControllerCore {
 
     /// Fresh per-op state with the deadline stamped from config.
     fn new_op_state(&self, kind: OpKind, src: MbId, dst: MbId, now: SimTime) -> OpState {
-        OpState::new(kind, src, dst, now, now.after(self.config.op_deadline))
+        let mut st = OpState::new(kind, src, dst, now, now.after(self.config.op_deadline));
+        st.resumes_left = self.config.max_transfer_resumes;
+        st
     }
 
     /// First unusable MB among `mbs`: unregistered handles surface as
@@ -306,7 +410,7 @@ impl ControllerCore {
         st.completed = true;
         st.quiesced = true;
         self.ops.insert(op, st);
-        out.push(Action::Notify(Completion::Failed { op, error }));
+        out.push(Action::Notify(Completion::Failed { op, error, dropped_events: 0 }));
     }
 
     /// Arm the retry schedule for an idempotent simple request. The
@@ -453,11 +557,15 @@ impl ControllerCore {
         self.ops.insert(op, st);
         let gs = self.alloc_sub(op, SubRole::GetSupport);
         let gr = self.alloc_sub(op, SubRole::GetReport);
+        let mgs = Message::GetSupportPerflow { op: gs, key };
+        let mgr = Message::GetReportPerflow { op: gr, key };
         if let Some(st) = self.ops.get_mut(&op) {
             st.get_subs.extend([gs, gr]);
+            st.get_reqs.push((gs, mgs.clone()));
+            st.get_reqs.push((gr, mgr.clone()));
         }
-        out.push(Action::ToMb(src, Message::GetSupportPerflow { op: gs, key }));
-        out.push(Action::ToMb(src, Message::GetReportPerflow { op: gr, key }));
+        out.push(Action::ToMb(src, mgs));
+        out.push(Action::ToMb(src, mgr));
         op
     }
 
@@ -478,10 +586,12 @@ impl ControllerCore {
         st.gets_outstanding = 1;
         self.ops.insert(op, st);
         let g = self.alloc_sub(op, SubRole::GetSharedSupport);
+        let mg = Message::GetSupportShared { op: g };
         if let Some(st) = self.ops.get_mut(&op) {
             st.get_subs.push(g);
+            st.get_reqs.push((g, mg.clone()));
         }
-        out.push(Action::ToMb(src, Message::GetSupportShared { op: g }));
+        out.push(Action::ToMb(src, mg));
         op
     }
 
@@ -503,11 +613,15 @@ impl ControllerCore {
         self.ops.insert(op, st);
         let gs = self.alloc_sub(op, SubRole::GetSharedSupport);
         let gr = self.alloc_sub(op, SubRole::GetSharedReport);
+        let mgs = Message::GetSupportShared { op: gs };
+        let mgr = Message::GetReportShared { op: gr };
         if let Some(st) = self.ops.get_mut(&op) {
             st.get_subs.extend([gs, gr]);
+            st.get_reqs.push((gs, mgs.clone()));
+            st.get_reqs.push((gr, mgr.clone()));
         }
-        out.push(Action::ToMb(src, Message::GetSupportShared { op: gs }));
-        out.push(Action::ToMb(src, Message::GetReportShared { op: gr }));
+        out.push(Action::ToMb(src, mgs));
+        out.push(Action::ToMb(src, mgr));
         op
     }
 
@@ -541,66 +655,123 @@ impl ControllerCore {
             Message::Chunk { op: sub, chunk } => {
                 let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
                 let role = role.clone();
+                let is_report = match role {
+                    SubRole::GetSupport => false,
+                    SubRole::GetReport => true,
+                    _ => return,
+                };
                 let Some(st) = self.ops.get_mut(&parent) else { return };
+                if st.completed || st.quiesced {
+                    return;
+                }
+                st.last_activity = now;
+                st.get_seen.entry(sub).or_default().insert(chunk.key);
+                // A duplicated (fault-injected) or re-streamed (resume)
+                // chunk: its put — same sub id — is already in flight or
+                // acked, so issuing a second one would double-count.
+                if !st.streamed.insert((is_report, chunk.key)) {
+                    self.maybe_finish_get(parent, sub, out);
+                    return;
+                }
                 st.chunks += 1;
                 st.pending_keys.push(chunk.key);
                 st.puts_outstanding += 1;
-                st.last_activity = now;
+                let seq = st.next_chunk_seq;
+                st.next_chunk_seq += 1;
                 let dst = st.dst;
                 let (put_role, mk): (SubRole, fn(OpId, openmb_types::StateChunk) -> Message) =
-                    match role {
-                        SubRole::GetSupport => {
-                            (SubRole::PutSupport { key: chunk.key }, |op, chunk| {
-                                Message::PutSupportPerflow { op, chunk }
-                            })
-                        }
-                        SubRole::GetReport => {
-                            (SubRole::PutReport { key: chunk.key }, |op, chunk| {
-                                Message::PutReportPerflow { op, chunk }
-                            })
-                        }
-                        _ => return,
+                    if is_report {
+                        (SubRole::PutReport { key: chunk.key, seq }, |op, chunk| {
+                            Message::PutReportPerflow { op, chunk }
+                        })
+                    } else {
+                        (SubRole::PutSupport { key: chunk.key, seq }, |op, chunk| {
+                            Message::PutSupportPerflow { op, chunk }
+                        })
                     };
                 let put_sub = self.alloc_sub(parent, put_role);
-                out.push(Action::ToMb(dst, mk(put_sub, chunk)));
-            }
-            Message::GetAck { op: sub, count: _ } => {
-                let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                let m = mk(put_sub, chunk);
                 if let Some(st) = self.ops.get_mut(&parent) {
-                    st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
-                    st.last_activity = now;
+                    st.unacked_puts.push((seq, m.clone()));
                 }
-                self.maybe_complete(parent, out);
+                out.push(Action::ToMb(dst, m));
+                self.maybe_finish_get(parent, sub, out);
+            }
+            Message::GetAck { op: sub, count } => {
+                let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                let Some(st) = self.ops.get_mut(&parent) else { return };
+                if st.completed || st.quiesced || st.done_gets.contains(&sub) {
+                    return;
+                }
+                st.last_activity = now;
+                // The ack announces how many chunks the source streamed.
+                // The get only closes once that many distinct chunks have
+                // arrived — a dropped chunk leaves it open for resume
+                // instead of silently losing state.
+                st.get_expected.insert(sub, count);
+                self.maybe_finish_get(parent, sub, out);
             }
             Message::SharedChunk { op: sub, chunk } => {
                 let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
                 let role = role.clone();
+                if !matches!(role, SubRole::GetSharedSupport | SubRole::GetSharedReport) {
+                    return;
+                }
                 let Some(st) = self.ops.get_mut(&parent) else { return };
+                if st.completed || st.quiesced {
+                    return;
+                }
+                // Shared puts MERGE at the destination — not idempotent —
+                // so a duplicated SharedChunk must not produce a second
+                // put. The get sub id doubles as the dedup key: a shared
+                // get yields exactly one chunk.
+                if !st.done_gets.insert(sub) {
+                    return;
+                }
                 st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
                 st.puts_outstanding += 1;
                 st.chunks += 1;
                 st.last_activity = now;
+                let seq = st.next_chunk_seq;
+                st.next_chunk_seq += 1;
                 let dst = st.dst;
-                let (put_role, m): (SubRole, Message) = match role {
+                let (put_sub, m) = match role {
                     SubRole::GetSharedSupport => {
-                        let put_sub = self.alloc_sub(parent, SubRole::PutSharedSupport);
-                        (
-                            SubRole::PutSharedSupport,
-                            Message::PutSupportShared { op: put_sub, chunk },
-                        )
+                        let s = self.alloc_sub(parent, SubRole::PutSharedSupport { seq });
+                        (s, Message::PutSupportShared { op: s, chunk })
                     }
                     SubRole::GetSharedReport => {
-                        let put_sub = self.alloc_sub(parent, SubRole::PutSharedReport);
-                        (SubRole::PutSharedReport, Message::PutReportShared { op: put_sub, chunk })
+                        let s = self.alloc_sub(parent, SubRole::PutSharedReport { seq });
+                        (s, Message::PutReportShared { op: s, chunk })
                     }
-                    _ => return,
+                    _ => unreachable!(),
                 };
-                let _ = put_role;
+                if let Some(st) = self.ops.get_mut(&parent) {
+                    st.unacked_puts.push((seq, m.clone()));
+                    st.shared_puts.push(put_sub);
+                }
                 out.push(Action::ToMb(dst, m));
             }
             Message::PutAck { op: sub, key } => {
-                let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
+                let seq = match role {
+                    SubRole::PutSupport { seq, .. }
+                    | SubRole::PutReport { seq, .. }
+                    | SubRole::PutSharedSupport { seq }
+                    | SubRole::PutSharedReport { seq } => Some(*seq),
+                    _ => None,
+                };
                 if let Some(st) = self.ops.get_mut(&parent) {
+                    if let Some(seq) = seq {
+                        // Dedup by (op, chunk_seq): a duplicated PutAck —
+                        // fault injection, or a resumed put racing its
+                        // original ack — must not double-decrement the
+                        // outstanding-put count.
+                        if !st.acked_seqs.insert(seq) {
+                            return;
+                        }
+                        st.unacked_puts.retain(|(s, _)| *s != seq);
+                    }
                     st.puts_outstanding = st.puts_outstanding.saturating_sub(1);
                     st.last_activity = now;
                     if let Some(k) = key {
@@ -640,6 +811,12 @@ impl ControllerCore {
                     // A shared get that found no state: nothing to put.
                     SubRole::GetSharedSupport | SubRole::GetSharedReport => {
                         if let Some(st) = self.ops.get_mut(&parent) {
+                            // Same dedup key as SharedChunk: the stream
+                            // closes exactly once even if the empty-ack
+                            // is duplicated or re-elicited by a resume.
+                            if st.completed || st.quiesced || !st.done_gets.insert(sub) {
+                                return;
+                            }
                             st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
                             st.last_activity = now;
                         }
@@ -653,11 +830,21 @@ impl ControllerCore {
                             }
                         }
                     }
-                    SubRole::DelSupport | SubRole::DelReport => {
-                        // Quiescence deletes; nothing to report.
+                    SubRole::DelSupport | SubRole::DelReport | SubRole::DelShared => {
+                        // Quiescence/abort deletes; the ack closes the
+                        // ledger entry and stops the re-send chain.
+                        // Nothing to report northbound.
+                        self.pending_deletes.retain(|r| r.sub != sub);
                     }
                     _ => {}
                 }
+            }
+            Message::DeleteAck { op: sub, restored: _ } => {
+                // Confirmation of a shared-state rollback. The aborted
+                // op already reported its failure, so there is nothing
+                // left to notify; the ack closes the ledger entry and
+                // stops the re-send chain.
+                self.pending_deletes.retain(|r| r.sub != sub);
             }
             Message::ConfigValues { op: sub, pairs } => {
                 let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
@@ -730,6 +917,10 @@ impl ControllerCore {
                 // for transfers this also rolls back partially-put
                 // destination state and closes the sync window, so the
                 // op releases its bookkeeping instead of lingering open.
+                // A rejected delete also closes its ledger entry —
+                // the MB has spoken; re-sending cannot change the
+                // answer.
+                self.pending_deletes.retain(|r| r.sub != sub);
                 let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
                 self.abort_op(parent, error, out);
             }
@@ -741,15 +932,23 @@ impl ControllerCore {
 
     /// The embedding observed `mb` crash or become unreachable. Every
     /// in-flight operation touching it is aborted with
-    /// [`Error::MbUnreachable`]; subsequent northbound calls naming `mb`
-    /// fail fast until [`ControllerCore::mark_reachable`]. Completed
-    /// transfers awaiting quiescence are finalized instead of aborted —
-    /// their state already moved and the application already saw the
-    /// completion; recovering from a post-completion crash is the
-    /// application's job (see `apps::failover`).
+    /// [`Error::MbUnreachable`] — unless it is a transfer with resume
+    /// budget left, which is *parked* instead and resumed from its last
+    /// acked chunk when the endpoint reattaches. Subsequent northbound
+    /// calls naming `mb` fail fast until
+    /// [`ControllerCore::mark_reachable`]. Completed transfers awaiting
+    /// quiescence are finalized instead of aborted — their state already
+    /// moved and the application already saw the completion; recovering
+    /// from a post-completion crash is the application's job (see
+    /// `apps::failover`).
     pub fn mark_unreachable(&mut self, mb: MbId, out: &mut Vec<Action>) {
         if !self.unreachable.insert(mb) {
             return;
+        }
+        // Park owed deletes to this MB: no point re-sending into a
+        // dead connection, and reattach re-sends them anyway.
+        for r in self.pending_deletes.iter_mut().filter(|r| r.mb == mb) {
+            r.due = None;
         }
         let mut touched: Vec<OpId> = self
             .ops
@@ -768,15 +967,40 @@ impl ControllerCore {
                     // at the source, if the source is still up.
                     self.quiesce_op(op, out);
                 }
+            } else if matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)
+                && st.resumes_left > 0
+            {
+                // Park: the transfer resumes when the endpoint returns.
+                // The op deadline still backstops an MB that never does.
+                st.suspended = true;
             } else {
                 self.abort_op(op, Error::MbUnreachable(mb), out);
             }
         }
     }
 
-    /// Clear the unreachable mark (the MB restarted and re-attached).
-    pub fn mark_reachable(&mut self, mb: MbId) {
+    /// Clear the unreachable mark (the MB restarted and re-attached),
+    /// send any state deletes that were deferred while it was down, and
+    /// resume transfers parked on its account.
+    pub fn mark_reachable(&mut self, mb: MbId, now: SimTime, out: &mut Vec<Action>) {
         self.unreachable.remove(&mb);
+        let backoff = self.config.retry_backoff;
+        for r in self.pending_deletes.iter_mut().filter(|r| r.mb == mb) {
+            r.due = Some(now.after(backoff));
+            out.push(Action::ToMb(r.mb, r.msg.clone()));
+        }
+        let mut parked: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|(_, st)| st.suspended && !st.completed && !st.quiesced)
+            .map(|(id, _)| *id)
+            .collect();
+        parked.sort();
+        for op in parked {
+            // resume_op re-checks reachability: an op parked on a
+            // *different* still-down endpoint stays parked.
+            self.resume_op(op, now, out);
+        }
     }
 
     /// Whether the embedding has marked `mb` unreachable.
@@ -784,12 +1008,12 @@ impl ControllerCore {
         self.unreachable.contains(&mb)
     }
 
-    /// Abort an in-flight operation: drop buffered reprocess events,
-    /// roll back partially-put destination state (moves only — the
-    /// southbound protocol has no shared-state delete, so clone/merge
-    /// destinations keep whatever shared chunks already landed), close
-    /// the source's sync window, release the op's bookkeeping, and
-    /// notify the application with the typed `error`.
+    /// Abort an in-flight operation: drop buffered reprocess events
+    /// (their count is reported in the failure), roll back partially-put
+    /// destination state — per-flow deletes for moves, a compensating
+    /// `DeleteState` for the shared puts of a clone/merge — close the
+    /// source's sync window, release the op's bookkeeping, and notify
+    /// the application with the typed `error`.
     fn abort_op(&mut self, op: OpId, error: Error, out: &mut Vec<Action>) {
         let Some(st) = self.ops.get_mut(&op) else { return };
         if st.completed || st.quiesced {
@@ -798,6 +1022,7 @@ impl ControllerCore {
         st.completed = true;
         st.quiesced = true;
         st.retry = None;
+        let dropped_events = st.buffered.len();
         st.buffered.clear();
         st.pending_keys.clear();
         st.gets_outstanding = 0;
@@ -805,26 +1030,41 @@ impl ControllerCore {
         let (kind, src, dst, pattern) = (st.kind, st.src, st.dst, st.pattern);
         let had_chunks = st.chunks > 0;
         let get_subs = std::mem::take(&mut st.get_subs);
-        if kind == OpKind::Move && had_chunks && !self.unreachable.contains(&dst) {
+        let shared_puts = std::mem::take(&mut st.shared_puts);
+        if kind == OpKind::Move && had_chunks {
             // Before the move the destination held nothing under the
             // op's pattern (the premise of moveInternal), so deleting by
             // pattern removes exactly the chunks this op streamed in.
             let ds = self.alloc_sub(op, SubRole::DelSupport);
             let dr = self.alloc_sub(op, SubRole::DelReport);
-            out.push(Action::ToMb(dst, Message::DelSupportPerflow { op: ds, key: pattern }));
-            out.push(Action::ToMb(dst, Message::DelReportPerflow { op: dr, key: pattern }));
+            self.track_delete(dst, ds, Message::DelSupportPerflow { op: ds, key: pattern }, out);
+            self.track_delete(dst, dr, Message::DelReportPerflow { op: dr, key: pattern }, out);
+        }
+        if matches!(kind, OpKind::Clone | OpKind::Merge) && !shared_puts.is_empty() {
+            // Compensating rollback (§4.1.3): undo the shared-state
+            // merges that already landed, so the abort leaves no
+            // orphaned shared state at the destination. The delete is
+            // recorded in the ledger until acked: re-sent with backoff
+            // if lost, and — since an MB's logic tables (and thus the
+            // orphaned state) survive its crash — deferred to reattach
+            // when the destination is down right now.
+            let del = self.alloc_sub(op, SubRole::DelShared);
+            self.track_delete(dst, del, Message::DeleteState { op: del, puts: shared_puts }, out);
         }
         if !self.unreachable.contains(&src) {
             for sub in get_subs {
                 out.push(Action::ToMb(src, Message::EndSync { op: sub }));
             }
         }
-        out.push(Action::Notify(Completion::Failed { op, error }));
+        out.push(Action::Notify(Completion::Failed { op, error, dropped_events }));
     }
 
     /// Finish a completed transfer: mark it quiesced, delete moved
-    /// per-flow state at the source (moves only), and close the sync
-    /// window. Skips messages to MBs marked unreachable.
+    /// per-flow state at the source (moves only, via the acked ledger —
+    /// a lost delete must not strand the moved state at both ends), and
+    /// close the sync window. `EndSync` is fire-and-forget and skipped
+    /// while the source is unreachable: its loss only leaves a sync
+    /// mark in the source's tracker, never state.
     fn quiesce_op(&mut self, op: OpId, out: &mut Vec<Action>) {
         let Some(st) = self.ops.get_mut(&op) else { return };
         if st.quiesced {
@@ -833,17 +1073,92 @@ impl ControllerCore {
         st.quiesced = true;
         let (kind, src, pattern) = (st.kind, st.src, st.pattern);
         let get_subs = st.get_subs.clone();
-        if self.unreachable.contains(&src) {
-            return;
-        }
         if kind == OpKind::Move {
             let ds = self.alloc_sub(op, SubRole::DelSupport);
             let dr = self.alloc_sub(op, SubRole::DelReport);
-            out.push(Action::ToMb(src, Message::DelSupportPerflow { op: ds, key: pattern }));
-            out.push(Action::ToMb(src, Message::DelReportPerflow { op: dr, key: pattern }));
+            self.track_delete(src, ds, Message::DelSupportPerflow { op: ds, key: pattern }, out);
+            self.track_delete(src, dr, Message::DelReportPerflow { op: dr, key: pattern }, out);
         }
-        for sub in get_subs {
-            out.push(Action::ToMb(src, Message::EndSync { op: sub }));
+        if !self.unreachable.contains(&src) {
+            for sub in get_subs {
+                out.push(Action::ToMb(src, Message::EndSync { op: sub }));
+            }
+        }
+    }
+
+    /// Record a delete in the acked re-delivery ledger and send it now,
+    /// unless `mb` is unreachable — then the entry parks (due `None`)
+    /// and `mark_reachable` re-sends it on reattach.
+    fn track_delete(&mut self, mb: MbId, sub: OpId, msg: Message, out: &mut Vec<Action>) {
+        let down = self.unreachable.contains(&mb);
+        if !down {
+            out.push(Action::ToMb(mb, msg.clone()));
+        }
+        self.pending_deletes.push(PendingDelete {
+            mb,
+            sub,
+            msg,
+            due: if down { None } else { Some(SimTime::ZERO) },
+            left: self.config.max_retries,
+        });
+    }
+
+    /// Close get sub-op `sub` of `parent` once its `GetAck` has arrived
+    /// *and* every announced chunk has been seen. Called from both the
+    /// GetAck and Chunk handlers, so a chunk delayed past its ack still
+    /// completes the stream when it finally lands.
+    fn maybe_finish_get(&mut self, parent: OpId, sub: OpId, out: &mut Vec<Action>) {
+        let Some(st) = self.ops.get_mut(&parent) else { return };
+        if st.completed || st.quiesced || st.done_gets.contains(&sub) {
+            return;
+        }
+        let Some(&expected) = st.get_expected.get(&sub) else { return };
+        let seen = st.get_seen.get(&sub).map(|s| s.len()).unwrap_or(0);
+        if seen < expected as usize {
+            return;
+        }
+        st.done_gets.insert(sub);
+        st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
+        self.maybe_complete(parent, out);
+    }
+
+    /// Resume a stalled or parked transfer from its last acked chunk:
+    /// re-send every get whose stream has not closed and every put not
+    /// yet acked, verbatim (same sub-op ids). The re-issue is
+    /// idempotent end-to-end — the source's sync tracker keeps its
+    /// marks, the controller's chunk dedup drops re-streamed chunks
+    /// whose put is already in flight, and the destination's put-log
+    /// re-acks shared puts it already applied without re-merging. The
+    /// deadline is extended so the resumed attempt gets a full window.
+    fn resume_op(&mut self, op: OpId, now: SimTime, out: &mut Vec<Action>) {
+        let deadline = now.after(self.config.op_deadline);
+        let Some(st) = self.ops.get(&op) else { return };
+        if st.completed
+            || st.quiesced
+            || st.resumes_left == 0
+            || self.unreachable.contains(&st.src)
+            || self.unreachable.contains(&st.dst)
+        {
+            return;
+        }
+        let Some(st) = self.ops.get_mut(&op) else { return };
+        st.resumes_left -= 1;
+        st.suspended = false;
+        st.last_activity = now;
+        st.deadline = deadline;
+        let (src, dst) = (st.src, st.dst);
+        let gets: Vec<Message> = st
+            .get_reqs
+            .iter()
+            .filter(|(sub, _)| !st.done_gets.contains(sub))
+            .map(|(_, m)| m.clone())
+            .collect();
+        let puts: Vec<Message> = st.unacked_puts.iter().map(|(_, m)| m.clone()).collect();
+        for m in gets {
+            out.push(Action::ToMb(src, m));
+        }
+        for m in puts {
+            out.push(Action::ToMb(dst, m));
         }
     }
 
@@ -880,9 +1195,17 @@ impl ControllerCore {
     ///
     /// 1. **Retries** — resend idempotent simple requests whose backoff
     ///    expired, doubling the backoff each attempt.
-    /// 2. **Deadlines** — abort every op that is past its deadline and
-    ///    still incomplete, with [`Error::Timeout`].
-    /// 3. **Quiescence** — for each completed move/clone/merge whose
+    /// 2. **Stall resume** — a transfer with outstanding gets/puts and
+    ///    no message activity for `resume_after` lost something in
+    ///    flight; re-send the outstanding requests from the last acked
+    ///    chunk (if the op has resume budget left).
+    /// 3. **Deadlines** — for each op past its deadline and still
+    ///    incomplete: resume it if it is a transfer with budget left and
+    ///    both endpoints reachable, otherwise abort with
+    ///    [`Error::Timeout`].
+    /// 4. **Rollback re-delivery** — re-send owed `DeleteState`s whose
+    ///    `DeleteAck` has not arrived.
+    /// 5. **Quiescence** — for each completed move/clone/merge whose
     ///    event stream has been silent for `quiesce_after`, finish the
     ///    transaction: delete moved per-flow state at the source (moves
     ///    only) and close the sync window.
@@ -909,7 +1232,28 @@ impl ControllerCore {
             }
         }
 
-        // 2. Deadlines.
+        // 2. Stall resume.
+        let resume_after = self.config.resume_after;
+        let mut stalled: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|(_, st)| {
+                !st.completed
+                    && !st.quiesced
+                    && !st.suspended
+                    && st.resumes_left > 0
+                    && matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)
+                    && (st.gets_outstanding > 0 || st.puts_outstanding > 0)
+                    && now.since(st.last_activity) >= resume_after
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        stalled.sort();
+        for op in stalled {
+            self.resume_op(op, now, out);
+        }
+
+        // 3. Deadlines.
         let mut overdue: Vec<OpId> = self
             .ops
             .iter()
@@ -918,10 +1262,49 @@ impl ControllerCore {
             .collect();
         overdue.sort();
         for op in overdue {
-            self.abort_op(op, Error::Timeout { op }, out);
+            let can_resume = self.ops.get(&op).is_some_and(|st| {
+                matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)
+                    && st.resumes_left > 0
+                    && !st.suspended
+                    && !self.unreachable.contains(&st.src)
+                    && !self.unreachable.contains(&st.dst)
+            });
+            if can_resume {
+                self.resume_op(op, now, out);
+            } else {
+                // Includes suspended transfers whose endpoint never
+                // returned: the deadline is the backstop.
+                self.abort_op(op, Error::Timeout { op }, out);
+            }
         }
 
-        // 3. Quiescence.
+        // 4. Delete re-delivery: an owed delete whose ack has not
+        // arrived is re-sent with constant backoff (idempotent at the
+        // MB); entries park while their MB is unreachable and are
+        // dropped once the budget is spent, so a destination that never
+        // acks cannot keep the maintenance timer alive forever.
+        let backoff = self.config.retry_backoff;
+        let mut resend: Vec<(MbId, Message)> = Vec::new();
+        self.pending_deletes.retain_mut(|r| {
+            let Some(due) = r.due else { return true };
+            if now < due {
+                return true;
+            }
+            if r.left == 0 {
+                return false;
+            }
+            r.left -= 1;
+            r.due = Some(now.after(backoff));
+            resend.push((r.mb, r.msg.clone()));
+            true
+        });
+        for (mb, msg) in resend {
+            if !self.unreachable.contains(&mb) {
+                out.push(Action::ToMb(mb, msg));
+            }
+        }
+
+        // 5. Quiescence.
         let quiesce = self.config.quiesce_after;
         let mut ready: Vec<OpId> = self
             .ops
@@ -946,12 +1329,17 @@ impl ControllerCore {
                 out.push(Action::Notify(Completion::Failed {
                     op,
                     error: Error::OpFailed("operation state lost before quiescence".into()),
+                    dropped_events: 0,
                 }));
             }
         }
     }
 
-    /// Number of operations not yet quiesced (testing).
+    /// Number of operations not yet quiesced, plus deletes still being
+    /// actively re-delivered (testing, and the embedding's "keep the
+    /// maintenance timer armed" signal). Deletes parked on an
+    /// unreachable MB are excluded — they cannot progress until the
+    /// reattach event, which restarts the timer itself.
     pub fn open_ops(&self) -> usize {
         self.ops
             .values()
@@ -961,6 +1349,7 @@ impl ControllerCore {
                         && !matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)))
             })
             .count()
+            + self.pending_deletes.iter().filter(|r| r.due.is_some()).count()
     }
 
     /// Events forwarded under an operation (experiments).
@@ -994,6 +1383,17 @@ impl OpState {
             deadline,
             retry: None,
             events_forwarded: 0,
+            next_chunk_seq: 0,
+            acked_seqs: HashSet::new(),
+            done_gets: HashSet::new(),
+            streamed: HashSet::new(),
+            get_seen: HashMap::new(),
+            get_expected: HashMap::new(),
+            get_reqs: Vec::new(),
+            unacked_puts: Vec::new(),
+            shared_puts: Vec::new(),
+            resumes_left: 0,
+            suspended: false,
         }
     }
 }

@@ -15,7 +15,7 @@
 
 use std::collections::VecDeque;
 
-use openmb_mb::{Effects, Middlebox};
+use openmb_mb::{Effects, Middlebox, SharedPutLog};
 use openmb_openflow::Topology;
 use openmb_simnet::{Ctx, Frame, Node, SimDuration, SimTime, TraceKind};
 use openmb_types::sdn::SdnMessage;
@@ -91,6 +91,10 @@ pub struct MbNode<M: Middlebox> {
     pub busy_put_ns: u64,
     /// Accumulated busy time processing packets (ns).
     pub busy_packet_ns: u64,
+    /// Shared-put dedup + pre-put snapshots for `DeleteState` rollback.
+    /// Lives with the logic tables (survives a crash of the volatile
+    /// runtime state — see `on_crash`).
+    shared_log: SharedPutLog,
     /// Per-node metric names, formatted once at construction so the
     /// per-packet/per-event hot paths never allocate a key string.
     metric_names: MetricNames,
@@ -137,6 +141,7 @@ impl<M: Middlebox + 'static> MbNode<M> {
             current_service: SimDuration::ZERO,
             busy_put_ns: 0,
             busy_packet_ns: 0,
+            shared_log: SharedPutLog::new(0),
         }
     }
 
@@ -313,14 +318,50 @@ impl<M: Middlebox + 'static> MbNode<M> {
                 Ok(_) => self.reply(ctx, Message::OpAck { op }),
                 Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
             },
-            Message::PutSupportShared { op, chunk } => match self.logic.put_support_shared(chunk) {
-                Ok(()) => self.reply(ctx, Message::PutAck { op, key: None }),
-                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
-            },
-            Message::PutReportShared { op, chunk } => match self.logic.put_report_shared(chunk) {
-                Ok(()) => self.reply(ctx, Message::PutAck { op, key: None }),
-                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
-            },
+            Message::PutSupportShared { op, chunk } => {
+                // Shared puts MERGE, so a re-sent copy (transfer resume)
+                // must be re-acked without re-applying.
+                if self.shared_log.already_applied(op) {
+                    self.reply(ctx, Message::PutAck { op, key: None });
+                    return;
+                }
+                let snap = self.logic.snapshot_shared();
+                match snap.and_then(|s| self.logic.put_support_shared(chunk).map(|()| s)) {
+                    Ok(s) => {
+                        self.shared_log.record(op, s);
+                        self.reply(ctx, Message::PutAck { op, key: None });
+                    }
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+                }
+            }
+            Message::PutReportShared { op, chunk } => {
+                if self.shared_log.already_applied(op) {
+                    self.reply(ctx, Message::PutAck { op, key: None });
+                    return;
+                }
+                let snap = self.logic.snapshot_shared();
+                match snap.and_then(|s| self.logic.put_report_shared(chunk).map(|()| s)) {
+                    Ok(s) => {
+                        self.shared_log.record(op, s);
+                        self.reply(ctx, Message::PutAck { op, key: None });
+                    }
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+                }
+            }
+            Message::DeleteState { op, puts } => {
+                // Compensating rollback for an aborted clone/merge:
+                // restore the pre-put image and revoke any listed put
+                // still in flight.
+                let (snap, restored) = self.shared_log.rollback(&puts);
+                let result = match snap {
+                    Some(s) => self.logic.restore_shared(s).map(|()| restored),
+                    None => Ok(0),
+                };
+                match result {
+                    Ok(restored) => self.reply(ctx, Message::DeleteAck { op, restored }),
+                    Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+                }
+            }
             Message::GetConfig { op, key } => match self.logic.get_config(&key) {
                 Ok(pairs) => self.reply(ctx, Message::ConfigValues { op, pairs }),
                 Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
@@ -564,6 +605,13 @@ pub struct ControllerNode {
     /// crash, standing in for a TCP connection reset); drained into
     /// `core.mark_unreachable` on the next event-loop turn.
     pending_unreachable: Vec<MbId>,
+    /// MBs reported re-attached; drained into `core.mark_reachable`
+    /// (which may emit deferred rollbacks and resume parked transfers)
+    /// on the next event-loop turn.
+    pending_reachable: Vec<MbId>,
+    /// Crash-durable image of `core`, checkpointed after every processed
+    /// event when enabled (see [`ControllerNode::enable_journal`]).
+    journal: Option<Box<ControllerCore>>,
 }
 
 impl ControllerNode {
@@ -581,6 +629,30 @@ impl ControllerNode {
             started: false,
             completions: Vec::new(),
             pending_unreachable: Vec::new(),
+            pending_reachable: Vec::new(),
+            journal: None,
+        }
+    }
+
+    /// Turn on write-ahead journaling of the controller state machine:
+    /// `core` is checkpointed (cloned) after every fully-processed event
+    /// and an injected crash restores the last checkpoint in `on_crash`,
+    /// so choreography progress — per-chunk ack sets, buffered events,
+    /// pending rollbacks — survives a controller crash/restart while the
+    /// volatile runtime (work queue, in-flight timers and frames) is
+    /// lost, exactly the durability split a real controller gets from
+    /// journaling transitions to disk. Off by default: an un-journaled
+    /// crash also wipes `core` back to the registration-time image, so
+    /// every in-flight operation is forgotten (its MB-side sync windows
+    /// leak until quiescence timeouts fire — the failure mode the
+    /// journal exists to prevent).
+    pub fn enable_journal(&mut self) {
+        self.journal = Some(Box::new(self.core.clone()));
+    }
+
+    fn checkpoint(&mut self) {
+        if self.journal.is_some() {
+            self.journal = Some(Box::new(self.core.clone()));
         }
     }
 
@@ -593,18 +665,25 @@ impl ControllerNode {
         self.pending_unreachable.push(mb);
     }
 
-    /// The MB re-attached: accept operations naming it again.
+    /// The MB re-attached: accept operations naming it again, send any
+    /// shared-state rollbacks deferred while it was down, and resume
+    /// transfers parked on its account (all on the controller's next
+    /// event-loop turn).
     pub fn report_reachable(&mut self, mb: MbId) {
-        self.core.mark_reachable(mb);
+        self.pending_reachable.push(mb);
     }
 
     fn drain_unreachable(&mut self, ctx: &mut Ctx<'_>) {
-        if self.pending_unreachable.is_empty() {
+        if self.pending_unreachable.is_empty() && self.pending_reachable.is_empty() {
             return;
         }
         let mut actions = Vec::new();
         for mb in std::mem::take(&mut self.pending_unreachable) {
             self.core.mark_unreachable(mb, &mut actions);
+        }
+        let now = ctx.now();
+        for mb in std::mem::take(&mut self.pending_reachable) {
+            self.core.mark_reachable(mb, now, &mut actions);
         }
         self.dispatch_actions(ctx, actions);
     }
@@ -729,6 +808,7 @@ impl Node for ControllerNode {
         }
         self.started = true;
         self.with_api(ctx, |app, api| app.on_start(api));
+        self.checkpoint();
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, from: NodeId, frame: Frame) {
@@ -749,6 +829,7 @@ impl Node for ControllerNode {
             Frame::Sdn(_) => {}
             Frame::Data(_) => panic!("data packet delivered to controller"),
         }
+        self.checkpoint();
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -771,6 +852,42 @@ impl Node for ControllerNode {
             let app_token = token - APP_TIMER_BASE;
             self.with_api(ctx, |app, api| app.on_timer(api, app_token));
         }
+        self.checkpoint();
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // Volatile runtime dies with the process either way: queued
+        // messages, the in-service one, and every armed timer (the
+        // engine discards timers addressed to a crashed node).
+        self.queue.clear();
+        self.busy = false;
+        self.quiesce_timer_set = false;
+        self.pending_unreachable.clear();
+        self.pending_reachable.clear();
+        match &self.journal {
+            Some(j) => self.core = (**j).clone(),
+            None => {
+                // Amnesia: every in-flight operation is forgotten (the
+                // leaked MB-side sync windows only close when their
+                // quiescence timeouts fire). MB handles index
+                // `mb_nodes`, so the fresh core re-registers the same
+                // count to keep them valid.
+                let mut fresh = ControllerCore::new(self.core.config);
+                for _ in 0..self.mb_nodes.len() {
+                    fresh.register_mb();
+                }
+                self.core = fresh;
+            }
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // Restart the event loop: the quiescence tick drives journaled
+        // in-flight operations to resume (stall detection) or abort
+        // (deadline); nothing is queued yet, so pump is a no-op until
+        // the next frame lands.
+        self.pump(ctx);
+        self.arm_quiesce(ctx);
     }
 
     fn name(&self) -> String {

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use openmb_mb::{Effects, Middlebox};
+use openmb_mb::{Effects, Middlebox, SharedPutLog};
 use openmb_simnet::SimTime;
 use openmb_types::transport::Transport;
 use openmb_types::wire::Message;
@@ -41,6 +41,20 @@ pub fn serve_middlebox<M: Middlebox>(
     transport: &dyn Transport,
     stop: &AtomicBool,
 ) -> Result<()> {
+    let mut log = SharedPutLog::new(0);
+    serve_middlebox_logged(mb, &mut log, transport, stop)
+}
+
+/// [`serve_middlebox`] with a caller-owned [`SharedPutLog`], so the
+/// dedup/rollback bookkeeping survives a disconnect: pass the same log
+/// back in when re-serving the MB after a reconnect and a re-sent
+/// shared put is re-acked instead of re-merged.
+pub fn serve_middlebox_logged<M: Middlebox>(
+    mb: &mut M,
+    log: &mut SharedPutLog,
+    transport: &dyn Transport,
+    stop: &AtomicBool,
+) -> Result<()> {
     let start = Instant::now();
     loop {
         if stop.load(Ordering::Relaxed) {
@@ -52,15 +66,31 @@ pub fn serve_middlebox<M: Middlebox>(
             Err(_) => return Ok(()), // peer closed
         };
         let now = SimTime(start.elapsed().as_nanos() as u64);
-        for reply in handle_southbound(mb, msg, now) {
+        for reply in handle_southbound_logged(mb, log, msg, now) {
             transport.send(reply)?;
         }
     }
 }
 
 /// Pure southbound dispatch: one request in, zero or more messages out
-/// (replies plus any events raised by replay).
+/// (replies plus any events raised by replay). Uses a throwaway
+/// [`SharedPutLog`], so shared-put dedup and `DeleteState` rollback do
+/// not span calls — single-exchange tests and tools that never resume
+/// can ignore the log; resumable embeddings use
+/// [`handle_southbound_logged`].
 pub fn handle_southbound<M: Middlebox>(mb: &mut M, msg: Message, now: SimTime) -> Vec<Message> {
+    let mut log = SharedPutLog::new(0);
+    handle_southbound_logged(mb, &mut log, msg, now)
+}
+
+/// [`handle_southbound`] with a caller-owned [`SharedPutLog`] carrying
+/// the shared-put dedup set and pre-put snapshots across messages.
+pub fn handle_southbound_logged<M: Middlebox>(
+    mb: &mut M,
+    log: &mut SharedPutLog,
+    msg: Message,
+    now: SimTime,
+) -> Vec<Message> {
     let mut out = Vec::new();
     match msg {
         Message::GetConfig { op, key } => match mb.get_config(&key) {
@@ -122,19 +152,55 @@ pub fn handle_southbound<M: Middlebox>(mb: &mut M, msg: Message, now: SimTime) -
             Ok(None) => out.push(Message::OpAck { op }),
             Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
-        Message::PutSupportShared { op, chunk } => match mb.put_support_shared(chunk) {
-            Ok(()) => out.push(Message::PutAck { op, key: None }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
+        Message::PutSupportShared { op, chunk } => {
+            // Shared puts MERGE, so a re-sent copy (transfer resume)
+            // must be re-acked without re-applying.
+            if log.already_applied(op) {
+                out.push(Message::PutAck { op, key: None });
+            } else {
+                let snap = mb.snapshot_shared();
+                match snap.and_then(|s| mb.put_support_shared(chunk).map(|()| s)) {
+                    Ok(s) => {
+                        log.record(op, s);
+                        out.push(Message::PutAck { op, key: None });
+                    }
+                    Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+                }
+            }
+        }
         Message::GetReportShared { op } => match mb.get_report_shared() {
             Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
             Ok(None) => out.push(Message::OpAck { op }),
             Err(e) => out.push(Message::ErrorMsg { op, error: e }),
         },
-        Message::PutReportShared { op, chunk } => match mb.put_report_shared(chunk) {
-            Ok(()) => out.push(Message::PutAck { op, key: None }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
+        Message::PutReportShared { op, chunk } => {
+            if log.already_applied(op) {
+                out.push(Message::PutAck { op, key: None });
+            } else {
+                let snap = mb.snapshot_shared();
+                match snap.and_then(|s| mb.put_report_shared(chunk).map(|()| s)) {
+                    Ok(s) => {
+                        log.record(op, s);
+                        out.push(Message::PutAck { op, key: None });
+                    }
+                    Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+                }
+            }
+        }
+        Message::DeleteState { op, puts } => {
+            // Compensating rollback for an aborted clone/merge: restore
+            // the pre-put image and revoke any listed put still in
+            // flight.
+            let (snap, restored) = log.rollback(&puts);
+            let result = match snap {
+                Some(s) => mb.restore_shared(s).map(|()| restored),
+                None => Ok(0),
+            };
+            match result {
+                Ok(restored) => out.push(Message::DeleteAck { op, restored }),
+                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+            }
+        }
         Message::GetStats { op, key } => {
             out.push(Message::Stats { op, stats: mb.stats(&key) });
         }
@@ -171,6 +237,11 @@ pub struct TcpController {
 struct Inner {
     core: Mutex<ControllerCore>,
     transports: Mutex<Vec<Arc<dyn Transport + Sync>>>,
+    /// Per-MB "connection lost" flags, parallel to `transports`. Set by
+    /// the pump loop on a reset/EOF; cleared by
+    /// [`TcpController::reattach_mb`] when a fresh transport replaces
+    /// the dead one.
+    dead: Mutex<Vec<bool>>,
     completions_tx: Sender<Completion>,
     completions_rx: Receiver<Completion>,
     stop: AtomicBool,
@@ -187,6 +258,7 @@ impl TcpController {
             inner: Arc::new(Inner {
                 core: Mutex::new(ControllerCore::new(config)),
                 transports: Mutex::new(Vec::new()),
+                dead: Mutex::new(Vec::new()),
                 completions_tx: tx,
                 completions_rx: rx,
                 stop: AtomicBool::new(false),
@@ -200,7 +272,33 @@ impl TcpController {
     pub fn register_mb(&self, transport: Arc<dyn Transport + Sync>) -> MbId {
         let id = self.inner.core.lock().register_mb();
         self.inner.transports.lock().push(transport);
+        self.inner.dead.lock().push(false);
         id
+    }
+
+    /// The MB reconnected: replace its dead transport, clear the
+    /// unreachable mark, send any shared-state rollbacks deferred while
+    /// it was down, and resume transfers parked on its account (with
+    /// `max_transfer_resumes` > 0, a move interrupted mid-transfer picks
+    /// up from its last acked chunk instead of starting over).
+    pub fn reattach_mb(&self, mb: MbId, transport: Arc<dyn Transport + Sync>) {
+        let idx = mb.0 as usize;
+        {
+            let mut transports = self.inner.transports.lock();
+            if idx >= transports.len() {
+                return;
+            }
+            transports[idx] = transport;
+        }
+        {
+            let mut dead = self.inner.dead.lock();
+            if idx < dead.len() {
+                dead[idx] = false;
+            }
+        }
+        let mut actions = Vec::new();
+        self.inner.core.lock().mark_reachable(mb, self.now(), &mut actions);
+        self.inner.execute(actions);
     }
 
     /// Start the pump thread (poll transports, drive the core).
@@ -331,17 +429,20 @@ impl Inner {
 
     fn pump_loop(&self) {
         let mut last_tick = Instant::now();
-        // Transports whose peer has reset or closed; their MBs are
-        // marked unreachable once and then skipped.
-        let mut dead: Vec<bool> = Vec::new();
+        // Transports whose peer has reset or closed are marked
+        // unreachable once and then skipped until `reattach_mb` swaps in
+        // a fresh transport and clears the flag.
         while !self.stop.load(Ordering::Relaxed) {
             let mut idle = true;
             let n = self.transports.lock().len();
-            if dead.len() < n {
-                dead.resize(n, false);
+            {
+                let mut dead = self.dead.lock();
+                if dead.len() < n {
+                    dead.resize(n, false);
+                }
             }
             for i in 0..n {
-                if dead[i] {
+                if self.dead.lock()[i] {
                     continue;
                 }
                 let t = {
@@ -365,10 +466,10 @@ impl Inner {
                         Ok(None) => break,
                         Err(_) => {
                             // Connection reset or EOF: every operation
-                            // touching this MB aborts with MbUnreachable,
-                            // exactly as the sim harness reports link
-                            // failures.
-                            dead[i] = true;
+                            // touching this MB aborts with MbUnreachable
+                            // (or parks, given resume budget), exactly as
+                            // the sim harness reports link failures.
+                            self.dead.lock()[i] = true;
                             let mut actions = Vec::new();
                             self.core.lock().mark_unreachable(MbId(i as u32), &mut actions);
                             self.execute(actions);

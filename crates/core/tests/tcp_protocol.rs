@@ -125,6 +125,118 @@ fn move_and_merge_over_loopback_tcp() {
     }
 }
 
+/// A destination that vanishes mid-move and reconnects resumes from the
+/// last acked chunk instead of restarting or aborting, and ends with
+/// exactly the state an unfaulted move produces. The MB keeps its
+/// [`SharedPutLog`] across the reconnect (the process survived; only the
+/// connection died), so re-sent puts are re-acked, not re-applied.
+#[test]
+fn mid_transfer_disconnect_resumes_from_last_acked_chunk() {
+    use openmb_core::tcp::{handle_southbound_logged, serve_middlebox_logged};
+    use openmb_mb::SharedPutLog;
+    use openmb_types::transport::{channel_pair, Transport};
+    use openmb_types::wire::Message;
+
+    const FLOWS: u8 = 30;
+    const PUTS_BEFORE_CRASH: usize = 10;
+
+    let mut controller = TcpController::new(ControllerConfig {
+        quiesce_after: SimDuration::from_millis(50),
+        op_deadline: SimDuration::from_secs(30),
+        max_transfer_resumes: 4,
+        resume_after: SimDuration::from_millis(50),
+        compress_transfers: false,
+        buffer_events: true,
+        ..ControllerConfig::default()
+    });
+
+    // Source: a served monitor preloaded with FLOWS observed flows.
+    let stop = Arc::new(AtomicBool::new(false));
+    let (src_ctl, src_mb) = channel_pair();
+    let src_handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut monitor = Monitor::new();
+            let mut fx = Effects::normal();
+            for f in 1..=FLOWS {
+                monitor.process_packet(SimTime(u64::from(f)), &http_pkt(u64::from(f), f), &mut fx);
+            }
+            serve_middlebox(&mut monitor, &src_mb, &stop).unwrap();
+        })
+    };
+
+    let (dst_ctl, dst_mb) = channel_pair();
+    let src_id = controller.register_mb(Arc::new(src_ctl));
+    let dst_id = controller.register_mb(Arc::new(dst_ctl));
+    controller.start();
+
+    let ctrl = &controller;
+    let dst = std::thread::scope(|s| {
+        let mover = s.spawn(|| {
+            ctrl.move_internal(src_id, dst_id, HeaderFieldList::any(), Duration::from_secs(20))
+        });
+
+        // Destination, phase 1: apply the first PUTS_BEFORE_CRASH puts by
+        // hand, acking each, then drop the transport mid-transfer.
+        let mut dst = Monitor::new();
+        let mut log = SharedPutLog::new(0);
+        let mut puts = 0usize;
+        while puts < PUTS_BEFORE_CRASH {
+            let msg = match dst_mb.recv_timeout(Duration::from_millis(200)) {
+                Ok(Some(m)) => m,
+                Ok(None) => continue,
+                Err(e) => panic!("controller hung up first: {e}"),
+            };
+            let is_put =
+                matches!(msg, Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. });
+            for reply in handle_southbound_logged(&mut dst, &mut log, msg, SimTime(0)) {
+                dst_mb.send(reply).unwrap();
+            }
+            if is_put {
+                puts += 1;
+            }
+        }
+        drop(dst_mb);
+
+        // Let the pump notice the reset and park the move (resume budget
+        // is non-zero, so it must not abort).
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Reconnect: same MB state and put-log, fresh transport.
+        let (ctl2, mb2) = channel_pair();
+        ctrl.reattach_mb(dst_id, Arc::new(ctl2));
+        let stop2 = Arc::clone(&stop);
+        let served = s.spawn(move || {
+            serve_middlebox_logged(&mut dst, &mut log, &mb2, &stop2).unwrap();
+            dst
+        });
+
+        let c = mover.join().unwrap().unwrap();
+        match c {
+            Completion::MoveComplete { chunks_moved, .. } => {
+                assert_eq!(chunks_moved, usize::from(FLOWS), "resumed move must count every chunk")
+            }
+            other => panic!("move did not survive the disconnect: {other:?}"),
+        }
+
+        // The destination holds exactly what an unfaulted move delivers.
+        let c = ctrl.stats(dst_id, HeaderFieldList::any(), Duration::from_secs(5)).unwrap();
+        match c {
+            Completion::Stats { stats, .. } => {
+                assert_eq!(stats.perflow_report_chunks, usize::from(FLOWS))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        served.join().unwrap()
+    });
+    assert_eq!(dst.perflow_entries(), usize::from(FLOWS), "no chunk lost or duplicated");
+
+    src_handle.join().unwrap();
+    controller.shutdown();
+}
+
 #[test]
 fn dropped_connection_aborts_with_mb_unreachable() {
     use openmb_types::transport::channel_pair;

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiment names: fig7 fig8 fig9 fig10 table2 table3 snapshot
-//! splitmerge correctness latency compress ablations faults
+//! splitmerge correctness latency compress ablations faults conformance
 
 use openmb_harness::*;
 
@@ -61,5 +61,8 @@ fn main() {
     }
     if want("faults") {
         println!("{}", faults::faults_table());
+    }
+    if want("conformance") {
+        println!("{}", conformance::conformance_table());
     }
 }

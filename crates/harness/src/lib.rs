@@ -12,6 +12,7 @@ pub mod report;
 
 pub mod ablations;
 pub mod compress_xp;
+pub mod conformance;
 pub mod correctness;
 pub mod faults;
 pub mod fig10;
@@ -48,9 +49,10 @@ mod registry_tests {
             ("compress", crate::compress_xp::compress_table),
             ("ablations", crate::ablations::ablations_table),
             ("faults", crate::faults::faults_table),
+            ("conformance", crate::conformance::conformance_table),
         ];
         // Referencing the function pointers is the check; running them
         // all here would duplicate the per-module tests.
-        assert_eq!(fns.len(), 13);
+        assert_eq!(fns.len(), 14);
     }
 }

@@ -33,6 +33,91 @@ use openmb_types::{
     StateChunk, StateStats,
 };
 
+/// A pre-put image of a middlebox's shared state, both classes, taken by
+/// the embedding immediately before applying a `Put*Shared` so an aborted
+/// clone/merge can be compensated (`DeleteState`). Chunks are sealed with
+/// the MB's own vendor key — the snapshot is as opaque to the controller
+/// as the puts it undoes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SharedSnapshot {
+    /// Shared supporting state at snapshot time (`None` = MB held none).
+    pub support: Option<EncryptedChunk>,
+    /// Shared reporting state at snapshot time (`None` = MB held none).
+    pub report: Option<EncryptedChunk>,
+}
+
+/// Embedding-side bookkeeping that makes shared puts safe under a
+/// resumable controller: a dedup set (a re-sent `Put*Shared` is re-acked
+/// without re-merging — merges are not idempotent) and a capped log of
+/// pre-put [`SharedSnapshot`]s consulted by `DeleteState` to compensate
+/// an aborted clone/merge. Lives alongside the MB's logic tables and,
+/// like them, survives a crash of the embedding's volatile runtime
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct SharedPutLog {
+    /// Put sub-op ids that must not be (re)applied: already merged, or
+    /// revoked by a rollback while still in flight.
+    seen: std::collections::HashSet<OpId>,
+    /// `(put sub-op id, shared state image taken just before it was
+    /// applied)`, oldest first; rotated once over capacity.
+    log: std::collections::VecDeque<(OpId, SharedSnapshot)>,
+    cap: usize,
+}
+
+impl SharedPutLog {
+    /// Default snapshot-log capacity. A transfer issues at most two
+    /// shared puts, so 32 keeps several aborted ops' worth of undo
+    /// images while bounding memory.
+    pub const DEFAULT_CAP: usize = 32;
+
+    /// A log holding at most `cap` snapshots (0 means [`Self::DEFAULT_CAP`]).
+    pub fn new(cap: usize) -> Self {
+        SharedPutLog {
+            seen: std::collections::HashSet::new(),
+            log: std::collections::VecDeque::new(),
+            cap: if cap == 0 { Self::DEFAULT_CAP } else { cap },
+        }
+    }
+
+    /// Whether put `op` was already applied (or revoked): the embedding
+    /// must skip the merge and just re-ack.
+    pub fn already_applied(&self, op: OpId) -> bool {
+        self.seen.contains(&op)
+    }
+
+    /// Record that put `op` is being applied, with the pre-put snapshot
+    /// to restore if it must be undone. Call *before* replying with the
+    /// ack.
+    pub fn record(&mut self, op: OpId, snap: SharedSnapshot) {
+        self.seen.insert(op);
+        self.log.push_back((op, snap));
+        while self.log.len() > self.cap {
+            self.log.pop_front();
+        }
+    }
+
+    /// Process a `DeleteState { puts }` rollback: returns the snapshot
+    /// to restore (the image taken before the *earliest* listed put —
+    /// restoring it also undoes every later put) and the number of
+    /// listed puts actually undone (0 when the log had already rotated
+    /// past them). Every listed put is also revoked, so a copy still in
+    /// flight when the abort happened is ignored when it lands instead
+    /// of re-creating the orphaned state.
+    pub fn rollback(&mut self, puts: &[OpId]) -> (Option<SharedSnapshot>, u32) {
+        for &p in puts {
+            self.seen.insert(p);
+        }
+        let Some(first) = self.log.iter().position(|(op, _)| puts.contains(op)) else {
+            return (None, 0);
+        };
+        let restored =
+            self.log.iter().skip(first).filter(|(op, _)| puts.contains(op)).count() as u32;
+        let snap = self.log[first].1.clone();
+        self.log.truncate(first);
+        (Some(snap), restored)
+    }
+}
+
 /// The southbound API (§4). One instance = one running middlebox.
 ///
 /// # State classes and their operations
@@ -120,6 +205,23 @@ pub trait Middlebox {
     /// (e.g. additive counters), otherwise keep the resident state and
     /// report [`MergeNotPermitted`](openmb_types::Error::MergeNotPermitted).
     fn put_report_shared(&mut self, chunk: EncryptedChunk) -> Result<()>;
+
+    // ---- shared-state rollback (compensation for aborted clone/merge) ----
+
+    /// Capture the MB's current shared state (both classes) without
+    /// marking anything cloned — unlike the gets, this opens no sync
+    /// window. The default suits MBs that keep no shared state.
+    fn snapshot_shared(&mut self) -> Result<SharedSnapshot> {
+        Ok(SharedSnapshot::default())
+    }
+
+    /// Replace — not merge — the MB's shared state with a snapshot taken
+    /// by [`snapshot_shared`](Middlebox::snapshot_shared), undoing every
+    /// shared put applied since. `None` fields reset that class to its
+    /// pristine (freshly-constructed) value.
+    fn restore_shared(&mut self, _snap: SharedSnapshot) -> Result<()> {
+        Ok(())
+    }
 
     // ---- stats (§5) ----
 

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_mb::{CostModel, Effects, Middlebox, SharedSnapshot, SyncTracker};
 use openmb_simnet::{SimDuration, SimTime};
 use openmb_types::crypto::VendorKey;
 use openmb_types::wire::{Reader, Writer};
@@ -291,6 +291,34 @@ impl Middlebox for Firewall {
         let mut r = Reader::new(&plain);
         self.allowed += r.u64()?;
         self.denied += r.u64()?;
+        Ok(())
+    }
+
+    fn snapshot_shared(&mut self) -> Result<SharedSnapshot> {
+        let mut w = Writer::new();
+        w.u64(self.allowed);
+        w.u64(self.denied);
+        let n = self.nonce;
+        self.nonce += 1;
+        Ok(SharedSnapshot {
+            support: None,
+            report: Some(EncryptedChunk::seal(&self.vendor, n, &w.into_bytes())),
+        })
+    }
+
+    fn restore_shared(&mut self, snap: SharedSnapshot) -> Result<()> {
+        match snap.report {
+            Some(chunk) => {
+                let plain = chunk.open(&self.vendor)?;
+                let mut r = Reader::new(&plain);
+                self.allowed = r.u64()?;
+                self.denied = r.u64()?;
+            }
+            None => {
+                self.allowed = 0;
+                self.denied = 0;
+            }
+        }
         Ok(())
     }
 

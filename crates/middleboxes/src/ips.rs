@@ -25,7 +25,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
-use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_mb::{CostModel, Effects, Middlebox, SharedSnapshot, SyncTracker};
 use openmb_simnet::SimTime;
 use openmb_types::crypto::VendorKey;
 use openmb_types::packet::tcp_flags;
@@ -518,6 +518,37 @@ impl Middlebox for Ips {
         self.stat.alerts += r.u64()?;
         self.stat.conns_logged += r.u64()?;
         self.stat.http_requests_logged += r.u64()?;
+        Ok(())
+    }
+
+    fn snapshot_shared(&mut self) -> Result<SharedSnapshot> {
+        let support = self.serialize_scan_table();
+        let support = self.seal(&support);
+        let mut w = Writer::new();
+        w.u64(self.stat.alerts);
+        w.u64(self.stat.conns_logged);
+        w.u64(self.stat.http_requests_logged);
+        let report = w.into_bytes();
+        Ok(SharedSnapshot { support: Some(support), report: Some(self.seal(&report)) })
+    }
+
+    fn restore_shared(&mut self, snap: SharedSnapshot) -> Result<()> {
+        self.scan_table.clear();
+        if let Some(chunk) = snap.support {
+            let plain = chunk.open(&self.vendor)?;
+            // Merging into an empty table reproduces it exactly.
+            self.merge_scan_table(&plain)?;
+        }
+        self.stat = IpsStat::default();
+        if let Some(chunk) = snap.report {
+            let plain = chunk.open(&self.vendor)?;
+            let mut r = Reader::new(&plain);
+            self.stat = IpsStat {
+                alerts: r.u64()?,
+                conns_logged: r.u64()?,
+                http_requests_logged: r.u64()?,
+            };
+        }
         Ok(())
     }
 

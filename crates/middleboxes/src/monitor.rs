@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_mb::{CostModel, Effects, Middlebox, SharedSnapshot, SyncTracker};
 use openmb_simnet::SimTime;
 use openmb_types::crypto::VendorKey;
 use openmb_types::wire::{Event, Reader, Writer};
@@ -361,6 +361,19 @@ impl Middlebox for Monitor {
         let plain = chunk.open(&self.vendor)?;
         let other = MonitorStat::deserialize(&plain)?;
         self.stat.merge(&other);
+        Ok(())
+    }
+
+    fn snapshot_shared(&mut self) -> Result<SharedSnapshot> {
+        let bytes = self.stat.serialize();
+        Ok(SharedSnapshot { support: None, report: Some(self.seal(&bytes)) })
+    }
+
+    fn restore_shared(&mut self, snap: SharedSnapshot) -> Result<()> {
+        self.stat = match snap.report {
+            Some(chunk) => MonitorStat::deserialize(&chunk.open(&self.vendor)?)?,
+            None => MonitorStat::default(),
+        };
         Ok(())
     }
 

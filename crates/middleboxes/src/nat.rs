@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_mb::{CostModel, Effects, Middlebox, SharedSnapshot, SyncTracker};
 use openmb_simnet::{SimDuration, SimTime};
 use openmb_types::crypto::VendorKey;
 use openmb_types::wire::{Event, Reader, Writer};
@@ -352,6 +352,34 @@ impl Middlebox for Nat {
         // Merge: take the further-advanced allocator cursor to avoid
         // collisions after consolidation.
         self.next_port = self.next_port.max(other);
+        Ok(())
+    }
+
+    fn snapshot_shared(&mut self) -> Result<SharedSnapshot> {
+        let mut w = Writer::new();
+        w.u16(self.next_port);
+        let n = self.nonce;
+        self.nonce += 1;
+        Ok(SharedSnapshot {
+            support: Some(EncryptedChunk::seal(&self.vendor, n, &w.into_bytes())),
+            report: None,
+        })
+    }
+
+    fn restore_shared(&mut self, snap: SharedSnapshot) -> Result<()> {
+        match snap.support {
+            Some(chunk) => {
+                let plain = chunk.open(&self.vendor)?;
+                self.next_port = Reader::new(&plain).u16()?;
+            }
+            None => {
+                self.next_port = self
+                    .config
+                    .get_leaf(&HierarchicalKey::parse("port_range/start"))
+                    .and_then(|v| v.first().and_then(ConfigValue::as_int))
+                    .unwrap_or(20000) as u16;
+            }
+        }
         Ok(())
     }
 

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_mb::{CostModel, Effects, Middlebox, SharedSnapshot, SyncTracker};
 use openmb_simnet::{SimDuration, SimTime};
 use openmb_types::crypto::VendorKey;
 use openmb_types::wire::{Reader, Writer};
@@ -310,6 +310,45 @@ impl Middlebox for Proxy {
         self.requests += r.u64()?;
         self.hits += r.u64()?;
         self.misses += r.u64()?;
+        Ok(())
+    }
+
+    fn snapshot_shared(&mut self) -> Result<SharedSnapshot> {
+        let cache = self.serialize_cache();
+        let mut w = Writer::new();
+        w.u64(self.requests);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        let counters = w.into_bytes();
+        let n = self.nonce;
+        self.nonce += 2;
+        Ok(SharedSnapshot {
+            support: Some(EncryptedChunk::seal(&self.vendor, n, &cache)),
+            report: Some(EncryptedChunk::seal(&self.vendor, n + 1, &counters)),
+        })
+    }
+
+    fn restore_shared(&mut self, snap: SharedSnapshot) -> Result<()> {
+        self.cache.clear();
+        if let Some(chunk) = snap.support {
+            let plain = chunk.open(&self.vendor)?;
+            // Merging into an empty cache reproduces it exactly.
+            self.merge_cache(&plain)?;
+        }
+        match snap.report {
+            Some(chunk) => {
+                let plain = chunk.open(&self.vendor)?;
+                let mut r = Reader::new(&plain);
+                self.requests = r.u64()?;
+                self.hits = r.u64()?;
+                self.misses = r.u64()?;
+            }
+            None => {
+                self.requests = 0;
+                self.hits = 0;
+                self.misses = 0;
+            }
+        }
         Ok(())
     }
 

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use openmb_mb::{CostModel, Effects, Middlebox, SyncTracker};
+use openmb_mb::{CostModel, Effects, Middlebox, SharedSnapshot, SyncTracker};
 use openmb_simnet::SimTime;
 use openmb_types::crypto::VendorKey;
 use openmb_types::wire::{Reader, Writer};
@@ -548,6 +548,46 @@ impl Middlebox for ReEncoder {
         Ok(())
     }
 
+    fn snapshot_shared(&mut self) -> Result<SharedSnapshot> {
+        let cache = self.caches[0].cache.serialize();
+        let mut w = Writer::new();
+        w.u64(self.bytes_saved);
+        w.u64(self.packets_encoded);
+        let counters = w.into_bytes();
+        let n = self.nonce;
+        self.nonce += 2;
+        Ok(SharedSnapshot {
+            support: Some(EncryptedChunk::seal(&self.vendor, n, &cache)),
+            report: Some(EncryptedChunk::seal(&self.vendor, n + 1, &counters)),
+        })
+    }
+
+    fn restore_shared(&mut self, snap: SharedSnapshot) -> Result<()> {
+        self.caches[0] = match snap.support {
+            Some(chunk) => {
+                let plain = chunk.open(&self.vendor)?;
+                EncoderCache {
+                    cache: PacketCache::deserialize(&plain)?,
+                    fingerprints: HashMap::new(),
+                }
+            }
+            None => EncoderCache::new(self.cache_size),
+        };
+        match snap.report {
+            Some(chunk) => {
+                let plain = chunk.open(&self.vendor)?;
+                let mut r = Reader::new(&plain);
+                self.bytes_saved = r.u64()?;
+                self.packets_encoded = r.u64()?;
+            }
+            None => {
+                self.bytes_saved = 0;
+                self.packets_encoded = 0;
+            }
+        }
+        Ok(())
+    }
+
     fn get_report_perflow(&mut self, _op: OpId, _key: &HeaderFieldList) -> Result<Vec<StateChunk>> {
         Ok(Vec::new())
     }
@@ -741,6 +781,46 @@ impl Middlebox for ReDecoder {
             ));
         }
         self.cache = cache;
+        Ok(())
+    }
+
+    fn snapshot_shared(&mut self) -> Result<SharedSnapshot> {
+        let cache = self.cache.serialize();
+        let mut w = Writer::new();
+        w.u64(self.packets_decoded);
+        w.u64(self.packets_undecodable);
+        w.u64(self.bytes_undecodable);
+        let counters = w.into_bytes();
+        let n = self.nonce;
+        self.nonce += 2;
+        Ok(SharedSnapshot {
+            support: Some(EncryptedChunk::seal(&self.vendor, n, &cache)),
+            report: Some(EncryptedChunk::seal(&self.vendor, n + 1, &counters)),
+        })
+    }
+
+    fn restore_shared(&mut self, snap: SharedSnapshot) -> Result<()> {
+        self.cache = match snap.support {
+            Some(chunk) => {
+                let plain = chunk.open(&self.vendor)?;
+                PacketCache::deserialize(&plain)?
+            }
+            None => PacketCache::new(self.cache_size),
+        };
+        match snap.report {
+            Some(chunk) => {
+                let plain = chunk.open(&self.vendor)?;
+                let mut r = Reader::new(&plain);
+                self.packets_decoded = r.u64()?;
+                self.packets_undecodable = r.u64()?;
+                self.bytes_undecodable = r.u64()?;
+            }
+            None => {
+                self.packets_decoded = 0;
+                self.packets_undecodable = 0;
+                self.bytes_undecodable = 0;
+            }
+        }
         Ok(())
     }
 

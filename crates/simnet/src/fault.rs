@@ -88,6 +88,19 @@ pub struct CrashEvent {
     pub restart_at: Option<SimTime>,
 }
 
+/// A link partition over a virtual-time window: *both* directions of
+/// `a <-> b` are suspended at `from` and released at `until`, with
+/// frames sent during the window held at the link head and delivered in
+/// order on heal — the classic "network blip" a resumable transfer must
+/// ride out, as opposed to a crash (which loses the frames).
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionEvent {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
 /// A seeded schedule of faults to inject into a run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -95,6 +108,7 @@ pub struct FaultPlan {
     pub seed: u64,
     pub rules: Vec<FaultRule>,
     pub crashes: Vec<CrashEvent>,
+    pub partitions: Vec<PartitionEvent>,
 }
 
 impl FaultPlan {
@@ -118,6 +132,12 @@ impl FaultPlan {
     /// Crash `node` at `at` and restart it at `restart_at`.
     pub fn crash_restart(mut self, node: NodeId, at: SimTime, restart_at: SimTime) -> Self {
         self.crashes.push(CrashEvent { node, at, restart_at: Some(restart_at) });
+        self
+    }
+
+    /// Partition the bidirectional link `a <-> b` for `[from, until)`.
+    pub fn partition(mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.partitions.push(PartitionEvent { a, b, from, until });
         self
     }
 }
@@ -157,6 +177,20 @@ pub enum FaultRecord {
     LostToCrash {
         at: SimTime,
         node: NodeId,
+    },
+    /// Both directions of `a <-> b` suspended.
+    Partitioned {
+        at: SimTime,
+        a: NodeId,
+        b: NodeId,
+    },
+    /// The partition lifted; `released` frames held during it resumed
+    /// delivery (both directions combined).
+    Healed {
+        at: SimTime,
+        a: NodeId,
+        b: NodeId,
+        released: usize,
     },
 }
 

@@ -176,6 +176,14 @@ pub enum Message {
     EndSync {
         op: OpId,
     },
+    /// Compensating rollback for an aborted clone/merge (§4.1.3): undo
+    /// the shared-state puts listed in `puts` (sub-op ids, in the order
+    /// they were applied) by restoring the pre-put snapshot. The
+    /// embedding answers with [`Message::DeleteAck`].
+    DeleteState {
+        op: OpId,
+        puts: Vec<OpId>,
+    },
 
     // ---- MB -> controller ----
     /// One streamed per-flow chunk answering a `Get*Perflow`.
@@ -204,6 +212,13 @@ pub enum Message {
     /// subscription change.
     OpAck {
         op: OpId,
+    },
+    /// Acknowledges a [`Message::DeleteState`] rollback; `restored` is
+    /// the number of listed puts that were actually undone (0 when the
+    /// snapshot log had already rotated past them).
+    DeleteAck {
+        op: OpId,
+        restored: u32,
     },
     /// Configuration values answering `GetConfig`.
     ConfigValues {
@@ -251,11 +266,13 @@ impl Message {
             | DisableEvents { op }
             | ReprocessPacket { op, .. }
             | EndSync { op }
+            | DeleteState { op, .. }
             | Chunk { op, .. }
             | GetAck { op, .. }
             | SharedChunk { op, .. }
             | PutAck { op, .. }
             | OpAck { op }
+            | DeleteAck { op, .. }
             | ConfigValues { op, .. }
             | Stats { op, .. }
             | ErrorMsg { op, .. } => Some(*op),
@@ -712,6 +729,8 @@ mod tag {
     pub const EVENT_INTROSPECTION: u8 = 26;
     pub const ERROR: u8 = 27;
     pub const END_SYNC: u8 = 28;
+    pub const DELETE_STATE: u8 = 29;
+    pub const DELETE_ACK: u8 = 30;
 }
 
 /// Encode a message body (no length prefix).
@@ -894,6 +913,19 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.u8(tag::END_SYNC);
             w.u64(op.0);
         }
+        Message::DeleteState { op, puts } => {
+            w.u8(tag::DELETE_STATE);
+            w.u64(op.0);
+            w.u32(puts.len() as u32);
+            for p in puts {
+                w.u64(p.0);
+            }
+        }
+        Message::DeleteAck { op, restored } => {
+            w.u8(tag::DELETE_ACK);
+            w.u64(op.0);
+            w.u32(*restored);
+        }
     }
     w.into_bytes()
 }
@@ -1011,7 +1043,8 @@ pub fn encoded_len(msg: &Message) -> usize {
             1 + 8 + codes + key
         }
         Message::ReprocessPacket { packet, .. } => 1 + 8 + FLOW_KEY_LEN + packet_len(packet),
-        Message::GetAck { .. } => 1 + 8 + 4,
+        Message::GetAck { .. } | Message::DeleteAck { .. } => 1 + 8 + 4,
+        Message::DeleteState { puts, .. } => 1 + 8 + 4 + 8 * puts.len(),
         Message::PutAck { key, .. } => {
             1 + 8
                 + match key {
@@ -1164,6 +1197,19 @@ fn decode_with(mut r: Reader<'_>) -> Result<Message> {
         }
         tag::ERROR => Message::ErrorMsg { op: OpId(r.u64()?), error: r.error()? },
         tag::END_SYNC => Message::EndSync { op: OpId(r.u64()?) },
+        tag::DELETE_STATE => {
+            let op = OpId(r.u64()?);
+            let n = r.u32()? as usize;
+            if n > MAX_MESSAGE / 8 {
+                return Err(Error::Codec("too many delete-state puts".into()));
+            }
+            let mut puts = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                puts.push(OpId(r.u64()?));
+            }
+            Message::DeleteState { op, puts }
+        }
+        tag::DELETE_ACK => Message::DeleteAck { op: OpId(r.u64()?), restored: r.u32()? },
         other => return Err(Error::Codec(format!("unknown message tag {other}"))),
     };
     if !r.is_exhausted() {
@@ -1256,6 +1302,8 @@ mod tests {
             packet: Packet::new(9, fk(), vec![1, 2, 3]),
         });
         roundtrip(Message::EndSync { op: OpId(19) });
+        roundtrip(Message::DeleteState { op: OpId(20), puts: vec![OpId(21), OpId(22)] });
+        roundtrip(Message::DeleteState { op: OpId(23), puts: Vec::new() });
     }
 
     #[test]
@@ -1269,6 +1317,7 @@ mod tests {
         roundtrip(Message::PutAck { op: OpId(4), key: Some(HeaderFieldList::exact(fk())) });
         roundtrip(Message::PutAck { op: OpId(5), key: None });
         roundtrip(Message::OpAck { op: OpId(6) });
+        roundtrip(Message::DeleteAck { op: OpId(6), restored: 2 });
         roundtrip(Message::ConfigValues {
             op: OpId(7),
             pairs: vec![(HierarchicalKey::parse("a/b"), vec![1i64.into()])],
@@ -1454,9 +1503,9 @@ mod tests {
             }
         }
 
-        /// One randomized message of the variant at `idx` (0..=27 covers
+        /// One randomized message of the variant at `idx` (0..=29 covers
         /// the whole enum; keep in sync with `Message`).
-        pub const VARIANTS: u64 = 28;
+        pub const VARIANTS: u64 = 30;
         pub fn message(rng: &mut TestRng, idx: u64) -> Message {
             let op = OpId(rng.next_u64());
             match idx {
@@ -1508,7 +1557,12 @@ mod tests {
                         values: (0..rng.below(4)).map(|_| (string(rng), string(rng))).collect(),
                     },
                 },
-                _ => Message::ErrorMsg { op, error: error(rng) },
+                27 => Message::ErrorMsg { op, error: error(rng) },
+                28 => Message::DeleteState {
+                    op,
+                    puts: (0..rng.below(6)).map(|_| OpId(rng.next_u64())).collect(),
+                },
+                _ => Message::DeleteAck { op, restored: rng.next_u64() as u32 },
             }
         }
     }

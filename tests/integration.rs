@@ -165,7 +165,10 @@ fn lb_rejects_fine_grained_get_through_controller() {
                 let mut out = Vec::new();
                 core.handle_mb_message(mb, reply, SimTime(0), &mut out);
                 for n in out {
-                    if let Action::Notify(openmb::core::Completion::Failed { op: fop, error }) = n {
+                    if let Action::Notify(openmb::core::Completion::Failed {
+                        op: fop, error, ..
+                    }) = n
+                    {
                         assert_eq!(fop, op);
                         assert!(
                             matches!(error, openmb::types::Error::GranularityTooFine { .. }),
