@@ -131,7 +131,33 @@ fn run_benches() -> Vec<Bench> {
         optimized_ns: measure(|| wire::decode_bytes(black_box(&shared)).unwrap()),
     };
 
-    vec![wire_len, flow_lookup, decode]
+    // Flight recorder: one record() with the ring enabled vs the
+    // disabled path (a single branch). Not gated — the number to watch
+    // is the disabled path staying near-free so instrumented code can
+    // ship with recording off.
+    use openmb_simnet::obs::{NodeTag, Recorder, SpanEvent};
+    let enabled = Recorder::enabled(1024);
+    let tag = enabled.register("bench");
+    let disabled = Recorder::disabled();
+    let mut t_on = 0u64;
+    let baseline_ns = measure(|| {
+        t_on += 1;
+        enabled.record(t_on, tag, Some(1), Some(2), SpanEvent::ChunkAcked { seq: t_on });
+    });
+    let mut t_off = 0u64;
+    let optimized_ns = measure(|| {
+        t_off += 1;
+        disabled.record(
+            t_off,
+            NodeTag::NONE,
+            Some(1),
+            Some(2),
+            SpanEvent::ChunkAcked { seq: t_off },
+        );
+    });
+    let recorder = Bench { name: "recorder_record", gated: false, baseline_ns, optimized_ns };
+
+    vec![wire_len, flow_lookup, decode, recorder]
 }
 
 fn to_json(benches: &[Bench]) -> String {

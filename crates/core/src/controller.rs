@@ -19,6 +19,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use openmb_obs::{NodeTag, ParkReason, Recorder, SpanEvent};
 use openmb_simnet::{SimDuration, SimTime};
 use openmb_types::wire::{Event, EventFilter, Message};
 use openmb_types::{
@@ -334,6 +335,12 @@ pub struct ControllerCore {
     /// Counters for experiments (messages brokered, events buffered...).
     pub messages_handled: u64,
     pub events_buffered_peak: usize,
+    /// Flight recorder for op spans (disabled unless the embedding
+    /// installs one via [`ControllerCore::set_recorder`]). Cloning the
+    /// core (journaling) shares the recorder, so a restored snapshot
+    /// keeps appending to the same timeline.
+    obs: Recorder,
+    obs_tag: NodeTag,
 }
 
 impl ControllerCore {
@@ -350,7 +357,30 @@ impl ControllerCore {
             config,
             messages_handled: 0,
             events_buffered_peak: 0,
+            obs: Recorder::disabled(),
+            obs_tag: NodeTag::NONE,
         }
+    }
+
+    /// Install a flight recorder: every operation's lifecycle events
+    /// (`Issued`, `ChunkAcked`, `Parked`, `Resumed`, `DeleteRetried`,
+    /// `Aborted`, `Completed`) are recorded into it under the node name
+    /// "controller".
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs_tag = rec.register("controller");
+        self.obs = rec;
+    }
+
+    /// The installed flight recorder handle (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// The node tag this core records under ([`NodeTag::NONE`] while no
+    /// recorder is installed). Embeddings use it to attribute their own
+    /// transport-level events to the controller's timeline.
+    pub fn recorder_tag(&self) -> NodeTag {
+        self.obs_tag
     }
 
     /// Register a middlebox; returns its handle.
@@ -410,6 +440,9 @@ impl ControllerCore {
         st.completed = true;
         st.quiesced = true;
         self.ops.insert(op, st);
+        self.obs.record_with(now.0, self.obs_tag, Some(op.0), None, || SpanEvent::Aborted {
+            error: error.to_string(),
+        });
         out.push(Action::Notify(Completion::Failed { op, error, dropped_events: 0 }));
     }
 
@@ -448,12 +481,20 @@ impl ControllerCore {
             return op;
         }
         self.ops.insert(op, self.new_op_state(OpKind::ReadConfig, src, src, now));
+        self.span(now, op, None, SpanEvent::Issued { kind: "readConfig" });
         let sub = self.alloc_sub(op, SubRole::Simple);
         let msg = Message::GetConfig { op: sub, key };
+        self.span(now, op, Some(sub), SpanEvent::Issued { kind: "getConfig" });
         // Config reads are idempotent: retry on a lost request/reply.
         self.arm_retry(op, src, msg.clone(), now);
         out.push(Action::ToMb(src, msg));
         op
+    }
+
+    /// Record a span event for `op` (and optionally a sub-op) at `now`.
+    #[inline]
+    fn span(&self, now: SimTime, op: OpId, sub: Option<OpId>, ev: SpanEvent) {
+        self.obs.record(now.0, self.obs_tag, Some(op.0), sub.map(|s| s.0), ev);
     }
 
     /// `writeConfig(DstMB, HierarchicalKey, values)`.
@@ -471,7 +512,9 @@ impl ControllerCore {
             return op;
         }
         self.ops.insert(op, self.new_op_state(OpKind::WriteConfig, dst, dst, now));
+        self.span(now, op, None, SpanEvent::Issued { kind: "writeConfig" });
         let sub = self.alloc_sub(op, SubRole::Simple);
+        self.span(now, op, Some(sub), SpanEvent::Issued { kind: "setConfig" });
         out.push(Action::ToMb(dst, Message::SetConfig { op: sub, key, values }));
         op
     }
@@ -490,7 +533,9 @@ impl ControllerCore {
             return op;
         }
         self.ops.insert(op, self.new_op_state(OpKind::DelConfig, dst, dst, now));
+        self.span(now, op, None, SpanEvent::Issued { kind: "delConfig" });
         let sub = self.alloc_sub(op, SubRole::Simple);
+        self.span(now, op, Some(sub), SpanEvent::Issued { kind: "delConfig" });
         out.push(Action::ToMb(dst, Message::DelConfig { op: sub, key }));
         op
     }
@@ -509,7 +554,9 @@ impl ControllerCore {
             return op;
         }
         self.ops.insert(op, self.new_op_state(OpKind::Stats, src, src, now));
+        self.span(now, op, None, SpanEvent::Issued { kind: "stats" });
         let sub = self.alloc_sub(op, SubRole::Simple);
+        self.span(now, op, Some(sub), SpanEvent::Issued { kind: "getStats" });
         let msg = Message::GetStats { op: sub, key };
         // Stats reads are idempotent: retry on a lost request/reply.
         self.arm_retry(op, src, msg.clone(), now);
@@ -531,8 +578,10 @@ impl ControllerCore {
             return op;
         }
         self.ops.insert(op, self.new_op_state(OpKind::EnableEvents, mb, mb, now));
+        self.span(now, op, None, SpanEvent::Issued { kind: "enableEvents" });
         self.subscriptions.insert(mb, filter.clone());
         let sub = self.alloc_sub(op, SubRole::Simple);
+        self.span(now, op, Some(sub), SpanEvent::Issued { kind: "enableEvents" });
         out.push(Action::ToMb(mb, Message::EnableEvents { op: sub, filter }));
         op
     }
@@ -555,8 +604,11 @@ impl ControllerCore {
         st.pattern = key;
         st.gets_outstanding = 2;
         self.ops.insert(op, st);
+        self.span(now, op, None, SpanEvent::Issued { kind: "moveInternal" });
         let gs = self.alloc_sub(op, SubRole::GetSupport);
         let gr = self.alloc_sub(op, SubRole::GetReport);
+        self.span(now, op, Some(gs), SpanEvent::Issued { kind: "getSupportPerflow" });
+        self.span(now, op, Some(gr), SpanEvent::Issued { kind: "getReportPerflow" });
         let mgs = Message::GetSupportPerflow { op: gs, key };
         let mgr = Message::GetReportPerflow { op: gr, key };
         if let Some(st) = self.ops.get_mut(&op) {
@@ -585,7 +637,9 @@ impl ControllerCore {
         let mut st = self.new_op_state(OpKind::Clone, src, dst, now);
         st.gets_outstanding = 1;
         self.ops.insert(op, st);
+        self.span(now, op, None, SpanEvent::Issued { kind: "cloneSupport" });
         let g = self.alloc_sub(op, SubRole::GetSharedSupport);
+        self.span(now, op, Some(g), SpanEvent::Issued { kind: "getSupportShared" });
         let mg = Message::GetSupportShared { op: g };
         if let Some(st) = self.ops.get_mut(&op) {
             st.get_subs.push(g);
@@ -611,8 +665,11 @@ impl ControllerCore {
         let mut st = self.new_op_state(OpKind::Merge, src, dst, now);
         st.gets_outstanding = 2;
         self.ops.insert(op, st);
+        self.span(now, op, None, SpanEvent::Issued { kind: "mergeInternal" });
         let gs = self.alloc_sub(op, SubRole::GetSharedSupport);
         let gr = self.alloc_sub(op, SubRole::GetSharedReport);
+        self.span(now, op, Some(gs), SpanEvent::Issued { kind: "getSupportShared" });
+        self.span(now, op, Some(gr), SpanEvent::Issued { kind: "getReportShared" });
         let mgs = Message::GetSupportShared { op: gs };
         let mgr = Message::GetReportShared { op: gr };
         if let Some(st) = self.ops.get_mut(&op) {
@@ -670,7 +727,7 @@ impl ControllerCore {
                 // chunk: its put — same sub id — is already in flight or
                 // acked, so issuing a second one would double-count.
                 if !st.streamed.insert((is_report, chunk.key)) {
-                    self.maybe_finish_get(parent, sub, out);
+                    self.maybe_finish_get(parent, sub, now, out);
                     return;
                 }
                 st.chunks += 1;
@@ -690,12 +747,20 @@ impl ControllerCore {
                         })
                     };
                 let put_sub = self.alloc_sub(parent, put_role);
+                self.span(
+                    now,
+                    parent,
+                    Some(put_sub),
+                    SpanEvent::Issued {
+                        kind: if is_report { "putReportPerflow" } else { "putSupportPerflow" },
+                    },
+                );
                 let m = mk(put_sub, chunk);
                 if let Some(st) = self.ops.get_mut(&parent) {
                     st.unacked_puts.push((seq, m.clone()));
                 }
                 out.push(Action::ToMb(dst, m));
-                self.maybe_finish_get(parent, sub, out);
+                self.maybe_finish_get(parent, sub, now, out);
             }
             Message::GetAck { op: sub, count } => {
                 let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
@@ -709,7 +774,7 @@ impl ControllerCore {
                 // arrived — a dropped chunk leaves it open for resume
                 // instead of silently losing state.
                 st.get_expected.insert(sub, count);
-                self.maybe_finish_get(parent, sub, out);
+                self.maybe_finish_get(parent, sub, now, out);
             }
             Message::SharedChunk { op: sub, chunk } => {
                 let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
@@ -746,6 +811,7 @@ impl ControllerCore {
                     }
                     _ => unreachable!(),
                 };
+                self.span(now, parent, Some(put_sub), SpanEvent::Issued { kind: m.kind_name() });
                 if let Some(st) = self.ops.get_mut(&parent) {
                     st.unacked_puts.push((seq, m.clone()));
                     st.shared_puts.push(put_sub);
@@ -771,6 +837,13 @@ impl ControllerCore {
                             return;
                         }
                         st.unacked_puts.retain(|(s, _)| *s != seq);
+                        self.obs.record(
+                            now.0,
+                            self.obs_tag,
+                            Some(parent.0),
+                            Some(sub.0),
+                            SpanEvent::ChunkAcked { seq },
+                        );
                     }
                     st.puts_outstanding = st.puts_outstanding.saturating_sub(1);
                     st.last_activity = now;
@@ -802,7 +875,7 @@ impl ControllerCore {
                         }
                     }
                 }
-                self.maybe_complete(parent, out);
+                self.maybe_complete(parent, now, out);
             }
             Message::OpAck { op: sub } => {
                 let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
@@ -820,12 +893,19 @@ impl ControllerCore {
                             st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
                             st.last_activity = now;
                         }
-                        self.maybe_complete(parent, out);
+                        self.maybe_complete(parent, now, out);
                     }
                     SubRole::Simple => {
                         if let Some(st) = self.ops.get_mut(&parent) {
                             if !st.completed {
                                 st.completed = true;
+                                self.obs.record(
+                                    now.0,
+                                    self.obs_tag,
+                                    Some(parent.0),
+                                    Some(sub.0),
+                                    SpanEvent::Completed,
+                                );
                                 out.push(Action::Notify(Completion::Ack { op: parent }));
                             }
                         }
@@ -851,6 +931,7 @@ impl ControllerCore {
                 if let Some(st) = self.ops.get_mut(&parent) {
                     st.completed = true;
                 }
+                self.span(now, parent, Some(sub), SpanEvent::Completed);
                 out.push(Action::Notify(Completion::Config { op: parent, pairs }));
             }
             Message::Stats { op: sub, stats } => {
@@ -858,6 +939,7 @@ impl ControllerCore {
                 if let Some(st) = self.ops.get_mut(&parent) {
                     st.completed = true;
                 }
+                self.span(now, parent, Some(sub), SpanEvent::Completed);
                 out.push(Action::Notify(Completion::Stats { op: parent, stats }));
             }
             Message::EventMsg { event } => match event {
@@ -922,7 +1004,7 @@ impl ControllerCore {
                 // answer.
                 self.pending_deletes.retain(|r| r.sub != sub);
                 let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
-                self.abort_op(parent, error, out);
+                self.abort_op(parent, error, now, out);
             }
             _ => {
                 // Controller never receives southbound requests.
@@ -941,7 +1023,7 @@ impl ControllerCore {
     /// moved and the application already saw the completion; recovering
     /// from a post-completion crash is the application's job (see
     /// `apps::failover`).
-    pub fn mark_unreachable(&mut self, mb: MbId, out: &mut Vec<Action>) {
+    pub fn mark_unreachable(&mut self, mb: MbId, now: SimTime, out: &mut Vec<Action>) {
         if !self.unreachable.insert(mb) {
             return;
         }
@@ -973,8 +1055,15 @@ impl ControllerCore {
                 // Park: the transfer resumes when the endpoint returns.
                 // The op deadline still backstops an MB that never does.
                 st.suspended = true;
+                self.obs.record(
+                    now.0,
+                    self.obs_tag,
+                    Some(op.0),
+                    None,
+                    SpanEvent::Parked { reason: ParkReason::MbUnreachable { mb: mb.0 } },
+                );
             } else {
-                self.abort_op(op, Error::MbUnreachable(mb), out);
+                self.abort_op(op, Error::MbUnreachable(mb), now, out);
             }
         }
     }
@@ -1014,7 +1103,7 @@ impl ControllerCore {
     /// `DeleteState` for the shared puts of a clone/merge — close the
     /// source's sync window, release the op's bookkeeping, and notify
     /// the application with the typed `error`.
-    fn abort_op(&mut self, op: OpId, error: Error, out: &mut Vec<Action>) {
+    fn abort_op(&mut self, op: OpId, error: Error, now: SimTime, out: &mut Vec<Action>) {
         let Some(st) = self.ops.get_mut(&op) else { return };
         if st.completed || st.quiesced {
             return;
@@ -1056,6 +1145,9 @@ impl ControllerCore {
                 out.push(Action::ToMb(src, Message::EndSync { op: sub }));
             }
         }
+        self.obs.record_with(now.0, self.obs_tag, Some(op.0), None, || SpanEvent::Aborted {
+            error: error.to_string(),
+        });
         out.push(Action::Notify(Completion::Failed { op, error, dropped_events }));
     }
 
@@ -1107,7 +1199,7 @@ impl ControllerCore {
     /// *and* every announced chunk has been seen. Called from both the
     /// GetAck and Chunk handlers, so a chunk delayed past its ack still
     /// completes the stream when it finally lands.
-    fn maybe_finish_get(&mut self, parent: OpId, sub: OpId, out: &mut Vec<Action>) {
+    fn maybe_finish_get(&mut self, parent: OpId, sub: OpId, now: SimTime, out: &mut Vec<Action>) {
         let Some(st) = self.ops.get_mut(&parent) else { return };
         if st.completed || st.quiesced || st.done_gets.contains(&sub) {
             return;
@@ -1119,7 +1211,7 @@ impl ControllerCore {
         }
         st.done_gets.insert(sub);
         st.gets_outstanding = st.gets_outstanding.saturating_sub(1);
-        self.maybe_complete(parent, out);
+        self.maybe_complete(parent, now, out);
     }
 
     /// Resume a stalled or parked transfer from its last acked chunk:
@@ -1146,6 +1238,9 @@ impl ControllerCore {
         st.suspended = false;
         st.last_activity = now;
         st.deadline = deadline;
+        let from_seq = st.unacked_puts.iter().map(|(s, _)| *s).min().unwrap_or(st.next_chunk_seq);
+        self.obs.record(now.0, self.obs_tag, Some(op.0), None, SpanEvent::Resumed { from_seq });
+        let Some(st) = self.ops.get_mut(&op) else { return };
         let (src, dst) = (st.src, st.dst);
         let gets: Vec<Message> = st
             .get_reqs
@@ -1162,7 +1257,7 @@ impl ControllerCore {
         }
     }
 
-    fn maybe_complete(&mut self, parent: OpId, out: &mut Vec<Action>) {
+    fn maybe_complete(&mut self, parent: OpId, now: SimTime, out: &mut Vec<Action>) {
         let Some(st) = self.ops.get_mut(&parent) else { return };
         if st.completed || st.gets_outstanding > 0 || st.puts_outstanding > 0 {
             return;
@@ -1186,6 +1281,7 @@ impl ControllerCore {
             // Simple kinds complete via their own paths.
             _ => return,
         };
+        self.span(now, parent, None, SpanEvent::Completed);
         out.push(Action::Notify(c));
     }
 
@@ -1274,7 +1370,7 @@ impl ControllerCore {
             } else {
                 // Includes suspended transfers whose endpoint never
                 // returned: the deadline is the backstop.
-                self.abort_op(op, Error::Timeout { op }, out);
+                self.abort_op(op, Error::Timeout { op }, now, out);
             }
         }
 
@@ -1284,7 +1380,7 @@ impl ControllerCore {
         // dropped once the budget is spent, so a destination that never
         // acks cannot keep the maintenance timer alive forever.
         let backoff = self.config.retry_backoff;
-        let mut resend: Vec<(MbId, Message)> = Vec::new();
+        let mut resend: Vec<(MbId, OpId, Message)> = Vec::new();
         self.pending_deletes.retain_mut(|r| {
             let Some(due) = r.due else { return true };
             if now < due {
@@ -1295,11 +1391,14 @@ impl ControllerCore {
             }
             r.left -= 1;
             r.due = Some(now.after(backoff));
-            resend.push((r.mb, r.msg.clone()));
+            resend.push((r.mb, r.sub, r.msg.clone()));
             true
         });
-        for (mb, msg) in resend {
+        for (mb, sub, msg) in resend {
             if !self.unreachable.contains(&mb) {
+                if let Some(&(parent, _)) = self.sub_ops.get(&sub) {
+                    self.span(now, parent, Some(sub), SpanEvent::DeleteRetried);
+                }
                 out.push(Action::ToMb(mb, msg));
             }
         }

@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 
 use openmb_mb::{Effects, Middlebox, SharedPutLog};
+use openmb_obs::SpanEvent;
 use openmb_openflow::Topology;
 use openmb_simnet::{Ctx, Frame, Node, SimDuration, SimTime, TraceKind};
 use openmb_types::sdn::SdnMessage;
@@ -403,85 +404,96 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
             Frame::Data(pkt) => {
                 self.queue.push_back(Work::Packet { pkt, arrived: ctx.now() });
             }
-            Frame::Control(msg) => match msg {
-                Message::GetSupportPerflow { op, key } => {
-                    ctx.trace(TraceKind::OpStart { op: "getSupportPerflow" });
-                    let entries = self.logic.perflow_entries();
-                    match self.logic.get_support_perflow(op, &key) {
-                        Ok(chunks) => self.queue.push_back(Work::GetBatch {
-                            sub: op,
-                            chunks,
-                            idx: 0,
-                            report: false,
-                            first: true,
-                            scanned_entries: entries,
-                        }),
-                        Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
-                    }
-                }
-                Message::GetReportPerflow { op, key } => {
-                    ctx.trace(TraceKind::OpStart { op: "getReportPerflow" });
-                    let entries = self.logic.perflow_entries();
-                    match self.logic.get_report_perflow(op, &key) {
-                        Ok(chunks) => self.queue.push_back(Work::GetBatch {
-                            sub: op,
-                            chunks,
-                            idx: 0,
-                            report: true,
-                            first: true,
-                            scanned_entries: entries,
-                        }),
-                        Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
-                    }
-                }
-                Message::GetSupportShared { op } => {
-                    // Shared exports serialize on a background thread:
-                    // the result is delivered after the serialization
-                    // delay without occupying the packet path (the §8.2
-                    // RE result: exporting a 500 MB cache leaves
-                    // per-packet latency essentially unchanged).
-                    ctx.trace(TraceKind::OpStart { op: "getSupportShared" });
-                    match self.logic.get_support_shared(op) {
-                        Ok(chunk) => {
-                            let cost = self
-                                .costs()
-                                .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
-                            let token = self.next_shared_token;
-                            self.next_shared_token += 1;
-                            self.pending_shared.insert(token, (op, chunk, false));
-                            ctx.set_timer(cost, token);
+            Frame::Control(msg) => {
+                // One `Handled` span per southbound request, keyed by
+                // the wire message's sub-op id: the controller records
+                // the same id as the `sub` of its parent op, so one op
+                // id yields a cross-node timeline.
+                ctx.record(
+                    None,
+                    msg.op_id().map(|o| o.0),
+                    SpanEvent::Handled { msg: msg.kind_name() },
+                );
+                match msg {
+                    Message::GetSupportPerflow { op, key } => {
+                        ctx.trace(TraceKind::OpStart { op: "getSupportPerflow" });
+                        let entries = self.logic.perflow_entries();
+                        match self.logic.get_support_perflow(op, &key) {
+                            Ok(chunks) => self.queue.push_back(Work::GetBatch {
+                                sub: op,
+                                chunks,
+                                idx: 0,
+                                report: false,
+                                first: true,
+                                scanned_entries: entries,
+                            }),
+                            Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                         }
-                        Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                     }
-                }
-                Message::GetReportShared { op } => {
-                    ctx.trace(TraceKind::OpStart { op: "getReportShared" });
-                    match self.logic.get_report_shared() {
-                        Ok(chunk) => {
-                            let cost = self
-                                .costs()
-                                .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
-                            let token = self.next_shared_token;
-                            self.next_shared_token += 1;
-                            self.pending_shared.insert(token, (op, chunk, true));
-                            ctx.set_timer(cost, token);
+                    Message::GetReportPerflow { op, key } => {
+                        ctx.trace(TraceKind::OpStart { op: "getReportPerflow" });
+                        let entries = self.logic.perflow_entries();
+                        match self.logic.get_report_perflow(op, &key) {
+                            Ok(chunks) => self.queue.push_back(Work::GetBatch {
+                                sub: op,
+                                chunks,
+                                idx: 0,
+                                report: true,
+                                first: true,
+                                scanned_entries: entries,
+                            }),
+                            Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                         }
-                        Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+                    }
+                    Message::GetSupportShared { op } => {
+                        // Shared exports serialize on a background thread:
+                        // the result is delivered after the serialization
+                        // delay without occupying the packet path (the §8.2
+                        // RE result: exporting a 500 MB cache leaves
+                        // per-packet latency essentially unchanged).
+                        ctx.trace(TraceKind::OpStart { op: "getSupportShared" });
+                        match self.logic.get_support_shared(op) {
+                            Ok(chunk) => {
+                                let cost = self
+                                    .costs()
+                                    .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
+                                let token = self.next_shared_token;
+                                self.next_shared_token += 1;
+                                self.pending_shared.insert(token, (op, chunk, false));
+                                ctx.set_timer(cost, token);
+                            }
+                            Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+                        }
+                    }
+                    Message::GetReportShared { op } => {
+                        ctx.trace(TraceKind::OpStart { op: "getReportShared" });
+                        match self.logic.get_report_shared() {
+                            Ok(chunk) => {
+                                let cost = self
+                                    .costs()
+                                    .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
+                                let token = self.next_shared_token;
+                                self.next_shared_token += 1;
+                                self.pending_shared.insert(token, (op, chunk, true));
+                                ctx.set_timer(cost, token);
+                            }
+                            Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+                        }
+                    }
+                    Message::ReprocessPacket { op: _, key: _, packet } => {
+                        self.queue.push_back(Work::Replay { pkt: packet });
+                    }
+                    other => {
+                        if matches!(
+                            other,
+                            Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. }
+                        ) {
+                            ctx.trace(TraceKind::OpStart { op: "put" });
+                        }
+                        self.queue.push_back(Work::Msg(other));
                     }
                 }
-                Message::ReprocessPacket { op: _, key: _, packet } => {
-                    self.queue.push_back(Work::Replay { pkt: packet });
-                }
-                other => {
-                    if matches!(
-                        other,
-                        Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. }
-                    ) {
-                        ctx.trace(TraceKind::OpStart { op: "put" });
-                    }
-                    self.queue.push_back(Work::Msg(other));
-                }
-            },
+            }
             Frame::Sdn(_) => panic!("SDN frame delivered to middlebox {}", self.label),
         }
         self.pump(ctx);
@@ -678,10 +690,10 @@ impl ControllerNode {
             return;
         }
         let mut actions = Vec::new();
-        for mb in std::mem::take(&mut self.pending_unreachable) {
-            self.core.mark_unreachable(mb, &mut actions);
-        }
         let now = ctx.now();
+        for mb in std::mem::take(&mut self.pending_unreachable) {
+            self.core.mark_unreachable(mb, now, &mut actions);
+        }
         for mb in std::mem::take(&mut self.pending_reachable) {
             self.core.mark_reachable(mb, now, &mut actions);
         }
@@ -807,6 +819,11 @@ impl Node for ControllerNode {
             return;
         }
         self.started = true;
+        // Adopt the simulation's flight recorder (no-op while disabled):
+        // op lifecycles record under the node name "controller".
+        if ctx.recorder().is_enabled() && !self.core.recorder().is_enabled() {
+            self.core.set_recorder(ctx.recorder().clone());
+        }
         self.with_api(ctx, |app, api| app.on_start(api));
         self.checkpoint();
     }
@@ -875,6 +892,11 @@ impl Node for ControllerNode {
                 let mut fresh = ControllerCore::new(self.core.config);
                 for _ in 0..self.mb_nodes.len() {
                     fresh.register_mb();
+                }
+                // The flight recorder outlives the amnesia: its buffer
+                // is shared with the simulation, not part of op state.
+                if self.core.recorder().is_enabled() {
+                    fresh.set_recorder(self.core.recorder().clone());
                 }
                 self.core = fresh;
             }

@@ -25,10 +25,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use openmb_mb::{Effects, Middlebox, SharedPutLog};
+use openmb_mb::{Middlebox, SharedPutLog};
+use openmb_obs::{Recorder, SpanEvent};
 use openmb_simnet::SimTime;
 use openmb_types::transport::Transport;
-use openmb_types::wire::Message;
 use openmb_types::{Error, MbId, OpId, Result};
 
 use crate::controller::{Action, Completion, ControllerConfig, ControllerCore};
@@ -72,161 +72,42 @@ pub fn serve_middlebox_logged<M: Middlebox>(
     }
 }
 
-/// Pure southbound dispatch: one request in, zero or more messages out
-/// (replies plus any events raised by replay). Uses a throwaway
-/// [`SharedPutLog`], so shared-put dedup and `DeleteState` rollback do
-/// not span calls — single-exchange tests and tools that never resume
-/// can ignore the log; resumable embeddings use
-/// [`handle_southbound_logged`].
-pub fn handle_southbound<M: Middlebox>(mb: &mut M, msg: Message, now: SimTime) -> Vec<Message> {
-    let mut log = SharedPutLog::new(0);
-    handle_southbound_logged(mb, &mut log, msg, now)
-}
-
-/// [`handle_southbound`] with a caller-owned [`SharedPutLog`] carrying
-/// the shared-put dedup set and pre-put snapshots across messages.
-pub fn handle_southbound_logged<M: Middlebox>(
+/// [`serve_middlebox_logged`] that also records every request it
+/// handles into `rec` as a [`SpanEvent::Handled`] under the node name
+/// `name` — the MB half of an end-to-end op timeline. Timestamps are
+/// nanoseconds since the recorder's epoch, so when the controller
+/// shares the same recorder (loopback tests) both sides' events
+/// interleave on one clock.
+pub fn serve_middlebox_recorded<M: Middlebox>(
     mb: &mut M,
     log: &mut SharedPutLog,
-    msg: Message,
-    now: SimTime,
-) -> Vec<Message> {
-    let mut out = Vec::new();
-    match msg {
-        Message::GetConfig { op, key } => match mb.get_config(&key) {
-            Ok(pairs) => out.push(Message::ConfigValues { op, pairs }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::SetConfig { op, key, values } => match mb.set_config(&key, values) {
-            Ok(()) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::DelConfig { op, key } => match mb.del_config(&key) {
-            Ok(()) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::GetSupportPerflow { op, key } => match mb.get_support_perflow(op, &key) {
-            Ok(chunks) => {
-                let count = chunks.len() as u32;
-                for chunk in chunks {
-                    out.push(Message::Chunk { op, chunk });
-                }
-                out.push(Message::GetAck { op, count });
-            }
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::GetReportPerflow { op, key } => match mb.get_report_perflow(op, &key) {
-            Ok(chunks) => {
-                let count = chunks.len() as u32;
-                for chunk in chunks {
-                    out.push(Message::Chunk { op, chunk });
-                }
-                out.push(Message::GetAck { op, count });
-            }
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::PutSupportPerflow { op, chunk } => {
-            let key = chunk.key;
-            match mb.put_support_perflow(chunk) {
-                Ok(()) => out.push(Message::PutAck { op, key: Some(key) }),
-                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-            }
+    transport: &dyn Transport,
+    stop: &AtomicBool,
+    rec: &Recorder,
+    name: &str,
+) -> Result<()> {
+    let tag = rec.register(name);
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
         }
-        Message::PutReportPerflow { op, chunk } => {
-            let key = chunk.key;
-            match mb.put_report_perflow(chunk) {
-                Ok(()) => out.push(Message::PutAck { op, key: Some(key) }),
-                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-            }
+        let msg = match transport.recv_timeout(Duration::from_millis(20)) {
+            Ok(Some(m)) => m,
+            Ok(None) => continue,
+            Err(_) => return Ok(()), // peer closed
+        };
+        let now = SimTime(rec.now_ns());
+        for reply in handle_southbound_recorded(mb, log, msg, now, rec, tag) {
+            transport.send(reply)?;
         }
-        Message::DelSupportPerflow { op, key } => match mb.del_support_perflow(&key) {
-            Ok(_) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::DelReportPerflow { op, key } => match mb.del_report_perflow(&key) {
-            Ok(_) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::GetSupportShared { op } => match mb.get_support_shared(op) {
-            Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
-            Ok(None) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::PutSupportShared { op, chunk } => {
-            // Shared puts MERGE, so a re-sent copy (transfer resume)
-            // must be re-acked without re-applying.
-            if log.already_applied(op) {
-                out.push(Message::PutAck { op, key: None });
-            } else {
-                let snap = mb.snapshot_shared();
-                match snap.and_then(|s| mb.put_support_shared(chunk).map(|()| s)) {
-                    Ok(s) => {
-                        log.record(op, s);
-                        out.push(Message::PutAck { op, key: None });
-                    }
-                    Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-                }
-            }
-        }
-        Message::GetReportShared { op } => match mb.get_report_shared() {
-            Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
-            Ok(None) => out.push(Message::OpAck { op }),
-            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-        },
-        Message::PutReportShared { op, chunk } => {
-            if log.already_applied(op) {
-                out.push(Message::PutAck { op, key: None });
-            } else {
-                let snap = mb.snapshot_shared();
-                match snap.and_then(|s| mb.put_report_shared(chunk).map(|()| s)) {
-                    Ok(s) => {
-                        log.record(op, s);
-                        out.push(Message::PutAck { op, key: None });
-                    }
-                    Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-                }
-            }
-        }
-        Message::DeleteState { op, puts } => {
-            // Compensating rollback for an aborted clone/merge: restore
-            // the pre-put image and revoke any listed put still in
-            // flight.
-            let (snap, restored) = log.rollback(&puts);
-            let result = match snap {
-                Some(s) => mb.restore_shared(s).map(|()| restored),
-                None => Ok(0),
-            };
-            match result {
-                Ok(restored) => out.push(Message::DeleteAck { op, restored }),
-                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
-            }
-        }
-        Message::GetStats { op, key } => {
-            out.push(Message::Stats { op, stats: mb.stats(&key) });
-        }
-        Message::EnableEvents { op, filter } => {
-            mb.set_introspection(Some(filter));
-            out.push(Message::OpAck { op });
-        }
-        Message::DisableEvents { op } => {
-            mb.set_introspection(None);
-            out.push(Message::OpAck { op });
-        }
-        Message::ReprocessPacket { op: _, key: _, packet } => {
-            let mut fx = Effects::replay();
-            mb.process_packet(now, &packet, &mut fx);
-            for event in fx.take_events() {
-                out.push(Message::EventMsg { event });
-            }
-        }
-        Message::EndSync { op } => {
-            mb.end_sync(op);
-        }
-        // MB→controller messages are not requests.
-        _ => {}
     }
-    out
 }
+
+/// Southbound dispatch, re-exported from [`openmb_mb::southbound`]
+/// where it now lives (next to the [`Middlebox`] trait it drives).
+pub use openmb_mb::southbound::{
+    handle_southbound, handle_southbound_logged, handle_southbound_recorded,
+};
 
 /// A controller serving the northbound API over per-MB transports.
 pub struct TcpController {
@@ -297,8 +178,32 @@ impl TcpController {
             }
         }
         let mut actions = Vec::new();
-        self.inner.core.lock().mark_reachable(mb, self.now(), &mut actions);
+        {
+            let mut core = self.inner.core.lock();
+            core.recorder().record(
+                self.now().0,
+                core.recorder_tag(),
+                None,
+                None,
+                SpanEvent::TransportReattached,
+            );
+            core.mark_reachable(mb, self.now(), &mut actions);
+        }
         self.inner.execute(actions);
+    }
+
+    /// Install a flight recorder on the hosted core: op lifecycle
+    /// events and transport resets/reattaches record into it under the
+    /// node name "controller". Timestamps are nanoseconds since the
+    /// controller's start instant, so they sort against the MB side's
+    /// recorder when both share one recorder over loopback.
+    pub fn set_recorder(&self, rec: Recorder) {
+        self.inner.core.lock().set_recorder(rec);
+    }
+
+    /// The hosted core's flight recorder handle (disabled by default).
+    pub fn recorder(&self) -> Recorder {
+        self.inner.core.lock().recorder().clone()
     }
 
     /// Start the pump thread (poll transports, drive the core).
@@ -470,8 +375,18 @@ impl Inner {
                             // (or parks, given resume budget), exactly as
                             // the sim harness reports link failures.
                             self.dead.lock()[i] = true;
+                            let now = SimTime(self.start.elapsed().as_nanos() as u64);
                             let mut actions = Vec::new();
-                            self.core.lock().mark_unreachable(MbId(i as u32), &mut actions);
+                            let mut core = self.core.lock();
+                            core.recorder().record(
+                                now.0,
+                                core.recorder_tag(),
+                                None,
+                                None,
+                                SpanEvent::TransportReset,
+                            );
+                            core.mark_unreachable(MbId(i as u32), now, &mut actions);
+                            drop(core);
                             self.execute(actions);
                             break;
                         }

@@ -237,6 +237,125 @@ fn mid_transfer_disconnect_resumes_from_last_acked_chunk() {
     controller.shutdown();
 }
 
+/// The sub-op ids the controller allocates survive the wire codec.
+/// Controller and both MB servers share one flight recorder over real
+/// loopback TCP — length-prefixed encode/decode at both endpoints, not
+/// the in-memory channel transport — so after a move, every sub-op the
+/// controller recorded a `ChunkAcked` for must also appear as a
+/// `Handled` event at an MB node under the SAME id.
+#[test]
+fn span_ids_propagate_across_the_wire() {
+    use std::collections::BTreeSet;
+
+    use openmb_core::tcp::serve_middlebox_recorded;
+    use openmb_mb::SharedPutLog;
+    use openmb_obs::{Recorder, SpanEvent};
+
+    const FLOWS: u8 = 20;
+
+    let rec = Recorder::enabled(512);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut mb_ends = Vec::new();
+    let mut handles = Vec::new();
+    for (i, name) in ["mb:src", "mb:dst"].into_iter().enumerate() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        mb_ends.push(listener.local_addr().unwrap());
+        let stop = Arc::clone(&stop);
+        let rec = rec.clone();
+        handles.push(std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let transport = TcpTransport::new(stream).unwrap();
+            let mut monitor = Monitor::new();
+            if i == 0 {
+                let mut fx = Effects::normal();
+                for f in 1..=FLOWS {
+                    monitor.process_packet(
+                        SimTime(u64::from(f)),
+                        &http_pkt(u64::from(f), f),
+                        &mut fx,
+                    );
+                }
+            }
+            let mut log = SharedPutLog::new(0);
+            serve_middlebox_recorded(&mut monitor, &mut log, &transport, &stop, &rec, name)
+                .unwrap();
+        }));
+    }
+
+    let mut controller = TcpController::new(ControllerConfig {
+        quiesce_after: SimDuration::from_millis(50),
+        compress_transfers: false,
+        buffer_events: true,
+        ..ControllerConfig::default()
+    });
+    controller.set_recorder(rec.clone());
+    let src = controller.register_mb(Arc::new(TcpTransport::connect(mb_ends[0]).unwrap()));
+    let dst = controller.register_mb(Arc::new(TcpTransport::connect(mb_ends[1]).unwrap()));
+    controller.start();
+
+    let c = controller
+        .move_internal(src, dst, HeaderFieldList::any(), Duration::from_secs(10))
+        .unwrap();
+    let op = match c {
+        Completion::MoveComplete { op, chunks_moved, .. } => {
+            assert_eq!(chunks_moved, usize::from(FLOWS));
+            op
+        }
+        other => panic!("unexpected {other:?}"),
+    };
+
+    controller.shutdown();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let dump = rec.dump();
+
+    // Controller half: per-chunk acks recorded under the parent move
+    // op, each carrying the put sub-op's id.
+    let acked: BTreeSet<u64> = dump
+        .events
+        .iter()
+        .filter(|e| {
+            e.node == "controller"
+                && e.op == Some(op.0)
+                && matches!(e.event, SpanEvent::ChunkAcked { .. })
+        })
+        .filter_map(|e| e.sub)
+        .collect();
+    assert_eq!(acked.len(), usize::from(FLOWS), "one acked put sub per chunk:\n{dump}");
+
+    // MB half: `Handled` events keyed by the wire message's id alone —
+    // the parent op never crosses the wire; the sub id is the
+    // correlation key, so it must carry no parent here.
+    let handled: BTreeSet<u64> = dump
+        .events
+        .iter()
+        .filter(|e| e.node.starts_with("mb:") && matches!(e.event, SpanEvent::Handled { .. }))
+        .map(|e| {
+            assert_eq!(e.op, None, "MB events must not carry a parent op");
+            e.sub.expect("every southbound request carries a wire id")
+        })
+        .collect();
+    for node in ["mb:src", "mb:dst"] {
+        assert!(
+            dump.events
+                .iter()
+                .any(|e| e.node == node && matches!(e.event, SpanEvent::Handled { .. })),
+            "no requests recorded at {node}:\n{dump}"
+        );
+    }
+
+    // Every sub-op the controller saw acked was decoded to the same id
+    // on an MB: the ids round-tripped through encode → TCP → decode.
+    assert!(
+        acked.is_subset(&handled),
+        "sub-ops acked at the controller but never handled under the same id: {:?}\n{dump}",
+        acked.difference(&handled).collect::<Vec<_>>()
+    );
+}
+
 #[test]
 fn dropped_connection_aborts_with_mb_unreachable() {
     use openmb_types::transport::channel_pair;

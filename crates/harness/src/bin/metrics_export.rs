@@ -1,0 +1,17 @@
+//! Emit a per-run metrics export: `metrics.json`, `metrics.prom`, and
+//! the scale-up operation's cross-node timeline as `timeline.txt`.
+//!
+//! Usage: `metrics_export [out_dir]` (default `target/metrics`).
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "target/metrics".to_owned());
+    let r = openmb_harness::metrics_export::export_scale_up();
+    std::fs::create_dir_all(&out).expect("create output directory");
+    for (name, body) in
+        [("metrics.json", &r.json), ("metrics.prom", &r.prometheus), ("timeline.txt", &r.timeline)]
+    {
+        let path = format!("{out}/{name}");
+        std::fs::write(&path, body).expect("write artifact");
+        println!("wrote {path} ({} bytes)", body.len());
+    }
+}

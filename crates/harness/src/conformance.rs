@@ -228,6 +228,10 @@ pub struct Observed {
     pub open_ops: usize,
     /// `format!("{:?}", fault_log)` — the byte-identical replay digest.
     pub fault_log: String,
+    /// The rendered flight-recorder dump: the cross-node span timeline
+    /// of the run. Part of the `PartialEq` replay contract, so the
+    /// recorder itself must be deterministic under a fixed schedule.
+    pub timeline: String,
 }
 
 /// The pre-op images the abort invariants compare against.
@@ -301,6 +305,10 @@ fn drive<M: Middlebox + 'static>(
     let dst = mk();
     let app = OneShotOp { op, src: MB_A_ID, dst: MB_B_ID, at: SimDuration::from_millis(OP_AT_MS) };
     let mut setup = two_mb_scenario(src, dst, Box::new(app), ScenarioParams::default());
+    // Every run flies with a recorder: a failing seed dumps the faulted
+    // timeline next to its replay command, and the replay-equality test
+    // doubles as a determinism check on the recorder itself.
+    setup.sim.set_recorder(openmb_simnet::obs::Recorder::enabled(1024));
     {
         let ctrl = setup.sim.node_as_mut::<ControllerNode>(CONTROLLER);
         ctrl.core.config.op_deadline = SimDuration::from_secs(4);
@@ -354,6 +362,7 @@ fn drive<M: Middlebox + 'static>(
     }
     assert!(setup.sim.is_idle(), "simulation must drain");
 
+    let timeline = setup.sim.recorder().dump().to_string();
     let fault_log = format!("{:?}", setup.sim.fault_log());
     let ctrl: &ControllerNode = setup.sim.node_as(CONTROLLER);
     let completed = ctrl.completions.iter().any(|(_, c)| {
@@ -389,6 +398,7 @@ fn drive<M: Middlebox + 'static>(
         dst_shared,
         open_ops,
         fault_log,
+        timeline,
     }
 }
 
@@ -466,13 +476,19 @@ pub fn check_seed(seed: u64) -> SeedOutcome {
     let s = generate(seed);
     let reference = run_schedule(&s, false);
     let faulted = run_schedule(&s, true);
+    // A violation dumps the faulted run's flight recorder right next to
+    // the replay command: the Parked/Resumed/Aborted transitions across
+    // controller and MB nodes are usually enough to localize the bug
+    // before replaying.
     let ctx = || {
         format!(
-            "seed {seed} ({:?} over {:?}{}) violated an invariant — replay with:\n  {}",
+            "seed {seed} ({:?} over {:?}{}) violated an invariant — replay with:\n  {}\n\
+             faulted-run {}",
             s.op,
             s.mb,
             if s.harsh { ", harsh" } else { "" },
-            replay_command(seed)
+            replay_command(seed),
+            faulted.timeline,
         )
     };
 
@@ -636,6 +652,75 @@ mod tests {
         assert_eq!(faulted.dst_stats, reference.dst_stats);
         assert_eq!(faulted.src_stats, reference.src_stats);
         assert_eq!(faulted.open_ops, 0);
+    }
+
+    /// Observability acceptance: a crafted crash/restart of the
+    /// destination MB mid-transfer leaves a flight-recorder timeline
+    /// showing the park → resume transition, with events from the
+    /// controller, the MB node, and the fault injector interleaved on
+    /// one clock.
+    #[test]
+    fn timeline_shows_park_and_resume_across_nodes() {
+        use layout::*;
+        let mut s = generate(0);
+        s.op = ConfOp::Move;
+        s.mb = ConfMb::Monitor;
+        s.harsh = false;
+        // Slow the puts (40 ms controller→dst delay) so the transfer is
+        // still in flight when the destination crashes at 150 ms; it
+        // restarts at 400 ms and the parked move resumes.
+        let mut plan = FaultPlan::seeded(0xBEEF);
+        plan = plan.rule(
+            FaultRule::on_link(CONTROLLER, MB_B, FaultAction::Delay(SimDuration::from_millis(40)))
+                .between(ms(OP_AT_MS), ms(300)),
+        );
+        s.plan = plan.crash_restart(MB_B, ms(150), ms(400));
+        s.mb_crashes = vec![(MB_B_ID, ms(150), ms(400))];
+
+        let o = run_schedule(&s, true);
+        assert!(o.completed && !o.failed, "parked move must resume and complete\n{}", o.timeline);
+        let t = &o.timeline;
+        assert!(t.contains("issued(moveInternal)"), "{t}");
+        assert!(t.contains("parked(mb1-unreachable)"), "{t}");
+        assert!(t.contains("resumed(from_seq="), "{t}");
+        // Cross-node: controller spans, MB-side handler events, and the
+        // injected faults all land in the same dump.
+        assert!(t.contains("controller"), "{t}");
+        assert!(t.contains("mb:mb_b"), "{t}");
+        assert!(t.contains("handled("), "{t}");
+        assert!(t.contains("fault("), "{t}");
+        // The park precedes the resume in the rendered order.
+        let park = t.find("parked(mb1-unreachable)").unwrap();
+        let resume = t.find("resumed(from_seq=").unwrap();
+        assert!(park < resume, "park must precede resume\n{t}");
+    }
+
+    /// Observability acceptance, abort path: a total drop storm
+    /// outlasting the 4 s deadline forces the op to abort, and the
+    /// timeline records the `aborted(...)` transition.
+    #[test]
+    fn timeline_shows_abort_under_drop_storm() {
+        use layout::*;
+        let mut s = generate(0);
+        s.op = ConfOp::Move;
+        s.mb = ConfMb::Monitor;
+        s.harsh = true;
+        s.mb_crashes.clear();
+        let mut plan = FaultPlan::seeded(0xABCD);
+        for (a, b) in
+            [(CONTROLLER, MB_A), (MB_A, CONTROLLER), (CONTROLLER, MB_B), (MB_B, CONTROLLER)]
+        {
+            plan = plan
+                .rule(FaultRule::on_link(a, b, FaultAction::Drop).between(ms(OP_AT_MS), ms(6000)));
+        }
+        s.plan = plan;
+
+        let o = run_schedule(&s, true);
+        assert!(o.failed && !o.completed, "total storm must abort\n{}", o.timeline);
+        let t = &o.timeline;
+        assert!(t.contains("issued(moveInternal)"), "{t}");
+        assert!(t.contains("aborted("), "{t}");
+        assert!(t.contains("fault(drop)"), "{t}");
     }
 
     /// The long randomized sweep (CI nightly / `--include-ignored`):

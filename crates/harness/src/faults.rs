@@ -92,6 +92,9 @@ pub struct FaultOutcome {
     /// injected, or never signalled — a bug).
     pub failed_at: Option<SimTime>,
     pub error: Option<Error>,
+    /// Buffered reprocess events the abort discarded, from the typed
+    /// [`Completion::Failed`] (None when the run did not fail).
+    pub dropped_events: Option<usize>,
     /// When the move completed normally (fault-free baseline).
     pub completed_at: Option<SimTime>,
     /// Controller bookkeeping still held after the run (must be 0).
@@ -165,7 +168,9 @@ pub fn run(fault: Option<Detection>, traffic_until: SimDuration) -> FaultOutcome
 
     let ctrl: &ControllerNode = setup.sim.node_as(CONTROLLER);
     let failed = ctrl.completions.iter().find_map(|(at, c)| match c {
-        Completion::Failed { error, .. } => Some((*at, error.clone())),
+        Completion::Failed { error, dropped_events, .. } => {
+            Some((*at, error.clone(), *dropped_events))
+        }
         _ => None,
     });
     let completed_at = ctrl
@@ -176,8 +181,9 @@ pub fn run(fault: Option<Detection>, traffic_until: SimDuration) -> FaultOutcome
     let sink: &Host = setup.sim.node_as(DST);
     FaultOutcome {
         crash_at,
-        failed_at: failed.as_ref().map(|(at, _)| *at),
-        error: failed.map(|(_, e)| e),
+        failed_at: failed.as_ref().map(|(at, _, _)| *at),
+        dropped_events: failed.as_ref().map(|(_, _, n)| *n),
+        error: failed.map(|(_, e, _)| e),
         completed_at,
         open_ops_after: ctrl.core.open_ops(),
         dst_entries_after: dst.logic.perflow_entries(),
@@ -201,7 +207,14 @@ pub fn faults_table() -> Table {
 
     let mut t = Table::new(
         "Fault injection: source MB crashes mid-moveInternal (crash at t=102 ms)",
-        &["run", "outcome", "signalled after crash (ms)", "pkts lost", "open ops after"],
+        &[
+            "run",
+            "outcome",
+            "signalled after crash (ms)",
+            "pkts lost",
+            "events dropped",
+            "open ops after",
+        ],
     );
     let row = |t: &mut Table, name: &str, o: &FaultOutcome| {
         let outcome = match (&o.error, o.completed_at) {
@@ -218,6 +231,7 @@ pub fn faults_table() -> Table {
             outcome,
             signalled,
             (o.injected - o.delivered).to_string(),
+            o.dropped_events.map(|n| n.to_string()).unwrap_or_else(|| "—".into()),
             o.open_ops_after.to_string(),
         ]);
     };

@@ -20,6 +20,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod latency;
+pub mod metrics_export;
 pub mod snapshot;
 pub mod splitmerge;
 pub mod table2;

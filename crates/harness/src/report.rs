@@ -1,6 +1,10 @@
-//! Table/series formatting shared by all experiment reports.
+//! Table/series formatting shared by all experiment reports, plus the
+//! Fig-7-style renderer that lays a flight-recorder dump out as an
+//! operation timeline (one column per node).
 
 use std::fmt::Write as _;
+
+use openmb_simnet::obs::RecorderDump;
 
 /// A printable table with a caption (one per paper table/figure).
 #[derive(Debug, Clone, Default)]
@@ -61,6 +65,61 @@ impl std::fmt::Display for Table {
     }
 }
 
+/// Render one operation's span as a Fig-7-style timeline table: one
+/// row per recorded event (time-ordered), one column per node in
+/// first-appearance order, the event text in the column of the node
+/// that recorded it.
+///
+/// Selection follows the cross-node correlation convention: events
+/// whose `op` matches directly (controller side), plus events carrying
+/// no parent but whose `sub` is one of the op's sub-op ids (MB side —
+/// only the sub-op id crosses the wire).
+pub fn op_timeline(dump: &RecorderDump, op: u64) -> Table {
+    let subs: std::collections::BTreeSet<u64> =
+        dump.events.iter().filter(|e| e.op == Some(op)).filter_map(|e| e.sub).collect();
+    let selected: Vec<_> = dump
+        .events
+        .iter()
+        .filter(|e| {
+            e.op == Some(op) || (e.op.is_none() && e.sub.is_some_and(|s| subs.contains(&s)))
+        })
+        .collect();
+
+    let mut nodes: Vec<&str> = Vec::new();
+    for e in &selected {
+        if !nodes.contains(&e.node.as_str()) {
+            nodes.push(&e.node);
+        }
+    }
+    let mut columns = vec!["t (ms)", "sub"];
+    columns.extend(nodes.iter().copied());
+    let mut t = Table::new(
+        format!(
+            "Operation {op} timeline ({} event(s) across {} node(s))",
+            selected.len(),
+            nodes.len()
+        ),
+        &columns,
+    );
+    for e in &selected {
+        let mut row = vec![
+            format!("{:.3}", e.t_ns as f64 / 1e6),
+            e.sub.map(|s| s.to_string()).unwrap_or_else(|| "—".into()),
+        ];
+        for n in &nodes {
+            row.push(if *n == e.node { e.event.to_string() } else { String::new() });
+        }
+        t.row(row);
+    }
+    if dump.evicted > 0 {
+        t.note(format!(
+            "flight recorder evicted {} event(s) (capacity {}); the timeline may be truncated at the front",
+            dump.evicted, dump.capacity
+        ));
+    }
+    t
+}
+
 /// Format a float with sensible precision.
 pub fn f(v: f64) -> String {
     if v == 0.0 {
@@ -94,6 +153,61 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn op_timeline_lays_out_nodes_as_columns() {
+        use openmb_simnet::obs::{SpanEvent, TimelineEvent};
+        let ev = |t_ns, node: &str, op, sub, event| TimelineEvent {
+            t_ns,
+            node: node.to_owned(),
+            op,
+            sub,
+            event,
+        };
+        let dump = RecorderDump {
+            events: vec![
+                ev(
+                    1_000_000,
+                    "controller",
+                    Some(7),
+                    None,
+                    SpanEvent::Issued { kind: "moveInternal" },
+                ),
+                ev(
+                    2_000_000,
+                    "controller",
+                    Some(7),
+                    Some(8),
+                    SpanEvent::Issued { kind: "putSupportPerflow" },
+                ),
+                // MB side: no parent, correlated through sub-op 8.
+                ev(
+                    3_000_000,
+                    "mb:mb_b",
+                    None,
+                    Some(8),
+                    SpanEvent::Handled { msg: "putSupportPerflow" },
+                ),
+                // Unrelated op, must not appear.
+                ev(4_000_000, "controller", Some(9), None, SpanEvent::Completed),
+                // Unrelated sub without a parent, must not appear.
+                ev(5_000_000, "mb:mb_a", None, Some(99), SpanEvent::Handled { msg: "getStats" }),
+                ev(6_000_000, "controller", Some(7), None, SpanEvent::Completed),
+            ],
+            evicted: 3,
+            capacity: 16,
+        };
+        let t = op_timeline(&dump, 7);
+        assert_eq!(t.columns, vec!["t (ms)", "sub", "controller", "mb:mb_b"]);
+        assert_eq!(t.rows.len(), 4, "{t}");
+        // The MB-side event lands in the MB column, empty elsewhere.
+        assert_eq!(t.rows[2][2], "");
+        assert_eq!(t.rows[2][3], "handled(putSupportPerflow)");
+        let s = t.to_string();
+        assert!(s.contains("issued(moveInternal)"), "{s}");
+        assert!(!s.contains("getStats"), "{s}");
+        assert!(s.contains("evicted 3 event(s)"), "{s}");
     }
 
     #[test]

@@ -21,10 +21,12 @@
 
 pub mod cost;
 pub mod effects;
+pub mod southbound;
 pub mod sync;
 
 pub use cost::CostModel;
 pub use effects::{Effects, LogEntry};
+pub use southbound::{handle_southbound, handle_southbound_logged, handle_southbound_recorded};
 pub use sync::SyncTracker;
 
 use openmb_simnet::SimTime;

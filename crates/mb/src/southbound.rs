@@ -1,0 +1,203 @@
+//! MB-side southbound dispatch: one controller request in, zero or more
+//! wire messages out.
+//!
+//! This is the middlebox half of the protocol — the same dispatch runs
+//! under every embedding (the discrete-event simulator's `MbNode`, the
+//! TCP server threads of `openmb-core::tcp`, unit tests poking a
+//! middlebox directly). It lives here, next to the [`Middlebox`] trait,
+//! so embeddings depend on the *behaviour* without pulling in the
+//! controller crate.
+//!
+//! [`handle_southbound_recorded`] additionally records a
+//! [`SpanEvent::Handled`] into a flight recorder per request, keyed by
+//! the wire message's sub-op id — the controller records the same id as
+//! the `sub` of its parent operation, so one op id correlates events
+//! across both nodes' timelines.
+
+use openmb_obs::{NodeTag, Recorder, SpanEvent};
+use openmb_simnet::SimTime;
+use openmb_types::wire::Message;
+
+use crate::effects::Effects;
+use crate::{Middlebox, SharedPutLog};
+
+/// Pure southbound dispatch: one request in, zero or more messages out
+/// (replies plus any events raised by replay). Uses a throwaway
+/// [`SharedPutLog`], so shared-put dedup and `DeleteState` rollback do
+/// not span calls — single-exchange tests and tools that never resume
+/// can ignore the log; resumable embeddings use
+/// [`handle_southbound_logged`].
+pub fn handle_southbound<M: Middlebox>(mb: &mut M, msg: Message, now: SimTime) -> Vec<Message> {
+    let mut log = SharedPutLog::new(0);
+    handle_southbound_logged(mb, &mut log, msg, now)
+}
+
+/// [`handle_southbound_logged`] that first records the request into a
+/// flight recorder (when enabled) under `tag`, with the message's wire
+/// id in the *sub* slot — on the MB side every request id is a sub-op
+/// the controller allocated, so the cross-node timeline lines up by
+/// sub-op id.
+pub fn handle_southbound_recorded<M: Middlebox>(
+    mb: &mut M,
+    log: &mut SharedPutLog,
+    msg: Message,
+    now: SimTime,
+    rec: &Recorder,
+    tag: NodeTag,
+) -> Vec<Message> {
+    if rec.is_enabled() {
+        rec.record(
+            now.0,
+            tag,
+            None,
+            msg.op_id().map(|o| o.0),
+            SpanEvent::Handled { msg: msg.kind_name() },
+        );
+    }
+    handle_southbound_logged(mb, log, msg, now)
+}
+
+/// [`handle_southbound`] with a caller-owned [`SharedPutLog`] carrying
+/// the shared-put dedup set and pre-put snapshots across messages.
+pub fn handle_southbound_logged<M: Middlebox>(
+    mb: &mut M,
+    log: &mut SharedPutLog,
+    msg: Message,
+    now: SimTime,
+) -> Vec<Message> {
+    let mut out = Vec::new();
+    match msg {
+        Message::GetConfig { op, key } => match mb.get_config(&key) {
+            Ok(pairs) => out.push(Message::ConfigValues { op, pairs }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::SetConfig { op, key, values } => match mb.set_config(&key, values) {
+            Ok(()) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::DelConfig { op, key } => match mb.del_config(&key) {
+            Ok(()) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::GetSupportPerflow { op, key } => match mb.get_support_perflow(op, &key) {
+            Ok(chunks) => {
+                let count = chunks.len() as u32;
+                for chunk in chunks {
+                    out.push(Message::Chunk { op, chunk });
+                }
+                out.push(Message::GetAck { op, count });
+            }
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::GetReportPerflow { op, key } => match mb.get_report_perflow(op, &key) {
+            Ok(chunks) => {
+                let count = chunks.len() as u32;
+                for chunk in chunks {
+                    out.push(Message::Chunk { op, chunk });
+                }
+                out.push(Message::GetAck { op, count });
+            }
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::PutSupportPerflow { op, chunk } => {
+            let key = chunk.key;
+            match mb.put_support_perflow(chunk) {
+                Ok(()) => out.push(Message::PutAck { op, key: Some(key) }),
+                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+            }
+        }
+        Message::PutReportPerflow { op, chunk } => {
+            let key = chunk.key;
+            match mb.put_report_perflow(chunk) {
+                Ok(()) => out.push(Message::PutAck { op, key: Some(key) }),
+                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+            }
+        }
+        Message::DelSupportPerflow { op, key } => match mb.del_support_perflow(&key) {
+            Ok(_) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::DelReportPerflow { op, key } => match mb.del_report_perflow(&key) {
+            Ok(_) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::GetSupportShared { op } => match mb.get_support_shared(op) {
+            Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
+            Ok(None) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::PutSupportShared { op, chunk } => {
+            // Shared puts MERGE, so a re-sent copy (transfer resume)
+            // must be re-acked without re-applying.
+            if log.already_applied(op) {
+                out.push(Message::PutAck { op, key: None });
+            } else {
+                let snap = mb.snapshot_shared();
+                match snap.and_then(|s| mb.put_support_shared(chunk).map(|()| s)) {
+                    Ok(s) => {
+                        log.record(op, s);
+                        out.push(Message::PutAck { op, key: None });
+                    }
+                    Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+                }
+            }
+        }
+        Message::GetReportShared { op } => match mb.get_report_shared() {
+            Ok(Some(chunk)) => out.push(Message::SharedChunk { op, chunk }),
+            Ok(None) => out.push(Message::OpAck { op }),
+            Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+        },
+        Message::PutReportShared { op, chunk } => {
+            if log.already_applied(op) {
+                out.push(Message::PutAck { op, key: None });
+            } else {
+                let snap = mb.snapshot_shared();
+                match snap.and_then(|s| mb.put_report_shared(chunk).map(|()| s)) {
+                    Ok(s) => {
+                        log.record(op, s);
+                        out.push(Message::PutAck { op, key: None });
+                    }
+                    Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+                }
+            }
+        }
+        Message::DeleteState { op, puts } => {
+            // Compensating rollback for an aborted clone/merge: restore
+            // the pre-put image and revoke any listed put still in
+            // flight.
+            let (snap, restored) = log.rollback(&puts);
+            let result = match snap {
+                Some(s) => mb.restore_shared(s).map(|()| restored),
+                None => Ok(0),
+            };
+            match result {
+                Ok(restored) => out.push(Message::DeleteAck { op, restored }),
+                Err(e) => out.push(Message::ErrorMsg { op, error: e }),
+            }
+        }
+        Message::GetStats { op, key } => {
+            out.push(Message::Stats { op, stats: mb.stats(&key) });
+        }
+        Message::EnableEvents { op, filter } => {
+            mb.set_introspection(Some(filter));
+            out.push(Message::OpAck { op });
+        }
+        Message::DisableEvents { op } => {
+            mb.set_introspection(None);
+            out.push(Message::OpAck { op });
+        }
+        Message::ReprocessPacket { op: _, key: _, packet } => {
+            let mut fx = Effects::replay();
+            mb.process_packet(now, &packet, &mut fx);
+            for event in fx.take_events() {
+                out.push(Message::EventMsg { event });
+            }
+        }
+        Message::EndSync { op } => {
+            mb.end_sync(op);
+        }
+        // MB→controller messages are not requests.
+        _ => {}
+    }
+    out
+}

@@ -1,0 +1,33 @@
+//! Observability substrate for OpenMB: operation spans, a bounded
+//! flight recorder, and a metrics registry with Prometheus/JSON export.
+//!
+//! This crate is deliberately dependency-free (std only) so it can sit
+//! at the bottom of the workspace graph: `openmb-simnet` backs its
+//! counters with [`Registry`], `openmb-core` records span events from
+//! `ControllerCore`/`TcpController`, and `openmb-mb` records them from
+//! the MB-side southbound handlers. Identifiers are therefore carried
+//! as raw integers (`OpId.0`, sub-op ids) rather than the typed ids
+//! from `openmb-types`, and time is raw nanoseconds: the simulator
+//! passes `SimTime.0`, the TCP embedding passes
+//! [`Recorder::now_ns`] (monotonic, relative to recorder creation).
+//!
+//! Design rules:
+//!
+//! * **Zero overhead when disabled.** A [`Recorder::disabled`] handle
+//!   is a `None`; [`Recorder::record`] is a branch. Events whose
+//!   construction allocates go through [`Recorder::record_with`] so
+//!   the closure is never run on the disabled path.
+//! * **Bounded.** The ring buffer keeps the most recent `capacity`
+//!   events and counts what it evicted, so a crashing run dumps the
+//!   tail of history, never an unbounded log.
+//! * **Shareable.** Cloning a [`Recorder`] shares the underlying
+//!   buffer (`Arc`), which is what lets a journaled `ControllerCore`
+//!   snapshot carry the same recorder as the live core.
+
+mod metrics;
+mod recorder;
+mod span;
+
+pub use metrics::{Histogram, Registry, DEFAULT_BOUNDS};
+pub use recorder::{NodeTag, RecordedEvent, Recorder, RecorderDump, TimelineEvent};
+pub use span::{ParkReason, SpanEvent};

@@ -1,0 +1,332 @@
+//! The flight recorder: a bounded, shareable ring buffer of span
+//! events with a zero-overhead disabled path.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::span::SpanEvent;
+
+/// An interned node name. Obtained from [`Recorder::register`];
+/// recording with a tag from a *different* recorder resolves to `"?"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTag(u32);
+
+impl NodeTag {
+    /// The tag handed out by a disabled recorder.
+    pub const NONE: NodeTag = NodeTag(u32::MAX);
+}
+
+/// One event as stored in the ring: node is an interned tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    pub t_ns: u64,
+    pub node: NodeTag,
+    pub op: Option<u64>,
+    pub sub: Option<u64>,
+    pub event: SpanEvent,
+}
+
+/// One event as returned by [`Recorder::dump`]: node name resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    pub t_ns: u64,
+    pub node: String,
+    pub op: Option<u64>,
+    pub sub: Option<u64>,
+    pub event: SpanEvent,
+}
+
+impl std::fmt::Display for TimelineEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = self.t_ns as f64 / 1e6;
+        write!(f, "{ms:10.3}ms  {:<12}", self.node)?;
+        match (self.op, self.sub) {
+            (Some(op), Some(sub)) => write!(f, " op{op}/sub{sub:<4}")?,
+            (Some(op), None) => write!(f, " op{op:<9}")?,
+            // No parent: an MB-side event keyed by the wire id alone.
+            // The sub is the cross-node correlation key, so it must
+            // stay greppable in the rendered dump.
+            (None, Some(sub)) => write!(f, " sub{sub:<8}")?,
+            (None, None) => write!(f, " {:<11}", "-")?,
+        }
+        write!(f, " {}", self.event)
+    }
+}
+
+/// Everything a dump carries: the retained tail of the timeline plus
+/// how much history the bound evicted.
+#[derive(Debug, Clone)]
+pub struct RecorderDump {
+    pub events: Vec<TimelineEvent>,
+    /// Events evicted because the ring was full.
+    pub evicted: u64,
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for RecorderDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "flight recorder: {} event(s) retained (capacity {}, {} evicted)",
+            self.events.len(),
+            self.capacity,
+            self.evicted
+        )?;
+        for e in &self.events {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Inner {
+    names: Vec<String>,
+    ring: VecDeque<RecordedEvent>,
+    capacity: usize,
+    evicted: u64,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    epoch: Instant,
+}
+
+/// A handle to a flight recorder. Cloning shares the buffer; a
+/// disabled handle costs one branch per [`Recorder::record`] call.
+#[derive(Clone)]
+pub struct Recorder {
+    shared: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.shared {
+            None => write!(f, "Recorder(disabled)"),
+            Some(s) => {
+                let inner = s.inner.lock().unwrap();
+                write!(f, "Recorder({} events, cap {})", inner.ring.len(), inner.capacity)
+            }
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// A recorder that records nothing and never allocates.
+    pub fn disabled() -> Self {
+        Recorder { shared: None }
+    }
+
+    /// A recorder retaining the most recent `capacity` events.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be > 0");
+        Recorder {
+            shared: Some(Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    names: Vec::new(),
+                    ring: VecDeque::with_capacity(capacity.min(4096)),
+                    capacity,
+                    evicted: 0,
+                }),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Intern a node name, deduplicating on repeat registration.
+    /// Disabled recorders hand out [`NodeTag::NONE`].
+    pub fn register(&self, name: &str) -> NodeTag {
+        let Some(s) = &self.shared else { return NodeTag::NONE };
+        let mut inner = s.inner.lock().unwrap();
+        if let Some(i) = inner.names.iter().position(|n| n == name) {
+            return NodeTag(i as u32);
+        }
+        inner.names.push(name.to_owned());
+        NodeTag(inner.names.len() as u32 - 1)
+    }
+
+    /// Nanoseconds since this recorder was created (monotonic). The
+    /// wall-clock embeddings use this as their time source; disabled
+    /// recorders return 0.
+    pub fn now_ns(&self) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(s) => s.epoch.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Record one event. The disabled path is a single branch.
+    #[inline]
+    pub fn record(
+        &self,
+        t_ns: u64,
+        node: NodeTag,
+        op: Option<u64>,
+        sub: Option<u64>,
+        event: SpanEvent,
+    ) {
+        if let Some(s) = &self.shared {
+            s.push(RecordedEvent { t_ns, node, op, sub, event });
+        }
+    }
+
+    /// Record an event whose construction is itself costly (e.g. an
+    /// `Aborted { error }` that formats a string): the closure only
+    /// runs when the recorder is enabled.
+    #[inline]
+    pub fn record_with(
+        &self,
+        t_ns: u64,
+        node: NodeTag,
+        op: Option<u64>,
+        sub: Option<u64>,
+        event: impl FnOnce() -> SpanEvent,
+    ) {
+        if let Some(s) = &self.shared {
+            s.push(RecordedEvent { t_ns, node, op, sub, event: event() });
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        match &self.shared {
+            None => 0,
+            Some(s) => s.inner.lock().unwrap().ring.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the retained timeline, names resolved, sorted by time
+    /// (stable, so same-timestamp events keep insertion order).
+    pub fn dump(&self) -> RecorderDump {
+        let Some(s) = &self.shared else {
+            return RecorderDump { events: Vec::new(), evicted: 0, capacity: 0 };
+        };
+        let inner = s.inner.lock().unwrap();
+        let resolve = |tag: NodeTag| -> String {
+            inner.names.get(tag.0 as usize).cloned().unwrap_or_else(|| "?".to_owned())
+        };
+        let mut events: Vec<TimelineEvent> = inner
+            .ring
+            .iter()
+            .map(|e| TimelineEvent {
+                t_ns: e.t_ns,
+                node: resolve(e.node),
+                op: e.op,
+                sub: e.sub,
+                event: e.event.clone(),
+            })
+            .collect();
+        events.sort_by_key(|e| e.t_ns);
+        RecorderDump { events, evicted: inner.evicted, capacity: inner.capacity }
+    }
+}
+
+impl Shared {
+    fn push(&self, ev: RecordedEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.evicted += 1;
+        }
+        inner.ring.push_back(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::ParkReason;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        assert_eq!(r.register("a"), NodeTag::NONE);
+        r.record(1, NodeTag::NONE, Some(1), None, SpanEvent::Completed);
+        let mut ran = false;
+        r.record_with(2, NodeTag::NONE, None, None, || {
+            ran = true;
+            SpanEvent::Completed
+        });
+        assert!(!ran, "record_with closure must not run when disabled");
+        assert!(r.is_empty());
+        assert!(r.dump().events.is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let r = Recorder::enabled(3);
+        let t = r.register("n");
+        for i in 0..10u64 {
+            r.record(i, t, Some(i), None, SpanEvent::ChunkAcked { seq: i });
+        }
+        let d = r.dump();
+        assert_eq!(d.events.len(), 3);
+        assert_eq!(d.evicted, 7);
+        assert_eq!(d.capacity, 3);
+        // The retained tail is the most recent events, in time order.
+        let seqs: Vec<u64> = d
+            .events
+            .iter()
+            .map(|e| match e.event {
+                SpanEvent::ChunkAcked { seq } => seq,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer_and_names_dedup() {
+        let r = Recorder::enabled(16);
+        let a = r.register("ctrl");
+        let r2 = r.clone();
+        let a2 = r2.register("ctrl");
+        assert_eq!(a, a2, "same name interns to the same tag");
+        let b = r2.register("mb:A");
+        r.record(5, a, Some(1), None, SpanEvent::Issued { kind: "moveInternal" });
+        r2.record(
+            7,
+            b,
+            Some(1),
+            Some(2),
+            SpanEvent::Parked { reason: ParkReason::MbUnreachable { mb: 0 } },
+        );
+        let d = r.dump();
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.events[0].node, "ctrl");
+        assert_eq!(d.events[1].node, "mb:A");
+        assert_eq!(d.events[1].sub, Some(2));
+    }
+
+    #[test]
+    fn dump_is_time_sorted_and_displays() {
+        let r = Recorder::enabled(8);
+        let t = r.register("ctrl");
+        r.record(2_000_000, t, Some(3), None, SpanEvent::Completed);
+        r.record(1_000_000, t, Some(3), None, SpanEvent::Issued { kind: "copyPerflow" });
+        r.record(3_000_000, t, None, Some(9), SpanEvent::Handled { msg: "getConfig" });
+        let d = r.dump();
+        assert_eq!(d.events[0].event, SpanEvent::Issued { kind: "copyPerflow" });
+        let text = d.to_string();
+        assert!(text.contains("issued(copyPerflow)"), "{text}");
+        assert!(text.contains("completed"), "{text}");
+        assert!(text.contains("capacity 8"), "{text}");
+        // A parentless event stays correlatable by its wire id.
+        assert!(text.contains("sub9"), "{text}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The span model: typed lifecycle events keyed by `(op, sub-op)`.
+//!
+//! A *span* is the life of one northbound operation (`moveInternal`,
+//! `copyPerflow`, ...) as seen from every node that touched it. There
+//! is no span object to open or close — a span is simply the set of
+//! recorded events sharing an op id, ordered by time. Sub-operations
+//! (the per-MB get/put/delete legs a parent op fans out into) attach
+//! to the parent via the `sub` field of a recorded event, and appear
+//! on the MB side keyed by the sub-op id itself, which is what crosses
+//! the wire.
+
+use std::fmt;
+
+/// Why an operation was parked (its transfers suspended).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParkReason {
+    /// A participating middlebox became unreachable.
+    MbUnreachable { mb: u32 },
+    /// The transfer stalled (no ack progress within the resume window).
+    Stalled,
+}
+
+impl fmt::Display for ParkReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParkReason::MbUnreachable { mb } => write!(f, "mb{mb}-unreachable"),
+            ParkReason::Stalled => write!(f, "stalled"),
+        }
+    }
+}
+
+/// One typed lifecycle event within an operation's span.
+///
+/// The first seven variants are the controller-side lifecycle from the
+/// resumable-transfer choreography; the rest attribute the same op id
+/// to the other layers (MB handlers, transports, fault injection) so a
+/// dump reads as one causally-ordered cross-node timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanEvent {
+    /// The operation (or one of its sub-ops) was issued.
+    Issued { kind: &'static str },
+    /// A state-transfer chunk was acknowledged by the receiver.
+    ChunkAcked { seq: u64 },
+    /// The operation's transfers were suspended.
+    Parked { reason: ParkReason },
+    /// A parked transfer resumed from the first unacked chunk.
+    Resumed { from_seq: u64 },
+    /// An acked-but-unconfirmed delete was re-sent.
+    DeleteRetried,
+    /// The operation failed and was torn down.
+    Aborted { error: String },
+    /// The operation completed successfully.
+    Completed,
+    /// An MB-side handler processed a southbound message.
+    Handled { msg: &'static str },
+    /// A transport connection to a middlebox was lost/reset.
+    TransportReset,
+    /// A middlebox transport was reattached after a reset.
+    TransportReattached,
+    /// The simulated network injected a fault on a frame.
+    FaultInjected { kind: &'static str },
+}
+
+impl fmt::Display for SpanEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanEvent::Issued { kind } => write!(f, "issued({kind})"),
+            SpanEvent::ChunkAcked { seq } => write!(f, "chunk-acked(seq={seq})"),
+            SpanEvent::Parked { reason } => write!(f, "parked({reason})"),
+            SpanEvent::Resumed { from_seq } => write!(f, "resumed(from_seq={from_seq})"),
+            SpanEvent::DeleteRetried => write!(f, "delete-retried"),
+            SpanEvent::Aborted { error } => write!(f, "aborted({error})"),
+            SpanEvent::Completed => write!(f, "completed"),
+            SpanEvent::Handled { msg } => write!(f, "handled({msg})"),
+            SpanEvent::TransportReset => write!(f, "transport-reset"),
+            SpanEvent::TransportReattached => write!(f, "transport-reattached"),
+            SpanEvent::FaultInjected { kind } => write!(f, "fault({kind})"),
+        }
+    }
+}

@@ -15,6 +15,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
+use openmb_obs::{NodeTag, Recorder, SpanEvent};
 use openmb_types::{wire, NodeId, Packet};
 
 use crate::fault::{FaultAction, FaultPlan, FaultRecord, FaultRule, RuleRng};
@@ -143,6 +144,11 @@ pub struct Ctx<'a> {
     world: &'a mut World,
     /// Metrics sink shared by the whole simulation.
     pub metrics: &'a mut Metrics,
+    /// Flight recorder shared by the whole simulation (disabled by
+    /// default; see [`Sim::set_recorder`]).
+    obs: &'a Recorder,
+    /// This node's interned name in the recorder.
+    obs_tag: NodeTag,
 }
 
 impl Ctx<'_> {
@@ -184,6 +190,20 @@ impl Ctx<'_> {
     pub fn has_link(&self, to: NodeId) -> bool {
         self.world.links.contains_key(&(self.self_id, to))
     }
+
+    /// Record a span event attributed to this node at the current
+    /// time. A no-op (one branch) unless a recorder is installed.
+    #[inline]
+    pub fn record(&self, op: Option<u64>, sub: Option<u64>, event: SpanEvent) {
+        self.obs.record(self.now.0, self.obs_tag, op, sub, event);
+    }
+
+    /// The simulation's shared flight recorder (for nodes that embed a
+    /// component wanting its own recorder handle, e.g. the controller
+    /// core).
+    pub fn recorder(&self) -> &Recorder {
+        self.obs
+    }
 }
 
 /// Installed fault plan plus its runtime state.
@@ -209,6 +229,10 @@ struct World {
     seq: u64,
     links: HashMap<(NodeId, NodeId), Link>,
     fault: Option<FaultState>,
+    /// Shared flight recorder; fault injection attributes its span
+    /// events to the synthetic "net" node.
+    recorder: Recorder,
+    net_tag: NodeTag,
 }
 
 impl World {
@@ -282,11 +306,37 @@ impl World {
         }
     }
 
+    /// The op id a frame belongs to, for span attribution of injected
+    /// faults (None for data/SDN frames and op-less control messages).
+    fn frame_op(frame: &Frame) -> Option<u64> {
+        match frame {
+            Frame::Control(m) => m.op_id().map(|o| o.0),
+            _ => None,
+        }
+    }
+
     fn send_frame(&mut self, now: SimTime, from: NodeId, to: NodeId, frame: Frame) {
         // One length computation per scheduled frame: both the fault log
         // and the transmission model reuse it.
         let size = frame.wire_len();
         let verdict = self.apply_faults(now, from, to, &frame, size);
+        if self.recorder.is_enabled() {
+            let kind = match verdict {
+                Verdict::Pass => None,
+                Verdict::Drop => Some("drop"),
+                Verdict::Delay(_) => Some("delay"),
+                Verdict::Duplicate => Some("duplicate"),
+            };
+            if let Some(kind) = kind {
+                self.recorder.record(
+                    now.0,
+                    self.net_tag,
+                    Self::frame_op(&frame),
+                    None,
+                    SpanEvent::FaultInjected { kind },
+                );
+            }
+        }
         if matches!(verdict, Verdict::Drop) {
             return;
         }
@@ -327,6 +377,11 @@ pub struct Sim {
     started: bool,
     /// Metrics collected during the run.
     pub metrics: Metrics,
+    /// Shared flight recorder (disabled unless [`Sim::set_recorder`]
+    /// installs an enabled one).
+    recorder: Recorder,
+    /// Per-node interned names, parallel to `nodes`.
+    node_tags: Vec<NodeTag>,
 }
 
 impl Default for Sim {
@@ -340,11 +395,40 @@ impl Sim {
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
-            world: World { queue: BinaryHeap::new(), seq: 0, links: HashMap::new(), fault: None },
+            world: World {
+                queue: BinaryHeap::new(),
+                seq: 0,
+                links: HashMap::new(),
+                fault: None,
+                recorder: Recorder::disabled(),
+                net_tag: NodeTag::NONE,
+            },
             nodes: Vec::new(),
             started: false,
             metrics: Metrics::new(),
+            recorder: Recorder::disabled(),
+            node_tags: Vec::new(),
         }
+    }
+
+    /// Install a flight recorder: every node's span events (and the
+    /// fault layer's, attributed to the synthetic "net" node) are
+    /// recorded into it. Registers the names of all nodes added so
+    /// far; nodes added later register on insertion.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.world.net_tag = rec.register("net");
+        self.node_tags = self
+            .nodes
+            .iter()
+            .map(|n| rec.register(&n.as_ref().expect("node is executing").name()))
+            .collect();
+        self.world.recorder = rec.clone();
+        self.recorder = rec;
+    }
+
+    /// The simulation's flight recorder handle (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// An empty simulation that records only counters/samples (cheaper
@@ -358,6 +442,7 @@ impl Sim {
     /// Add a node; returns its id.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        self.node_tags.push(self.recorder.register(&node.name()));
         self.nodes.push(Some(node));
         id
     }
@@ -498,6 +583,8 @@ impl Sim {
                 self_id: id,
                 world: &mut self.world,
                 metrics: &mut self.metrics,
+                obs: &self.recorder,
+                obs_tag: self.node_tags[i],
             };
             node.on_start(&mut ctx);
             self.nodes[i] = Some(node);
@@ -566,6 +653,17 @@ impl Sim {
                     && matches!(ev.payload, Payload::Frame { .. } | Payload::Timer { .. })
                 {
                     fs.log.push(FaultRecord::LostToCrash { at: ev.time, node: ev.target });
+                    let op = match &ev.payload {
+                        Payload::Frame { frame, .. } => World::frame_op(frame),
+                        _ => None,
+                    };
+                    self.recorder.record(
+                        ev.time.0,
+                        self.node_tags[ev.target.0 as usize],
+                        op,
+                        None,
+                        SpanEvent::FaultInjected { kind: "lost-to-crash" },
+                    );
                     processed += 1;
                     continue;
                 }
@@ -580,11 +678,14 @@ impl Sim {
                     self_id: ev.target,
                     world: &mut self.world,
                     metrics: &mut self.metrics,
+                    obs: &self.recorder,
+                    obs_tag: self.node_tags[ev.target.0 as usize],
                 };
                 match ev.payload {
                     Payload::Frame { from, frame } => node.on_frame(&mut ctx, from, frame),
                     Payload::Timer { token } => node.on_timer(&mut ctx, token),
                     Payload::Crash => {
+                        ctx.record(None, None, SpanEvent::FaultInjected { kind: "crash" });
                         node.on_crash(&mut ctx);
                         if let Some(fs) = ctx.world.fault.as_mut() {
                             fs.crashed.insert(ev.target);
@@ -592,6 +693,7 @@ impl Sim {
                         }
                     }
                     Payload::Restart => {
+                        ctx.record(None, None, SpanEvent::FaultInjected { kind: "restart" });
                         if let Some(fs) = ctx.world.fault.as_mut() {
                             fs.crashed.remove(&ev.target);
                             fs.log.push(FaultRecord::Restarted { at: ev.time, node: ev.target });

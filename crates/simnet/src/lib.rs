@@ -23,4 +23,8 @@ pub mod time;
 pub use engine::{Ctx, Frame, Node, Sim};
 pub use fault::{CrashEvent, FaultAction, FaultPlan, FaultRecord, FaultRule};
 pub use metrics::{Ecdf, Metrics, TraceEvent, TraceKind};
+// Observability substrate (re-exported so embeddings that already
+// depend on the simulator get the span/recorder types without a
+// separate dependency edge).
+pub use openmb_obs as obs;
 pub use time::{SimDuration, SimTime};

@@ -1,8 +1,14 @@
 //! Measurement infrastructure: trace events (the raw material for
 //! Figure 7's timeline), latency samples, and named counters.
+//!
+//! Counters and duration samples are backed by an [`openmb_obs::Registry`]
+//! (counters live there outright; each sample is additionally mirrored
+//! into a latency histogram), so a run's metrics export through the
+//! registry's Prometheus/JSON serializers without a translation step.
 
 use std::collections::BTreeMap;
 
+use openmb_obs::Registry;
 use openmb_types::NodeId;
 
 use crate::time::{SimDuration, SimTime};
@@ -42,9 +48,12 @@ pub struct Metrics {
     /// Chronological activity log (append-only; the engine appends in
     /// event order so this is sorted by time).
     pub trace: Vec<TraceEvent>,
-    /// Named monotonic counters.
-    counters: BTreeMap<String, u64>,
+    /// Counters (and mirrored sample histograms), exportable as
+    /// Prometheus text or JSON via [`Metrics::registry`].
+    registry: Registry,
     /// Named duration samples (e.g. per-packet processing latency).
+    /// Kept as exact values for the experiment tables; the registry
+    /// holds the same data bucketed as a histogram in milliseconds.
     samples: BTreeMap<String, Vec<SimDuration>>,
     /// Whether the (possibly large) trace log should be recorded.
     pub record_trace: bool,
@@ -71,21 +80,32 @@ impl Metrics {
     /// Bump a named counter. Allocates the key only on the counter's
     /// first use — steady-state increments are allocation-free.
     pub fn incr(&mut self, name: &str, by: u64) {
-        if let Some(v) = self.counters.get_mut(name) {
-            *v += by;
-        } else {
-            self.counters.insert(name.to_owned(), by);
-        }
+        self.registry.incr(name, by);
     }
 
     /// Read a counter (0 when never bumped).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.registry.counter(name)
+    }
+
+    /// The metrics registry backing this sink, for export
+    /// (`registry().to_json()` / `to_prometheus_text()`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access (e.g. to set run-level gauges before
+    /// export).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
     }
 
     /// Record a duration sample under a name. Like [`Metrics::incr`],
-    /// only the first sample for a name allocates the key.
+    /// only the first sample for a name allocates the key. The sample
+    /// is also mirrored into the registry as a `<name>` histogram
+    /// observation in milliseconds.
     pub fn sample(&mut self, name: &str, d: SimDuration) {
+        self.registry.observe(name, d.as_millis_f64());
         if let Some(v) = self.samples.get_mut(name) {
             v.push(d);
         } else {
@@ -120,17 +140,24 @@ impl Metrics {
 
     /// All counter names and values, for reports.
     pub fn all_counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.registry.counters()
     }
 
     /// Trace events of one node within a time window (for Fig 7).
+    ///
+    /// The trace is appended in event order, so it is sorted by time:
+    /// the window bounds are found by binary search
+    /// (`partition_point`) and only the `[from, to]` slice is scanned
+    /// for the node filter, rather than the whole trace.
     pub fn trace_window(
         &self,
         node: NodeId,
         from: SimTime,
         to: SimTime,
     ) -> impl Iterator<Item = &TraceEvent> {
-        self.trace.iter().filter(move |e| e.node == node && e.time >= from && e.time <= to)
+        let lo = self.trace.partition_point(|e| e.time < from);
+        let hi = lo + self.trace[lo..].partition_point(|e| e.time <= to);
+        self.trace[lo..hi].iter().filter(move |e| e.node == node)
     }
 }
 
@@ -162,12 +189,26 @@ impl Ecdf {
         1.0 - self.fraction_at_or_below(x)
     }
 
-    /// The p-th percentile (0 ≤ p ≤ 100) by nearest-rank.
+    /// The p-th percentile (0 ≤ p ≤ 100) by the **nearest-rank**
+    /// convention: the smallest observation `x` such that at least
+    /// `p`% of observations are ≤ `x`, i.e. the observation at 1-based
+    /// rank `⌈p/100 · n⌉`.
+    ///
+    /// Edge cases follow from clamping that rank to `[1, n]`:
+    ///
+    /// * `p = 0` (rank 0 → clamped to 1) returns the **minimum**. This
+    ///   is deliberate — the 0th percentile is defined here as the
+    ///   smallest observation, not "a value below all observations".
+    /// * `p = 100` returns the maximum; any `p > 100` also clamps to
+    ///   the maximum rather than running off the end.
+    /// * Negative `p` is rejected (`debug_assert` + clamp to minimum),
+    ///   and an empty ECDF has no percentiles (`None`).
     pub fn percentile(&self, p: f64) -> Option<f64> {
+        debug_assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.sorted.is_empty() {
             return None;
         }
-        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        let rank = ((p.max(0.0) / 100.0) * self.sorted.len() as f64).ceil() as usize;
         Some(self.sorted[rank.clamp(1, self.sorted.len()) - 1])
     }
 
@@ -221,6 +262,68 @@ mod tests {
         let mut m = Metrics::counters_only();
         m.trace(SimTime(1), NodeId(0), TraceKind::EventRaised);
         assert!(m.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_window_binary_search_matches_linear_scan_on_large_trace() {
+        let mut m = Metrics::new();
+        // 10_000 events over two nodes with duplicate timestamps, so
+        // the window bounds land inside runs of equal times.
+        for i in 0..10_000u64 {
+            let node = NodeId((i % 2) as u32);
+            m.trace(SimTime((i / 4) * 10), node, TraceKind::EventRaised);
+        }
+        let node = NodeId(1);
+        for (from, to) in [
+            (SimTime(0), SimTime(0)),
+            (SimTime(5), SimTime(95)),
+            (SimTime(100), SimTime(100)),
+            (SimTime(0), SimTime(u64::MAX)),
+            (SimTime(24_990), SimTime(30_000)),
+            (SimTime(30_001), SimTime(30_002)), // empty window
+        ] {
+            let fast: Vec<SimTime> = m.trace_window(node, from, to).map(|e| e.time).collect();
+            let slow: Vec<SimTime> = m
+                .trace
+                .iter()
+                .filter(|e| e.node == node && e.time >= from && e.time <= to)
+                .map(|e| e.time)
+                .collect();
+            assert_eq!(fast, slow, "window [{from:?}, {to:?}]");
+        }
+    }
+
+    #[test]
+    fn counters_are_backed_by_the_registry() {
+        let mut m = Metrics::new();
+        m.incr("pkts", 2);
+        m.sample("lat", SimDuration::from_millis(3));
+        assert_eq!(m.registry().counter("pkts"), 2);
+        let h = m.registry().histogram("lat").expect("sample mirrored as histogram");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(3.0));
+        let json = m.registry().to_json();
+        assert!(json.contains("\"pkts\":2"), "{json}");
+    }
+
+    #[test]
+    fn ecdf_percentile_boundaries() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        // Nearest-rank convention: p = 0 is the minimum (rank clamps
+        // to 1), p = 100 the maximum.
+        assert_eq!(e.percentile(0.0), Some(1.0));
+        assert_eq!(e.percentile(100.0), Some(4.0));
+        // A tiny positive p already names the first observation.
+        assert_eq!(e.percentile(0.0001), Some(1.0));
+        // Rank boundaries: p = 25 is still the first observation
+        // (⌈0.25·4⌉ = 1); just above it moves to the second.
+        assert_eq!(e.percentile(25.0), Some(1.0));
+        assert_eq!(e.percentile(25.1), Some(2.0));
+        // Single observation: every p maps to it.
+        let one = Ecdf::new(vec![7.0]);
+        assert_eq!(one.percentile(0.0), Some(7.0));
+        assert_eq!(one.percentile(50.0), Some(7.0));
+        assert_eq!(one.percentile(100.0), Some(7.0));
     }
 
     #[test]

@@ -279,6 +279,43 @@ impl Message {
             EventMsg { .. } => None,
         }
     }
+
+    /// Wire-protocol name of this message's variant, for span/trace
+    /// attribution ("which southbound message was this?").
+    pub fn kind_name(&self) -> &'static str {
+        use Message::*;
+        match self {
+            GetConfig { .. } => "getConfig",
+            SetConfig { .. } => "setConfig",
+            DelConfig { .. } => "delConfig",
+            GetSupportPerflow { .. } => "getSupportPerflow",
+            PutSupportPerflow { .. } => "putSupportPerflow",
+            DelSupportPerflow { .. } => "delSupportPerflow",
+            GetReportPerflow { .. } => "getReportPerflow",
+            PutReportPerflow { .. } => "putReportPerflow",
+            DelReportPerflow { .. } => "delReportPerflow",
+            GetSupportShared { .. } => "getSupportShared",
+            PutSupportShared { .. } => "putSupportShared",
+            GetReportShared { .. } => "getReportShared",
+            PutReportShared { .. } => "putReportShared",
+            GetStats { .. } => "getStats",
+            EnableEvents { .. } => "enableEvents",
+            DisableEvents { .. } => "disableEvents",
+            ReprocessPacket { .. } => "reprocessPacket",
+            EndSync { .. } => "endSync",
+            DeleteState { .. } => "deleteState",
+            Chunk { .. } => "chunk",
+            GetAck { .. } => "getAck",
+            SharedChunk { .. } => "sharedChunk",
+            PutAck { .. } => "putAck",
+            OpAck { .. } => "opAck",
+            DeleteAck { .. } => "deleteAck",
+            ConfigValues { .. } => "configValues",
+            Stats { .. } => "stats",
+            EventMsg { .. } => "event",
+            ErrorMsg { .. } => "error",
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
