@@ -1,0 +1,373 @@
+//! Transfer-pipeline scale benchmark: drives [`ControllerCore`] through
+//! moves of 10k / 100k / 1M flows and measures per-op completion time,
+//! chunk throughput, and peak ledger occupancy under the sliding
+//! transfer window.
+//!
+//! The baseline column reproduces the pre-windowing ledger at the data
+//! structure level — a put `Vec` `retain`ed on every ack, an
+//! ever-growing acked-seq `HashSet`, a pending-key `Vec` scanned per
+//! ack — fed the same all-puts-then-all-acks pattern the simulator
+//! produces, so the speedup isolates the O(n²)→O(n log n) ledger
+//! change. The optimized column runs the *real* controller (sub-op
+//! allocation, span hooks, dedup sets included), so the comparison is
+//! conservative.
+//!
+//! Usage:
+//!   scale_bench [OUT.json]        full run: 10k + 100k comparisons,
+//!                                 10k/100k/1M scale table, write JSON
+//!   scale_bench --smoke           10k windowed drive + invariant
+//!                                 asserts only (fast; per-commit CI)
+//!   scale_bench --check BASE.json re-measure the gated bench and fail
+//!                                 (exit 1) if its speedup regressed
+//!                                 >20% vs the committed baseline
+
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use openmb_core::controller::{Action, Completion, ControllerConfig, ControllerCore};
+use openmb_simnet::SimTime;
+use openmb_types::crypto::VendorKey;
+use openmb_types::wire::Message;
+use openmb_types::{EncryptedChunk, FlowKey, HeaderFieldList, OpId, StateChunk};
+
+/// Sliding window used for every windowed drive.
+const WINDOW: u32 = 512;
+/// Chunks per coalesced southbound frame fed to the controller.
+const BATCH: usize = 16;
+/// Chunks streamed between ack round-trips: several windows' worth, so
+/// the ledger fills to the window and the overflow queues.
+const BURST: u32 = 4 * WINDOW;
+/// CI gate: same-run speedup may fall at most this far below the
+/// committed baseline's (machine-speed independent, like perf_baseline).
+const MAX_REGRESSION: f64 = 0.20;
+
+fn key(i: u32) -> FlowKey {
+    FlowKey::tcp(Ipv4Addr::from(0x0a00_0000 + i), 4000, Ipv4Addr::new(192, 168, 1, 1), 80)
+}
+
+fn chunk(i: u32, blob: &EncryptedChunk) -> StateChunk {
+    StateChunk::new(HeaderFieldList::exact(key(i)), blob.clone())
+}
+
+/// What a windowed drive observed.
+struct Drive {
+    wall_ns: u128,
+    peak_ledger: usize,
+    peak_queue: usize,
+    peak_ack_set: usize,
+    frames_in: u64,
+    completed: bool,
+}
+
+/// Collect PutAcks for every put the controller just issued and feed
+/// them back as one coalesced frame, until the action queue is quiet.
+/// Mirrors a destination MB that batches its replies per frame.
+fn pump_acks(
+    core: &mut ControllerCore,
+    dst: openmb_types::MbId,
+    op: OpId,
+    out: &mut Vec<Action>,
+    d: &mut Drive,
+) {
+    let now = SimTime(0);
+    loop {
+        let mut acks: Vec<Message> = Vec::new();
+        for a in out.drain(..) {
+            match a {
+                Action::ToMb(_, m) => match m {
+                    Message::PutSupportPerflow { op, chunk }
+                    | Message::PutReportPerflow { op, chunk } => {
+                        acks.push(Message::PutAck { op, key: Some(chunk.key) });
+                    }
+                    Message::PutSupportShared { op, .. } | Message::PutReportShared { op, .. } => {
+                        acks.push(Message::PutAck { op, key: None });
+                    }
+                    _ => {}
+                },
+                Action::Notify(c) => {
+                    if matches!(c, Completion::MoveComplete { .. }) {
+                        d.completed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if acks.is_empty() {
+            return;
+        }
+        d.peak_ledger = d.peak_ledger.max(core.puts_in_flight(op));
+        d.peak_queue = d.peak_queue.max(core.puts_queued(op));
+        let frame = if acks.len() == 1 {
+            acks.pop().expect("len 1")
+        } else {
+            Message::Batch { msgs: acks }
+        };
+        core.handle_mb_message(dst, frame, now, out);
+        d.peak_ack_set = d.peak_ack_set.max(core.ack_set_size(op));
+    }
+}
+
+/// Move `n` report chunks through the real controller with the sliding
+/// window, batched frames both ways, acks flowing while chunks stream.
+fn windowed_move(n: u32, blob: &EncryptedChunk) -> Drive {
+    let mut core =
+        ControllerCore::new(ControllerConfig { transfer_window: WINDOW, ..Default::default() });
+    let src = core.register_mb();
+    let dst = core.register_mb();
+    let now = SimTime(0);
+    let mut d = Drive {
+        wall_ns: 0,
+        peak_ledger: 0,
+        peak_queue: 0,
+        peak_ack_set: 0,
+        frames_in: 0,
+        completed: false,
+    };
+
+    let t = Instant::now();
+    let mut out = Vec::new();
+    let op = core.move_internal(src, dst, HeaderFieldList::any(), now, &mut out);
+    let (mut gs, mut gr) = (None, None);
+    for a in out.drain(..) {
+        if let Action::ToMb(_, m) = a {
+            match m {
+                Message::GetSupportPerflow { op, .. } => gs = Some(op),
+                Message::GetReportPerflow { op, .. } => gr = Some(op),
+                _ => {}
+            }
+        }
+    }
+    let (gs, gr) = (gs.expect("support get"), gr.expect("report get"));
+    // Monitor-style source: no per-flow supporting state.
+    core.handle_mb_message(src, Message::GetAck { op: gs, count: 0 }, now, &mut out);
+    pump_acks(&mut core, dst, op, &mut out, &mut d);
+
+    // Chunks stream in BATCH-sized frames; acks only round-trip every
+    // BURST chunks, so the window genuinely fills and the put queue
+    // grows past it — the shape a fast source and a slower destination
+    // produce — before each drain.
+    let mut base = 0u32;
+    while base < n {
+        let hi = (base + BATCH as u32).min(n);
+        let msgs: Vec<Message> =
+            (base..hi).map(|i| Message::Chunk { op: gr, chunk: chunk(i, blob) }).collect();
+        core.handle_mb_message(src, Message::Batch { msgs }, now, &mut out);
+        d.frames_in += 1;
+        if hi.is_multiple_of(BURST) || hi == n {
+            pump_acks(&mut core, dst, op, &mut out, &mut d);
+        }
+        base = hi;
+    }
+    core.handle_mb_message(src, Message::GetAck { op: gr, count: n }, now, &mut out);
+    pump_acks(&mut core, dst, op, &mut out, &mut d);
+    d.wall_ns = t.elapsed().as_nanos();
+
+    assert!(d.completed, "move of {n} chunks must complete");
+    assert_eq!(core.puts_in_flight(op), 0);
+    assert_eq!(core.puts_queued(op), 0);
+    assert_eq!(core.ack_set_size(op), 0, "watermark must drain the ack set");
+    d.peak_ledger = d.peak_ledger.max(core.puts_in_flight_peak);
+    d
+}
+
+/// The pre-windowing ledger, reproduced at the data-structure level:
+/// every put retained in a Vec scanned per ack, acked seqs accumulated
+/// in a set that never shrinks, pending keys in a Vec retained per ack.
+struct LegacyLedger {
+    puts: Vec<(u64, Message)>,
+    pending_keys: Vec<HeaderFieldList>,
+    acked: HashSet<u64>,
+}
+
+/// Feed the legacy ledger the pattern the simulator produced: every put
+/// issued while the acks round-trip, then the acks drain one by one.
+fn legacy_move(n: u32, blob: &EncryptedChunk) -> u128 {
+    let t = Instant::now();
+    let mut l = LegacyLedger { puts: Vec::new(), pending_keys: Vec::new(), acked: HashSet::new() };
+    for i in 0..n {
+        let c = chunk(i, blob);
+        let k = c.key;
+        l.puts.push((u64::from(i), Message::PutReportPerflow { op: OpId(u64::from(i)), chunk: c }));
+        l.pending_keys.push(k);
+    }
+    for i in 0..u64::from(n) {
+        if !l.acked.insert(i) {
+            continue;
+        }
+        let k = HeaderFieldList::exact(key(i as u32));
+        l.puts.retain(|(s, _)| *s != i);
+        l.pending_keys.retain(|p| p != &k);
+    }
+    black_box((l.puts.len(), l.pending_keys.len(), l.acked.len()));
+    t.elapsed().as_nanos()
+}
+
+/// Best of `reps` runs, in ns.
+fn best_of(reps: usize, mut f: impl FnMut() -> u128) -> f64 {
+    (0..reps).map(|_| f()).min().expect("reps > 0") as f64
+}
+
+struct Bench {
+    name: &'static str,
+    gated: bool,
+    baseline_ns: f64,
+    optimized_ns: f64,
+}
+
+struct ScaleRow {
+    flows: u32,
+    wall_ms: f64,
+    chunks_per_sec: f64,
+    peak_ledger: usize,
+    peak_ack_set: usize,
+    frames_in: u64,
+}
+
+fn scale_row(n: u32, blob: &EncryptedChunk) -> ScaleRow {
+    let d = windowed_move(n, blob);
+    assert!(
+        d.peak_ledger <= WINDOW as usize,
+        "{n} flows: peak ledger {} exceeded window {WINDOW}",
+        d.peak_ledger
+    );
+    ScaleRow {
+        flows: n,
+        wall_ms: d.wall_ns as f64 / 1e6,
+        chunks_per_sec: f64::from(n) / (d.wall_ns as f64 / 1e9),
+        peak_ledger: d.peak_ledger,
+        peak_ack_set: d.peak_ack_set,
+        frames_in: d.frames_in,
+    }
+}
+
+fn to_json(benches: &[Bench], scale: &[ScaleRow]) -> String {
+    let mut s = String::from("{\n  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"gated\": {}, \"baseline_ns\": {:.2}, \"optimized_ns\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            b.name,
+            b.gated,
+            b.baseline_ns,
+            b.optimized_ns,
+            b.baseline_ns / b.optimized_ns,
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"scale\": [\n");
+    for (i, r) in scale.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"flows\": {}, \"wall_ms\": {:.2}, \"chunks_per_sec\": {:.0}, \"peak_ledger\": {}, \"window\": {}, \"peak_ack_set\": {}, \"frames_in\": {}}}{}\n",
+            r.flows,
+            r.wall_ms,
+            r.chunks_per_sec,
+            r.peak_ledger,
+            WINDOW,
+            r.peak_ack_set,
+            r.frames_in,
+            if i + 1 < scale.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// `"field": <number>` for the `"name": "<name>"` object (same format
+/// and parser as perf_baseline; no serde in-tree).
+fn json_field(json: &str, name: &str, field: &str) -> Option<f64> {
+    let obj_start = json.find(&format!("\"name\": \"{name}\""))?;
+    let obj = &json[obj_start..json[obj_start..].find('}')? + obj_start];
+    let f = obj.find(&format!("\"{field}\":"))?;
+    let rest = obj[f..].split(':').nth(1)?;
+    rest.split(',').next()?.trim().parse().ok()
+}
+
+fn print_bench(b: &Bench) {
+    println!(
+        "{:<18} legacy {:>12.0} ns/op   windowed {:>12.0} ns/op   speedup {:>6.2}x",
+        b.name,
+        b.baseline_ns,
+        b.optimized_ns,
+        b.baseline_ns / b.optimized_ns
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let vendor = VendorKey::derive("scale-bench");
+    let blob = EncryptedChunk::seal(&vendor, 1, &vec![7u8; 202]);
+
+    if args.first().map(String::as_str) == Some("--smoke") {
+        let r = scale_row(10_000, &blob);
+        println!(
+            "smoke: 10k flows in {:.1} ms ({:.0} chunks/s), peak ledger {}/{}, peak ack set {}",
+            r.wall_ms, r.chunks_per_sec, r.peak_ledger, WINDOW, r.peak_ack_set
+        );
+        return;
+    }
+
+    // The gated comparison CI re-measures; kept small so --check is fast.
+    let gated = Bench {
+        name: "move_10k_ledger",
+        gated: true,
+        baseline_ns: best_of(3, || legacy_move(10_000, &blob)),
+        optimized_ns: best_of(3, || windowed_move(10_000, &blob).wall_ns),
+    };
+    print_bench(&gated);
+
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).expect("--check requires a baseline path");
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let Some(committed_speedup) = json_field(&committed, gated.name, "speedup") else {
+            eprintln!("FAIL {}: not present in committed baseline", gated.name);
+            std::process::exit(1);
+        };
+        let speedup = gated.baseline_ns / gated.optimized_ns;
+        let floor = committed_speedup * (1.0 - MAX_REGRESSION);
+        if speedup < floor {
+            eprintln!(
+                "FAIL {}: speedup {speedup:.2}x fell below {floor:.2}x (committed {committed_speedup:.2}x - {:.0}%)",
+                gated.name,
+                MAX_REGRESSION * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "ok   {}: speedup {speedup:.2}x (committed {committed_speedup:.2}x, floor {floor:.2}x)",
+            gated.name
+        );
+        return;
+    }
+
+    // Acceptance evidence: the 100k-chunk move must complete at least
+    // 5x faster than the legacy ledger. One run each — at this size the
+    // ledger dominates and run-to-run noise is far below the margin.
+    let big = Bench {
+        name: "move_100k_ledger",
+        gated: false,
+        baseline_ns: best_of(1, || legacy_move(100_000, &blob)),
+        optimized_ns: best_of(1, || windowed_move(100_000, &blob).wall_ns),
+    };
+    print_bench(&big);
+    let big_speedup = big.baseline_ns / big.optimized_ns;
+    assert!(
+        big_speedup >= 5.0,
+        "100k-chunk move must be ≥5x faster than the legacy ledger, got {big_speedup:.2}x"
+    );
+
+    let mut scale = Vec::new();
+    for n in [10_000u32, 100_000, 1_000_000] {
+        let r = scale_row(n, &blob);
+        println!(
+            "scale {:>9} flows: {:>9.1} ms  {:>11.0} chunks/s  peak ledger {:>3}/{}  ack set {:>3}  frames in {}",
+            r.flows, r.wall_ms, r.chunks_per_sec, r.peak_ledger, WINDOW, r.peak_ack_set, r.frames_in
+        );
+        scale.push(r);
+    }
+
+    let out = args.first().map(String::as_str).unwrap_or("BENCH_PR5.json");
+    std::fs::write(out, to_json(&[gated, big], &scale)).expect("write baseline");
+    println!("wrote {out}");
+}

@@ -17,7 +17,7 @@
 //! transports (`tcp`), exactly as the paper's Floodlight module serves
 //! both their testbed and their dummy-MB scalability rig.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use openmb_obs::{NodeTag, ParkReason, Recorder, SpanEvent};
 use openmb_simnet::{SimDuration, SimTime};
@@ -167,8 +167,10 @@ struct OpState {
     puts_outstanding: u32,
     /// Chunk keys whose puts have been ACKed.
     acked_keys: Vec<HeaderFieldList>,
-    /// Chunk keys whose puts are in flight.
-    pending_keys: Vec<HeaderFieldList>,
+    /// Chunk keys whose puts are in flight (issued or window-queued).
+    /// A set, not a list: the ack path removes one exact key per
+    /// `PutAck`, and a linear scan there is O(n²) over a transfer.
+    pending_keys: HashSet<HeaderFieldList>,
     /// The get sub-operations issued to the source. The source MB tags
     /// its moved/cloned marks (and its reprocess events) with these ids,
     /// so closing the sync window means sending EndSync for each.
@@ -194,9 +196,13 @@ struct OpState {
     // ---- resumable-transfer bookkeeping ----
     /// Next per-op chunk sequence number (tags put sub-roles).
     next_chunk_seq: u64,
-    /// Sequence numbers whose `PutAck` has been processed — the
-    /// (op, chunk_seq) dedup a duplicated ack must not get past.
-    acked_seqs: HashSet<u64>,
+    /// Watermark-compacted ack set: every seq below `ack_watermark` has
+    /// been acked, plus the sparse set of acked seqs at or above it.
+    /// Together they are the (op, chunk_seq) dedup a duplicated ack
+    /// must not get past — in O(log W) space-bounded form instead of a
+    /// `HashSet<u64>` that grows by one entry per chunk forever.
+    ack_watermark: u64,
+    acked_above: BTreeSet<u64>,
     /// Get sub-ops that have fully completed (stream closed); dedups
     /// duplicated `GetAck`s and re-streamed `SharedChunk`s.
     done_gets: HashSet<OpId>,
@@ -212,9 +218,16 @@ struct OpState {
     /// resume; the source's moved-marks and our chunk dedup make the
     /// re-issue idempotent.
     get_reqs: Vec<(OpId, Message)>,
-    /// Puts issued but not yet acked, by sequence number, re-sent
-    /// verbatim (same sub ids) on resume.
-    unacked_puts: Vec<(u64, Message)>,
+    /// The in-flight put ledger: puts issued but not yet acked, keyed
+    /// by sequence number. A `BTreeMap` so the ack path removes in
+    /// O(log W) and resume finds the window base (first key) in
+    /// O(log W), instead of the old `Vec` retain/min-scan that made a
+    /// long transfer O(n²). Bounded by `transfer_window` when set.
+    unacked_puts: BTreeMap<u64, Message>,
+    /// Puts created but deferred because the window is full, in seq
+    /// order. `refill_window` promotes them into `unacked_puts` (and
+    /// onto the wire) as acks open slots.
+    queued_puts: VecDeque<(u64, Message)>,
     /// Shared-state put sub-ops issued to the destination, in order —
     /// the rollback list an abort sends in `DeleteState`.
     shared_puts: Vec<OpId>,
@@ -265,6 +278,13 @@ pub struct ControllerConfig {
     /// message activity before `tick` treats it as stalled (a message
     /// was lost) and resumes it.
     pub resume_after: SimDuration,
+    /// Sliding-window size for streamed state transfers: at most this
+    /// many puts are in flight (issued, unacked) per operation; further
+    /// chunks queue and are released as acks open slots, so the
+    /// in-flight ledger — and everything resume must rescan — stays
+    /// O(window) regardless of transfer size. 0 disables windowing
+    /// (fire everything immediately, the pre-window behaviour).
+    pub transfer_window: u32,
 }
 
 impl Default for ControllerConfig {
@@ -278,6 +298,7 @@ impl Default for ControllerConfig {
             max_retries: 3,
             max_transfer_resumes: 0,
             resume_after: SimDuration::from_millis(400),
+            transfer_window: 64,
         }
     }
 }
@@ -335,6 +356,10 @@ pub struct ControllerCore {
     /// Counters for experiments (messages brokered, events buffered...).
     pub messages_handled: u64,
     pub events_buffered_peak: usize,
+    /// Largest in-flight put ledger observed across all ops — with a
+    /// `transfer_window` set this must never exceed the window, which
+    /// the conformance suite and `scale_bench` both assert.
+    pub puts_in_flight_peak: usize,
     /// Flight recorder for op spans (disabled unless the embedding
     /// installs one via [`ControllerCore::set_recorder`]). Cloning the
     /// core (journaling) shares the recorder, so a restored snapshot
@@ -357,6 +382,7 @@ impl ControllerCore {
             config,
             messages_handled: 0,
             events_buffered_peak: 0,
+            puts_in_flight_peak: 0,
             obs: Recorder::disabled(),
             obs_tag: NodeTag::NONE,
         }
@@ -707,6 +733,16 @@ impl ControllerCore {
         now: SimTime,
         out: &mut Vec<Action>,
     ) {
+        // A coalesced frame counts as its contents: unpack before the
+        // per-message counter so embeddings that batch replies (TCP
+        // serve loops, the simulator's MB nodes) keep the same
+        // messages-brokered accounting as unbatched ones.
+        if let Message::Batch { msgs } = msg {
+            for m in msgs {
+                self.handle_mb_message(from, m, now, out);
+            }
+            return;
+        }
         self.messages_handled += 1;
         match msg {
             Message::Chunk { op: sub, chunk } => {
@@ -731,11 +767,10 @@ impl ControllerCore {
                     return;
                 }
                 st.chunks += 1;
-                st.pending_keys.push(chunk.key);
+                st.pending_keys.insert(chunk.key);
                 st.puts_outstanding += 1;
                 let seq = st.next_chunk_seq;
                 st.next_chunk_seq += 1;
-                let dst = st.dst;
                 let (put_role, mk): (SubRole, fn(OpId, openmb_types::StateChunk) -> Message) =
                     if is_report {
                         (SubRole::PutReport { key: chunk.key, seq }, |op, chunk| {
@@ -756,10 +791,7 @@ impl ControllerCore {
                     },
                 );
                 let m = mk(put_sub, chunk);
-                if let Some(st) = self.ops.get_mut(&parent) {
-                    st.unacked_puts.push((seq, m.clone()));
-                }
-                out.push(Action::ToMb(dst, m));
+                self.enqueue_put(parent, seq, m, out);
                 self.maybe_finish_get(parent, sub, now, out);
             }
             Message::GetAck { op: sub, count } => {
@@ -799,7 +831,6 @@ impl ControllerCore {
                 st.last_activity = now;
                 let seq = st.next_chunk_seq;
                 st.next_chunk_seq += 1;
-                let dst = st.dst;
                 let (put_sub, m) = match role {
                     SubRole::GetSharedSupport => {
                         let s = self.alloc_sub(parent, SubRole::PutSharedSupport { seq });
@@ -813,10 +844,9 @@ impl ControllerCore {
                 };
                 self.span(now, parent, Some(put_sub), SpanEvent::Issued { kind: m.kind_name() });
                 if let Some(st) = self.ops.get_mut(&parent) {
-                    st.unacked_puts.push((seq, m.clone()));
                     st.shared_puts.push(put_sub);
                 }
-                out.push(Action::ToMb(dst, m));
+                self.enqueue_put(parent, seq, m, out);
             }
             Message::PutAck { op: sub, key } => {
                 let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
@@ -828,15 +858,22 @@ impl ControllerCore {
                     _ => None,
                 };
                 if let Some(st) = self.ops.get_mut(&parent) {
+                    // A late or duplicated ack for an op that already
+                    // reached a terminal state (completed, quiesced, or
+                    // aborted — abort sets both flags) must not
+                    // resurrect ledger state or refill the window.
+                    if st.completed || st.quiesced {
+                        return;
+                    }
                     if let Some(seq) = seq {
                         // Dedup by (op, chunk_seq): a duplicated PutAck —
                         // fault injection, or a resumed put racing its
                         // original ack — must not double-decrement the
                         // outstanding-put count.
-                        if !st.acked_seqs.insert(seq) {
+                        if !st.mark_acked(seq) {
                             return;
                         }
-                        st.unacked_puts.retain(|(s, _)| *s != seq);
+                        st.unacked_puts.remove(&seq);
                         self.obs.record(
                             now.0,
                             self.obs_tag,
@@ -848,7 +885,7 @@ impl ControllerCore {
                     st.puts_outstanding = st.puts_outstanding.saturating_sub(1);
                     st.last_activity = now;
                     if let Some(k) = key {
-                        st.pending_keys.retain(|p| p != &k);
+                        st.pending_keys.remove(&k);
                         st.acked_keys.push(k);
                         // Release any buffered events this put unblocks.
                         let dst = st.dst;
@@ -875,6 +912,7 @@ impl ControllerCore {
                         }
                     }
                 }
+                self.refill_window(parent, out);
                 self.maybe_complete(parent, now, out);
             }
             Message::OpAck { op: sub } => {
@@ -1114,6 +1152,10 @@ impl ControllerCore {
         let dropped_events = st.buffered.len();
         st.buffered.clear();
         st.pending_keys.clear();
+        // Drop the transfer pipeline outright: a late ack after this
+        // point must find nothing to refill the window from.
+        st.unacked_puts.clear();
+        st.queued_puts.clear();
         st.gets_outstanding = 0;
         st.puts_outstanding = 0;
         let (kind, src, dst, pattern) = (st.kind, st.src, st.dst, st.pattern);
@@ -1214,6 +1256,46 @@ impl ControllerCore {
         self.maybe_complete(parent, now, out);
     }
 
+    /// Admit put `seq` of `op` into the transfer pipeline: issue it
+    /// immediately while the in-flight ledger has a free window slot
+    /// (or windowing is off), otherwise defer it to the queue for
+    /// `refill_window`. Suspended ops always queue — their in-flight
+    /// set is re-sent wholesale by `resume_op`.
+    fn enqueue_put(&mut self, op: OpId, seq: u64, m: Message, out: &mut Vec<Action>) {
+        let window = self.config.transfer_window as usize;
+        let mut in_flight = 0;
+        if let Some(st) = self.ops.get_mut(&op) {
+            if !st.suspended && (window == 0 || st.unacked_puts.len() < window) {
+                st.unacked_puts.insert(seq, m.clone());
+                in_flight = st.unacked_puts.len();
+                out.push(Action::ToMb(st.dst, m));
+            } else {
+                st.queued_puts.push_back((seq, m));
+            }
+        }
+        self.puts_in_flight_peak = self.puts_in_flight_peak.max(in_flight);
+    }
+
+    /// Promote queued puts into freed window slots and send them. Called
+    /// on every ack and at the end of a resume; a no-op for terminal or
+    /// suspended ops so a late ack cannot push puts past an abort.
+    fn refill_window(&mut self, op: OpId, out: &mut Vec<Action>) {
+        let window = self.config.transfer_window as usize;
+        let mut in_flight = 0;
+        if let Some(st) = self.ops.get_mut(&op) {
+            if st.completed || st.quiesced || st.suspended {
+                return;
+            }
+            while !st.queued_puts.is_empty() && (window == 0 || st.unacked_puts.len() < window) {
+                let (seq, m) = st.queued_puts.pop_front().expect("checked non-empty");
+                st.unacked_puts.insert(seq, m.clone());
+                in_flight = st.unacked_puts.len();
+                out.push(Action::ToMb(st.dst, m));
+            }
+        }
+        self.puts_in_flight_peak = self.puts_in_flight_peak.max(in_flight);
+    }
+
     /// Resume a stalled or parked transfer from its last acked chunk:
     /// re-send every get whose stream has not closed and every put not
     /// yet acked, verbatim (same sub-op ids). The re-issue is
@@ -1238,7 +1320,15 @@ impl ControllerCore {
         st.suspended = false;
         st.last_activity = now;
         st.deadline = deadline;
-        let from_seq = st.unacked_puts.iter().map(|(s, _)| *s).min().unwrap_or(st.next_chunk_seq);
+        // The window base: the ledger's first key — O(log W), not a
+        // min-scan over every unacked put.
+        let from_seq = st
+            .unacked_puts
+            .keys()
+            .next()
+            .copied()
+            .or_else(|| st.queued_puts.front().map(|(s, _)| *s))
+            .unwrap_or(st.next_chunk_seq);
         self.obs.record(now.0, self.obs_tag, Some(op.0), None, SpanEvent::Resumed { from_seq });
         let Some(st) = self.ops.get_mut(&op) else { return };
         let (src, dst) = (st.src, st.dst);
@@ -1248,13 +1338,16 @@ impl ControllerCore {
             .filter(|(sub, _)| !st.done_gets.contains(sub))
             .map(|(_, m)| m.clone())
             .collect();
-        let puts: Vec<Message> = st.unacked_puts.iter().map(|(_, m)| m.clone()).collect();
+        let puts: Vec<Message> = st.unacked_puts.values().cloned().collect();
         for m in gets {
             out.push(Action::ToMb(src, m));
         }
         for m in puts {
             out.push(Action::ToMb(dst, m));
         }
+        // Chunks that arrived while parked were window-deferred; top the
+        // window back up now that the transfer is live again.
+        self.refill_window(op, out);
     }
 
     fn maybe_complete(&mut self, parent: OpId, now: SimTime, out: &mut Vec<Action>) {
@@ -1460,6 +1553,24 @@ impl ControllerCore {
     pub fn chunks_moved(&self, op: OpId) -> usize {
         self.ops.get(&op).map(|s| s.chunks).unwrap_or(0)
     }
+
+    /// Puts currently in flight (issued, unacked) for an operation —
+    /// the ledger the window bounds (tests, `scale_bench`).
+    pub fn puts_in_flight(&self, op: OpId) -> usize {
+        self.ops.get(&op).map(|s| s.unacked_puts.len()).unwrap_or(0)
+    }
+
+    /// Puts created but deferred by the window for an operation.
+    pub fn puts_queued(&self, op: OpId) -> usize {
+        self.ops.get(&op).map(|s| s.queued_puts.len()).unwrap_or(0)
+    }
+
+    /// Size of an operation's sparse acked-seq set (above the
+    /// watermark). Bounded by the window under in-order delivery —
+    /// the regression guard against unbounded per-chunk ack state.
+    pub fn ack_set_size(&self, op: OpId) -> usize {
+        self.ops.get(&op).map(|s| s.acked_above.len()).unwrap_or(0)
+    }
 }
 
 impl OpState {
@@ -1472,7 +1583,7 @@ impl OpState {
             gets_outstanding: 0,
             puts_outstanding: 0,
             acked_keys: Vec::new(),
-            pending_keys: Vec::new(),
+            pending_keys: HashSet::new(),
             get_subs: Vec::new(),
             buffered: Vec::new(),
             chunks: 0,
@@ -1483,16 +1594,32 @@ impl OpState {
             retry: None,
             events_forwarded: 0,
             next_chunk_seq: 0,
-            acked_seqs: HashSet::new(),
+            ack_watermark: 0,
+            acked_above: BTreeSet::new(),
             done_gets: HashSet::new(),
             streamed: HashSet::new(),
             get_seen: HashMap::new(),
             get_expected: HashMap::new(),
             get_reqs: Vec::new(),
-            unacked_puts: Vec::new(),
+            unacked_puts: BTreeMap::new(),
+            queued_puts: VecDeque::new(),
             shared_puts: Vec::new(),
             resumes_left: 0,
             suspended: false,
         }
+    }
+
+    /// Record `seq` as acked. Returns false on a duplicate. Newly acked
+    /// seqs at the watermark advance it, draining contiguous entries
+    /// out of the sparse set — per-op ack state stays O(window) instead
+    /// of one set entry per chunk forever.
+    fn mark_acked(&mut self, seq: u64) -> bool {
+        if seq < self.ack_watermark || !self.acked_above.insert(seq) {
+            return false;
+        }
+        while self.acked_above.remove(&self.ack_watermark) {
+            self.ack_watermark += 1;
+        }
+        true
     }
 }

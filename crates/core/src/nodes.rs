@@ -261,12 +261,14 @@ impl<M: Middlebox + 'static> MbNode<M> {
                 let c = self.costs();
                 let end = (idx + c.get_batch).min(chunks.len());
                 let controller = self.controller.expect("get requires a controller");
-                for chunk in &chunks[idx..end] {
-                    ctx.send(
-                        controller,
-                        Frame::Control(Message::Chunk { op: sub, chunk: chunk.clone() }),
-                    );
-                }
+                // The whole service batch leaves in one coalesced frame
+                // (one length prefix, one scheduler event) instead of
+                // one frame per chunk; the closing GetAck rides along
+                // with the final batch.
+                let mut msgs: Vec<Message> = chunks[idx..end]
+                    .iter()
+                    .map(|chunk| Message::Chunk { op: sub, chunk: chunk.clone() })
+                    .collect();
                 if end < chunks.len() {
                     // Re-queue at the back so packets interleave.
                     self.queue.push_back(Work::GetBatch {
@@ -279,9 +281,17 @@ impl<M: Middlebox + 'static> MbNode<M> {
                     });
                 } else {
                     let count = chunks.len() as u32;
-                    ctx.send(controller, Frame::Control(Message::GetAck { op: sub, count }));
+                    msgs.push(Message::GetAck { op: sub, count });
                     let op_name = if report { "getReportPerflow" } else { "getSupportPerflow" };
                     ctx.trace(TraceKind::OpEnd { op: op_name });
+                }
+                match msgs.len() {
+                    0 => {}
+                    1 => ctx.send(controller, Frame::Control(msgs.pop().expect("len 1"))),
+                    n => {
+                        ctx.record(None, Some(sub.0), SpanEvent::BatchFlushed { count: n as u32 });
+                        ctx.send(controller, Frame::Control(Message::Batch { msgs }));
+                    }
                 }
             }
             Work::Msg(msg) => self.execute_msg(ctx, msg),
@@ -405,92 +415,104 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                 self.queue.push_back(Work::Packet { pkt, arrived: ctx.now() });
             }
             Frame::Control(msg) => {
-                // One `Handled` span per southbound request, keyed by
-                // the wire message's sub-op id: the controller records
-                // the same id as the `sub` of its parent op, so one op
-                // id yields a cross-node timeline.
-                ctx.record(
-                    None,
-                    msg.op_id().map(|o| o.0),
-                    SpanEvent::Handled { msg: msg.kind_name() },
-                );
-                match msg {
-                    Message::GetSupportPerflow { op, key } => {
-                        ctx.trace(TraceKind::OpStart { op: "getSupportPerflow" });
-                        let entries = self.logic.perflow_entries();
-                        match self.logic.get_support_perflow(op, &key) {
-                            Ok(chunks) => self.queue.push_back(Work::GetBatch {
-                                sub: op,
-                                chunks,
-                                idx: 0,
-                                report: false,
-                                first: true,
-                                scanned_entries: entries,
-                            }),
-                            Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
-                        }
-                    }
-                    Message::GetReportPerflow { op, key } => {
-                        ctx.trace(TraceKind::OpStart { op: "getReportPerflow" });
-                        let entries = self.logic.perflow_entries();
-                        match self.logic.get_report_perflow(op, &key) {
-                            Ok(chunks) => self.queue.push_back(Work::GetBatch {
-                                sub: op,
-                                chunks,
-                                idx: 0,
-                                report: true,
-                                first: true,
-                                scanned_entries: entries,
-                            }),
-                            Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
-                        }
-                    }
-                    Message::GetSupportShared { op } => {
-                        // Shared exports serialize on a background thread:
-                        // the result is delivered after the serialization
-                        // delay without occupying the packet path (the §8.2
-                        // RE result: exporting a 500 MB cache leaves
-                        // per-packet latency essentially unchanged).
-                        ctx.trace(TraceKind::OpStart { op: "getSupportShared" });
-                        match self.logic.get_support_shared(op) {
-                            Ok(chunk) => {
-                                let cost = self
-                                    .costs()
-                                    .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
-                                let token = self.next_shared_token;
-                                self.next_shared_token += 1;
-                                self.pending_shared.insert(token, (op, chunk, false));
-                                ctx.set_timer(cost, token);
+                // A batched frame is its contents: unpack before
+                // dispatch so every inner message records its own
+                // `Handled` span (keyed by its own sub-op id) and is
+                // costed as its own work item — only the wire framing
+                // is shared.
+                let msgs = match msg {
+                    Message::Batch { msgs } => msgs,
+                    m => vec![m],
+                };
+                for msg in msgs {
+                    // One `Handled` span per southbound request, keyed by
+                    // the wire message's sub-op id: the controller records
+                    // the same id as the `sub` of its parent op, so one op
+                    // id yields a cross-node timeline.
+                    ctx.record(
+                        None,
+                        msg.op_id().map(|o| o.0),
+                        SpanEvent::Handled { msg: msg.kind_name() },
+                    );
+                    match msg {
+                        Message::GetSupportPerflow { op, key } => {
+                            ctx.trace(TraceKind::OpStart { op: "getSupportPerflow" });
+                            let entries = self.logic.perflow_entries();
+                            match self.logic.get_support_perflow(op, &key) {
+                                Ok(chunks) => self.queue.push_back(Work::GetBatch {
+                                    sub: op,
+                                    chunks,
+                                    idx: 0,
+                                    report: false,
+                                    first: true,
+                                    scanned_entries: entries,
+                                }),
+                                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                             }
-                            Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                         }
-                    }
-                    Message::GetReportShared { op } => {
-                        ctx.trace(TraceKind::OpStart { op: "getReportShared" });
-                        match self.logic.get_report_shared() {
-                            Ok(chunk) => {
-                                let cost = self
-                                    .costs()
-                                    .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
-                                let token = self.next_shared_token;
-                                self.next_shared_token += 1;
-                                self.pending_shared.insert(token, (op, chunk, true));
-                                ctx.set_timer(cost, token);
+                        Message::GetReportPerflow { op, key } => {
+                            ctx.trace(TraceKind::OpStart { op: "getReportPerflow" });
+                            let entries = self.logic.perflow_entries();
+                            match self.logic.get_report_perflow(op, &key) {
+                                Ok(chunks) => self.queue.push_back(Work::GetBatch {
+                                    sub: op,
+                                    chunks,
+                                    idx: 0,
+                                    report: true,
+                                    first: true,
+                                    scanned_entries: entries,
+                                }),
+                                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                             }
-                            Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
                         }
-                    }
-                    Message::ReprocessPacket { op: _, key: _, packet } => {
-                        self.queue.push_back(Work::Replay { pkt: packet });
-                    }
-                    other => {
-                        if matches!(
-                            other,
-                            Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. }
-                        ) {
-                            ctx.trace(TraceKind::OpStart { op: "put" });
+                        Message::GetSupportShared { op } => {
+                            // Shared exports serialize on a background thread:
+                            // the result is delivered after the serialization
+                            // delay without occupying the packet path (the §8.2
+                            // RE result: exporting a 500 MB cache leaves
+                            // per-packet latency essentially unchanged).
+                            ctx.trace(TraceKind::OpStart { op: "getSupportShared" });
+                            match self.logic.get_support_shared(op) {
+                                Ok(chunk) => {
+                                    let cost = self
+                                        .costs()
+                                        .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
+                                    let token = self.next_shared_token;
+                                    self.next_shared_token += 1;
+                                    self.pending_shared.insert(token, (op, chunk, false));
+                                    ctx.set_timer(cost, token);
+                                }
+                                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+                            }
                         }
-                        self.queue.push_back(Work::Msg(other));
+                        Message::GetReportShared { op } => {
+                            ctx.trace(TraceKind::OpStart { op: "getReportShared" });
+                            match self.logic.get_report_shared() {
+                                Ok(chunk) => {
+                                    let cost = self
+                                        .costs()
+                                        .shared_cost(chunk.as_ref().map(|c| c.len()).unwrap_or(0));
+                                    let token = self.next_shared_token;
+                                    self.next_shared_token += 1;
+                                    self.pending_shared.insert(token, (op, chunk, true));
+                                    ctx.set_timer(cost, token);
+                                }
+                                Err(e) => self.reply(ctx, Message::ErrorMsg { op, error: e }),
+                            }
+                        }
+                        Message::ReprocessPacket { op: _, key: _, packet } => {
+                            self.queue.push_back(Work::Replay { pkt: packet });
+                        }
+                        other => {
+                            if matches!(
+                                other,
+                                Message::PutSupportPerflow { .. }
+                                    | Message::PutReportPerflow { .. }
+                            ) {
+                                ctx.trace(TraceKind::OpStart { op: "put" });
+                            }
+                            self.queue.push_back(Work::Msg(other));
+                        }
                     }
                 }
             }
@@ -718,13 +740,35 @@ impl ControllerNode {
 
     fn dispatch_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<Action>) {
         let mut pending_completions = Vec::new();
+        // Coalesce same-destination sends from this action batch into
+        // one wire frame each (first-occurrence destination order;
+        // per-MB message order preserved). Window refills, resume
+        // re-sends, and buffered-event flushes routinely emit runs of
+        // messages to one MB — batching turns each run into a single
+        // scheduler event.
+        let mut sends: Vec<(MbId, Vec<Message>)> = Vec::new();
         for a in actions {
             match a {
-                Action::ToMb(mb, msg) => {
-                    let node = self.node_of(mb);
-                    ctx.send(node, Frame::Control(msg));
-                }
+                Action::ToMb(mb, msg) => match sends.iter_mut().find(|(m, _)| *m == mb) {
+                    Some((_, v)) => v.push(msg),
+                    None => sends.push((mb, vec![msg])),
+                },
                 Action::Notify(c) => pending_completions.push(c),
+            }
+        }
+        for (mb, mut msgs) in sends {
+            let node = self.node_of(mb);
+            if msgs.len() == 1 {
+                ctx.send(node, Frame::Control(msgs.pop().expect("len 1")));
+            } else {
+                // Attributed to the first message's sub-op so per-op
+                // timelines show the flush alongside the put it carries.
+                ctx.record(
+                    None,
+                    msgs[0].op_id().map(|o| o.0),
+                    SpanEvent::BatchFlushed { count: msgs.len() as u32 },
+                );
+                ctx.send(node, Frame::Control(Message::Batch { msgs }));
             }
         }
         for c in pending_completions {
@@ -833,7 +877,17 @@ impl Node for ControllerNode {
         match frame {
             Frame::Control(msg) => {
                 let mb = self.mb_of(from).unwrap_or(MbId(u32::MAX));
-                self.queue.push_back((mb, msg));
+                // A batched frame shares one wire frame but not one
+                // work item: flatten it so each inner message is priced
+                // by `pump`'s cost model individually.
+                match msg {
+                    Message::Batch { msgs } => {
+                        for m in msgs {
+                            self.queue.push_back((mb, m));
+                        }
+                    }
+                    m => self.queue.push_back((mb, m)),
+                }
                 self.pump(ctx);
             }
             Frame::Sdn(SdnMessage::BarrierReply { .. }) => {

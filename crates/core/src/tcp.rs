@@ -29,6 +29,7 @@ use openmb_mb::{Middlebox, SharedPutLog};
 use openmb_obs::{Recorder, SpanEvent};
 use openmb_simnet::SimTime;
 use openmb_types::transport::Transport;
+use openmb_types::wire::Message;
 use openmb_types::{Error, MbId, OpId, Result};
 
 use crate::controller::{Action, Completion, ControllerConfig, ControllerCore};
@@ -66,8 +67,13 @@ pub fn serve_middlebox_logged<M: Middlebox>(
             Err(_) => return Ok(()), // peer closed
         };
         let now = SimTime(start.elapsed().as_nanos() as u64);
-        for reply in handle_southbound_logged(mb, log, msg, now) {
-            transport.send(reply)?;
+        let mut replies = handle_southbound_logged(mb, log, msg, now);
+        // A request with several replies (a get streaming chunks, a
+        // batched request) answers with one coalesced frame.
+        match replies.len() {
+            0 => {}
+            1 => transport.send(replies.pop().expect("len 1"))?,
+            _ => transport.send(Message::Batch { msgs: replies })?,
         }
     }
 }
@@ -97,8 +103,20 @@ pub fn serve_middlebox_recorded<M: Middlebox>(
             Err(_) => return Ok(()), // peer closed
         };
         let now = SimTime(rec.now_ns());
-        for reply in handle_southbound_recorded(mb, log, msg, now, rec, tag) {
-            transport.send(reply)?;
+        let mut replies = handle_southbound_recorded(mb, log, msg, now, rec, tag);
+        match replies.len() {
+            0 => {}
+            1 => transport.send(replies.pop().expect("len 1"))?,
+            n => {
+                rec.record(
+                    now.0,
+                    tag,
+                    None,
+                    replies[0].op_id().map(|o| o.0),
+                    SpanEvent::BatchFlushed { count: n as u32 },
+                );
+                transport.send(Message::Batch { msgs: replies })?;
+            }
         }
     }
 }
@@ -317,18 +335,42 @@ impl Drop for TcpController {
 
 impl Inner {
     fn execute(&self, actions: Vec<Action>) {
+        // Coalesce same-destination southbound messages emitted by one
+        // core call into a single Batch frame (first-occurrence
+        // destination order, per-destination message order preserved).
+        let mut sends: Vec<(MbId, Vec<Message>)> = Vec::new();
+        let mut completions = Vec::new();
         for a in actions {
             match a {
-                Action::ToMb(mb, msg) => {
-                    let transports = self.transports.lock();
-                    if let Some(t) = transports.get(mb.0 as usize) {
-                        let _ = t.send(msg);
-                    }
-                }
-                Action::Notify(c) => {
-                    let _ = self.completions_tx.send(c);
-                }
+                Action::ToMb(mb, msg) => match sends.iter_mut().find(|(m, _)| *m == mb) {
+                    Some((_, v)) => v.push(msg),
+                    None => sends.push((mb, vec![msg])),
+                },
+                Action::Notify(c) => completions.push(c),
             }
+        }
+        for (mb, mut msgs) in sends {
+            let msg = if msgs.len() == 1 {
+                msgs.pop().expect("len 1")
+            } else {
+                let core = self.core.lock();
+                core.recorder().record(
+                    self.start.elapsed().as_nanos() as u64,
+                    core.recorder_tag(),
+                    None,
+                    msgs[0].op_id().map(|o| o.0),
+                    SpanEvent::BatchFlushed { count: msgs.len() as u32 },
+                );
+                drop(core);
+                Message::Batch { msgs }
+            };
+            let transports = self.transports.lock();
+            if let Some(t) = transports.get(mb.0 as usize) {
+                let _ = t.send(msg);
+            }
+        }
+        for c in completions {
+            let _ = self.completions_tx.send(c);
         }
     }
 

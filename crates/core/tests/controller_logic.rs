@@ -237,6 +237,117 @@ fn stats_and_enable_events_complete() {
 }
 
 #[test]
+fn duplicate_put_ack_after_completion_is_ignored() {
+    // A late-retransmitted PutAck landing after the move has completed
+    // (or even after quiescence deleted the op) must be dropped: no
+    // panic, no duplicate completion, no resurrected transfer state.
+    let mut w = World::new(Monitor::new(), Monitor::new());
+    seed_monitor(&mut w.a, 8);
+    let mut out = Vec::new();
+    let op = w.core.move_internal(w.a_id, w.b_id, HeaderFieldList::any(), w.now, &mut out);
+    // Hand-rolled pump that keeps a copy of every PutAck the destination
+    // sends, so one can be replayed after the op completes.
+    let mut acks: Vec<Message> = Vec::new();
+    let mut actions = out;
+    while let Some(act) = actions.pop() {
+        match act {
+            Action::Notify(c) => w.completions.push(c),
+            Action::ToMb(mb, msg) => {
+                let replies = if mb == w.a_id {
+                    handle_southbound(&mut w.a, msg, w.now)
+                } else {
+                    handle_southbound(&mut w.b, msg, w.now)
+                };
+                for r in replies {
+                    if matches!(r, Message::PutAck { .. }) {
+                        acks.push(r.clone());
+                    }
+                    let mut o = Vec::new();
+                    w.core.handle_mb_message(mb, r, w.now, &mut o);
+                    actions.extend(o);
+                }
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+    assert!(w
+        .completions
+        .iter()
+        .any(|c| matches!(c, Completion::MoveComplete { op: o, .. } if *o == op)));
+    let n_completions = w.completions.len();
+    let dst_entries = w.b.perflow_entries();
+    let dup = acks.last().expect("move produced puts").clone();
+
+    // Duplicate while the op still exists (completed, pre-quiescence).
+    let mut out = Vec::new();
+    w.core.handle_mb_message(w.b_id, dup.clone(), w.now, &mut out);
+    w.pump(out);
+    assert_eq!(w.completions.len(), n_completions, "no completion resurrected");
+
+    // And again after quiescence has deleted the op entirely.
+    w.quiesce();
+    let mut out = Vec::new();
+    w.core.handle_mb_message(w.b_id, dup, w.now, &mut out);
+    w.pump(out);
+    assert_eq!(w.completions.len(), n_completions);
+    assert_eq!(w.a.perflow_entries(), 0, "quiescence delete still happened");
+    assert_eq!(w.b.perflow_entries(), dst_entries);
+    assert_eq!(w.core.open_ops(), 0);
+}
+
+#[test]
+fn transfer_ledger_stays_bounded_by_window() {
+    // With a transfer window of 4, a 120-chunk move must never have more
+    // than 4 unacked puts in flight, and the watermark-compacted ack set
+    // must stay within the window too — at every step, not just at the
+    // end. FIFO delivery keeps acks in seq order, the common wire case.
+    use std::collections::VecDeque;
+    const W: u32 = 4;
+    let mut w = World::new(Monitor::new(), Monitor::new());
+    w.core.config.transfer_window = W;
+    seed_monitor(&mut w.a, 120);
+    let mut out = Vec::new();
+    let op = w.core.move_internal(w.a_id, w.b_id, HeaderFieldList::any(), w.now, &mut out);
+    let mut actions: VecDeque<Action> = out.into();
+    while let Some(act) = actions.pop_front() {
+        match act {
+            Action::Notify(c) => w.completions.push(c),
+            Action::ToMb(mb, msg) => {
+                let replies = if mb == w.a_id {
+                    handle_southbound(&mut w.a, msg, w.now)
+                } else {
+                    handle_southbound(&mut w.b, msg, w.now)
+                };
+                for r in replies {
+                    let mut o = Vec::new();
+                    w.core.handle_mb_message(mb, r, w.now, &mut o);
+                    actions.extend(o);
+                    assert!(
+                        w.core.puts_in_flight(op) <= W as usize,
+                        "ledger exceeded window mid-transfer: {}",
+                        w.core.puts_in_flight(op)
+                    );
+                    assert!(
+                        w.core.ack_set_size(op) <= W as usize,
+                        "ack set not compacted: {}",
+                        w.core.ack_set_size(op)
+                    );
+                }
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+    assert!(w
+        .completions
+        .iter()
+        .any(|c| matches!(c, Completion::MoveComplete { op: o, chunks_moved: 120 } if *o == op)));
+    assert_eq!(w.core.puts_in_flight_peak, W as usize, "window was exercised and respected");
+    assert_eq!(w.core.puts_in_flight(op), 0);
+    assert_eq!(w.core.puts_queued(op), 0);
+    assert_eq!(w.core.ack_set_size(op), 0, "all acks drained into the watermark");
+}
+
+#[test]
 fn end_op_skips_quiescence_wait() {
     let mut w = World::new(Monitor::new(), Monitor::new());
     seed_monitor(&mut w.a, 4);

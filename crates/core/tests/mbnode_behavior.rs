@@ -19,7 +19,14 @@ struct CtrlProbe {
 impl Node for CtrlProbe {
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, frame: Frame) {
         if let Frame::Control(m) = frame {
-            self.msgs.push((ctx.now(), m));
+            // Mirror the real controller: a coalesced frame counts as
+            // its contents.
+            match m {
+                Message::Batch { msgs } => {
+                    self.msgs.extend(msgs.into_iter().map(|m| (ctx.now(), m)));
+                }
+                m => self.msgs.push((ctx.now(), m)),
+            }
         }
     }
     fn as_any(&self) -> &dyn std::any::Any {

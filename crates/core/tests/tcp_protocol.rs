@@ -147,6 +147,11 @@ fn mid_transfer_disconnect_resumes_from_last_acked_chunk() {
         resume_after: SimDuration::from_millis(50),
         compress_transfers: false,
         buffer_events: true,
+        // A window smaller than PUTS_BEFORE_CRASH, so the puts arrive
+        // in several coalesced frames and the crash really lands
+        // mid-transfer (with everything in flight at once, one Batch
+        // frame would carry all 30 puts).
+        transfer_window: 5,
         ..ControllerConfig::default()
     });
 
@@ -187,14 +192,18 @@ fn mid_transfer_disconnect_resumes_from_last_acked_chunk() {
                 Ok(None) => continue,
                 Err(e) => panic!("controller hung up first: {e}"),
             };
-            let is_put =
-                matches!(msg, Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. });
+            // Puts may arrive coalesced: count them through Batch frames.
+            let is_put = |m: &Message| {
+                matches!(m, Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. })
+            };
+            let n_puts = match &msg {
+                Message::Batch { msgs } => msgs.iter().filter(|m| is_put(m)).count(),
+                m => usize::from(is_put(m)),
+            };
             for reply in handle_southbound_logged(&mut dst, &mut log, msg, SimTime(0)) {
                 dst_mb.send(reply).unwrap();
             }
-            if is_put {
-                puts += 1;
-            }
+            puts += n_puts;
         }
         drop(dst_mb);
 

@@ -49,6 +49,10 @@ const PRELOAD: usize = 60;
 const OP_AT_MS: u64 = 100;
 /// Normal fault windows close here; the op deadline (4 s) is far past.
 const WINDOW_END_MS: u64 = 700;
+/// Transfer window for every conformance run — deliberately tight (the
+/// preload yields ~2×PRELOAD chunks per move) so the queue/refill path
+/// runs under every fault schedule, not just at scale.
+const CONF_WINDOW: u32 = 4;
 
 fn ms(v: u64) -> SimTime {
     SimTime(v * 1_000_000)
@@ -318,6 +322,10 @@ fn drive<M: Middlebox + 'static>(
         // protocol bugs, not on a hostile schedule out-dropping a small
         // retry allowance.
         ctrl.core.config.max_retries = 50;
+        // A deliberately tight transfer window so every conformance run
+        // exercises the queue/refill machinery; the post-run assertion
+        // below holds the controller to it even across faults.
+        ctrl.core.config.transfer_window = CONF_WINDOW;
         ctrl.enable_journal();
     }
 
@@ -361,6 +369,19 @@ fn drive<M: Middlebox + 'static>(
         setup.sim.run(50_000_000);
     }
     assert!(setup.sim.is_idle(), "simulation must drain");
+
+    // Windowing invariant: no matter what the fault schedule did —
+    // crashes, resumes, drops, duplicates — the controller never had
+    // more than `transfer_window` unacked puts in flight at once.
+    {
+        let ctrl: &ControllerNode = setup.sim.node_as(CONTROLLER);
+        assert!(
+            ctrl.core.puts_in_flight_peak <= CONF_WINDOW as usize,
+            "transfer window violated: peak {} > window {}",
+            ctrl.core.puts_in_flight_peak,
+            CONF_WINDOW
+        );
+    }
 
     let timeline = setup.sim.recorder().dump().to_string();
     let fault_log = format!("{:?}", setup.sim.fault_log());

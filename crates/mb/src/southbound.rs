@@ -45,6 +45,16 @@ pub fn handle_southbound_recorded<M: Middlebox>(
     rec: &Recorder,
     tag: NodeTag,
 ) -> Vec<Message> {
+    // A coalesced frame records one `Handled` per inner message, each
+    // keyed by its own sub-op id, so per-op timelines stay correct
+    // under batching.
+    if let Message::Batch { msgs } = msg {
+        let mut out = Vec::new();
+        for m in msgs {
+            out.extend(handle_southbound_recorded(mb, log, m, now, rec, tag));
+        }
+        return out;
+    }
     if rec.is_enabled() {
         rec.record(
             now.0,
@@ -195,6 +205,14 @@ pub fn handle_southbound_logged<M: Middlebox>(
         }
         Message::EndSync { op } => {
             mb.end_sync(op);
+        }
+        Message::Batch { msgs } => {
+            // One frame, many requests: dispatch each in order. Replies
+            // accumulate and the embedding decides whether to coalesce
+            // them back into one frame.
+            for m in msgs {
+                out.extend(handle_southbound_logged(mb, log, m, now));
+            }
         }
         // MB→controller messages are not requests.
         _ => {}

@@ -59,6 +59,9 @@ pub enum SpanEvent {
     TransportReattached,
     /// The simulated network injected a fault on a frame.
     FaultInjected { kind: &'static str },
+    /// Several same-destination messages were coalesced into one
+    /// southbound `Batch` frame before hitting the wire.
+    BatchFlushed { count: u32 },
 }
 
 impl fmt::Display for SpanEvent {
@@ -75,6 +78,7 @@ impl fmt::Display for SpanEvent {
             SpanEvent::TransportReset => write!(f, "transport-reset"),
             SpanEvent::TransportReattached => write!(f, "transport-reattached"),
             SpanEvent::FaultInjected { kind } => write!(f, "fault({kind})"),
+            SpanEvent::BatchFlushed { count } => write!(f, "batch-flushed(count={count})"),
         }
     }
 }

@@ -241,6 +241,14 @@ pub enum Message {
         op: OpId,
         error: Error,
     },
+    /// Several messages bound for the same node coalesced into one wire
+    /// frame (one length prefix, one scheduler event in the simulator).
+    /// Nesting is not allowed: a `Batch` inside a `Batch` is a codec
+    /// error. Carries no op id of its own — each inner message keeps
+    /// its own attribution.
+    Batch {
+        msgs: Vec<Message>,
+    },
 }
 
 impl Message {
@@ -276,7 +284,7 @@ impl Message {
             | ConfigValues { op, .. }
             | Stats { op, .. }
             | ErrorMsg { op, .. } => Some(*op),
-            EventMsg { .. } => None,
+            EventMsg { .. } | Batch { .. } => None,
         }
     }
 
@@ -314,6 +322,7 @@ impl Message {
             Stats { .. } => "stats",
             EventMsg { .. } => "event",
             ErrorMsg { .. } => "error",
+            Batch { .. } => "batch",
         }
     }
 }
@@ -768,6 +777,7 @@ mod tag {
     pub const END_SYNC: u8 = 28;
     pub const DELETE_STATE: u8 = 29;
     pub const DELETE_ACK: u8 = 30;
+    pub const BATCH: u8 = 31;
 }
 
 /// Encode a message body (no length prefix).
@@ -963,6 +973,13 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.u64(op.0);
             w.u32(*restored);
         }
+        Message::Batch { msgs } => {
+            w.u8(tag::BATCH);
+            w.u32(msgs.len() as u32);
+            for m in msgs {
+                w.bytes(&encode(m));
+            }
+        }
     }
     w.into_bytes()
 }
@@ -1105,6 +1122,9 @@ pub fn encoded_len(msg: &Message) -> usize {
             }
         },
         Message::ErrorMsg { error, .. } => 1 + 8 + error_len(error),
+        Message::Batch { msgs } => {
+            1 + 4 + msgs.iter().map(|m| blob_len(encoded_len(m))).sum::<usize>()
+        }
     }
 }
 
@@ -1247,6 +1267,25 @@ fn decode_with(mut r: Reader<'_>) -> Result<Message> {
             Message::DeleteState { op, puts }
         }
         tag::DELETE_ACK => Message::DeleteAck { op: OpId(r.u64()?), restored: r.u32()? },
+        tag::BATCH => {
+            let n = r.u32()? as usize;
+            if n > MAX_MESSAGE / 8 {
+                return Err(Error::Codec("too many batched messages".into()));
+            }
+            let mut msgs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                // Each inner body is a length-prefixed blob; decoding
+                // through `Bytes` keeps chunk/packet payloads aliased to
+                // the receive buffer in the shared-mode path.
+                let body = r.bytes_shared()?;
+                let m = decode_bytes(&body)?;
+                if matches!(m, Message::Batch { .. }) {
+                    return Err(Error::Codec("nested batch frames are not allowed".into()));
+                }
+                msgs.push(m);
+            }
+            Message::Batch { msgs }
+        }
         other => return Err(Error::Codec(format!("unknown message tag {other}"))),
     };
     if !r.is_exhausted() {
@@ -1341,6 +1380,25 @@ mod tests {
         roundtrip(Message::EndSync { op: OpId(19) });
         roundtrip(Message::DeleteState { op: OpId(20), puts: vec![OpId(21), OpId(22)] });
         roundtrip(Message::DeleteState { op: OpId(23), puts: Vec::new() });
+        roundtrip(Message::Batch {
+            msgs: vec![
+                Message::PutSupportPerflow { op: OpId(24), chunk: chunk.clone() },
+                Message::PutReportPerflow { op: OpId(25), chunk },
+                Message::EndSync { op: OpId(26) },
+            ],
+        });
+        roundtrip(Message::Batch { msgs: Vec::new() });
+    }
+
+    #[test]
+    fn nested_batch_is_rejected() {
+        let inner = Message::Batch { msgs: vec![Message::OpAck { op: OpId(1) }] };
+        let outer = Message::Batch { msgs: vec![inner] };
+        // `encode` happily serializes the nesting; `decode` must refuse
+        // it so recursive framing can't smuggle unbounded depth.
+        let enc = encode(&outer);
+        let err = decode(&enc).unwrap_err();
+        assert!(matches!(err, Error::Codec(ref why) if why.contains("nested")), "{err:?}");
     }
 
     #[test]
@@ -1540,9 +1598,9 @@ mod tests {
             }
         }
 
-        /// One randomized message of the variant at `idx` (0..=29 covers
+        /// One randomized message of the variant at `idx` (0..=30 covers
         /// the whole enum; keep in sync with `Message`).
-        pub const VARIANTS: u64 = 30;
+        pub const VARIANTS: u64 = 31;
         pub fn message(rng: &mut TestRng, idx: u64) -> Message {
             let op = OpId(rng.next_u64());
             match idx {
@@ -1599,7 +1657,17 @@ mod tests {
                     op,
                     puts: (0..rng.below(6)).map(|_| OpId(rng.next_u64())).collect(),
                 },
-                _ => Message::DeleteAck { op, restored: rng.next_u64() as u32 },
+                29 => Message::DeleteAck { op, restored: rng.next_u64() as u32 },
+                // Batch: 0..=3 inner messages drawn from the non-batch
+                // variants (nesting is rejected by the codec).
+                _ => Message::Batch {
+                    msgs: (0..rng.below(4))
+                        .map(|_| {
+                            let inner = rng.below(29);
+                            message(rng, inner)
+                        })
+                        .collect(),
+                },
             }
         }
     }
