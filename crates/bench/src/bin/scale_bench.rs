@@ -12,14 +12,23 @@
 //! allocation, span hooks, dedup sets included), so the comparison is
 //! conservative.
 //!
+//! The bytes-on-wire axis measures the content-addressed transfer: the
+//! same move driven twice against one destination [`ContentStore`]. The
+//! cold pass streams every chunk body (ref + miss + body per chunk);
+//! the warm pass — a repeated or resumed move — answers every reference
+//! from the cache, so only the ~55-byte refs cross the wire.
+//!
 //! Usage:
 //!   scale_bench [OUT.json]        full run: 10k + 100k comparisons,
-//!                                 10k/100k/1M scale table, write JSON
+//!                                 10k/100k/1M scale table, cold/warm
+//!                                 bytes at 10k/100k, write JSON
 //!   scale_bench --smoke           10k windowed drive + invariant
 //!                                 asserts only (fast; per-commit CI)
-//!   scale_bench --check BASE.json re-measure the gated bench and fail
-//!                                 (exit 1) if its speedup regressed
-//!                                 >20% vs the committed baseline
+//!   scale_bench --check BASE.json re-measure the gated benches and
+//!                                 fail (exit 1) if the ledger speedup
+//!                                 regressed >20% vs the committed
+//!                                 baseline or warm-move bytes savings
+//!                                 fell below the 90% floor
 
 use std::collections::HashSet;
 use std::hint::black_box;
@@ -28,8 +37,9 @@ use std::time::Instant;
 
 use openmb_core::controller::{Action, Completion, ControllerConfig, ControllerCore};
 use openmb_simnet::SimTime;
+use openmb_store::{ContentStore, MemoryContentStore};
 use openmb_types::crypto::VendorKey;
-use openmb_types::wire::Message;
+use openmb_types::wire::{self, Message};
 use openmb_types::{EncryptedChunk, FlowKey, HeaderFieldList, OpId, StateChunk};
 
 /// Sliding window used for every windowed drive.
@@ -42,6 +52,9 @@ const BURST: u32 = 4 * WINDOW;
 /// CI gate: same-run speedup may fall at most this far below the
 /// committed baseline's (machine-speed independent, like perf_baseline).
 const MAX_REGRESSION: f64 = 0.20;
+/// CI gate: a warm (cache-primed) repeated move must put at least this
+/// many percent fewer bytes on the destination's wire than a cold one.
+const MIN_SAVINGS: f64 = 90.0;
 
 fn key(i: u32) -> FlowKey {
     FlowKey::tcp(Ipv4Addr::from(0x0a00_0000 + i), 4000, Ipv4Addr::new(192, 168, 1, 1), 80)
@@ -58,16 +71,22 @@ struct Drive {
     peak_queue: usize,
     peak_ack_set: usize,
     frames_in: u64,
+    /// Σ `encoded_len` over every controller→destination message — the
+    /// bytes-on-wire axis the content-addressed transfer optimizes.
+    bytes_to_dst: u64,
     completed: bool,
 }
 
-/// Collect PutAcks for every put the controller just issued and feed
-/// them back as one coalesced frame, until the action queue is quiet.
-/// Mirrors a destination MB that batches its replies per frame.
+/// Reply to every message the controller just issued to the destination
+/// and feed the replies back as one coalesced frame, until the action
+/// queue is quiet. Mirrors a destination MB that batches its replies per
+/// frame and keeps its chunk bodies in `store`: references hit the store
+/// or come back as `ChunkNeed`, streamed bodies populate it.
 fn pump_acks(
     core: &mut ControllerCore,
     dst: openmb_types::MbId,
     op: OpId,
+    store: &MemoryContentStore,
     out: &mut Vec<Action>,
     d: &mut Drive,
 ) {
@@ -76,16 +95,33 @@ fn pump_acks(
         let mut acks: Vec<Message> = Vec::new();
         for a in out.drain(..) {
             match a {
-                Action::ToMb(_, m) => match m {
-                    Message::PutSupportPerflow { op, chunk }
-                    | Message::PutReportPerflow { op, chunk } => {
-                        acks.push(Message::PutAck { op, key: Some(chunk.key) });
+                Action::ToMb(to, m) => {
+                    if to == dst {
+                        d.bytes_to_dst += wire::encoded_len(&m) as u64;
                     }
-                    Message::PutSupportShared { op, .. } | Message::PutReportShared { op, .. } => {
-                        acks.push(Message::PutAck { op, key: None });
+                    match m {
+                        Message::PutSupportPerflow { op, chunk }
+                        | Message::PutReportPerflow { op, chunk } => {
+                            acks.push(Message::PutAck { op, key: Some(chunk.key) });
+                        }
+                        Message::ChunkRef { op, key, hash, .. } => {
+                            if store.contains(&hash) {
+                                acks.push(Message::PutAck { op, key: Some(key) });
+                            } else {
+                                acks.push(Message::ChunkNeed { op, hash });
+                            }
+                        }
+                        Message::ChunkBody { op, key, data, .. } => {
+                            store.put(data.as_wire());
+                            acks.push(Message::PutAck { op, key: Some(key) });
+                        }
+                        Message::PutSupportShared { op, .. }
+                        | Message::PutReportShared { op, .. } => {
+                            acks.push(Message::PutAck { op, key: None });
+                        }
+                        _ => {}
                     }
-                    _ => {}
-                },
+                }
                 Action::Notify(c) => {
                     if matches!(c, Completion::MoveComplete { .. }) {
                         d.completed = true;
@@ -97,23 +133,37 @@ fn pump_acks(
         if acks.is_empty() {
             return;
         }
-        d.peak_ledger = d.peak_ledger.max(core.puts_in_flight(op));
-        d.peak_queue = d.peak_queue.max(core.puts_queued(op));
+        let stats = core.transfer_ledger_stats(op);
+        d.peak_ledger = d.peak_ledger.max(stats.puts_in_flight);
+        d.peak_queue = d.peak_queue.max(stats.puts_queued);
         let frame = if acks.len() == 1 {
             acks.pop().expect("len 1")
         } else {
             Message::Batch { msgs: acks }
         };
         core.handle_mb_message(dst, frame, now, out);
-        d.peak_ack_set = d.peak_ack_set.max(core.ack_set_size(op));
+        d.peak_ack_set = d.peak_ack_set.max(core.transfer_ledger_stats(op).ack_set_size);
     }
 }
 
 /// Move `n` report chunks through the real controller with the sliding
 /// window, batched frames both ways, acks flowing while chunks stream.
-fn windowed_move(n: u32, blob: &EncryptedChunk) -> Drive {
-    let mut core =
-        ControllerCore::new(ControllerConfig { transfer_window: WINDOW, ..Default::default() });
+/// With `content_cache` on, the destination model answers references
+/// from `store`; with it off the controller streams plain puts and the
+/// store is untouched. `mk_chunk` builds flow `i`'s chunk — the bytes
+/// benches give every flow a distinct body so content addressing can't
+/// dedup within a single cold run.
+fn windowed_move(
+    n: u32,
+    mk_chunk: &dyn Fn(u32) -> StateChunk,
+    content_cache: bool,
+    store: &MemoryContentStore,
+) -> Drive {
+    let mut core = ControllerCore::new(ControllerConfig {
+        transfer_window: WINDOW,
+        content_cache,
+        ..Default::default()
+    });
     let src = core.register_mb();
     let dst = core.register_mb();
     let now = SimTime(0);
@@ -123,6 +173,7 @@ fn windowed_move(n: u32, blob: &EncryptedChunk) -> Drive {
         peak_queue: 0,
         peak_ack_set: 0,
         frames_in: 0,
+        bytes_to_dst: 0,
         completed: false,
     };
 
@@ -142,7 +193,7 @@ fn windowed_move(n: u32, blob: &EncryptedChunk) -> Drive {
     let (gs, gr) = (gs.expect("support get"), gr.expect("report get"));
     // Monitor-style source: no per-flow supporting state.
     core.handle_mb_message(src, Message::GetAck { op: gs, count: 0 }, now, &mut out);
-    pump_acks(&mut core, dst, op, &mut out, &mut d);
+    pump_acks(&mut core, dst, op, store, &mut out, &mut d);
 
     // Chunks stream in BATCH-sized frames; acks only round-trip every
     // BURST chunks, so the window genuinely fills and the put queue
@@ -152,23 +203,24 @@ fn windowed_move(n: u32, blob: &EncryptedChunk) -> Drive {
     while base < n {
         let hi = (base + BATCH as u32).min(n);
         let msgs: Vec<Message> =
-            (base..hi).map(|i| Message::Chunk { op: gr, chunk: chunk(i, blob) }).collect();
+            (base..hi).map(|i| Message::Chunk { op: gr, chunk: mk_chunk(i) }).collect();
         core.handle_mb_message(src, Message::Batch { msgs }, now, &mut out);
         d.frames_in += 1;
         if hi.is_multiple_of(BURST) || hi == n {
-            pump_acks(&mut core, dst, op, &mut out, &mut d);
+            pump_acks(&mut core, dst, op, store, &mut out, &mut d);
         }
         base = hi;
     }
     core.handle_mb_message(src, Message::GetAck { op: gr, count: n }, now, &mut out);
-    pump_acks(&mut core, dst, op, &mut out, &mut d);
+    pump_acks(&mut core, dst, op, store, &mut out, &mut d);
     d.wall_ns = t.elapsed().as_nanos();
 
     assert!(d.completed, "move of {n} chunks must complete");
-    assert_eq!(core.puts_in_flight(op), 0);
-    assert_eq!(core.puts_queued(op), 0);
-    assert_eq!(core.ack_set_size(op), 0, "watermark must drain the ack set");
-    d.peak_ledger = d.peak_ledger.max(core.puts_in_flight_peak);
+    let stats = core.transfer_ledger_stats(op);
+    assert_eq!(stats.puts_in_flight, 0);
+    assert_eq!(stats.puts_queued, 0);
+    assert_eq!(stats.ack_set_size, 0, "watermark must drain the ack set");
+    d.peak_ledger = d.peak_ledger.max(stats.in_flight_peak);
     d
 }
 
@@ -225,8 +277,44 @@ struct ScaleRow {
     frames_in: u64,
 }
 
+/// Cold/warm bytes-on-wire for one flow count: the same move driven
+/// twice against one destination store.
+struct BytesRow {
+    flows: u32,
+    cold_bytes: u64,
+    warm_bytes: u64,
+    savings_pct: f64,
+}
+
+fn bytes_row(n: u32, vendor: &VendorKey) -> BytesRow {
+    // Every flow carries a distinct 1 KiB body (sealing is deterministic,
+    // so the warm pass re-produces the same bytes): the cold pass can't
+    // dedup across flows, and the warm pass hits on all of them.
+    let mk = |i: u32| {
+        StateChunk::new(
+            HeaderFieldList::exact(key(i)),
+            EncryptedChunk::seal(vendor, u64::from(i) + 1, &vec![(i % 251) as u8; 1024]),
+        )
+    };
+    let store = MemoryContentStore::new();
+    let cold = windowed_move(n, &mk, true, &store);
+    let warm = windowed_move(n, &mk, true, &store);
+    assert!(
+        warm.bytes_to_dst < cold.bytes_to_dst,
+        "{n} flows: warm move must put fewer bytes on the wire than cold"
+    );
+    BytesRow {
+        flows: n,
+        cold_bytes: cold.bytes_to_dst,
+        warm_bytes: warm.bytes_to_dst,
+        savings_pct: 100.0 * (1.0 - warm.bytes_to_dst as f64 / cold.bytes_to_dst as f64),
+    }
+}
+
 fn scale_row(n: u32, blob: &EncryptedChunk) -> ScaleRow {
-    let d = windowed_move(n, blob);
+    // Streaming mode: the scale table measures the transfer pipeline
+    // itself, continuous with the PR-5 baseline.
+    let d = windowed_move(n, &|i| chunk(i, blob), false, &MemoryContentStore::new());
     assert!(
         d.peak_ledger <= WINDOW as usize,
         "{n} flows: peak ledger {} exceeded window {WINDOW}",
@@ -242,7 +330,7 @@ fn scale_row(n: u32, blob: &EncryptedChunk) -> ScaleRow {
     }
 }
 
-fn to_json(benches: &[Bench], scale: &[ScaleRow]) -> String {
+fn to_json(benches: &[Bench], scale: &[ScaleRow], bytes: &[BytesRow]) -> String {
     let mut s = String::from("{\n  \"benches\": [\n");
     for (i, b) in benches.iter().enumerate() {
         s.push_str(&format!(
@@ -269,6 +357,18 @@ fn to_json(benches: &[Bench], scale: &[ScaleRow]) -> String {
             if i + 1 < scale.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n  \"bytes\": [\n");
+    for (i, b) in bytes.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"bytes_{}k\", \"flows\": {}, \"cold_bytes\": {}, \"warm_bytes\": {}, \"savings_pct\": {:.2}}}{}\n",
+            b.flows / 1000,
+            b.flows,
+            b.cold_bytes,
+            b.warm_bytes,
+            b.savings_pct,
+            if i + 1 < bytes.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -293,9 +393,19 @@ fn print_bench(b: &Bench) {
     );
 }
 
+fn print_bytes(b: &BytesRow) {
+    println!(
+        "bytes {:>8} flows: cold {:>12} B   warm {:>12} B   savings {:>6.2}%",
+        b.flows, b.cold_bytes, b.warm_bytes, b.savings_pct
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let vendor = VendorKey::derive("scale-bench");
+    // Ledger/scale benches keep the PR-5 blob size for continuity; the
+    // bytes axis seals per-flow 1 KiB payloads — the regime where
+    // bodies dwarf the ~60-byte references.
     let blob = EncryptedChunk::seal(&vendor, 1, &vec![7u8; 202]);
 
     if args.first().map(String::as_str) == Some("--smoke") {
@@ -303,6 +413,13 @@ fn main() {
         println!(
             "smoke: 10k flows in {:.1} ms ({:.0} chunks/s), peak ledger {}/{}, peak ack set {}",
             r.wall_ms, r.chunks_per_sec, r.peak_ledger, WINDOW, r.peak_ack_set
+        );
+        let b = bytes_row(10_000, &vendor);
+        print_bytes(&b);
+        assert!(
+            b.savings_pct >= MIN_SAVINGS,
+            "warm 10k move saved only {:.2}% of bytes on the wire (floor {MIN_SAVINGS}%)",
+            b.savings_pct
         );
         return;
     }
@@ -312,7 +429,9 @@ fn main() {
         name: "move_10k_ledger",
         gated: true,
         baseline_ns: best_of(3, || legacy_move(10_000, &blob)),
-        optimized_ns: best_of(3, || windowed_move(10_000, &blob).wall_ns),
+        optimized_ns: best_of(3, || {
+            windowed_move(10_000, &|i| chunk(i, &blob), false, &MemoryContentStore::new()).wall_ns
+        }),
     };
     print_bench(&gated);
 
@@ -338,6 +457,22 @@ fn main() {
             "ok   {}: speedup {speedup:.2}x (committed {committed_speedup:.2}x, floor {floor:.2}x)",
             gated.name
         );
+        // The warm-move savings gate is an absolute floor, not a
+        // baseline delta: bytes-on-wire is deterministic (no machine
+        // speed in it), so the acceptance threshold itself is the gate.
+        let b = bytes_row(10_000, &vendor);
+        if b.savings_pct < MIN_SAVINGS {
+            eprintln!(
+                "FAIL bytes_10k: warm move saved only {:.2}% of bytes on the wire (floor {MIN_SAVINGS}%)",
+                b.savings_pct
+            );
+            std::process::exit(1);
+        }
+        if json_field(&committed, "bytes_10k", "savings_pct").is_none() {
+            eprintln!("FAIL bytes_10k: not present in committed baseline");
+            std::process::exit(1);
+        }
+        println!("ok   bytes_10k: warm move saved {:.2}% (floor {MIN_SAVINGS}%)", b.savings_pct);
         return;
     }
 
@@ -348,7 +483,9 @@ fn main() {
         name: "move_100k_ledger",
         gated: false,
         baseline_ns: best_of(1, || legacy_move(100_000, &blob)),
-        optimized_ns: best_of(1, || windowed_move(100_000, &blob).wall_ns),
+        optimized_ns: best_of(1, || {
+            windowed_move(100_000, &|i| chunk(i, &blob), false, &MemoryContentStore::new()).wall_ns
+        }),
     };
     print_bench(&big);
     let big_speedup = big.baseline_ns / big.optimized_ns;
@@ -367,7 +504,22 @@ fn main() {
         scale.push(r);
     }
 
-    let out = args.first().map(String::as_str).unwrap_or("BENCH_PR5.json");
-    std::fs::write(out, to_json(&[gated, big], &scale)).expect("write baseline");
+    // Bytes-on-wire: cold vs warm against one destination store. The
+    // acceptance bar (≥90% savings on a repeated 100k-flow move) is
+    // asserted here so a full run is itself the evidence.
+    let mut bytes = Vec::new();
+    for n in [10_000u32, 100_000] {
+        let b = bytes_row(n, &vendor);
+        print_bytes(&b);
+        assert!(
+            b.savings_pct >= MIN_SAVINGS,
+            "{n} flows: warm move saved only {:.2}% of bytes on the wire (floor {MIN_SAVINGS}%)",
+            b.savings_pct
+        );
+        bytes.push(b);
+    }
+
+    let out = args.first().map(String::as_str).unwrap_or("BENCH_PR6.json");
+    std::fs::write(out, to_json(&[gated, big], &scale, &bytes)).expect("write baseline");
     println!("wrote {out}");
 }

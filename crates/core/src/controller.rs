@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use openmb_obs::{NodeTag, ParkReason, Recorder, SpanEvent};
 use openmb_simnet::{SimDuration, SimTime};
-use openmb_types::wire::{Event, EventFilter, Message};
+use openmb_types::wire::{self, Event, EventFilter, Message};
 use openmb_types::{
     ConfigValue, Error, FlowKey, HeaderFieldList, HierarchicalKey, MbId, OpId, Packet, StateStats,
 };
@@ -235,6 +235,19 @@ struct OpState {
     resumes_left: u32,
     /// Parked while an endpoint is unreachable, awaiting resume.
     suspended: bool,
+
+    // ---- content-addressed transfer bookkeeping ----
+    /// Body (and its content hash) of every in-flight `ChunkRef`, by
+    /// seq — the source of the `ChunkBody` answering a `ChunkNeed`.
+    /// Entries leave on ack or abort, so this holds O(window) chunks,
+    /// not the whole transfer.
+    ref_bodies: HashMap<u64, (openmb_types::StateChunk, [u8; 32])>,
+    /// Seqs whose destination reported a cache miss (`ChunkNeed`): the
+    /// bodies currently streaming alongside the reference window. The
+    /// ledger counts these separately from the refs in `unacked_puts` —
+    /// a body does not occupy a second window slot; its ref's slot is
+    /// still open until the `PutAck` lands.
+    needed: HashSet<u64>,
 }
 
 /// Tunable controller parameters.
@@ -285,6 +298,14 @@ pub struct ControllerConfig {
     /// O(window) regardless of transfer size. 0 disables windowing
     /// (fire everything immediately, the pre-window behaviour).
     pub transfer_window: u32,
+    /// Content-addressed per-flow transfers (negotiate-then-reference):
+    /// stream `ChunkRef` manifests instead of full puts, and bodies only
+    /// for the hashes the destination reports missing. On (the default),
+    /// repeated and resumed moves cost reference-sized frames instead of
+    /// re-shipping every chunk body. Off restores the legacy
+    /// `Put*Perflow` streaming; final state is identical either way,
+    /// which the conformance suite asserts across both modes.
+    pub content_cache: bool,
 }
 
 impl Default for ControllerConfig {
@@ -299,8 +320,46 @@ impl Default for ControllerConfig {
             max_transfer_resumes: 0,
             resume_after: SimDuration::from_millis(400),
             transfer_window: 64,
+            content_cache: true,
         }
     }
+}
+
+/// One snapshot of a transfer's ledger and the core's cache counters —
+/// the typed replacement for the old `puts_in_flight`/`puts_queued`/
+/// `ack_set_size`/`puts_in_flight_peak` accessor sprawl. Taken with
+/// [`ControllerCore::transfer_ledger_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransferLedgerStats {
+    /// Puts (references or legacy bodies) issued and unacked for the
+    /// op — the ledger the window bounds. 0 for unknown ops.
+    pub puts_in_flight: usize,
+    /// Puts created but deferred by the window for the op.
+    pub puts_queued: usize,
+    /// Size of the op's sparse acked-seq set above the watermark —
+    /// bounded by the window under in-order delivery (the regression
+    /// guard against unbounded per-chunk ack state).
+    pub ack_set_size: usize,
+    /// Chunk bodies streaming for the op in answer to `ChunkNeed`s.
+    /// Bodies ride alongside the reference window, not inside it.
+    pub bodies_in_flight: usize,
+    /// Largest in-flight put ledger observed across ALL ops — with a
+    /// `transfer_window` set this must never exceed the window.
+    /// Core-wide, populated whatever `op` is passed (so callers that
+    /// only want the peak may pass any op id).
+    pub in_flight_peak: usize,
+    /// Core-wide: references acked without the destination requesting
+    /// the body — the chunk was already in its content store.
+    pub cache_hits: u64,
+    /// Core-wide: references the destination answered with `ChunkNeed`.
+    pub cache_misses: u64,
+    /// Core-wide: `ChunkBody` messages streamed (≥ `cache_misses`:
+    /// duplicated needs re-elicit bodies).
+    pub bodies_sent: u64,
+    /// Core-wide: wire bytes saved by reference-only deliveries — the
+    /// encoded size of the put each cache hit would have cost, minus
+    /// the reference actually sent.
+    pub bytes_saved: u64,
 }
 
 /// The MB controller state machine.
@@ -358,8 +417,15 @@ pub struct ControllerCore {
     pub events_buffered_peak: usize,
     /// Largest in-flight put ledger observed across all ops — with a
     /// `transfer_window` set this must never exceed the window, which
-    /// the conformance suite and `scale_bench` both assert.
-    pub puts_in_flight_peak: usize,
+    /// the conformance suite and `scale_bench` both assert (via
+    /// [`ControllerCore::transfer_ledger_stats`]).
+    in_flight_peak: usize,
+    /// Content-cache counters, core-wide (they outlive op cleanup);
+    /// surfaced through [`TransferLedgerStats`].
+    cache_hits: u64,
+    cache_misses: u64,
+    bodies_sent: u64,
+    bytes_saved: u64,
     /// Flight recorder for op spans (disabled unless the embedding
     /// installs one via [`ControllerCore::set_recorder`]). Cloning the
     /// core (journaling) shares the recorder, so a restored snapshot
@@ -382,7 +448,11 @@ impl ControllerCore {
             config,
             messages_handled: 0,
             events_buffered_peak: 0,
-            puts_in_flight_peak: 0,
+            in_flight_peak: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            bodies_sent: 0,
+            bytes_saved: 0,
             obs: Recorder::disabled(),
             obs_tag: NodeTag::NONE,
         }
@@ -782,15 +852,26 @@ impl ControllerCore {
                         })
                     };
                 let put_sub = self.alloc_sub(parent, put_role);
-                self.span(
-                    now,
-                    parent,
-                    Some(put_sub),
-                    SpanEvent::Issued {
-                        kind: if is_report { "putReportPerflow" } else { "putSupportPerflow" },
-                    },
-                );
-                let m = mk(put_sub, chunk);
+                let m = if self.config.content_cache {
+                    // Negotiate-then-reference: put a (key, hash)
+                    // manifest entry in the window instead of the body.
+                    // The body is parked in `ref_bodies` until the ack —
+                    // streamed only if the destination reports a miss.
+                    let hash = openmb_store::content_hash(chunk.data.as_wire());
+                    let class = if is_report {
+                        wire::ChunkClass::Report
+                    } else {
+                        wire::ChunkClass::Support
+                    };
+                    let key = chunk.key;
+                    if let Some(st) = self.ops.get_mut(&parent) {
+                        st.ref_bodies.insert(seq, (chunk, hash));
+                    }
+                    Message::ChunkRef { op: put_sub, class, key, hash }
+                } else {
+                    mk(put_sub, chunk)
+                };
+                self.span(now, parent, Some(put_sub), SpanEvent::Issued { kind: m.kind_name() });
                 self.enqueue_put(parent, seq, m, out);
                 self.maybe_finish_get(parent, sub, now, out);
             }
@@ -848,6 +929,46 @@ impl ControllerCore {
                 }
                 self.enqueue_put(parent, seq, m, out);
             }
+            Message::ChunkNeed { op: sub, hash } => {
+                // Destination-side cache miss: stream the parked body.
+                // The ref's window slot stays occupied — the exchange
+                // closes with the same PutAck either way.
+                let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
+                let (seq, is_report) = match role {
+                    SubRole::PutSupport { seq, .. } => (*seq, false),
+                    SubRole::PutReport { seq, .. } => (*seq, true),
+                    _ => return,
+                };
+                let Some(st) = self.ops.get_mut(&parent) else { return };
+                if st.completed || st.quiesced {
+                    return;
+                }
+                st.last_activity = now;
+                let Some((chunk, stored_hash)) = st.ref_bodies.get(&seq) else { return };
+                if *stored_hash != hash {
+                    // A need for a hash we never referenced under this
+                    // sub-op: stale or corrupted; the stall-resume path
+                    // will re-send the ref if something was really lost.
+                    return;
+                }
+                if st.needed.insert(seq) {
+                    self.cache_misses += 1;
+                }
+                // A duplicated need re-elicits the body (the first may
+                // have been dropped); the destination's store and the
+                // ack dedup make the re-send harmless.
+                self.bodies_sent += 1;
+                let class =
+                    if is_report { wire::ChunkClass::Report } else { wire::ChunkClass::Support };
+                let m = Message::ChunkBody {
+                    op: sub,
+                    class,
+                    key: chunk.key,
+                    hash,
+                    data: chunk.data.clone(),
+                };
+                out.push(Action::ToMb(st.dst, m));
+            }
             Message::PutAck { op: sub, key } => {
                 let Some(&(parent, ref role)) = self.sub_ops.get(&sub) else { return };
                 let seq = match role {
@@ -874,6 +995,29 @@ impl ControllerCore {
                             return;
                         }
                         st.unacked_puts.remove(&seq);
+                        if let Some((chunk, hash)) = st.ref_bodies.remove(&seq) {
+                            if st.needed.remove(&seq) {
+                                // The body streamed; nothing was saved.
+                            } else {
+                                // Reference-only delivery: the savings
+                                // are the put we did not send, minus the
+                                // ref we did. (Message construction here
+                                // is cheap — the chunk's Bytes are
+                                // refcounted.)
+                                self.cache_hits += 1;
+                                let ref_len = wire::encoded_len(&Message::ChunkRef {
+                                    op: sub,
+                                    class: wire::ChunkClass::Support,
+                                    key: chunk.key,
+                                    hash,
+                                });
+                                let put_len = wire::encoded_len(&Message::PutSupportPerflow {
+                                    op: sub,
+                                    chunk,
+                                });
+                                self.bytes_saved += (put_len.saturating_sub(ref_len)) as u64;
+                            }
+                        }
                         self.obs.record(
                             now.0,
                             self.obs_tag,
@@ -1156,6 +1300,8 @@ impl ControllerCore {
         // point must find nothing to refill the window from.
         st.unacked_puts.clear();
         st.queued_puts.clear();
+        st.ref_bodies.clear();
+        st.needed.clear();
         st.gets_outstanding = 0;
         st.puts_outstanding = 0;
         let (kind, src, dst, pattern) = (st.kind, st.src, st.dst, st.pattern);
@@ -1273,7 +1419,7 @@ impl ControllerCore {
                 st.queued_puts.push_back((seq, m));
             }
         }
-        self.puts_in_flight_peak = self.puts_in_flight_peak.max(in_flight);
+        self.in_flight_peak = self.in_flight_peak.max(in_flight);
     }
 
     /// Promote queued puts into freed window slots and send them. Called
@@ -1293,7 +1439,7 @@ impl ControllerCore {
                 out.push(Action::ToMb(st.dst, m));
             }
         }
-        self.puts_in_flight_peak = self.puts_in_flight_peak.max(in_flight);
+        self.in_flight_peak = self.in_flight_peak.max(in_flight);
     }
 
     /// Resume a stalled or parked transfer from its last acked chunk:
@@ -1554,22 +1700,30 @@ impl ControllerCore {
         self.ops.get(&op).map(|s| s.chunks).unwrap_or(0)
     }
 
-    /// Puts currently in flight (issued, unacked) for an operation —
-    /// the ledger the window bounds (tests, `scale_bench`).
-    pub fn puts_in_flight(&self, op: OpId) -> usize {
-        self.ops.get(&op).map(|s| s.unacked_puts.len()).unwrap_or(0)
-    }
-
-    /// Puts created but deferred by the window for an operation.
-    pub fn puts_queued(&self, op: OpId) -> usize {
-        self.ops.get(&op).map(|s| s.queued_puts.len()).unwrap_or(0)
-    }
-
-    /// Size of an operation's sparse acked-seq set (above the
-    /// watermark). Bounded by the window under in-order delivery —
-    /// the regression guard against unbounded per-chunk ack state.
-    pub fn ack_set_size(&self, op: OpId) -> usize {
-        self.ops.get(&op).map(|s| s.acked_above.len()).unwrap_or(0)
+    /// One consistent snapshot of the transfer ledger for `op` plus the
+    /// core-wide peak and cache counters. Per-op fields are zero for
+    /// unknown (or already cleaned-up) ops; the core-wide fields are
+    /// populated regardless, so callers that only want those may pass
+    /// any op id.
+    pub fn transfer_ledger_stats(&self, op: OpId) -> TransferLedgerStats {
+        let (puts_in_flight, puts_queued, ack_set_size, bodies_in_flight) = self
+            .ops
+            .get(&op)
+            .map(|s| {
+                (s.unacked_puts.len(), s.queued_puts.len(), s.acked_above.len(), s.needed.len())
+            })
+            .unwrap_or((0, 0, 0, 0));
+        TransferLedgerStats {
+            puts_in_flight,
+            puts_queued,
+            ack_set_size,
+            bodies_in_flight,
+            in_flight_peak: self.in_flight_peak,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            bodies_sent: self.bodies_sent,
+            bytes_saved: self.bytes_saved,
+        }
     }
 }
 
@@ -1606,6 +1760,8 @@ impl OpState {
             shared_puts: Vec::new(),
             resumes_left: 0,
             suspended: false,
+            ref_bodies: HashMap::new(),
+            needed: HashSet::new(),
         }
     }
 

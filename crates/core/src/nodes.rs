@@ -192,9 +192,9 @@ impl<M: Middlebox + 'static> MbNode<M> {
                 }
             }
             Work::Msg(m) => match m {
-                Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. } => {
-                    c.deserialize_per_chunk
-                }
+                Message::PutSupportPerflow { .. }
+                | Message::PutReportPerflow { .. }
+                | Message::ChunkBody { .. } => c.deserialize_per_chunk,
                 Message::PutSupportShared { chunk, .. }
                 | Message::PutReportShared { chunk, .. } => c.shared_cost(chunk.len()),
                 Message::GetStats { .. } => c.scan_cost(self.logic.perflow_entries()),
@@ -400,11 +400,80 @@ impl<M: Middlebox + 'static> MbNode<M> {
             Message::EndSync { op } => {
                 self.logic.end_sync(op);
             }
+            Message::ChunkRef { op, class, key, hash } => {
+                // Negotiate-then-reference, destination side: apply from
+                // the content store on a hit, request the body on a miss.
+                // Stored bytes are re-hashed before use so a poisoned or
+                // corrupted entry degrades to a miss instead of importing
+                // wrong state.
+                match self.shared_log.store().get(&hash) {
+                    Some(data) if openmb_store::content_hash(&data) == hash => {
+                        let chunk = openmb_types::StateChunk::new(
+                            key,
+                            openmb_types::EncryptedChunk::from_wire(data),
+                        );
+                        let reply = self.apply_classed_put(op, class, chunk);
+                        self.reply(ctx, reply);
+                    }
+                    _ => self.reply(ctx, Message::ChunkNeed { op, hash }),
+                }
+            }
+            Message::ChunkBody { op, class, key, hash, data } => {
+                // A streamed body answering a ChunkNeed: verify before
+                // caching or applying so a corrupt body surfaces as an
+                // error rather than poisoning the store.
+                if openmb_store::content_hash(data.as_wire()) != hash {
+                    self.reply(
+                        ctx,
+                        Message::ErrorMsg {
+                            op,
+                            error: openmb_types::Error::MalformedChunk(
+                                "chunk body does not match its content hash".into(),
+                            ),
+                        },
+                    );
+                } else {
+                    self.shared_log.store().put(data.as_wire());
+                    let chunk = openmb_types::StateChunk::new(key, data);
+                    let reply = self.apply_classed_put(op, class, chunk);
+                    self.reply(ctx, reply);
+                }
+            }
             other => {
                 panic!("MB {} received unexpected message {other:?}", self.label);
             }
         }
         let _ = now;
+    }
+
+    /// Apply a content-addressed put under its state class, producing
+    /// the same `PutAck { key: Some(..) }` a streamed `Put*Perflow`
+    /// earns — the controller's ledger cannot tell (and must not care)
+    /// whether a chunk arrived by reference or by body.
+    fn apply_classed_put(
+        &mut self,
+        op: openmb_types::OpId,
+        class: openmb_types::wire::ChunkClass,
+        chunk: openmb_types::StateChunk,
+    ) -> Message {
+        let key = chunk.key;
+        let result = match class {
+            openmb_types::wire::ChunkClass::Support => self.logic.put_support_perflow(chunk),
+            openmb_types::wire::ChunkClass::Report => self.logic.put_report_perflow(chunk),
+            // `ChunkClass` is non-exhaustive: a class this build does
+            // not know cannot be applied correctly, so refuse it.
+            other => Err(openmb_types::Error::UnsupportedStateClass(format!("{other:?}"))),
+        };
+        match result {
+            Ok(()) => Message::PutAck { op, key: Some(key) },
+            Err(e) => Message::ErrorMsg { op, error: e },
+        }
+    }
+
+    /// The node's shared-put log, which also owns the destination-side
+    /// content store (fault-injection tests poison or pre-warm it).
+    pub fn shared_log(&self) -> &SharedPutLog {
+        &self.shared_log
     }
 }
 
@@ -508,6 +577,8 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                                 other,
                                 Message::PutSupportPerflow { .. }
                                     | Message::PutReportPerflow { .. }
+                                    | Message::ChunkRef { .. }
+                                    | Message::ChunkBody { .. }
                             ) {
                                 ctx.trace(TraceKind::OpStart { op: "put" });
                             }
@@ -543,6 +614,7 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                 Work::Msg(
                     Message::PutSupportPerflow { .. }
                     | Message::PutReportPerflow { .. }
+                    | Message::ChunkBody { .. }
                     | Message::PutSupportShared { .. }
                     | Message::PutReportShared { .. },
                 ) => self.busy_put_ns += self.current_service.0,

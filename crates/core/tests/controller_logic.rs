@@ -322,15 +322,16 @@ fn transfer_ledger_stays_bounded_by_window() {
                     let mut o = Vec::new();
                     w.core.handle_mb_message(mb, r, w.now, &mut o);
                     actions.extend(o);
+                    let stats = w.core.transfer_ledger_stats(op);
                     assert!(
-                        w.core.puts_in_flight(op) <= W as usize,
+                        stats.puts_in_flight <= W as usize,
                         "ledger exceeded window mid-transfer: {}",
-                        w.core.puts_in_flight(op)
+                        stats.puts_in_flight
                     );
                     assert!(
-                        w.core.ack_set_size(op) <= W as usize,
+                        stats.ack_set_size <= W as usize,
                         "ack set not compacted: {}",
-                        w.core.ack_set_size(op)
+                        stats.ack_set_size
                     );
                 }
             }
@@ -341,10 +342,17 @@ fn transfer_ledger_stays_bounded_by_window() {
         .completions
         .iter()
         .any(|c| matches!(c, Completion::MoveComplete { op: o, chunks_moved: 120 } if *o == op)));
-    assert_eq!(w.core.puts_in_flight_peak, W as usize, "window was exercised and respected");
-    assert_eq!(w.core.puts_in_flight(op), 0);
-    assert_eq!(w.core.puts_queued(op), 0);
-    assert_eq!(w.core.ack_set_size(op), 0, "all acks drained into the watermark");
+    let stats = w.core.transfer_ledger_stats(op);
+    assert_eq!(stats.in_flight_peak, W as usize, "window was exercised and respected");
+    assert_eq!(stats.puts_in_flight, 0);
+    assert_eq!(stats.puts_queued, 0);
+    assert_eq!(stats.ack_set_size, 0, "all acks drained into the watermark");
+    assert_eq!(stats.bodies_in_flight, 0, "every needed body was streamed and acked");
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        120,
+        "every reference resolved as a hit or a miss"
+    );
 }
 
 #[test]

@@ -192,18 +192,15 @@ fn mid_transfer_disconnect_resumes_from_last_acked_chunk() {
                 Ok(None) => continue,
                 Err(e) => panic!("controller hung up first: {e}"),
             };
-            // Puts may arrive coalesced: count them through Batch frames.
-            let is_put = |m: &Message| {
-                matches!(m, Message::PutSupportPerflow { .. } | Message::PutReportPerflow { .. })
-            };
-            let n_puts = match &msg {
-                Message::Batch { msgs } => msgs.iter().filter(|m| is_put(m)).count(),
-                m => usize::from(is_put(m)),
-            };
+            // Count applied puts by the acks we emit — exact whether a
+            // chunk arrived as a plain put, a cache-hit reference, or a
+            // streamed body, and through coalesced Batch frames.
             for reply in handle_southbound_logged(&mut dst, &mut log, msg, SimTime(0)) {
+                if matches!(reply, Message::PutAck { .. }) {
+                    puts += 1;
+                }
                 dst_mb.send(reply).unwrap();
             }
-            puts += n_puts;
         }
         drop(dst_mb);
 

@@ -302,6 +302,7 @@ fn drive<M: Middlebox + 'static>(
     mut mk: impl FnMut() -> M,
     op: ConfOp,
     sched: Option<&Schedule>,
+    content_cache: bool,
 ) -> Observed {
     use layout::*;
     let mut src = mk();
@@ -326,6 +327,10 @@ fn drive<M: Middlebox + 'static>(
         // exercises the queue/refill machinery; the post-run assertion
         // below holds the controller to it even across faults.
         ctrl.core.config.transfer_window = CONF_WINDOW;
+        // Every seed runs in both transfer modes: content-addressed
+        // (references negotiate against the destination's store) and
+        // plain streaming.
+        ctrl.core.config.content_cache = content_cache;
         ctrl.enable_journal();
     }
 
@@ -375,10 +380,11 @@ fn drive<M: Middlebox + 'static>(
     // more than `transfer_window` unacked puts in flight at once.
     {
         let ctrl: &ControllerNode = setup.sim.node_as(CONTROLLER);
+        let stats = ctrl.core.transfer_ledger_stats(openmb_types::OpId(0));
         assert!(
-            ctrl.core.puts_in_flight_peak <= CONF_WINDOW as usize,
+            stats.in_flight_peak <= CONF_WINDOW as usize,
             "transfer window violated: peak {} > window {}",
-            ctrl.core.puts_in_flight_peak,
+            stats.in_flight_peak,
             CONF_WINDOW
         );
     }
@@ -424,22 +430,35 @@ fn drive<M: Middlebox + 'static>(
 }
 
 /// Run the schedule's (mb type, op) pair — faulted when `faulted`, the
-/// unfaulted reference otherwise.
+/// unfaulted reference otherwise — with the content-addressed transfer
+/// enabled (the default mode).
 pub fn run_schedule(s: &Schedule, faulted: bool) -> Observed {
+    run_schedule_mode(s, faulted, true)
+}
+
+/// [`run_schedule`] with the transfer mode explicit: `content_cache`
+/// on negotiates chunk references against the destination's store,
+/// off streams every body the PR-5 way.
+pub fn run_schedule_mode(s: &Schedule, faulted: bool, content_cache: bool) -> Observed {
     let plan = if faulted { Some(s) } else { None };
     match s.mb {
-        ConfMb::Monitor => drive(Monitor::new, s.op, plan),
-        ConfMb::Firewall => drive(Firewall::new, s.op, plan),
-        ConfMb::Ips => drive(Ips::new, s.op, plan),
-        ConfMb::Nat => drive(|| Nat::new(Ipv4Addr::new(5, 5, 5, 5)), s.op, plan),
-        ConfMb::Proxy => drive(|| Proxy::new(256), s.op, plan),
+        ConfMb::Monitor => drive(Monitor::new, s.op, plan, content_cache),
+        ConfMb::Firewall => drive(Firewall::new, s.op, plan, content_cache),
+        ConfMb::Ips => drive(Ips::new, s.op, plan, content_cache),
+        ConfMb::Nat => drive(|| Nat::new(Ipv4Addr::new(5, 5, 5, 5)), s.op, plan, content_cache),
+        ConfMb::Proxy => drive(|| Proxy::new(256), s.op, plan, content_cache),
         ConfMb::LoadBalancer => {
             let backends = [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)];
-            drive(move || LoadBalancer::new(Ipv4Addr::new(1, 2, 3, 4), &backends), s.op, plan)
+            drive(
+                move || LoadBalancer::new(Ipv4Addr::new(1, 2, 3, 4), &backends),
+                s.op,
+                plan,
+                content_cache,
+            )
         }
-        ConfMb::ReEncoder => drive(|| ReEncoder::new(128), s.op, plan),
-        ConfMb::ReDecoder => drive(|| ReDecoder::new(128), s.op, plan),
-        ConfMb::Dummy => drive(DummyMb::new, s.op, plan),
+        ConfMb::ReEncoder => drive(|| ReEncoder::new(128), s.op, plan, content_cache),
+        ConfMb::ReDecoder => drive(|| ReDecoder::new(128), s.op, plan, content_cache),
+        ConfMb::Dummy => drive(DummyMb::new, s.op, plan, content_cache),
     }
 }
 
@@ -492,18 +511,50 @@ pub struct SeedOutcome {
 }
 
 /// Run one seed end-to-end and assert every invariant, panicking with
-/// the replay command on violation.
+/// the replay command on violation. The full fault schedule runs in
+/// BOTH transfer modes — content-addressed and plain streaming — each
+/// against its own same-mode unfaulted reference, and the two modes'
+/// reference runs must end with byte-identical endpoint state (the
+/// transfer encoding must be invisible in the result).
 pub fn check_seed(seed: u64) -> SeedOutcome {
     let s = generate(seed);
-    let reference = run_schedule(&s, false);
-    let faulted = run_schedule(&s, true);
+    let (on_ref, on_faulted) = check_mode(&s, seed, true);
+    let (off_ref, _) = check_mode(&s, seed, false);
+
+    // Cross-mode: how chunks crossed the wire must not leak into state.
+    let xm = || {
+        format!(
+            "seed {seed} ({:?} over {:?}): content-addressed and streaming reference runs \
+             diverged — replay with:\n  {}",
+            s.op,
+            s.mb,
+            replay_command(seed),
+        )
+    };
+    assert_eq!(on_ref.dst_entries, off_ref.dst_entries, "{}\ndst entry count", xm());
+    assert_eq!(on_ref.dst_stats, off_ref.dst_stats, "{}\ndst stats", xm());
+    assert_eq!(on_ref.dst_shared, off_ref.dst_shared, "{}\ndst shared state", xm());
+    assert_eq!(on_ref.src_entries, off_ref.src_entries, "{}\nsrc entry count", xm());
+    assert_eq!(on_ref.src_stats, off_ref.src_stats, "{}\nsrc stats", xm());
+    assert_eq!(on_ref.src_shared, off_ref.src_shared, "{}\nsrc shared state", xm());
+
+    SeedOutcome { seed, op: s.op, mb: s.mb, harsh: s.harsh, completed: on_faulted.completed }
+}
+
+/// One transfer mode's half of [`check_seed`]: faulted run vs its own
+/// same-mode reference, all invariants asserted. Returns
+/// `(reference, faulted)`.
+fn check_mode(s: &Schedule, seed: u64, content_cache: bool) -> (Observed, Observed) {
+    let mode = if content_cache { "content-addressed" } else { "streaming" };
+    let reference = run_schedule_mode(s, false, content_cache);
+    let faulted = run_schedule_mode(s, true, content_cache);
     // A violation dumps the faulted run's flight recorder right next to
     // the replay command: the Parked/Resumed/Aborted transitions across
     // controller and MB nodes are usually enough to localize the bug
     // before replaying.
     let ctx = || {
         format!(
-            "seed {seed} ({:?} over {:?}{}) violated an invariant — replay with:\n  {}\n\
+            "seed {seed} ({:?} over {:?}{}, {mode} mode) violated an invariant — replay with:\n  {}\n\
              faulted-run {}",
             s.op,
             s.mb,
@@ -541,7 +592,7 @@ pub fn check_seed(seed: u64) -> SeedOutcome {
         // Abort: the compensation must leave the destination pristine
         // (it started empty) and the source untouched — no orphaned
         // shared state, no partially-put chunks, nothing lost.
-        let initial = initial_images(&s);
+        let initial = initial_images(s);
         assert_eq!(faulted.dst_entries, 0, "{}\naborted op left per-flow state at dst", ctx());
         assert_eq!(
             faulted.dst_shared,
@@ -562,7 +613,7 @@ pub fn check_seed(seed: u64) -> SeedOutcome {
             ctx()
         );
     }
-    SeedOutcome { seed, op: s.op, mb: s.mb, harsh: s.harsh, completed: faulted.completed }
+    (reference, faulted)
 }
 
 /// Regenerate the conformance summary over a fixed seed range (the
@@ -646,8 +697,11 @@ mod tests {
     }
 
     /// Satellite regression: duplicating every control frame (including
-    /// every chunk ack) must not double-count in the transfer ledgers —
-    /// the move completes with exactly the reference state.
+    /// every chunk ack, reference, and body request) must not
+    /// double-count in the transfer ledgers — the move completes with
+    /// exactly the reference state. The schedule is deterministic
+    /// (p = 1.0 rules), so both transfer modes see the same faults and
+    /// must land the same per-op outcome and byte-identical state.
     #[test]
     fn duplicated_chunk_acks_are_deduplicated() {
         use layout::*;
@@ -673,6 +727,144 @@ mod tests {
         assert_eq!(faulted.dst_stats, reference.dst_stats);
         assert_eq!(faulted.src_stats, reference.src_stats);
         assert_eq!(faulted.open_ops, 0);
+
+        let streaming = run_schedule_mode(&s, true, false);
+        assert_eq!(streaming.completed, faulted.completed, "per-op outcome diverged across modes");
+        assert_eq!(streaming.failed, faulted.failed);
+        assert_eq!(streaming.dst_entries, faulted.dst_entries);
+        assert_eq!(streaming.dst_stats, faulted.dst_stats);
+        assert_eq!(streaming.dst_shared, faulted.dst_shared);
+        assert_eq!(streaming.src_stats, faulted.src_stats);
+        assert_eq!(streaming.src_shared, faulted.src_shared);
+    }
+
+    /// Predict the content hashes a Monitor move will put in its
+    /// manifest: a probe instance with the identical preload and export
+    /// call sequence seals byte-identical chunks (exports are key-sorted
+    /// and the nonce counter starts equal), so the hashes match the real
+    /// run's.
+    fn monitor_transfer_hashes() -> Vec<(openmb_store::ContentHash, Vec<u8>)> {
+        use openmb_types::OpId;
+        let mut probe = Monitor::new();
+        preload(&mut probe, PRELOAD);
+        let _ = probe.get_support_perflow(OpId(1), &HeaderFieldList::any()).unwrap();
+        let chunks = probe.get_report_perflow(OpId(1), &HeaderFieldList::any()).unwrap();
+        assert!(!chunks.is_empty(), "probe must export the preloaded flows");
+        chunks
+            .into_iter()
+            .map(|c| {
+                let bytes = c.data.as_wire().to_vec();
+                (openmb_store::content_hash(&bytes), bytes)
+            })
+            .collect()
+    }
+
+    /// Build the same scenario [`drive`] builds for a Monitor move with
+    /// the content cache on, returning the setup ready to run.
+    fn monitor_move_setup() -> openmb_apps::scenarios::TwoMbSetup {
+        use layout::*;
+        let mut src = Monitor::new();
+        preload(&mut src, PRELOAD);
+        let app = OneShotOp {
+            op: ConfOp::Move,
+            src: MB_A_ID,
+            dst: MB_B_ID,
+            at: SimDuration::from_millis(OP_AT_MS),
+        };
+        let mut setup =
+            two_mb_scenario(src, Monitor::new(), Box::new(app), ScenarioParams::default());
+        let ctrl = setup.sim.node_as_mut::<ControllerNode>(CONTROLLER);
+        ctrl.core.config.op_deadline = SimDuration::from_secs(4);
+        ctrl.core.config.transfer_window = CONF_WINDOW;
+        ctrl.core.config.content_cache = true;
+        setup
+    }
+
+    /// Satellite acceptance: a destination cache poisoned under exactly
+    /// the hashes the manifest will reference must fall back to
+    /// streaming — every reference fails re-verification, every body
+    /// flows, and the final state is byte-identical to an unpoisoned
+    /// run's. Without the destination-side re-hash this test would
+    /// import garbage as flow state.
+    #[test]
+    fn poisoned_destination_cache_falls_back_to_streaming() {
+        use layout::*;
+        let mut s = generate(0);
+        s.op = ConfOp::Move;
+        s.mb = ConfMb::Monitor;
+        let reference = run_schedule_mode(&s, false, true);
+
+        let hashes = monitor_transfer_hashes();
+        let mut setup = monitor_move_setup();
+        {
+            let dst = setup.sim.node_as_mut::<MbNode<Monitor>>(MB_B);
+            for (h, _) in &hashes {
+                dst.shared_log().store().insert_unchecked(*h, vec![0xAB; 7]);
+            }
+        }
+        setup.sim.run(50_000_000);
+        assert!(setup.sim.is_idle(), "simulation must drain");
+
+        let ctrl: &ControllerNode = setup.sim.node_as(CONTROLLER);
+        assert!(
+            ctrl.completions.iter().any(|(_, c)| matches!(c, Completion::MoveComplete { .. })),
+            "poisoned cache must degrade to streaming, not break the move"
+        );
+        let stats = ctrl.core.transfer_ledger_stats(openmb_types::OpId(0));
+        assert_eq!(stats.cache_hits, 0, "every poisoned entry must fail re-verification");
+        assert_eq!(stats.cache_misses as usize, hashes.len(), "every reference must miss");
+        assert!(stats.bodies_sent >= stats.cache_misses, "every miss must stream its body");
+
+        let dst = setup.sim.node_as_mut::<MbNode<Monitor>>(MB_B);
+        assert_eq!(dst.logic.perflow_entries(), reference.dst_entries);
+        assert_eq!(dst.logic.stats(&HeaderFieldList::any()), reference.dst_stats);
+        // The streamed bodies repaired the store: every referenced hash
+        // now re-verifies. This also pins the probe's hash prediction to
+        // the real transfer — a drifted probe would leave these entries
+        // poisoned and unfetchable.
+        for (h, _) in &hashes {
+            let data = dst.shared_log().store().get(h).expect("streamed body must be cached");
+            assert_eq!(openmb_store::content_hash(&data), *h, "store entry must re-verify");
+        }
+    }
+
+    /// The warm path: a destination store already holding every chunk
+    /// body (a repeated or resumed move) answers the whole manifest from
+    /// cache — zero bodies cross the wire and the state still lands
+    /// byte-identical to a cold run's.
+    #[test]
+    fn warm_destination_cache_answers_references_without_bodies() {
+        use layout::*;
+        let mut s = generate(0);
+        s.op = ConfOp::Move;
+        s.mb = ConfMb::Monitor;
+        let reference = run_schedule_mode(&s, false, true);
+
+        let hashes = monitor_transfer_hashes();
+        let mut setup = monitor_move_setup();
+        {
+            let dst = setup.sim.node_as_mut::<MbNode<Monitor>>(MB_B);
+            for (h, bytes) in &hashes {
+                assert_eq!(&dst.shared_log().store().put(bytes), h);
+            }
+        }
+        setup.sim.run(50_000_000);
+        assert!(setup.sim.is_idle(), "simulation must drain");
+
+        let ctrl: &ControllerNode = setup.sim.node_as(CONTROLLER);
+        assert!(
+            ctrl.completions.iter().any(|(_, c)| matches!(c, Completion::MoveComplete { .. })),
+            "warm move must complete"
+        );
+        let stats = ctrl.core.transfer_ledger_stats(openmb_types::OpId(0));
+        assert_eq!(stats.cache_hits as usize, hashes.len(), "every reference must hit");
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.bodies_sent, 0, "a warm move must stream no bodies");
+        assert!(stats.bytes_saved > 0);
+
+        let dst = setup.sim.node_as_mut::<MbNode<Monitor>>(MB_B);
+        assert_eq!(dst.logic.perflow_entries(), reference.dst_entries);
+        assert_eq!(dst.logic.stats(&HeaderFieldList::any()), reference.dst_stats);
     }
 
     /// Observability acceptance: a crafted crash/restart of the

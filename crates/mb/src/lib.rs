@@ -50,12 +50,14 @@ pub struct SharedSnapshot {
 
 /// Embedding-side bookkeeping that makes shared puts safe under a
 /// resumable controller: a dedup set (a re-sent `Put*Shared` is re-acked
-/// without re-merging — merges are not idempotent) and a capped log of
+/// without re-merging — merges are not idempotent), a capped log of
 /// pre-put [`SharedSnapshot`]s consulted by `DeleteState` to compensate
-/// an aborted clone/merge. Lives alongside the MB's logic tables and,
-/// like them, survives a crash of the embedding's volatile runtime
-/// state.
-#[derive(Debug, Clone, Default)]
+/// an aborted clone/merge, and the [`ContentStore`] consulted by the
+/// content-addressed transfer messages (`ChunkRef`/`ChunkBody`). Lives
+/// alongside the MB's logic tables and, like them, survives a crash of
+/// the embedding's volatile runtime state — which is precisely why
+/// resume-after-crash gets cheap: re-sent refs hit the surviving cache.
+#[derive(Debug, Clone)]
 pub struct SharedPutLog {
     /// Put sub-op ids that must not be (re)applied: already merged, or
     /// revoked by a rollback while still in flight.
@@ -64,6 +66,16 @@ pub struct SharedPutLog {
     /// applied)`, oldest first; rotated once over capacity.
     log: std::collections::VecDeque<(OpId, SharedSnapshot)>,
     cap: usize,
+    /// Destination-side cache of chunk bodies keyed by content hash.
+    /// In-memory by default; embeddings pass a
+    /// [`openmb_store::FileContentStore`] to survive restarts.
+    store: std::sync::Arc<dyn openmb_store::ContentStore>,
+}
+
+impl Default for SharedPutLog {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl SharedPutLog {
@@ -72,13 +84,27 @@ impl SharedPutLog {
     /// images while bounding memory.
     pub const DEFAULT_CAP: usize = 32;
 
-    /// A log holding at most `cap` snapshots (0 means [`Self::DEFAULT_CAP`]).
+    /// A log holding at most `cap` snapshots (0 means [`Self::DEFAULT_CAP`])
+    /// with a fresh in-memory content store.
     pub fn new(cap: usize) -> Self {
+        Self::with_store(cap, std::sync::Arc::new(openmb_store::MemoryContentStore::new()))
+    }
+
+    /// Like [`Self::new`], but with a caller-provided content store —
+    /// e.g. a file-backed one whose entries survive MB restarts, or a
+    /// pre-warmed store shared with an earlier incarnation.
+    pub fn with_store(cap: usize, store: std::sync::Arc<dyn openmb_store::ContentStore>) -> Self {
         SharedPutLog {
             seen: std::collections::HashSet::new(),
             log: std::collections::VecDeque::new(),
             cap: if cap == 0 { Self::DEFAULT_CAP } else { cap },
+            store,
         }
+    }
+
+    /// The content store backing `ChunkRef`/`ChunkBody` handling.
+    pub fn store(&self) -> &std::sync::Arc<dyn openmb_store::ContentStore> {
+        &self.store
     }
 
     /// Whether put `op` was already applied (or revoked): the embedding

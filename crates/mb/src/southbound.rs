@@ -206,6 +206,41 @@ pub fn handle_southbound_logged<M: Middlebox>(
         Message::EndSync { op } => {
             mb.end_sync(op);
         }
+        Message::ChunkRef { op, class, key, hash } => {
+            // Negotiate-then-reference, destination side: apply straight
+            // from the content store on a hit, ask for the body on a
+            // miss. The stored bytes are re-hashed before use, so a
+            // poisoned or corrupted entry degrades to a miss instead of
+            // importing wrong state.
+            match log.store().get(&hash) {
+                Some(data) if openmb_store::content_hash(&data) == hash => {
+                    let chunk = openmb_types::StateChunk::new(
+                        key,
+                        openmb_types::EncryptedChunk::from_wire(data),
+                    );
+                    out.extend(apply_classed_put(mb, op, class, chunk));
+                }
+                _ => out.push(Message::ChunkNeed { op, hash }),
+            }
+        }
+        Message::ChunkBody { op, class, key, hash, data } => {
+            // A streamed body answering a ChunkNeed. Verify the hash
+            // before caching or applying: a mismatch means corruption
+            // (or a confused source) and must surface as an error, not
+            // poison the store.
+            if openmb_store::content_hash(data.as_wire()) != hash {
+                out.push(Message::ErrorMsg {
+                    op,
+                    error: openmb_types::Error::MalformedChunk(
+                        "chunk body does not match its content hash".into(),
+                    ),
+                });
+            } else {
+                log.store().put(data.as_wire());
+                let chunk = openmb_types::StateChunk::new(key, data);
+                out.extend(apply_classed_put(mb, op, class, chunk));
+            }
+        }
         Message::Batch { msgs } => {
             // One frame, many requests: dispatch each in order. Replies
             // accumulate and the embedding decides whether to coalesce
@@ -218,4 +253,28 @@ pub fn handle_southbound_logged<M: Middlebox>(
         _ => {}
     }
     out
+}
+
+/// Apply a content-addressed put under its state class, answering with
+/// the same `PutAck { key: Some(..) }` a streamed `Put*Perflow` earns —
+/// the controller's ledger cannot tell (and must not care) whether a
+/// chunk arrived by reference or by body.
+fn apply_classed_put<M: Middlebox>(
+    mb: &mut M,
+    op: openmb_types::OpId,
+    class: openmb_types::wire::ChunkClass,
+    chunk: openmb_types::StateChunk,
+) -> Vec<Message> {
+    let key = chunk.key;
+    let result = match class {
+        openmb_types::wire::ChunkClass::Support => mb.put_support_perflow(chunk),
+        openmb_types::wire::ChunkClass::Report => mb.put_report_perflow(chunk),
+        // `ChunkClass` is non-exhaustive: a class this build does not
+        // know cannot be applied correctly, so refuse it.
+        other => Err(openmb_types::Error::UnsupportedStateClass(format!("{other:?}"))),
+    };
+    match result {
+        Ok(()) => vec![Message::PutAck { op, key: Some(key) }],
+        Err(e) => vec![Message::ErrorMsg { op, error: e }],
+    }
 }

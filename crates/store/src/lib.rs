@@ -1,0 +1,326 @@
+//! Content-addressed chunk storage for state transfers.
+//!
+//! Transfers re-shipped every [`StateChunk`] byte-for-byte on every move,
+//! even when the destination already held identical content from an
+//! earlier failover or rebalance — exactly the redundancy the paper's RE
+//! middlebox exists to eliminate on the data path. This crate provides
+//! the destination-side half of the negotiate-then-reference protocol:
+//! chunk bodies are keyed by a digest of their wire bytes, the source
+//! sends `(key, hash)` references first, and only bodies the destination
+//! is missing are streamed.
+//!
+//! Two implementations are provided: [`MemoryContentStore`] (a plain
+//! hash map, dies with the process) and [`FileContentStore`] (one file
+//! per entry, so the cache survives MB restarts and re-sent chunks after
+//! a crash hit the cache instead of re-streaming).
+//!
+//! [`StateChunk`]: https://docs.rs/openmb-types
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::RwLock;
+
+/// Number of bytes in a content hash.
+pub const HASH_LEN: usize = 32;
+
+/// A content hash: the address of a chunk body in a [`ContentStore`].
+pub type ContentHash = [u8; HASH_LEN];
+
+/// Digest chunk bytes into a 32-byte content address.
+///
+/// **This is NOT a cryptographic hash.** It is four FNV-1a lanes with
+/// distinct offset bases, finalized through splitmix64 with the input
+/// length mixed in — standing in for BLAKE3 (unavailable here; no
+/// external dependencies). The design point being reproduced is
+/// *architectural*: identical bodies collapse to one wire transfer and
+/// the destination re-verifies the digest before trusting a cached
+/// entry. Collision resistance against an adversary is out of scope,
+/// as with the stand-in cipher in `openmb-types::crypto`.
+pub fn content_hash(data: &[u8]) -> ContentHash {
+    // Distinct offset bases decorrelate the four lanes; all walk the
+    // full input with the standard FNV-1a prime.
+    const BASES: [u64; 4] = [
+        0xcbf2_9ce4_8422_2325,
+        0x8422_2325_cbf2_9ce4,
+        0x6c62_272e_07bb_0142,
+        0x07bb_0142_6c62_272e,
+    ];
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lanes = BASES;
+    for (i, &b) in data.iter().enumerate() {
+        let lane = &mut lanes[i & 3];
+        *lane ^= u64::from(b);
+        *lane = lane.wrapping_mul(PRIME);
+    }
+    let mut out = [0u8; HASH_LEN];
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        // splitmix64 finalization, mixing the length so prefixes of a
+        // buffer never share its hash.
+        let mut z = lanes[i]
+            .wrapping_add((data.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((i as u64 + 1).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        chunk.copy_from_slice(&z.to_le_bytes());
+    }
+    out
+}
+
+/// Render a hash as lowercase hex (file names, logs).
+pub fn hash_hex(hash: &ContentHash) -> String {
+    let mut s = String::with_capacity(HASH_LEN * 2);
+    for b in hash {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// A content-addressed store of chunk bodies.
+///
+/// Implementations must be safe to share across threads: the TCP
+/// embedding serves frames from per-connection handler threads while the
+/// MB applies state, and the store is the rendezvous point.
+pub trait ContentStore: Send + Sync + Debug {
+    /// Fetch the body stored under `hash`, if present.
+    fn get(&self, hash: &ContentHash) -> Option<Vec<u8>>;
+
+    /// Store `data` under its own content hash; returns that hash.
+    fn put(&self, data: &[u8]) -> ContentHash;
+
+    /// True when a body is stored under `hash`.
+    fn contains(&self, hash: &ContentHash) -> bool;
+
+    /// Remove the entry under `hash`; returns true when one existed.
+    fn evict(&self, hash: &ContentHash) -> bool;
+
+    /// Store `data` under an arbitrary `hash` WITHOUT verifying that the
+    /// hash matches. Exists for fault injection (cache-poisoning tests);
+    /// readers must re-verify with [`content_hash`] before trusting an
+    /// entry, which is what makes poisoning degrade to a cache miss
+    /// rather than corrupt state.
+    fn insert_unchecked(&self, hash: ContentHash, data: Vec<u8>);
+
+    /// Number of entries currently stored.
+    fn len(&self) -> usize;
+
+    /// True when the store holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory [`ContentStore`]: a hash map behind an `RwLock`. Contents
+/// die with the process.
+#[derive(Debug, Default)]
+pub struct MemoryContentStore {
+    entries: RwLock<HashMap<ContentHash, Vec<u8>>>,
+}
+
+impl MemoryContentStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ContentStore for MemoryContentStore {
+    fn get(&self, hash: &ContentHash) -> Option<Vec<u8>> {
+        self.entries.read().unwrap().get(hash).cloned()
+    }
+
+    fn put(&self, data: &[u8]) -> ContentHash {
+        let hash = content_hash(data);
+        self.entries.write().unwrap().insert(hash, data.to_vec());
+        hash
+    }
+
+    fn contains(&self, hash: &ContentHash) -> bool {
+        self.entries.read().unwrap().contains_key(hash)
+    }
+
+    fn evict(&self, hash: &ContentHash) -> bool {
+        self.entries.write().unwrap().remove(hash).is_some()
+    }
+
+    fn insert_unchecked(&self, hash: ContentHash, data: Vec<u8>) {
+        self.entries.write().unwrap().insert(hash, data);
+    }
+
+    fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+}
+
+/// File-backed [`ContentStore`]: one file per entry, named by the hex of
+/// its hash, so the cache survives MB restarts. Writes go through a
+/// `.tmp` sibling plus rename so a crash mid-write never leaves a
+/// truncated entry under a valid name.
+#[derive(Debug)]
+pub struct FileContentStore {
+    dir: PathBuf,
+}
+
+impl FileContentStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(FileContentStore { dir })
+    }
+
+    fn path_for(&self, hash: &ContentHash) -> PathBuf {
+        self.dir.join(hash_hex(hash))
+    }
+}
+
+impl ContentStore for FileContentStore {
+    fn get(&self, hash: &ContentHash) -> Option<Vec<u8>> {
+        fs::read(self.path_for(hash)).ok()
+    }
+
+    fn put(&self, data: &[u8]) -> ContentHash {
+        let hash = content_hash(data);
+        self.insert_unchecked(hash, data.to_vec());
+        hash
+    }
+
+    fn contains(&self, hash: &ContentHash) -> bool {
+        self.path_for(hash).exists()
+    }
+
+    fn evict(&self, hash: &ContentHash) -> bool {
+        fs::remove_file(self.path_for(hash)).is_ok()
+    }
+
+    fn insert_unchecked(&self, hash: ContentHash, data: Vec<u8>) {
+        let path = self.path_for(&hash);
+        let tmp = path.with_extension("tmp");
+        // Best-effort: a failed disk write degrades to a cache miss on
+        // the next lookup, never to an error on the transfer path.
+        if fs::write(&tmp, &data).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+
+    fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| rd.filter_map(|e| e.ok()).filter(|e| e.path().extension().is_none()).count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("openmb-store-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_input_sensitive() {
+        let a = content_hash(b"chunk body");
+        assert_eq!(a, content_hash(b"chunk body"));
+        assert_ne!(a, content_hash(b"chunk bodz"));
+        assert_ne!(a, content_hash(b"chunk bod"));
+        assert_ne!(content_hash(b""), [0u8; HASH_LEN]);
+    }
+
+    #[test]
+    fn hash_mixes_length_not_just_bytes() {
+        // A prefix must not share the hash of the full buffer even when
+        // the suffix is all zeros (zero bytes still advance the lanes,
+        // but the length finalization is the documented guarantee).
+        assert_ne!(content_hash(&[0u8; 8]), content_hash(&[0u8; 16]));
+    }
+
+    #[test]
+    fn hash_hex_roundtrips_width() {
+        let h = content_hash(b"x");
+        let hex = hash_hex(&h);
+        assert_eq!(hex.len(), HASH_LEN * 2);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn memory_store_roundtrip_and_evict() {
+        let s = MemoryContentStore::new();
+        assert!(s.is_empty());
+        let h = s.put(b"hello");
+        assert_eq!(h, content_hash(b"hello"));
+        assert!(s.contains(&h));
+        assert_eq!(s.get(&h).unwrap(), b"hello");
+        assert_eq!(s.len(), 1);
+        assert!(s.evict(&h));
+        assert!(!s.contains(&h));
+        assert!(!s.evict(&h));
+    }
+
+    #[test]
+    fn memory_store_poison_detectable_by_reverify() {
+        let s = MemoryContentStore::new();
+        let h = content_hash(b"real body");
+        s.insert_unchecked(h, b"garbage".to_vec());
+        let fetched = s.get(&h).unwrap();
+        assert_ne!(content_hash(&fetched), h, "re-verification must catch poison");
+    }
+
+    #[test]
+    fn memory_store_shared_across_threads() {
+        let s: Arc<dyn ContentStore> = Arc::new(MemoryContentStore::new());
+        let mut handles = Vec::new();
+        for i in 0..4u8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || s.put(&[i; 64])));
+        }
+        let hashes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(s.len(), 4);
+        for (i, h) in hashes.iter().enumerate() {
+            assert_eq!(s.get(h).unwrap(), vec![i as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn file_store_roundtrip_and_evict() {
+        let dir = temp_dir("roundtrip");
+        let s = FileContentStore::open(&dir).unwrap();
+        assert!(s.is_empty());
+        let h = s.put(b"persisted body");
+        assert!(s.contains(&h));
+        assert_eq!(s.get(&h).unwrap(), b"persisted body");
+        assert_eq!(s.len(), 1);
+        assert!(s.evict(&h));
+        assert!(s.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let h = {
+            let s = FileContentStore::open(&dir).unwrap();
+            s.put(b"survives restart")
+        };
+        // A fresh handle over the same directory — models an MB restart.
+        let s2 = FileContentStore::open(&dir).unwrap();
+        assert_eq!(s2.get(&h).unwrap(), b"survives restart");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_len_ignores_tmp_files() {
+        let dir = temp_dir("tmpfiles");
+        let s = FileContentStore::open(&dir).unwrap();
+        s.put(b"entry");
+        fs::write(dir.join("deadbeef.tmp"), b"partial").unwrap();
+        assert_eq!(s.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -241,6 +241,41 @@ pub enum Message {
         op: OpId,
         error: Error,
     },
+    // ---- content-addressed transfer (negotiate-then-reference) ----
+    /// Manifest entry of a content-addressed transfer: "the destination
+    /// may already hold these bytes". Carries the chunk's key and the
+    /// content hash of its ciphertext but NOT the body; the destination
+    /// applies from its `ContentStore` on a hit (answering with
+    /// [`Message::PutAck`] exactly as for a streamed put) or answers
+    /// with [`Message::ChunkNeed`] on a miss.
+    ChunkRef {
+        op: OpId,
+        /// Whether the referenced chunk is supporting or reporting state
+        /// (selects `putSupportPerflow`/`putReportPerflow` semantics on
+        /// application).
+        class: ChunkClass,
+        key: HeaderFieldList,
+        hash: [u8; 32],
+    },
+    /// The destination's half of the negotiation: it does not hold the
+    /// body for `hash` and needs it streamed. Answered by the controller
+    /// with a [`Message::ChunkBody`].
+    ChunkNeed {
+        op: OpId,
+        hash: [u8; 32],
+    },
+    /// A hash-addressed chunk body streamed in answer to a
+    /// [`Message::ChunkNeed`]. The destination verifies the hash,
+    /// stores the body in its `ContentStore`, applies the put, and
+    /// acknowledges with [`Message::PutAck`].
+    ChunkBody {
+        op: OpId,
+        class: ChunkClass,
+        key: HeaderFieldList,
+        hash: [u8; 32],
+        data: EncryptedChunk,
+    },
+
     /// Several messages bound for the same node coalesced into one wire
     /// frame (one length prefix, one scheduler event in the simulator).
     /// Nesting is not allowed: a `Batch` inside a `Batch` is a codec
@@ -249,6 +284,37 @@ pub enum Message {
     Batch {
         msgs: Vec<Message>,
     },
+}
+
+/// Which per-flow state class a [`Message::ChunkRef`]/[`Message::ChunkBody`]
+/// applies to. Companion enum of the transfer slice of [`Message`];
+/// `#[non_exhaustive]` like the northbound [`Error`] so adding a class
+/// (e.g. a shared-state one) is not a breaking change for embedders.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkClass {
+    /// Per-flow supporting state (`putSupportPerflow` semantics).
+    Support,
+    /// Per-flow reporting state (`putReportPerflow` semantics).
+    Report,
+}
+
+impl ChunkClass {
+    /// Wire discriminant byte.
+    fn number(self) -> u8 {
+        match self {
+            ChunkClass::Support => 0,
+            ChunkClass::Report => 1,
+        }
+    }
+
+    fn from_number(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(ChunkClass::Support),
+            1 => Some(ChunkClass::Report),
+            _ => None,
+        }
+    }
 }
 
 impl Message {
@@ -283,6 +349,9 @@ impl Message {
             | DeleteAck { op, .. }
             | ConfigValues { op, .. }
             | Stats { op, .. }
+            | ChunkRef { op, .. }
+            | ChunkNeed { op, .. }
+            | ChunkBody { op, .. }
             | ErrorMsg { op, .. } => Some(*op),
             EventMsg { .. } | Batch { .. } => None,
         }
@@ -320,6 +389,9 @@ impl Message {
             DeleteAck { .. } => "deleteAck",
             ConfigValues { .. } => "configValues",
             Stats { .. } => "stats",
+            ChunkRef { .. } => "chunkRef",
+            ChunkNeed { .. } => "chunkNeed",
+            ChunkBody { .. } => "chunkBody",
             EventMsg { .. } => "event",
             ErrorMsg { .. } => "error",
             Batch { .. } => "batch",
@@ -445,6 +517,10 @@ impl Writer {
     fn chunk(&mut self, c: &StateChunk) {
         self.hfl(&c.key);
         self.bytes(c.data.as_wire());
+    }
+
+    fn hash(&mut self, h: &[u8; 32]) {
+        self.buf.extend_from_slice(h);
     }
 
     /// Typed error payload: `u8` kind discriminant followed by the
@@ -744,6 +820,26 @@ impl<'a> Reader<'a> {
         let data = EncryptedChunk::from_wire(self.bytes_shared()?);
         Ok(StateChunk { key, data })
     }
+
+    /// A 32-byte content hash. The all-zero hash is rejected the same
+    /// way nested `Batch` frames are: `encode` will happily serialize
+    /// one, but no hash function here produces it, so on the wire it
+    /// can only mean a malformed manifest.
+    fn hash(&mut self) -> Result<[u8; 32]> {
+        self.need(32)?;
+        let mut h = [0u8; 32];
+        h.copy_from_slice(&self.buf[self.pos..self.pos + 32]);
+        self.pos += 32;
+        if h == [0u8; 32] {
+            return Err(Error::Codec("null content hash in manifest".into()));
+        }
+        Ok(h)
+    }
+
+    fn chunk_class(&mut self) -> Result<ChunkClass> {
+        let b = self.u8()?;
+        ChunkClass::from_number(b).ok_or_else(|| Error::Codec(format!("bad chunk class {b}")))
+    }
 }
 
 mod tag {
@@ -778,6 +874,9 @@ mod tag {
     pub const DELETE_STATE: u8 = 29;
     pub const DELETE_ACK: u8 = 30;
     pub const BATCH: u8 = 31;
+    pub const CHUNK_REF: u8 = 32;
+    pub const CHUNK_NEED: u8 = 33;
+    pub const CHUNK_BODY: u8 = 34;
 }
 
 /// Encode a message body (no length prefix).
@@ -973,6 +1072,26 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.u64(op.0);
             w.u32(*restored);
         }
+        Message::ChunkRef { op, class, key, hash } => {
+            w.u8(tag::CHUNK_REF);
+            w.u64(op.0);
+            w.u8(class.number());
+            w.hfl(key);
+            w.hash(hash);
+        }
+        Message::ChunkNeed { op, hash } => {
+            w.u8(tag::CHUNK_NEED);
+            w.u64(op.0);
+            w.hash(hash);
+        }
+        Message::ChunkBody { op, class, key, hash, data } => {
+            w.u8(tag::CHUNK_BODY);
+            w.u64(op.0);
+            w.u8(class.number());
+            w.hfl(key);
+            w.hash(hash);
+            w.bytes(data.as_wire());
+        }
         Message::Batch { msgs } => {
             w.u8(tag::BATCH);
             w.u32(msgs.len() as u32);
@@ -1122,6 +1241,12 @@ pub fn encoded_len(msg: &Message) -> usize {
             }
         },
         Message::ErrorMsg { error, .. } => 1 + 8 + error_len(error),
+        // tag + op + class byte + key + 32-byte hash (+ body blob).
+        Message::ChunkRef { key, .. } => 1 + 8 + 1 + hfl_len(key) + 32,
+        Message::ChunkNeed { .. } => 1 + 8 + 32,
+        Message::ChunkBody { key, data, .. } => {
+            1 + 8 + 1 + hfl_len(key) + 32 + blob_len(data.len())
+        }
         Message::Batch { msgs } => {
             1 + 4 + msgs.iter().map(|m| blob_len(encoded_len(m))).sum::<usize>()
         }
@@ -1267,6 +1392,27 @@ fn decode_with(mut r: Reader<'_>) -> Result<Message> {
             Message::DeleteState { op, puts }
         }
         tag::DELETE_ACK => Message::DeleteAck { op: OpId(r.u64()?), restored: r.u32()? },
+        tag::CHUNK_REF => Message::ChunkRef {
+            op: OpId(r.u64()?),
+            class: r.chunk_class()?,
+            key: r.hfl()?,
+            hash: r.hash()?,
+        },
+        tag::CHUNK_NEED => Message::ChunkNeed { op: OpId(r.u64()?), hash: r.hash()? },
+        tag::CHUNK_BODY => {
+            let op = OpId(r.u64()?);
+            let class = r.chunk_class()?;
+            let key = r.hfl()?;
+            let hash = r.hash()?;
+            let data = EncryptedChunk::from_wire(r.bytes_shared()?);
+            if data.is_empty() {
+                // A body message with no body is as malformed as a
+                // nested batch: refs exist precisely so empty re-sends
+                // never happen.
+                return Err(Error::Codec("empty chunk body".into()));
+            }
+            Message::ChunkBody { op, class, key, hash, data }
+        }
         tag::BATCH => {
             let n = r.u32()? as usize;
             if n > MAX_MESSAGE / 8 {
@@ -1399,6 +1545,93 @@ mod tests {
         let enc = encode(&outer);
         let err = decode(&enc).unwrap_err();
         assert!(matches!(err, Error::Codec(ref why) if why.contains("nested")), "{err:?}");
+    }
+
+    #[test]
+    fn roundtrip_content_addressed_variants() {
+        let key = VendorKey::derive("t");
+        let body = EncryptedChunk::seal(&key, 3, b"cached bytes");
+        let mut hash = [0u8; 32];
+        hash[0] = 0xaa;
+        hash[31] = 0x55;
+        for class in [ChunkClass::Support, ChunkClass::Report] {
+            roundtrip(Message::ChunkRef {
+                op: OpId(40),
+                class,
+                key: HeaderFieldList::exact(fk()),
+                hash,
+            });
+            roundtrip(Message::ChunkBody {
+                op: OpId(41),
+                class,
+                key: HeaderFieldList::exact(fk()),
+                hash,
+                data: body.clone(),
+            });
+        }
+        roundtrip(Message::ChunkNeed { op: OpId(42), hash });
+        // Manifests coalesce like any other southbound traffic.
+        roundtrip(Message::Batch {
+            msgs: vec![
+                Message::ChunkRef {
+                    op: OpId(43),
+                    class: ChunkClass::Support,
+                    key: HeaderFieldList::exact(fk()),
+                    hash,
+                },
+                Message::ChunkNeed { op: OpId(44), hash },
+            ],
+        });
+    }
+
+    /// Malformed manifest frames are refused at decode, the same policy
+    /// as nested `Batch`: `encode` serializes them, `decode` is the gate.
+    #[test]
+    fn malformed_manifest_frames_are_rejected() {
+        let body = EncryptedChunk::seal(&VendorKey::derive("t"), 1, b"x");
+        // Null content hash on each of the three variants.
+        for m in [
+            Message::ChunkRef {
+                op: OpId(1),
+                class: ChunkClass::Support,
+                key: HeaderFieldList::exact(fk()),
+                hash: [0u8; 32],
+            },
+            Message::ChunkNeed { op: OpId(2), hash: [0u8; 32] },
+            Message::ChunkBody {
+                op: OpId(3),
+                class: ChunkClass::Report,
+                key: HeaderFieldList::exact(fk()),
+                hash: [0u8; 32],
+                data: body.clone(),
+            },
+        ] {
+            let err = decode(&encode(&m)).unwrap_err();
+            assert!(matches!(err, Error::Codec(ref why) if why.contains("null")), "{err:?}");
+        }
+        // Empty body blob.
+        let mut hash = [0u8; 32];
+        hash[4] = 9;
+        let empty = Message::ChunkBody {
+            op: OpId(4),
+            class: ChunkClass::Support,
+            key: HeaderFieldList::exact(fk()),
+            hash,
+            data: EncryptedChunk::from_wire(Vec::new()),
+        };
+        let err = decode(&encode(&empty)).unwrap_err();
+        assert!(matches!(err, Error::Codec(ref why) if why.contains("empty")), "{err:?}");
+        // Unknown class byte: corrupt the encoded class in place.
+        let ok = Message::ChunkRef {
+            op: OpId(5),
+            class: ChunkClass::Support,
+            key: HeaderFieldList::exact(fk()),
+            hash,
+        };
+        let mut enc = encode(&ok);
+        enc[9] = 7; // tag(1) + op(8), then the class byte
+        let err = decode(&enc).unwrap_err();
+        assert!(matches!(err, Error::Codec(ref why) if why.contains("chunk class")), "{err:?}");
     }
 
     #[test]
@@ -1598,9 +1831,28 @@ mod tests {
             }
         }
 
-        /// One randomized message of the variant at `idx` (0..=30 covers
+        /// Content hashes are never all-zero on the wire (decode rejects
+        /// the null hash), so the generator forces one nonzero byte.
+        pub fn hash(rng: &mut TestRng) -> [u8; 32] {
+            let mut h = [0u8; 32];
+            for chunk in h.chunks_mut(8) {
+                chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+            }
+            h[0] |= 1;
+            h
+        }
+
+        pub fn chunk_class(rng: &mut TestRng) -> ChunkClass {
+            if rng.below(2) == 0 {
+                ChunkClass::Support
+            } else {
+                ChunkClass::Report
+            }
+        }
+
+        /// One randomized message of the variant at `idx` (0..=33 covers
         /// the whole enum; keep in sync with `Message`).
-        pub const VARIANTS: u64 = 31;
+        pub const VARIANTS: u64 = 34;
         pub fn message(rng: &mut TestRng, idx: u64) -> Message {
             let op = OpId(rng.next_u64());
             match idx {
@@ -1658,12 +1910,26 @@ mod tests {
                     puts: (0..rng.below(6)).map(|_| OpId(rng.next_u64())).collect(),
                 },
                 29 => Message::DeleteAck { op, restored: rng.next_u64() as u32 },
+                30 => Message::ChunkRef {
+                    op,
+                    class: chunk_class(rng),
+                    key: hfl(rng),
+                    hash: hash(rng),
+                },
+                31 => Message::ChunkNeed { op, hash: hash(rng) },
+                32 => Message::ChunkBody {
+                    op,
+                    class: chunk_class(rng),
+                    key: hfl(rng),
+                    hash: hash(rng),
+                    data: shared_chunk(rng),
+                },
                 // Batch: 0..=3 inner messages drawn from the non-batch
                 // variants (nesting is rejected by the codec).
                 _ => Message::Batch {
                     msgs: (0..rng.below(4))
                         .map(|_| {
-                            let inner = rng.below(29);
+                            let inner = rng.below(33);
                             message(rng, inner)
                         })
                         .collect(),
