@@ -333,3 +333,83 @@ pub fn re_scenario(
         dec_b_id: DEC_B_ID,
     }
 }
+
+/// Node handles for the K-pair concurrent-transfer scenario.
+pub struct MultiPairSetup {
+    pub sim: Sim,
+    pub controller: NodeId,
+    /// `(src node, dst node, src mb id, dst mb id)` per pair, in pair
+    /// order.
+    pub pairs: Vec<(NodeId, NodeId, MbId, MbId)>,
+}
+
+/// Fixed layout for [`multi_pair_scenario`]: ids are derivable from the
+/// pair index alone, so apps and fault plans can be built before the
+/// simulation exists.
+pub mod multi_layout {
+    use openmb_types::{MbId, NodeId};
+    pub const CONTROLLER: NodeId = NodeId(0);
+    pub const fn src_node(pair: u32) -> NodeId {
+        NodeId(1 + 2 * pair)
+    }
+    pub const fn dst_node(pair: u32) -> NodeId {
+        NodeId(2 + 2 * pair)
+    }
+    pub const fn src_mb(pair: u32) -> MbId {
+        MbId(2 * pair)
+    }
+    pub const fn dst_mb(pair: u32) -> MbId {
+        MbId(2 * pair + 1)
+    }
+}
+
+/// Build a control-plane-only scenario with `pairs` disjoint
+/// source/destination middlebox pairs hanging off one controller:
+///
+/// ```text
+///              controller (+app)
+///        /   |   |   |   ...   \
+///     src0 dst0 src1 dst1 ... dst(K-1)
+/// ```
+///
+/// No switch and no data plane: transfer choreographies are pure
+/// control-plane exchanges, and endpoints are preloaded through their
+/// logic before construction. `mk_pair(i)` builds pair `i`'s
+/// `(source, destination)` logic; `config` reaches the controller as-is
+/// (set `shards` here to exercise the sharded core).
+pub fn multi_pair_scenario<M: Middlebox + 'static>(
+    mut mk_pair: impl FnMut(usize) -> (M, M),
+    pairs: usize,
+    config: ControllerConfig,
+    app: Box<dyn ControlApp>,
+    params: ScenarioParams,
+) -> MultiPairSetup {
+    use multi_layout::*;
+    let mut sim = Sim::new();
+
+    let mut controller = ControllerNode::new(config, params.controller_costs, app);
+    controller.topo.add_element(CONTROLLER, ElementKind::Host);
+    for i in 0..pairs as u32 {
+        for n in [src_node(i), dst_node(i)] {
+            controller.register_mb(n);
+            controller.topo.add_element(n, ElementKind::Middlebox);
+            controller.topo.add_link(CONTROLLER, n);
+        }
+    }
+    assert_eq!(sim.add_node(Box::new(controller)), CONTROLLER);
+
+    let mut out_pairs = Vec::with_capacity(pairs);
+    for i in 0..pairs as u32 {
+        let (src_logic, dst_logic) = mk_pair(i as usize);
+        let s = MbNode::new(format!("src{i}"), src_logic).with_controller(CONTROLLER);
+        assert_eq!(sim.add_node(Box::new(s)), src_node(i));
+        let d = MbNode::new(format!("dst{i}"), dst_logic).with_controller(CONTROLLER);
+        assert_eq!(sim.add_node(Box::new(d)), dst_node(i));
+        for n in [src_node(i), dst_node(i)] {
+            sim.add_link(CONTROLLER, n, params.control_latency, 1_000_000_000);
+        }
+        out_pairs.push((src_node(i), dst_node(i), src_mb(i), dst_mb(i)));
+    }
+
+    MultiPairSetup { sim, controller: CONTROLLER, pairs: out_pairs }
+}

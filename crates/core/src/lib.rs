@@ -2,11 +2,15 @@
 //!
 //! The OpenMB MB controller (§5 of the paper) and its embeddings.
 //!
-//! * [`controller::ControllerCore`] — the pure controller state machine:
+//! * [`controller::ControllerCore`] — the sharded controller facade:
 //!   northbound operations (`readConfig`, `writeConfig`, `stats`,
-//!   `moveInternal`, `cloneSupport`, `mergeInternal`), Figure 5
-//!   choreography, per-key reprocess-event buffering, quiescence-driven
-//!   deletes.
+//!   `moveInternal`, `cloneSupport`, `mergeInternal`) admitted onto
+//!   flowspace shards by the [`router::ShardRouter`] conflict detector.
+//! * [`shard::ControllerShard`] — one shard's pure state machine:
+//!   Figure 5 choreography, per-key reprocess-event buffering,
+//!   quiescence-driven deletes, per-shard transfer/delete ledgers.
+//! * [`parallel::ShardedController`] — the same facade behind per-shard
+//!   locks, so OS threads drive disjoint shards concurrently.
 //! * [`app`] — the control-application trait and the [`app::Api`] that
 //!   unifies MB-state control with SDN routing updates and timers.
 //! * [`nodes`] — discrete-event-simulation embeddings: [`nodes::MbNode`]
@@ -19,8 +23,14 @@
 pub mod app;
 pub mod controller;
 pub mod nodes;
+pub mod parallel;
+pub mod router;
+pub mod shard;
 pub mod tcp;
 
 pub use app::{Api, ApiCtx, ControlApp, NullApp};
 pub use controller::{Action, Completion, ControllerConfig, ControllerCore};
 pub use nodes::{ControllerCosts, ControllerNode, Host, MbNode};
+pub use parallel::ShardedController;
+pub use router::{Route, ShardRouter};
+pub use shard::ControllerShard;

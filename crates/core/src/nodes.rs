@@ -489,11 +489,7 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                 // `Handled` span (keyed by its own sub-op id) and is
                 // costed as its own work item — only the wire framing
                 // is shared.
-                let msgs = match msg {
-                    Message::Batch { msgs } => msgs,
-                    m => vec![m],
-                };
-                for msg in msgs {
+                msg.for_each_unbatched(|msg| {
                     // One `Handled` span per southbound request, keyed by
                     // the wire message's sub-op id: the controller records
                     // the same id as the `sub` of its parent op, so one op
@@ -585,7 +581,7 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
                             self.queue.push_back(Work::Msg(other));
                         }
                     }
-                }
+                });
             }
             Frame::Sdn(_) => panic!("SDN frame delivered to middlebox {}", self.label),
         }
@@ -683,8 +679,12 @@ impl Default for ControllerCosts {
     }
 }
 
-const TIMER_CTRL_WORK: u64 = 2;
 const TIMER_QUIESCE: u64 = 3;
+/// Timer tokens `TIMER_CTRL_WORK_BASE + s` complete the message in
+/// service on controller shard `s` — each shard is its own modeled
+/// server with its own queue and busy flag, which is where the
+/// multi-op speedup comes from in virtual time.
+const TIMER_CTRL_WORK_BASE: u64 = 16;
 /// App timer tokens are offset to avoid collisions.
 pub const APP_TIMER_BASE: u64 = 1 << 32;
 
@@ -699,9 +699,16 @@ pub struct ControllerNode {
     /// mb handle -> node id of the MbNode.
     mb_nodes: Vec<NodeId>,
     costs: ControllerCosts,
-    /// Message work queue (controller is a single event loop).
-    queue: VecDeque<(MbId, Message)>,
-    busy: bool,
+    /// Per-shard message work queues: the controller models one event
+    /// loop (server) per shard, so messages for disjoint ops are
+    /// serviced concurrently in virtual time.
+    queues: Vec<VecDeque<(MbId, Message)>>,
+    busy: Vec<bool>,
+    /// Highest depth each shard queue has reached (exported as the
+    /// `ctrl.shard<N>.queue_depth_peak` gauge).
+    pub queue_depth_peak: Vec<usize>,
+    /// Gauge names, formatted once so the hot path never allocates.
+    shard_gauges: Vec<String>,
     quiesce_timer_set: bool,
     started: bool,
     /// Completions delivered, with their virtual times (post-run
@@ -723,14 +730,18 @@ pub struct ControllerNode {
 impl ControllerNode {
     /// Build a controller hosting `app`.
     pub fn new(config: ControllerConfig, costs: ControllerCosts, app: Box<dyn ControlApp>) -> Self {
+        let core = ControllerCore::new(config);
+        let n = core.num_shards();
         ControllerNode {
-            core: ControllerCore::new(config),
+            core,
             topo: Topology::new(),
             app,
             mb_nodes: Vec::new(),
             costs,
-            queue: VecDeque::new(),
-            busy: false,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            busy: vec![false; n],
+            queue_depth_peak: vec![0; n],
+            shard_gauges: (0..n).map(|s| format!("ctrl.shard{s}.queue_depth_peak")).collect(),
             quiesce_timer_set: false,
             started: false,
             completions: Vec::new(),
@@ -878,11 +889,26 @@ impl ControllerNode {
         }
     }
 
-    fn pump(&mut self, ctx: &mut Ctx<'_>) {
-        if self.busy {
+    /// Enqueue one southbound message onto its owning shard's queue.
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, mb: MbId, msg: Message) {
+        let s = self.core.shard_of_message(mb, &msg);
+        self.queues[s].push_back((mb, msg));
+        if self.queues[s].len() > self.queue_depth_peak[s] {
+            self.queue_depth_peak[s] = self.queues[s].len();
+            ctx.metrics
+                .registry_mut()
+                .set_gauge(&self.shard_gauges[s], self.queue_depth_peak[s] as f64);
+        }
+    }
+
+    /// Start service on shard `s` if it is idle and has queued work.
+    /// Each shard is an independent modeled server: its own queue, its
+    /// own busy flag, its own completion timer.
+    fn pump_shard(&mut self, ctx: &mut Ctx<'_>, s: usize) {
+        if self.busy[s] {
             return;
         }
-        if let Some((_, msg)) = self.queue.front() {
+        if let Some((_, msg)) = self.queues[s].front() {
             let mut d = self.costs.per_message;
             match msg {
                 Message::Chunk { chunk, .. } => {
@@ -898,8 +924,14 @@ impl ControllerNode {
                 Message::EventMsg { .. } => d = d + self.costs.per_event,
                 _ => {}
             }
-            self.busy = true;
-            ctx.set_timer(d, TIMER_CTRL_WORK);
+            self.busy[s] = true;
+            ctx.set_timer(d, TIMER_CTRL_WORK_BASE + s as u64);
+        }
+    }
+
+    fn pump_all(&mut self, ctx: &mut Ctx<'_>) {
+        for s in 0..self.queues.len() {
+            self.pump_shard(ctx, s);
         }
     }
 
@@ -951,16 +983,9 @@ impl Node for ControllerNode {
                 let mb = self.mb_of(from).unwrap_or(MbId(u32::MAX));
                 // A batched frame shares one wire frame but not one
                 // work item: flatten it so each inner message is priced
-                // by `pump`'s cost model individually.
-                match msg {
-                    Message::Batch { msgs } => {
-                        for m in msgs {
-                            self.queue.push_back((mb, m));
-                        }
-                    }
-                    m => self.queue.push_back((mb, m)),
-                }
-                self.pump(ctx);
+                // individually and routed to its own op's shard queue.
+                msg.for_each_unbatched(|m| self.enqueue(ctx, mb, m));
+                self.pump_all(ctx);
             }
             Frame::Sdn(SdnMessage::BarrierReply { .. }) => {
                 // Barriers are currently fire-and-forget confirmations.
@@ -977,14 +1002,16 @@ impl Node for ControllerNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         self.drain_unreachable(ctx);
-        if token == TIMER_CTRL_WORK {
-            self.busy = false;
-            if let Some((mb, msg)) = self.queue.pop_front() {
+        if (TIMER_CTRL_WORK_BASE..TIMER_CTRL_WORK_BASE + self.queues.len() as u64).contains(&token)
+        {
+            let s = (token - TIMER_CTRL_WORK_BASE) as usize;
+            self.busy[s] = false;
+            if let Some((mb, msg)) = self.queues[s].pop_front() {
                 let mut actions = Vec::new();
                 self.core.handle_mb_message(mb, msg, ctx.now(), &mut actions);
                 self.dispatch_actions(ctx, actions);
             }
-            self.pump(ctx);
+            self.pump_shard(ctx, s);
         } else if token == TIMER_QUIESCE {
             self.quiesce_timer_set = false;
             let mut actions = Vec::new();
@@ -1000,10 +1027,12 @@ impl Node for ControllerNode {
 
     fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
         // Volatile runtime dies with the process either way: queued
-        // messages, the in-service one, and every armed timer (the
+        // messages, the in-service ones, and every armed timer (the
         // engine discards timers addressed to a crashed node).
-        self.queue.clear();
-        self.busy = false;
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.busy.iter_mut().for_each(|b| *b = false);
         self.quiesce_timer_set = false;
         self.pending_unreachable.clear();
         self.pending_reachable.clear();
@@ -1014,8 +1043,13 @@ impl Node for ControllerNode {
                 // leaked MB-side sync windows only close when their
                 // quiescence timeouts fire). MB handles index
                 // `mb_nodes`, so the fresh core re-registers the same
-                // count to keep them valid.
-                let mut fresh = ControllerCore::new(self.core.config);
+                // count to keep them valid. The shard count is pinned
+                // to the queue fan-out sized at construction — a
+                // post-construction `config.shards` mutation must not
+                // desynchronize the two.
+                let mut config = self.core.config;
+                config.shards = self.queues.len() as u32;
+                let mut fresh = ControllerCore::new(config);
                 for _ in 0..self.mb_nodes.len() {
                     fresh.register_mb();
                 }
@@ -1034,7 +1068,7 @@ impl Node for ControllerNode {
         // in-flight operations to resume (stall detection) or abort
         // (deadline); nothing is queued yet, so pump is a no-op until
         // the next frame lands.
-        self.pump(ctx);
+        self.pump_all(ctx);
         self.arm_quiesce(ctx);
     }
 

@@ -8,8 +8,9 @@
 //!
 //! * [`serve_middlebox`] — serves any [`Middlebox`]'s southbound
 //!   protocol over a [`Transport`] (one thread per MB, like the paper).
-//! * [`TcpController`] — hosts a [`ControllerCore`], pumps all MB
-//!   transports, and exposes *blocking* northbound calls
+//! * [`TcpController`] — hosts a [`ShardedController`] (the sharded
+//!   core behind per-shard locks), pumps all MB transports, and
+//!   exposes *blocking* northbound calls
 //!   ([`TcpController::move_internal`], ...) that wait for the matching
 //!   completion.
 //!
@@ -32,7 +33,8 @@ use openmb_types::transport::Transport;
 use openmb_types::wire::Message;
 use openmb_types::{Error, MbId, OpId, Result};
 
-use crate::controller::{Action, Completion, ControllerConfig, ControllerCore};
+use crate::controller::{Action, Completion, ControllerConfig};
+use crate::parallel::ShardedController;
 
 /// Serve a middlebox's southbound protocol over `transport` until the
 /// peer disconnects or `stop` is raised. `now()` supplies timestamps for
@@ -134,7 +136,10 @@ pub struct TcpController {
 }
 
 struct Inner {
-    core: Mutex<ControllerCore>,
+    /// The sharded core behind per-shard locks: the pump thread and
+    /// blocking northbound callers contend only when they touch the
+    /// same shard.
+    core: ShardedController,
     transports: Mutex<Vec<Arc<dyn Transport + Sync>>>,
     /// Per-MB "connection lost" flags, parallel to `transports`. Set by
     /// the pump loop on a reset/EOF; cleared by
@@ -155,7 +160,7 @@ impl TcpController {
         let (tx, rx) = unbounded();
         TcpController {
             inner: Arc::new(Inner {
-                core: Mutex::new(ControllerCore::new(config)),
+                core: ShardedController::new(config),
                 transports: Mutex::new(Vec::new()),
                 dead: Mutex::new(Vec::new()),
                 completions_tx: tx,
@@ -169,7 +174,7 @@ impl TcpController {
 
     /// Register a middlebox reachable over `transport`.
     pub fn register_mb(&self, transport: Arc<dyn Transport + Sync>) -> MbId {
-        let id = self.inner.core.lock().register_mb();
+        let id = self.inner.core.register_mb();
         self.inner.transports.lock().push(transport);
         self.inner.dead.lock().push(false);
         id
@@ -195,18 +200,8 @@ impl TcpController {
                 dead[idx] = false;
             }
         }
-        let mut actions = Vec::new();
-        {
-            let mut core = self.inner.core.lock();
-            core.recorder().record(
-                self.now().0,
-                core.recorder_tag(),
-                None,
-                None,
-                SpanEvent::TransportReattached,
-            );
-            core.mark_reachable(mb, self.now(), &mut actions);
-        }
+        self.inner.core.record(self.now().0, None, None, SpanEvent::TransportReattached);
+        let actions = self.inner.core.mark_reachable(mb, self.now());
         self.inner.execute(actions);
     }
 
@@ -216,12 +211,12 @@ impl TcpController {
     /// controller's start instant, so they sort against the MB side's
     /// recorder when both share one recorder over loopback.
     pub fn set_recorder(&self, rec: Recorder) {
-        self.inner.core.lock().set_recorder(rec);
+        self.inner.core.set_recorder(rec);
     }
 
     /// The hosted core's flight recorder handle (disabled by default).
     pub fn recorder(&self) -> Recorder {
-        self.inner.core.lock().recorder().clone()
+        self.inner.core.recorder()
     }
 
     /// Start the pump thread (poll transports, drive the core).
@@ -234,15 +229,7 @@ impl TcpController {
         SimTime(self.inner.start.elapsed().as_nanos() as u64)
     }
 
-    fn issue<F>(&self, f: F) -> OpId
-    where
-        F: FnOnce(&mut ControllerCore, SimTime, &mut Vec<Action>) -> OpId,
-    {
-        let mut actions = Vec::new();
-        let op = {
-            let mut core = self.inner.core.lock();
-            f(&mut core, self.now(), &mut actions)
-        };
+    fn issue(&self, (op, actions): (OpId, Vec<Action>)) -> OpId {
         self.inner.execute(actions);
         op
     }
@@ -255,26 +242,26 @@ impl TcpController {
         key: openmb_types::HeaderFieldList,
         timeout: Duration,
     ) -> Result<Completion> {
-        let op = self.issue(|c, now, out| c.move_internal(src, dst, key, now, out));
+        let op = self.issue(self.inner.core.move_internal(src, dst, key, self.now()));
         self.wait_for(op, timeout)
     }
 
     /// Blocking `cloneSupport`.
     pub fn clone_support(&self, src: MbId, dst: MbId, timeout: Duration) -> Result<Completion> {
-        let op = self.issue(|c, now, out| c.clone_support(src, dst, now, out));
+        let op = self.issue(self.inner.core.clone_support(src, dst, self.now()));
         self.wait_for(op, timeout)
     }
 
     /// Blocking `mergeInternal`.
     pub fn merge_internal(&self, src: MbId, dst: MbId, timeout: Duration) -> Result<Completion> {
-        let op = self.issue(|c, now, out| c.merge_internal(src, dst, now, out));
+        let op = self.issue(self.inner.core.merge_internal(src, dst, self.now()));
         self.wait_for(op, timeout)
     }
 
     /// Blocking `readConfig`.
     pub fn read_config(&self, src: MbId, key: &str, timeout: Duration) -> Result<Completion> {
         let key = openmb_types::HierarchicalKey::parse(key);
-        let op = self.issue(|c, now, out| c.read_config(src, key, now, out));
+        let op = self.issue(self.inner.core.read_config(src, key, self.now()));
         self.wait_for(op, timeout)
     }
 
@@ -287,7 +274,7 @@ impl TcpController {
         timeout: Duration,
     ) -> Result<Completion> {
         let key = openmb_types::HierarchicalKey::parse(key);
-        let op = self.issue(|c, now, out| c.write_config(dst, key, values, now, out));
+        let op = self.issue(self.inner.core.write_config(dst, key, values, self.now()));
         self.wait_for(op, timeout)
     }
 
@@ -298,7 +285,7 @@ impl TcpController {
         key: openmb_types::HeaderFieldList,
         timeout: Duration,
     ) -> Result<Completion> {
-        let op = self.issue(|c, now, out| c.stats(src, key, now, out));
+        let op = self.issue(self.inner.core.stats(src, key, self.now()));
         self.wait_for(op, timeout)
     }
 
@@ -353,15 +340,12 @@ impl Inner {
             let msg = if msgs.len() == 1 {
                 msgs.pop().expect("len 1")
             } else {
-                let core = self.core.lock();
-                core.recorder().record(
+                self.core.record(
                     self.start.elapsed().as_nanos() as u64,
-                    core.recorder_tag(),
                     None,
                     msgs[0].op_id().map(|o| o.0),
                     SpanEvent::BatchFlushed { count: msgs.len() as u32 },
                 );
-                drop(core);
                 Message::Batch { msgs }
             };
             let transports = self.transports.lock();
@@ -401,13 +385,7 @@ impl Inner {
                         Ok(Some(msg)) => {
                             idle = false;
                             let now = SimTime(self.start.elapsed().as_nanos() as u64);
-                            let mut actions = Vec::new();
-                            self.core.lock().handle_mb_message(
-                                MbId(i as u32),
-                                msg,
-                                now,
-                                &mut actions,
-                            );
+                            let actions = self.core.handle_mb_message(MbId(i as u32), msg, now);
                             self.execute(actions);
                         }
                         Ok(None) => break,
@@ -418,17 +396,8 @@ impl Inner {
                             // the sim harness reports link failures.
                             self.dead.lock()[i] = true;
                             let now = SimTime(self.start.elapsed().as_nanos() as u64);
-                            let mut actions = Vec::new();
-                            let mut core = self.core.lock();
-                            core.recorder().record(
-                                now.0,
-                                core.recorder_tag(),
-                                None,
-                                None,
-                                SpanEvent::TransportReset,
-                            );
-                            core.mark_unreachable(MbId(i as u32), now, &mut actions);
-                            drop(core);
+                            self.core.record(now.0, None, None, SpanEvent::TransportReset);
+                            let actions = self.core.mark_unreachable(MbId(i as u32), now);
                             self.execute(actions);
                             break;
                         }
@@ -438,8 +407,7 @@ impl Inner {
             if last_tick.elapsed() > Duration::from_millis(25) {
                 last_tick = Instant::now();
                 let now = SimTime(self.start.elapsed().as_nanos() as u64);
-                let mut actions = Vec::new();
-                self.core.lock().tick(now, &mut actions);
+                let actions = self.core.tick(now);
                 self.execute(actions);
             }
             if idle {

@@ -44,17 +44,17 @@ use crate::common::preload_flow;
 use crate::report::Table;
 
 /// Per-flow pieces preloaded at the source before the op starts.
-const PRELOAD: usize = 60;
+pub(crate) const PRELOAD: usize = 60;
 /// The op triggers here; fault rules activate from the same instant.
-const OP_AT_MS: u64 = 100;
+pub(crate) const OP_AT_MS: u64 = 100;
 /// Normal fault windows close here; the op deadline (4 s) is far past.
 const WINDOW_END_MS: u64 = 700;
 /// Transfer window for every conformance run — deliberately tight (the
 /// preload yields ~2×PRELOAD chunks per move) so the queue/refill path
 /// runs under every fault schedule, not just at scale.
-const CONF_WINDOW: u32 = 4;
+pub(crate) const CONF_WINDOW: u32 = 4;
 
-fn ms(v: u64) -> SimTime {
+pub(crate) fn ms(v: u64) -> SimTime {
     SimTime(v * 1_000_000)
 }
 
@@ -96,27 +96,27 @@ pub const ALL_OPS: [ConfOp; 3] = [ConfOp::Move, ConfOp::Clone, ConfOp::Merge];
 /// Private splitmix64 stream for schedule generation. The plan's own
 /// rule RNGs are seeded separately, so generation draws never perturb
 /// in-run fault draws.
-struct Rng(u64);
+pub(crate) struct Rng(u64);
 
 impl Rng {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Rng(seed ^ 0x5851_F42D_4C95_7F2D)
     }
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
-    fn below(&mut self, n: u64) -> u64 {
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
         self.next() % n
     }
     /// Uniform in `[0, 1)`.
-    fn f64(&mut self) -> f64 {
+    pub(crate) fn f64(&mut self) -> f64 {
         (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
-    fn chance(&mut self, percent: u64) -> bool {
+    pub(crate) fn chance(&mut self, percent: u64) -> bool {
         self.below(100) < percent
     }
 }
@@ -276,7 +276,7 @@ impl ControlApp for OneShotOp {
 /// per-flow and (type-permitting) shared state before the op. Payload
 /// bytes vary per flow so content-addressed types (RE, proxy) build
 /// non-trivial caches.
-fn preload<M: Middlebox>(mb: &mut M, n: usize) {
+pub(crate) fn preload<M: Middlebox>(mb: &mut M, n: usize) {
     let mut fx = Effects::normal();
     for i in 0..n {
         let pkt = Packet::new(i as u64 + 1, preload_flow(i), vec![(i % 251) as u8; 120]);
@@ -289,7 +289,7 @@ fn preload<M: Middlebox>(mb: &mut M, n: usize) {
 /// performed (a duplicated shared-state GET advances the counter without
 /// changing state). Recoding through a fresh instance — restore, then
 /// re-snapshot — normalizes the nonces so equal state means equal bytes.
-fn canonical_shared<M: Middlebox>(
+pub(crate) fn canonical_shared<M: Middlebox>(
     mk: &mut impl FnMut() -> M,
     snap: SharedSnapshot,
 ) -> SharedSnapshot {

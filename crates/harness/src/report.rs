@@ -77,13 +77,20 @@ impl std::fmt::Display for Table {
 pub fn op_timeline(dump: &RecorderDump, op: u64) -> Table {
     let subs: std::collections::BTreeSet<u64> =
         dump.events.iter().filter(|e| e.op == Some(op)).filter_map(|e| e.sub).collect();
-    let selected: Vec<_> = dump
+    let mut selected: Vec<_> = dump
         .events
         .iter()
         .filter(|e| {
             e.op == Some(op) || (e.op.is_none() && e.sub.is_some_and(|s| subs.contains(&s)))
         })
         .collect();
+    // The dump is in *recording* order, which is only time-ordered per
+    // recording thread: a recorder shared across nodes (TCP loopback)
+    // or across controller shards interleaves out of order. Re-sort by
+    // (time, op-level before sub-level, sub id); the sort is stable, so
+    // events identical in all three keys keep their recording order —
+    // byte-identical output on replay.
+    selected.sort_by_key(|e| (e.t_ns, e.op.is_none(), e.sub.unwrap_or(0)));
 
     let mut nodes: Vec<&str> = Vec::new();
     for e in &selected {
@@ -208,6 +215,40 @@ mod tests {
         assert!(s.contains("issued(moveInternal)"), "{s}");
         assert!(!s.contains("getStats"), "{s}");
         assert!(s.contains("evicted 3 event(s)"), "{s}");
+    }
+
+    #[test]
+    fn op_timeline_sorts_merged_cross_node_events() {
+        use openmb_simnet::obs::{SpanEvent, TimelineEvent};
+        let ev = |t_ns, node: &str, op, sub, event| TimelineEvent {
+            t_ns,
+            node: node.to_owned(),
+            op,
+            sub,
+            event,
+        };
+        // Recording order interleaves two nodes out of time order (the
+        // MB thread stamped earlier events but recorded them later),
+        // plus a same-instant pair where the parent-level event must
+        // precede the sub-level one, whatever order they recorded in.
+        let dump = RecorderDump {
+            events: vec![
+                ev(5_000_000, "controller", Some(7), Some(9), SpanEvent::ChunkAcked { seq: 2 }),
+                ev(1_000_000, "controller", Some(7), None, SpanEvent::Issued { kind: "move" }),
+                ev(3_000_000, "mb:b", None, Some(9), SpanEvent::Handled { msg: "put" }),
+                ev(3_000_000, "controller", Some(7), None, SpanEvent::ChunkAcked { seq: 1 }),
+                ev(2_000_000, "controller", Some(7), Some(9), SpanEvent::Issued { kind: "put" }),
+            ],
+            evicted: 0,
+            capacity: 16,
+        };
+        let t = op_timeline(&dump, 7);
+        let times: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(times, vec!["1.000", "2.000", "3.000", "3.000", "5.000"], "{t}");
+        // At t=3ms the op-level controller event sorts before the
+        // sub-correlated MB event.
+        assert_eq!(t.rows[2][1], "—", "{t}");
+        assert_eq!(t.rows[3][1], "9", "{t}");
     }
 
     #[test]

@@ -48,11 +48,11 @@ pub fn handle_southbound_recorded<M: Middlebox>(
     // A coalesced frame records one `Handled` per inner message, each
     // keyed by its own sub-op id, so per-op timelines stay correct
     // under batching.
-    if let Message::Batch { msgs } = msg {
+    if matches!(msg, Message::Batch { .. }) {
         let mut out = Vec::new();
-        for m in msgs {
+        msg.for_each_unbatched(|m| {
             out.extend(handle_southbound_recorded(mb, log, m, now, rec, tag));
-        }
+        });
         return out;
     }
     if rec.is_enabled() {
@@ -241,13 +241,13 @@ pub fn handle_southbound_logged<M: Middlebox>(
                 out.extend(apply_classed_put(mb, op, class, chunk));
             }
         }
-        Message::Batch { msgs } => {
+        batch @ Message::Batch { .. } => {
             // One frame, many requests: dispatch each in order. Replies
             // accumulate and the embedding decides whether to coalesce
             // them back into one frame.
-            for m in msgs {
+            batch.for_each_unbatched(|m| {
                 out.extend(handle_southbound_logged(mb, log, m, now));
-            }
+            });
         }
         // MB→controller messages are not requests.
         _ => {}

@@ -62,6 +62,9 @@ pub enum SpanEvent {
     /// Several same-destination messages were coalesced into one
     /// southbound `Batch` frame before hitting the wire.
     BatchFlushed { count: u32 },
+    /// The shard router admitted the operation onto a controller shard
+    /// (`pinned` when a flowspace conflict overrode the hash placement).
+    OpRouted { shard: u32, pinned: bool },
 }
 
 impl fmt::Display for SpanEvent {
@@ -79,6 +82,9 @@ impl fmt::Display for SpanEvent {
             SpanEvent::TransportReattached => write!(f, "transport-reattached"),
             SpanEvent::FaultInjected { kind } => write!(f, "fault({kind})"),
             SpanEvent::BatchFlushed { count } => write!(f, "batch-flushed(count={count})"),
+            SpanEvent::OpRouted { shard, pinned } => {
+                write!(f, "routed(shard={shard}{})", if *pinned { ",pinned" } else { "" })
+            }
         }
     }
 }

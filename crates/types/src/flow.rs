@@ -167,6 +167,15 @@ impl IpPrefix {
     pub fn covers(&self, other: &IpPrefix) -> bool {
         self.len <= other.len && self.contains(other.addr)
     }
+
+    /// Do the two prefixes share at least one address? For prefixes this
+    /// is exactly "one covers the other": adjacent same-length prefixes
+    /// (10.0.0.0/24 vs 10.0.1.0/24) are disjoint even though their
+    /// address ranges touch, and that holds across the 255.255.255.255 →
+    /// 0.0.0.0 wrap because prefixes never wrap.
+    pub fn overlaps(&self, other: &IpPrefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
 }
 
 impl std::fmt::Display for IpPrefix {
@@ -311,6 +320,46 @@ impl HeaderFieldList {
                 (Some(_), None) => false,
             }
     }
+
+    /// The same pattern viewed from the opposite direction (source and
+    /// destination constraints swapped), mirroring [`FlowKey::reversed`].
+    pub fn reversed(&self) -> Self {
+        HeaderFieldList {
+            nw_src: self.nw_dst,
+            nw_dst: self.nw_src,
+            tp_src: self.tp_dst,
+            tp_dst: self.tp_src,
+            proto: self.proto,
+        }
+    }
+
+    /// Can any single flow be matched by both patterns (directionally)?
+    ///
+    /// Every field constrains independently, so the match sets intersect
+    /// iff each field's constraint sets intersect: prefixes intersect iff
+    /// one covers the other, and optional exact fields intersect iff
+    /// either side is a wildcard or both agree.
+    pub fn overlaps(&self, other: &HeaderFieldList) -> bool {
+        fn opt_overlaps<T: PartialEq>(a: Option<T>, b: Option<T>) -> bool {
+            match (a, b) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            }
+        }
+        self.nw_src.overlaps(&other.nw_src)
+            && self.nw_dst.overlaps(&other.nw_dst)
+            && opt_overlaps(self.tp_src, other.tp_src)
+            && opt_overlaps(self.tp_dst, other.tp_dst)
+            && opt_overlaps(self.proto, other.proto)
+    }
+
+    /// Direction-insensitive overlap: middleboxes key state by
+    /// [`FlowKey::canonical`], so two patterns can select the same state
+    /// chunk even when they only intersect after reversing one of them.
+    /// This is the conflict test the shard router uses.
+    pub fn overlaps_bidi(&self, other: &HeaderFieldList) -> bool {
+        self.overlaps(other) || self.overlaps(&other.reversed())
+    }
 }
 
 impl std::fmt::Display for HeaderFieldList {
@@ -416,5 +465,73 @@ mod tests {
         let any = HeaderFieldList::any();
         let exact = HeaderFieldList::exact(FlowKey::tcp(ip("1.1.1.5"), 99, ip("2.2.2.2"), 80));
         assert!(exact.wildcard_score() < any.wildcard_score());
+    }
+
+    #[test]
+    fn prefix_overlap_is_cover_either_way() {
+        let wide = IpPrefix::new(ip("10.0.0.0"), 16);
+        let narrow = IpPrefix::new(ip("10.0.1.0"), 24);
+        assert!(wide.overlaps(&narrow));
+        assert!(narrow.overlaps(&wide));
+        // Adjacent same-length prefixes touch but never share an address.
+        assert!(!IpPrefix::new(ip("10.0.0.0"), 24).overlaps(&IpPrefix::new(ip("10.0.1.0"), 24)));
+        // /0 overlaps everything, including itself.
+        assert!(IpPrefix::any().overlaps(&narrow));
+        assert!(IpPrefix::any().overlaps(&IpPrefix::any()));
+    }
+
+    #[test]
+    fn prefix_overlap_at_address_space_edges() {
+        // Prefixes at the top and bottom of the v4 space are adjacent
+        // only through the 255.255.255.255 → 0.0.0.0 wrap, which prefix
+        // ranges never cross: they must stay disjoint.
+        let top = IpPrefix::new(ip("255.255.255.0"), 24);
+        let bottom = IpPrefix::new(ip("0.0.0.0"), 24);
+        assert!(!top.overlaps(&bottom));
+        assert!(top.overlaps(&IpPrefix::new(ip("255.255.255.128"), 25)));
+    }
+
+    #[test]
+    fn hfl_overlap_requires_every_field_to_intersect() {
+        let a = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("10.0.0.0"), 24));
+        let b = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("10.0.1.0"), 24));
+        let cover = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("10.0.0.0"), 16));
+        assert!(!a.overlaps(&b), "adjacent subnets are disjoint");
+        assert!(a.overlaps(&cover) && b.overlaps(&cover));
+        // Same subnet, disjoint exact ports.
+        let http = HeaderFieldList { tp_dst: Some(80), ..a };
+        let tls = HeaderFieldList { tp_dst: Some(443), ..a };
+        assert!(!http.overlaps(&tls));
+        assert!(http.overlaps(&a), "wildcard port intersects an exact one");
+        // Disjoint protocols.
+        let tcp = HeaderFieldList { proto: Some(Proto::Tcp), ..a };
+        let udp = HeaderFieldList { proto: Some(Proto::Udp), ..a };
+        assert!(!tcp.overlaps(&udp));
+    }
+
+    #[test]
+    fn hfl_bidi_overlap_catches_reversed_patterns() {
+        // A pattern on traffic *from* a subnet and a pattern on traffic
+        // *to* the same subnet select the same canonical-keyed state.
+        let from = HeaderFieldList::from_src_subnet(IpPrefix::new(ip("10.7.0.0"), 16));
+        let to = HeaderFieldList::from_dst_subnet(IpPrefix::new(ip("10.7.0.0"), 16));
+        assert!(!from.overlaps(&to) || from.nw_dst.is_any());
+        assert!(from.overlaps_bidi(&to));
+        let elsewhere = HeaderFieldList::from_dst_subnet(IpPrefix::new(ip("10.8.0.0"), 16));
+        // Still overlaps: `from` leaves nw_dst wildcarded. Pin both ends
+        // to get true bidi disjointness.
+        assert!(from.overlaps_bidi(&elsewhere));
+        let pinned_a = HeaderFieldList {
+            nw_src: IpPrefix::new(ip("10.7.0.0"), 16),
+            nw_dst: IpPrefix::new(ip("10.7.0.0"), 16),
+            ..HeaderFieldList::any()
+        };
+        let pinned_b = HeaderFieldList {
+            nw_src: IpPrefix::new(ip("10.8.0.0"), 16),
+            nw_dst: IpPrefix::new(ip("10.8.0.0"), 16),
+            ..HeaderFieldList::any()
+        };
+        assert!(!pinned_a.overlaps_bidi(&pinned_b));
+        assert!(pinned_a.overlaps_bidi(&pinned_a.reversed()));
     }
 }

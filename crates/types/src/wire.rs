@@ -397,6 +397,35 @@ impl Message {
             Batch { .. } => "batch",
         }
     }
+
+    /// Unpack a received frame into the messages it carries: a
+    /// [`Message::Batch`] yields each inner message in order, anything
+    /// else yields itself once.
+    ///
+    /// This is *the* receive-side unpack loop — every embedding
+    /// (simulated controller and MB nodes, the TCP serve loops, the raw
+    /// southbound dispatcher) must act on the inner messages, never on
+    /// the `Batch` envelope, so they all funnel through here. Nested
+    /// batches are rejected at decode, so one level is all there is.
+    pub fn for_each_unbatched(self, mut f: impl FnMut(Message)) {
+        match self {
+            Message::Batch { msgs } => {
+                for m in msgs {
+                    f(m);
+                }
+            }
+            m => f(m),
+        }
+    }
+
+    /// Like [`Message::for_each_unbatched`], but materialized. Handy
+    /// when the inner messages must be counted or indexed before acting.
+    pub fn into_unbatched(self) -> Vec<Message> {
+        match self {
+            Message::Batch { msgs } => msgs,
+            m => vec![m],
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
