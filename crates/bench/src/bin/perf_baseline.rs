@@ -164,7 +164,7 @@ fn run_benches() -> Vec<Bench> {
     // demux every southbound message takes. Not gated — absolute ns/op
     // at this scale is all scheduler noise; the number to watch is the
     // residue path staying flat as the active table grows.
-    use openmb_core::router::ShardRouter;
+    use openmb_core::router::{Admission, ShardRouter};
     let mut router = ShardRouter::new(4);
     for i in 0..64u32 {
         let pattern = HeaderFieldList::from_src_subnet(IpPrefix::new(
@@ -172,15 +172,17 @@ fn run_benches() -> Vec<Bench> {
             16,
         ));
         let (src, dst) = (MbId(2 * i), MbId(2 * i + 1));
-        let shard = router.choose_transfer_shard(&pattern, src, dst);
+        let shard = match router.admit(&pattern, src, dst) {
+            Admission::Run { shard, .. } | Admission::Defer { shard, .. } => shard,
+        };
         router.register_transfer(OpId(u64::from(i) + 1), pattern, src, dst, shard);
     }
     let probe = HeaderFieldList::from_src_subnet(IpPrefix::new(Ipv4Addr::new(172, 16, 0, 0), 16));
     let router_dispatch = Bench {
         name: "router_dispatch",
         gated: false,
-        baseline_ns: measure(|| {
-            router.choose_transfer_shard(black_box(&probe), MbId(200), MbId(201))
+        baseline_ns: measure(|| match router.admit(black_box(&probe), MbId(200), MbId(201)) {
+            Admission::Run { shard, .. } | Admission::Defer { shard, .. } => shard,
         }),
         optimized_ns: measure(|| router.shard_of_op(black_box(OpId(37)))),
     };

@@ -12,9 +12,14 @@
 //!   with a live transfer — share a middlebox and have flowspaces that
 //!   can select a common flow (direction-insensitively) — in which
 //!   case they are pinned to that transfer's shard, where per-shard
-//!   FIFO ordering serializes them. Disjoint transfers land on
-//!   different shards and share no state, no ledgers, and (in
-//!   concurrent embeddings) no locks.
+//!   FIFO ordering serializes them. A transfer whose conflict set
+//!   spans *several* shards (a bridging op between two disjoint live
+//!   transfers) cannot be serialized by any placement: it is reserved
+//!   on the earliest conflicting op's shard with no southbound
+//!   traffic, and released — its gets finally issued — once every
+//!   conflicting op on the other shards has closed. Disjoint
+//!   transfers land on different shards and share no state, no
+//!   ledgers, and (in concurrent embeddings) no locks.
 //! * **Southbound messages** demux by op-id residue: shard `s` of `N`
 //!   allocates ids `≡ s + 1 (mod N)`, so ownership is `(id - 1) % N` —
 //!   O(1) arithmetic, nothing shared. Op-less introspection events
@@ -38,9 +43,9 @@ use openmb_simnet::SimTime;
 use openmb_types::wire::{EventFilter, Message};
 use openmb_types::{ConfigValue, HeaderFieldList, HierarchicalKey, MbId, OpId};
 
-use crate::router::{Route, ShardRouter};
+use crate::router::{Admission, Route, ShardRouter};
 pub use crate::shard::{
-    Action, Completion, ControllerConfig, ControllerShard, TransferLedgerStats,
+    Action, Completion, ControllerConfig, ControllerShard, TransferKind, TransferLedgerStats,
 };
 
 /// The sharded controller: the facade embeddings drive.
@@ -221,9 +226,7 @@ impl ControllerCore {
         now: SimTime,
         out: &mut Vec<Action>,
     ) -> OpId {
-        self.admit_transfer(key, src, dst, now, out, |sh, n, o| {
-            sh.move_internal(src, dst, key, n, o)
-        })
+        self.admit_transfer(TransferKind::Move, key, src, dst, now, out)
     }
 
     /// `cloneSupport` — transfers *all* support state, so its conflict
@@ -235,9 +238,7 @@ impl ControllerCore {
         now: SimTime,
         out: &mut Vec<Action>,
     ) -> OpId {
-        self.admit_transfer(HeaderFieldList::any(), src, dst, now, out, |sh, n, o| {
-            sh.clone_support(src, dst, n, o)
-        })
+        self.admit_transfer(TransferKind::Clone, HeaderFieldList::any(), src, dst, now, out)
     }
 
     /// `mergeInternal` — wildcard flowspace, like clone.
@@ -248,29 +249,40 @@ impl ControllerCore {
         now: SimTime,
         out: &mut Vec<Action>,
     ) -> OpId {
-        self.admit_transfer(HeaderFieldList::any(), src, dst, now, out, |sh, n, o| {
-            sh.merge_internal(src, dst, n, o)
-        })
+        self.admit_transfer(TransferKind::Merge, HeaderFieldList::any(), src, dst, now, out)
     }
 
-    /// Shared transfer-admission path: prune the conflict table, choose
-    /// a shard (conflict pin or hash), run the op on it, register the
-    /// flowspace as live.
+    /// Shared transfer-admission path: prune the conflict table, ask
+    /// the router for a verdict, then either run the op on its shard or
+    /// — when the conflict set spans several shards — reserve it there
+    /// and queue it behind its cross-shard blockers. Either way the
+    /// flowspace registers as live, so later admissions serialize
+    /// against the op from the moment its id exists.
     fn admit_transfer(
         &mut self,
+        kind: TransferKind,
         pattern: HeaderFieldList,
         src: MbId,
         dst: MbId,
         now: SimTime,
         out: &mut Vec<Action>,
-        issue: impl FnOnce(&mut ControllerShard, SimTime, &mut Vec<Action>) -> OpId,
     ) -> OpId {
         self.sync_config();
         let shards = &self.shards;
         self.router.prune(|shard, op| shards[shard].op_closed(op));
-        let s = self.router.choose_transfer_shard(&pattern, src, dst);
-        let pinned = s != self.router.hash_shard(&pattern, src, dst);
-        let op = issue(&mut self.shards[s], now, out);
+        let (s, pinned, blockers) = match self.router.admit(&pattern, src, dst) {
+            Admission::Run { shard, pinned } => (shard, pinned, Vec::new()),
+            Admission::Defer { shard, blockers } => (shard, true, blockers),
+        };
+        let op = if blockers.is_empty() {
+            match kind {
+                TransferKind::Move => self.shards[s].move_internal(src, dst, pattern, now, out),
+                TransferKind::Clone => self.shards[s].clone_support(src, dst, now, out),
+                TransferKind::Merge => self.shards[s].merge_internal(src, dst, now, out),
+            }
+        } else {
+            self.shards[s].reserve_transfer(kind, src, dst, pattern, now, out)
+        };
         let sh = &self.shards[s];
         sh.recorder().record(
             now.0,
@@ -280,10 +292,34 @@ impl ControllerCore {
             SpanEvent::OpRouted { shard: s as u32, pinned },
         );
         self.router.register_transfer(op, pattern, src, dst, s);
+        if !blockers.is_empty() && !self.shards[s].op_closed(op) {
+            // op_closed here means validation failed fast: the op is
+            // already terminal and must never sit in the release queue.
+            self.router.push_deferred(op, s, blockers);
+        }
+        // Admission pruned the conflict table; that may have been the
+        // last close an earlier deferral was waiting on.
+        self.release_deferred(now, out);
         op
     }
 
-    /// `endOp`.
+    /// Release reserved transfers whose cross-shard blockers have all
+    /// closed. Runs after every state-advancing entry point; one
+    /// branch when nothing is deferred (the overwhelmingly common
+    /// case), a sweep over the queue otherwise.
+    fn release_deferred(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if !self.router.has_deferred() {
+            return;
+        }
+        let shards = &self.shards;
+        let ready = self.router.drain_releasable(|shard, op| shards[shard].op_closed(op));
+        for (shard, op) in ready {
+            self.shards[shard].release_transfer(op, now, out);
+        }
+    }
+
+    /// `endOp`. (Carries no timestamp, so any deferral this unblocks is
+    /// released by the next timestamped entry point — tick or message.)
     pub fn end_op(&mut self, op: OpId, out: &mut Vec<Action>) {
         self.sync_config();
         let s = self.router.shard_of_op(op);
@@ -318,6 +354,9 @@ impl ControllerCore {
                 }
             }
         }
+        // The message may have closed the last blocker of a deferral
+        // (final delete ack, terminal op ack).
+        self.release_deferred(now, out);
     }
 
     /// An MB became unreachable: every shard may hold ops touching it,
@@ -328,6 +367,8 @@ impl ControllerCore {
         for sh in &mut self.shards {
             sh.mark_unreachable(mb, now, out);
         }
+        // Aborted blockers count as closed; swept/released here.
+        self.release_deferred(now, out);
     }
 
     /// An MB came back: broadcast, mirroring `mark_unreachable`.
@@ -336,6 +377,7 @@ impl ControllerCore {
         for sh in &mut self.shards {
             sh.mark_reachable(mb, now, out);
         }
+        self.release_deferred(now, out);
     }
 
     /// Is `mb` currently marked unreachable? (The set is broadcast, so
@@ -351,6 +393,9 @@ impl ControllerCore {
         for sh in &mut self.shards {
             sh.tick(now, out);
         }
+        // Quiescence and deadline aborts close ops: the sweep that
+        // eventually releases any deferral, whatever else happens.
+        self.release_deferred(now, out);
     }
 
     // ------------------------------------------------------------------
@@ -410,6 +455,12 @@ impl ControllerCore {
     /// (diagnostics; shrinks lazily on the next admission).
     pub fn active_transfers(&self) -> usize {
         self.router.active_transfers()
+    }
+
+    /// Transfers reserved under a cross-shard conflict and still
+    /// awaiting release (diagnostics, tests).
+    pub fn deferred_transfers(&self) -> usize {
+        self.router.deferred_transfers()
     }
 }
 
@@ -484,6 +535,95 @@ mod tests {
         let op2 = core.move_internal(b, c, subnet(0), SimTime(0), &mut out);
         assert_eq!(core.shard_of_op(op1), core.shard_of_op(op2));
         assert_eq!(core.active_transfers(), 2);
+    }
+
+    #[test]
+    fn bridging_clone_defers_then_releases_when_its_blocker_closes() {
+        let mut core =
+            ControllerCore::new(ControllerConfig { shards: 4, ..ControllerConfig::default() });
+        let mbs: Vec<MbId> = (0..8).map(|_| core.register_mb()).collect();
+        // Two disjoint moves whose hash placements differ (such a pair
+        // exists: the bench subnets spread over more than one shard).
+        let place =
+            |i: usize| ShardRouter::hash_placement(4, &subnet(i as u8), mbs[2 * i], mbs[2 * i + 1]);
+        let (i, j) = (0..4)
+            .flat_map(|a| (0..4).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && place(a) != place(b))
+            .expect("bench subnets spread over more than one shard");
+        let mut out = Vec::new();
+        let op_a =
+            core.move_internal(mbs[2 * i], mbs[2 * i + 1], subnet(i as u8), SimTime(0), &mut out);
+        out.clear();
+        let op_b =
+            core.move_internal(mbs[2 * j], mbs[2 * j + 1], subnet(j as u8), SimTime(0), &mut out);
+        assert_ne!(core.shard_of_op(op_a), core.shard_of_op(op_b));
+        let subs_b: Vec<OpId> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::ToMb(_, Message::GetSupportPerflow { op, .. })
+                | Action::ToMb(_, Message::GetReportPerflow { op, .. }) => Some(*op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(subs_b.len(), 2);
+        out.clear();
+        // A wildcard clone bridging one endpoint of each live move
+        // conflicts on two shards at once: it must reserve without any
+        // southbound traffic, on the earliest conflicting op's shard.
+        let op_c = core.clone_support(mbs[2 * i + 1], mbs[2 * j], SimTime(0), &mut out);
+        assert!(
+            out.iter().all(|a| !matches!(a, Action::ToMb(..))),
+            "a deferred transfer must emit no southbound traffic: {out:?}"
+        );
+        assert_eq!(core.deferred_transfers(), 1);
+        assert_eq!(core.shard_of_op(op_c), core.shard_of_op(op_a));
+        out.clear();
+        // Close the blocking move (op_b, the one on the other shard):
+        // empty get streams complete it...
+        let src_b = mbs[2 * j];
+        let t1 = SimTime(1_000_000);
+        for sub in &subs_b {
+            core.handle_mb_message(src_b, Message::GetAck { op: *sub, count: 0 }, t1, &mut out);
+        }
+        // ...but completed-not-quiesced still owes deletes: not closed.
+        assert_eq!(core.deferred_transfers(), 1);
+        out.clear();
+        // Quiescence (500ms after last activity) emits the source-side
+        // deletes; the op stays open until they are acked.
+        core.tick(SimTime(601_000_000), &mut out);
+        let dels: Vec<OpId> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::ToMb(_, Message::DelSupportPerflow { op, .. })
+                | Action::ToMb(_, Message::DelReportPerflow { op, .. }) => Some(*op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dels.len(), 2);
+        assert_eq!(core.deferred_transfers(), 1);
+        out.clear();
+        // Acking both deletes fully closes op_b; the release fires
+        // inside the same handle_mb_message call and the clone finally
+        // issues its shared get — with op_a still live on its own
+        // shard, where FIFO ordering serializes the remaining conflict.
+        core.handle_mb_message(
+            src_b,
+            Message::OpAck { op: dels[0] },
+            SimTime(602_000_000),
+            &mut out,
+        );
+        core.handle_mb_message(
+            src_b,
+            Message::OpAck { op: dels[1] },
+            SimTime(603_000_000),
+            &mut out,
+        );
+        assert_eq!(core.deferred_transfers(), 0);
+        let gets: Vec<&Action> = out
+            .iter()
+            .filter(|a| matches!(a, Action::ToMb(_, Message::GetSupportShared { .. })))
+            .collect();
+        assert_eq!(gets.len(), 1, "released clone must issue its shared get: {out:?}");
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub use app::{Api, ApiCtx, ControlApp, NullApp};
 pub use controller::{Action, Completion, ControllerConfig, ControllerCore};
 pub use nodes::{ControllerCosts, ControllerNode, Host, MbNode};
 pub use parallel::ShardedController;
-pub use router::{Route, ShardRouter};
-pub use shard::ControllerShard;
+pub use router::{Admission, Route, ShardRouter};
+pub use shard::{ControllerShard, TransferKind};

@@ -8,14 +8,18 @@
 //!
 //! * each [`ControllerShard`] sits in its own `Mutex` — a southbound
 //!   message only locks the shard that owns its op (O(1) residue
-//!   arithmetic picks it);
+//!   arithmetic picks it, no router lock at all: op-carrying messages
+//!   route through the static [`ShardRouter::route_by_op`]);
 //! * the [`ShardRouter`] has its own lock, taken briefly on the
-//!   admission path (new transfers) and for the route lookup; it is
-//!   never held while a shard lock is held *except* during admission,
-//!   and the order is always router → shard, so there is no deadlock
-//!   cycle;
+//!   admission path (new transfers) and for the rare op-less route
+//!   lookup; it is never held while a shard lock is held *except*
+//!   during admission, and the order is always router → shard, so
+//!   there is no deadlock cycle. Inside the router lock, shard state
+//!   is only ever consulted via `try_lock` (conflict-table pruning,
+//!   deferral sweeps) — conservative on contention, never blocking;
 //! * the recorder handle is kept at the facade so transport-level
-//!   events record without touching any shard.
+//!   events (and admission routing spans) record without holding any
+//!   shard or router lock.
 //!
 //! Every method is `&self` and returns the [`Action`]s to perform, so
 //! callers execute sends/completions outside all locks.
@@ -27,8 +31,8 @@ use openmb_simnet::SimTime;
 use openmb_types::wire::Message;
 use openmb_types::{ConfigValue, HeaderFieldList, HierarchicalKey, MbId, OpId};
 
-use crate::router::{Route, ShardRouter};
-use crate::shard::{Action, ControllerConfig, ControllerShard};
+use crate::router::{Admission, Route, ShardRouter};
+use crate::shard::{Action, ControllerConfig, ControllerShard, TransferKind};
 
 /// The sharded controller behind per-shard locks: safe to drive from
 /// many threads at once, with disjoint shards never contending.
@@ -130,75 +134,108 @@ impl ShardedController {
         key: HeaderFieldList,
         now: SimTime,
     ) -> (OpId, Vec<Action>) {
-        self.admit(key, src, dst, now, |sh, out| sh.move_internal(src, dst, key, now, out))
+        self.admit(TransferKind::Move, key, src, dst, now)
     }
 
     /// `cloneSupport` — wildcard conflict flowspace (it transfers all
     /// support state).
     pub fn clone_support(&self, src: MbId, dst: MbId, now: SimTime) -> (OpId, Vec<Action>) {
-        self.admit(HeaderFieldList::any(), src, dst, now, |sh, out| {
-            sh.clone_support(src, dst, now, out)
-        })
+        self.admit(TransferKind::Clone, HeaderFieldList::any(), src, dst, now)
     }
 
     /// `mergeInternal` — wildcard flowspace, like clone.
     pub fn merge_internal(&self, src: MbId, dst: MbId, now: SimTime) -> (OpId, Vec<Action>) {
-        self.admit(HeaderFieldList::any(), src, dst, now, |sh, out| {
-            sh.merge_internal(src, dst, now, out)
-        })
+        self.admit(TransferKind::Merge, HeaderFieldList::any(), src, dst, now)
     }
 
-    /// `endOp`.
+    /// `endOp` — op ownership is pure residue arithmetic, no router
+    /// lock.
     pub fn end_op(&self, op: OpId) -> Vec<Action> {
-        let s = self.router.lock().shard_of_op(op);
+        let s = ShardRouter::owner_of_op(self.shards.len(), op);
         let mut out = Vec::new();
         self.shards[s].lock().end_op(op, &mut out);
         out
     }
 
-    /// Simple (flowspace-free) ops route by MB hash; no conflict entry.
+    /// Simple (flowspace-free) ops route by MB hash; no conflict entry
+    /// and — placement being pure arithmetic — no router lock.
     fn simple(
         &self,
         mb: MbId,
         issue: impl FnOnce(&mut ControllerShard, &mut Vec<Action>) -> OpId,
     ) -> (OpId, Vec<Action>) {
-        let s = self.router.lock().route_simple(mb);
+        let s = ShardRouter::place_simple(self.shards.len(), mb);
         let mut out = Vec::new();
         let op = issue(&mut self.shards[s].lock(), &mut out);
         (op, out)
     }
 
-    /// Transfer admission: router lock held across shard choice +
+    /// Transfer admission: router lock held across verdict + issue +
     /// registration so two racing admissions with overlapping
     /// flowspaces cannot both hash-place (the second must observe the
-    /// first's conflict entry).
+    /// first's conflict entry). The critical section is kept short —
+    /// pruning consults shards via `try_lock` only (a contended
+    /// shard's entries are simply retained until a later admission),
+    /// and the routing span records after every lock is dropped.
     fn admit(
         &self,
+        kind: TransferKind,
         pattern: HeaderFieldList,
         src: MbId,
         dst: MbId,
         now: SimTime,
-        issue: impl FnOnce(&mut ControllerShard, &mut Vec<Action>) -> OpId,
     ) -> (OpId, Vec<Action>) {
-        let mut router = self.router.lock();
-        router.prune(|shard, op| self.shards[shard].lock().op_closed(op));
-        let s = router.choose_transfer_shard(&pattern, src, dst);
-        let pinned = s != router.hash_shard(&pattern, src, dst);
         let mut out = Vec::new();
-        let op = {
+        let (op, s, pinned) = {
+            let mut router = self.router.lock();
+            router.prune(|shard, op| {
+                self.shards[shard].try_lock().is_some_and(|sh| sh.op_closed(op))
+            });
+            let (s, pinned, blockers) = match router.admit(&pattern, src, dst) {
+                Admission::Run { shard, pinned } => (shard, pinned, Vec::new()),
+                Admission::Defer { shard, blockers } => (shard, true, blockers),
+            };
             let mut sh = self.shards[s].lock();
-            let op = issue(&mut sh, &mut out);
-            sh.recorder().record(
-                now.0,
-                sh.recorder_tag(),
-                Some(op.0),
-                None,
-                SpanEvent::OpRouted { shard: s as u32, pinned },
-            );
-            op
+            let op = if blockers.is_empty() {
+                match kind {
+                    TransferKind::Move => sh.move_internal(src, dst, pattern, now, &mut out),
+                    TransferKind::Clone => sh.clone_support(src, dst, now, &mut out),
+                    TransferKind::Merge => sh.merge_internal(src, dst, now, &mut out),
+                }
+            } else {
+                sh.reserve_transfer(kind, src, dst, pattern, now, &mut out)
+            };
+            router.register_transfer(op, pattern, src, dst, s);
+            if !blockers.is_empty() && !sh.op_closed(op) {
+                // op_closed means validation failed fast: terminal ops
+                // never enter the release queue.
+                router.push_deferred(op, s, blockers);
+            }
+            (op, s, pinned)
         };
-        router.register_transfer(op, pattern, src, dst, s);
+        self.record(now.0, Some(op.0), None, SpanEvent::OpRouted { shard: s as u32, pinned });
+        self.release_deferred(now, &mut out);
         (op, out)
+    }
+
+    /// Release reserved transfers whose cross-shard blockers have all
+    /// closed. Blocker state is consulted via `try_lock` under the
+    /// router lock (conservative: a contended shard re-checks on the
+    /// next sweep); the releases themselves run after the router lock
+    /// is dropped, locking only each released op's own shard.
+    fn release_deferred(&self, now: SimTime, out: &mut Vec<Action>) {
+        let ready = {
+            let mut router = self.router.lock();
+            if !router.has_deferred() {
+                return;
+            }
+            router.drain_releasable(|shard, op| {
+                self.shards[shard].try_lock().is_some_and(|sh| sh.op_closed(op))
+            })
+        };
+        for (shard, op) in ready {
+            self.shards[shard].lock().release_transfer(op, now, out);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -206,11 +243,14 @@ impl ShardedController {
     // ------------------------------------------------------------------
 
     /// Process one southbound message, locking only the owning shard.
-    /// The router lock is taken briefly for the route lookup and
-    /// released before the shard lock (no nesting on this path).
+    /// Op-carrying messages (the hot path) route by residue arithmetic
+    /// without any router lock; only op-less introspection events take
+    /// it, briefly, released before the shard lock (no nesting).
     pub fn handle_mb_message(&self, from: MbId, msg: Message, now: SimTime) -> Vec<Action> {
         let mut out = Vec::new();
         self.deliver(from, msg, now, &mut out);
+        // The message may have closed the last blocker of a deferral.
+        self.release_deferred(now, &mut out);
         out
     }
 
@@ -219,7 +259,8 @@ impl ShardedController {
             msg.for_each_unbatched(|m| self.deliver(from, m, now, out));
             return;
         }
-        let route = self.router.lock().route_message(from, &msg);
+        let route = ShardRouter::route_by_op(self.shards.len(), &msg)
+            .unwrap_or_else(|| self.router.lock().route_message(from, &msg));
         match route {
             Route::Shard(s) => self.shards[s].lock().handle_mb_message(from, msg, now, out),
             Route::Broadcast => {
@@ -237,6 +278,8 @@ impl ShardedController {
         for sh in &self.shards {
             sh.lock().mark_unreachable(mb, now, &mut out);
         }
+        // Aborted blockers count as closed; swept/released here.
+        self.release_deferred(now, &mut out);
         out
     }
 
@@ -246,6 +289,7 @@ impl ShardedController {
         for sh in &self.shards {
             sh.lock().mark_reachable(mb, now, &mut out);
         }
+        self.release_deferred(now, &mut out);
         out
     }
 
@@ -255,6 +299,9 @@ impl ShardedController {
         for sh in &self.shards {
             sh.lock().tick(now, &mut out);
         }
+        // Quiescence and deadline aborts close ops: the sweep that
+        // eventually releases any deferral, whatever else happens.
+        self.release_deferred(now, &mut out);
         out
     }
 
@@ -267,6 +314,12 @@ impl ShardedController {
     /// Southbound messages brokered, across all shards.
     pub fn messages_handled(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().messages_handled).sum()
+    }
+
+    /// Transfers reserved under a cross-shard conflict and still
+    /// awaiting release (diagnostics, tests).
+    pub fn deferred_transfers(&self) -> usize {
+        self.router.lock().deferred_transfers()
     }
 }
 
@@ -323,5 +376,35 @@ mod tests {
             .map(|i| (ctrl.move_internal(a, b, subnet(i), SimTime(0)).0 .0 - 1) % 4)
             .collect();
         assert!(residues.len() > 1, "disjoint moves all hashed to one shard");
+    }
+
+    #[test]
+    fn bridging_clone_defers_instead_of_running_concurrently() {
+        let ctrl =
+            ShardedController::new(ControllerConfig { shards: 4, ..ControllerConfig::default() });
+        let mbs: Vec<MbId> = (0..8).map(|_| ctrl.register_mb()).collect();
+        // Two disjoint moves (disjoint flowspaces, disjoint MB pairs)
+        // whose hash placements differ — such a pair exists because the
+        // four bench subnets spread over more than one shard.
+        let place =
+            |i: usize| ShardRouter::hash_placement(4, &subnet(i as u8), mbs[2 * i], mbs[2 * i + 1]);
+        let (i, j) = (0..4)
+            .flat_map(|a| (0..4).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && place(a) != place(b))
+            .expect("bench subnets spread over more than one shard");
+        let (op_a, _) = ctrl.move_internal(mbs[2 * i], mbs[2 * i + 1], subnet(i as u8), SimTime(0));
+        let (op_b, _) = ctrl.move_internal(mbs[2 * j], mbs[2 * j + 1], subnet(j as u8), SimTime(0));
+        assert_ne!((op_a.0 - 1) % 4, (op_b.0 - 1) % 4, "moves must sit on different shards");
+        // A wildcard clone bridging one endpoint of each move conflicts
+        // with live transfers on two shards: no placement serializes
+        // it, so it must reserve (no southbound traffic) and queue.
+        let (op_c, out) = ctrl.clone_support(mbs[2 * i + 1], mbs[2 * j], SimTime(0));
+        assert!(
+            out.iter().all(|a| !matches!(a, Action::ToMb(..))),
+            "a deferred transfer must emit no southbound traffic: {out:?}"
+        );
+        assert_eq!(ctrl.deferred_transfers(), 1);
+        // Reserved on the earliest-admitted conflicting move's shard.
+        assert_eq!((op_c.0 - 1) % 4, (op_a.0 - 1) % 4);
     }
 }

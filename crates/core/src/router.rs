@@ -17,6 +17,18 @@
 //!    shard observe each other's effects in a single well-defined
 //!    order — the same correctness argument as the old single-stream
 //!    controller, now holding per shard instead of globally.
+//!
+//!    Pinning only works when the whole conflict set sits on ONE shard.
+//!    A bridging op can conflict with live transfers on two different
+//!    shards at once (a wildcard clone touching the endpoints of two
+//!    mutually-disjoint moves): joining either shard would leave it
+//!    running concurrently with the conflicting op on the other. Such
+//!    an op is [`Admission::Defer`]red — reserved on the earliest
+//!    conflicting transfer's shard with no southbound traffic, queued
+//!    with the conflicting ops on *other* shards as blockers, and
+//!    released only once every blocker has fully closed. By then its
+//!    remaining conflicts all live on its own shard, where FIFO
+//!    ordering serializes them as usual.
 //! 2. **Demux** — which shard owns an incoming southbound message?
 //!    Shards allocate op ids from disjoint residue classes
 //!    (shard `s` of `N` hands out ids `≡ s + 1 (mod N)`), so ownership
@@ -42,6 +54,31 @@ pub enum Route {
     /// introspection event from an MB with no recorded subscription):
     /// deliver to every shard; non-owners drop it.
     Broadcast,
+}
+
+/// The router's verdict on a new transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Run now on `shard` — hash placement, or (`pinned`) the single
+    /// shard holding every conflicting live transfer.
+    Run { shard: usize, pinned: bool },
+    /// The conflict set spans more than one shard, so no placement can
+    /// serialize the op against all of it. Reserve the op on `shard`
+    /// (the earliest conflicting transfer's) without issuing southbound
+    /// traffic, and hold it until every `blockers` entry — the
+    /// conflicting ops on *other* shards — has closed.
+    Defer { shard: usize, blockers: Vec<(usize, OpId)> },
+}
+
+/// One transfer admitted with a cross-shard conflict set, reserved on
+/// its shard and awaiting release.
+#[derive(Debug, Clone)]
+struct DeferredOp {
+    op: OpId,
+    shard: usize,
+    /// `(shard, op)` of every conflicting transfer on another shard at
+    /// admission time; entries are removed as they close.
+    blockers: Vec<(usize, OpId)>,
 }
 
 /// One live transfer the router is keeping pinned to a shard.
@@ -72,6 +109,9 @@ impl ActiveOp {
 pub struct ShardRouter {
     shards: usize,
     active: Vec<ActiveOp>,
+    /// Transfers admitted with a cross-shard conflict set, in admission
+    /// order, awaiting release.
+    deferred: Vec<DeferredOp>,
     /// Shard that ran `enableEvents` per MB — the destination for
     /// op-less introspection events from that MB.
     subs: Vec<(MbId, usize)>,
@@ -105,7 +145,15 @@ fn shard_key_bytes(pattern: &HeaderFieldList, src: MbId, dst: MbId) -> Vec<u8> {
             None => v.push(0),
         }
     }
-    v.push(pattern.proto.map(|p| p.number()).unwrap_or(0xff));
+    // Tag byte like the ports: a bare 0xff sentinel for "any" would
+    // hash identically to an explicit IP protocol 255.
+    match pattern.proto {
+        Some(p) => {
+            v.push(1);
+            v.push(p.number());
+        }
+        None => v.push(0),
+    }
     v.extend_from_slice(&src.0.to_be_bytes());
     v.extend_from_slice(&dst.0.to_be_bytes());
     v
@@ -114,7 +162,12 @@ fn shard_key_bytes(pattern: &HeaderFieldList, src: MbId, dst: MbId) -> Vec<u8> {
 impl ShardRouter {
     /// A router over `shards` shards (clamped to at least 1).
     pub fn new(shards: usize) -> Self {
-        ShardRouter { shards: shards.max(1), active: Vec::new(), subs: Vec::new() }
+        ShardRouter {
+            shards: shards.max(1),
+            active: Vec::new(),
+            deferred: Vec::new(),
+            subs: Vec::new(),
+        }
     }
 
     /// Number of shards routed over.
@@ -127,38 +180,60 @@ impl ShardRouter {
         self.active.len()
     }
 
-    /// The hash-only placement for `(flowspace, src, dst)` — where the
-    /// op goes when nothing conflicts.
-    pub fn hash_shard(&self, pattern: &HeaderFieldList, src: MbId, dst: MbId) -> usize {
+    /// The hash-only placement for `(flowspace, src, dst)` given a
+    /// shard count — where an op goes when nothing conflicts. Pure
+    /// arithmetic over the key: needs no router state, so concurrent
+    /// embeddings call it without any lock.
+    pub fn hash_placement(shards: usize, pattern: &HeaderFieldList, src: MbId, dst: MbId) -> usize {
         // FNV-1a's low bits disperse poorly when only a byte or two of
         // the key varies (a small shard count reduces mod a power of
         // two, i.e. reads only those bits), so fold the high half down
         // before taking the residue.
         let h = fnv1a(shard_key_bytes(pattern, src, dst));
-        ((h ^ (h >> 32)) % self.shards as u64) as usize
+        ((h ^ (h >> 32)) % shards.max(1) as u64) as usize
+    }
+
+    /// [`ShardRouter::hash_placement`] over this router's shard count.
+    pub fn hash_shard(&self, pattern: &HeaderFieldList, src: MbId, dst: MbId) -> usize {
+        Self::hash_placement(self.shards, pattern, src, dst)
     }
 
     /// Placement for a simple (non-transfer) request against one MB:
     /// hash of the MB pair degenerated to `(mb, mb)` with a wildcard
     /// flowspace. Simple requests are self-contained and idempotent, so
-    /// they need no conflict entry.
-    pub fn route_simple(&self, mb: MbId) -> usize {
-        self.hash_shard(&HeaderFieldList::any(), mb, mb)
+    /// they need no conflict entry — and, being pure arithmetic, no
+    /// router lock.
+    pub fn place_simple(shards: usize, mb: MbId) -> usize {
+        Self::hash_placement(shards, &HeaderFieldList::any(), mb, mb)
     }
 
-    /// Admit a transfer: choose its shard. If any live transfer shares
-    /// a middlebox *and* its flowspace overlaps (direction-
-    /// insensitively), the new op joins the *earliest-admitted* such
-    /// transfer's shard, where per-shard FIFO ordering serializes
-    /// them; otherwise the hash decides and disjoint ops spread across
-    /// shards.
-    pub fn choose_transfer_shard(&self, pattern: &HeaderFieldList, src: MbId, dst: MbId) -> usize {
-        for a in &self.active {
-            if a.conflicts(pattern, src, dst) {
-                return a.shard;
-            }
+    /// [`ShardRouter::place_simple`] over this router's shard count.
+    pub fn route_simple(&self, mb: MbId) -> usize {
+        Self::place_simple(self.shards, mb)
+    }
+
+    /// Admit a transfer. With no conflicting live transfer the hash
+    /// decides and disjoint ops spread across shards. When every
+    /// conflicting transfer (shares a middlebox *and* overlaps the
+    /// flowspace, direction-insensitively) sits on one shard, the op is
+    /// pinned there, where per-shard FIFO ordering serializes them. But
+    /// when the conflict set spans several shards no placement is safe,
+    /// and the verdict is [`Admission::Defer`]: reserve the op on the
+    /// earliest-admitted conflicting transfer's shard and hold it until
+    /// the conflicting ops on the *other* shards close.
+    pub fn admit(&self, pattern: &HeaderFieldList, src: MbId, dst: MbId) -> Admission {
+        let mut conflicts = self.active.iter().filter(|a| a.conflicts(pattern, src, dst));
+        let Some(first) = conflicts.next() else {
+            return Admission::Run { shard: self.hash_shard(pattern, src, dst), pinned: false };
+        };
+        let shard = first.shard;
+        let blockers: Vec<(usize, OpId)> =
+            conflicts.filter(|a| a.shard != shard).map(|a| (a.shard, a.op)).collect();
+        if blockers.is_empty() {
+            Admission::Run { shard, pinned: true }
+        } else {
+            Admission::Defer { shard, blockers }
         }
-        self.hash_shard(pattern, src, dst)
     }
 
     /// Record an admitted transfer in the conflict table.
@@ -181,6 +256,53 @@ impl ShardRouter {
         self.active.retain(|a| !closed(a.shard, a.op));
     }
 
+    /// Queue a transfer reserved under an [`Admission::Defer`] verdict.
+    pub fn push_deferred(&mut self, op: OpId, shard: usize, blockers: Vec<(usize, OpId)>) {
+        debug_assert!(!blockers.is_empty(), "a deferral with no blockers should have run");
+        self.deferred.push(DeferredOp { op, shard, blockers });
+    }
+
+    /// Any transfer still held back by cross-shard blockers? Cheap: the
+    /// release sweep's guard on every hot path.
+    pub fn has_deferred(&self) -> bool {
+        !self.deferred.is_empty()
+    }
+
+    /// Number of transfers currently held back (diagnostics, tests).
+    pub fn deferred_transfers(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Sweep the deferred queue in admission order: entries whose own
+    /// op closed while held (deadline abort, endpoint loss) are
+    /// dropped; entries whose blockers have all closed are removed and
+    /// returned as `(shard, op)` for the facade to release, in FIFO
+    /// order. `closed` may answer conservatively (`false` when it
+    /// cannot tell) — a blocker is then simply re-checked on the next
+    /// sweep.
+    pub fn drain_releasable(
+        &mut self,
+        mut closed: impl FnMut(usize, OpId) -> bool,
+    ) -> Vec<(usize, OpId)> {
+        if self.deferred.is_empty() {
+            return Vec::new();
+        }
+        let mut ready = Vec::new();
+        self.deferred.retain_mut(|d| {
+            if closed(d.shard, d.op) {
+                return false;
+            }
+            d.blockers.retain(|&(shard, op)| !closed(shard, op));
+            if d.blockers.is_empty() {
+                ready.push((d.shard, d.op));
+                false
+            } else {
+                true
+            }
+        });
+        ready
+    }
+
     /// Record which shard owns `mb`'s introspection subscription.
     pub fn note_subscription(&mut self, mb: MbId, shard: usize) {
         if let Some(e) = self.subs.iter_mut().find(|(m, _)| *m == mb) {
@@ -190,22 +312,42 @@ impl ShardRouter {
         }
     }
 
-    /// Owning shard of an op id, from its residue class. `OpId(0)` is
-    /// never allocated — callers use it as a "no particular op"
-    /// sentinel for aggregate stats — and maps to shard 0.
+    /// Owning shard of an op id given a shard count, from its residue
+    /// class. `OpId(0)` is never allocated — callers use it as a "no
+    /// particular op" sentinel for aggregate stats — and maps to
+    /// shard 0. Pure arithmetic: no router state, no lock.
+    pub fn owner_of_op(shards: usize, op: OpId) -> usize {
+        (op.0.saturating_sub(1) % shards.max(1) as u64) as usize
+    }
+
+    /// [`ShardRouter::owner_of_op`] over this router's shard count.
     pub fn shard_of_op(&self, op: OpId) -> usize {
-        (op.0.saturating_sub(1) % self.shards as u64) as usize
+        Self::owner_of_op(self.shards, op)
+    }
+
+    /// Residue-arithmetic demux for op-carrying messages: resolves
+    /// every message that names an op (acks, chunks, reprocess events)
+    /// from the shard count alone — no router state, so concurrent
+    /// embeddings route the southbound hot path without any lock.
+    /// `None` for the rare message that needs the subscription table.
+    pub fn route_by_op(shards: usize, msg: &Message) -> Option<Route> {
+        if let Some(op) = msg.op_id() {
+            return Some(Route::Shard(Self::owner_of_op(shards, op)));
+        }
+        match msg {
+            Message::EventMsg { event: Event::Reprocess { op, .. } } => {
+                Some(Route::Shard(Self::owner_of_op(shards, *op)))
+            }
+            _ => None,
+        }
     }
 
     /// Demux an incoming southbound message to its owning shard.
     pub fn route_message(&self, from: MbId, msg: &Message) -> Route {
-        if let Some(op) = msg.op_id() {
-            return Route::Shard(self.shard_of_op(op));
+        if let Some(route) = Self::route_by_op(self.shards, msg) {
+            return route;
         }
         match msg {
-            Message::EventMsg { event: Event::Reprocess { op, .. } } => {
-                Route::Shard(self.shard_of_op(*op))
-            }
             Message::EventMsg { event: Event::Introspection { .. } } => self
                 .subs
                 .iter()
@@ -240,31 +382,39 @@ mod tests {
         HeaderFieldList { nw_src: p, nw_dst: p, ..HeaderFieldList::any() }
     }
 
+    /// Admit expecting an immediate run; returns the placed shard.
+    fn run_shard(r: &ShardRouter, pattern: &HeaderFieldList, src: MbId, dst: MbId) -> usize {
+        match r.admit(pattern, src, dst) {
+            Admission::Run { shard, .. } => shard,
+            d @ Admission::Defer { .. } => panic!("expected Run, got {d:?}"),
+        }
+    }
+
     #[test]
     fn overlapping_flowspaces_serialize_onto_one_shard() {
         let mut r = ShardRouter::new(4);
         let wide = subnet(10, 0, 8);
-        let s0 = r.choose_transfer_shard(&wide, MbId(0), MbId(1));
+        let s0 = run_shard(&r, &wide, MbId(0), MbId(1));
         r.register_transfer(OpId(1 + s0 as u64), wide, MbId(0), MbId(1), s0);
         // A /24 inside the live /8, on a pair sharing MB 1: must join
         // its shard even though its own hash would place it elsewhere.
         let narrow = subnet(10, 7, 24);
-        assert_eq!(r.choose_transfer_shard(&narrow, MbId(1), MbId(2)), s0);
+        assert_eq!(r.admit(&narrow, MbId(1), MbId(2)), Admission::Run { shard: s0, pinned: true });
         // Identical flowspace touching the live op's source MB: same.
-        assert_eq!(r.choose_transfer_shard(&wide, MbId(3), MbId(0)), s0);
+        assert_eq!(r.admit(&wide, MbId(3), MbId(0)), Admission::Run { shard: s0, pinned: true });
     }
 
     #[test]
     fn disjoint_mb_pairs_never_conflict() {
         let mut r = ShardRouter::new(4);
         let wide = subnet(10, 0, 8);
-        let s0 = r.choose_transfer_shard(&wide, MbId(0), MbId(1));
+        let s0 = run_shard(&r, &wide, MbId(0), MbId(1));
         r.register_transfer(OpId(1 + s0 as u64), wide, MbId(0), MbId(1), s0);
         // The same flowspace on a disjoint MB pair shares no state —
         // state lives on middleboxes — so placement is pure hash.
         assert_eq!(
-            r.choose_transfer_shard(&wide, MbId(2), MbId(3)),
-            r.hash_shard(&wide, MbId(2), MbId(3))
+            r.admit(&wide, MbId(2), MbId(3)),
+            Admission::Run { shard: r.hash_shard(&wide, MbId(2), MbId(3)), pinned: false }
         );
     }
 
@@ -273,12 +423,14 @@ mod tests {
         let mut r = ShardRouter::new(4);
         let a = within(10, 0, 16);
         let b = within(10, 1, 16); // adjacent /16 — disjoint, not overlapping
-        let sa = r.choose_transfer_shard(&a, MbId(0), MbId(1));
+        let sa = run_shard(&r, &a, MbId(0), MbId(1));
         r.register_transfer(OpId(1 + sa as u64), a, MbId(0), MbId(1), sa);
         // Same MB pair, disjoint flow ranges ⇒ the conflict scan must
         // not capture it: placement is pure hash.
-        let sb = r.choose_transfer_shard(&b, MbId(0), MbId(1));
-        assert_eq!(sb, r.hash_shard(&b, MbId(0), MbId(1)));
+        assert_eq!(
+            r.admit(&b, MbId(0), MbId(1)),
+            Admission::Run { shard: r.hash_shard(&b, MbId(0), MbId(1)), pinned: false }
+        );
         // And at least these four standard bench subnets do spread.
         let shards: std::collections::HashSet<usize> = (0u8..4)
             .map(|i| {
@@ -295,7 +447,7 @@ mod tests {
             nw_src: IpPrefix::new(Ipv4Addr::new(10, 9, 0, 0), 16),
             ..HeaderFieldList::any()
         };
-        let s = r.choose_transfer_shard(&fwd, MbId(0), MbId(1));
+        let s = run_shard(&r, &fwd, MbId(0), MbId(1));
         r.register_transfer(OpId(1 + s as u64), fwd, MbId(0), MbId(1), s);
         // State is keyed by canonical flow key, so a pattern naming the
         // same subnet as *destination* can select the same chunks on a
@@ -305,7 +457,7 @@ mod tests {
             nw_src: IpPrefix::new(Ipv4Addr::new(172, 16, 0, 0), 12),
             ..HeaderFieldList::any()
         };
-        assert_eq!(r.choose_transfer_shard(&rev, MbId(1), MbId(2)), s);
+        assert_eq!(r.admit(&rev, MbId(1), MbId(2)), Admission::Run { shard: s, pinned: true });
     }
 
     #[test]
@@ -322,24 +474,24 @@ mod tests {
             let p = IpPrefix::new(Ipv4Addr::new(0, 0, 0, 0), 24);
             HeaderFieldList { nw_src: p, nw_dst: p, ..HeaderFieldList::any() }
         };
-        let st = r.choose_transfer_shard(&top, MbId(0), MbId(1));
+        let st = run_shard(&r, &top, MbId(0), MbId(1));
         r.register_transfer(OpId(1 + st as u64), top, MbId(0), MbId(1), st);
         assert_eq!(
-            r.choose_transfer_shard(&bottom, MbId(0), MbId(1)),
-            r.hash_shard(&bottom, MbId(0), MbId(1)),
+            r.admit(&bottom, MbId(0), MbId(1)),
+            Admission::Run { shard: r.hash_shard(&bottom, MbId(0), MbId(1)), pinned: false },
             "wrap-adjacent prefixes are disjoint: hash placement, not capture"
         );
         // But 0.0.0.0/0 on a pair sharing MB 1 overlaps both ends of
         // the space.
         let any = HeaderFieldList::any();
-        assert_eq!(r.choose_transfer_shard(&any, MbId(1), MbId(5)), st);
+        assert_eq!(r.admit(&any, MbId(1), MbId(5)), Admission::Run { shard: st, pinned: true });
     }
 
     #[test]
     fn prune_releases_closed_transfers() {
         let mut r = ShardRouter::new(4);
         let wide = subnet(10, 0, 8);
-        let s = r.choose_transfer_shard(&wide, MbId(0), MbId(1));
+        let s = run_shard(&r, &wide, MbId(0), MbId(1));
         r.register_transfer(OpId(1 + s as u64), wide, MbId(0), MbId(1), s);
         assert_eq!(r.active_transfers(), 1);
         r.prune(|_, _| true);
@@ -348,9 +500,76 @@ mod tests {
         // free to take its hash shard.
         let narrow = subnet(10, 7, 24);
         assert_eq!(
-            r.choose_transfer_shard(&narrow, MbId(1), MbId(2)),
-            r.hash_shard(&narrow, MbId(1), MbId(2))
+            r.admit(&narrow, MbId(1), MbId(2)),
+            Admission::Run { shard: r.hash_shard(&narrow, MbId(1), MbId(2)), pinned: false }
         );
+    }
+
+    #[test]
+    fn bridging_op_spanning_two_shards_defers() {
+        let mut r = ShardRouter::new(4);
+        // Two live transfers with disjoint flowspaces and disjoint MB
+        // pairs, planted on different shards by hand.
+        r.register_transfer(OpId(1), within(10, 0, 16), MbId(0), MbId(1), 0);
+        r.register_transfer(OpId(2), within(10, 1, 16), MbId(2), MbId(3), 1);
+        // A wildcard clone bridging MB 1 and MB 2 conflicts with both:
+        // no single shard can serialize it, so it must defer, reserved
+        // on the earliest conflicting transfer's shard and blocked on
+        // the other.
+        let any = HeaderFieldList::any();
+        assert_eq!(
+            r.admit(&any, MbId(1), MbId(2)),
+            Admission::Defer { shard: 0, blockers: vec![(1, OpId(2))] }
+        );
+        // Once the shard-1 move closes (pruned), the same admission
+        // collapses to a plain pin on shard 0.
+        r.prune(|shard, _| shard == 1);
+        assert_eq!(r.admit(&any, MbId(1), MbId(2)), Admission::Run { shard: 0, pinned: true });
+    }
+
+    #[test]
+    fn drain_releasable_frees_ops_as_blockers_close() {
+        let mut r = ShardRouter::new(4);
+        r.push_deferred(OpId(5), 0, vec![(1, OpId(2)), (2, OpId(3))]);
+        r.push_deferred(OpId(9), 2, vec![(1, OpId(2))]);
+        assert!(r.has_deferred());
+        // Nothing closed yet: both held, no releases.
+        assert!(r.drain_releasable(|_, _| false).is_empty());
+        assert_eq!(r.deferred_transfers(), 2);
+        // The shard-1 blocker closes: the second entry's whole blocker
+        // set is gone, the first still waits on shard 2.
+        assert_eq!(r.drain_releasable(|shard, _| shard == 1), vec![(2, OpId(9))]);
+        assert_eq!(r.deferred_transfers(), 1);
+        // The remaining blocker closes too.
+        assert_eq!(r.drain_releasable(|_, _| true), Vec::new());
+        // ^ empty because `closed` answered true for the deferred op
+        // itself as well — an op that died while held (deadline abort)
+        // is swept, never released.
+        assert!(!r.has_deferred());
+    }
+
+    #[test]
+    fn drain_releasable_releases_in_admission_order() {
+        let mut r = ShardRouter::new(2);
+        r.push_deferred(OpId(3), 0, vec![(1, OpId(2))]);
+        r.push_deferred(OpId(5), 1, vec![(0, OpId(1))]);
+        let ready = r.drain_releasable(|_, op| op == OpId(1) || op == OpId(2));
+        assert_eq!(ready, vec![(0, OpId(3)), (1, OpId(5))]);
+    }
+
+    #[test]
+    fn wildcard_proto_is_tagged_not_a_sentinel_byte() {
+        use openmb_types::Proto;
+        let any_key = shard_key_bytes(&HeaderFieldList::any(), MbId(0), MbId(1));
+        let tcp = HeaderFieldList { proto: Some(Proto::Tcp), ..HeaderFieldList::any() };
+        let tcp_key = shard_key_bytes(&tcp, MbId(0), MbId(1));
+        assert_ne!(any_key, tcp_key);
+        // Proto sits after nw_src(5) + nw_dst(5) + two untagged "any"
+        // ports (1 byte each): a 0 tag for wildcard, `[1, number]` for
+        // concrete — never a bare 0xff sentinel, which would collide
+        // with IP protocol 255 if it ever became representable.
+        assert_eq!(any_key[12], 0);
+        assert_eq!(&tcp_key[12..14], [1, Proto::Tcp.number()]);
     }
 
     #[test]

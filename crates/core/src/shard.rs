@@ -162,6 +162,36 @@ enum OpKind {
     Merge,
 }
 
+/// The three transfer-class northbound operations, as a public handle
+/// so embeddings can reserve a deferred transfer
+/// ([`ControllerShard::reserve_transfer`]) without naming the private
+/// [`OpKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    Move,
+    Clone,
+    Merge,
+}
+
+impl TransferKind {
+    fn op_kind(self) -> OpKind {
+        match self {
+            TransferKind::Move => OpKind::Move,
+            TransferKind::Clone => OpKind::Clone,
+            TransferKind::Merge => OpKind::Merge,
+        }
+    }
+
+    /// The northbound API name, as spans report it.
+    fn api_name(self) -> &'static str {
+        match self {
+            TransferKind::Move => "moveInternal",
+            TransferKind::Clone => "cloneSupport",
+            TransferKind::Merge => "mergeInternal",
+        }
+    }
+}
+
 /// Per-operation progress.
 #[derive(Clone)]
 struct OpState {
@@ -245,6 +275,11 @@ struct OpState {
     resumes_left: u32,
     /// Parked while an endpoint is unreachable, awaiting resume.
     suspended: bool,
+    /// Reserved under a cross-shard conflict deferral: the op id and
+    /// state exist (so the router's conflict entry pins later
+    /// admissions) but no southbound traffic has been issued yet.
+    /// Cleared by [`ControllerShard::release_transfer`].
+    deferred: bool,
 
     // ---- content-addressed transfer bookkeeping ----
     /// Body (and its content hash) of every in-flight `ChunkRef`, by
@@ -745,22 +780,9 @@ impl ControllerShard {
         }
         let mut st = self.new_op_state(OpKind::Move, src, dst, now);
         st.pattern = key;
-        st.gets_outstanding = 2;
         self.ops.insert(op, st);
         self.span(now, op, None, SpanEvent::Issued { kind: "moveInternal" });
-        let gs = self.alloc_sub(op, SubRole::GetSupport);
-        let gr = self.alloc_sub(op, SubRole::GetReport);
-        self.span(now, op, Some(gs), SpanEvent::Issued { kind: "getSupportPerflow" });
-        self.span(now, op, Some(gr), SpanEvent::Issued { kind: "getReportPerflow" });
-        let mgs = Message::GetSupportPerflow { op: gs, key };
-        let mgr = Message::GetReportPerflow { op: gr, key };
-        if let Some(st) = self.ops.get_mut(&op) {
-            st.get_subs.extend([gs, gr]);
-            st.get_reqs.push((gs, mgs.clone()));
-            st.get_reqs.push((gr, mgr.clone()));
-        }
-        out.push(Action::ToMb(src, mgs));
-        out.push(Action::ToMb(src, mgr));
+        self.issue_transfer_gets(op, now, out);
         op
     }
 
@@ -777,18 +799,9 @@ impl ControllerShard {
             self.fail_fast(op, OpKind::Clone, src, dst, e, now, out);
             return op;
         }
-        let mut st = self.new_op_state(OpKind::Clone, src, dst, now);
-        st.gets_outstanding = 1;
-        self.ops.insert(op, st);
+        self.ops.insert(op, self.new_op_state(OpKind::Clone, src, dst, now));
         self.span(now, op, None, SpanEvent::Issued { kind: "cloneSupport" });
-        let g = self.alloc_sub(op, SubRole::GetSharedSupport);
-        self.span(now, op, Some(g), SpanEvent::Issued { kind: "getSupportShared" });
-        let mg = Message::GetSupportShared { op: g };
-        if let Some(st) = self.ops.get_mut(&op) {
-            st.get_subs.push(g);
-            st.get_reqs.push((g, mg.clone()));
-        }
-        out.push(Action::ToMb(src, mg));
+        self.issue_transfer_gets(op, now, out);
         op
     }
 
@@ -805,24 +818,135 @@ impl ControllerShard {
             self.fail_fast(op, OpKind::Merge, src, dst, e, now, out);
             return op;
         }
-        let mut st = self.new_op_state(OpKind::Merge, src, dst, now);
-        st.gets_outstanding = 2;
-        self.ops.insert(op, st);
+        self.ops.insert(op, self.new_op_state(OpKind::Merge, src, dst, now));
         self.span(now, op, None, SpanEvent::Issued { kind: "mergeInternal" });
-        let gs = self.alloc_sub(op, SubRole::GetSharedSupport);
-        let gr = self.alloc_sub(op, SubRole::GetSharedReport);
-        self.span(now, op, Some(gs), SpanEvent::Issued { kind: "getSupportShared" });
-        self.span(now, op, Some(gr), SpanEvent::Issued { kind: "getReportShared" });
-        let mgs = Message::GetSupportShared { op: gs };
-        let mgr = Message::GetReportShared { op: gr };
-        if let Some(st) = self.ops.get_mut(&op) {
-            st.get_subs.extend([gs, gr]);
-            st.get_reqs.push((gs, mgs.clone()));
-            st.get_reqs.push((gr, mgr.clone()));
-        }
-        out.push(Action::ToMb(src, mgs));
-        out.push(Action::ToMb(src, mgr));
+        self.issue_transfer_gets(op, now, out);
         op
+    }
+
+    /// Issue the get stream(s) of a transfer op already inserted in the
+    /// op table: allocate the sub-ops, record their spans, remember the
+    /// requests for resume, and push them to the source. The one place
+    /// a transfer's southbound traffic starts — both the direct
+    /// admission path and [`ControllerShard::release_transfer`] land
+    /// here, so deferred transfers emit the exact same stream.
+    fn issue_transfer_gets(&mut self, op: OpId, now: SimTime, out: &mut Vec<Action>) {
+        let Some(st) = self.ops.get(&op) else { return };
+        let (kind, src, key) = (st.kind, st.src, st.pattern);
+        match kind {
+            OpKind::Move => {
+                let gs = self.alloc_sub(op, SubRole::GetSupport);
+                let gr = self.alloc_sub(op, SubRole::GetReport);
+                self.span(now, op, Some(gs), SpanEvent::Issued { kind: "getSupportPerflow" });
+                self.span(now, op, Some(gr), SpanEvent::Issued { kind: "getReportPerflow" });
+                let mgs = Message::GetSupportPerflow { op: gs, key };
+                let mgr = Message::GetReportPerflow { op: gr, key };
+                if let Some(st) = self.ops.get_mut(&op) {
+                    st.gets_outstanding = 2;
+                    st.get_subs.extend([gs, gr]);
+                    st.get_reqs.push((gs, mgs.clone()));
+                    st.get_reqs.push((gr, mgr.clone()));
+                }
+                out.push(Action::ToMb(src, mgs));
+                out.push(Action::ToMb(src, mgr));
+            }
+            OpKind::Clone => {
+                let g = self.alloc_sub(op, SubRole::GetSharedSupport);
+                self.span(now, op, Some(g), SpanEvent::Issued { kind: "getSupportShared" });
+                let mg = Message::GetSupportShared { op: g };
+                if let Some(st) = self.ops.get_mut(&op) {
+                    st.gets_outstanding = 1;
+                    st.get_subs.push(g);
+                    st.get_reqs.push((g, mg.clone()));
+                }
+                out.push(Action::ToMb(src, mg));
+            }
+            OpKind::Merge => {
+                let gs = self.alloc_sub(op, SubRole::GetSharedSupport);
+                let gr = self.alloc_sub(op, SubRole::GetSharedReport);
+                self.span(now, op, Some(gs), SpanEvent::Issued { kind: "getSupportShared" });
+                self.span(now, op, Some(gr), SpanEvent::Issued { kind: "getReportShared" });
+                let mgs = Message::GetSupportShared { op: gs };
+                let mgr = Message::GetReportShared { op: gr };
+                if let Some(st) = self.ops.get_mut(&op) {
+                    st.gets_outstanding = 2;
+                    st.get_subs.extend([gs, gr]);
+                    st.get_reqs.push((gs, mgs.clone()));
+                    st.get_reqs.push((gr, mgr.clone()));
+                }
+                out.push(Action::ToMb(src, mgs));
+                out.push(Action::ToMb(src, mgr));
+            }
+            _ => debug_assert!(false, "issue_transfer_gets on a non-transfer op"),
+        }
+    }
+
+    /// Reserve a transfer whose admission the router deferred
+    /// ([`crate::router::Admission::Defer`]): allocate the op id and
+    /// state — so the conflict entry registered against it pins later
+    /// overlapping admissions — but issue no southbound traffic. The
+    /// op parks as [`ParkReason::CrossShardConflict`] until the facade
+    /// calls [`ControllerShard::release_transfer`]; the op deadline
+    /// (running from *now*) backstops blockers that never close.
+    /// Endpoint validation runs here exactly as on the direct path, so
+    /// a doomed transfer still fails fast instead of queueing.
+    pub fn reserve_transfer(
+        &mut self,
+        kind: TransferKind,
+        src: MbId,
+        dst: MbId,
+        key: HeaderFieldList,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) -> OpId {
+        let op = self.alloc_op();
+        let okind = kind.op_kind();
+        if let Some(e) = self.mb_error(&[src, dst]) {
+            self.fail_fast(op, okind, src, dst, e, now, out);
+            return op;
+        }
+        let mut st = self.new_op_state(okind, src, dst, now);
+        st.pattern = key;
+        st.deferred = true;
+        self.ops.insert(op, st);
+        self.span(now, op, None, SpanEvent::Issued { kind: kind.api_name() });
+        self.span(now, op, None, SpanEvent::Parked { reason: ParkReason::CrossShardConflict });
+        op
+    }
+
+    /// Release a reserved transfer: its cross-shard blockers have all
+    /// closed, so it may finally issue its gets. Endpoints are
+    /// re-validated — they may have died while the op waited — and a
+    /// dead one aborts the op instead of streaming into a down link.
+    /// The deadline restarts so the released attempt gets the full
+    /// window the direct path would have had.
+    pub fn release_transfer(&mut self, op: OpId, now: SimTime, out: &mut Vec<Action>) {
+        let Some(st) = self.ops.get(&op) else { return };
+        if !st.deferred || st.completed || st.quiesced {
+            return;
+        }
+        let (src, dst) = (st.src, st.dst);
+        if let Some(e) = self.mb_error(&[src, dst]) {
+            if let Some(st) = self.ops.get_mut(&op) {
+                st.deferred = false;
+            }
+            self.abort_op(op, e, now, out);
+            return;
+        }
+        let deadline = now.after(self.config.op_deadline);
+        if let Some(st) = self.ops.get_mut(&op) {
+            st.deferred = false;
+            st.last_activity = now;
+            st.deadline = deadline;
+        }
+        self.span(now, op, None, SpanEvent::Resumed { from_seq: 0 });
+        self.issue_transfer_gets(op, now, out);
+    }
+
+    /// Whether `op` is still reserved awaiting release (tests,
+    /// diagnostics).
+    pub fn op_deferred(&self, op: OpId) -> bool {
+        self.ops.get(&op).is_some_and(|st| st.deferred)
     }
 
     /// Explicitly finish a move/clone/merge transaction now: send the
@@ -1278,7 +1402,11 @@ impl ControllerShard {
                 }
             } else if matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)
                 && st.resumes_left > 0
+                && !st.deferred
             {
+                // (A still-deferred transfer falls through to abort:
+                // it has sent nothing, so the abort is a pure notify,
+                // and the release sweep will drop it as closed.)
                 // Park: the transfer resumes when the endpoint returns.
                 // The op deadline still backstops an MB that never does.
                 st.suspended = true;
@@ -1500,6 +1628,7 @@ impl ControllerShard {
         let Some(st) = self.ops.get(&op) else { return };
         if st.completed
             || st.quiesced
+            || st.deferred
             || st.resumes_left == 0
             || self.unreachable.contains(&st.src)
             || self.unreachable.contains(&st.dst)
@@ -1646,6 +1775,9 @@ impl ControllerShard {
                 matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)
                     && st.resumes_left > 0
                     && !st.suspended
+                    // A transfer still deferred at its deadline has
+                    // blockers that never closed: abort, don't resume.
+                    && !st.deferred
                     && !self.unreachable.contains(&st.src)
                     && !self.unreachable.contains(&st.dst)
             });
@@ -1826,6 +1958,7 @@ impl OpState {
             shared_puts: Vec::new(),
             resumes_left: 0,
             suspended: false,
+            deferred: false,
             ref_bodies: HashMap::new(),
             needed: HashSet::new(),
         }

@@ -544,6 +544,87 @@ mod tests {
         }
     }
 
+    /// Bridging op (DESIGN.md §14): a wildcard clone whose endpoints
+    /// touch two disjoint live moves placed on *different* shards must
+    /// defer — no southbound traffic until both moves close — then run
+    /// pinned to the earliest conflicting shard. All three ops
+    /// complete, and the whole schedule replays byte-identically.
+    #[test]
+    fn bridging_clone_between_two_disjoint_moves() {
+        use multi_layout::*;
+
+        struct BridgeApp {
+            issued: Arc<Mutex<Vec<OpId>>>,
+        }
+        impl ControlApp for BridgeApp {
+            fn on_start(&mut self, api: &mut Api<'_>) {
+                api.set_timer(SimDuration::from_millis(OP_AT_MS), 1);
+            }
+            fn on_timer(&mut self, api: &mut Api<'_>, _token: u64) {
+                let mut ids = self.issued.lock().unwrap();
+                if !ids.is_empty() {
+                    return;
+                }
+                ids.push(api.move_internal(src_mb(0), dst_mb(0), HeaderFieldList::any()));
+                ids.push(api.move_internal(src_mb(1), dst_mb(1), HeaderFieldList::any()));
+                // The bridge: one endpoint inside each live move's pair,
+                // wildcard flowspace — conflicts with both.
+                ids.push(api.clone_support(dst_mb(0), src_mb(1)));
+            }
+        }
+
+        fn run() -> (Vec<usize>, Vec<bool>, usize, String) {
+            let issued = Arc::new(Mutex::new(Vec::new()));
+            let mut setup = multi_pair_scenario(
+                |_| {
+                    let mut src = Monitor::new();
+                    preload(&mut src, PRELOAD);
+                    (src, Monitor::new())
+                },
+                2,
+                conc_config(),
+                Box::new(BridgeApp { issued: Arc::clone(&issued) }),
+                ScenarioParams::default(),
+            );
+            setup.sim.set_recorder(openmb_simnet::obs::Recorder::enabled(4096));
+            setup.sim.run(50_000_000);
+            assert!(setup.sim.is_idle(), "simulation must drain");
+
+            let ids: Vec<OpId> = issued.lock().unwrap().clone();
+            assert_eq!(ids.len(), 3, "two moves plus the bridging clone");
+            let timeline = setup.sim.recorder().dump().to_string();
+            let ctrl: &ControllerNode = setup.sim.node_as(CONTROLLER);
+            let shards: Vec<usize> = ids.iter().map(|&op| ctrl.core.shard_of_op(op)).collect();
+            let completed: Vec<bool> = ids
+                .iter()
+                .map(|&op| {
+                    ctrl.completions.iter().any(|(_, c)| {
+                        matches!(c,
+                            Completion::MoveComplete { op: o, .. }
+                            | Completion::CloneComplete { op: o } if *o == op)
+                    })
+                })
+                .collect();
+            (shards, completed, ctrl.core.open_ops(), timeline)
+        }
+
+        let a = run();
+        let (shards, completed, open_ops, _) = &a;
+        assert_eq!(*open_ops, 0, "bookkeeping leaked");
+        assert!(completed.iter().all(|&c| c), "all three ops must complete: {completed:?}");
+        assert_ne!(
+            shards[0], shards[1],
+            "the moves must place on distinct shards for the clone to bridge: {shards:?}"
+        );
+        assert_eq!(
+            shards[2], shards[0],
+            "bridging clone must pin to the earliest conflicting shard: {shards:?}"
+        );
+
+        let b = run();
+        assert_eq!(a, b, "bridging schedule replay diverged");
+    }
+
     /// Same seed, byte-identical fault log, timeline, and outcome — the
     /// replay contract holds under multi-stream shard scheduling.
     #[test]

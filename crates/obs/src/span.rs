@@ -18,6 +18,10 @@ pub enum ParkReason {
     MbUnreachable { mb: u32 },
     /// The transfer stalled (no ack progress within the resume window).
     Stalled,
+    /// The transfer's flowspace conflicts with live transfers on more
+    /// than one shard: admission is deferred until the conflicting ops
+    /// on other shards close.
+    CrossShardConflict,
 }
 
 impl fmt::Display for ParkReason {
@@ -25,6 +29,7 @@ impl fmt::Display for ParkReason {
         match self {
             ParkReason::MbUnreachable { mb } => write!(f, "mb{mb}-unreachable"),
             ParkReason::Stalled => write!(f, "stalled"),
+            ParkReason::CrossShardConflict => write!(f, "cross-shard-conflict"),
         }
     }
 }

@@ -19,6 +19,17 @@ impl<T> Mutex<T> {
         MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// Acquire the lock only if it is free right now (`None` when
+    /// contended), ignoring poison from a panicked holder — matching
+    /// parking_lot's `try_lock() -> Option<MutexGuard>` signature.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(|e| e.into_inner())
     }
