@@ -7,12 +7,14 @@
 //! scenario builders ([`scenarios`]).
 
 pub mod baselines;
+pub mod chains;
 pub mod failover;
 pub mod migration;
 pub mod rebalance;
 pub mod scaling;
 pub mod scenarios;
 
+pub use chains::ChainRelocateApp;
 pub use migration::{FlowMoveApp, ReMigrationApp};
 pub use rebalance::RebalanceApp;
 pub use scaling::{ScaleDownApp, ScaleUpApp};

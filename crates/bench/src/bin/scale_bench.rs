@@ -30,27 +30,41 @@
 //! K-shard makespan: it collapses to ~1x the moment routing or the
 //! conflict detector wrongly serializes disjoint ops onto one shard.
 //!
+//! The chain axis measures the chain-move layer: one K-hop
+//! [`ChainSpec`] (K disjoint MB pairs, one wildcard flow group) driven
+//! through `chain_move`, every southbound message priced by the same
+//! [`ControllerCosts`] model. Hops run serially by design, so the ideal
+//! virtual-time makespan is K × a single hop's; the gate bounds the
+//! *orchestration tax* — how far the chain's actual makespan sits above
+//! that ideal. The tax is pure virtual time (deterministic), so the
+//! acceptance threshold itself is the gate: it trips the moment the
+//! chain layer starts re-streaming chunks, duplicating southbound
+//! chatter, or serializing against itself.
+//!
 //! Usage:
 //!   scale_bench [OUT.json]        full run: 10k + 100k comparisons,
 //!                                 10k/100k/1M scale table, cold/warm
 //!                                 bytes at 10k/100k, 4x100k multi-op
-//!                                 axis, write JSON
+//!                                 axis, 4x100k chain axis, write JSON
 //!   scale_bench --smoke           10k windowed drive + 4x5k multi-op
-//!                                 drive, invariant asserts only
-//!                                 (fast; per-commit CI)
+//!                                 drive + 4x5k chain drive, invariant
+//!                                 asserts only (fast; per-commit CI)
 //!   scale_bench --check BASE.json re-measure the gated benches and
 //!                                 fail (exit 1) if the ledger speedup
 //!                                 regressed >20% vs the committed
 //!                                 baseline, warm-move bytes savings
-//!                                 fell below the 90% floor, or the
+//!                                 fell below the 90% floor, the
 //!                                 multi-op virtual-time speedup fell
-//!                                 below the 3x floor
+//!                                 below the 3x floor, or the chain
+//!                                 orchestration tax rose above the 5%
+//!                                 ceiling
 
 use std::collections::HashSet;
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
+use openmb_core::chain::{ChainHop, ChainSpec};
 use openmb_core::controller::{Action, Completion, ControllerConfig, ControllerCore};
 use openmb_core::nodes::ControllerCosts;
 use openmb_simnet::{SimDuration, SimTime};
@@ -79,6 +93,12 @@ const MULTI_OPS: usize = 4;
 /// is deterministic (no machine speed in it), so the acceptance
 /// threshold itself is the gate, like the bytes-savings floor.
 const MIN_MULTI_SPEEDUP: f64 = 3.0;
+/// Hops in the chain axis.
+const CHAIN_HOPS: usize = 4;
+/// CI gate: a [`CHAIN_HOPS`]-hop chain's virtual-time makespan may sit
+/// at most this many percent above the serial ideal (hops × a single
+/// hop's makespan). Deterministic, so the ceiling is the gate.
+const MAX_CHAIN_OVERHEAD_PCT: f64 = 5.0;
 
 fn key(i: u32) -> FlowKey {
     FlowKey::tcp(Ipv4Addr::from(0x0a00_0000 + i), 4000, Ipv4Addr::new(192, 168, 1, 1), 80)
@@ -632,6 +652,177 @@ fn multi_move(shards: u32, n: u32, subnets: &[u8], blob: &EncryptedChunk) -> Mul
     }
 }
 
+// ----------------------------------------------------------------------
+// Chain axis: one K-hop chain move, virtual-time makespan vs serial ideal
+// ----------------------------------------------------------------------
+
+/// Sink state the chain pump accumulates across a hop: put acks flow
+/// back, the *next* hop's gets (pushed by the chain layer the moment
+/// the previous hop's `MoveComplete` lands) are stashed instead of
+/// dropped, and the terminal `ChainComplete` is captured.
+struct ChainSink {
+    next_gs: Option<OpId>,
+    next_gr: Option<OpId>,
+    committed: bool,
+    chunks_moved: usize,
+}
+
+/// Ack every outstanding put, stashing gets and the chain completion —
+/// the chain-layer analog of [`pump_acks`] (streaming mode, no store).
+fn chain_pump(
+    core: &mut ControllerCore,
+    costs: &ControllerCosts,
+    virt: &mut [u64],
+    out: &mut Vec<Action>,
+    sink: &mut ChainSink,
+) {
+    loop {
+        let mut acks: Vec<(MbId, Message)> = Vec::new();
+        for a in out.drain(..) {
+            match a {
+                Action::ToMb(to, m) => match m {
+                    Message::PutSupportPerflow { op, chunk }
+                    | Message::PutReportPerflow { op, chunk } => {
+                        acks.push((to, Message::PutAck { op, key: Some(chunk.key) }));
+                    }
+                    Message::PutSupportShared { op, .. } | Message::PutReportShared { op, .. } => {
+                        acks.push((to, Message::PutAck { op, key: None }));
+                    }
+                    Message::GetSupportPerflow { op, .. } => sink.next_gs = Some(op),
+                    Message::GetReportPerflow { op, .. } => sink.next_gr = Some(op),
+                    _ => {}
+                },
+                Action::Notify(Completion::ChainComplete { chunks_moved, .. }) => {
+                    sink.committed = true;
+                    sink.chunks_moved = chunks_moved;
+                }
+                _ => {}
+            }
+        }
+        if acks.is_empty() {
+            return;
+        }
+        for (to, ack) in acks {
+            feed(core, to, ack, costs, virt, out);
+        }
+    }
+}
+
+/// What one chain drive observed.
+struct ChainDrive {
+    wall_ns: u128,
+    /// Virtual-time makespan (busiest shard — a chain pins to one).
+    virt_makespan_ns: u64,
+    chunks_moved: usize,
+}
+
+/// Drive one `hops`-long chain of `n`-flow moves through `chain_move`,
+/// hop by hop as the chain layer issues them, pricing every southbound
+/// message. The sources stream the same windowed, batched traffic shape
+/// as [`windowed_move`].
+fn chain_drive(hops: usize, n: u32, blob: &EncryptedChunk) -> ChainDrive {
+    let costs = ControllerCosts::default();
+    let mut core = ControllerCore::new(ControllerConfig {
+        shards: MULTI_OPS as u32,
+        transfer_window: WINDOW,
+        content_cache: false,
+        ..ControllerConfig::default()
+    });
+    let pairs: Vec<(MbId, MbId)> =
+        (0..hops).map(|_| (core.register_mb(), core.register_mb())).collect();
+    let now = SimTime(0);
+    let mut virt = vec![0u64; MULTI_OPS];
+    let mut out = Vec::new();
+    let mut sink = ChainSink { next_gs: None, next_gr: None, committed: false, chunks_moved: 0 };
+
+    let t = Instant::now();
+    let chain = core.chain_move(
+        ChainSpec::new(
+            HeaderFieldList::any(),
+            pairs.iter().map(|&(src, dst)| ChainHop { src, dst }).collect(),
+        ),
+        now,
+        &mut out,
+    );
+    for &(src, _) in &pairs {
+        // Collect this hop's gets — issued by `chain_move` for hop 0,
+        // by the previous hop's completion (inside the last pump) for
+        // every later hop.
+        chain_pump(&mut core, &costs, &mut virt, &mut out, &mut sink);
+        let gs = sink.next_gs.take().expect("hop support get");
+        let gr = sink.next_gr.take().expect("hop report get");
+        // Monitor-style source: no per-flow supporting state.
+        feed(&mut core, src, Message::GetAck { op: gs, count: 0 }, &costs, &mut virt, &mut out);
+        chain_pump(&mut core, &costs, &mut virt, &mut out, &mut sink);
+        let mut base = 0u32;
+        while base < n {
+            let hi = (base + BATCH as u32).min(n);
+            let msgs: Vec<Message> =
+                (base..hi).map(|i| Message::Chunk { op: gr, chunk: chunk(i, blob) }).collect();
+            feed(&mut core, src, Message::Batch { msgs }, &costs, &mut virt, &mut out);
+            if hi.is_multiple_of(BURST) || hi == n {
+                chain_pump(&mut core, &costs, &mut virt, &mut out, &mut sink);
+            }
+            base = hi;
+        }
+        feed(&mut core, src, Message::GetAck { op: gr, count: n }, &costs, &mut virt, &mut out);
+        chain_pump(&mut core, &costs, &mut virt, &mut out, &mut sink);
+    }
+    let wall_ns = t.elapsed().as_nanos();
+
+    assert!(sink.committed, "{hops}-hop chain of {n}-flow moves must commit");
+    assert_eq!(core.open_chains(), 0, "chain must settle");
+    assert_eq!(
+        sink.chunks_moved,
+        hops * n as usize,
+        "chain must report every hop's chunks exactly once"
+    );
+    let stats = core.transfer_ledger_stats(chain);
+    assert!(
+        stats.in_flight_peak <= WINDOW as usize,
+        "chain: peak ledger {} exceeded window {WINDOW}",
+        stats.in_flight_peak
+    );
+    ChainDrive {
+        wall_ns,
+        virt_makespan_ns: virt.iter().copied().max().unwrap_or(0),
+        chunks_moved: sink.chunks_moved,
+    }
+}
+
+/// The chain comparison: a [`CHAIN_HOPS`]-hop chain vs the serial ideal
+/// of `CHAIN_HOPS` × one single-hop chain's makespan.
+struct ChainRow {
+    hops: usize,
+    flows_per_hop: u32,
+    virt_ms_chain: f64,
+    virt_ms_ideal: f64,
+    wall_ms: f64,
+    overhead_pct: f64,
+}
+
+fn chain_row(n: u32, blob: &EncryptedChunk) -> ChainRow {
+    let one = chain_drive(1, n, blob);
+    let full = chain_drive(CHAIN_HOPS, n, blob);
+    assert_eq!(full.chunks_moved, CHAIN_HOPS * one.chunks_moved);
+    let ideal = one.virt_makespan_ns * CHAIN_HOPS as u64;
+    ChainRow {
+        hops: CHAIN_HOPS,
+        flows_per_hop: n,
+        virt_ms_chain: full.virt_makespan_ns as f64 / 1e6,
+        virt_ms_ideal: ideal as f64 / 1e6,
+        wall_ms: full.wall_ns as f64 / 1e6,
+        overhead_pct: 100.0 * (full.virt_makespan_ns as f64 / ideal as f64 - 1.0),
+    }
+}
+
+fn print_chain(c: &ChainRow) {
+    println!(
+        "chain {}x{} flows: virtual makespan {:>10.1} ms (ideal {:>10.1} ms)  orchestration tax {:>5.2}%",
+        c.hops, c.flows_per_hop, c.virt_ms_chain, c.virt_ms_ideal, c.overhead_pct
+    );
+}
+
 /// The multi-op comparison: identical workload at 1 shard vs
 /// [`MULTI_OPS`] shards; speedup is the virtual-time makespan ratio.
 struct MultiRow {
@@ -686,6 +877,7 @@ fn to_json(
     scale: &[ScaleRow],
     bytes: &[BytesRow],
     multi: &[MultiRow],
+    chain: &[ChainRow],
 ) -> String {
     let mut s = String::from("{\n  \"benches\": [\n");
     for (i, b) in benches.iter().enumerate() {
@@ -739,6 +931,21 @@ fn to_json(
             m.wall_ms_sharded,
             m.speedup,
             if i + 1 < multi.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"chain\": [\n");
+    for (i, c) in chain.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"chain_{}x{}k\", \"hops\": {}, \"flows_per_hop\": {}, \"virt_ms_chain\": {:.2}, \"virt_ms_ideal\": {:.2}, \"wall_ms\": {:.2}, \"overhead_pct\": {:.2}}}{}\n",
+            c.hops,
+            c.flows_per_hop / 1000,
+            c.hops,
+            c.flows_per_hop,
+            c.virt_ms_chain,
+            c.virt_ms_ideal,
+            c.wall_ms,
+            c.overhead_pct,
+            if i + 1 < chain.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -801,6 +1008,14 @@ fn main() {
             m.ops,
             m.speedup,
             m.ops
+        );
+        let c = chain_row(5_000, &blob);
+        print_chain(&c);
+        assert!(
+            c.overhead_pct <= MAX_CHAIN_OVERHEAD_PCT,
+            "{}-hop 5k chain orchestration tax {:.2}% above ceiling {MAX_CHAIN_OVERHEAD_PCT}%",
+            c.hops,
+            c.overhead_pct
         );
         return;
     }
@@ -875,6 +1090,26 @@ fn main() {
             "ok   multi: virtual-time speedup {:.2}x at {} shards (floor {MIN_MULTI_SPEEDUP}x)",
             m.speedup, m.ops
         );
+        // The chain gate is an absolute ceiling on the orchestration
+        // tax, same reasoning: pure virtual time. Re-measured at
+        // 4x10k — the tax is size-independent, and --check stays fast.
+        let c = chain_row(10_000, &blob);
+        print_chain(&c);
+        if c.overhead_pct > MAX_CHAIN_OVERHEAD_PCT {
+            eprintln!(
+                "FAIL chain: {}-hop chain orchestration tax {:.2}% above ceiling {MAX_CHAIN_OVERHEAD_PCT}%",
+                c.hops, c.overhead_pct
+            );
+            std::process::exit(1);
+        }
+        if json_field(&committed, &format!("chain_{CHAIN_HOPS}x100k"), "overhead_pct").is_none() {
+            eprintln!("FAIL chain_{CHAIN_HOPS}x100k: not present in committed baseline");
+            std::process::exit(1);
+        }
+        println!(
+            "ok   chain: orchestration tax {:.2}% at {} hops (ceiling {MAX_CHAIN_OVERHEAD_PCT}%)",
+            c.overhead_pct, c.hops
+        );
         return;
     }
 
@@ -934,7 +1169,20 @@ fn main() {
         m.ops
     );
 
-    let out = args.first().map(String::as_str).unwrap_or("BENCH_PR7.json");
-    std::fs::write(out, to_json(&[gated, big], &scale, &bytes, &[m])).expect("write baseline");
+    // Chain axis: one 4-hop 100k-flow chain vs the serial ideal. The
+    // acceptance bar (orchestration tax ≤ 5%) is asserted here so a
+    // full run is itself the evidence.
+    let c = chain_row(100_000, &blob);
+    print_chain(&c);
+    assert!(
+        c.overhead_pct <= MAX_CHAIN_OVERHEAD_PCT,
+        "{}-hop 100k chain orchestration tax {:.2}% above ceiling {MAX_CHAIN_OVERHEAD_PCT}%",
+        c.hops,
+        c.overhead_pct
+    );
+
+    let out = args.first().map(String::as_str).unwrap_or("BENCH_PR8.json");
+    std::fs::write(out, to_json(&[gated, big], &scale, &bytes, &[m], &[c]))
+        .expect("write baseline");
     println!("wrote {out}");
 }

@@ -143,6 +143,16 @@ impl<'a> Api<'a> {
         self.ctx.core.merge_internal(src, dst, self.ctx.now, self.ctx.actions)
     }
 
+    /// Chain-wide atomic move (see
+    /// [`crate::controller::ControllerCore::chain_move`]); commits with
+    /// [`Completion::ChainComplete`] once every hop's move finishes, or
+    /// fails with [`Completion::Failed`] after rolling completed hops
+    /// back. Applications repoint routing only on the chain completion,
+    /// never on the per-hop `MoveComplete`s.
+    pub fn chain_move(&mut self, spec: crate::chain::ChainSpec) -> OpId {
+        self.ctx.core.chain_move(spec, self.ctx.now, self.ctx.actions)
+    }
+
     /// Subscribe to introspection events from `mb` (§4.2.2).
     pub fn enable_events(&mut self, mb: MbId, filter: EventFilter) -> OpId {
         self.ctx.core.enable_events(mb, filter, self.ctx.now, self.ctx.actions)
@@ -152,6 +162,12 @@ impl<'a> Api<'a> {
     /// [`ControllerCore::end_op`]).
     pub fn end_op(&mut self, op: OpId) {
         self.ctx.core.end_op(op, self.ctx.actions);
+    }
+
+    /// Is `mb` currently marked unreachable by the embedding? Placement
+    /// decisions consult this so a dead standby is never selected.
+    pub fn is_unreachable(&self, mb: MbId) -> bool {
+        self.ctx.core.is_unreachable(mb)
     }
 
     // ---- SDN side ----

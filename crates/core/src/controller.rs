@@ -41,8 +41,9 @@
 use openmb_obs::{NodeTag, Recorder, SpanEvent};
 use openmb_simnet::SimTime;
 use openmb_types::wire::{EventFilter, Message};
-use openmb_types::{ConfigValue, HeaderFieldList, HierarchicalKey, MbId, OpId};
+use openmb_types::{ConfigValue, Error, HeaderFieldList, HierarchicalKey, MbId, OpId};
 
+use crate::chain::{is_chain_op, ChainPhase, ChainRun, ChainSpec, ChainStatus, CHAIN_OP_BASE};
 use crate::router::{Admission, Route, ShardRouter};
 pub use crate::shard::{
     Action, Completion, ControllerConfig, ControllerShard, TransferKind, TransferLedgerStats,
@@ -57,10 +58,33 @@ pub use crate::shard::{
 pub struct ControllerCore {
     shards: Vec<ControllerShard>,
     router: ShardRouter,
+    /// Live chain transactions ([`ControllerCore::chain_move`]);
+    /// terminal chains are removed as their completion is emitted.
+    chains: Vec<ChainRun>,
+    /// Next chain id offset above [`CHAIN_OP_BASE`].
+    next_chain: u64,
     /// Tunables. Mutating this after construction propagates to every
     /// shard on the next call into the core — except `shards`, which is
     /// structural and read once by [`ControllerCore::new`].
     pub config: ControllerConfig,
+}
+
+/// Has `(shard, op)` fully closed, chain-aware: chain ids close when
+/// the chain transaction leaves the table; shard ops answer via
+/// [`ControllerShard::op_closed`]. Every router prune/release sweep
+/// must go through this — a shard answers `true` for *unknown* ops, so
+/// asking it about a live chain id would free a deferral early.
+fn op_or_chain_closed(
+    shards: &[ControllerShard],
+    chains: &[ChainRun],
+    shard: usize,
+    op: OpId,
+) -> bool {
+    if is_chain_op(op) {
+        !chains.iter().any(|c| c.id == op)
+    } else {
+        shards[shard].op_closed(op)
+    }
 }
 
 impl ControllerCore {
@@ -71,7 +95,13 @@ impl ControllerCore {
         let shards = (0..n)
             .map(|s| ControllerShard::with_op_space(config, s as u64 + 1, n as u64))
             .collect();
-        ControllerCore { shards, router: ShardRouter::new(n), config }
+        ControllerCore {
+            shards,
+            router: ShardRouter::new(n),
+            chains: Vec::new(),
+            next_chain: 0,
+            config,
+        }
     }
 
     /// Number of shards this core runs.
@@ -252,6 +282,343 @@ impl ControllerCore {
         self.admit_transfer(TransferKind::Merge, HeaderFieldList::any(), src, dst, now, out)
     }
 
+    /// Run `spec` as one chain-wide atomic move (see [`crate::chain`]):
+    /// ordered per-hop transfers of the flow group across every MB
+    /// pair in the chain, committing with [`Completion::ChainComplete`]
+    /// only when ALL hops complete, and compensating completed hops
+    /// with reverse moves — restoring the byte-identical pre-move
+    /// image — if any hop fails. The returned id lives in the chain
+    /// namespace above [`CHAIN_OP_BASE`]; per-hop moves run as ordinary
+    /// shard ops under it.
+    ///
+    /// Admission is whole-chain: every hop registers in the conflict
+    /// table (all on one shard) before hop 0 issues, so overlapping
+    /// admissions — single transfers or other chains, whatever their
+    /// hop order — serialize behind the entire chain rather than
+    /// interleaving with it hop by hop.
+    pub fn chain_move(&mut self, spec: ChainSpec, now: SimTime, out: &mut Vec<Action>) -> OpId {
+        self.sync_config();
+        let start = out.len();
+        let id = OpId(CHAIN_OP_BASE + self.next_chain);
+        self.next_chain += 1;
+        if spec.hops.is_empty() {
+            out.push(Action::Notify(Completion::Failed {
+                op: id,
+                error: Error::OpFailed("chain move with no hops".into()),
+                dropped_events: 0,
+            }));
+            return id;
+        }
+        // Hops must be pairwise MB-disjoint: a chain is one position per
+        // middlebox pair. Overlapping pairs would make hop k+1 pick up
+        // state hop k just delivered — a pipeline, not a transaction.
+        let mut mbs: Vec<MbId> = spec.hops.iter().flat_map(|h| [h.src, h.dst]).collect();
+        mbs.sort_unstable();
+        mbs.dedup();
+        if mbs.len() != spec.hops.len() * 2 {
+            out.push(Action::Notify(Completion::Failed {
+                op: id,
+                error: Error::OpFailed("chain hops must use disjoint middlebox pairs".into()),
+                dropped_events: 0,
+            }));
+            return id;
+        }
+        let entries = spec.router_entries();
+        let (shards, chains) = (&self.shards, &self.chains);
+        self.router.prune(|shard, op| op_or_chain_closed(shards, chains, shard, op));
+        let (shard, pinned, blockers) = match self.router.admit_chain(&entries) {
+            Admission::Run { shard, pinned } => (shard, pinned, Vec::new()),
+            Admission::Defer { shard, blockers } => (shard, true, blockers),
+        };
+        self.router.register_chain(id, &entries, shard);
+        let sh = &self.shards[shard];
+        sh.recorder().record(
+            now.0,
+            sh.recorder_tag(),
+            Some(id.0),
+            None,
+            SpanEvent::OpRouted { shard: shard as u32, pinned },
+        );
+        let deferred = !blockers.is_empty();
+        self.chains.push(ChainRun {
+            id,
+            spec,
+            shard,
+            // Placeholder phase; replaced below (Deferred) or by
+            // issue_hop (Forward).
+            phase: ChainPhase::Deferred { blockers },
+            chunks_moved: 0,
+            hop_ops: Vec::new(),
+            aux_ops: Vec::new(),
+            error: None,
+            dropped_events: 0,
+        });
+        if !deferred {
+            let ci = self.chains.len() - 1;
+            self.issue_hop(ci, 0, now, out);
+        }
+        // Hop 0 may have failed fast (dead endpoint): consume the
+        // completion and settle the chain in the same call.
+        self.advance_chains(now, out, start, false);
+        id
+    }
+
+    /// Issue the forward move of hop `hop` for chain `ci`, directly on
+    /// the chain's shard. The router is NOT consulted: the chain's own
+    /// conflict entries already cover this hop's exact footprint, so
+    /// anything that could conflict with the hop is either pinned to
+    /// this same shard (FIFO-serialized) or parked as a reservation
+    /// that emits no traffic until the chain closes.
+    fn issue_hop(&mut self, ci: usize, hop: usize, now: SimTime, out: &mut Vec<Action>) {
+        let (shard, pattern, h) =
+            (self.chains[ci].shard, self.chains[ci].spec.pattern, self.chains[ci].spec.hops[hop]);
+        let op = self.shards[shard].move_internal(h.src, h.dst, pattern, now, out);
+        let sh = &self.shards[shard];
+        sh.recorder().record(
+            now.0,
+            sh.recorder_tag(),
+            Some(op.0),
+            None,
+            SpanEvent::OpRouted { shard: shard as u32, pinned: true },
+        );
+        let c = &mut self.chains[ci];
+        c.phase = ChainPhase::Forward { hop, op };
+        c.hop_ops.push(op);
+    }
+
+    /// Start undoing completed hop `undo` of chain `ci`: force-quiesce
+    /// its forward op (`end_op` issues the source-side deletes NOW
+    /// instead of waiting out the quiescence timer) and park the phase
+    /// until that op fully closes. Issuing the reverse move before the
+    /// forward op's deletes are *acked* would race them: a re-sent
+    /// delete landing after the reverse move's puts would destroy the
+    /// state the rollback just restored.
+    fn begin_undo(&mut self, ci: usize, undo: usize, out: &mut Vec<Action>) {
+        let (shard, fwd) = (self.chains[ci].shard, self.chains[ci].hop_ops[undo]);
+        self.shards[shard].end_op(fwd, out);
+        let retries_left = match self.chains[ci].phase {
+            ChainPhase::Rollback { retries_left, .. } => retries_left,
+            _ => self.config.chain_rollback_retries,
+        };
+        self.chains[ci].phase = ChainPhase::Rollback { undo, op: None, retries_left, paced: false };
+    }
+
+    /// Issue the compensating reverse move (`dst → src`) of completed
+    /// hop `undo` for chain `ci`. Only called once hop `undo`'s forward
+    /// op has closed (see [`Self::begin_undo`]).
+    fn issue_reverse(&mut self, ci: usize, undo: usize, now: SimTime, out: &mut Vec<Action>) {
+        let (shard, pattern, h) =
+            (self.chains[ci].shard, self.chains[ci].spec.pattern, self.chains[ci].spec.hops[undo]);
+        let retries_left = match self.chains[ci].phase {
+            ChainPhase::Rollback { retries_left, .. } => retries_left,
+            _ => self.config.chain_rollback_retries,
+        };
+        let op = self.shards[shard].move_internal(h.dst, h.src, pattern, now, out);
+        let sh = &self.shards[shard];
+        sh.recorder().record(
+            now.0,
+            sh.recorder_tag(),
+            Some(op.0),
+            None,
+            SpanEvent::OpRouted { shard: shard as u32, pinned: true },
+        );
+        self.chains[ci].aux_ops.push((undo, op));
+        self.chains[ci].phase =
+            ChainPhase::Rollback { undo, op: Some(op), retries_left, paced: false };
+    }
+
+    /// Remove a terminal chain and emit its completion. Hop ops (and
+    /// reverse ops) that can still emit southbound traffic — pending
+    /// quiescence or compensating deletes — are re-registered in the
+    /// conflict table under their own ids, so later admissions on the
+    /// chain's flowspace keep serializing behind the drain exactly as
+    /// they would behind a single transfer's close-out.
+    fn settle_chain(&mut self, ci: usize, completion: Completion, out: &mut Vec<Action>) {
+        let c = self.chains.remove(ci);
+        let hop_iter = c.hop_ops.iter().enumerate().map(|(hop, op)| (hop, *op));
+        for (hop, op) in hop_iter.chain(c.aux_ops.iter().copied()) {
+            if !self.shards[c.shard].op_closed(op) {
+                let h = c.spec.hops[hop];
+                self.router.register_transfer(op, c.spec.pattern, h.src, h.dst, c.shard);
+            }
+        }
+        out.push(Action::Notify(completion));
+    }
+
+    /// Advance every live chain against the completions appended to
+    /// `out` since `start`, to a fixpoint. Runs at the tail of every
+    /// state-advancing entry point. `reissue` (true from the paced
+    /// entry points: tick, reachability changes) re-attempts a
+    /// rollback's reverse move that failed earlier — failures usually
+    /// mean the target endpoint is down, so back-to-back retries
+    /// inside one call would only burn the retry budget.
+    ///
+    /// Consuming completions from `out` is race-free: hop moves never
+    /// complete synchronously (a move always awaits MB replies), so a
+    /// completion for a chain's expected op can only appear in the
+    /// region this very call appended — and once consumed, the phase's
+    /// expected op changes, making the scan idempotent.
+    fn advance_chains(&mut self, now: SimTime, out: &mut Vec<Action>, start: usize, reissue: bool) {
+        if self.chains.is_empty() {
+            return;
+        }
+        if reissue {
+            // Un-park paced rollback retries; the fixpoint below
+            // re-issues them (and anything else whose wait is over).
+            for c in &mut self.chains {
+                if let ChainPhase::Rollback { paced: paced @ true, op: None, .. } = &mut c.phase {
+                    *paced = false;
+                }
+            }
+        }
+        let mut closed_any = false;
+        'fixpoint: loop {
+            // Deferred chains whose blockers have all closed start hop 0.
+            for ci in 0..self.chains.len() {
+                let ready = match &self.chains[ci].phase {
+                    ChainPhase::Deferred { blockers } => {
+                        let (shards, chains) = (&self.shards, &self.chains);
+                        blockers.iter().all(|&(s, op)| op_or_chain_closed(shards, chains, s, op))
+                    }
+                    _ => false,
+                };
+                if ready {
+                    self.issue_hop(ci, 0, now, out);
+                    continue 'fixpoint;
+                }
+            }
+            // Rollbacks waiting on their hop's forward op to close
+            // issue the reverse move the moment the deletes are acked.
+            for ci in 0..self.chains.len() {
+                if let ChainPhase::Rollback { undo, op: None, paced: false, .. } =
+                    self.chains[ci].phase
+                {
+                    let (shard, fwd) = (self.chains[ci].shard, self.chains[ci].hop_ops[undo]);
+                    if self.shards[shard].op_closed(fwd) {
+                        self.issue_reverse(ci, undo, now, out);
+                        continue 'fixpoint;
+                    }
+                }
+            }
+            // One phase transition per pass: find the first completion
+            // in the scan region that concludes some chain's in-flight
+            // op, apply it, and rescan (the transition may append new
+            // actions — a fail-fast hop, a commit notification).
+            for i in start..out.len() {
+                let Action::Notify(c) = &out[i] else { continue };
+                let (done, failed) = match c {
+                    Completion::MoveComplete { op, chunks_moved } => {
+                        (Some((*op, *chunks_moved)), None)
+                    }
+                    Completion::Failed { op, error, dropped_events } => {
+                        (None, Some((*op, error.clone(), *dropped_events)))
+                    }
+                    _ => continue,
+                };
+                if let Some((op, chunks)) = done {
+                    for ci in 0..self.chains.len() {
+                        match self.chains[ci].phase {
+                            ChainPhase::Forward { hop, op: expect } if expect == op => {
+                                self.chains[ci].chunks_moved += chunks;
+                                if hop + 1 < self.chains[ci].spec.hops.len() {
+                                    self.issue_hop(ci, hop + 1, now, out);
+                                } else {
+                                    let completion = Completion::ChainComplete {
+                                        op: self.chains[ci].id,
+                                        hops: self.chains[ci].spec.hops.len(),
+                                        chunks_moved: self.chains[ci].chunks_moved,
+                                    };
+                                    self.settle_chain(ci, completion, out);
+                                    closed_any = true;
+                                }
+                                continue 'fixpoint;
+                            }
+                            ChainPhase::Rollback { undo, op: Some(expect), .. } if expect == op => {
+                                if undo == 0 {
+                                    let completion = Completion::Failed {
+                                        op: self.chains[ci].id,
+                                        error: self.chains[ci].error.clone().unwrap_or_else(|| {
+                                            Error::OpFailed("chain hop failed".into())
+                                        }),
+                                        dropped_events: self.chains[ci].dropped_events,
+                                    };
+                                    self.settle_chain(ci, completion, out);
+                                    closed_any = true;
+                                } else {
+                                    self.begin_undo(ci, undo - 1, out);
+                                }
+                                continue 'fixpoint;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if let Some((op, error, dropped)) = failed {
+                    for ci in 0..self.chains.len() {
+                        match self.chains[ci].phase {
+                            ChainPhase::Forward { hop, op: expect } if expect == op => {
+                                self.chains[ci].error = Some(error);
+                                self.chains[ci].dropped_events += dropped;
+                                if hop == 0 {
+                                    // Nothing completed: abort clean.
+                                    let completion = Completion::Failed {
+                                        op: self.chains[ci].id,
+                                        error: self.chains[ci].error.clone().expect("just set"),
+                                        dropped_events: self.chains[ci].dropped_events,
+                                    };
+                                    self.settle_chain(ci, completion, out);
+                                    closed_any = true;
+                                } else {
+                                    self.chains[ci].phase = ChainPhase::Rollback {
+                                        undo: hop - 1,
+                                        op: None,
+                                        retries_left: self.config.chain_rollback_retries,
+                                        paced: false,
+                                    };
+                                    // Force-quiesce the completed hop;
+                                    // its close gates the reverse move.
+                                    self.begin_undo(ci, hop - 1, out);
+                                }
+                                continue 'fixpoint;
+                            }
+                            ChainPhase::Rollback {
+                                undo, op: Some(expect), retries_left, ..
+                            } if expect == op => {
+                                self.chains[ci].dropped_events += dropped;
+                                if retries_left == 0 {
+                                    let completion = Completion::Failed {
+                                        op: self.chains[ci].id,
+                                        error: Error::OpFailed("chain rollback incomplete".into()),
+                                        dropped_events: self.chains[ci].dropped_events,
+                                    };
+                                    self.settle_chain(ci, completion, out);
+                                    closed_any = true;
+                                } else {
+                                    // Park; a paced entry point
+                                    // (tick / reachability) retries.
+                                    self.chains[ci].phase = ChainPhase::Rollback {
+                                        undo,
+                                        op: None,
+                                        retries_left: retries_left - 1,
+                                        paced: true,
+                                    };
+                                }
+                                continue 'fixpoint;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        if closed_any {
+            // A closed chain may have been the last blocker of a
+            // deferred transfer (or another chain — handled above).
+            self.release_deferred(now, out);
+        }
+    }
+
     /// Shared transfer-admission path: prune the conflict table, ask
     /// the router for a verdict, then either run the op on its shard or
     /// — when the conflict set spans several shards — reserve it there
@@ -268,8 +635,9 @@ impl ControllerCore {
         out: &mut Vec<Action>,
     ) -> OpId {
         self.sync_config();
-        let shards = &self.shards;
-        self.router.prune(|shard, op| shards[shard].op_closed(op));
+        let start = out.len();
+        let (shards, chains) = (&self.shards, &self.chains);
+        self.router.prune(|shard, op| op_or_chain_closed(shards, chains, shard, op));
         let (s, pinned, blockers) = match self.router.admit(&pattern, src, dst) {
             Admission::Run { shard, pinned } => (shard, pinned, Vec::new()),
             Admission::Defer { shard, blockers } => (shard, true, blockers),
@@ -300,6 +668,7 @@ impl ControllerCore {
         // Admission pruned the conflict table; that may have been the
         // last close an earlier deferral was waiting on.
         self.release_deferred(now, out);
+        self.advance_chains(now, out, start, false);
         op
     }
 
@@ -311,8 +680,9 @@ impl ControllerCore {
         if !self.router.has_deferred() {
             return;
         }
-        let shards = &self.shards;
-        let ready = self.router.drain_releasable(|shard, op| shards[shard].op_closed(op));
+        let (shards, chains) = (&self.shards, &self.chains);
+        let ready =
+            self.router.drain_releasable(|shard, op| op_or_chain_closed(shards, chains, shard, op));
         for (shard, op) in ready {
             self.shards[shard].release_transfer(op, now, out);
         }
@@ -346,6 +716,7 @@ impl ControllerCore {
             msg.for_each_unbatched(|m| self.handle_mb_message(from, m, now, out));
             return;
         }
+        let start = out.len();
         match self.router.route_message(from, &msg) {
             Route::Shard(s) => self.shards[s].handle_mb_message(from, msg, now, out),
             Route::Broadcast => {
@@ -357,6 +728,8 @@ impl ControllerCore {
         // The message may have closed the last blocker of a deferral
         // (final delete ack, terminal op ack).
         self.release_deferred(now, out);
+        // ...or completed/failed the in-flight hop of a chain.
+        self.advance_chains(now, out, start, false);
     }
 
     /// An MB became unreachable: every shard may hold ops touching it,
@@ -364,20 +737,27 @@ impl ControllerCore {
     /// (reachability changes are rare).
     pub fn mark_unreachable(&mut self, mb: MbId, now: SimTime, out: &mut Vec<Action>) {
         self.sync_config();
+        let start = out.len();
         for sh in &mut self.shards {
             sh.mark_unreachable(mb, now, out);
         }
         // Aborted blockers count as closed; swept/released here.
         self.release_deferred(now, out);
+        // An aborted hop op sends its chain into rollback.
+        self.advance_chains(now, out, start, false);
     }
 
     /// An MB came back: broadcast, mirroring `mark_unreachable`.
     pub fn mark_reachable(&mut self, mb: MbId, now: SimTime, out: &mut Vec<Action>) {
         self.sync_config();
+        let start = out.len();
         for sh in &mut self.shards {
             sh.mark_reachable(mb, now, out);
         }
         self.release_deferred(now, out);
+        // The endpoint a parked reverse move was waiting for may be
+        // back: re-attempt rollbacks now.
+        self.advance_chains(now, out, start, true);
     }
 
     /// Is `mb` currently marked unreachable? (The set is broadcast, so
@@ -390,12 +770,16 @@ impl ControllerCore {
     /// is fixed so a seeded sim run replays byte-identically.
     pub fn tick(&mut self, now: SimTime, out: &mut Vec<Action>) {
         self.sync_config();
+        let start = out.len();
         for sh in &mut self.shards {
             sh.tick(now, out);
         }
         // Quiescence and deadline aborts close ops: the sweep that
         // eventually releases any deferral, whatever else happens.
         self.release_deferred(now, out);
+        // Deadline-aborted hops start rollbacks; parked reverse moves
+        // get their paced re-attempt.
+        self.advance_chains(now, out, start, true);
     }
 
     // ------------------------------------------------------------------
@@ -403,9 +787,29 @@ impl ControllerCore {
     // ------------------------------------------------------------------
 
     /// Operations not yet quiesced plus actively re-delivered deletes,
-    /// across all shards.
+    /// across all shards — plus live chain transactions, so embeddings
+    /// keep the maintenance timer armed while a chain is between hops
+    /// or pacing a rollback retry.
     pub fn open_ops(&self) -> usize {
-        self.shards.iter().map(|s| s.open_ops()).sum()
+        self.shards.iter().map(|s| s.open_ops()).sum::<usize>() + self.chains.len()
+    }
+
+    /// Chain transactions still running (any phase).
+    pub fn open_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Current phase of chain `id`; `None` once terminal (its
+    /// [`Completion::ChainComplete`] / [`Completion::Failed`] has been
+    /// emitted) or for ids that are not chains.
+    pub fn chain_status(&self, id: OpId) -> Option<ChainStatus> {
+        self.chains.iter().find(|c| c.id == id).map(|c| c.status())
+    }
+
+    /// Forward hop ops issued so far by live chain `id`, in hop order
+    /// (diagnostics, tests). Empty once the chain is terminal.
+    pub fn chain_hop_ops(&self, id: OpId) -> Vec<OpId> {
+        self.chains.iter().find(|c| c.id == id).map(|c| c.hop_ops.clone()).unwrap_or_default()
     }
 
     /// Southbound messages brokered, across all shards.
@@ -624,6 +1028,249 @@ mod tests {
             .filter(|a| matches!(a, Action::ToMb(_, Message::GetSupportShared { .. })))
             .collect();
         assert_eq!(gets.len(), 1, "released clone must issue its shared get: {out:?}");
+    }
+
+    /// The `(sub, src)` pairs of a move's two get requests in `out`.
+    fn move_gets(out: &[Action]) -> Vec<(OpId, MbId)> {
+        out.iter()
+            .filter_map(|a| match a {
+                Action::ToMb(mb, Message::GetSupportPerflow { op, .. })
+                | Action::ToMb(mb, Message::GetReportPerflow { op, .. }) => Some((*op, *mb)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Complete a move whose two gets are in `out[at..]` by answering
+    /// both with empty streams; returns the remainder of the actions.
+    fn ack_gets(core: &mut ControllerCore, gets: &[(OpId, MbId)], t: SimTime) -> Vec<Action> {
+        let mut out = Vec::new();
+        for (sub, mb) in gets {
+            core.handle_mb_message(*mb, Message::GetAck { op: *sub, count: 0 }, t, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn chain_runs_hops_in_order_and_commits_once() {
+        use crate::chain::{ChainHop, ChainSpec, ChainStatus};
+        let (mut core, a, b, c, d) = sharded(4);
+        let mut out = Vec::new();
+        let chain = core.chain_move(
+            ChainSpec::new(
+                subnet(0),
+                vec![ChainHop { src: a, dst: b }, ChainHop { src: c, dst: d }],
+            ),
+            SimTime(0),
+            &mut out,
+        );
+        assert!(chain.0 >= crate::chain::CHAIN_OP_BASE);
+        assert_eq!(core.chain_status(chain), Some(ChainStatus::Forward(0)));
+        // Only hop 0's gets are on the wire; hop 1 must wait.
+        let gets0 = move_gets(&out);
+        assert_eq!(gets0.len(), 2);
+        assert!(gets0.iter().all(|&(_, mb)| mb == a), "hop 0 streams from {a}: {out:?}");
+        // Every hop entry occupies the conflict table under the chain id.
+        assert_eq!(core.active_transfers(), 2);
+        // Completing hop 0 issues hop 1 in the same southbound call.
+        let out1 = ack_gets(&mut core, &gets0, SimTime(1_000_000));
+        assert_eq!(core.chain_status(chain), Some(ChainStatus::Forward(1)));
+        let gets1 = move_gets(&out1);
+        assert_eq!(gets1.len(), 2);
+        assert!(gets1.iter().all(|&(_, mb)| mb == c));
+        assert!(
+            !out1.iter().any(|x| matches!(x, Action::Notify(Completion::ChainComplete { .. }))),
+            "chain must not commit before its last hop"
+        );
+        // Both hop ops run on the chain's one shard.
+        let hops = core.chain_hop_ops(chain);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(core.shard_of_op(hops[0]), core.shard_of_op(hops[1]));
+        // Completing hop 1 commits the chain.
+        let out2 = ack_gets(&mut core, &gets1, SimTime(2_000_000));
+        assert!(
+            out2.iter().any(|x| matches!(
+                x,
+                Action::Notify(Completion::ChainComplete { op, hops: 2, .. }) if *op == chain
+            )),
+            "commit expected: {out2:?}"
+        );
+        assert_eq!(core.chain_status(chain), None);
+        assert_eq!(core.open_chains(), 0);
+    }
+
+    #[test]
+    fn chain_hop_failure_compensates_completed_hops_in_reverse() {
+        use crate::chain::{ChainHop, ChainSpec, ChainStatus};
+        let (mut core, a, b, c, d) = sharded(4);
+        let mut out = Vec::new();
+        let chain = core.chain_move(
+            ChainSpec::new(
+                subnet(0),
+                vec![ChainHop { src: a, dst: b }, ChainHop { src: c, dst: d }],
+            ),
+            SimTime(0),
+            &mut out,
+        );
+        let gets0 = move_gets(&out);
+        let out1 = ack_gets(&mut core, &gets0, SimTime(1_000_000));
+        assert_eq!(core.chain_status(chain), Some(ChainStatus::Forward(1)));
+        // Hop 1's destination dies: the hop aborts and the chain starts
+        // compensating hop 0 — but FIRST it force-quiesces hop 0's
+        // forward op (source-side deletes at a), because a delete
+        // re-sent after the reverse move's puts would destroy the very
+        // state the rollback restores.
+        let _ = out1;
+        let mut out2 = Vec::new();
+        core.mark_unreachable(d, SimTime(2_000_000), &mut out2);
+        assert_eq!(core.chain_status(chain), Some(ChainStatus::Rollback(0)));
+        assert!(move_gets(&out2).is_empty(), "no reverse move before hop 0 closes: {out2:?}");
+        let dels: Vec<(OpId, MbId)> = out2
+            .iter()
+            .filter_map(|x| match x {
+                Action::ToMb(mb, Message::DelSupportPerflow { op, .. })
+                | Action::ToMb(mb, Message::DelReportPerflow { op, .. }) => Some((*op, *mb)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dels.len(), 2, "hop 0 force-quiesce deletes at its source: {out2:?}");
+        assert!(dels.iter().all(|&(_, mb)| mb == a));
+        // Acking the deletes closes hop 0's forward op; the reverse
+        // move (state back from b to a) issues in the same call.
+        let mut out3 = Vec::new();
+        for (sub, mb) in &dels {
+            core.handle_mb_message(*mb, Message::OpAck { op: *sub }, SimTime(2_500_000), &mut out3);
+        }
+        let rev = move_gets(&out3);
+        assert_eq!(rev.len(), 2);
+        assert!(rev.iter().all(|&(_, mb)| mb == b), "reverse move streams from {b}: {out3:?}");
+        // Completing the reverse move settles the chain as Failed with
+        // the hop's original error.
+        let out3 = ack_gets(&mut core, &rev, SimTime(3_000_000));
+        let failed = out3.iter().find_map(|x| match x {
+            Action::Notify(Completion::Failed { op, error, .. }) if *op == chain => Some(error),
+            _ => None,
+        });
+        assert!(
+            matches!(failed, Some(Error::MbUnreachable(mb)) if *mb == d),
+            "chain Failed with the aborting hop's error expected: {out3:?}"
+        );
+        assert_eq!(core.chain_status(chain), None);
+    }
+
+    #[test]
+    fn chain_with_dead_first_hop_aborts_without_compensation() {
+        use crate::chain::{ChainHop, ChainSpec};
+        let (mut core, a, b, c, d) = sharded(4);
+        let mut out = Vec::new();
+        core.mark_unreachable(a, SimTime(0), &mut out);
+        out.clear();
+        let chain = core.chain_move(
+            ChainSpec::new(
+                subnet(0),
+                vec![ChainHop { src: a, dst: b }, ChainHop { src: c, dst: d }],
+            ),
+            SimTime(0),
+            &mut out,
+        );
+        // Hop 0 fails fast; nothing completed, so the chain settles in
+        // the same call with no reverse traffic.
+        assert!(out.iter().any(|x| matches!(
+            x,
+            Action::Notify(Completion::Failed { op, .. }) if *op == chain
+        )));
+        assert_eq!(core.chain_status(chain), None);
+        assert!(move_gets(&out).is_empty());
+    }
+
+    #[test]
+    fn chain_rejects_overlapping_hop_pairs() {
+        use crate::chain::{ChainHop, ChainSpec};
+        let (mut core, a, b, c, _) = sharded(2);
+        let mut out = Vec::new();
+        let chain = core.chain_move(
+            ChainSpec::new(
+                subnet(0),
+                vec![ChainHop { src: a, dst: b }, ChainHop { src: b, dst: c }],
+            ),
+            SimTime(0),
+            &mut out,
+        );
+        assert!(out.iter().any(|x| matches!(
+            x,
+            Action::Notify(Completion::Failed { op, .. }) if *op == chain
+        )));
+        assert_eq!(core.active_transfers(), 0, "a rejected chain must pin nothing");
+    }
+
+    #[test]
+    fn transfers_overlapping_a_chain_serialize_behind_the_whole_chain() {
+        use crate::chain::{ChainHop, ChainSpec};
+        let (mut core, a, b, c, d) = sharded(4);
+        let mut out = Vec::new();
+        let chain = core.chain_move(
+            ChainSpec::new(
+                subnet(0),
+                vec![ChainHop { src: a, dst: b }, ChainHop { src: c, dst: d }],
+            ),
+            SimTime(0),
+            &mut out,
+        );
+        // A single-pair move overlapping the LAST hop's MB pair pins to
+        // the chain's shard even while the chain is still on hop 0.
+        let mut out2 = Vec::new();
+        let op = core.move_internal(d, a, subnet(0), SimTime(0), &mut out2);
+        let hops = core.chain_hop_ops(chain);
+        assert_eq!(core.shard_of_op(op), core.shard_of_op(hops[0]));
+    }
+
+    #[test]
+    fn deferred_transfer_is_released_when_its_blocker_aborts_on_deadline() {
+        let mut core =
+            ControllerCore::new(ControllerConfig { shards: 4, ..ControllerConfig::default() });
+        let mbs: Vec<MbId> = (0..8).map(|_| core.register_mb()).collect();
+        let place =
+            |i: usize| ShardRouter::hash_placement(4, &subnet(i as u8), mbs[2 * i], mbs[2 * i + 1]);
+        let (i, j) = (0..4)
+            .flat_map(|a| (0..4).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && place(a) != place(b))
+            .expect("bench subnets spread over more than one shard");
+        let mut out = Vec::new();
+        let op_a =
+            core.move_internal(mbs[2 * i], mbs[2 * i + 1], subnet(i as u8), SimTime(0), &mut out);
+        let op_b =
+            core.move_internal(mbs[2 * j], mbs[2 * j + 1], subnet(j as u8), SimTime(0), &mut out);
+        assert_ne!(core.shard_of_op(op_a), core.shard_of_op(op_b));
+        out.clear();
+        // Bridging clone admitted 5s in: defers behind the cross-shard
+        // blocker, with its own deadline running from t=5s.
+        let t5 = SimTime(5_000_000_000);
+        let op_c = core.clone_support(mbs[2 * i + 1], mbs[2 * j], t5, &mut out);
+        assert_eq!(core.deferred_transfers(), 1);
+        assert!(core.shard(core.shard_of_op(op_c)).op_deferred(op_c));
+        out.clear();
+        // At t=11s both moves blow their 10s deadline and abort. The
+        // aborted blocker counts as closed, so the SAME tick must
+        // release the clone — which, at 6s of age, is still inside its
+        // own deadline and finally issues its shared get.
+        core.tick(SimTime(11_000_000_000), &mut out);
+        let aborted: Vec<OpId> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Notify(Completion::Failed { op, .. }) => Some(*op),
+                _ => None,
+            })
+            .collect();
+        assert!(aborted.contains(&op_a) && aborted.contains(&op_b), "both moves abort: {out:?}");
+        assert!(!aborted.contains(&op_c), "the released clone must not abort: {out:?}");
+        assert_eq!(core.deferred_transfers(), 0);
+        assert!(
+            out.iter().any(
+                |a| matches!(a, Action::ToMb(_, Message::GetSupportShared { op }) if *op != op_a)
+            ),
+            "released clone issues its shared get in the deadline tick: {out:?}"
+        );
+        assert!(!core.shard(core.shard_of_op(op_c)).op_deferred(op_c));
     }
 
     #[test]

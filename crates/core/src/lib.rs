@@ -21,16 +21,20 @@
 //!   independent.
 
 pub mod app;
+pub mod chain;
 pub mod controller;
 pub mod nodes;
 pub mod parallel;
+pub mod placement;
 pub mod router;
 pub mod shard;
 pub mod tcp;
 
 pub use app::{Api, ApiCtx, ControlApp, NullApp};
+pub use chain::{ChainHop, ChainSpec, ChainStatus, CHAIN_OP_BASE};
 pub use controller::{Action, Completion, ControllerConfig, ControllerCore};
 pub use nodes::{ControllerCosts, ControllerNode, Host, MbNode};
 pub use parallel::ShardedController;
+pub use placement::{select_destination, PlacementCandidate};
 pub use router::{Admission, Route, ShardRouter};
 pub use shard::{ControllerShard, TransferKind};

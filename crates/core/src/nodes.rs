@@ -107,6 +107,8 @@ struct MetricNames {
     events_replayed: String,
     pkt_latency: String,
     packets: String,
+    queue_depth: String,
+    busy: String,
 }
 
 impl MetricNames {
@@ -116,6 +118,8 @@ impl MetricNames {
             events_replayed: format!("{label}.events_replayed"),
             pkt_latency: format!("{label}.pkt_latency"),
             packets: format!("{label}.packets"),
+            queue_depth: format!("{label}.queue_depth"),
+            busy: format!("{label}.busy"),
         }
     }
 }
@@ -207,7 +211,14 @@ impl<M: Middlebox + 'static> MbNode<M> {
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        // Publish the load gauges placement reads
+        // (`openmb_core::placement::gauge_load`): instantaneous queue
+        // depth and busy flag. Pump runs after every enqueue/dequeue,
+        // so this is the one place that sees every transition.
+        let reg = ctx.metrics.registry_mut();
+        reg.set_gauge(&self.metric_names.queue_depth, self.queue.len() as f64);
         if self.busy {
+            reg.set_gauge(&self.metric_names.busy, 1.0);
             return;
         }
         if let Some(front) = self.queue.front() {
@@ -216,6 +227,9 @@ impl<M: Middlebox + 'static> MbNode<M> {
             self.busy = true;
             ctx.set_timer(d, TIMER_WORK);
         }
+        ctx.metrics
+            .registry_mut()
+            .set_gauge(&self.metric_names.busy, if self.busy { 1.0 } else { 0.0 });
     }
 
     fn emit_effects(&mut self, ctx: &mut Ctx<'_>, mut fx: Effects) {
@@ -621,7 +635,7 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
         self.pump(ctx);
     }
 
-    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+    fn on_crash(&mut self, ctx: &mut Ctx<'_>) {
         // Volatile runtime state dies with the process: queued work,
         // in-progress service, and background exports all vanish. The
         // middlebox `logic` keeps its tables — modeling state that a
@@ -632,6 +646,9 @@ impl<M: Middlebox + 'static> Node for MbNode<M> {
         self.busy = false;
         self.current_service = SimDuration::ZERO;
         self.pending_shared.clear();
+        let reg = ctx.metrics.registry_mut();
+        reg.set_gauge(&self.metric_names.queue_depth, 0.0);
+        reg.set_gauge(&self.metric_names.busy, 0.0);
     }
 
     fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {

@@ -1,0 +1,201 @@
+//! Network-aware destination placement for moves and chain moves.
+//!
+//! When a control application scales a chain out or rebalances it, it
+//! must pick *which* standby middlebox instance receives each hop's
+//! state. Stratos-style orchestration makes that choice network-aware:
+//! prefer instances close to the traffic's current path (cheap state
+//! transfer, low added latency) and lightly loaded (headroom for the
+//! flow group being moved). [`select_destination`] scores each
+//! candidate as
+//!
+//! ```text
+//! score = topology distance (link cost)  +  load_weight × load
+//! ```
+//!
+//! and picks the minimum, breaking ties deterministically by lowest
+//! [`MbId`] — placement feeds seeded, replayable scenarios, so equal
+//! candidates must never flip on iteration order. Candidates that are
+//! unreachable (controller lost their control channel) or unroutable
+//! (no switch path from the reference point) are never selected, no
+//! matter their score.
+//!
+//! Load is an abstract `u64` supplied by the caller: live embeddings
+//! read the per-MB `<label>.queue_depth` / `<label>.busy` gauges the
+//! sim nodes publish to the [`openmb_obs::Registry`]
+//! ([`gauge_load`]), tests and planners can pass anything (chunk
+//! counts, flow counts).
+
+use openmb_obs::Registry;
+use openmb_openflow::Topology;
+use openmb_types::{MbId, NodeId};
+
+/// One candidate destination: a middlebox and the topology node it is
+/// attached at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementCandidate {
+    /// The middlebox handle (controller-side identity).
+    pub mb: MbId,
+    /// Where it sits in the network graph (distance is measured to
+    /// this node).
+    pub node: NodeId,
+}
+
+/// Pick the destination middlebox for a (chain) move hop: the
+/// reachable, routable candidate minimizing
+/// `distance(from, candidate) + load_weight * load(candidate)`, ties
+/// broken by lowest `MbId`. Returns `None` when no candidate is both
+/// reachable and routable.
+///
+/// `from` is the reference point the state travels from — typically
+/// the current instance's attachment node.
+pub fn select_destination(
+    topo: &Topology,
+    from: NodeId,
+    candidates: &[PlacementCandidate],
+    load_weight: u64,
+    mut load: impl FnMut(MbId) -> u64,
+    mut unreachable: impl FnMut(MbId) -> bool,
+) -> Option<PlacementCandidate> {
+    let mut best: Option<(u64, PlacementCandidate)> = None;
+    for &c in candidates {
+        if unreachable(c.mb) {
+            continue;
+        }
+        let Some(dist) = topo.path_cost(from, c.node) else {
+            continue;
+        };
+        let score = dist.saturating_add(load_weight.saturating_mul(load(c.mb)));
+        let better = match best {
+            None => true,
+            Some((bs, bc)) => score < bs || (score == bs && c.mb.0 < bc.mb.0),
+        };
+        if better {
+            best = Some((score, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Read a middlebox's load from the unified metrics [`Registry`]: its
+/// `<label>.queue_depth` gauge plus its `<label>.busy` gauge (an item
+/// in service counts like a queued one). Missing gauges read as 0 —
+/// an MB that has never enqueued work is idle, not unknown.
+pub fn gauge_load(reg: &Registry, label: &str) -> u64 {
+    let g = |suffix: &str| {
+        reg.gauge(&format!("{label}.{suffix}")).map(|v| v.max(0.0) as u64).unwrap_or(0)
+    };
+    g("queue_depth") + g("busy")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmb_openflow::ElementKind;
+
+    /// Two racks behind a spine: `from` host on rack A; candidate MBs
+    /// on rack A (near) and rack B (far, +10 cost crossing the spine).
+    fn two_racks() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let from = NodeId(0);
+        let tor_a = NodeId(1);
+        let tor_b = NodeId(2);
+        let near = NodeId(3);
+        let far = NodeId(4);
+        t.add_element(from, ElementKind::Host);
+        t.add_element(tor_a, ElementKind::Switch);
+        t.add_element(tor_b, ElementKind::Switch);
+        t.add_element(near, ElementKind::Middlebox);
+        t.add_element(far, ElementKind::Middlebox);
+        t.add_link(from, tor_a);
+        t.add_link_with_cost(tor_a, tor_b, 10);
+        t.add_link(tor_a, near);
+        t.add_link(tor_b, far);
+        (t, from, near, far)
+    }
+
+    #[test]
+    fn prefers_nearby_candidate_at_equal_load() {
+        let (t, from, near, far) = two_racks();
+        let cands = [
+            PlacementCandidate { mb: MbId(7), node: far },
+            PlacementCandidate { mb: MbId(8), node: near },
+        ];
+        let picked = select_destination(&t, from, &cands, 1, |_| 0, |_| false).unwrap();
+        assert_eq!(picked.mb, MbId(8), "closer rack must win at equal load");
+    }
+
+    #[test]
+    fn load_outweighs_distance_when_weighted() {
+        let (t, from, near, far) = two_racks();
+        let cands = [
+            PlacementCandidate { mb: MbId(1), node: near },
+            PlacementCandidate { mb: MbId(2), node: far },
+        ];
+        // Near is 2 away, far is 12 away; near carrying 20 queued items
+        // at weight 1 scores 22 > 12: rebalance crosses the rack.
+        let picked = select_destination(
+            &t,
+            from,
+            &cands,
+            1,
+            |mb| if mb == MbId(1) { 20 } else { 0 },
+            |_| false,
+        )
+        .unwrap();
+        assert_eq!(picked.mb, MbId(2));
+    }
+
+    #[test]
+    fn equal_score_tie_breaks_on_lowest_mb_id_regardless_of_order() {
+        let (t, from, near, _) = two_racks();
+        // Two instances on the same node, same load: byte-identical
+        // scores. The winner must be the lower MbId whichever way the
+        // candidate slice is ordered (seeded replays depend on it).
+        let a = PlacementCandidate { mb: MbId(5), node: near };
+        let b = PlacementCandidate { mb: MbId(3), node: near };
+        for cands in [[a, b], [b, a]] {
+            let picked = select_destination(&t, from, &cands, 1, |_| 4, |_| false).unwrap();
+            assert_eq!(picked.mb, MbId(3));
+        }
+    }
+
+    #[test]
+    fn never_selects_unreachable_candidate() {
+        let (t, from, near, far) = two_racks();
+        // The near, idle instance is the obvious winner — but it is
+        // marked unreachable, so placement must take the far one.
+        let cands = [
+            PlacementCandidate { mb: MbId(1), node: near },
+            PlacementCandidate { mb: MbId(2), node: far },
+        ];
+        let picked = select_destination(&t, from, &cands, 1, |_| 0, |mb| mb == MbId(1)).unwrap();
+        assert_eq!(picked.mb, MbId(2));
+        // And when every candidate is unreachable there is no answer.
+        assert_eq!(select_destination(&t, from, &cands, 1, |_| 0, |_| true), None);
+    }
+
+    #[test]
+    fn unroutable_candidate_is_skipped() {
+        let (mut t, from, near, _) = two_racks();
+        // An MB parked on an isolated island: registered, reachable on
+        // the control plane, but no data path from `from`.
+        let island = NodeId(9);
+        t.add_element(island, ElementKind::Middlebox);
+        let cands = [
+            PlacementCandidate { mb: MbId(1), node: island },
+            PlacementCandidate { mb: MbId(2), node: near },
+        ];
+        let picked = select_destination(&t, from, &cands, 1, |_| 0, |_| false).unwrap();
+        assert_eq!(picked.mb, MbId(2));
+    }
+
+    #[test]
+    fn gauge_load_reads_queue_depth_and_busy() {
+        let mut reg = Registry::new();
+        reg.set_gauge("fw0.queue_depth", 3.0);
+        reg.set_gauge("fw0.busy", 1.0);
+        assert_eq!(gauge_load(&reg, "fw0"), 4);
+        // Unpublished gauges read as idle.
+        assert_eq!(gauge_load(&reg, "fw1"), 0);
+    }
+}

@@ -236,6 +236,60 @@ impl ShardRouter {
         }
     }
 
+    /// Admit a whole *chain* of transfers atomically: the verdict is
+    /// computed over the union of every hop's conflict set, so the
+    /// chain either runs with all hops pinned to ONE shard's FIFO or
+    /// defers until every cross-shard blocker closes. Registering all
+    /// hops before any hop's traffic is issued (see
+    /// [`ShardRouter::register_chain`]) is what makes two chains with
+    /// reversed hop orders deadlock-free: the later admission sees the
+    /// earlier chain's full footprint at once and serializes behind it,
+    /// instead of the two acquiring hops incrementally in opposite
+    /// orders. With no conflicts anywhere, placement is the hash of the
+    /// first hop's key.
+    pub fn admit_chain(&self, hops: &[(HeaderFieldList, MbId, MbId)]) -> Admission {
+        let mut first: Option<usize> = None;
+        let mut blockers: Vec<(usize, OpId)> = Vec::new();
+        for a in &self.active {
+            if hops.iter().any(|(p, s, d)| a.conflicts(p, *s, *d)) {
+                match first {
+                    None => first = Some(a.shard),
+                    Some(shard) if a.shard != shard => {
+                        if !blockers.contains(&(a.shard, a.op)) {
+                            blockers.push((a.shard, a.op));
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        match first {
+            None => {
+                let (p, s, d) = &hops[0];
+                Admission::Run { shard: self.hash_shard(p, *s, *d), pinned: false }
+            }
+            Some(shard) if blockers.is_empty() => Admission::Run { shard, pinned: true },
+            Some(shard) => Admission::Defer { shard, blockers },
+        }
+    }
+
+    /// Record every hop of an admitted chain in the conflict table
+    /// under the chain's own id, all on `shard`. Later single-pair or
+    /// chain admissions that can touch any hop's state then serialize
+    /// behind the chain (pin to `shard`, or defer blocked on the chain
+    /// id) until the *whole* chain closes — hop completions in the
+    /// middle of the chain release nothing.
+    pub fn register_chain(
+        &mut self,
+        chain: OpId,
+        hops: &[(HeaderFieldList, MbId, MbId)],
+        shard: usize,
+    ) {
+        for (pattern, src, dst) in hops {
+            self.register_transfer(chain, *pattern, *src, *dst, shard);
+        }
+    }
+
     /// Record an admitted transfer in the conflict table.
     pub fn register_transfer(
         &mut self,
@@ -555,6 +609,33 @@ mod tests {
         r.push_deferred(OpId(5), 1, vec![(0, OpId(1))]);
         let ready = r.drain_releasable(|_, op| op == OpId(1) || op == OpId(2));
         assert_eq!(ready, vec![(0, OpId(3)), (1, OpId(5))]);
+    }
+
+    #[test]
+    fn drain_releasable_keeps_fifo_across_partial_releases() {
+        // Three cross-shard deferrals queued in admission order, whose
+        // blockers close at different sweeps — including a sweep where
+        // a LATER entry becomes releasable while an earlier one still
+        // waits. FIFO applies within each sweep's ready set; an entry
+        // held back never jumps ahead of ops released before it.
+        let mut r = ShardRouter::new(4);
+        r.push_deferred(OpId(10), 0, vec![(1, OpId(2)), (2, OpId(3))]);
+        r.push_deferred(OpId(11), 1, vec![(2, OpId(3))]);
+        r.push_deferred(OpId(12), 2, vec![(3, OpId(4)), (1, OpId(2))]);
+        assert_eq!(r.deferred_transfers(), 3);
+        // Sweep 1: only blocker 4 closed — nobody frees, but entry 12's
+        // blocker set shrinks to the shared blocker 2.
+        assert!(r.drain_releasable(|_, op| op == OpId(4)).is_empty());
+        assert_eq!(r.deferred_transfers(), 3);
+        // Sweep 2: blocker 3 closes. Entry 11 is the only one fully
+        // unblocked; 10 (queued BEFORE it) still waits on blocker 2
+        // and must not ride along.
+        assert_eq!(r.drain_releasable(|_, op| op == OpId(3)), vec![(1, OpId(11))]);
+        assert_eq!(r.deferred_transfers(), 2);
+        // Sweep 3: blocker 2 closes, unblocking 10 and 12 together —
+        // released in their original admission order.
+        assert_eq!(r.drain_releasable(|_, op| op == OpId(2)), vec![(0, OpId(10)), (2, OpId(12))]);
+        assert!(!r.has_deferred());
     }
 
     #[test]

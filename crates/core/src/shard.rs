@@ -70,6 +70,19 @@ pub enum Completion {
     CloneComplete { op: OpId },
     /// `mergeInternal` finished.
     MergeComplete { op: OpId },
+    /// A chain move ([`crate::controller::ControllerCore::chain_move`])
+    /// committed: every hop's per-flow move completed. Until this fires
+    /// the chain can still abort and roll every hop back, so
+    /// applications must not repoint routing on the individual hops'
+    /// [`Completion::MoveComplete`]s — those are sub-results of the
+    /// chain transaction.
+    ChainComplete {
+        op: OpId,
+        /// Number of hops the chain moved.
+        hops: usize,
+        /// Total chunks transferred across all hops.
+        chunks_moved: usize,
+    },
     /// An operation failed. Carries the typed [`Error`] so applications
     /// can branch on the failure kind (timeout, unreachable MB,
     /// granularity, ...) instead of parsing a message string, plus the
@@ -92,6 +105,7 @@ impl Completion {
             | Completion::MoveComplete { op, .. }
             | Completion::CloneComplete { op }
             | Completion::MergeComplete { op }
+            | Completion::ChainComplete { op, .. }
             | Completion::Failed { op, .. } => Some(*op),
             Completion::MbEvent { .. } => None,
         }
@@ -351,6 +365,13 @@ pub struct ControllerConfig {
     /// `Put*Perflow` streaming; final state is identical either way,
     /// which the conformance suite asserts across both modes.
     pub content_cache: bool,
+    /// How many times a chain rollback re-attempts one failed
+    /// compensating reverse move before the chain is abandoned with
+    /// [`openmb_types::Error`] `OpFailed("chain rollback incomplete")`.
+    /// Reverse moves target an endpoint that just failed, so retries are
+    /// paced by the maintenance tick / reachability events rather than
+    /// fired back-to-back.
+    pub chain_rollback_retries: u32,
     /// Number of controller shards. Read once when a
     /// [`crate::controller::ControllerCore`] is constructed (mutating it
     /// afterwards has no effect — shard count is structural). 1 (the
@@ -373,6 +394,7 @@ impl Default for ControllerConfig {
             resume_after: SimDuration::from_millis(400),
             transfer_window: 64,
             content_cache: true,
+            chain_rollback_retries: 16,
             shards: 1,
         }
     }

@@ -222,7 +222,7 @@ impl ControlApp for ConcurrentOps {
     }
 }
 
-fn conc_config() -> ControllerConfig {
+pub(crate) fn conc_config() -> ControllerConfig {
     ControllerConfig {
         shards: SHARDS,
         compress_transfers: false,
@@ -391,8 +391,10 @@ fn solo_reference(mb: ConcMb, op: ConfOp) -> PairObserved {
 }
 
 /// The pristine pre-op images of one pair (source preloaded,
-/// destination fresh), for the abort invariants.
-fn initial_pair(mb: ConcMb) -> (usize, SharedSnapshot, SharedSnapshot) {
+/// destination fresh), for the abort invariants (shared with the
+/// chain suite, whose rollback invariant is the same comparison
+/// applied to every hop).
+pub(crate) fn initial_pair(mb: ConcMb) -> (usize, SharedSnapshot, SharedSnapshot) {
     fn img<M: Middlebox>(mut mk: impl FnMut() -> M) -> (usize, SharedSnapshot, SharedSnapshot) {
         let mut src = mk();
         preload(&mut src, PRELOAD);

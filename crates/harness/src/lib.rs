@@ -13,6 +13,7 @@ pub mod report;
 pub mod ablations;
 pub mod compress_xp;
 pub mod conformance;
+pub mod conformance_chain;
 pub mod conformance_concurrent;
 pub mod correctness;
 pub mod faults;

@@ -101,6 +101,16 @@ impl Topology {
         Some(path)
     }
 
+    /// Total link cost of the shortest path from `src` to `dst`, under
+    /// the same switch-relay restriction as
+    /// [`Topology::shortest_path`]. `None` when unreachable. Placement
+    /// ([`openmb-core`'s `placement` module]) scores candidate
+    /// middleboxes by this distance.
+    pub fn path_cost(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let path = self.shortest_path(src, dst)?;
+        Some(path.windows(2).map(|w| self.costs.get(&(w[0], w[1])).copied().unwrap_or(1)).sum())
+    }
+
     /// Shortest path from `src` to `dst` passing through each waypoint
     /// in order (how traffic is steered through middleboxes). Consecutive
     /// segments are concatenated with duplicate junction nodes removed.
