@@ -159,6 +159,39 @@ fn run_benches() -> Vec<Bench> {
     });
     let recorder = Bench { name: "recorder_record", gated: false, baseline_ns, optimized_ns };
 
+    // Full obs pipeline: record() through an enabled ring with the
+    // invariant monitor attached as a sink (ring insert + state-machine
+    // ingest under the monitor mutex) vs the disabled record path the
+    // default configuration takes. Gated on the ratio: however much the
+    // monitor grows, the disabled path must stay a single branch so
+    // instrumented code can always ship with observability off.
+    use openmb_simnet::obs::{Monitor, MonitorConfig};
+    let monitored = Recorder::enabled(1024);
+    let mtag = monitored.register("bench");
+    monitored.add_sink(std::sync::Arc::new(Monitor::new(MonitorConfig {
+        shards: 4,
+        transfer_window: 64,
+        ..MonitorConfig::default()
+    })));
+    let off = Recorder::disabled();
+    off.add_sink(std::sync::Arc::new(Monitor::new(MonitorConfig::default())));
+    let mut t_mon = 0u64;
+    let pipeline_on = measure(|| {
+        t_mon += 1;
+        monitored.record(t_mon, mtag, Some(1), Some(5), SpanEvent::ChunkAcked { seq: t_mon });
+    });
+    let mut t_moff = 0u64;
+    let pipeline_off = measure(|| {
+        t_moff += 1;
+        off.record(t_moff, NodeTag::NONE, Some(1), Some(5), SpanEvent::ChunkAcked { seq: t_moff });
+    });
+    let obs_pipeline = Bench {
+        name: "obs_pipeline",
+        gated: true,
+        baseline_ns: pipeline_on,
+        optimized_ns: pipeline_off,
+    };
+
     // Shard-router dispatch: admission-time conflict scan (walks the
     // active-transfer table) vs the steady-state O(1) op-id residue
     // demux every southbound message takes. Not gated — absolute ns/op
@@ -187,7 +220,7 @@ fn run_benches() -> Vec<Bench> {
         optimized_ns: measure(|| router.shard_of_op(black_box(OpId(37)))),
     };
 
-    vec![wire_len, flow_lookup, decode, recorder, router_dispatch]
+    vec![wire_len, flow_lookup, decode, recorder, obs_pipeline, router_dispatch]
 }
 
 fn to_json(benches: &[Bench]) -> String {
@@ -268,7 +301,7 @@ fn main() {
         return;
     }
 
-    let out = args.first().map(String::as_str).unwrap_or("BENCH_PR2.json");
+    let out = args.first().map(String::as_str).unwrap_or("BENCH_PR9.json");
     std::fs::write(out, to_json(&benches)).expect("write baseline");
     println!("wrote {out}");
 }

@@ -161,7 +161,7 @@ impl<'a> Api<'a> {
     /// Explicitly close a move/clone/merge transaction (see
     /// [`ControllerCore::end_op`]).
     pub fn end_op(&mut self, op: OpId) {
-        self.ctx.core.end_op(op, self.ctx.actions);
+        self.ctx.core.end_op(op, self.ctx.now, self.ctx.actions);
     }
 
     /// Is `mb` currently marked unreachable by the embedding? Placement

@@ -38,7 +38,7 @@
 //! same shards lives in [`crate::parallel::ShardedController`], which
 //! wraps each shard in its own lock so disjoint shards never contend.
 
-use openmb_obs::{NodeTag, Recorder, SpanEvent};
+use openmb_obs::{HealthSnapshot, LedgerHealth, NodeTag, Recorder, ShardHealth, SpanEvent};
 use openmb_simnet::SimTime;
 use openmb_types::wire::{EventFilter, Message};
 use openmb_types::{ConfigValue, Error, HeaderFieldList, HierarchicalKey, MbId, OpId};
@@ -381,6 +381,13 @@ impl ControllerCore {
             None,
             SpanEvent::OpRouted { shard: shard as u32, pinned: true },
         );
+        sh.recorder().record(
+            now.0,
+            sh.recorder_tag(),
+            Some(self.chains[ci].id.0),
+            None,
+            SpanEvent::ChainHop { hop: hop as u32 },
+        );
         let c = &mut self.chains[ci];
         c.phase = ChainPhase::Forward { hop, op };
         c.hop_ops.push(op);
@@ -393,9 +400,9 @@ impl ControllerCore {
     /// forward op's deletes are *acked* would race them: a re-sent
     /// delete landing after the reverse move's puts would destroy the
     /// state the rollback just restored.
-    fn begin_undo(&mut self, ci: usize, undo: usize, out: &mut Vec<Action>) {
+    fn begin_undo(&mut self, ci: usize, undo: usize, now: SimTime, out: &mut Vec<Action>) {
         let (shard, fwd) = (self.chains[ci].shard, self.chains[ci].hop_ops[undo]);
-        self.shards[shard].end_op(fwd, out);
+        self.shards[shard].end_op(fwd, now, out);
         let retries_left = match self.chains[ci].phase {
             ChainPhase::Rollback { retries_left, .. } => retries_left,
             _ => self.config.chain_rollback_retries,
@@ -414,6 +421,7 @@ impl ControllerCore {
             _ => self.config.chain_rollback_retries,
         };
         let op = self.shards[shard].move_internal(h.dst, h.src, pattern, now, out);
+        let fwd = self.chains[ci].hop_ops[undo];
         let sh = &self.shards[shard];
         sh.recorder().record(
             now.0,
@@ -421,6 +429,13 @@ impl ControllerCore {
             Some(op.0),
             None,
             SpanEvent::OpRouted { shard: shard as u32, pinned: true },
+        );
+        sh.recorder().record(
+            now.0,
+            sh.recorder_tag(),
+            Some(self.chains[ci].id.0),
+            None,
+            SpanEvent::ChainUndo { hop: undo as u32, undoes: fwd.0 },
         );
         self.chains[ci].aux_ops.push((undo, op));
         self.chains[ci].phase =
@@ -433,13 +448,37 @@ impl ControllerCore {
     /// conflict table under their own ids, so later admissions on the
     /// chain's flowspace keep serializing behind the drain exactly as
     /// they would behind a single transfer's close-out.
-    fn settle_chain(&mut self, ci: usize, completion: Completion, out: &mut Vec<Action>) {
+    fn settle_chain(
+        &mut self,
+        ci: usize,
+        completion: Completion,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         let c = self.chains.remove(ci);
         let hop_iter = c.hop_ops.iter().enumerate().map(|(hop, op)| (hop, *op));
         for (hop, op) in hop_iter.chain(c.aux_ops.iter().copied()) {
             if !self.shards[c.shard].op_closed(op) {
                 let h = c.spec.hops[hop];
                 self.router.register_transfer(op, c.spec.pattern, h.src, h.dst, c.shard);
+            }
+        }
+        let sh = &self.shards[c.shard];
+        match &completion {
+            Completion::Failed { error, .. } => {
+                let msg = error.to_string();
+                sh.recorder().record_with(now.0, sh.recorder_tag(), Some(c.id.0), None, || {
+                    SpanEvent::Aborted { error: msg.clone() }
+                });
+            }
+            _ => {
+                sh.recorder().record(
+                    now.0,
+                    sh.recorder_tag(),
+                    Some(c.id.0),
+                    None,
+                    SpanEvent::Completed,
+                );
             }
         }
         out.push(Action::Notify(completion));
@@ -528,7 +567,7 @@ impl ControllerCore {
                                         hops: self.chains[ci].spec.hops.len(),
                                         chunks_moved: self.chains[ci].chunks_moved,
                                     };
-                                    self.settle_chain(ci, completion, out);
+                                    self.settle_chain(ci, completion, now, out);
                                     closed_any = true;
                                 }
                                 continue 'fixpoint;
@@ -542,10 +581,10 @@ impl ControllerCore {
                                         }),
                                         dropped_events: self.chains[ci].dropped_events,
                                     };
-                                    self.settle_chain(ci, completion, out);
+                                    self.settle_chain(ci, completion, now, out);
                                     closed_any = true;
                                 } else {
-                                    self.begin_undo(ci, undo - 1, out);
+                                    self.begin_undo(ci, undo - 1, now, out);
                                 }
                                 continue 'fixpoint;
                             }
@@ -566,7 +605,7 @@ impl ControllerCore {
                                         error: self.chains[ci].error.clone().expect("just set"),
                                         dropped_events: self.chains[ci].dropped_events,
                                     };
-                                    self.settle_chain(ci, completion, out);
+                                    self.settle_chain(ci, completion, now, out);
                                     closed_any = true;
                                 } else {
                                     self.chains[ci].phase = ChainPhase::Rollback {
@@ -577,7 +616,7 @@ impl ControllerCore {
                                     };
                                     // Force-quiesce the completed hop;
                                     // its close gates the reverse move.
-                                    self.begin_undo(ci, hop - 1, out);
+                                    self.begin_undo(ci, hop - 1, now, out);
                                 }
                                 continue 'fixpoint;
                             }
@@ -591,7 +630,7 @@ impl ControllerCore {
                                         error: Error::OpFailed("chain rollback incomplete".into()),
                                         dropped_events: self.chains[ci].dropped_events,
                                     };
-                                    self.settle_chain(ci, completion, out);
+                                    self.settle_chain(ci, completion, now, out);
                                     closed_any = true;
                                 } else {
                                     // Park; a paced entry point
@@ -688,12 +727,13 @@ impl ControllerCore {
         }
     }
 
-    /// `endOp`. (Carries no timestamp, so any deferral this unblocks is
-    /// released by the next timestamped entry point — tick or message.)
-    pub fn end_op(&mut self, op: OpId, out: &mut Vec<Action>) {
+    /// `endOp`. (`now` timestamps the quiescence deletes this issues;
+    /// any deferral this unblocks is still released by the next
+    /// state-advancing entry point — tick or message.)
+    pub fn end_op(&mut self, op: OpId, now: SimTime, out: &mut Vec<Action>) {
         self.sync_config();
         let s = self.router.shard_of_op(op);
-        self.shards[s].end_op(op, out);
+        self.shards[s].end_op(op, now, out);
     }
 
     // ------------------------------------------------------------------
@@ -853,6 +893,38 @@ impl ControllerCore {
             merged.bytes_saved += s.bytes_saved;
         }
         merged
+    }
+
+    /// One point-in-time health capture: per-shard load, deferred ops,
+    /// open chains, and the aggregate transfer ledger. `violations` is
+    /// supplied by the caller (the invariant [`openmb_obs::Monitor`]
+    /// lives in the embedding, not in the core); queue depth / busy
+    /// fields are zero here and filled in by embeddings that model
+    /// per-shard service queues (the sim's `ControllerNode`).
+    pub fn health_snapshot(&self, t_ns: u64, violations: u64) -> HealthSnapshot {
+        let mut ledger = LedgerHealth::default();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (i, sh) in self.shards.iter().enumerate() {
+            let a = sh.aggregate_ledger_stats();
+            ledger.puts_in_flight += a.puts_in_flight as u64;
+            ledger.puts_queued += a.puts_queued as u64;
+            ledger.ack_set_size += a.ack_set_size as u64;
+            ledger.bodies_in_flight += a.bodies_in_flight as u64;
+            ledger.in_flight_peak = ledger.in_flight_peak.max(a.in_flight_peak as u64);
+            ledger.cache_hits += a.cache_hits;
+            ledger.cache_misses += a.cache_misses;
+            ledger.bodies_sent += a.bodies_sent;
+            ledger.bytes_saved += a.bytes_saved;
+            shards.push(ShardHealth {
+                shard: i as u32,
+                open_ops: sh.open_ops() as u64,
+                deferred_ops: sh.deferred_ops() as u64,
+                queue_depth: 0,
+                queue_depth_peak: 0,
+                busy: false,
+            });
+        }
+        HealthSnapshot { t_ns, shards, open_chains: self.chains.len() as u64, ledger, violations }
     }
 
     /// Live transfers currently pinned in the router's conflict table

@@ -822,6 +822,20 @@ impl ControllerNode {
         self.dispatch_actions(ctx, actions);
     }
 
+    /// One point-in-time health capture: the core's view
+    /// ([`ControllerCore::health_snapshot`]) plus the per-shard service
+    /// queues this node models (depth, peak, busy). `violations` comes
+    /// from the harness's invariant monitor (0 when none is attached).
+    pub fn health_snapshot(&self, t_ns: u64, violations: u64) -> openmb_obs::HealthSnapshot {
+        let mut snap = self.core.health_snapshot(t_ns, violations);
+        for (i, s) in snap.shards.iter_mut().enumerate() {
+            s.queue_depth = self.queues[i].len() as u64;
+            s.queue_depth_peak = self.queue_depth_peak[i] as u64;
+            s.busy = self.busy[i];
+        }
+        snap
+    }
+
     /// Register a middlebox's sim node; returns the MB handle used in
     /// the northbound API.
     pub fn register_mb(&mut self, node: NodeId) -> MbId {

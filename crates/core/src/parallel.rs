@@ -150,10 +150,10 @@ impl ShardedController {
 
     /// `endOp` — op ownership is pure residue arithmetic, no router
     /// lock.
-    pub fn end_op(&self, op: OpId) -> Vec<Action> {
+    pub fn end_op(&self, op: OpId, now: SimTime) -> Vec<Action> {
         let s = ShardRouter::owner_of_op(self.shards.len(), op);
         let mut out = Vec::new();
-        self.shards[s].lock().end_op(op, &mut out);
+        self.shards[s].lock().end_op(op, now, &mut out);
         out
     }
 

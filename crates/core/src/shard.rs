@@ -978,10 +978,10 @@ impl ControllerShard {
     /// sync window at the instant the encoder switches caches (§6.1
     /// step 5), where event quiescence would never occur because shared
     /// state is updated by every packet.
-    pub fn end_op(&mut self, op: OpId, out: &mut Vec<Action>) {
+    pub fn end_op(&mut self, op: OpId, now: SimTime, out: &mut Vec<Action>) {
         // The source tagged its sync marks with the get sub-ops;
         // quiesce_op closes each of them (and deletes moved state).
-        self.quiesce_op(op, out);
+        self.quiesce_op(op, now, out);
     }
 
     // ------------------------------------------------------------------
@@ -1063,7 +1063,7 @@ impl ControllerShard {
                     mk(put_sub, chunk)
                 };
                 self.span(now, parent, Some(put_sub), SpanEvent::Issued { kind: m.kind_name() });
-                self.enqueue_put(parent, seq, m, out);
+                self.enqueue_put(parent, seq, m, now, out);
                 self.maybe_finish_get(parent, sub, now, out);
             }
             Message::GetAck { op: sub, count } => {
@@ -1118,7 +1118,7 @@ impl ControllerShard {
                 if let Some(st) = self.ops.get_mut(&parent) {
                     st.shared_puts.push(put_sub);
                 }
-                self.enqueue_put(parent, seq, m, out);
+                self.enqueue_put(parent, seq, m, now, out);
             }
             Message::ChunkNeed { op: sub, hash } => {
                 // Destination-side cache miss: stream the parked body.
@@ -1247,7 +1247,7 @@ impl ControllerShard {
                         }
                     }
                 }
-                self.refill_window(parent, out);
+                self.refill_window(parent, now, out);
                 self.maybe_complete(parent, now, out);
             }
             Message::OpAck { op: sub } => {
@@ -1286,8 +1286,15 @@ impl ControllerShard {
                     SubRole::DelSupport | SubRole::DelReport | SubRole::DelShared => {
                         // Quiescence/abort deletes; the ack closes the
                         // ledger entry and stops the re-send chain.
-                        // Nothing to report northbound.
+                        // Nothing to report northbound. The span fires
+                        // only when an entry actually closed —
+                        // duplicated acks must not inflate the
+                        // monitor's delete accounting.
+                        let before = self.pending_deletes.len();
                         self.pending_deletes.retain(|r| r.sub != sub);
+                        if self.pending_deletes.len() < before {
+                            self.span(now, parent, Some(sub), SpanEvent::DeleteAcked);
+                        }
                     }
                     _ => {}
                 }
@@ -1297,7 +1304,13 @@ impl ControllerShard {
                 // op already reported its failure, so there is nothing
                 // left to notify; the ack closes the ledger entry and
                 // stops the re-send chain.
+                let before = self.pending_deletes.len();
                 self.pending_deletes.retain(|r| r.sub != sub);
+                if self.pending_deletes.len() < before {
+                    if let Some(&(parent, _)) = self.sub_ops.get(&sub) {
+                        self.span(now, parent, Some(sub), SpanEvent::DeleteAcked);
+                    }
+                }
             }
             Message::ConfigValues { op: sub, pairs } => {
                 let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
@@ -1374,9 +1387,15 @@ impl ControllerShard {
                 // op releases its bookkeeping instead of lingering open.
                 // A rejected delete also closes its ledger entry —
                 // the MB has spoken; re-sending cannot change the
-                // answer.
+                // answer (the span marks the entry closed, same as an
+                // ack, so the monitor's ledger drains).
+                let before = self.pending_deletes.len();
                 self.pending_deletes.retain(|r| r.sub != sub);
+                let closed_delete = self.pending_deletes.len() < before;
                 let Some(&(parent, _)) = self.sub_ops.get(&sub) else { return };
+                if closed_delete {
+                    self.span(now, parent, Some(sub), SpanEvent::DeleteAcked);
+                }
                 self.abort_op(parent, error, now, out);
             }
             _ => {
@@ -1420,7 +1439,7 @@ impl ControllerShard {
                 if matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge) {
                     // Finalize: close the sync window and (moves) delete
                     // at the source, if the source is still up.
-                    self.quiesce_op(op, out);
+                    self.quiesce_op(op, now, out);
                 }
             } else if matches!(st.kind, OpKind::Move | OpKind::Clone | OpKind::Merge)
                 && st.resumes_left > 0
@@ -1503,14 +1522,34 @@ impl ControllerShard {
         let had_chunks = st.chunks > 0;
         let get_subs = std::mem::take(&mut st.get_subs);
         let shared_puts = std::mem::take(&mut st.shared_puts);
+        // Terminal event first: the compensating deletes below are
+        // consequences of the abort, and the invariant monitor insists
+        // on that order (deletes only after a terminal event).
+        self.obs.record_with(now.0, self.obs_tag, Some(op.0), None, || SpanEvent::Aborted {
+            error: error.to_string(),
+        });
         if kind == OpKind::Move && had_chunks {
             // Before the move the destination held nothing under the
             // op's pattern (the premise of moveInternal), so deleting by
             // pattern removes exactly the chunks this op streamed in.
             let ds = self.alloc_sub(op, SubRole::DelSupport);
             let dr = self.alloc_sub(op, SubRole::DelReport);
-            self.track_delete(dst, ds, Message::DelSupportPerflow { op: ds, key: pattern }, out);
-            self.track_delete(dst, dr, Message::DelReportPerflow { op: dr, key: pattern }, out);
+            self.track_delete(
+                op,
+                dst,
+                ds,
+                Message::DelSupportPerflow { op: ds, key: pattern },
+                now,
+                out,
+            );
+            self.track_delete(
+                op,
+                dst,
+                dr,
+                Message::DelReportPerflow { op: dr, key: pattern },
+                now,
+                out,
+            );
         }
         if matches!(kind, OpKind::Clone | OpKind::Merge) && !shared_puts.is_empty() {
             // Compensating rollback (§4.1.3): undo the shared-state
@@ -1521,16 +1560,20 @@ impl ControllerShard {
             // orphaned state) survive its crash — deferred to reattach
             // when the destination is down right now.
             let del = self.alloc_sub(op, SubRole::DelShared);
-            self.track_delete(dst, del, Message::DeleteState { op: del, puts: shared_puts }, out);
+            self.track_delete(
+                op,
+                dst,
+                del,
+                Message::DeleteState { op: del, puts: shared_puts },
+                now,
+                out,
+            );
         }
         if !self.unreachable.contains(&src) {
             for sub in get_subs {
                 out.push(Action::ToMb(src, Message::EndSync { op: sub }));
             }
         }
-        self.obs.record_with(now.0, self.obs_tag, Some(op.0), None, || SpanEvent::Aborted {
-            error: error.to_string(),
-        });
         out.push(Action::Notify(Completion::Failed { op, error, dropped_events }));
     }
 
@@ -1540,7 +1583,7 @@ impl ControllerShard {
     /// close the sync window. `EndSync` is fire-and-forget and skipped
     /// while the source is unreachable: its loss only leaves a sync
     /// mark in the source's tracker, never state.
-    fn quiesce_op(&mut self, op: OpId, out: &mut Vec<Action>) {
+    fn quiesce_op(&mut self, op: OpId, now: SimTime, out: &mut Vec<Action>) {
         let Some(st) = self.ops.get_mut(&op) else { return };
         if st.quiesced {
             return;
@@ -1551,8 +1594,22 @@ impl ControllerShard {
         if kind == OpKind::Move {
             let ds = self.alloc_sub(op, SubRole::DelSupport);
             let dr = self.alloc_sub(op, SubRole::DelReport);
-            self.track_delete(src, ds, Message::DelSupportPerflow { op: ds, key: pattern }, out);
-            self.track_delete(src, dr, Message::DelReportPerflow { op: dr, key: pattern }, out);
+            self.track_delete(
+                op,
+                src,
+                ds,
+                Message::DelSupportPerflow { op: ds, key: pattern },
+                now,
+                out,
+            );
+            self.track_delete(
+                op,
+                src,
+                dr,
+                Message::DelReportPerflow { op: dr, key: pattern },
+                now,
+                out,
+            );
         }
         if !self.unreachable.contains(&src) {
             for sub in get_subs {
@@ -1563,8 +1620,18 @@ impl ControllerShard {
 
     /// Record a delete in the acked re-delivery ledger and send it now,
     /// unless `mb` is unreachable — then the entry parks (due `None`)
-    /// and `mark_reachable` re-sends it on reattach.
-    fn track_delete(&mut self, mb: MbId, sub: OpId, msg: Message, out: &mut Vec<Action>) {
+    /// and `mark_reachable` re-sends it on reattach. The `DeleteIssued`
+    /// span marks the ledger-entry open; the invariant monitor checks
+    /// it only fires after `op`'s terminal event.
+    fn track_delete(
+        &mut self,
+        op: OpId,
+        mb: MbId,
+        sub: OpId,
+        msg: Message,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
         let down = self.unreachable.contains(&mb);
         if !down {
             out.push(Action::ToMb(mb, msg.clone()));
@@ -1576,6 +1643,7 @@ impl ControllerShard {
             due: if down { None } else { Some(SimTime::ZERO) },
             left: self.config.max_retries,
         });
+        self.span(now, op, Some(sub), SpanEvent::DeleteIssued { mb: mb.0 });
     }
 
     /// Close get sub-op `sub` of `parent` once its `GetAck` has arrived
@@ -1602,17 +1670,25 @@ impl ControllerShard {
     /// (or windowing is off), otherwise defer it to the queue for
     /// `refill_window`. Suspended ops always queue — their in-flight
     /// set is re-sent wholesale by `resume_op`.
-    fn enqueue_put(&mut self, op: OpId, seq: u64, m: Message, out: &mut Vec<Action>) {
+    fn enqueue_put(&mut self, op: OpId, seq: u64, m: Message, now: SimTime, out: &mut Vec<Action>) {
         let window = self.config.transfer_window as usize;
         let mut in_flight = 0;
+        let mut admitted = false;
         if let Some(st) = self.ops.get_mut(&op) {
             if !st.suspended && (window == 0 || st.unacked_puts.len() < window) {
                 st.unacked_puts.insert(seq, m.clone());
                 in_flight = st.unacked_puts.len();
                 out.push(Action::ToMb(st.dst, m));
+                admitted = true;
             } else {
                 st.queued_puts.push_back((seq, m));
             }
+        }
+        if admitted {
+            // Window-queued puts get their PutAdmitted only once
+            // refill_window promotes them, so admissions mirror the
+            // ledger exactly (what the I1 window invariant counts).
+            self.span(now, op, None, SpanEvent::PutAdmitted { seq });
         }
         self.in_flight_peak = self.in_flight_peak.max(in_flight);
     }
@@ -1620,9 +1696,10 @@ impl ControllerShard {
     /// Promote queued puts into freed window slots and send them. Called
     /// on every ack and at the end of a resume; a no-op for terminal or
     /// suspended ops so a late ack cannot push puts past an abort.
-    fn refill_window(&mut self, op: OpId, out: &mut Vec<Action>) {
+    fn refill_window(&mut self, op: OpId, now: SimTime, out: &mut Vec<Action>) {
         let window = self.config.transfer_window as usize;
         let mut in_flight = 0;
+        let mut admitted = Vec::new();
         if let Some(st) = self.ops.get_mut(&op) {
             if st.completed || st.quiesced || st.suspended {
                 return;
@@ -1632,7 +1709,11 @@ impl ControllerShard {
                 st.unacked_puts.insert(seq, m.clone());
                 in_flight = st.unacked_puts.len();
                 out.push(Action::ToMb(st.dst, m));
+                admitted.push(seq);
             }
+        }
+        for seq in admitted {
+            self.span(now, op, None, SpanEvent::PutAdmitted { seq });
         }
         self.in_flight_peak = self.in_flight_peak.max(in_flight);
     }
@@ -1689,7 +1770,7 @@ impl ControllerShard {
         }
         // Chunks that arrived while parked were window-deferred; top the
         // window back up now that the transfer is live again.
-        self.refill_window(op, out);
+        self.refill_window(op, now, out);
     }
 
     fn maybe_complete(&mut self, parent: OpId, now: SimTime, out: &mut Vec<Action>) {
@@ -1858,7 +1939,7 @@ impl ControllerShard {
         ready.sort();
         for op in ready {
             if self.ops.contains_key(&op) {
-                self.quiesce_op(op, out);
+                self.quiesce_op(op, now, out);
             } else {
                 // The op's state vanished between collection and
                 // processing. Nothing to clean up, but the application
@@ -1887,6 +1968,12 @@ impl ControllerShard {
             })
             .count()
             + self.pending_deletes.iter().filter(|r| r.due.is_some()).count()
+    }
+
+    /// Number of ops parked on cross-shard conflicts, awaiting release
+    /// (health snapshots).
+    pub fn deferred_ops(&self) -> usize {
+        self.ops.values().filter(|st| st.deferred && !st.quiesced).count()
     }
 
     /// Has this operation fully left the shard — terminal (quiesced,
@@ -1944,6 +2031,27 @@ impl ControllerShard {
             bodies_sent: self.bodies_sent,
             bytes_saved: self.bytes_saved,
         }
+    }
+
+    /// Transfer-ledger occupancy summed over *every* op the shard still
+    /// tracks (health snapshots want "how loaded is this shard now",
+    /// not one op's view).
+    pub fn aggregate_ledger_stats(&self) -> TransferLedgerStats {
+        let mut agg = TransferLedgerStats {
+            in_flight_peak: self.in_flight_peak,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            bodies_sent: self.bodies_sent,
+            bytes_saved: self.bytes_saved,
+            ..TransferLedgerStats::default()
+        };
+        for s in self.ops.values() {
+            agg.puts_in_flight += s.unacked_puts.len();
+            agg.puts_queued += s.queued_puts.len();
+            agg.ack_set_size += s.acked_above.len();
+            agg.bodies_in_flight += s.needed.len();
+        }
+        agg
     }
 }
 

@@ -364,12 +364,12 @@ fn end_op_skips_quiescence_wait() {
     w.pump(out);
     assert_eq!(w.a.perflow_entries(), 4);
     let mut out = Vec::new();
-    w.core.end_op(op, &mut out);
+    w.core.end_op(op, w.now, &mut out);
     w.pump(out);
     assert_eq!(w.a.perflow_entries(), 0, "explicit end_op deletes immediately");
     // Idempotent.
     let mut out = Vec::new();
-    w.core.end_op(op, &mut out);
+    w.core.end_op(op, w.now, &mut out);
     assert!(out.is_empty());
     let _ = OpId(0);
 }

@@ -1,17 +1,33 @@
-//! Emit a per-run metrics export: `metrics.json`, `metrics.prom`, and
-//! the scale-up operation's cross-node timeline as `timeline.txt`.
+//! Emit a per-run metrics export: `metrics.json`, `metrics.prom`, the
+//! scale-up operation's cross-node timeline as `timeline.txt`, and the
+//! periodic health snapshots as `health.txt` / `health.json`.
 //!
 //! Usage: `metrics_export [out_dir]` (default `target/metrics`).
+//!
+//! Exits non-zero if the run's online invariant monitor detected any
+//! violation — the export doubles as a protocol health check in CI.
 
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "target/metrics".to_owned());
     let r = openmb_harness::metrics_export::export_scale_up();
     std::fs::create_dir_all(&out).expect("create output directory");
-    for (name, body) in
-        [("metrics.json", &r.json), ("metrics.prom", &r.prometheus), ("timeline.txt", &r.timeline)]
-    {
+    for (name, body) in [
+        ("metrics.json", &r.json),
+        ("metrics.prom", &r.prometheus),
+        ("timeline.txt", &r.timeline),
+        ("health.txt", &r.health_text),
+        ("health.json", &r.health_json),
+    ] {
         let path = format!("{out}/{name}");
         std::fs::write(&path, body).expect("write artifact");
         println!("wrote {path} ({} bytes)", body.len());
     }
+    if !r.violations.is_empty() {
+        eprintln!("invariant monitor flagged {} violation(s):", r.violations.len());
+        for v in &r.violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("invariant monitor: clean");
 }

@@ -236,6 +236,10 @@ pub struct Observed {
     /// of the run. Part of the `PartialEq` replay contract, so the
     /// recorder itself must be deterministic under a fixed schedule.
     pub timeline: String,
+    /// Rendered invariant-monitor violations: the online oracle rode
+    /// the span stream for the whole run, so this must be empty for
+    /// every seed, faulted or not (asserted in `check_mode`).
+    pub violations: Vec<String>,
 }
 
 /// The pre-op images the abort invariants compare against.
@@ -312,8 +316,18 @@ fn drive<M: Middlebox + 'static>(
     let mut setup = two_mb_scenario(src, dst, Box::new(app), ScenarioParams::default());
     // Every run flies with a recorder: a failing seed dumps the faulted
     // timeline next to its replay command, and the replay-equality test
-    // doubles as a determinism check on the recorder itself.
-    setup.sim.set_recorder(openmb_simnet::obs::Recorder::enabled(1024));
+    // doubles as a determinism check on the recorder itself. The online
+    // invariant monitor rides the same stream as a sink — the always-on
+    // oracle every seed must satisfy.
+    let monitor =
+        std::sync::Arc::new(openmb_simnet::obs::Monitor::new(openmb_simnet::obs::MonitorConfig {
+            shards: 1,
+            transfer_window: CONF_WINDOW,
+            ..Default::default()
+        }));
+    let rec = openmb_simnet::obs::Recorder::enabled(1024);
+    rec.add_sink(monitor.clone());
+    setup.sim.set_recorder(rec);
     {
         let ctrl = setup.sim.node_as_mut::<ControllerNode>(CONTROLLER);
         ctrl.core.config.op_deadline = SimDuration::from_secs(4);
@@ -426,6 +440,7 @@ fn drive<M: Middlebox + 'static>(
         open_ops,
         fault_log,
         timeline,
+        violations: monitor.violations().iter().map(|v| v.to_string()).collect(),
     }
 }
 
@@ -564,6 +579,20 @@ fn check_mode(s: &Schedule, seed: u64, content_cache: bool) -> (Observed, Observ
         )
     };
 
+    // The online oracle: no run — faulted or reference — may emit a
+    // span stream that violates the protocol invariants.
+    assert!(
+        reference.violations.is_empty(),
+        "{}\nreference run violated protocol invariants: {:?}",
+        ctx(),
+        reference.violations
+    );
+    assert!(
+        faulted.violations.is_empty(),
+        "{}\nfaulted run violated protocol invariants: {:?}",
+        ctx(),
+        faulted.violations
+    );
     assert!(
         reference.completed && !reference.failed,
         "{}\nreference run must complete cleanly: {reference:?}",

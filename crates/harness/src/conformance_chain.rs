@@ -210,6 +210,10 @@ pub struct ChainObserved {
     pub open_chains: usize,
     pub fault_log: String,
     pub timeline: String,
+    /// Rendered invariant-monitor violations — the chain suite is
+    /// where I3 (rollback only after the forward hop's source-delete
+    /// acks) gets exercised under fire; must stay empty.
+    pub violations: Vec<String>,
 }
 
 /// Issues the one chain move at the scheduled instant and records the
@@ -257,7 +261,17 @@ fn drive_chain<M: Middlebox + 'static>(
         Box::new(app),
         ScenarioParams::default(),
     );
-    setup.sim.set_recorder(openmb_simnet::obs::Recorder::enabled(4096));
+    // The invariant monitor verifies the chain choreography live:
+    // per-hop windowing (I1), delete-after-terminal (I2), and the
+    // rollback ordering rule (I3) all ride the span stream.
+    let monitor = Arc::new(openmb_simnet::obs::Monitor::new(openmb_simnet::obs::MonitorConfig {
+        shards: conc_config().shards,
+        transfer_window: CONF_WINDOW,
+        ..Default::default()
+    }));
+    let rec = openmb_simnet::obs::Recorder::enabled(4096);
+    rec.add_sink(monitor.clone());
+    setup.sim.set_recorder(rec);
     setup.sim.node_as_mut::<ControllerNode>(CONTROLLER).enable_journal();
 
     let mut events: Vec<(SimTime, MbId, bool)> = Vec::new();
@@ -368,6 +382,7 @@ fn drive_chain<M: Middlebox + 'static>(
         open_chains,
         fault_log,
         timeline,
+        violations: monitor.violations().iter().map(|v| v.to_string()).collect(),
     }
 }
 
@@ -416,6 +431,12 @@ pub fn check_chain_seed(seed: u64) -> ChainOutcome {
         )
     };
 
+    assert!(
+        o.violations.is_empty(),
+        "seed {seed}: protocol invariants violated {:?} — {}",
+        o.violations,
+        replay_command(seed)
+    );
     assert_eq!(o.open_chains, 0, "seed {seed}: chain never settled — {}", replay_command(seed));
     assert_eq!(o.open_ops, 0, "seed {seed}: chain bookkeeping leaked — {}", replay_command(seed));
     assert!(

@@ -192,6 +192,10 @@ pub struct ConcObserved {
     pub shards: Vec<usize>,
     pub fault_log: String,
     pub timeline: String,
+    /// Rendered invariant-monitor violations — the online oracle runs
+    /// with the sharded config (residue + deferred-silence checks
+    /// active) and must stay empty for every seed.
+    pub violations: Vec<String>,
 }
 
 /// Issues every scheduled op in one timer callback — the same virtual
@@ -263,7 +267,17 @@ fn drive_conc<M: Middlebox + 'static>(
         Box::new(app),
         ScenarioParams::default(),
     );
-    setup.sim.set_recorder(openmb_simnet::obs::Recorder::enabled(4096));
+    // The invariant monitor rides the span stream with the sharded
+    // config: I5 (residue routing) and I4 (deferred silence) are live
+    // here, not just the single-shard rules.
+    let monitor = Arc::new(openmb_simnet::obs::Monitor::new(openmb_simnet::obs::MonitorConfig {
+        shards: SHARDS,
+        transfer_window: CONF_WINDOW,
+        ..Default::default()
+    }));
+    let rec = openmb_simnet::obs::Recorder::enabled(4096);
+    rec.add_sink(monitor.clone());
+    setup.sim.set_recorder(rec);
     setup.sim.node_as_mut::<ControllerNode>(CONTROLLER).enable_journal();
 
     let mut events: Vec<(SimTime, MbId, bool)> = Vec::new();
@@ -361,7 +375,14 @@ fn drive_conc<M: Middlebox + 'static>(
             dst_shared: canonical_shared(&mut mk, dst_shared),
         });
     }
-    ConcObserved { pairs, open_ops, shards, fault_log, timeline }
+    ConcObserved {
+        pairs,
+        open_ops,
+        shards,
+        fault_log,
+        timeline,
+        violations: monitor.violations().iter().map(|v| v.to_string()).collect(),
+    }
 }
 
 fn mk_conc_mb(mb: ConcMb, ops: &[ConfOp], sched: Option<&ConcSchedule>) -> ConcObserved {
@@ -445,6 +466,12 @@ pub fn check_concurrent_seed(seed: u64) -> ConcOutcome {
         )
     };
 
+    assert!(
+        o.violations.is_empty(),
+        "seed {seed}: protocol invariants violated {:?} — {}",
+        o.violations,
+        replay_command(seed)
+    );
     assert_eq!(
         o.open_ops,
         0,
@@ -588,9 +615,22 @@ mod tests {
                 Box::new(BridgeApp { issued: Arc::clone(&issued) }),
                 ScenarioParams::default(),
             );
-            setup.sim.set_recorder(openmb_simnet::obs::Recorder::enabled(4096));
+            // This schedule is I4's canonical case: the bridging clone
+            // parks on a cross-shard conflict and must stay silent
+            // until released — the online monitor proves it from the
+            // span stream alone.
+            let imon =
+                Arc::new(openmb_simnet::obs::Monitor::new(openmb_simnet::obs::MonitorConfig {
+                    shards: SHARDS,
+                    transfer_window: CONF_WINDOW,
+                    ..Default::default()
+                }));
+            let rec = openmb_simnet::obs::Recorder::enabled(4096);
+            rec.add_sink(imon.clone());
+            setup.sim.set_recorder(rec);
             setup.sim.run(50_000_000);
             assert!(setup.sim.is_idle(), "simulation must drain");
+            assert_eq!(imon.violations(), vec![], "bridging schedule violated an invariant");
 
             let ids: Vec<OpId> = issued.lock().unwrap().clone();
             assert_eq!(ids.len(), 3, "two moves plus the bridging clone");

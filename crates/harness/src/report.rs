@@ -66,7 +66,8 @@ impl std::fmt::Display for Table {
 }
 
 /// Render one operation's span as a Fig-7-style timeline table: one
-/// row per recorded event (time-ordered), one column per node in
+/// row per recorded event (time-ordered), a phase column attributing
+/// the event to the op's lifecycle phase, one column per node in
 /// first-appearance order, the event text in the column of the node
 /// that recorded it.
 ///
@@ -75,6 +76,7 @@ impl std::fmt::Display for Table {
 /// no parent but whose `sub` is one of the op's sub-op ids (MB side —
 /// only the sub-op id crosses the wire).
 pub fn op_timeline(dump: &RecorderDump, op: u64) -> Table {
+    use openmb_simnet::obs::SpanEvent;
     let subs: std::collections::BTreeSet<u64> =
         dump.events.iter().filter(|e| e.op == Some(op)).filter_map(|e| e.sub).collect();
     let mut selected: Vec<_> = dump
@@ -87,10 +89,14 @@ pub fn op_timeline(dump: &RecorderDump, op: u64) -> Table {
     // The dump is in *recording* order, which is only time-ordered per
     // recording thread: a recorder shared across nodes (TCP loopback)
     // or across controller shards interleaves out of order. Re-sort by
-    // (time, op-level before sub-level, sub id); the sort is stable, so
-    // events identical in all three keys keep their recording order —
-    // byte-identical output on replay.
-    selected.sort_by_key(|e| (e.t_ns, e.op.is_none(), e.sub.unwrap_or(0)));
+    // (time, op-level before sub-level, sub id, op id); sub and op ids
+    // are allocated from per-shard residue streams, so the id keys
+    // deterministically break same-instant ties *across shards* —
+    // without them, two sub-ops stamped in the same instant on
+    // different shards would keep their (thread-racy) recording order
+    // and replays at shards>1 could render differently. The sort is
+    // stable, so fully-identical keys keep recording order.
+    selected.sort_by_key(|e| (e.t_ns, e.op.is_none(), e.sub.unwrap_or(0), e.op.unwrap_or(0)));
 
     let mut nodes: Vec<&str> = Vec::new();
     for e in &selected {
@@ -98,7 +104,7 @@ pub fn op_timeline(dump: &RecorderDump, op: u64) -> Table {
             nodes.push(&e.node);
         }
     }
-    let mut columns = vec!["t (ms)", "sub"];
+    let mut columns = vec!["t (ms)", "sub", "phase"];
     columns.extend(nodes.iter().copied());
     let mut t = Table::new(
         format!(
@@ -108,10 +114,29 @@ pub fn op_timeline(dump: &RecorderDump, op: u64) -> Table {
         ),
         &columns,
     );
+    // Phase attribution mirrors the monitor's model: admit (issue →
+    // first put admission), transfer (→ terminal), quiesce (→ first
+    // delete), then commit/rollback (the delete leg, named by the
+    // terminal outcome).
+    let mut phase = "admit";
+    let mut aborted = false;
     for e in &selected {
+        match &e.event {
+            SpanEvent::PutAdmitted { .. } if phase == "admit" => phase = "transfer",
+            SpanEvent::Completed if e.op == Some(op) && e.sub.is_none() => phase = "quiesce",
+            SpanEvent::Aborted { .. } if e.op == Some(op) => {
+                phase = "quiesce";
+                aborted = true;
+            }
+            SpanEvent::DeleteIssued { .. } if phase == "quiesce" => {
+                phase = if aborted { "rollback" } else { "commit" };
+            }
+            _ => {}
+        }
         let mut row = vec![
             format!("{:.3}", e.t_ns as f64 / 1e6),
             e.sub.map(|s| s.to_string()).unwrap_or_else(|| "—".into()),
+            phase.to_owned(),
         ];
         for n in &nodes {
             row.push(if *n == e.node { e.event.to_string() } else { String::new() });
@@ -206,11 +231,11 @@ mod tests {
             capacity: 16,
         };
         let t = op_timeline(&dump, 7);
-        assert_eq!(t.columns, vec!["t (ms)", "sub", "controller", "mb:mb_b"]);
+        assert_eq!(t.columns, vec!["t (ms)", "sub", "phase", "controller", "mb:mb_b"]);
         assert_eq!(t.rows.len(), 4, "{t}");
         // The MB-side event lands in the MB column, empty elsewhere.
-        assert_eq!(t.rows[2][2], "");
-        assert_eq!(t.rows[2][3], "handled(putSupportPerflow)");
+        assert_eq!(t.rows[2][3], "");
+        assert_eq!(t.rows[2][4], "handled(putSupportPerflow)");
         let s = t.to_string();
         assert!(s.contains("issued(moveInternal)"), "{s}");
         assert!(!s.contains("getStats"), "{s}");
@@ -249,6 +274,72 @@ mod tests {
         // sub-correlated MB event.
         assert_eq!(t.rows[2][1], "—", "{t}");
         assert_eq!(t.rows[3][1], "9", "{t}");
+    }
+
+    #[test]
+    fn op_timeline_breaks_same_instant_cross_shard_ties_by_id() {
+        use openmb_simnet::obs::{SpanEvent, TimelineEvent};
+        let ev = |t_ns, node: &str, op, sub, event| TimelineEvent {
+            t_ns,
+            node: node.to_owned(),
+            op,
+            sub,
+            event,
+        };
+        // Two sub-ops of op 8 stamped in the *same instant* on MBs
+        // driven by different shards (sub ids 12 and 13 come from
+        // different residue streams). With threaded shards the
+        // recording order of the pair races; the rendered table must
+        // not depend on it, so build the same dump in both interleavings.
+        let mk = |swapped: bool| {
+            let mut pair = vec![
+                ev(2_000_000, "mb:a", None, Some(12), SpanEvent::Handled { msg: "put" }),
+                ev(2_000_000, "mb:b", None, Some(13), SpanEvent::Handled { msg: "put" }),
+            ];
+            if swapped {
+                pair.reverse();
+            }
+            let mut events = vec![
+                ev(1_000_000, "controller", Some(8), None, SpanEvent::Issued { kind: "move" }),
+                ev(1_500_000, "controller", Some(8), Some(12), SpanEvent::Issued { kind: "put" }),
+                ev(1_500_000, "controller", Some(8), Some(13), SpanEvent::Issued { kind: "put" }),
+            ];
+            events.extend(pair);
+            RecorderDump { events, evicted: 0, capacity: 16 }
+        };
+        let a = op_timeline(&mk(false), 8).to_string();
+        let b = op_timeline(&mk(true), 8).to_string();
+        assert_eq!(a, b, "timeline must be byte-identical whichever shard recorded first");
+        // And the tie resolves by sub id, not recording order.
+        let t = op_timeline(&mk(true), 8);
+        assert_eq!(t.rows[3][1], "12", "{t}");
+        assert_eq!(t.rows[4][1], "13", "{t}");
+    }
+
+    #[test]
+    fn op_timeline_attributes_phases() {
+        use openmb_simnet::obs::{SpanEvent, TimelineEvent};
+        let ev = |t_ns, op, sub, event| TimelineEvent {
+            t_ns,
+            node: "controller".to_owned(),
+            op,
+            sub,
+            event,
+        };
+        let dump = RecorderDump {
+            events: vec![
+                ev(1_000_000, Some(7), None, SpanEvent::Issued { kind: "move" }),
+                ev(2_000_000, Some(7), Some(9), SpanEvent::PutAdmitted { seq: 0 }),
+                ev(3_000_000, Some(7), None, SpanEvent::Completed),
+                ev(4_000_000, Some(7), None, SpanEvent::DeleteIssued { mb: 1 }),
+                ev(5_000_000, Some(7), None, SpanEvent::DeleteAcked),
+            ],
+            evicted: 0,
+            capacity: 16,
+        };
+        let t = op_timeline(&dump, 7);
+        let phases: Vec<&str> = t.rows.iter().map(|r| r[2].as_str()).collect();
+        assert_eq!(phases, vec!["admit", "transfer", "quiesce", "commit", "commit"], "{t}");
     }
 
     #[test]

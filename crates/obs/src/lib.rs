@@ -24,10 +24,18 @@
 //!   buffer (`Arc`), which is what lets a journaled `ControllerCore`
 //!   snapshot carry the same recorder as the live core.
 
+mod health;
 mod metrics;
+mod monitor;
+mod phase;
 mod recorder;
 mod span;
 
+pub use health::{HealthSnapshot, LedgerHealth, ShardHealth};
 pub use metrics::{Histogram, Registry, DEFAULT_BOUNDS};
-pub use recorder::{NodeTag, RecordedEvent, Recorder, RecorderDump, TimelineEvent};
+pub use monitor::{Monitor, MonitorConfig, Violation};
+pub use phase::{
+    export_chain_phases, export_op_phases, percentile, ChainPhases, HopPhase, OpPhases,
+};
+pub use recorder::{NodeTag, ObsSink, RecordedEvent, Recorder, RecorderDump, TimelineEvent};
 pub use span::{ParkReason, SpanEvent};

@@ -80,11 +80,24 @@ impl std::fmt::Display for RecorderDump {
     }
 }
 
+/// A live consumer of the span stream, invoked synchronously for every
+/// recorded event *before* it enters the ring. Sinks therefore see the
+/// full stream even when the bounded ring later evicts the event — an
+/// invariant monitor's verdicts survive wraparound.
+///
+/// Implementations must not call back into the recorder from
+/// `on_event` (the ring lock is held); keep per-event work small, it
+/// runs on the recording thread.
+pub trait ObsSink: Send + Sync {
+    fn on_event(&self, ev: &RecordedEvent);
+}
+
 struct Inner {
     names: Vec<String>,
     ring: VecDeque<RecordedEvent>,
     capacity: usize,
     evicted: u64,
+    sinks: Vec<Arc<dyn ObsSink>>,
 }
 
 struct Shared {
@@ -133,6 +146,7 @@ impl Recorder {
                     ring: VecDeque::with_capacity(capacity.min(4096)),
                     capacity,
                     evicted: 0,
+                    sinks: Vec::new(),
                 }),
                 epoch: Instant::now(),
             })),
@@ -141,6 +155,17 @@ impl Recorder {
 
     pub fn is_enabled(&self) -> bool {
         self.shared.is_some()
+    }
+
+    /// Attach a live span-stream consumer. Every subsequent
+    /// [`Recorder::record`] delivers the event to the sink before it
+    /// enters the ring (so sinks observe events the ring later
+    /// evicts). A no-op on a disabled recorder — the disabled record
+    /// path stays a single branch.
+    pub fn add_sink(&self, sink: Arc<dyn ObsSink>) {
+        if let Some(s) = &self.shared {
+            s.inner.lock().unwrap().sinks.push(sink);
+        }
     }
 
     /// Intern a node name, deduplicating on repeat registration.
@@ -238,6 +263,9 @@ impl Recorder {
 impl Shared {
     fn push(&self, ev: RecordedEvent) {
         let mut inner = self.inner.lock().unwrap();
+        for sink in &inner.sinks {
+            sink.on_event(&ev);
+        }
         if inner.ring.len() == inner.capacity {
             inner.ring.pop_front();
             inner.evicted += 1;
@@ -311,6 +339,34 @@ mod tests {
         assert_eq!(d.events[0].node, "ctrl");
         assert_eq!(d.events[1].node, "mb:A");
         assert_eq!(d.events[1].sub, Some(2));
+    }
+
+    #[test]
+    fn sinks_see_every_event_including_evicted_ones() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Counter(AtomicU64);
+        impl ObsSink for Counter {
+            fn on_event(&self, ev: &RecordedEvent) {
+                self.0.fetch_add(ev.t_ns, Ordering::Relaxed);
+            }
+        }
+        let r = Recorder::enabled(2);
+        let tag = r.register("n");
+        let c = Arc::new(Counter(AtomicU64::new(0)));
+        r.add_sink(c.clone());
+        for i in 1..=5u64 {
+            r.record(i, tag, Some(1), None, SpanEvent::ChunkAcked { seq: i });
+        }
+        // The ring kept only 2 events, but the sink saw all 5.
+        assert_eq!(r.dump().events.len(), 2);
+        assert_eq!(c.0.load(Ordering::Relaxed), 1 + 2 + 3 + 4 + 5);
+
+        // Disabled recorders drop the sink without invoking it.
+        let d = Recorder::disabled();
+        let c2 = Arc::new(Counter(AtomicU64::new(0)));
+        d.add_sink(c2.clone());
+        d.record(9, NodeTag::NONE, None, None, SpanEvent::Completed);
+        assert_eq!(c2.0.load(Ordering::Relaxed), 0);
     }
 
     #[test]

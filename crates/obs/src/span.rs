@@ -70,6 +70,23 @@ pub enum SpanEvent {
     /// The shard router admitted the operation onto a controller shard
     /// (`pinned` when a flowspace conflict overrode the hash placement).
     OpRouted { shard: u32, pinned: bool },
+    /// A put (chunk ref or full chunk) entered the in-flight window
+    /// ledger and was handed to the wire. Window-queued puts only get
+    /// this event once `refill_window` admits them, so the number of
+    /// admitted-but-unacked seqs is exactly the ledger occupancy.
+    PutAdmitted { seq: u64 },
+    /// A compensating/quiescence delete entered the acked-delete
+    /// ledger targeting middlebox `mb`.
+    DeleteIssued { mb: u32 },
+    /// The delete's ledger entry closed — acknowledged by the MB, or
+    /// terminally rejected (the error path tears the entry down).
+    DeleteAcked,
+    /// Chain hop `hop`'s forward move was issued (recorded under the
+    /// chain id; the per-hop op gets its own `OpRouted`/`Issued`).
+    ChainHop { hop: u32 },
+    /// Chain hop `hop`'s compensating reverse move was issued;
+    /// `undoes` is the forward op id being compensated.
+    ChainUndo { hop: u32, undoes: u64 },
 }
 
 impl fmt::Display for SpanEvent {
@@ -89,6 +106,13 @@ impl fmt::Display for SpanEvent {
             SpanEvent::BatchFlushed { count } => write!(f, "batch-flushed(count={count})"),
             SpanEvent::OpRouted { shard, pinned } => {
                 write!(f, "routed(shard={shard}{})", if *pinned { ",pinned" } else { "" })
+            }
+            SpanEvent::PutAdmitted { seq } => write!(f, "put-admitted(seq={seq})"),
+            SpanEvent::DeleteIssued { mb } => write!(f, "delete-issued(mb={mb})"),
+            SpanEvent::DeleteAcked => write!(f, "delete-acked"),
+            SpanEvent::ChainHop { hop } => write!(f, "chain-hop({hop})"),
+            SpanEvent::ChainUndo { hop, undoes } => {
+                write!(f, "chain-undo(hop={hop},undoes={undoes})")
             }
         }
     }
