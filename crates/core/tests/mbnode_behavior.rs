@@ -194,6 +194,85 @@ fn shared_export_runs_off_the_packet_path() {
     assert!(max < 2.0, "export must not block packets (max latency {max} ms)");
 }
 
+/// ctrl(0) — mb(1, batch_max=n) — sink(2)
+fn world_batched<M: Middlebox + 'static>(logic: M, batch_max: usize) -> (Sim, NodeId, NodeId) {
+    let mut sim = Sim::new();
+    let ctrl = sim.add_node(Box::new(CtrlProbe::default()));
+    let mb = sim.add_node(Box::new(
+        MbNode::new("mb", logic)
+            .with_controller(ctrl)
+            .with_egress(NodeId(2))
+            .with_batch_max(batch_max),
+    ));
+    let sink = sim.add_node(Box::new(Host::new("sink")));
+    sim.add_link(ctrl, mb, SimDuration::from_micros(10), 0);
+    sim.add_link(mb, sink, SimDuration::from_micros(10), 0);
+    (sim, mb, sink)
+}
+
+#[test]
+fn batched_delivery_matches_serial() {
+    // The same bursty trace through batch_max 1 and batch_max 8 must
+    // deliver the identical packet sequence, write identical logs, and
+    // leave the middlebox in identical state — batching changes how the
+    // queue drains, never what the middlebox computes.
+    let run = |batch_max: usize| {
+        let (mut sim, mb, sink) = world_batched(Monitor::new(), batch_max);
+        let mut id = 0u64;
+        for burst in 0..5u64 {
+            let pkts: Vec<Packet> = (0..16)
+                .map(|i| {
+                    id += 1;
+                    Packet::new(id, key((i % 4) as u16), vec![0u8; 20])
+                })
+                .collect();
+            sim.inject_burst(SimTime(burst * 3_000_000), NodeId(0), mb, pkts);
+        }
+        sim.run(100_000_000);
+        let delivered: Vec<Packet> =
+            sim.node_as::<Host>(sink).received.iter().map(|(_, p)| p.clone()).collect();
+        let node: &MbNode<Monitor> = sim.node_as(mb);
+        let logs: Vec<_> = node.logs.clone();
+        let processed = node.packets_processed;
+        let entries = node.logic.perflow_entries();
+        let stats = node.logic.stats(&HeaderFieldList::any());
+        let latency_samples = sim.metrics.samples("mb.pkt_latency").len();
+        (delivered, logs, processed, entries, stats, latency_samples)
+    };
+    let serial = run(1);
+    let batched = run(8);
+    assert_eq!(serial.0, batched.0, "delivered packet sequence must be identical");
+    assert_eq!(serial.1, batched.1, "log lines must be identical");
+    assert_eq!(serial.2, batched.2, "packets_processed must match");
+    assert_eq!(serial.3, batched.3, "per-flow entry counts must match");
+    assert_eq!(serial.4, batched.4, "state stats must match");
+    assert_eq!(serial.5, batched.5, "per-packet latency samples must be per-packet");
+    assert_eq!(serial.2, 80);
+}
+
+#[test]
+fn batch_run_occupies_one_service_slot() {
+    // A burst of 8 at batch_max 8: the first frame's arrival finds an
+    // idle node (claimed alone), the remaining 7 queue behind it and
+    // drain as one 7-packet slot — so the tail emerges together at
+    // 1×90µs + 7×90µs, not spaced one service time apart.
+    let (mut sim, mb, sink) = world_batched(Monitor::new(), 8);
+    let pkts: Vec<Packet> =
+        (0..8u64).map(|i| Packet::new(i + 1, key((i % 2) as u16), vec![0u8; 10])).collect();
+    sim.inject_burst(SimTime(0), NodeId(0), mb, pkts);
+    sim.run(10_000_000);
+    let s: &Host = sim.node_as(sink);
+    let times: Vec<u64> = s.received.iter().map(|(t, _)| t.0).collect();
+    assert_eq!(times.len(), 8);
+    assert_eq!(times[0], 90_000 + 10_000, "head of the burst serviced alone");
+    for t in &times[1..] {
+        assert_eq!(*t, 8 * 90_000 + 10_000, "tail drains in one combined slot");
+    }
+    let node: &MbNode<Monitor> = sim.node_as(mb);
+    assert_eq!(node.packets_processed, 8);
+    assert_eq!(sim.metrics.samples("mb.pkt_latency").len(), 8, "latency stays per-packet");
+}
+
 #[test]
 fn errors_propagate_as_error_msgs() {
     let (mut sim, ctrl, mb, _sink) = world(Monitor::new());

@@ -23,15 +23,25 @@ pub struct LogEntry {
     pub line: String,
 }
 
-/// Side-effect collector handed to [`Middlebox::process_packet`].
+/// Side-effect collector handed to [`Middlebox::process_packet`] and
+/// [`Middlebox::process_batch`].
+///
+/// A batch of packets shares one collector: forwarded packets accumulate
+/// in order, and the embedding drains them once per batch. The replay
+/// flag is checked per side effect on the scalar path; batch
+/// specializations may instead branch once per batch and use the `_live`
+/// variants plus [`suppress`](Effects::suppress), which is byte-identical
+/// (the suppression counter and the empty output are the same either
+/// way).
 ///
 /// [`Middlebox::process_packet`]: crate::Middlebox::process_packet
+/// [`Middlebox::process_batch`]: crate::Middlebox::process_batch
 #[derive(Debug, Default)]
 pub struct Effects {
     replay: bool,
-    /// The packet to emit onward, if any (inline MBs forward, possibly
-    /// transformed; a drop decision leaves this `None`).
-    output: Option<Packet>,
+    /// Packets to emit onward, in processing order (inline MBs forward,
+    /// possibly transformed; a drop decision adds nothing).
+    outputs: Vec<Packet>,
     /// Log lines produced while processing.
     logs: Vec<LogEntry>,
     /// Events raised while processing (reprocess + introspection).
@@ -58,13 +68,39 @@ impl Effects {
         self.replay
     }
 
+    /// Switch this collector between normal and replay mode, keeping
+    /// its buffers (and their capacity). Embeddings that reuse one
+    /// collector across batches call this instead of reallocating.
+    pub fn set_replay(&mut self, replay: bool) {
+        self.replay = replay;
+    }
+
+    /// Clear all collected side effects and counters, keeping buffer
+    /// capacity and the replay flag. The steady-state embedding loop is
+    /// `reset` → process batch → drain, with zero allocations once the
+    /// buffers have grown to the high-water mark.
+    pub fn reset(&mut self) {
+        self.outputs.clear();
+        self.logs.clear();
+        self.events.clear();
+        self.suppressed = 0;
+    }
+
     /// Emit the processed packet onward (external side effect).
     pub fn forward(&mut self, pkt: Packet) {
         if self.replay {
             self.suppressed += 1;
         } else {
-            self.output = Some(pkt);
+            self.outputs.push(pkt);
         }
+    }
+
+    /// [`forward`](Effects::forward) for a caller that already branched
+    /// on [`is_replay`](Effects::is_replay) for the whole batch: no
+    /// per-call replay check.
+    pub fn forward_live(&mut self, pkt: Packet) {
+        debug_assert!(!self.replay, "forward_live on a replay collector");
+        self.outputs.push(pkt);
     }
 
     /// Write a line to a named log (external side effect).
@@ -76,15 +112,63 @@ impl Effects {
         }
     }
 
+    /// [`log`](Effects::log) without the per-call replay check, for a
+    /// caller that branched once per batch.
+    pub fn log_live(&mut self, log: &str, line: impl Into<String>) {
+        debug_assert!(!self.replay, "log_live on a replay collector");
+        self.logs.push(LogEntry { log: log.to_owned(), line: line.into() });
+    }
+
+    /// Forward a whole same-treatment run in one call: a single reserve
+    /// and a tight clone-append loop instead of per-packet calls.
+    /// Clones are cheap (the payload is refcounted). Caller must have
+    /// branched on [`is_replay`](Effects::is_replay) for the batch.
+    pub fn forward_live_all(&mut self, pkts: &[Packet]) {
+        debug_assert!(!self.replay, "forward_live_all on a replay collector");
+        self.outputs.extend_from_slice(pkts);
+    }
+
+    /// Account `n` side effects as replay-suppressed in one step — the
+    /// batch-wide counterpart of the per-call suppression branch.
+    pub fn suppress(&mut self, n: u64) {
+        debug_assert!(self.replay, "suppress on a live collector");
+        self.suppressed += n;
+    }
+
     /// Raise an event (always recorded — events are control-plane
     /// signals, not external side effects).
     pub fn raise(&mut self, event: Event) {
         self.events.push(event);
     }
 
-    /// The forwarded packet, if processing produced one.
+    /// The next forwarded packet, if processing produced one (FIFO).
     pub fn take_output(&mut self) -> Option<Packet> {
-        self.output.take()
+        if self.outputs.is_empty() {
+            None
+        } else {
+            Some(self.outputs.remove(0))
+        }
+    }
+
+    /// All forwarded packets, in processing order.
+    pub fn take_outputs(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Forwarded packets collected so far (not drained).
+    pub fn outputs(&self) -> &[Packet] {
+        &self.outputs
+    }
+
+    /// Drain forwarded packets in order without giving up the buffer —
+    /// the zero-allocation steady-state path for batching embeddings.
+    pub fn drain_outputs(&mut self) -> std::vec::Drain<'_, Packet> {
+        self.outputs.drain(..)
+    }
+
+    /// Log lines collected so far (not drained).
+    pub fn logs(&self) -> &[LogEntry] {
+        &self.logs
     }
 
     /// Drain collected log lines.
@@ -129,5 +213,75 @@ mod tests {
         assert!(fx.take_logs().is_empty());
         assert_eq!(fx.suppressed, 2);
         assert_eq!(fx.take_events().len(), 1);
+    }
+
+    #[test]
+    fn outputs_accumulate_in_fifo_order() {
+        let mut fx = Effects::normal();
+        for id in 0..4u64 {
+            let mut p = pkt();
+            p.id = id;
+            fx.forward(p);
+        }
+        assert_eq!(fx.outputs().len(), 4);
+        assert_eq!(fx.take_output().unwrap().id, 0, "take_output is FIFO");
+        let rest: Vec<u64> = fx.drain_outputs().map(|p| p.id).collect();
+        assert_eq!(rest, vec![1, 2, 3]);
+        assert!(fx.take_output().is_none());
+    }
+
+    /// The per-batch replay branch (branch once, then `_live` calls or
+    /// one `suppress(n)`) must be byte-identical to the per-call branch
+    /// the scalar path takes — the obs_pipeline "single branch on the
+    /// disabled path" pattern applied to side-effect suppression.
+    #[test]
+    fn batch_lane_matches_per_call_branch() {
+        // Live mode: _live variants produce the same collected output.
+        let mut per_call = Effects::normal();
+        let mut batched = Effects::normal();
+        for _ in 0..5 {
+            per_call.forward(pkt());
+            per_call.log("nat.log", "drop");
+        }
+        if !batched.is_replay() {
+            for _ in 0..5 {
+                batched.forward_live(pkt());
+                batched.log_live("nat.log", "drop");
+            }
+        }
+        assert_eq!(per_call.outputs().len(), batched.outputs().len());
+        assert_eq!(per_call.take_logs(), batched.take_logs());
+        assert_eq!(per_call.suppressed, batched.suppressed);
+
+        // Replay mode: one bulk suppress(n) equals n suppressed calls.
+        let mut per_call = Effects::replay();
+        let mut batched = Effects::replay();
+        for _ in 0..5 {
+            per_call.forward(pkt());
+            per_call.log("nat.log", "drop");
+        }
+        if batched.is_replay() {
+            batched.suppress(10);
+        }
+        assert_eq!(per_call.suppressed, batched.suppressed);
+        assert!(batched.take_output().is_none());
+        assert!(batched.take_logs().is_empty());
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_mode() {
+        let mut fx = Effects::normal();
+        for _ in 0..16 {
+            fx.forward(pkt());
+            fx.log("a", "b");
+        }
+        let cap = fx.outputs.capacity();
+        fx.reset();
+        assert!(fx.outputs().is_empty() && fx.logs().is_empty());
+        assert_eq!(fx.outputs.capacity(), cap, "reset must not shrink buffers");
+        assert!(!fx.is_replay());
+        fx.set_replay(true);
+        fx.forward(pkt());
+        assert_eq!(fx.suppressed, 1);
     }
 }

@@ -265,6 +265,24 @@ pub trait Middlebox {
     /// virtual wall-clock time, used for log timestamps and timeouts.
     fn process_packet(&mut self, now: SimTime, pkt: &Packet, fx: &mut Effects);
 
+    /// Process a train of packets that arrived back-to-back, producing
+    /// the same side effects and state updates as calling
+    /// [`process_packet`](Middlebox::process_packet) on each packet in
+    /// order with the same `now` — the equivalence every implementation
+    /// must preserve, and which the batch-equivalence property tests
+    /// check for each type.
+    ///
+    /// The default does exactly that loop. Hot middleboxes override it
+    /// to amortize per-packet work that is invariant across the batch:
+    /// config re-parses, flow-table lookups for same-flow runs, the
+    /// replay-mode branch, and sync-tracker checks when no move is in
+    /// flight. Overrides must not reorder side effects across packets.
+    fn process_batch(&mut self, now: SimTime, pkts: &[Packet], fx: &mut Effects) {
+        for pkt in pkts {
+            self.process_packet(now, pkt, fx);
+        }
+    }
+
     /// Flush end-of-run state (e.g. an IDS logs still-open connections).
     /// Called by experiments when a trace ends; external side effects go
     /// through `fx` as usual.

@@ -64,6 +64,16 @@ impl SyncTracker {
         self.moved.contains_key(key)
     }
 
+    /// True when no per-flow sync window can affect `key`: the flow is
+    /// not marked moved and no move pattern is in flight. While this
+    /// holds, [`on_perflow_update`](SyncTracker::on_perflow_update) for
+    /// `key` neither raises an event nor mutates the tracker, so a batch
+    /// specialization may make one check per same-flow run instead of
+    /// one call per packet.
+    pub fn perflow_quiet(&self, key: &FlowKey) -> bool {
+        self.active_moves.is_empty() && !self.moved.contains_key(key)
+    }
+
     /// Is any shared-state sync window open?
     pub fn shared_active(&self) -> bool {
         !self.shared_ops.is_empty()
@@ -194,5 +204,22 @@ mod tests {
         t.mark_moved(key(1), OpId(1));
         t.clear_flow(&key(1));
         assert_eq!(t.moved_count(), 0);
+    }
+
+    #[test]
+    fn perflow_quiet_tracks_marks_and_patterns() {
+        let mut t = SyncTracker::new();
+        assert!(t.perflow_quiet(&key(1)));
+        t.mark_moved(key(1), OpId(1));
+        assert!(!t.perflow_quiet(&key(1)));
+        assert!(t.perflow_quiet(&key(2)), "other flows stay quiet");
+        t.end_sync(OpId(1));
+        assert!(t.perflow_quiet(&key(1)));
+        // Any in-flight move pattern makes every flow non-quiet: a new
+        // flow matching it must be caught on first update.
+        t.mark_move_pattern(OpId(2), HeaderFieldList::from_dst_port(80));
+        assert!(!t.perflow_quiet(&key(3)));
+        t.end_sync(OpId(2));
+        assert!(t.perflow_quiet(&key(3)));
     }
 }

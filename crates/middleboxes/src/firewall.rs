@@ -362,6 +362,77 @@ impl Middlebox for Firewall {
         }
     }
 
+    /// Batch specialization: consecutive packets of the same flow share
+    /// one conntrack lookup (or one rule decision), the replay branch is
+    /// taken once per run, and the sync tracker is consulted once per
+    /// run when no move is in flight. Byte-identical to the serial loop:
+    /// all packets in a batch carry the same `now`, denies mutate no
+    /// state (so one decision covers the run and every deny line is
+    /// identical), and a quiet sync window raises nothing.
+    fn process_batch(&mut self, now: SimTime, pkts: &[Packet], fx: &mut Effects) {
+        if pkts.len() < 2 {
+            if let Some(pkt) = pkts.first() {
+                self.process_packet(now, pkt, fx);
+            }
+            return;
+        }
+        let live = !fx.is_replay();
+        let mut i = 0;
+        while i < pkts.len() {
+            let run_key = pkts[i].key;
+            let mut j = i + 1;
+            while j < pkts.len() && pkts[j].key == run_key {
+                j += 1;
+            }
+            let run = &pkts[i..j];
+            let key = run_key.canonical();
+            let quiet = self.sync.perflow_quiet(&key);
+            let n = run.len() as u64;
+            if let Some(c) = self.conntrack.get_mut(&key) {
+                c.packets += n;
+                c.last_ns = now.0;
+            } else if self.decide(&run_key) {
+                self.conntrack.insert(key, ConnTrack { key, packets: n, last_ns: now.0 });
+            } else {
+                // Denied: no state update, so the first decision covers
+                // the whole run and the log line (same now, same key) is
+                // formatted once.
+                if live {
+                    self.denied += n;
+                    let line = format!("{} deny {}", now.0, run_key);
+                    for _ in run {
+                        fx.log_live("firewall.log", line.clone());
+                    }
+                } else {
+                    fx.suppress(n);
+                }
+                i = j;
+                continue;
+            }
+            if live {
+                self.allowed += n;
+                // Reprocess events and forwarded packets are separate
+                // channels, so raising the run's events first and then
+                // bulk-appending the outputs preserves per-channel
+                // order — the only order the serial path guarantees.
+                if !quiet {
+                    for pkt in run {
+                        self.sync.on_perflow_update(key, pkt, fx);
+                    }
+                }
+                fx.forward_live_all(run);
+            } else {
+                if !quiet {
+                    for pkt in run {
+                        self.sync.on_perflow_update(key, pkt, fx);
+                    }
+                }
+                fx.suppress(n);
+            }
+            i = j;
+        }
+    }
+
     fn end_sync(&mut self, op: OpId) {
         self.sync.end_sync(op);
     }

@@ -263,6 +263,10 @@ pub struct Ips {
     sync: SyncTracker,
     vendor: VendorKey,
     nonce: u64,
+    /// Signature-scan scratch buffer, reused across packets so the
+    /// steady-state path does not allocate a fresh tail+payload buffer
+    /// per packet. Not state: never serialized or compared.
+    scratch: Vec<u8>,
 }
 
 impl Default for Ips {
@@ -288,6 +292,7 @@ impl Ips {
             sync: SyncTracker::new(),
             vendor: VendorKey::derive("bro"),
             nonce: 1,
+            scratch: Vec::new(),
         }
     }
 
@@ -392,6 +397,152 @@ impl Ips {
     /// would carry (§8.1.2's BASE/FULL comparison).
     pub fn resident_state_bytes(&self) -> usize {
         self.conns.values().map(|c| c.serialize().len()).sum()
+    }
+
+    /// The per-packet logic with the config-derived inputs (signature
+    /// set, scan threshold) passed in, so the batch path parses them
+    /// once instead of once per packet.
+    fn process_one(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        fx: &mut Effects,
+        signatures: &[String],
+        threshold: u64,
+    ) {
+        let key = pkt.key.canonical();
+        let is_orig = pkt.key == key;
+        let is_syn = pkt.has_flag(tcp_flags::SYN) && !pkt.has_flag(tcp_flags::ACK);
+
+        // ---- shared supporting state: scan detector ----
+        if pkt.key.proto == Proto::Tcp && is_syn {
+            let entry = self.scan_table.entry(pkt.key.src_ip).or_default();
+            entry.ports.insert(pkt.key.dst_port);
+            entry.attempts += 1;
+            if !entry.alerted && entry.ports.len() as u64 >= threshold {
+                entry.alerted = true;
+                if !fx.is_replay() {
+                    self.stat.alerts += 1;
+                }
+                fx.log("alert", format!("{} port scan from {}", now.0, pkt.key.src_ip));
+            }
+            self.sync.on_shared_update(pkt, fx);
+        }
+
+        // ---- per-flow supporting state: connection record ----
+        let initial_state = if pkt.key.proto != Proto::Tcp {
+            ConnState::S1
+        } else if is_syn {
+            ConnState::S0
+        } else {
+            // Midstream: we never saw this connection start.
+            ConnState::Oth
+        };
+        let is_new = !self.conns.contains_key(&key);
+        let rec = self.conns.entry(key).or_insert_with(|| ConnRecord::new(key, now, initial_state));
+        rec.last_ns = now.0;
+        if is_orig {
+            rec.orig_pkts += 1;
+            rec.orig_bytes += pkt.payload.len() as u64;
+        } else {
+            rec.resp_pkts += 1;
+            rec.resp_bytes += pkt.payload.len() as u64;
+        }
+        if is_new {
+            rec.history.push(if is_orig { 'O' } else { 'R' });
+        }
+
+        // TCP state machine.
+        let mut closed = false;
+        if pkt.key.proto == Proto::Tcp {
+            if pkt.has_flag(tcp_flags::RST) {
+                rec.state = ConnState::Rst;
+                rec.history.push('r');
+                closed = true;
+            } else if pkt.has_flag(tcp_flags::SYN) && pkt.has_flag(tcp_flags::ACK) {
+                if rec.state == ConnState::S0 {
+                    rec.state = ConnState::S1;
+                    rec.history.push('h');
+                }
+            } else if pkt.has_flag(tcp_flags::FIN) {
+                rec.history.push('f');
+                if rec.state == ConnState::S1 {
+                    if is_orig {
+                        rec.state = ConnState::Sf; // simplified: orig FIN closes
+                        closed = true;
+                    } else {
+                        rec.state = ConnState::Sf;
+                        closed = true;
+                    }
+                } else {
+                    closed = true;
+                }
+            }
+        }
+
+        // ---- HTTP analyzer (nested object tree) ----
+        if pkt.key.dst_port == 80 || pkt.key.src_port == 80 {
+            let http = rec.http.get_or_insert_with(HttpAnalyzer::default);
+            if is_orig && !pkt.payload.is_empty() {
+                http.partial.extend_from_slice(&pkt.payload);
+                // A request line is complete at the first CRLF or at a
+                // recognizable "HTTP/1." suffix within the buffer.
+                if let Some(pos) = find_subsequence(&http.partial, b"\r\n")
+                    .or_else(|| find_subsequence(&http.partial, b"HTTP/1.1").map(|p| p + 8))
+                {
+                    let line: Vec<u8> = http.partial.drain(..pos).collect();
+                    http.partial.clear();
+                    if line.starts_with(b"GET") || line.starts_with(b"POST") {
+                        let text = String::from_utf8_lossy(&line).into_owned();
+                        http.requests.push(text.clone());
+                        if !fx.is_replay() {
+                            self.stat.http_requests_logged += 1;
+                        }
+                        fx.log("http.log", format!("{} {} {}", now.0, pkt.key, text));
+                    }
+                }
+            } else if !is_orig && !pkt.payload.is_empty() {
+                http.responses += 1;
+            }
+        }
+
+        // ---- signature engine (cross-packet) ----
+        // The tail+payload window is assembled in a buffer reused across
+        // packets (zero steady-state allocations).
+        let mut scan_buf = std::mem::take(&mut self.scratch);
+        scan_buf.clear();
+        scan_buf.extend_from_slice(&rec.sig_tail);
+        scan_buf.extend_from_slice(&pkt.payload);
+        for (idx, sig) in signatures.iter().enumerate() {
+            let idx = idx as u32;
+            if !rec.fired.contains(&idx) && find_subsequence(&scan_buf, sig.as_bytes()).is_some() {
+                rec.fired.insert(idx);
+                if !fx.is_replay() {
+                    self.stat.alerts += 1;
+                }
+                fx.log("alert", format!("{} signature '{}' on {}", now.0, sig, pkt.key));
+            }
+        }
+        let max_sig = signatures.iter().map(String::len).max().unwrap_or(0);
+        let keep = max_sig.saturating_sub(1).min(scan_buf.len());
+        rec.sig_tail.clear();
+        rec.sig_tail.extend_from_slice(&scan_buf[scan_buf.len() - keep..]);
+        self.scratch = scan_buf;
+
+        // Log + retire closed connections.
+        if closed {
+            let rec = self.conns.remove(&key).expect("record exists");
+            Self::log_conn(&rec, now, &mut self.stat, fx);
+            // A packet that closes a moved connection still updated the
+            // moved state (its final counters); raise the event before
+            // forgetting the mark.
+            self.sync.on_perflow_update(key, pkt, fx);
+            self.sync.clear_flow(&key);
+        } else {
+            self.sync.on_perflow_update(key, pkt, fx);
+        }
+
+        fx.forward(pkt.clone());
     }
 }
 
@@ -566,135 +717,21 @@ impl Middlebox for Ips {
     }
 
     fn process_packet(&mut self, now: SimTime, pkt: &Packet, fx: &mut Effects) {
-        let key = pkt.key.canonical();
-        let is_orig = pkt.key == key;
-        let is_syn = pkt.has_flag(tcp_flags::SYN) && !pkt.has_flag(tcp_flags::ACK);
-
-        // ---- shared supporting state: scan detector ----
-        if pkt.key.proto == Proto::Tcp && is_syn {
-            let threshold = self.scan_threshold();
-            let entry = self.scan_table.entry(pkt.key.src_ip).or_default();
-            entry.ports.insert(pkt.key.dst_port);
-            entry.attempts += 1;
-            if !entry.alerted && entry.ports.len() as u64 >= threshold {
-                entry.alerted = true;
-                if !fx.is_replay() {
-                    self.stat.alerts += 1;
-                }
-                fx.log("alert", format!("{} port scan from {}", now.0, pkt.key.src_ip));
-            }
-            self.sync.on_shared_update(pkt, fx);
-        }
-
-        // ---- per-flow supporting state: connection record ----
-        let initial_state = if pkt.key.proto != Proto::Tcp {
-            ConnState::S1
-        } else if is_syn {
-            ConnState::S0
-        } else {
-            // Midstream: we never saw this connection start.
-            ConnState::Oth
-        };
-        let is_new = !self.conns.contains_key(&key);
         let signatures = self.signatures();
-        let rec = self.conns.entry(key).or_insert_with(|| ConnRecord::new(key, now, initial_state));
-        rec.last_ns = now.0;
-        if is_orig {
-            rec.orig_pkts += 1;
-            rec.orig_bytes += pkt.payload.len() as u64;
-        } else {
-            rec.resp_pkts += 1;
-            rec.resp_bytes += pkt.payload.len() as u64;
-        }
-        if is_new {
-            rec.history.push(if is_orig { 'O' } else { 'R' });
-        }
+        let threshold = self.scan_threshold();
+        self.process_one(now, pkt, fx, &signatures, threshold);
+    }
 
-        // TCP state machine.
-        let mut closed = false;
-        if pkt.key.proto == Proto::Tcp {
-            if pkt.has_flag(tcp_flags::RST) {
-                rec.state = ConnState::Rst;
-                rec.history.push('r');
-                closed = true;
-            } else if pkt.has_flag(tcp_flags::SYN) && pkt.has_flag(tcp_flags::ACK) {
-                if rec.state == ConnState::S0 {
-                    rec.state = ConnState::S1;
-                    rec.history.push('h');
-                }
-            } else if pkt.has_flag(tcp_flags::FIN) {
-                rec.history.push('f');
-                if rec.state == ConnState::S1 {
-                    if is_orig {
-                        rec.state = ConnState::Sf; // simplified: orig FIN closes
-                        closed = true;
-                    } else {
-                        rec.state = ConnState::Sf;
-                        closed = true;
-                    }
-                } else {
-                    closed = true;
-                }
-            }
+    /// Batch specialization: the signature set (a `Vec<String>` rebuild
+    /// on the scalar path) and the scan threshold are parsed from config
+    /// once per batch. Log and alert lines accumulate per packet in `fx`
+    /// and are flushed by the embedding once per batch.
+    fn process_batch(&mut self, now: SimTime, pkts: &[Packet], fx: &mut Effects) {
+        let signatures = self.signatures();
+        let threshold = self.scan_threshold();
+        for pkt in pkts {
+            self.process_one(now, pkt, fx, &signatures, threshold);
         }
-
-        // ---- HTTP analyzer (nested object tree) ----
-        if pkt.key.dst_port == 80 || pkt.key.src_port == 80 {
-            let http = rec.http.get_or_insert_with(HttpAnalyzer::default);
-            if is_orig && !pkt.payload.is_empty() {
-                http.partial.extend_from_slice(&pkt.payload);
-                // A request line is complete at the first CRLF or at a
-                // recognizable "HTTP/1." suffix within the buffer.
-                if let Some(pos) = find_subsequence(&http.partial, b"\r\n")
-                    .or_else(|| find_subsequence(&http.partial, b"HTTP/1.1").map(|p| p + 8))
-                {
-                    let line: Vec<u8> = http.partial.drain(..pos).collect();
-                    http.partial.clear();
-                    if line.starts_with(b"GET") || line.starts_with(b"POST") {
-                        let text = String::from_utf8_lossy(&line).into_owned();
-                        http.requests.push(text.clone());
-                        if !fx.is_replay() {
-                            self.stat.http_requests_logged += 1;
-                        }
-                        fx.log("http.log", format!("{} {} {}", now.0, pkt.key, text));
-                    }
-                }
-            } else if !is_orig && !pkt.payload.is_empty() {
-                http.responses += 1;
-            }
-        }
-
-        // ---- signature engine (cross-packet) ----
-        let mut scan_buf = rec.sig_tail.clone();
-        scan_buf.extend_from_slice(&pkt.payload);
-        for (idx, sig) in signatures.iter().enumerate() {
-            let idx = idx as u32;
-            if !rec.fired.contains(&idx) && find_subsequence(&scan_buf, sig.as_bytes()).is_some() {
-                rec.fired.insert(idx);
-                if !fx.is_replay() {
-                    self.stat.alerts += 1;
-                }
-                fx.log("alert", format!("{} signature '{}' on {}", now.0, sig, pkt.key));
-            }
-        }
-        let max_sig = signatures.iter().map(String::len).max().unwrap_or(0);
-        let keep = max_sig.saturating_sub(1).min(scan_buf.len());
-        rec.sig_tail = scan_buf[scan_buf.len() - keep..].to_vec();
-
-        // Log + retire closed connections.
-        if closed {
-            let rec = self.conns.remove(&key).expect("record exists");
-            Self::log_conn(&rec, now, &mut self.stat, fx);
-            // A packet that closes a moved connection still updated the
-            // moved state (its final counters); raise the event before
-            // forgetting the mark.
-            self.sync.on_perflow_update(key, pkt, fx);
-            self.sync.clear_flow(&key);
-        } else {
-            self.sync.on_perflow_update(key, pkt, fx);
-        }
-
-        fx.forward(pkt.clone());
     }
 
     fn finalize(&mut self, now: SimTime, fx: &mut Effects) {

@@ -185,39 +185,63 @@ impl Monitor {
         }
     }
 
-    fn classify(&self, key: &FlowKey) -> String {
-        for name in self.config.subkeys(&HierarchicalKey::parse("service_rules")) {
-            let k = HierarchicalKey::parse("service_rules").child(&name);
-            if let Some(vals) = self.config.get_leaf(&k) {
-                for v in vals {
-                    if let Some(port) = v.as_int() {
-                        if i64::from(key.dst_port) == port || i64::from(key.src_port) == port {
-                            return name;
-                        }
-                    }
+    /// The service-rule table, parsed out of the config tree once —
+    /// the scalar path re-walks this per packet; the batch path hoists
+    /// it to one parse per batch.
+    fn service_table(&self) -> Vec<(String, Vec<i64>)> {
+        self.config
+            .subkeys(&HierarchicalKey::parse("service_rules"))
+            .into_iter()
+            .map(|name| {
+                let k = HierarchicalKey::parse("service_rules").child(&name);
+                let ports = self
+                    .config
+                    .get_leaf(&k)
+                    .map(|vals| vals.iter().filter_map(|v| v.as_int()).collect())
+                    .unwrap_or_default();
+                (name, ports)
+            })
+            .collect()
+    }
+
+    fn classify_in(table: &[(String, Vec<i64>)], key: &FlowKey) -> String {
+        for (name, ports) in table {
+            for &port in ports {
+                if i64::from(key.dst_port) == port || i64::from(key.src_port) == port {
+                    return name.clone();
                 }
             }
         }
         "unknown".to_owned()
     }
 
-    fn os_fingerprint(&self, pkt: &Packet) -> String {
-        let enabled = self
-            .config
+    fn classify(&self, key: &FlowKey) -> String {
+        Self::classify_in(&self.service_table(), key)
+    }
+
+    fn os_fingerprinting_enabled(&self) -> bool {
+        self.config
             .get_leaf(&HierarchicalKey::parse("params/os_fingerprinting"))
             .and_then(|v| v.first().cloned())
             .and_then(|v| v.as_int())
             .unwrap_or(0)
-            != 0;
-        if !enabled {
-            return String::new();
-        }
-        // Deterministic heuristic stand-in for p0f-style matching.
+            != 0
+    }
+
+    /// Deterministic heuristic stand-in for p0f-style matching.
+    fn os_guess_for(pkt: &Packet) -> String {
         match pkt.key.src_ip.octets()[3] % 3 {
             0 => "Linux".to_owned(),
             1 => "Windows".to_owned(),
             _ => "BSD".to_owned(),
         }
+    }
+
+    fn os_fingerprint(&self, pkt: &Packet) -> String {
+        if !self.os_fingerprinting_enabled() {
+            return String::new();
+        }
+        Self::os_guess_for(pkt)
     }
 
     fn seal(&mut self, bytes: &[u8]) -> EncryptedChunk {
@@ -450,6 +474,121 @@ impl Middlebox for Monitor {
 
         // Passive monitor: forward the packet unmodified.
         fx.forward(pkt.clone());
+    }
+
+    /// Batch specialization: the service-rule walk and the fingerprint
+    /// flag are parsed once per batch instead of once per packet, record
+    /// and stat counters for a same-flow run are bumped in one step, and
+    /// classification is skipped entirely for established flows (the
+    /// scalar path computes and discards it). Byte-identical to the
+    /// serial loop: all packets carry the same `now`, the asset log line
+    /// and introspection event fire only on the first packet of a new
+    /// flow, and per-packet reprocess events are preserved whenever a
+    /// sync window is open.
+    fn process_batch(&mut self, now: SimTime, pkts: &[Packet], fx: &mut Effects) {
+        if pkts.len() < 2 {
+            if let Some(pkt) = pkts.first() {
+                self.process_packet(now, pkt, fx);
+            }
+            return;
+        }
+        let live = !fx.is_replay();
+        let service_table = self.service_table();
+        let os_enabled = self.os_fingerprinting_enabled();
+        let mut i = 0;
+        while i < pkts.len() {
+            let run_key = pkts[i].key;
+            let mut j = i + 1;
+            while j < pkts.len() && pkts[j].key == run_key {
+                j += 1;
+            }
+            let run = &pkts[i..j];
+            let n = run.len() as u64;
+            let key = run_key.canonical();
+
+            let mut run_bytes = 0u64;
+            let mut run_http = 0u64;
+            for pkt in run {
+                run_bytes += pkt.wire_len() as u64;
+                if pkt.meta.http_request {
+                    run_http += 1;
+                }
+            }
+
+            // One record lookup per run; classification only when the
+            // flow is actually new.
+            let mut new_service = None;
+            if let Some(rec) = self.assets.get_mut(&key) {
+                rec.last_seen_ns = now.0;
+                rec.packets += n;
+                rec.bytes += run_bytes;
+                rec.http_requests += run_http;
+            } else {
+                let service = Self::classify_in(&service_table, &run_key);
+                let os = if os_enabled { Self::os_guess_for(&run[0]) } else { String::new() };
+                self.assets.insert(
+                    key,
+                    AssetRecord {
+                        key,
+                        first_seen_ns: now.0,
+                        last_seen_ns: now.0,
+                        packets: n,
+                        bytes: run_bytes,
+                        service: service.clone(),
+                        os_guess: os,
+                        http_requests: run_http,
+                    },
+                );
+                new_service = Some(service);
+            }
+
+            if live {
+                self.stat.total_packets += n;
+                self.stat.total_bytes += run_bytes;
+                match run_key.proto {
+                    Proto::Tcp => self.stat.tcp_packets += n,
+                    Proto::Udp => self.stat.udp_packets += n,
+                    Proto::Icmp => self.stat.icmp_packets += n,
+                }
+                self.stat.http_requests += run_http;
+                if let Some(service) = new_service {
+                    self.stat.flows_seen += 1;
+                    fx.log_live("prads.log", format!("asset {key} service={service}"));
+                    let gate = self
+                        .introspection
+                        .as_ref()
+                        .is_some_and(|f| f.accepts(EVENT_ASSET_DETECTED, &key));
+                    if gate {
+                        fx.raise(Event::Introspection {
+                            code: EVENT_ASSET_DETECTED,
+                            key,
+                            values: vec![("service".into(), service)],
+                        });
+                    }
+                }
+            }
+
+            if self.sync.perflow_quiet(&key) {
+                if live {
+                    for pkt in run {
+                        fx.forward_live(pkt.clone());
+                    }
+                } else {
+                    fx.suppress(n);
+                }
+            } else if live {
+                for pkt in run {
+                    self.sync.on_perflow_update(key, pkt, fx);
+                    fx.forward_live(pkt.clone());
+                }
+            } else {
+                for pkt in run {
+                    self.sync.on_perflow_update(key, pkt, fx);
+                }
+                fx.suppress(n);
+            }
+            i = j;
+        }
     }
 
     fn set_introspection(&mut self, filter: Option<openmb_types::wire::EventFilter>) {

@@ -477,6 +477,136 @@ impl Middlebox for Nat {
         fx.forward(out);
     }
 
+    /// Batch specialization. The lazy-expiry sweep runs once per batch:
+    /// every packet in a batch carries the same `now`, so the first
+    /// sweep removes everything the per-packet sweeps would have (a
+    /// mapping touched at `now` has `last_used_ns = now` and cannot
+    /// cross the cutoff, which sits at least one timeout before `now`),
+    /// and the serial loop raises all expiry events before the first
+    /// packet's other events anyway. The external-IP parse is hoisted to
+    /// one per batch, and a same-flow run shares one mapping lookup.
+    fn process_batch(&mut self, now: SimTime, pkts: &[Packet], fx: &mut Effects) {
+        if pkts.len() < 2 {
+            if let Some(pkt) = pkts.first() {
+                self.process_packet(now, pkt, fx);
+            }
+            return;
+        }
+        self.expire(now, fx);
+        let live = !fx.is_replay();
+        let ext_ip = self.external_ip();
+        let mut i = 0;
+        while i < pkts.len() {
+            let run_key = pkts[i].key;
+            let mut j = i + 1;
+            while j < pkts.len() && pkts[j].key == run_key {
+                j += 1;
+            }
+            let run = &pkts[i..j];
+            let n = run.len() as u64;
+            if run_key.dst_ip == ext_ip {
+                // Inbound: one reverse lookup per run.
+                match self.by_port.get(&run_key.dst_port).copied() {
+                    Some(internal) => {
+                        if let Some(m) = self.mappings.get_mut(&internal) {
+                            m.last_used_ns = now.0;
+                            m.packets += n;
+                        }
+                        let quiet = self.sync.perflow_quiet(&internal);
+                        if live {
+                            for pkt in run {
+                                if !quiet {
+                                    self.sync.on_perflow_update(internal, pkt, fx);
+                                }
+                                let mut out = pkt.clone();
+                                out.key.dst_ip = internal.src_ip;
+                                out.key.dst_port = internal.src_port;
+                                fx.forward_live(out);
+                            }
+                        } else {
+                            if !quiet {
+                                for pkt in run {
+                                    self.sync.on_perflow_update(internal, pkt, fx);
+                                }
+                            }
+                            fx.suppress(n);
+                        }
+                    }
+                    None => {
+                        // The drop counter advances in replay too, like
+                        // the scalar path: only the log line is an
+                        // external side effect.
+                        self.dropped_unknown += n;
+                        if live {
+                            let line = format!(
+                                "{} drop inbound to unknown port {}",
+                                now.0, run_key.dst_port
+                            );
+                            for _ in run {
+                                fx.log_live("nat.log", line.clone());
+                            }
+                        } else {
+                            fx.suppress(n);
+                        }
+                    }
+                }
+                i = j;
+                continue;
+            }
+            // Outbound: find or create the mapping once per run.
+            let key = run_key;
+            let created = !self.mappings.contains_key(&key);
+            let external_port = if created {
+                let p = self.alloc_port();
+                self.by_port.insert(p, key);
+                self.mappings.insert(
+                    key,
+                    NatMapping { internal: key, external_port: p, last_used_ns: now.0, packets: 0 },
+                );
+                p
+            } else {
+                self.mappings[&key].external_port
+            };
+            {
+                let m = self.mappings.get_mut(&key).expect("mapping exists");
+                m.last_used_ns = now.0;
+                m.packets += n;
+            }
+            let gate = created
+                && self
+                    .introspection
+                    .as_ref()
+                    .is_some_and(|f| f.accepts(EVENT_MAPPING_CREATED, &key));
+            if gate {
+                fx.raise(Event::Introspection {
+                    code: EVENT_MAPPING_CREATED,
+                    key,
+                    values: vec![("external_port".into(), external_port.to_string())],
+                });
+            }
+            let quiet = self.sync.perflow_quiet(&key);
+            if live {
+                for pkt in run {
+                    if !quiet {
+                        self.sync.on_perflow_update(key, pkt, fx);
+                    }
+                    let mut out = pkt.clone();
+                    out.key.src_ip = ext_ip;
+                    out.key.src_port = external_port;
+                    fx.forward_live(out);
+                }
+            } else {
+                if !quiet {
+                    for pkt in run {
+                        self.sync.on_perflow_update(key, pkt, fx);
+                    }
+                }
+                fx.suppress(n);
+            }
+            i = j;
+        }
+    }
+
     fn set_introspection(&mut self, filter: Option<openmb_types::wire::EventFilter>) {
         self.introspection = filter;
     }

@@ -533,6 +533,27 @@ impl Sim {
         self.world.schedule(at, target, Payload::Frame { from, frame });
     }
 
+    /// Inject a back-to-back packet train arriving at `target` at one
+    /// instant. Each packet is still its own frame (the wire format is
+    /// unchanged); scheduling them with consecutive sequence numbers at
+    /// the same time delivers them in order before the receiver's next
+    /// service slot, so a batching node (`MbNode::with_batch_max`) sees
+    /// the whole train queued and coalesces it into one `process_batch`
+    /// call. With batching off this is byte-identical to a loop over
+    /// [`inject_frame`](Sim::inject_frame).
+    pub fn inject_burst(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        target: NodeId,
+        pkts: impl IntoIterator<Item = openmb_types::Packet>,
+    ) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        for pkt in pkts {
+            self.world.schedule(at, target, Payload::Frame { from, frame: Frame::Data(pkt) });
+        }
+    }
+
     /// Schedule a timer on `target` at absolute time `at`.
     pub fn inject_timer(&mut self, at: SimTime, target: NodeId, token: u64) {
         assert!(at >= self.now, "cannot schedule in the past");
